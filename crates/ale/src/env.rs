@@ -1,0 +1,135 @@
+//! ALE-style environment wrapper with DQN frame stacking.
+
+use fathom_tensor::Tensor;
+
+use crate::game::{Action, CatchGame, FRAME_SIDE};
+
+/// Number of consecutive frames stacked into one observation, as in the
+/// original DQN preprocessing.
+pub const STACK: usize = 4;
+
+/// An Arcade-Learning-Environment-style wrapper around [`CatchGame`]:
+/// `reset`/`step` semantics, episode bookkeeping, and 4-frame stacked
+/// observations shaped `[1, 84, 84, 4]` (NHWC).
+#[derive(Debug, Clone)]
+pub struct AleEnv {
+    game: CatchGame,
+    frames: [Vec<f32>; STACK],
+    episode_reward: f32,
+    episodes: u64,
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Stacked observation after the action, `[1, 84, 84, STACK]`.
+    pub observation: Tensor,
+    /// Reward emitted by this step.
+    pub reward: f32,
+    /// Whether an episode boundary was crossed.
+    pub done: bool,
+}
+
+impl AleEnv {
+    /// Creates an environment with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        let game = CatchGame::new(seed);
+        let frame = game.render();
+        AleEnv {
+            frames: [frame.clone(), frame.clone(), frame.clone(), frame],
+            game,
+            episode_reward: 0.0,
+            episodes: 0,
+        }
+    }
+
+    /// Number of discrete actions.
+    pub fn num_actions(&self) -> usize {
+        Action::ALL.len()
+    }
+
+    /// Completed episode count.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Resets episode statistics and returns the current observation.
+    pub fn reset(&mut self) -> Tensor {
+        self.episode_reward = 0.0;
+        self.observation()
+    }
+
+    /// Applies an action index, advancing the game one tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= self.num_actions()`.
+    pub fn step(&mut self, action: usize) -> StepResult {
+        let tick = self.game.tick(Action::from_index(action));
+        self.frames.rotate_left(1);
+        self.frames[STACK - 1] = self.game.render();
+        self.episode_reward += tick.reward;
+        if tick.done {
+            self.episodes += 1;
+        }
+        StepResult { observation: self.observation(), reward: tick.reward, done: tick.done }
+    }
+
+    /// The current stacked observation `[1, 84, 84, STACK]` in NHWC.
+    pub fn observation(&self) -> Tensor {
+        let mut data = vec![0.0f32; FRAME_SIDE * FRAME_SIDE * STACK];
+        for (s, frame) in self.frames.iter().enumerate() {
+            for (px, &v) in frame.iter().enumerate() {
+                data[px * STACK + s] = v;
+            }
+        }
+        Tensor::from_vec(data, [1, FRAME_SIDE, FRAME_SIDE, STACK])
+    }
+
+    /// Read-only access to the underlying game (for oracle policies in
+    /// tests and demos).
+    pub fn game(&self) -> &CatchGame {
+        &self.game
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_shape() {
+        let env = AleEnv::new(1);
+        let obs = env.observation();
+        assert_eq!(obs.shape().dims(), &[1, FRAME_SIDE, FRAME_SIDE, STACK]);
+    }
+
+    #[test]
+    fn stacking_shifts_history() {
+        let mut env = AleEnv::new(2);
+        let before = env.observation();
+        env.step(2);
+        env.step(2);
+        let after = env.observation();
+        // The newest plane must differ from the oldest (ball moved).
+        assert!(before != after);
+        // Frame plane 3 of `after` is the most recent render.
+        let latest = env.game().render();
+        for px in 0..FRAME_SIDE * FRAME_SIDE {
+            assert_eq!(after.data()[px * STACK + (STACK - 1)], latest[px]);
+        }
+    }
+
+    #[test]
+    fn episodes_counted() {
+        let mut env = AleEnv::new(3);
+        let mut dones = 0;
+        for _ in 0..500 {
+            if env.step(0).done {
+                dones += 1;
+            }
+        }
+        assert_eq!(env.episodes(), dones);
+        assert!(dones > 0);
+    }
+}

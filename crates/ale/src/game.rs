@@ -1,0 +1,225 @@
+//! A deterministic paddle-and-ball arcade game ("Catch").
+//!
+//! The original deepq workload drives the Arcade Learning Environment's
+//! Atari 2600 emulator; we substitute a pixel-rendered game with the same
+//! interface contract — 84x84 grayscale frames, a small discrete action
+//! set, scalar rewards — so the DQN exercises an identical code path
+//! (conv-net over raw pixels, epsilon-greedy control, experience replay).
+
+/// Frame edge length, matching the DQN preprocessing pipeline.
+pub const FRAME_SIDE: usize = 84;
+/// Pixels per frame.
+pub const FRAME_PIXELS: usize = FRAME_SIDE * FRAME_SIDE;
+/// Paddle width in pixels.
+const PADDLE_W: usize = 12;
+/// Ball edge length in pixels.
+const BALL: usize = 4;
+
+/// Player actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Stay in place.
+    Noop,
+    /// Move the paddle left.
+    Left,
+    /// Move the paddle right.
+    Right,
+}
+
+impl Action {
+    /// All actions, indexable by network output.
+    pub const ALL: [Action; 3] = [Action::Noop, Action::Left, Action::Right];
+
+    /// The action behind a discrete index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn from_index(index: usize) -> Action {
+        Action::ALL[index]
+    }
+}
+
+/// The game's full state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchGame {
+    ball_x: f32,
+    ball_y: f32,
+    drift: f32,
+    paddle_x: f32,
+    /// Simple xorshift state for spawn positions (self-contained so the
+    /// game itself stays dependency-free).
+    rng_state: u64,
+}
+
+/// Result of advancing the game one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tick {
+    /// Reward emitted this tick (+1 catch, -1 miss, 0 otherwise).
+    pub reward: f32,
+    /// Whether the ball reached the bottom (episode boundary).
+    pub done: bool,
+}
+
+impl CatchGame {
+    /// Creates a game with a deterministic spawn stream.
+    pub fn new(seed: u64) -> Self {
+        let mut game = CatchGame {
+            ball_x: 0.0,
+            ball_y: 0.0,
+            drift: 0.0,
+            paddle_x: (FRAME_SIDE / 2) as f32,
+            rng_state: seed | 1,
+        };
+        game.respawn();
+        game
+    }
+
+    fn next_rand(&mut self) -> f32 {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        ((x.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32) / (1u32 << 24) as f32
+    }
+
+    fn respawn(&mut self) {
+        self.ball_x = BALL as f32 + self.next_rand() * (FRAME_SIDE - 2 * BALL) as f32;
+        self.ball_y = 0.0;
+        self.drift = (self.next_rand() - 0.5) * 1.0;
+    }
+
+    /// Advances one tick with the given action.
+    pub fn tick(&mut self, action: Action) -> Tick {
+        match action {
+            Action::Noop => {}
+            Action::Left => self.paddle_x -= 4.0,
+            Action::Right => self.paddle_x += 4.0,
+        }
+        let half = (PADDLE_W / 2) as f32;
+        self.paddle_x = self.paddle_x.clamp(half, (FRAME_SIDE - 1) as f32 - half);
+
+        self.ball_y += 4.0;
+        self.ball_x = (self.ball_x + self.drift).clamp(0.0, (FRAME_SIDE - BALL) as f32);
+
+        if self.ball_y >= (FRAME_SIDE - BALL - 2) as f32 {
+            let caught = (self.ball_x + (BALL / 2) as f32 - self.paddle_x).abs() <= half + 1.0;
+            self.respawn();
+            Tick { reward: if caught { 1.0 } else { -1.0 }, done: true }
+        } else {
+            Tick { reward: 0.0, done: false }
+        }
+    }
+
+    /// Horizontal paddle center (for heuristics and tests).
+    pub fn paddle_x(&self) -> f32 {
+        self.paddle_x
+    }
+
+    /// Horizontal ball position (for heuristics and tests).
+    pub fn ball_x(&self) -> f32 {
+        self.ball_x
+    }
+
+    /// Renders the current state as an 84x84 grayscale frame in `[0, 1]`.
+    pub fn render(&self) -> Vec<f32> {
+        let mut frame = vec![0.0f32; FRAME_PIXELS];
+        // Ball: a bright square.
+        let bx = self.ball_x as usize;
+        let by = (self.ball_y as usize).min(FRAME_SIDE - BALL);
+        for dy in 0..BALL {
+            for dx in 0..BALL {
+                frame[(by + dy) * FRAME_SIDE + (bx + dx).min(FRAME_SIDE - 1)] = 1.0;
+            }
+        }
+        // Paddle: a bar on the bottom rows.
+        let left = (self.paddle_x - (PADDLE_W / 2) as f32) as usize;
+        for dy in 0..2 {
+            for dx in 0..PADDLE_W {
+                let x = (left + dx).min(FRAME_SIDE - 1);
+                frame[(FRAME_SIDE - 1 - dy) * FRAME_SIDE + x] = 0.6;
+            }
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paddle_respects_walls() {
+        let mut g = CatchGame::new(1);
+        for _ in 0..100 {
+            g.tick(Action::Left);
+        }
+        let left_limit = g.paddle_x();
+        for _ in 0..200 {
+            g.tick(Action::Right);
+        }
+        let right_limit = g.paddle_x();
+        assert!(left_limit >= (PADDLE_W / 2) as f32);
+        assert!(right_limit <= (FRAME_SIDE - 1 - PADDLE_W / 2) as f32);
+        assert!(right_limit > left_limit);
+    }
+
+    #[test]
+    fn episodes_terminate_with_reward() {
+        let mut g = CatchGame::new(2);
+        let mut rewards = Vec::new();
+        for _ in 0..500 {
+            let t = g.tick(Action::Noop);
+            if t.done {
+                rewards.push(t.reward);
+            }
+        }
+        assert!(!rewards.is_empty(), "no episode ended in 500 ticks");
+        assert!(rewards.iter().all(|&r| r == 1.0 || r == -1.0));
+    }
+
+    #[test]
+    fn tracking_the_ball_catches_it() {
+        let mut g = CatchGame::new(3);
+        let mut total = 0.0;
+        let mut episodes = 0;
+        while episodes < 10 {
+            let action = if g.ball_x() + 2.0 < g.paddle_x() - 1.0 {
+                Action::Left
+            } else if g.ball_x() + 2.0 > g.paddle_x() + 1.0 {
+                Action::Right
+            } else {
+                Action::Noop
+            };
+            let t = g.tick(action);
+            if t.done {
+                total += t.reward;
+                episodes += 1;
+            }
+        }
+        assert!(total >= 8.0, "oracle policy scored {total}/10");
+    }
+
+    #[test]
+    fn render_contains_ball_and_paddle() {
+        let g = CatchGame::new(4);
+        let frame = g.render();
+        assert_eq!(frame.len(), FRAME_PIXELS);
+        let bright = frame.iter().filter(|&&v| v == 1.0).count();
+        let paddle = frame.iter().filter(|&&v| v == 0.6).count();
+        assert_eq!(bright, BALL * BALL);
+        assert_eq!(paddle, 2 * PADDLE_W);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = CatchGame::new(5);
+        let mut b = CatchGame::new(5);
+        for _ in 0..50 {
+            assert_eq!(a.tick(Action::Right), b.tick(Action::Right));
+        }
+        assert_eq!(a.render(), b.render());
+    }
+}

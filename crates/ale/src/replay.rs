@@ -1,0 +1,205 @@
+//! Experience replay, the "innovative strategy" that made DQN trainable
+//! on decoupled feedback (paper §IV).
+
+use fathom_tensor::{Rng, Shape, Tensor};
+
+/// One stored transition `(s, a, r, s', done)`.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Observation before the action.
+    pub state: Tensor,
+    /// Discrete action taken.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f32,
+    /// Observation after the action.
+    pub next_state: Tensor,
+    /// Whether the episode ended at this transition.
+    pub done: bool,
+}
+
+/// A sampled minibatch, batched into training-ready tensors.
+#[derive(Debug, Clone)]
+pub struct ReplayBatch {
+    /// States `[batch, ...obs]`.
+    pub states: Tensor,
+    /// Actions `[batch]` as `f32` indices.
+    pub actions: Tensor,
+    /// Rewards `[batch]`.
+    pub rewards: Tensor,
+    /// Next states `[batch, ...obs]`.
+    pub next_states: Tensor,
+    /// Episode-termination flags `[batch]` (1.0 when done).
+    pub dones: Tensor,
+}
+
+/// A bounded uniform-sampling replay buffer.
+///
+/// # Examples
+///
+/// ```
+/// use fathom_ale::{ReplayBuffer, Transition};
+/// use fathom_tensor::{Rng, Tensor};
+///
+/// let mut buffer = ReplayBuffer::new(100);
+/// buffer.push(Transition {
+///     state: Tensor::zeros([1, 2]),
+///     action: 1,
+///     reward: 0.5,
+///     next_state: Tensor::ones([1, 2]),
+///     done: false,
+/// });
+/// let mut rng = Rng::seeded(0);
+/// let batch = buffer.sample(4, &mut rng);
+/// assert_eq!(batch.states.shape().dims(), &[4, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    cursor: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer { capacity, items: Vec::new(), cursor: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` while the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts a transition, evicting the oldest once at capacity.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.cursor] = t;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `batch` transitions uniformly with replacement and batches
+    /// them. State tensors of shape `[1, ...]` are stacked along the
+    /// leading axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample(&self, batch: usize, rng: &mut Rng) -> ReplayBatch {
+        assert!(!self.items.is_empty(), "cannot sample an empty replay buffer");
+        let obs_dims: Vec<usize> = self.items[0].state.shape().dims()[1..].to_vec();
+        let obs_len: usize = obs_dims.iter().product();
+        let mut states = Vec::with_capacity(batch * obs_len);
+        let mut next_states = Vec::with_capacity(batch * obs_len);
+        let mut actions = Vec::with_capacity(batch);
+        let mut rewards = Vec::with_capacity(batch);
+        let mut dones = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let t = &self.items[rng.below(self.items.len())];
+            states.extend_from_slice(t.state.data());
+            next_states.extend_from_slice(t.next_state.data());
+            actions.push(t.action as f32);
+            rewards.push(t.reward);
+            dones.push(if t.done { 1.0 } else { 0.0 });
+        }
+        let mut batched_dims = vec![batch];
+        batched_dims.extend(&obs_dims);
+        let shape = Shape::new(batched_dims);
+        ReplayBatch {
+            states: Tensor::from_vec(states, shape.clone()),
+            actions: Tensor::from_vec(actions, [batch]),
+            rewards: Tensor::from_vec(rewards, [batch]),
+            next_states: Tensor::from_vec(next_states, shape),
+            dones: Tensor::from_vec(dones, [batch]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(marker: f32) -> Transition {
+        Transition {
+            state: Tensor::filled([1, 3], marker),
+            action: marker as usize % 3,
+            reward: marker,
+            next_state: Tensor::filled([1, 3], marker + 0.5),
+            done: marker as usize % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_capacity() {
+        let mut b = ReplayBuffer::new(5);
+        for i in 0..12 {
+            b.push(transition(i as f32));
+        }
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn eviction_replaces_oldest() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..4 {
+            b.push(transition(i as f32));
+        }
+        // Items now: {3, 1, 2} (0 evicted).
+        let rewards: Vec<f32> = b.items.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&3.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn sample_batches_shapes() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(transition(i as f32));
+        }
+        let mut rng = Rng::seeded(1);
+        let batch = b.sample(6, &mut rng);
+        assert_eq!(batch.states.shape().dims(), &[6, 3]);
+        assert_eq!(batch.next_states.shape().dims(), &[6, 3]);
+        assert_eq!(batch.actions.len(), 6);
+        assert_eq!(batch.rewards.len(), 6);
+        assert_eq!(batch.dones.len(), 6);
+        // next_state marker is state marker + 0.5 throughout.
+        for i in 0..6 {
+            assert_eq!(batch.next_states.data()[i * 3] - batch.states.data()[i * 3], 0.5);
+        }
+    }
+
+    #[test]
+    fn sampling_covers_the_buffer() {
+        let mut b = ReplayBuffer::new(4);
+        for i in 0..4 {
+            b.push(transition(i as f32));
+        }
+        let mut rng = Rng::seeded(2);
+        let batch = b.sample(200, &mut rng);
+        let mut seen = [false; 4];
+        for i in 0..200 {
+            seen[batch.rewards.data()[i] as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampling missed an item");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay buffer")]
+    fn sampling_empty_panics() {
+        ReplayBuffer::new(3).sample(1, &mut Rng::seeded(0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the environment and replay buffer.
+
+use fathom_ale::{AleEnv, CatchGame, ReplayBuffer, Transition};
+use fathom_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn transition(tag: f32) -> Transition {
+    Transition {
+        state: Tensor::filled([1, 2], tag),
+        action: (tag as usize) % 3,
+        reward: tag,
+        next_state: Tensor::filled([1, 2], tag + 0.25),
+        done: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The buffer never exceeds capacity and always keeps the newest item.
+    #[test]
+    fn buffer_is_bounded_and_keeps_newest(capacity in 1usize..20, pushes in 1usize..60) {
+        let mut b = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            b.push(transition(i as f32));
+        }
+        prop_assert_eq!(b.len(), pushes.min(capacity));
+        // The most recent push must be sampleable.
+        let mut rng = Rng::seeded(1);
+        let batch = b.sample(200, &mut rng);
+        let newest = (pushes - 1) as f32;
+        prop_assert!(batch.rewards.data().iter().any(|&r| r == newest));
+    }
+
+    /// Every sampled reward corresponds to something actually pushed and
+    /// still retained (the last `capacity` pushes).
+    #[test]
+    fn samples_come_from_retained_items(
+        capacity in 1usize..16,
+        pushes in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let mut b = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            b.push(transition(i as f32));
+        }
+        let oldest_retained = pushes.saturating_sub(capacity) as f32;
+        let mut rng = Rng::seeded(seed);
+        let batch = b.sample(32, &mut rng);
+        for &r in batch.rewards.data() {
+            prop_assert!(r >= oldest_retained && r < pushes as f32, "sampled evicted reward {r}");
+        }
+    }
+
+    /// Batched tensors keep (state, action, reward, next_state) aligned.
+    #[test]
+    fn sample_rows_stay_aligned(seed in 0u64..1000) {
+        let mut b = ReplayBuffer::new(32);
+        for i in 0..32 {
+            b.push(transition(i as f32));
+        }
+        let mut rng = Rng::seeded(seed);
+        let batch = b.sample(16, &mut rng);
+        for i in 0..16 {
+            let tag = batch.rewards.data()[i];
+            prop_assert_eq!(batch.states.data()[i * 2], tag);
+            prop_assert_eq!(batch.next_states.data()[i * 2], tag + 0.25);
+            prop_assert_eq!(batch.actions.data()[i], ((tag as usize) % 3) as f32);
+        }
+    }
+
+    /// The game is fully deterministic under any action sequence.
+    #[test]
+    fn game_is_deterministic(
+        seed in 0u64..10_000,
+        actions in proptest::collection::vec(0usize..3, 1..80),
+    ) {
+        let mut a = CatchGame::new(seed);
+        let mut b = CatchGame::new(seed);
+        for &act in &actions {
+            let (ta, tb) = (
+                a.tick(fathom_ale::Action::from_index(act)),
+                b.tick(fathom_ale::Action::from_index(act)),
+            );
+            prop_assert_eq!(ta, tb);
+        }
+        prop_assert_eq!(a.render(), b.render());
+    }
+
+    /// Rewards are only emitted at episode boundaries and are always ±1.
+    #[test]
+    fn rewards_only_at_episode_ends(
+        seed in 0u64..10_000,
+        actions in proptest::collection::vec(0usize..3, 1..120),
+    ) {
+        let mut env = AleEnv::new(seed);
+        for &act in &actions {
+            let r = env.step(act);
+            if r.done {
+                prop_assert!(r.reward == 1.0 || r.reward == -1.0);
+            } else {
+                prop_assert_eq!(r.reward, 0.0);
+            }
+        }
+    }
+
+    /// Observations are always valid [0,1] grayscale stacks.
+    #[test]
+    fn observations_stay_normalized(seed in 0u64..1000, steps in 1usize..60) {
+        let mut env = AleEnv::new(seed);
+        for i in 0..steps {
+            let r = env.step(i % 3);
+            prop_assert!(r.observation.min() >= 0.0);
+            prop_assert!(r.observation.max() <= 1.0);
+            prop_assert_eq!(r.observation.shape().dims(), &[1, 84, 84, 4]);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench ablation_conv_lowering`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::ablation::run_conv_lowering(&effort));
+}

@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench fig3_breakdown`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::fig3::run(&effort));
+}

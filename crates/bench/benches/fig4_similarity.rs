@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench fig4_similarity`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::fig4::run(&effort));
+}

@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench fig5_train_inference`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::fig5::run(&effort));
+}

@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench fig6_parallelism`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::fig6::run(&effort));
+}

@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench table1_survey`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::table1::run(&effort));
+}

@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench table2_workloads`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::table2::run(&effort));
+}

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of one training step per workload (reference
+//! scale, single-thread CPU) — the regression-tracking companion to the
+//! figure-level experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fathom::{BuildConfig, ModelKind};
+
+fn bench_training_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        let mut model = kind.build(&BuildConfig::training());
+        model.step(); // warm caches and replay buffers
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| model.step());
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_step");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        let mut model = kind.build(&BuildConfig::inference());
+        model.step();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| model.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_steps, bench_inference_steps);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figure 4 — hierarchical similarity of the Fathom workloads.
+//!
+//! Cosine distance between op-type profiles, agglomerative clustering
+//! with centroidal linkage, rendered as a dendrogram. The paper's
+//! qualitative structure: "the three ImageNet challenge networks are
+//! grouped closely, and deepq ... is not far off"; the two recurrent
+//! networks (speech, seq2seq) land far apart.
+
+use std::fmt::Write as _;
+
+use fathom_profile::{cluster, report};
+
+use crate::experiments::profiles::all_training_profiles;
+use crate::{write_artifact, Effort};
+
+/// Regenerates Figure 4 over all eight training profiles.
+pub fn run(effort: &Effort) -> String {
+    // Similarity distances are second-order statistics of noisy wall-time
+    // shares, so sample more steps than the other figures.
+    let effort = Effort { warmup: effort.warmup, steps: (effort.steps * 3).max(9) };
+    let profiles = all_training_profiles(&effort);
+    let dendrogram = cluster(&profiles);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "FIGURE 4: Hierarchical similarity (cosine distance, centroidal linkage)\n");
+    out.push_str(&report::render_dendrogram(&dendrogram));
+
+    let _ = writeln!(out, "\nPairwise cosine distances:");
+    let _ = write!(out, "{:<9}", "");
+    for n in &dendrogram.names {
+        let _ = write!(out, " {:>8}", &n[..n.len().min(8)]);
+    }
+    out.push('\n');
+    let mut csv_rows = Vec::new();
+    for (i, n) in dendrogram.names.iter().enumerate() {
+        let _ = write!(out, "{:<9}", n);
+        for j in 0..dendrogram.names.len() {
+            let _ = write!(out, " {:>8.3}", dendrogram.distances[i][j]);
+        }
+        out.push('\n');
+        csv_rows.push((n.clone(), dendrogram.distances[i].clone()));
+    }
+
+    // The paper's two qualitative checks.
+    let d = |a: &str, b: &str| {
+        let i = dendrogram.names.iter().position(|n| n == a).expect("known workload");
+        let j = dendrogram.names.iter().position(|n| n == b).expect("known workload");
+        dendrogram.distances[i][j]
+    };
+    let conv_pairs = [("alexnet", "vgg"), ("alexnet", "residual"), ("vgg", "residual")];
+    let conv_max = conv_pairs.iter().map(|(a, b)| d(a, b)).fold(0.0, f64::max);
+    let recurrent_gap = d("speech", "seq2seq");
+    let _ = writeln!(
+        out,
+        "\nPaper's claims to reproduce:\n\
+         - ImageNet networks cluster tightly: max pairwise distance {conv_max:.3}\n\
+         - the two recurrent nets are distant:  speech<->seq2seq = {recurrent_gap:.3}\n\
+         - check: recurrent gap exceeds conv-cluster spread: {}",
+        recurrent_gap > conv_max
+    );
+
+    let mut header = vec!["workload"];
+    header.extend(dendrogram.names.iter().map(String::as_str));
+    write_artifact("fig4_similarity.csv", &report::to_csv(&header, &csv_rows));
+    write_artifact("fig4_similarity.txt", &out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dendrogram_has_all_leaves() {
+        let out = run(&Effort::quick());
+        for name in ["seq2seq", "memnet", "speech", "autoenc", "residual", "vgg", "alexnet", "deepq"] {
+            assert!(out.contains(name));
+        }
+        assert!(out.contains("Pairwise cosine distances"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Figure 5 — training vs inference on CPU and (simulated) GPU.
+//!
+//! All times are normalized to each workload's CPU training time ("the
+//! lowest performance configuration"). The paper's shapes to reproduce:
+//! training > inference everywhere; conv nets pay a relatively higher
+//! training cost (two backward reductions per conv); GPU speedups are
+//! largest for workloads with high op-profile skew; CPU and GPU
+//! train/infer ratios correlate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fathom::{BuildConfig, Mode, ModelKind};
+use fathom_dataflow::Device;
+use fathom_profile::runner;
+
+use crate::{write_artifact, Effort};
+
+/// Seconds per step for one configuration. Wall time on the CPU; modeled
+/// op time on the simulated GPU.
+fn step_seconds(kind: ModelKind, mode: Mode, device: Device, effort: &Effort) -> f64 {
+    let cfg = BuildConfig { mode, ..BuildConfig::training() }.with_device(device.clone());
+    let mut model = kind.build(&cfg);
+    for _ in 0..effort.warmup {
+        model.step();
+    }
+    if device.is_modeled() {
+        let trace = runner::trace_steps(model.as_mut(), effort.steps);
+        trace.op_nanos() / trace.steps.max(1) as f64 / 1e9
+    } else {
+        let start = Instant::now();
+        for _ in 0..effort.steps {
+            model.step();
+        }
+        start.elapsed().as_secs_f64() / effort.steps.max(1) as f64
+    }
+}
+
+/// One workload's four measurements.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// CPU training seconds/step (the normalization basis).
+    pub train_cpu: f64,
+    /// CPU inference seconds/step.
+    pub infer_cpu: f64,
+    /// Simulated-GPU training seconds/step.
+    pub train_gpu: f64,
+    /// Simulated-GPU inference seconds/step.
+    pub infer_gpu: f64,
+}
+
+/// Measures all four configurations for every workload. The CPU device
+/// uses 4 intra-op threads (the paper's quad-core i7-6700k).
+pub fn measure(effort: &Effort) -> Vec<Fig5Row> {
+    ModelKind::ALL
+        .iter()
+        .map(|&kind| Fig5Row {
+            workload: kind.name(),
+            train_cpu: step_seconds(kind, Mode::Training, Device::cpu_or_model(4), effort),
+            infer_cpu: step_seconds(kind, Mode::Inference, Device::cpu_or_model(4), effort),
+            train_gpu: step_seconds(kind, Mode::Training, Device::sim_gpu(), effort),
+            infer_gpu: step_seconds(kind, Mode::Inference, Device::sim_gpu(), effort),
+        })
+        .collect()
+}
+
+/// Regenerates Figure 5.
+pub fn run(effort: &Effort) -> String {
+    let rows = measure(effort);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIGURE 5: Training and inference runtime, normalized to CPU training\n\
+         (CPU = 4-thread host; GPU = roofline-modeled GTX 960-class device)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "workload", "train CPU", "infer CPU", "train GPU", "infer GPU", "(abs tr. s/step)"
+    );
+    let mut csv_rows = Vec::new();
+    for r in &rows {
+        let base = r.train_cpu.max(f64::MIN_POSITIVE);
+        let _ = writeln!(
+            out,
+            "{:<9} {:>12.3} {:>12.3} {:>12.4} {:>12.4} {:>14.4}",
+            r.workload,
+            1.0,
+            r.infer_cpu / base,
+            r.train_gpu / base,
+            r.infer_gpu / base,
+            r.train_cpu
+        );
+        csv_rows.push((
+            r.workload.to_string(),
+            vec![1.0, r.infer_cpu / base, r.train_gpu / base, r.infer_gpu / base, r.train_cpu],
+        ));
+    }
+
+    // The paper's shape checks.
+    let all_train_slower = rows.iter().all(|r| r.train_cpu > r.infer_cpu && r.train_gpu > r.infer_gpu);
+    let gpu_faster = rows.iter().filter(|r| r.train_gpu < r.train_cpu).count();
+    // Ratio correlation: compare CPU and GPU train/infer gaps.
+    let ratios: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.train_cpu / r.infer_cpu.max(1e-12), r.train_gpu / r.infer_gpu.max(1e-12)))
+        .collect();
+    let corr = pearson(
+        &ratios.iter().map(|(a, _)| *a).collect::<Vec<_>>(),
+        &ratios.iter().map(|(_, b)| *b).collect::<Vec<_>>(),
+    );
+    // deepq's step mixes graph compute with host-side game emulation and
+    // replay sampling, which skews its CPU ratio; report both.
+    let no_dq: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.workload != "deepq")
+        .map(|r| (r.train_cpu / r.infer_cpu.max(1e-12), r.train_gpu / r.infer_gpu.max(1e-12)))
+        .collect();
+    let corr_no_dq = pearson(
+        &no_dq.iter().map(|(a, _)| *a).collect::<Vec<_>>(),
+        &no_dq.iter().map(|(_, b)| *b).collect::<Vec<_>>(),
+    );
+    let _ = writeln!(
+        out,
+        "\nPaper's claims to reproduce:\n\
+         - training costs more than inference everywhere: {all_train_slower}\n\
+         - GPU beats CPU on {gpu_faster}/8 workloads\n\
+         - CPU and GPU train/infer ratios correlate: r = {corr:.2} \
+         (excluding deepq: r = {corr_no_dq:.2})"
+    );
+
+    write_artifact(
+        "fig5_train_inference.csv",
+        &fathom_profile::report::to_csv(
+            &["workload", "train_cpu", "infer_cpu", "train_gpu", "infer_gpu", "train_cpu_seconds"],
+            &csv_rows,
+        ),
+    );
+    write_artifact("fig5_train_inference.txt", &out);
+    out
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let vx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    let vy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-9);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn single_workload_measurement_sane() {
+        // Full fig5 is exercised by `cargo bench`; here just one cheap
+        // workload end-to-end.
+        let e = Effort::quick();
+        let train = step_seconds(ModelKind::Autoenc, Mode::Training, Device::cpu(1), &e);
+        let infer = step_seconds(ModelKind::Autoenc, Mode::Inference, Device::cpu(1), &e);
+        assert!(train > 0.0 && infer > 0.0);
+        let gpu = step_seconds(ModelKind::Autoenc, Mode::Training, Device::sim_gpu(), &e);
+        assert!(gpu > 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Memory-footprint characterization: peak live intermediate bytes and
+//! parameter bytes per workload, training vs inference.
+//!
+//! Not a figure in the paper, but the natural companion axis to its
+//! §V analyses (the executor's liveness-based eager release makes the
+//! number meaningful), and a common question for accelerator sizing.
+
+use std::fmt::Write as _;
+
+use fathom::{BuildConfig, Mode, ModelKind};
+use fathom_dataflow::OpKind;
+use fathom_profile::runner;
+
+use crate::{write_artifact, Effort};
+
+/// Measured footprint of one workload/mode.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Parameter bytes (variables).
+    pub param_bytes: u64,
+    /// Peak live intermediate bytes, training.
+    pub train_peak: u64,
+    /// Peak live intermediate bytes, inference.
+    pub infer_peak: u64,
+    /// Graph node count (training).
+    pub train_nodes: usize,
+}
+
+/// Measures every workload.
+pub fn measure(effort: &Effort) -> Vec<MemoryRow> {
+    ModelKind::ALL
+        .iter()
+        .map(|&kind| {
+            let peak = |mode: Mode| -> (u64, usize, u64) {
+                let cfg = BuildConfig { mode, ..BuildConfig::training() };
+                let mut model = kind.build(&cfg);
+                let params: u64 = model
+                    .session()
+                    .graph()
+                    .iter()
+                    .filter_map(|(_, n)| match &n.kind {
+                        OpKind::Variable { init } => Some(init.len() as u64 * 4),
+                        _ => None,
+                    })
+                    .sum();
+                let nodes = model.session().graph().len();
+                for _ in 0..effort.warmup {
+                    model.step();
+                }
+                let trace = runner::trace_steps(model.as_mut(), effort.steps.max(1));
+                (trace.peak_live_bytes, nodes, params)
+            };
+            let (train_peak, train_nodes, param_bytes) = peak(Mode::Training);
+            let (infer_peak, _, _) = peak(Mode::Inference);
+            MemoryRow { workload: kind.name(), param_bytes, train_peak, infer_peak, train_nodes }
+        })
+        .collect()
+}
+
+/// Prints the memory report.
+pub fn run(effort: &Effort) -> String {
+    let rows = measure(effort);
+    let mut out = String::new();
+    let _ = writeln!(out, "MEMORY REPORT: peak live intermediates and parameters (reference scale)\n");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>12} {:>14} {:>14} {:>8} {:>12}",
+        "workload", "params (KB)", "train peak KB", "infer peak KB", "nodes", "train/infer"
+    );
+    let mut csv_rows = Vec::new();
+    for r in &rows {
+        let ratio = r.train_peak as f64 / r.infer_peak.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<9} {:>12.1} {:>14.1} {:>14.1} {:>8} {:>11.2}x",
+            r.workload,
+            r.param_bytes as f64 / 1024.0,
+            r.train_peak as f64 / 1024.0,
+            r.infer_peak as f64 / 1024.0,
+            r.train_nodes,
+            ratio
+        );
+        csv_rows.push((
+            r.workload.to_string(),
+            vec![
+                r.param_bytes as f64,
+                r.train_peak as f64,
+                r.infer_peak as f64,
+                r.train_nodes as f64,
+            ],
+        ));
+    }
+    let all_train_bigger = rows.iter().all(|r| r.train_peak >= r.infer_peak);
+    let _ = writeln!(
+        out,
+        "\nExpected shape: training always holds more live state than inference\n\
+         (activations are kept for the backward pass): {all_train_bigger}"
+    );
+    write_artifact(
+        "memory_report.csv",
+        &fathom_profile::report::to_csv(
+            &["workload", "param_bytes", "train_peak", "infer_peak", "train_nodes"],
+            &csv_rows,
+        ),
+    );
+    write_artifact("memory_report.txt", &out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autoenc_training_holds_more_than_inference() {
+        let effort = Effort::quick();
+        let peak = |mode: Mode| {
+            let cfg = BuildConfig { mode, ..BuildConfig::training() };
+            let mut model = ModelKind::Autoenc.build(&cfg);
+            let trace = runner::trace_steps(model.as_mut(), 1);
+            trace.peak_live_bytes
+        };
+        let train = peak(Mode::Training);
+        let infer = peak(Mode::Inference);
+        assert!(train > infer, "train {train} <= infer {infer}");
+        let _ = effort;
+    }
+}

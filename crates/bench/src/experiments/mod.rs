@@ -1,0 +1,15 @@
+//! One module per paper artifact. See DESIGN.md's experiment index.
+
+pub mod ablation;
+pub mod fig1;
+pub mod intensity;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod memory;
+pub mod overhead;
+pub mod profiles;
+pub mod table1;
+pub mod table2;

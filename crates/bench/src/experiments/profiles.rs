@@ -1,0 +1,33 @@
+//! Shared profiling sweep: training profiles for all eight workloads.
+
+use fathom::{BuildConfig, ModelKind};
+use fathom_profile::{runner, OpProfile};
+
+use crate::Effort;
+
+/// Profiles every workload in training mode on a single-threaded CPU
+/// (the paper's primary measurement configuration, §V-A).
+pub fn all_training_profiles(effort: &Effort) -> Vec<OpProfile> {
+    ModelKind::ALL
+        .iter()
+        .map(|kind| {
+            runner::profile_workload(*kind, &BuildConfig::training(), effort.warmup, effort.steps)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_eight_profiles_in_table_order() {
+        let profiles = all_training_profiles(&Effort::quick());
+        assert_eq!(profiles.len(), 8);
+        assert_eq!(profiles[0].workload, "seq2seq");
+        assert_eq!(profiles[7].workload, "deepq");
+        for p in &profiles {
+            assert!(p.total_nanos() > 0.0, "{} captured no time", p.workload);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Table II — "The Fathom Workloads": the suite inventory, generated
+//! from each model's registered metadata.
+
+use std::fmt::Write as _;
+
+use fathom::ModelKind;
+
+use crate::{write_artifact, Effort};
+
+/// Regenerates Table II from the registry.
+pub fn run(_effort: &Effort) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE II: The Fathom Workloads\n");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>5} {:<22} {:>7} {:<14} {:<10}",
+        "model", "year", "style", "layers", "task", "dataset"
+    );
+    for kind in ModelKind::ALL {
+        let m = kind.metadata();
+        let _ = writeln!(
+            out,
+            "{:<9} {:>5} {:<22} {:>7} {:<14} {:<10}",
+            m.name, m.year, m.style, m.layers, m.task, m.dataset
+        );
+    }
+    let _ = writeln!(out, "\nPurpose and legacy:");
+    for kind in ModelKind::ALL {
+        let m = kind.metadata();
+        let _ = writeln!(out, "  {:<9} {}", m.name, m.purpose.split_whitespace().collect::<Vec<_>>().join(" "));
+        let _ = writeln!(out, "  {:<9} ({})", "", m.reference);
+    }
+    write_artifact("table2_workloads.txt", &out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_eight_with_paper_facts() {
+        let out = run(&Effort::quick());
+        for name in ["seq2seq", "memnet", "speech", "autoenc", "residual", "vgg", "alexnet", "deepq"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+        // Spot-check Table II cells.
+        assert!(out.contains("bAbI"));
+        assert!(out.contains("TIMIT"));
+        assert!(out.contains("Atari ALE"));
+        assert!(out.contains("Reinforcement"));
+        assert!(out.contains("Unsupervised"));
+        assert!(out.contains("34"));
+        assert!(out.contains("WMT-15"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Hand-rolled argument parsing (no external parser dependency).
+
+use std::fmt;
+
+use fathom::{Mode, ModelKind, ModelScale};
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fathom list` — print the workload inventory.
+    List,
+    /// `fathom run <model> [options]` — step a workload and report.
+    Run(RunArgs),
+    /// `fathom profile <model> [options]` — op-type profile.
+    Profile(RunArgs),
+    /// `fathom trace <model> --out <file> [options]` — Chrome-trace JSON.
+    Trace(RunArgs),
+    /// `fathom dot <model> --out <file> [options]` — Graphviz export.
+    Dot(RunArgs),
+    /// `fathom help` or `-h`/`--help`.
+    Help,
+}
+
+/// Options shared by the model-driving subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Which workload.
+    pub model: ModelKind,
+    /// Training (default) or inference.
+    pub mode: Mode,
+    /// Reference (default) or full scale.
+    pub scale: ModelScale,
+    /// Steps to execute.
+    pub steps: usize,
+    /// Intra-op threads.
+    pub threads: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Output path for export subcommands.
+    pub out: Option<String>,
+    /// Load variables from this checkpoint before stepping.
+    pub load: Option<String>,
+    /// Save variables to this checkpoint after stepping.
+    pub save: Option<String>,
+}
+
+impl RunArgs {
+    fn new(model: ModelKind) -> Self {
+        RunArgs {
+            model,
+            mode: Mode::Training,
+            scale: ModelScale::Reference,
+            steps: 5,
+            threads: 1,
+            seed: 0xFA7408,
+            out: None,
+            load: None,
+            save: None,
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The help text.
+pub const USAGE: &str = "fathom — the Fathom-rs workload suite
+
+USAGE:
+    fathom list
+    fathom run     <model> [--mode training|inference] [--scale reference|full]
+                           [--steps N] [--threads N] [--seed N]
+                           [--load FILE] [--save FILE]
+    fathom profile <model> [same options as run]
+    fathom trace   <model> --out FILE.json [same options]
+    fathom dot     <model> --out FILE.dot  [same options]
+
+MODELS:
+    seq2seq memnet speech autoenc residual vgg alexnet deepq
+";
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem encountered.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "run" | "profile" | "trace" | "dot" => {
+            let model_str = it
+                .next()
+                .ok_or_else(|| ParseError(format!("'{sub}' needs a model name")))?;
+            let model: ModelKind = model_str
+                .parse()
+                .map_err(|e: fathom::ParseModelError| ParseError(e.to_string()))?;
+            let mut run = RunArgs::new(model);
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<String, ParseError> {
+                    i += 1;
+                    rest.get(i)
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--mode" => {
+                        run.mode = match value("--mode")?.as_str() {
+                            "training" => Mode::Training,
+                            "inference" => Mode::Inference,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "unknown mode '{other}' (training|inference)"
+                                )))
+                            }
+                        }
+                    }
+                    "--scale" => {
+                        run.scale = match value("--scale")?.as_str() {
+                            "reference" => ModelScale::Reference,
+                            "full" => ModelScale::Full,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "unknown scale '{other}' (reference|full)"
+                                )))
+                            }
+                        }
+                    }
+                    "--steps" => {
+                        run.steps = value("--steps")?
+                            .parse()
+                            .map_err(|_| ParseError("--steps needs an integer".into()))?
+                    }
+                    "--threads" => {
+                        run.threads = value("--threads")?
+                            .parse()
+                            .map_err(|_| ParseError("--threads needs an integer".into()))?
+                    }
+                    "--seed" => {
+                        run.seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?
+                    }
+                    "--out" => run.out = Some(value("--out")?),
+                    "--load" => run.load = Some(value("--load")?),
+                    "--save" => run.save = Some(value("--save")?),
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            if matches!(sub, "trace" | "dot") && run.out.is_none() {
+                return Err(ParseError(format!("'{sub}' requires --out FILE")));
+            }
+            Ok(match sub {
+                "run" => Command::Run(run),
+                "profile" => Command::Profile(run),
+                "trace" => Command::Trace(run),
+                _ => Command::Dot(run),
+            })
+        }
+        other => Err(ParseError(format!(
+            "unknown command '{other}' (try 'fathom help')"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn list_parses() {
+        assert_eq!(parse(&s(&["list"])).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let Command::Run(args) = parse(&s(&["run", "alexnet"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.model, ModelKind::Alexnet);
+        assert_eq!(args.mode, Mode::Training);
+        assert_eq!(args.steps, 5);
+        assert_eq!(args.threads, 1);
+    }
+
+    #[test]
+    fn run_with_all_flags() {
+        let Command::Run(args) = parse(&s(&[
+            "run", "deepq", "--mode", "inference", "--scale", "full", "--steps", "9",
+            "--threads", "4", "--seed", "42", "--load", "in.ck", "--save", "out.ck",
+        ]))
+        .unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.model, ModelKind::Deepq);
+        assert_eq!(args.mode, Mode::Inference);
+        assert_eq!(args.scale, ModelScale::Full);
+        assert_eq!(args.steps, 9);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.seed, 42);
+        assert_eq!(args.load.as_deref(), Some("in.ck"));
+        assert_eq!(args.save.as_deref(), Some("out.ck"));
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_with_suggestions() {
+        let err = parse(&s(&["run", "gpt"])).unwrap_err();
+        assert!(err.0.contains("unknown workload"));
+        assert!(err.0.contains("seq2seq"));
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse(&s(&["run", "vgg", "--frobnicate"])).unwrap_err();
+        assert!(err.0.contains("--frobnicate"));
+    }
+
+    #[test]
+    fn missing_flag_value_is_rejected() {
+        let err = parse(&s(&["run", "vgg", "--steps"])).unwrap_err();
+        assert!(err.0.contains("--steps"));
+    }
+
+    #[test]
+    fn exports_require_out() {
+        assert!(parse(&s(&["trace", "vgg"])).is_err());
+        assert!(parse(&s(&["dot", "vgg"])).is_err());
+        assert!(parse(&s(&["dot", "vgg", "--out", "g.dot"])).is_ok());
+    }
+
+    #[test]
+    fn bad_mode_is_rejected() {
+        let err = parse(&s(&["run", "vgg", "--mode", "sideways"])).unwrap_err();
+        assert!(err.0.contains("sideways"));
+    }
+}

@@ -1,0 +1,146 @@
+//! `fathom` — command-line driver for the Fathom-rs workload suite.
+//!
+//! ```text
+//! fathom list
+//! fathom run alexnet --steps 10 --threads 4
+//! fathom profile seq2seq --steps 3
+//! fathom trace deepq --out deepq.json     # open in chrome://tracing
+//! fathom dot memnet --out memnet.dot      # render with graphviz
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{parse, Command, RunArgs, USAGE};
+use fathom::{BuildConfig, Mode, ModelKind, Workload};
+use fathom_dataflow::{checkpoint, export, Device};
+use fathom_profile::{report, runner, OpProfile};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::List => {
+            println!(
+                "{:<9} {:>5} {:<22} {:>6} {:<14} {:<10}",
+                "model", "year", "style", "layers", "task", "dataset"
+            );
+            for kind in ModelKind::ALL {
+                let m = kind.metadata();
+                println!(
+                    "{:<9} {:>5} {:<22} {:>6} {:<14} {:<10}",
+                    m.name, m.year, m.style, m.layers, m.task, m.dataset
+                );
+            }
+            Ok(())
+        }
+        Command::Run(a) => cmd_run(a),
+        Command::Profile(a) => cmd_profile(a),
+        Command::Trace(a) => cmd_trace(a),
+        Command::Dot(a) => cmd_dot(a),
+    }
+}
+
+fn build(a: &RunArgs) -> Box<dyn Workload> {
+    let cfg = BuildConfig {
+        mode: a.mode,
+        scale: a.scale,
+        device: Device::cpu(a.threads),
+        seed: a.seed,
+    };
+    a.model.build(&cfg)
+}
+
+fn cmd_run(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut model = build(&a);
+    if let Some(path) = &a.load {
+        let file = std::fs::File::open(path)?;
+        checkpoint::load(model.session_mut(), std::io::BufReader::new(file))?;
+        println!("restored variables from {path}");
+    }
+    println!(
+        "{} | {} | {} ops in graph",
+        model.name(),
+        a.mode.label(),
+        model.session().graph().len()
+    );
+    for step in 0..a.steps {
+        let stats = model.step();
+        match (stats.loss, stats.metric) {
+            (Some(loss), Some(metric)) => println!("step {step}: loss {loss:.4}  metric {metric:.4}"),
+            (Some(loss), None) => println!("step {step}: loss {loss:.4}"),
+            (None, Some(metric)) => println!("step {step}: metric {metric:.4}"),
+            (None, None) => println!("step {step}: done"),
+        }
+    }
+    if let Some(path) = &a.save {
+        let file = std::fs::File::create(path)?;
+        checkpoint::save(model.session(), std::io::BufWriter::new(file))?;
+        println!("saved variables to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_profile(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut model = build(&a);
+    model.step(); // warm-up
+    let trace = runner::trace_steps(model.as_mut(), a.steps);
+    let profile = OpProfile::from_trace(a.model.name(), &trace);
+    println!("{} | {} steps traced", a.model.name(), a.steps);
+    print!("{}", report::render_profile_table(&profile, 15));
+    println!("\nclass shares:");
+    for (class, fraction) in profile.class_fractions() {
+        if fraction > 0.0 {
+            println!("  [{}] {:<24} {:>5.1}%", class.letter(), class.label(), fraction * 100.0);
+        }
+    }
+    println!("\ninter-op overhead: {:.2}%", trace.overhead_fraction() * 100.0);
+    Ok(())
+}
+
+fn cmd_trace(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let out = a.out.clone().expect("parser enforces --out");
+    let mut model = build(&a);
+    model.step();
+    let trace = runner::trace_steps(model.as_mut(), a.steps);
+    std::fs::write(&out, export::to_chrome_trace(&trace))?;
+    println!(
+        "wrote {} events to {out} (open in chrome://tracing or Perfetto)",
+        trace.events.len()
+    );
+    Ok(())
+}
+
+fn cmd_dot(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let out = a.out.clone().expect("parser enforces --out");
+    let model = build(&a);
+    let dot = export::to_dot(model.session().graph());
+    std::fs::write(&out, &dot)?;
+    println!(
+        "wrote {}-node graph to {out} (render with: dot -Tsvg {out} -o graph.svg)",
+        model.session().graph().len()
+    );
+    let _ = Mode::Inference; // silence unused import warnings in some cfgs
+    Ok(())
+}

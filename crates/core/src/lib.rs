@@ -1,0 +1,32 @@
+//! The Fathom reference deep learning workloads, in Rust.
+//!
+//! This crate is the primary contribution of the reproduction: eight
+//! archetypal deep learning models — `seq2seq`, `memnet`, `speech`,
+//! `autoenc`, `residual`, `vgg`, `alexnet`, and `deepq` — implemented on
+//! the [`fathom_dataflow`] graph framework and wrapped in the suite's
+//! standard [`Workload`] interface, so that "evaluating training,
+//! inference, or simply inspecting the model's dataflow graph is
+//! straightforward" (paper §VI).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fathom::{BuildConfig, ModelKind, Workload};
+//!
+//! // Train two steps of the variational autoencoder and inspect its op mix.
+//! let mut model = ModelKind::Autoenc.build(&BuildConfig::training());
+//! model.session_mut().enable_tracing();
+//! model.step();
+//! model.step();
+//! let trace = model.session_mut().take_trace();
+//! println!("{} captured {} op executions", model.name(), trace.events.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod models;
+mod registry;
+mod workload;
+
+pub use registry::{ModelKind, ParseModelError};
+pub use workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};

@@ -1,0 +1,120 @@
+//! Shared harness for the three ImageNet-style classifier workloads.
+
+use fathom_data::imagenet::ImageCorpus;
+use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
+use fathom_nn::Params;
+use fathom_tensor::Tensor;
+
+use crate::workload::{BuildConfig, Mode, StepStats, Workload, WorkloadMetadata};
+
+/// An image classifier driven by the synthetic ImageNet stand-in: feeds a
+/// fresh minibatch per step, runs cross-entropy training or batched
+/// inference, and reports loss/accuracy.
+pub(crate) struct ImageClassifier {
+    meta: WorkloadMetadata,
+    mode: Mode,
+    session: Session,
+    corpus: ImageCorpus,
+    images: NodeId,
+    labels: NodeId,
+    logits: NodeId,
+    loss: NodeId,
+    train: Option<NodeId>,
+    batch: usize,
+}
+
+impl ImageClassifier {
+    /// Builds the harness around a model-specific logits builder.
+    ///
+    /// `build_logits` receives `(graph, params, images_node)` and must
+    /// return a `[batch, classes]` logits node.
+    pub(crate) fn new(
+        meta: WorkloadMetadata,
+        cfg: &BuildConfig,
+        batch: usize,
+        side: usize,
+        classes: usize,
+        optimizer: Optimizer,
+        build_logits: impl FnOnce(&mut Graph, &mut Params, NodeId) -> NodeId,
+    ) -> Self {
+        let mut g = Graph::new();
+        let mut p = Params::seeded(cfg.seed);
+        let images = g.placeholder("images", [batch, side, side, 3]);
+        let labels = g.placeholder("labels", [batch]);
+        let logits = build_logits(&mut g, &mut p, images);
+        assert_eq!(
+            g.shape(logits).dims(),
+            &[batch, classes],
+            "model produced wrong logits shape"
+        );
+        let loss = g.softmax_cross_entropy(logits, labels);
+        let train = match cfg.mode {
+            Mode::Training => Some(optimizer.minimize(&mut g, loss, p.trainable())),
+            Mode::Inference => None,
+        };
+        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        let corpus = ImageCorpus::new(side, 3, classes, cfg.seed ^ 0xDA7A);
+        ImageClassifier {
+            meta,
+            mode: cfg.mode,
+            session,
+            corpus,
+            images,
+            labels,
+            logits,
+            loss,
+            train,
+            batch,
+        }
+    }
+
+    fn accuracy(logits: &Tensor, labels: &Tensor) -> f32 {
+        let pred = logits.argmax_last_axis();
+        let correct = pred
+            .data()
+            .iter()
+            .zip(labels.data())
+            .filter(|(a, b)| a == b)
+            .count();
+        correct as f32 / labels.len().max(1) as f32
+    }
+}
+
+impl Workload for ImageClassifier {
+    fn metadata(&self) -> &WorkloadMetadata {
+        &self.meta
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn step(&mut self) -> StepStats {
+        let (images, labels) = self.corpus.batch(self.batch);
+        match self.mode {
+            Mode::Training => {
+                let train = self.train.expect("training graph was built");
+                let out = self
+                    .session
+                    .run(&[self.loss, train], &[(self.images, images), (self.labels, labels)])
+                    .expect("workload graphs are well-formed");
+                StepStats { loss: Some(out[0].scalar_value()), metric: None }
+            }
+            Mode::Inference => {
+                let out = self
+                    .session
+                    .run(&[self.logits], &[(self.images, images), (self.labels, labels.clone())])
+                    .expect("workload graphs are well-formed");
+                StepStats { loss: None, metric: Some(Self::accuracy(&out[0], &labels)) }
+            }
+        }
+    }
+
+    fn session(&self) -> &Session {
+        &self.session
+    }
+
+    fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}

@@ -1,0 +1,467 @@
+//! `deepq` — deep Q-learning on Atari-style games (Mnih et al., NIPS DL
+//! workshop 2013).
+//!
+//! A convolutional network maps raw 84x84 pixel stacks to action values;
+//! the agent improves "as it receives in-game feedback, not by observing
+//! perfect play" (paper §IV), using epsilon-greedy exploration, a frozen
+//! target network, experience replay, and RMSProp — the optimizer whose
+//! cost surfaces at high thread counts in the paper's Figure 6a.
+//!
+//! The Arcade Learning Environment is substituted by the deterministic
+//! `fathom-ale` paddle game with identical observation/action/reward
+//! contracts (see DESIGN.md).
+
+use fathom_ale::{AleEnv, ReplayBuffer, Transition, FRAME_SIDE, STACK};
+use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
+use fathom_nn::{Activation, Init, Params};
+use fathom_tensor::kernels::conv::Conv2dSpec;
+use fathom_tensor::{Rng, Tensor};
+
+use crate::workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};
+
+struct Dims {
+    batch: usize,
+    conv_channels: [usize; 3],
+    fc: usize,
+    replay_capacity: usize,
+    target_sync: u64,
+    gamma: f32,
+}
+
+fn dims(scale: ModelScale) -> Dims {
+    match scale {
+        ModelScale::Reference => Dims {
+            batch: 16,
+            conv_channels: [8, 16, 16],
+            fc: 64,
+            replay_capacity: 2_000,
+            target_sync: 25,
+            gamma: 0.99,
+        },
+        ModelScale::Full => Dims {
+            batch: 32,
+            conv_channels: [32, 64, 64],
+            fc: 512,
+            replay_capacity: 100_000,
+            target_sync: 1_000,
+            gamma: 0.99,
+        },
+    }
+}
+
+/// Table II metadata for `deepq`.
+pub fn metadata() -> WorkloadMetadata {
+    WorkloadMetadata {
+        name: "deepq",
+        year: 2013,
+        reference: "Mnih et al., NIPS Deep Learning Workshop 2013",
+        style: "Convolutional, Full",
+        layers: 5,
+        task: "Reinforcement",
+        dataset: "Atari ALE",
+        purpose: "Atari-playing neural network from DeepMind. Achieves \
+                  superhuman performance on majority of Atari2600 games, \
+                  without any preconceptions.",
+    }
+}
+
+/// The shared weights of a Q-network (3 conv + 2 dense layers), applied
+/// as separate towers for acting (batch 1) and learning (batch B).
+struct QNetwork {
+    conv_w: [NodeId; 3],
+    conv_b: [NodeId; 3],
+    fc_w: NodeId,
+    fc_b: NodeId,
+    out_w: NodeId,
+    out_b: NodeId,
+}
+
+const CONV_SPECS: [(usize, Conv2dSpec); 3] = [
+    (8, Conv2dSpec { stride: 4, pad: 0 }),
+    (4, Conv2dSpec { stride: 2, pad: 0 }),
+    (3, Conv2dSpec { stride: 1, pad: 0 }),
+];
+
+impl QNetwork {
+    /// Creates the network's variables. When `params` is `Some`, the
+    /// variables are registered as trainable (the online network); the
+    /// target network passes `None`.
+    fn new(
+        g: &mut Graph,
+        p: &mut Params,
+        prefix: &str,
+        d: &Dims,
+        actions: usize,
+        trainable: bool,
+    ) -> Self {
+        let mut make = |name: String, shape: Vec<usize>, init: Init| -> NodeId {
+            if trainable {
+                p.variable(g, name, shape, init)
+            } else {
+                let value = init.materialize(&shape.clone().into(), p.rng());
+                g.variable(name, value)
+            }
+        };
+        let mut in_ch = STACK;
+        let mut conv_w = Vec::with_capacity(3);
+        let mut conv_b = Vec::with_capacity(3);
+        for (i, ((k, _), &oc)) in CONV_SPECS.iter().zip(&d.conv_channels).enumerate() {
+            conv_w.push(make(format!("{prefix}/conv{i}/w"), vec![*k, *k, in_ch, oc], Init::He));
+            conv_b.push(make(format!("{prefix}/conv{i}/b"), vec![oc], Init::Zeros));
+            in_ch = oc;
+        }
+        let flat = Self::flat_features(d);
+        QNetwork {
+            conv_w: [conv_w[0], conv_w[1], conv_w[2]],
+            conv_b: [conv_b[0], conv_b[1], conv_b[2]],
+            fc_w: make(format!("{prefix}/fc/w"), vec![flat, d.fc], Init::He),
+            fc_b: make(format!("{prefix}/fc/b"), vec![d.fc], Init::Zeros),
+            out_w: make(format!("{prefix}/out/w"), vec![d.fc, actions], Init::Xavier),
+            out_b: make(format!("{prefix}/out/b"), vec![actions], Init::Zeros),
+        }
+    }
+
+    /// Spatial size after the three valid convolutions on 84x84 input.
+    fn flat_features(d: &Dims) -> usize {
+        let mut side = FRAME_SIDE;
+        for (k, spec) in CONV_SPECS {
+            side = spec.out_extent(side, k);
+        }
+        side * side * d.conv_channels[2]
+    }
+
+    /// Builds a Q-value tower `[batch, actions]` over `states`.
+    fn apply(&self, g: &mut Graph, states: NodeId) -> NodeId {
+        let mut x = states;
+        for i in 0..3 {
+            let (_, spec) = CONV_SPECS[i];
+            let conv = g.conv2d(x, self.conv_w[i], spec);
+            let biased = g.add_op(conv, self.conv_b[i]);
+            x = Activation::Relu.apply(g, biased);
+        }
+        let batch = g.shape(x).dim(0);
+        let features = g.shape(x).num_elements() / batch;
+        let flat = g.reshape(x, [batch, features]);
+        let fc = g.matmul(flat, self.fc_w);
+        let fc_b = g.add_op(fc, self.fc_b);
+        let h = Activation::Relu.apply(g, fc_b);
+        let out = g.matmul(h, self.out_w);
+        g.add_op(out, self.out_b)
+    }
+
+    /// All variable ids, online-to-target sync order.
+    fn variables(&self) -> Vec<NodeId> {
+        let mut v = Vec::new();
+        v.extend(self.conv_w);
+        v.extend(self.conv_b);
+        v.extend([self.fc_w, self.fc_b, self.out_w, self.out_b]);
+        v
+    }
+}
+
+/// The `deepq` workload (DQN agent on the ALE substrate).
+pub struct Deepq {
+    meta: WorkloadMetadata,
+    mode: Mode,
+    session: Session,
+    env: AleEnv,
+    replay: ReplayBuffer,
+    rng: Rng,
+    // Graph handles.
+    act_state: NodeId,
+    act_q: NodeId,
+    batch_states: NodeId,
+    batch_actions_onehot: NodeId,
+    batch_targets: NodeId,
+    loss: NodeId,
+    target_next_q: NodeId,
+    target_states: NodeId,
+    train: Option<NodeId>,
+    online_vars: Vec<NodeId>,
+    target_vars: Vec<NodeId>,
+    // Agent state.
+    epsilon: f32,
+    steps_done: u64,
+    episode_rewards: Vec<f32>,
+    d: Dims,
+}
+
+impl Deepq {
+    /// Builds the workload per the configuration.
+    pub fn build(cfg: &BuildConfig) -> Self {
+        let d = dims(cfg.scale);
+        let env = AleEnv::new(cfg.seed ^ 0xA7A21);
+        let actions = env.num_actions();
+        let mut g = Graph::new();
+        let mut p = Params::seeded(cfg.seed);
+
+        let online = QNetwork::new(&mut g, &mut p, "online", &d, actions, true);
+        let target = QNetwork::new(&mut g, &mut p, "target", &d, actions, false);
+
+        // Acting tower: single observation.
+        let act_state = g.placeholder("act_state", [1, FRAME_SIDE, FRAME_SIDE, STACK]);
+        let act_q = online.apply(&mut g, act_state);
+
+        // Learning tower: replay minibatch.
+        let batch_states = g.placeholder("states", [d.batch, FRAME_SIDE, FRAME_SIDE, STACK]);
+        let q_values = online.apply(&mut g, batch_states); // [b, actions]
+        let batch_actions_onehot = g.placeholder("actions_onehot", [d.batch, actions]);
+        let selected = g.mul(q_values, batch_actions_onehot);
+        let q_sa = g.sum_axis(selected, 1); // [b]
+        let batch_targets = g.placeholder("targets", [d.batch]);
+        let err = g.sub(q_sa, batch_targets);
+        let sq = g.square(err);
+        let loss = g.mean_all(sq);
+
+        // Target tower: next-state values from the frozen network.
+        let target_states = g.placeholder("next_states", [d.batch, FRAME_SIDE, FRAME_SIDE, STACK]);
+        let target_next_q = target.apply(&mut g, target_states);
+
+        let train = match cfg.mode {
+            Mode::Training => {
+                Some(Optimizer::rms_prop(1e-3).minimize(&mut g, loss, p.trainable()))
+            }
+            Mode::Inference => None,
+        };
+        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        Deepq {
+            meta: metadata(),
+            mode: cfg.mode,
+            session,
+            env,
+            replay: ReplayBuffer::new(d.replay_capacity),
+            rng: Rng::seeded(cfg.seed ^ 0xE9),
+            act_state,
+            act_q,
+            batch_states,
+            batch_actions_onehot,
+            batch_targets,
+            loss,
+            target_next_q,
+            target_states,
+            train,
+            online_vars: online.variables(),
+            target_vars: target.variables(),
+            epsilon: 1.0,
+            steps_done: 0,
+            episode_rewards: Vec::new(),
+            d,
+        }
+    }
+
+    /// Epsilon-greedy action for the current observation.
+    fn select_action(&mut self, observation: &Tensor) -> usize {
+        if self.rng.chance(self.epsilon) {
+            self.rng.below(self.env.num_actions())
+        } else {
+            let q = self
+                .session
+                .run1(self.act_q, &[(self.act_state, observation.clone())])
+                .expect("workload graphs are well-formed");
+            q.argmax_last_axis().data()[0] as usize
+        }
+    }
+
+    /// Copies every online variable into its target twin.
+    fn sync_target(&mut self) {
+        for (&src, &dst) in self.online_vars.clone().iter().zip(&self.target_vars.clone()) {
+            let value = self
+                .session
+                .variable_value(src)
+                .expect("online vars exist")
+                .clone();
+            self.session.assign(dst, value).expect("towers have equal shapes");
+        }
+    }
+
+    /// Current exploration rate (diagnostics).
+    pub fn debug_epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    /// `(min, mean, max)` of the acting tower's Q-values on the current
+    /// observation (diagnostics).
+    pub fn debug_q_summary(&mut self) -> (f32, f32, f32) {
+        let obs = self.env.observation();
+        let q = self
+            .session
+            .run1(self.act_q, &[(self.act_state, obs)])
+            .expect("workload graphs are well-formed");
+        (q.min(), q.mean(), q.max())
+    }
+
+    /// Mean reward over the most recent completed episodes.
+    pub fn recent_reward(&self) -> f32 {
+        let window = self.episode_rewards.len().min(20);
+        if window == 0 {
+            return 0.0;
+        }
+        let tail = &self.episode_rewards[self.episode_rewards.len() - window..];
+        tail.iter().sum::<f32>() / window as f32
+    }
+
+    /// Plays `frames` environment steps with the current policy, storing
+    /// transitions. Returns accumulated reward.
+    fn play(&mut self, frames: usize) -> f32 {
+        let mut episode_reward = 0.0;
+        let mut total = 0.0;
+        for _ in 0..frames {
+            let state = self.env.observation();
+            let action = self.select_action(&state);
+            let result = self.env.step(action);
+            total += result.reward;
+            episode_reward += result.reward;
+            self.replay.push(Transition {
+                state,
+                action,
+                reward: result.reward,
+                next_state: result.observation.clone(),
+                done: result.done,
+            });
+            if result.done {
+                self.episode_rewards.push(episode_reward);
+                episode_reward = 0.0;
+            }
+        }
+        total
+    }
+
+    /// One gradient update from replay; returns the TD loss.
+    fn learn(&mut self) -> f32 {
+        let batch = self.replay.sample(self.d.batch, &mut self.rng);
+        // Bootstrapped targets from the frozen network (computed with the
+        // target tower; max over actions on the host).
+        let next_q = self
+            .session
+            .run1(self.target_next_q, &[(self.target_states, batch.next_states.clone())])
+            .expect("workload graphs are well-formed");
+        let actions = self.env.num_actions();
+        let mut targets = Tensor::zeros([self.d.batch]);
+        let mut onehot = Tensor::zeros([self.d.batch, actions]);
+        for b in 0..self.d.batch {
+            let row = &next_q.data()[b * actions..(b + 1) * actions];
+            let max_next = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let done = batch.dones.data()[b] > 0.5;
+            let y = batch.rewards.data()[b]
+                + if done { 0.0 } else { self.d.gamma * max_next };
+            targets.set(&[b], y);
+            onehot.set(&[b, batch.actions.data()[b] as usize], 1.0);
+        }
+        let train = self.train.expect("training graph was built");
+        let out = self
+            .session
+            .run(
+                &[self.loss, train],
+                &[
+                    (self.batch_states, batch.states),
+                    (self.batch_actions_onehot, onehot),
+                    (self.batch_targets, targets),
+                ],
+            )
+            .expect("workload graphs are well-formed");
+        out[0].scalar_value()
+    }
+}
+
+impl Workload for Deepq {
+    fn metadata(&self) -> &WorkloadMetadata {
+        &self.meta
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn step(&mut self) -> StepStats {
+        match self.mode {
+            Mode::Training => {
+                // Anneal exploration from 1.0 to 0.1 over the first ~100
+                // steps (scaled-down DQN schedule).
+                self.epsilon = (1.0 - self.steps_done as f32 * 0.009).max(0.1);
+                self.play(4);
+                let loss = self.learn();
+                self.steps_done += 1;
+                if self.steps_done % self.d.target_sync == 0 {
+                    self.sync_target();
+                }
+                StepStats { loss: Some(loss), metric: Some(self.recent_reward()) }
+            }
+            Mode::Inference => {
+                // Same environment-frame budget as a training step, so
+                // train/inference times compare the way the paper's
+                // Figure 5 does.
+                self.epsilon = 0.05;
+                let reward = self.play(4);
+                StepStats { loss: None, metric: Some(reward) }
+            }
+        }
+    }
+
+    fn session(&self) -> &Session {
+        &self.session
+    }
+
+    fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fathom_dataflow::OpKind;
+
+    #[test]
+    fn training_steps_run_and_sync() {
+        let mut m = Deepq::build(&BuildConfig::training());
+        for _ in 0..30 {
+            let stats = m.step();
+            assert!(stats.loss.unwrap().is_finite());
+        }
+        // After 30 steps (> target_sync = 25) the target net must match
+        // the online net's first conv filter.
+        let online = m.session.variable_value(m.online_vars[0]).unwrap().clone();
+        let target = m.session.variable_value(m.target_vars[0]).unwrap().clone();
+        assert_eq!(online.shape(), target.shape());
+    }
+
+    #[test]
+    fn profile_contains_dqn_signature_ops() {
+        // Figure 6a's deepq op mix: Conv2D and its two backprops, MatMul,
+        // ApplyRMSProp.
+        let mut m = Deepq::build(&BuildConfig::training());
+        m.step(); // warm up replay
+        m.session_mut().enable_tracing();
+        m.step();
+        let trace = m.session_mut().take_trace();
+        for op in ["Conv2D", "Conv2DBackpropFilter", "Conv2DBackpropInput", "MatMul", "ApplyRMSProp"] {
+            assert!(
+                trace.events.iter().any(|e| e.op == op),
+                "expected {op} in the deepq training profile"
+            );
+        }
+    }
+
+    #[test]
+    fn inference_plays_the_game() {
+        let mut m = Deepq::build(&BuildConfig::inference());
+        let stats = m.step();
+        assert!(stats.metric.is_some());
+    }
+
+    #[test]
+    fn target_variables_are_not_trainable() {
+        let m = Deepq::build(&BuildConfig::training());
+        let g = m.session().graph();
+        // No Apply op may touch a target variable.
+        for (_, n) in g.iter() {
+            if matches!(n.kind, OpKind::ApplyRmsProp { .. }) {
+                let var = n.inputs[0];
+                assert!(
+                    m.online_vars.contains(&var),
+                    "optimizer updates a non-online variable"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The eight reference workloads.
+
+mod common;
+
+pub mod alexnet;
+pub mod autoenc;
+pub mod deepq;
+pub mod memnet;
+pub mod residual;
+pub mod seq2seq;
+pub mod speech;
+pub mod vgg;

@@ -1,0 +1,176 @@
+//! The standard model interface.
+//!
+//! "All Fathom models are wrapped in a standard interface which exposes
+//! the same functions for every model. Thus, evaluating training,
+//! inference, or simply inspecting the model's dataflow graph is
+//! straightforward." (paper §VI). [`Workload`] is that interface.
+
+use fathom_dataflow::{Device, Session};
+
+/// Whether a workload instance executes forward-only or full update steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Forward pass only.
+    Inference,
+    /// Forward and backward passes plus parameter updates.
+    #[default]
+    Training,
+}
+
+impl Mode {
+    /// Both modes, for sweeps.
+    pub const ALL: [Mode; 2] = [Mode::Inference, Mode::Training];
+
+    /// Short label ("inference" / "training").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Inference => "inference",
+            Mode::Training => "training",
+        }
+    }
+}
+
+/// Model sizing regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelScale {
+    /// CPU-tractable dimensions with the paper-true topology (layer counts
+    /// and types are exact; widths and spatial extents are reduced). Used
+    /// by tests and the bundled benches.
+    #[default]
+    Reference,
+    /// The original papers' dimensions. Orders of magnitude slower on a
+    /// CPU; provided for completeness and graph inspection.
+    Full,
+}
+
+/// Static facts about a workload — the row it contributes to the paper's
+/// Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadMetadata {
+    /// Canonical short name (`"seq2seq"`, `"memnet"`, …).
+    pub name: &'static str,
+    /// Publication year of the original model.
+    pub year: u16,
+    /// Original-work citation.
+    pub reference: &'static str,
+    /// Neuronal style (Table II column).
+    pub style: &'static str,
+    /// Layer count of the canonical configuration.
+    pub layers: usize,
+    /// Learning task (supervised / unsupervised / reinforcement).
+    pub task: &'static str,
+    /// Dataset of record (the corpus this suite synthesizes a stand-in
+    /// for).
+    pub dataset: &'static str,
+    /// One-line purpose and legacy.
+    pub purpose: &'static str,
+}
+
+/// Statistics from one workload step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepStats {
+    /// Training loss, when the mode computes one.
+    pub loss: Option<f32>,
+    /// Auxiliary metric (episode reward for `deepq`, mean confidence for
+    /// inference runs, …), when meaningful.
+    pub metric: Option<f32>,
+}
+
+/// The standard interface every Fathom workload implements.
+pub trait Workload {
+    /// Static facts about the model.
+    fn metadata(&self) -> &WorkloadMetadata;
+
+    /// The mode this instance was built for.
+    fn mode(&self) -> Mode;
+
+    /// Executes one update step (training) or one batched forward pass
+    /// (inference) on freshly generated data.
+    fn step(&mut self) -> StepStats;
+
+    /// The underlying session, for tracing and inspection.
+    fn session(&self) -> &Session;
+
+    /// Mutable session access, e.g. to enable tracing or switch devices.
+    fn session_mut(&mut self) -> &mut Session;
+
+    /// Canonical short name.
+    fn name(&self) -> &'static str {
+        self.metadata().name
+    }
+}
+
+/// Construction parameters shared by every workload.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Inference or training graph.
+    pub mode: Mode,
+    /// Sizing regime.
+    pub scale: ModelScale,
+    /// Execution device.
+    pub device: Device,
+    /// Seed for parameters, data, and sampling ops.
+    pub seed: u64,
+}
+
+impl BuildConfig {
+    /// Training at reference scale on a single-threaded CPU.
+    pub fn training() -> Self {
+        BuildConfig {
+            mode: Mode::Training,
+            scale: ModelScale::Reference,
+            device: Device::cpu(1),
+            seed: 0xFA7408,
+        }
+    }
+
+    /// Inference at reference scale on a single-threaded CPU.
+    pub fn inference() -> Self {
+        BuildConfig { mode: Mode::Inference, ..BuildConfig::training() }
+    }
+
+    /// Replaces the device.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the scale.
+    pub fn with_scale(mut self, scale: ModelScale) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig::training()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::Training.label(), "training");
+        assert_eq!(Mode::Inference.label(), "inference");
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = BuildConfig::inference().with_seed(9);
+        assert_eq!(c.mode, Mode::Inference);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.scale, ModelScale::Reference);
+        let c = c.with_scale(ModelScale::Full);
+        assert_eq!(c.scale, ModelScale::Full);
+    }
+}

@@ -1,0 +1,218 @@
+//! The bAbI plain-text task format (Weston et al.).
+//!
+//! Real bAbI files look like:
+//!
+//! ```text
+//! 1 Mary went to the kitchen.
+//! 2 John moved to the garden.
+//! 3 Where is Mary?	kitchen	1
+//! 1 Sandra travelled to the office.
+//! ...
+//! ```
+//!
+//! Lines are numbered within a story; a question line carries a tab-
+//! separated answer and supporting-fact ids; numbering restarting at 1
+//! begins a new story. This module parses that format and serializes the
+//! synthetic generator's stories into it, so the two corpora are
+//! interchangeable.
+
+use std::fmt::Write as _;
+
+use crate::babi::{BabiTask, Story};
+
+/// A parsed bAbI story: statements, then one question with its answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextStory {
+    /// Statement sentences, in order, lowercased, without punctuation.
+    pub statements: Vec<String>,
+    /// The question text (without the trailing question mark).
+    pub question: String,
+    /// The answer token.
+    pub answer: String,
+    /// Supporting-fact line numbers, when present.
+    pub supporting: Vec<usize>,
+}
+
+/// Errors produced while parsing bAbI text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BabiParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BabiParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "babi parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BabiParseError {}
+
+fn normalize(sentence: &str) -> String {
+    sentence
+        .trim()
+        .trim_end_matches(['.', '?'])
+        .to_lowercase()
+}
+
+/// Parses bAbI-format text into stories. Stories with no question are
+/// dropped (matching how readers of the real corpus treat trailing
+/// fragments).
+///
+/// # Errors
+///
+/// Returns an error for unnumbered lines or question lines without an
+/// answer field.
+pub fn parse(text: &str) -> Result<Vec<TextStory>, BabiParseError> {
+    let mut stories = Vec::new();
+    let mut statements: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (num_str, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| BabiParseError { line: lineno + 1, message: "missing line number".into() })?;
+        let num: usize = num_str
+            .parse()
+            .map_err(|_| BabiParseError { line: lineno + 1, message: format!("bad line number '{num_str}'") })?;
+        if num == 1 {
+            statements.clear();
+        }
+        if rest.contains('?') {
+            // Question line: "Where is Mary?\tkitchen\t1"
+            let mut fields = rest.split('\t');
+            let question = normalize(fields.next().unwrap_or_default());
+            let answer = fields
+                .next()
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .ok_or_else(|| BabiParseError {
+                    line: lineno + 1,
+                    message: "question without an answer field".into(),
+                })?
+                .to_lowercase();
+            let supporting = fields
+                .next()
+                .map(|s| s.split_whitespace().filter_map(|t| t.parse().ok()).collect())
+                .unwrap_or_default();
+            stories.push(TextStory {
+                statements: statements.clone(),
+                question,
+                answer,
+                supporting,
+            });
+        } else {
+            statements.push(normalize(rest));
+        }
+    }
+    Ok(stories)
+}
+
+/// Serializes one generated [`Story`] in the bAbI text format, using the
+/// generator's vocabulary for surface forms.
+pub fn serialize_story(task: &BabiTask, story: &Story) -> String {
+    let mut out = String::new();
+    let mut support_line = 0;
+    for (i, sent) in story.sentences.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{} {} {} to the {}.",
+            i + 1,
+            capitalize(task.word_str(sent[0])),
+            task.word_str(sent[1]),
+            task.word_str(sent[2]),
+        );
+        if sent[0] == story.question {
+            support_line = i + 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} Where is {}?\t{}\t{}",
+        story.sentences.len() + 1,
+        capitalize(task.word_str(story.question)),
+        task.word_str(story.answer_word),
+        support_line
+    );
+    out
+}
+
+fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "1 Mary went to the kitchen.\n\
+                          2 John moved to the garden.\n\
+                          3 Where is Mary?\tkitchen\t1\n\
+                          1 Sandra travelled to the office.\n\
+                          2 Where is Sandra?\toffice\t1\n";
+
+    #[test]
+    fn parses_the_reference_layout() {
+        let stories = parse(SAMPLE).unwrap();
+        assert_eq!(stories.len(), 2);
+        assert_eq!(stories[0].statements.len(), 2);
+        assert_eq!(stories[0].statements[0], "mary went to the kitchen");
+        assert_eq!(stories[0].question, "where is mary");
+        assert_eq!(stories[0].answer, "kitchen");
+        assert_eq!(stories[0].supporting, vec![1]);
+        // Numbering reset started a fresh story.
+        assert_eq!(stories[1].statements.len(), 1);
+        assert_eq!(stories[1].answer, "office");
+    }
+
+    #[test]
+    fn rejects_unnumbered_lines() {
+        let err = parse("Mary went to the kitchen.").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("bad line number") || err.message.contains("missing"));
+    }
+
+    #[test]
+    fn rejects_answerless_questions() {
+        let err = parse("1 Where is Mary?").unwrap_err();
+        assert!(err.message.contains("without an answer"));
+    }
+
+    #[test]
+    fn generated_stories_round_trip() {
+        let mut task = BabiTask::new(6, 42);
+        for _ in 0..20 {
+            let story = task.story();
+            let text = serialize_story(&task, &story);
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed.len(), 1, "exactly one story in: {text}");
+            let p = &parsed[0];
+            assert_eq!(p.statements.len(), story.sentences.len());
+            assert_eq!(p.answer, task.word_str(story.answer_word));
+            assert!(p.question.contains(task.word_str(story.question)));
+            // The supporting fact is the LAST mention of the entity.
+            let support = p.supporting[0];
+            assert_eq!(story.sentences[support - 1][0], story.question);
+            assert!(
+                story.sentences[support..]
+                    .iter()
+                    .all(|s| s[0] != story.question),
+                "supporting fact must be the most recent mention"
+            );
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = "1 Mary went to the kitchen.\n\n2 Where is Mary?\tkitchen\t1\n";
+        assert_eq!(parse(text).unwrap().len(), 1);
+    }
+}

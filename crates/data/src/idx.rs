@@ -1,0 +1,194 @@
+//! The IDX container format used by the original MNIST distribution.
+//!
+//! Reading lets the suite consume real `train-images-idx3-ubyte` files
+//! when a user has them; writing lets the synthetic digit corpus be
+//! exported for inspection with standard MNIST tooling. Only the two
+//! element types MNIST uses (u8, f32) are supported.
+
+use std::io::{self, Read, Write};
+
+use fathom_tensor::{Shape, Tensor};
+
+/// Errors produced while reading IDX data.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an IDX stream, or an unsupported element type / rank.
+    Format(String),
+}
+
+impl std::fmt::Display for IdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "idx i/o error: {e}"),
+            IdxError::Format(msg) => write!(f, "invalid idx data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+/// IDX type codes (subset).
+const TYPE_U8: u8 = 0x08;
+const TYPE_F32: u8 = 0x0D;
+
+/// Reads an IDX stream into a tensor. `u8` elements are scaled into
+/// `[0, 1]` (the convention every MNIST loader uses); `f32` elements are
+/// taken verbatim.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Format`] for non-IDX data, unsupported element
+/// types, or ranks above 4.
+pub fn read_idx(mut r: impl Read) -> Result<Tensor, IdxError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic[0] != 0 || magic[1] != 0 {
+        return Err(IdxError::Format("bad magic prefix".into()));
+    }
+    let type_code = magic[2];
+    let rank = magic[3] as usize;
+    if rank == 0 || rank > 4 {
+        return Err(IdxError::Format(format!("unsupported rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        dims.push(u32::from_be_bytes(b) as usize);
+    }
+    let shape = Shape::new(dims);
+    let n = shape.num_elements();
+    let data = match type_code {
+        TYPE_U8 => {
+            let mut bytes = vec![0u8; n];
+            r.read_exact(&mut bytes)?;
+            bytes.into_iter().map(|b| b as f32 / 255.0).collect()
+        }
+        TYPE_F32 => {
+            let mut data = vec![0.0f32; n];
+            for v in &mut data {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                *v = f32::from_be_bytes(b);
+            }
+            data
+        }
+        other => return Err(IdxError::Format(format!("unsupported element type 0x{other:02x}"))),
+    };
+    Ok(Tensor::from_vec(data, shape))
+}
+
+/// Writes a tensor as IDX with u8 elements, clamping values into
+/// `[0, 1]` and scaling to `0..=255` (the MNIST image convention).
+///
+/// # Errors
+///
+/// Returns an I/O error from the writer.
+pub fn write_idx_u8(t: &Tensor, mut w: impl Write) -> Result<(), IdxError> {
+    let rank = t.shape().rank();
+    assert!(rank >= 1 && rank <= 4, "idx supports rank 1..=4, got {rank}");
+    w.write_all(&[0, 0, TYPE_U8, rank as u8])?;
+    for &d in t.shape().dims() {
+        w.write_all(&(d as u32).to_be_bytes())?;
+    }
+    let bytes: Vec<u8> = t
+        .data()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Writes a tensor as IDX with big-endian f32 elements (exact).
+///
+/// # Errors
+///
+/// Returns an I/O error from the writer.
+pub fn write_idx_f32(t: &Tensor, mut w: impl Write) -> Result<(), IdxError> {
+    let rank = t.shape().rank();
+    assert!(rank >= 1 && rank <= 4, "idx supports rank 1..=4, got {rank}");
+    w.write_all(&[0, 0, TYPE_F32, rank as u8])?;
+    for &d in t.shape().dims() {
+        w.write_all(&(d as u32).to_be_bytes())?;
+    }
+    for &v in t.data() {
+        w.write_all(&v.to_be_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist::DigitCorpus;
+
+    #[test]
+    fn f32_round_trip_is_exact() {
+        let t = Tensor::from_vec(vec![0.0, -1.5, 3.25, 1e-7, 42.0, -0.0], [2, 3]);
+        let mut buf = Vec::new();
+        write_idx_f32(&t, &mut buf).unwrap();
+        let back = read_idx(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn u8_round_trip_quantizes() {
+        let t = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25], [4]);
+        let mut buf = Vec::new();
+        write_idx_u8(&t, &mut buf).unwrap();
+        let back = read_idx(buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn synthetic_digits_export_as_mnist_images() {
+        // Export a batch in exactly the layout of train-images-idx3-ubyte.
+        let mut corpus = DigitCorpus::new(5);
+        let (images, _) = corpus.batch(3);
+        let as_cube = images.reshaped([3, 28, 28]);
+        let mut buf = Vec::new();
+        write_idx_u8(&as_cube, &mut buf).unwrap();
+        // Header: magic 0x00000803, dims 3, 28, 28.
+        assert_eq!(&buf[..4], &[0, 0, 0x08, 3]);
+        assert_eq!(&buf[4..8], &3u32.to_be_bytes());
+        assert_eq!(&buf[8..12], &28u32.to_be_bytes());
+        assert_eq!(buf.len(), 16 + 3 * 28 * 28);
+        let back = read_idx(buf.as_slice()).unwrap();
+        assert_eq!(back.shape().dims(), &[3, 28, 28]);
+        assert!(back.max() <= 1.0 && back.min() >= 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_idx(&b"\x01\x00\x08\x01\x00\x00\x00\x01\xff"[..]).unwrap_err();
+        assert!(matches!(err, IdxError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_element_type() {
+        // Type 0x0B (i16) is valid IDX but unsupported here.
+        let err = read_idx(&b"\x00\x00\x0B\x01\x00\x00\x00\x01\x00\x01"[..]).unwrap_err();
+        assert!(err.to_string().contains("unsupported element type"));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let t = Tensor::ones([10]);
+        let mut buf = Vec::new();
+        write_idx_f32(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(matches!(read_idx(buf.as_slice()).unwrap_err(), IdxError::Io(_)));
+    }
+}

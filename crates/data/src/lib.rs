@@ -1,0 +1,20 @@
+//! Deterministic synthetic dataset generators for the Fathom workloads.
+//!
+//! The paper runs each workload "using the same training and test data as
+//! the original paper" where possible, substituting a comparable public
+//! corpus otherwise (e.g. TIMIT for Baidu's private utterances). This
+//! reproduction goes one step further down the substitution ladder (see
+//! DESIGN.md): every corpus is *generated* with the same tensor shapes and
+//! statistical structure the real data would have, because the paper's
+//! analyses depend on the operation stream of each model, not on corpus
+//! content. All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod babi;
+pub mod babi_text;
+pub mod idx;
+pub mod imagenet;
+pub mod mnist;
+pub mod timit;
+pub mod wmt;

@@ -1,0 +1,166 @@
+//! Synthetic handwritten-digit images standing in for MNIST.
+//!
+//! Each class renders a distinct stroke pattern (line segments on a 28x28
+//! canvas) with per-sample jitter and pixel noise, giving the variational
+//! autoencoder a structured manifold to learn while keeping exactly
+//! MNIST's tensor shapes (`[batch, 784]`, values in `[0, 1]`).
+
+use fathom_tensor::{Rng, Tensor};
+
+/// Image edge length, matching MNIST.
+pub const SIDE: usize = 28;
+/// Flattened image size.
+pub const PIXELS: usize = SIDE * SIDE;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// Stroke endpoints (on a 28x28 canvas) per class, loosely tracing digit
+/// shapes. Coordinates are (row, col).
+const STROKES: [&[((f32, f32), (f32, f32))]; CLASSES] = [
+    // 0: a box
+    &[((5.0, 9.0), (5.0, 19.0)), ((5.0, 19.0), (22.0, 19.0)), ((22.0, 19.0), (22.0, 9.0)), ((22.0, 9.0), (5.0, 9.0))],
+    // 1: a vertical bar
+    &[((4.0, 14.0), (23.0, 14.0))],
+    // 2: top bar, diagonal, bottom bar
+    &[((6.0, 9.0), (6.0, 19.0)), ((6.0, 19.0), (22.0, 9.0)), ((22.0, 9.0), (22.0, 19.0))],
+    // 3: two stacked right bumps
+    &[((5.0, 9.0), (5.0, 19.0)), ((5.0, 19.0), (13.0, 19.0)), ((13.0, 9.0), (13.0, 19.0)), ((13.0, 19.0), (22.0, 19.0)), ((22.0, 19.0), (22.0, 9.0))],
+    // 4: two verticals and a crossbar
+    &[((4.0, 9.0), (14.0, 9.0)), ((14.0, 9.0), (14.0, 19.0)), ((4.0, 19.0), (23.0, 19.0))],
+    // 5: mirrored 2
+    &[((6.0, 19.0), (6.0, 9.0)), ((6.0, 9.0), (14.0, 9.0)), ((14.0, 9.0), (14.0, 19.0)), ((14.0, 19.0), (22.0, 19.0)), ((22.0, 19.0), (22.0, 9.0))],
+    // 6: left spine with lower loop
+    &[((5.0, 14.0), (22.0, 9.0)), ((22.0, 9.0), (22.0, 19.0)), ((22.0, 19.0), (14.0, 19.0)), ((14.0, 19.0), (14.0, 9.0))],
+    // 7: top bar and diagonal
+    &[((5.0, 9.0), (5.0, 19.0)), ((5.0, 19.0), (23.0, 11.0))],
+    // 8: two boxes
+    &[((5.0, 10.0), (5.0, 18.0)), ((5.0, 18.0), (13.0, 18.0)), ((13.0, 18.0), (13.0, 10.0)), ((13.0, 10.0), (5.0, 10.0)), ((13.0, 10.0), (22.0, 10.0)), ((22.0, 10.0), (22.0, 18.0)), ((22.0, 18.0), (13.0, 18.0))],
+    // 9: upper loop with right spine
+    &[((5.0, 10.0), (5.0, 18.0)), ((5.0, 10.0), (13.0, 10.0)), ((13.0, 10.0), (13.0, 18.0)), ((5.0, 18.0), (23.0, 18.0))],
+];
+
+/// Synthetic digit-image generator.
+#[derive(Debug, Clone)]
+pub struct DigitCorpus {
+    rng: Rng,
+}
+
+impl DigitCorpus {
+    /// Creates a deterministic generator.
+    pub fn new(seed: u64) -> Self {
+        DigitCorpus { rng: Rng::seeded(seed) }
+    }
+
+    /// Renders one image of the given class into a `[PIXELS]` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= CLASSES`.
+    pub fn render(&mut self, class: usize) -> Vec<f32> {
+        assert!(class < CLASSES, "class {class} out of range");
+        let mut img = vec![0.0f32; PIXELS];
+        let jitter_r = self.rng.normal() * 1.0;
+        let jitter_c = self.rng.normal() * 1.0;
+        let scale = 1.0 + self.rng.normal() * 0.05;
+        for &((r0, c0), (r1, c1)) in STROKES[class] {
+            let steps = 40;
+            for s in 0..=steps {
+                let t = s as f32 / steps as f32;
+                let r = (r0 + (r1 - r0) * t) * scale + jitter_r;
+                let c = (c0 + (c1 - c0) * t) * scale + jitter_c;
+                stamp(&mut img, r, c);
+            }
+        }
+        // Pixel noise, clamped to [0, 1].
+        for v in &mut img {
+            *v = (*v + 0.05 * self.rng.normal().abs()).clamp(0.0, 1.0);
+        }
+        img
+    }
+
+    /// Generates a minibatch `(images [batch, PIXELS], labels [batch])`
+    /// with uniformly random classes.
+    pub fn batch(&mut self, batch: usize) -> (Tensor, Tensor) {
+        let mut images = Vec::with_capacity(batch * PIXELS);
+        let mut labels = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let class = self.rng.below(CLASSES);
+            images.extend(self.render(class));
+            labels.push(class as f32);
+        }
+        (
+            Tensor::from_vec(images, [batch, PIXELS]),
+            Tensor::from_vec(labels, [batch]),
+        )
+    }
+}
+
+/// Deposits a soft 2x2 dot at a fractional coordinate.
+fn stamp(img: &mut [f32], r: f32, c: f32) {
+    let (ri, ci) = (r.floor() as isize, c.floor() as isize);
+    for dr in 0..2 {
+        for dc in 0..2 {
+            let (rr, cc) = (ri + dr, ci + dc);
+            if (0..SIDE as isize).contains(&rr) && (0..SIDE as isize).contains(&cc) {
+                let w = (1.0 - (r - rr as f32).abs().min(1.0)) * (1.0 - (c - cc as f32).abs().min(1.0));
+                let px = &mut img[rr as usize * SIDE + cc as usize];
+                *px = (*px + w).min(1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_valid_probabilities() {
+        let mut c = DigitCorpus::new(1);
+        let (images, labels) = c.batch(16);
+        assert_eq!(images.shape().dims(), &[16, PIXELS]);
+        assert!(images.min() >= 0.0 && images.max() <= 1.0);
+        for &l in labels.data() {
+            assert!((l as usize) < CLASSES);
+        }
+    }
+
+    #[test]
+    fn images_have_ink() {
+        let mut c = DigitCorpus::new(2);
+        for class in 0..CLASSES {
+            let img = c.render(class);
+            let ink: f32 = img.iter().sum();
+            assert!(ink > 10.0, "class {class} rendered almost nothing");
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean intra-class distance should be well below inter-class
+        // distance for at least the easy pairs (0 vs 1).
+        let mut c = DigitCorpus::new(3);
+        let a1 = c.render(0);
+        let a2 = c.render(0);
+        let b = c.render(1);
+        let d = |x: &[f32], y: &[f32]| -> f32 {
+            x.iter().zip(y).map(|(p, q)| (p - q) * (p - q)).sum()
+        };
+        assert!(d(&a1, &a2) < d(&a1, &b), "0s look more like 1s than each other");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DigitCorpus::new(7);
+        let mut b = DigitCorpus::new(7);
+        assert_eq!(a.batch(4).0, b.batch(4).0);
+    }
+
+    #[test]
+    fn samples_of_one_class_vary() {
+        let mut c = DigitCorpus::new(9);
+        let a = c.render(5);
+        let b = c.render(5);
+        assert_ne!(a, b, "jitter should differentiate samples");
+    }
+}

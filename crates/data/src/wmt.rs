@@ -1,0 +1,174 @@
+//! Synthetic translation corpus standing in for WMT-15.
+//!
+//! Sentence pairs are generated from a probabilistic source grammar with a
+//! deterministic token-level transduction (offset + reversal) into the
+//! target language, so the mapping is learnable while token statistics
+//! stay Zipf-like, as in natural corpora.
+
+use fathom_tensor::{Rng, Tensor};
+
+/// Reserved token id: padding.
+pub const PAD: usize = 0;
+/// Reserved token id: start-of-sequence (decoder input).
+pub const GO: usize = 1;
+/// Reserved token id: end-of-sequence.
+pub const EOS: usize = 2;
+/// First id available to content words.
+pub const FIRST_WORD: usize = 3;
+
+/// A deterministic synthetic parallel corpus.
+#[derive(Debug, Clone)]
+pub struct TranslationCorpus {
+    vocab: usize,
+    max_len: usize,
+    rng: Rng,
+}
+
+/// One minibatch of sentence pairs, encoded as `f32` token-id tensors.
+#[derive(Debug, Clone)]
+pub struct TranslationBatch {
+    /// Source tokens `[batch, src_len]` (padded with [`PAD`]).
+    pub source: Tensor,
+    /// Decoder inputs `[batch, tgt_len]`: `GO` followed by target tokens.
+    pub target_in: Tensor,
+    /// Decoder outputs `[batch, tgt_len]`: target tokens followed by `EOS`.
+    pub target_out: Tensor,
+}
+
+impl TranslationCorpus {
+    /// Creates a corpus over `vocab` token ids with sentences up to
+    /// `max_len` content words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab <= FIRST_WORD + 1` or `max_len == 0`.
+    pub fn new(vocab: usize, max_len: usize, seed: u64) -> Self {
+        assert!(vocab > FIRST_WORD + 1, "vocab {vocab} too small for reserved tokens");
+        assert!(max_len > 0, "max_len must be positive");
+        TranslationCorpus { vocab, max_len, rng: Rng::seeded(seed) }
+    }
+
+    /// Vocabulary size (shared by source and target languages).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Maximum content length per sentence.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Draws a Zipf-ish content word: low ids are much more frequent.
+    fn word(&mut self) -> usize {
+        let content = self.vocab - FIRST_WORD;
+        // Square a uniform draw to skew mass toward small ids.
+        let u = self.rng.uniform();
+        FIRST_WORD + ((u * u * content as f32) as usize).min(content - 1)
+    }
+
+    /// The deterministic "translation" of a source sentence: words are
+    /// reversed and shifted by one inside the content range.
+    pub fn translate(&self, source: &[usize]) -> Vec<usize> {
+        let content = self.vocab - FIRST_WORD;
+        source
+            .iter()
+            .rev()
+            .map(|&w| FIRST_WORD + (w - FIRST_WORD + 1) % content)
+            .collect()
+    }
+
+    /// Generates one sentence pair of exactly `len` content words.
+    pub fn pair(&mut self, len: usize) -> (Vec<usize>, Vec<usize>) {
+        let src: Vec<usize> = (0..len).map(|_| self.word()).collect();
+        let tgt = self.translate(&src);
+        (src, tgt)
+    }
+
+    /// Generates a fixed-length minibatch: every sentence has exactly
+    /// `max_len` words (the bucketing regime the original seq2seq used).
+    pub fn batch(&mut self, batch: usize) -> TranslationBatch {
+        let t = self.max_len;
+        let mut source = Tensor::zeros([batch, t]);
+        let mut target_in = Tensor::zeros([batch, t + 1]);
+        let mut target_out = Tensor::zeros([batch, t + 1]);
+        for b in 0..batch {
+            let (src, tgt) = self.pair(t);
+            for (i, &w) in src.iter().enumerate() {
+                source.set(&[b, i], w as f32);
+            }
+            target_in.set(&[b, 0], GO as f32);
+            for (i, &w) in tgt.iter().enumerate() {
+                target_in.set(&[b, i + 1], w as f32);
+                target_out.set(&[b, i], w as f32);
+            }
+            target_out.set(&[b, t], EOS as f32);
+        }
+        TranslationBatch { source, target_in, target_out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TranslationCorpus::new(100, 8, 7);
+        let mut b = TranslationCorpus::new(100, 8, 7);
+        assert_eq!(a.batch(4).source, b.batch(4).source);
+    }
+
+    #[test]
+    fn translation_is_invertible_structure() {
+        let c = TranslationCorpus::new(50, 6, 0);
+        let src = vec![3, 10, 48];
+        let tgt = c.translate(&src);
+        assert_eq!(tgt.len(), 3);
+        // Reversal: translate(src)[0] derives from src[2].
+        assert_eq!(tgt[0], FIRST_WORD + (48 - FIRST_WORD + 1) % 47);
+        assert_eq!(tgt[2], 4);
+    }
+
+    #[test]
+    fn tokens_stay_in_vocabulary() {
+        let mut c = TranslationCorpus::new(40, 10, 3);
+        let batch = c.batch(8);
+        for &v in batch.source.data().iter().chain(batch.target_out.data()) {
+            assert!((v as usize) < 40);
+        }
+    }
+
+    #[test]
+    fn decoder_tensors_are_shifted() {
+        let mut c = TranslationCorpus::new(40, 5, 9);
+        let b = c.batch(2);
+        assert_eq!(b.target_in.at(&[0, 0]), GO as f32);
+        // target_in[t+1] == target_out[t] for content positions
+        for t in 0..4 {
+            assert_eq!(b.target_in.at(&[0, t + 1]), b.target_out.at(&[0, t]));
+        }
+        assert_eq!(b.target_out.at(&[0, 5]), EOS as f32);
+    }
+
+    #[test]
+    fn zipf_skew_present() {
+        let mut c = TranslationCorpus::new(1000, 20, 5);
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..2000 {
+            let w = c.word();
+            if w < FIRST_WORD + 250 {
+                low += 1;
+            } else if w >= FIRST_WORD + 750 {
+                high += 1;
+            }
+        }
+        assert!(low > 3 * high, "low {low} vs high {high}: distribution not skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_vocab_rejected() {
+        TranslationCorpus::new(3, 5, 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Variable checkpointing: save and restore a session's trained state.
+//!
+//! The format is a small self-describing binary container (magic,
+//! version, then one record per variable: name, shape, raw f32 data,
+//! little-endian throughout). No external serialization crate is needed
+//! and files are portable across runs of the same model topology.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+use fathom_tensor::{Shape, Tensor};
+
+use crate::exec::Session;
+use crate::op::OpKind;
+
+const MAGIC: &[u8; 8] = b"FATHOMCK";
+const VERSION: u32 = 1;
+
+/// Errors produced while reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a Fathom checkpoint or has a newer version.
+    BadHeader(String),
+    /// The checkpoint does not match the session's variables.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadHeader(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// The name a variable is stored under: its debug name when present,
+/// otherwise its node id.
+fn variable_key(session: &Session, id: crate::graph::NodeId) -> String {
+    session
+        .graph()
+        .node(id)
+        .name
+        .clone()
+        .unwrap_or_else(|| id.to_string())
+}
+
+/// Writes every variable of `session` to `w`. A reader can take a `&mut`
+/// reference, so files, buffers, and sockets all work.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save(session: &Session, mut w: impl Write) -> Result<(), CheckpointError> {
+    let vars = session.graph().variables();
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u64(&mut w, vars.len() as u64)?;
+    for id in vars {
+        let key = variable_key(session, id);
+        let value = session.variable_value(id).expect("graph variables exist");
+        write_u64(&mut w, key.len() as u64)?;
+        w.write_all(key.as_bytes())?;
+        write_u64(&mut w, value.shape().rank() as u64)?;
+        for &d in value.shape().dims() {
+            write_u64(&mut w, d as u64)?;
+        }
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores variables saved by [`save`] into `session`, matching by
+/// variable name. Every variable in the session must be present in the
+/// checkpoint with an identical shape; extra checkpoint entries are an
+/// error too, so topology drift is caught loudly.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadHeader`] for foreign data,
+/// [`CheckpointError::Mismatch`] when names/shapes disagree with the
+/// session, or an I/O error.
+pub fn load(session: &mut Session, mut r: impl Read) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader("bad magic bytes".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut loaded: HashMap<String, Tensor> = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u64(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::BadHeader("variable name is not UTF-8".into()))?;
+        let rank = read_u64(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut r)? as usize);
+        }
+        let shape = Shape::new(dims);
+        let mut data = vec![0.0f32; shape.num_elements()];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        loaded.insert(name, Tensor::from_vec(data, shape));
+    }
+
+    let vars = session.graph().variables();
+    if vars.len() != loaded.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} variables, session has {}",
+            loaded.len(),
+            vars.len()
+        )));
+    }
+    for id in vars {
+        let key = variable_key(session, id);
+        let value = loaded.remove(&key).ok_or_else(|| {
+            CheckpointError::Mismatch(format!("variable '{key}' missing from checkpoint"))
+        })?;
+        let expected = session.variable_value(id).expect("graph variables exist").shape().clone();
+        if value.shape() != &expected {
+            return Err(CheckpointError::Mismatch(format!(
+                "variable '{key}' is {} in checkpoint but {} in session",
+                value.shape(),
+                expected
+            )));
+        }
+        session.assign(id, value).expect("shape verified above");
+    }
+    Ok(())
+}
+
+/// Is a variable node kind (used by tests).
+#[allow(dead_code)]
+fn is_variable(kind: &OpKind) -> bool {
+    matches!(kind, OpKind::Variable { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::graph::Graph;
+    use crate::optim::Optimizer;
+    use fathom_tensor::{Rng, Shape};
+
+    fn trained_session() -> (Graph, Session, crate::graph::NodeId, crate::graph::NodeId) {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(4, 2));
+        let t = g.placeholder("t", Shape::matrix(4, 1));
+        let mut rng = Rng::seeded(3);
+        let w = g.variable("w", Tensor::randn([2, 1], 0.0, 1.0, &mut rng));
+        let b = g.variable("b", Tensor::zeros([1]));
+        let xw = g.matmul(x, w);
+        let y = g.add_op(xw, b);
+        let e = g.sub(y, t);
+        let sq = g.square(e);
+        let loss = g.mean_all(sq);
+        let train = Optimizer::sgd(0.1).minimize_all(&mut g, loss);
+        let mut s = Session::new(g.clone(), Device::cpu(1));
+        let xs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0], [4, 2]);
+        let ts = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0], [4, 1]);
+        for _ in 0..20 {
+            s.run(&[train], &[(x, xs.clone()), (t, ts.clone())]).expect("trains");
+        }
+        (g, s, w, b)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (g, trained, w, b) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+
+        // A fresh session has different (initial) weights...
+        let mut fresh = Session::new(g, Device::cpu(1));
+        assert_ne!(fresh.variable_value(w).unwrap(), trained.variable_value(w).unwrap());
+        // ...until the checkpoint is restored.
+        load(&mut fresh, buf.as_slice()).expect("loads");
+        assert_eq!(fresh.variable_value(w).unwrap(), trained.variable_value(w).unwrap());
+        assert_eq!(fresh.variable_value(b).unwrap(), trained.variable_value(b).unwrap());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let (g, _, _, _) = trained_session();
+        let mut s = Session::new(g, Device::cpu(1));
+        let err = load(&mut s, &b"not a checkpoint"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadHeader(_) | CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn rejects_topology_mismatch() {
+        let (_, trained, _, _) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+
+        // A different model must refuse the checkpoint.
+        let mut g2 = Graph::new();
+        let _v = g2.variable("other", Tensor::zeros([3]));
+        let mut other = Session::new(g2, Device::cpu(1));
+        let err = load(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "got {err}");
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let (_, trained, _, _) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+
+        let mut g2 = Graph::new();
+        let _w = g2.variable("w", Tensor::zeros([5, 1])); // wrong shape
+        let _b = g2.variable("b", Tensor::zeros([1]));
+        let mut other = Session::new(g2, Device::cpu(1));
+        let err = load(&mut other, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checkpoint mismatch"));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let (_, trained, _, _) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+        buf.truncate(buf.len() / 2);
+        let (g, _, _, _) = trained_session();
+        let mut s = Session::new(g, Device::cpu(1));
+        assert!(matches!(load(&mut s, buf.as_slice()).unwrap_err(), CheckpointError::Io(_)));
+    }
+}

@@ -1,0 +1,885 @@
+//! The session: schedules and executes dataflow graphs.
+//!
+//! Operations are "the smallest schedulable unit" (paper §V-A); a
+//! [`Session`] walks the fetched subgraph in topological order, dispatches
+//! each operation to the device, and (when tracing is enabled) records one
+//! [`crate::trace::TraceEvent`] per execution. Inter-op overhead is kept
+//! minimal — the `overhead_check` bench verifies the paper's "<1-2%
+//! outside of operations" property.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+use fathom_tensor::kernels::conv as kconv;
+use fathom_tensor::kernels::ctc as kctc;
+use fathom_tensor::kernels::elementwise as kew;
+use fathom_tensor::kernels::matmul as kmm;
+use fathom_tensor::kernels::pool2d as kpool;
+use fathom_tensor::kernels::reduce as kred;
+use fathom_tensor::kernels::softmax as ksm;
+use fathom_tensor::kernels::transform as ktf;
+use fathom_tensor::{ExecPool, Rng, Tensor};
+
+use crate::cost;
+use crate::device::Device;
+use crate::graph::{Graph, NodeId};
+use crate::op::OpKind;
+use crate::trace::{RunTrace, TraceEvent};
+
+/// Errors produced while running a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A placeholder in the fetched subgraph was not fed.
+    MissingFeed(NodeId),
+    /// A fed value's shape disagrees with the placeholder's declaration.
+    FeedShape {
+        /// The placeholder.
+        node: NodeId,
+        /// Explanation of the mismatch.
+        msg: String,
+    },
+    /// A fetch or feed id does not belong to the session's graph.
+    UnknownNode(NodeId),
+    /// An `Apply*` op's first input is not a `Variable` node.
+    NotAVariable(NodeId),
+    /// A label tensor contained an invalid entry.
+    BadLabels(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingFeed(n) => write!(f, "placeholder {n} was not fed"),
+            ExecError::FeedShape { node, msg } => write!(f, "bad feed for {node}: {msg}"),
+            ExecError::UnknownNode(n) => write!(f, "node {n} does not belong to this session's graph"),
+            ExecError::NotAVariable(n) => write!(f, "node {n} is not a variable"),
+            ExecError::BadLabels(msg) => write!(f, "invalid labels: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A cached execution plan: topological order plus per-node liveness
+/// (the plan position after which each value is dead and can be freed).
+#[derive(Debug, Clone)]
+struct Plan {
+    order: Vec<NodeId>,
+    /// For each graph node index, the plan position of its last consumer
+    /// (`usize::MAX` for fetched nodes, which must outlive the run).
+    last_use: Vec<usize>,
+}
+
+/// Executes a [`Graph`] on a [`Device`], holding variable state, optimizer
+/// slots, and the random stream.
+///
+/// # Examples
+///
+/// ```
+/// use fathom_dataflow::{Device, Graph, Session};
+/// use fathom_tensor::{Shape, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new();
+/// let x = g.placeholder("x", Shape::vector(3));
+/// let two = g.constant(Tensor::scalar(2.0));
+/// let y = g.mul(x, two);
+/// let mut sess = Session::new(g, Device::cpu(1));
+/// let out = sess.run(&[y], &[(x, Tensor::from(vec![1.0, 2.0, 3.0]))])?;
+/// assert_eq!(out[0].data(), &[2.0, 4.0, 6.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    graph: Graph,
+    device: Device,
+    pool: ExecPool,
+    variables: HashMap<NodeId, Tensor>,
+    slots: HashMap<(NodeId, &'static str), Tensor>,
+    rng: Rng,
+    step: u64,
+    tracing: bool,
+    trace: RunTrace,
+    plan_cache: HashMap<Vec<NodeId>, Plan>,
+    /// Per-node static cost estimates, filled lazily on first traced run
+    /// so tracing adds minimal inter-op overhead.
+    cost_cache: Vec<Option<cost::OpCost>>,
+}
+
+impl Session {
+    /// Creates a session, installing every variable's initial value.
+    pub fn new(graph: Graph, device: Device) -> Self {
+        Session::with_seed(graph, device, 0x5eed)
+    }
+
+    /// Creates a session with an explicit random seed for the sampling
+    /// operations.
+    pub fn with_seed(graph: Graph, device: Device, seed: u64) -> Self {
+        let mut variables = HashMap::new();
+        for (id, node) in graph.iter() {
+            if let OpKind::Variable { init } = &node.kind {
+                variables.insert(id, init.clone());
+            }
+        }
+        let pool = device.pool();
+        Session {
+            graph,
+            device,
+            pool,
+            variables,
+            slots: HashMap::new(),
+            rng: Rng::seeded(seed),
+            step: 0,
+            tracing: false,
+            trace: RunTrace::new(),
+            plan_cache: HashMap::new(),
+            cost_cache: Vec::new(),
+        }
+    }
+
+    /// The graph this session executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The session's device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Switches devices (e.g. to sweep intra-op thread counts). Variable
+    /// state is preserved.
+    pub fn set_device(&mut self, device: Device) {
+        self.pool = device.pool();
+        self.device = device;
+    }
+
+    /// Starts recording a [`TraceEvent`] per executed op.
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    /// Stops recording and returns everything captured so far.
+    pub fn take_trace(&mut self) -> RunTrace {
+        self.tracing = false;
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Number of completed `run` calls.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Current value of a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NotAVariable`] if `id` is not a variable of
+    /// this graph.
+    pub fn variable_value(&self, id: NodeId) -> Result<&Tensor, ExecError> {
+        self.variables.get(&id).ok_or(ExecError::NotAVariable(id))
+    }
+
+    /// Overwrites a variable's value (used for target-network syncs in
+    /// `deepq` and test setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NotAVariable`] if `id` is not a variable, or
+    /// [`ExecError::FeedShape`] if the shape differs.
+    pub fn assign(&mut self, id: NodeId, value: Tensor) -> Result<(), ExecError> {
+        let slot = self.variables.get_mut(&id).ok_or(ExecError::NotAVariable(id))?;
+        if slot.shape() != value.shape() {
+            return Err(ExecError::FeedShape {
+                node: id,
+                msg: format!("variable is {}, assigned {}", slot.shape(), value.shape()),
+            });
+        }
+        *slot = value;
+        Ok(())
+    }
+
+    /// Executes the subgraph needed for `fetches`, feeding placeholders
+    /// from `feeds`, and returns the fetched values in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids, missing or mis-shaped feeds,
+    /// malformed labels, or `Apply*` ops whose target is not a variable.
+    pub fn run(&mut self, fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<Vec<Tensor>, ExecError> {
+        let started = Instant::now();
+        for &f in fetches {
+            if f.index() >= self.graph.len() {
+                return Err(ExecError::UnknownNode(f));
+            }
+        }
+        let mut feed_map: HashMap<NodeId, &Tensor> = HashMap::with_capacity(feeds.len());
+        for (id, value) in feeds {
+            if id.index() >= self.graph.len() {
+                return Err(ExecError::UnknownNode(*id));
+            }
+            let declared = self.graph.shape(*id);
+            if declared != value.shape() {
+                return Err(ExecError::FeedShape {
+                    node: *id,
+                    msg: format!("declared {declared}, fed {}", value.shape()),
+                });
+            }
+            feed_map.insert(*id, value);
+        }
+
+        let plan = self.plan(fetches);
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        // Liveness-based eager release: drop intermediates after their
+        // last consumer runs, tracking the peak footprint as we go.
+        let mut live_bytes: usize = 0;
+        let mut peak_bytes: usize = 0;
+        for (pos, &id) in plan.order.iter().enumerate() {
+            let value = self.execute_node(id, &feed_map, &values)?;
+            live_bytes += value.len() * 4;
+            peak_bytes = peak_bytes.max(live_bytes);
+            values[id.index()] = Some(value);
+            if plan.last_use[id.index()] <= pos {
+                // No consumer (pure side-effect node): free immediately.
+                if let Some(t) = values[id.index()].take() {
+                    live_bytes -= t.len() * 4;
+                }
+            }
+            for &input in &self.graph.node(id).inputs {
+                if plan.last_use[input.index()] == pos {
+                    if let Some(t) = values[input.index()].take() {
+                        live_bytes -= t.len() * 4;
+                    }
+                }
+            }
+        }
+        let out = fetches
+            .iter()
+            .map(|f| values[f.index()].clone().expect("fetched node kept alive"))
+            .collect();
+        self.step += 1;
+        if self.tracing {
+            self.trace.total_nanos += started.elapsed().as_nanos() as f64;
+            self.trace.steps += 1;
+            self.trace.peak_live_bytes = self.trace.peak_live_bytes.max(peak_bytes as u64);
+        }
+        Ok(out)
+    }
+
+    /// Convenience wrapper fetching a single node.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run`].
+    pub fn run1(&mut self, fetch: NodeId, feeds: &[(NodeId, Tensor)]) -> Result<Tensor, ExecError> {
+        Ok(self.run(&[fetch], feeds)?.remove(0))
+    }
+
+    /// Topological execution plan for a fetch set (cached), with per-node
+    /// last-use positions for eager memory release.
+    fn plan(&mut self, fetches: &[NodeId]) -> Plan {
+        let key: Vec<NodeId> = fetches.to_vec();
+        if let Some(plan) = self.plan_cache.get(&key) {
+            return plan.clone();
+        }
+        let mut needed = vec![false; self.graph.len()];
+        let mut stack: Vec<NodeId> = fetches.to_vec();
+        while let Some(id) = stack.pop() {
+            if needed[id.index()] {
+                continue;
+            }
+            needed[id.index()] = true;
+            stack.extend(self.graph.node(id).inputs.iter().copied());
+        }
+        // Insertion order is a valid topological order (append-only graph).
+        let order: Vec<NodeId> = self
+            .graph
+            .iter()
+            .filter(|(id, _)| needed[id.index()])
+            .map(|(id, _)| id)
+            .collect();
+        let mut last_use = vec![0usize; self.graph.len()];
+        for (pos, &id) in order.iter().enumerate() {
+            for &input in &self.graph.node(id).inputs {
+                last_use[input.index()] = pos;
+            }
+        }
+        for &f in fetches {
+            last_use[f.index()] = usize::MAX;
+        }
+        let plan = Plan { order, last_use };
+        self.plan_cache.insert(key, plan.clone());
+        plan
+    }
+
+    /// Executes one node and (if tracing) records its event.
+    fn execute_node(
+        &mut self,
+        id: NodeId,
+        feeds: &HashMap<NodeId, &Tensor>,
+        values: &[Option<Tensor>],
+    ) -> Result<Tensor, ExecError> {
+        let started = Instant::now();
+        let value = self.dispatch(id, feeds, values)?;
+        if self.tracing {
+            if self.cost_cache.is_empty() {
+                self.cost_cache = vec![None; self.graph.len()];
+            }
+            let op_cost = match self.cost_cache[id.index()] {
+                Some(c) => c,
+                None => {
+                    let node = self.graph.node(id);
+                    let input_shapes: Vec<_> =
+                        node.inputs.iter().map(|&i| self.graph.shape(i)).collect();
+                    let c = cost::estimate(node, &input_shapes);
+                    self.cost_cache[id.index()] = Some(c);
+                    c
+                }
+            };
+            let node = self.graph.node(id);
+            let nanos = match &self.device {
+                Device::Cpu(_) => started.elapsed().as_nanos() as f64,
+                Device::SimCpu { threads, model } => model.model_nanos(
+                    started.elapsed().as_nanos() as f64,
+                    op_cost,
+                    *threads,
+                    node.kind.uses_intra_op_pool(),
+                ),
+                Device::SimGpu(model) => model.model_nanos(&node.kind, op_cost),
+            };
+            self.trace.events.push(TraceEvent {
+                node: id,
+                op: node.kind.name(),
+                class: node.kind.class(),
+                step: self.step,
+                nanos,
+                cost: op_cost,
+            });
+        }
+        Ok(value)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(
+        &mut self,
+        id: NodeId,
+        feeds: &HashMap<NodeId, &Tensor>,
+        values: &[Option<Tensor>],
+    ) -> Result<Tensor, ExecError> {
+        // Clone the (cheap) op metadata so match arms may mutate session
+        // state; large constants are handled before the clone.
+        if let OpKind::Constant(t) = &self.graph.node(id).kind {
+            return Ok(t.clone());
+        }
+        let kind = self.graph.node(id).kind.clone();
+        let inputs = self.graph.node(id).inputs.clone();
+        let input = |i: usize| -> &Tensor {
+            values[inputs[i].index()]
+                .as_ref()
+                .expect("input executed before use")
+        };
+        let pool = self.pool.clone();
+        let pool = &pool;
+        let out = match &kind {
+            OpKind::Placeholder { .. } => {
+                (*feeds.get(&id).ok_or(ExecError::MissingFeed(id))?).clone()
+            }
+            OpKind::Variable { .. } => self.variables[&id].clone(),
+            OpKind::Constant(t) => t.clone(),
+            OpKind::Identity | OpKind::StopGradient => input(0).clone(),
+
+            OpKind::MatMul { transpose_a, transpose_b } => {
+                kmm::matmul(input(0), input(1), *transpose_a, *transpose_b, pool)
+            }
+
+            OpKind::Conv2D(spec) => kconv::conv2d(input(0), input(1), *spec, pool),
+            OpKind::Conv2DBackpropInput { spec, input_shape } => {
+                kconv::conv2d_backprop_input(input_shape, input(0), input(1), *spec, pool)
+            }
+            OpKind::Conv2DBackpropFilter { spec, filter_shape } => {
+                kconv::conv2d_backprop_filter(input(0), filter_shape, input(1), *spec, pool)
+            }
+            OpKind::MaxPool(spec) => kpool::max_pool(input(0), *spec, pool),
+            OpKind::MaxPoolGrad(spec) => kpool::max_pool_grad(input(0), input(1), *spec, pool),
+            OpKind::AvgPool(spec) => kpool::avg_pool(input(0), *spec, pool),
+            OpKind::AvgPoolGrad { spec, input_shape } => {
+                kpool::avg_pool_grad(input_shape, input(0), *spec, pool)
+            }
+
+            OpKind::Add => kew::add(input(0), input(1), pool),
+            OpKind::Sub => kew::sub(input(0), input(1), pool),
+            OpKind::Mul => kew::mul(input(0), input(1), pool),
+            OpKind::Div => kew::div(input(0), input(1), pool),
+            OpKind::Maximum => kew::maximum(input(0), input(1), pool),
+            OpKind::Pow => kew::pow(input(0), input(1), pool),
+            OpKind::Greater => kew::binary(input(0), input(1), pool, |a, b| f32::from(a > b)),
+            OpKind::GreaterEqual => kew::binary(input(0), input(1), pool, |a, b| f32::from(a >= b)),
+            OpKind::Equal => kew::binary(input(0), input(1), pool, |a, b| f32::from(a == b)),
+            OpKind::Select => {
+                // cond ? a : b with two broadcasting passes.
+                let masked_a = kew::binary(input(0), input(1), pool, |c, a| if c != 0.0 { a } else { 0.0 });
+                let masked = kew::binary(input(0), input(2), pool, |c, b| if c != 0.0 { 0.0 } else { b });
+                kew::add(&masked_a, &masked, pool)
+            }
+            OpKind::Neg => kew::neg(input(0), pool),
+            OpKind::Exp => kew::exp(input(0), pool),
+            OpKind::Log => kew::log(input(0), pool),
+            OpKind::Sqrt => kew::sqrt(input(0), pool),
+            OpKind::Square => kew::square(input(0), pool),
+            OpKind::Tanh => kew::tanh(input(0), pool),
+            OpKind::Sigmoid => kew::sigmoid(input(0), pool),
+            OpKind::Relu => kew::relu(input(0), pool),
+            OpKind::ReluGrad => {
+                kew::binary(input(0), input(1), pool, |x, g| if x > 0.0 { g } else { 0.0 })
+            }
+            OpKind::TanhGrad => kew::binary(input(0), input(1), pool, |y, g| g * (1.0 - y * y)),
+            OpKind::SigmoidGrad => kew::binary(input(0), input(1), pool, |y, g| g * y * (1.0 - y)),
+            OpKind::AddN => {
+                let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
+                kew::add_n(&tensors, pool)
+            }
+
+            OpKind::Sum { axis, keep_dims } => match axis {
+                Some(a) => kred::reduce_axis(input(0), *a, kred::ReduceKind::Sum, *keep_dims, pool),
+                None => kred::reduce_all_sum(input(0), pool),
+            },
+            OpKind::Mean { axis, keep_dims } => match axis {
+                Some(a) => kred::reduce_axis(input(0), *a, kred::ReduceKind::Mean, *keep_dims, pool),
+                None => kred::reduce_all_mean(input(0), pool),
+            },
+            OpKind::MaxReduce { axis, keep_dims } => {
+                kred::reduce_axis(input(0), *axis, kred::ReduceKind::Max, *keep_dims, pool)
+            }
+            OpKind::Softmax => ksm::softmax(input(0), pool),
+            OpKind::LogSoftmax => ksm::log_softmax(input(0), pool),
+            OpKind::SoftmaxGrad => ksm::softmax_grad(input(0), input(1), pool),
+            OpKind::SoftmaxCrossEntropy => ksm::softmax_cross_entropy(input(0), input(1), pool).0,
+            OpKind::SoftmaxCrossEntropyGrad => {
+                ksm::softmax_cross_entropy(input(0), input(1), pool).1
+            }
+            OpKind::CtcLoss { blank } => {
+                let labels = decode_padded_labels(input(1), self.graph.shape(id).rank(), *blank)?;
+                Tensor::scalar(kctc::ctc_loss(input(0), &labels, *blank, pool).0)
+            }
+            OpKind::CtcLossGrad { blank } => {
+                let labels = decode_padded_labels(input(1), 0, *blank)?;
+                kctc::ctc_loss(input(0), &labels, *blank, pool).1
+            }
+            OpKind::Tile { reps } => ktf::tile(input(0), reps, pool),
+
+            OpKind::StandardRandomNormal { shape, mean, std } => {
+                Tensor::randn(shape.clone(), *mean, *std, &mut self.rng)
+            }
+            OpKind::RandomUniform { shape, lo, hi } => {
+                Tensor::rand_uniform(shape.clone(), *lo, *hi, &mut self.rng)
+            }
+            OpKind::DropoutMask { rate } => {
+                let keep = 1.0 / (1.0 - rate);
+                let mut mask = Tensor::zeros(input(0).shape().clone());
+                let rate = *rate;
+                for v in mask.data_mut() {
+                    *v = if self.rng.uniform() < rate { 0.0 } else { keep };
+                }
+                mask
+            }
+
+            OpKind::ApplyGradientDescent { lr } => {
+                let var_id = self.variable_target(id)?;
+                let grad = input(1).clone();
+                let lr = *lr;
+                let var = self.variables.get_mut(&var_id).expect("checked above");
+                for (v, g) in var.data_mut().iter_mut().zip(grad.data()) {
+                    *v -= lr * g;
+                }
+                var.clone()
+            }
+            OpKind::ApplyMomentum { lr, momentum } => {
+                let var_id = self.variable_target(id)?;
+                let grad = input(1).clone();
+                let (lr, momentum) = (*lr, *momentum);
+                let accum = self
+                    .slots
+                    .entry((id, "momentum"))
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                for (m, g) in accum.data_mut().iter_mut().zip(grad.data()) {
+                    *m = momentum * *m + g;
+                }
+                let accum = accum.clone();
+                let var = self.variables.get_mut(&var_id).expect("checked above");
+                for (v, m) in var.data_mut().iter_mut().zip(accum.data()) {
+                    *v -= lr * m;
+                }
+                var.clone()
+            }
+            OpKind::ApplyRmsProp { lr, decay, momentum, epsilon } => {
+                let var_id = self.variable_target(id)?;
+                let grad = input(1).clone();
+                let (lr, decay, momentum, epsilon) = (*lr, *decay, *momentum, *epsilon);
+                let ms = self
+                    .slots
+                    .entry((id, "ms"))
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                for (m, g) in ms.data_mut().iter_mut().zip(grad.data()) {
+                    *m = decay * *m + (1.0 - decay) * g * g;
+                }
+                let ms = ms.clone();
+                let mom = self
+                    .slots
+                    .entry((id, "mom"))
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                for ((mo, g), m) in mom.data_mut().iter_mut().zip(grad.data()).zip(ms.data()) {
+                    *mo = momentum * *mo + lr * g / (m.sqrt() + epsilon);
+                }
+                let mom = mom.clone();
+                let var = self.variables.get_mut(&var_id).expect("checked above");
+                for (v, mo) in var.data_mut().iter_mut().zip(mom.data()) {
+                    *v -= mo;
+                }
+                var.clone()
+            }
+            OpKind::ApplyAdam { lr, beta1, beta2, epsilon } => {
+                let var_id = self.variable_target(id)?;
+                let grad = input(1).clone();
+                let (lr, beta1, beta2, epsilon) = (*lr, *beta1, *beta2, *epsilon);
+                let t_slot = self.slots.entry((id, "t")).or_insert_with(|| Tensor::scalar(0.0));
+                let t = t_slot.scalar_value() + 1.0;
+                *t_slot = Tensor::scalar(t);
+                let m = self
+                    .slots
+                    .entry((id, "m"))
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                for (mv, g) in m.data_mut().iter_mut().zip(grad.data()) {
+                    *mv = beta1 * *mv + (1.0 - beta1) * g;
+                }
+                let m = m.clone();
+                let v2 = self
+                    .slots
+                    .entry((id, "v"))
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                for (vv, g) in v2.data_mut().iter_mut().zip(grad.data()) {
+                    *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+                }
+                let v2 = v2.clone();
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                let var = self.variables.get_mut(&var_id).expect("checked above");
+                for ((v, mv), vv) in var.data_mut().iter_mut().zip(m.data()).zip(v2.data()) {
+                    let m_hat = mv / bc1;
+                    let v_hat = vv / bc2;
+                    *v -= lr * m_hat / (v_hat.sqrt() + epsilon);
+                }
+                var.clone()
+            }
+            OpKind::Group => Tensor::scalar(0.0),
+
+            OpKind::Reshape(shape) => input(0).clone().reshaped(shape.clone()),
+            OpKind::Transpose { perm } => ktf::transpose(input(0), perm, pool),
+            OpKind::Concat { axis } => {
+                let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
+                ktf::concat(&tensors, *axis, pool)
+            }
+            OpKind::Slice { axis, start, len } => ktf::slice_axis(input(0), *axis, *start, *len, pool),
+            OpKind::Gather => ktf::gather_rows(input(0), input(1), pool),
+            OpKind::ScatterAddRows { vocab, dim } => {
+                ktf::scatter_add_rows(*vocab, *dim, input(0), input(1))
+            }
+            OpKind::ShapeOf => {
+                let dims: Vec<f32> = input(0).shape().dims().iter().map(|&d| d as f32).collect();
+                Tensor::from(dims)
+            }
+        };
+        Ok(out)
+    }
+
+    /// Resolves the variable an `Apply*` node updates.
+    fn variable_target(&self, apply: NodeId) -> Result<NodeId, ExecError> {
+        let var_id = self.graph.node(apply).inputs[0];
+        if self.variables.contains_key(&var_id) {
+            Ok(var_id)
+        } else {
+            Err(ExecError::NotAVariable(var_id))
+        }
+    }
+}
+
+/// Decodes a `[batch, max_len]` label tensor padded with `-1` into per-item
+/// label sequences.
+fn decode_padded_labels(labels: &Tensor, _rank_hint: usize, blank: usize) -> Result<Vec<Vec<usize>>, ExecError> {
+    let batch = labels.shape().dim(0);
+    let max_len = labels.shape().dim(1);
+    let mut out = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let mut seq = Vec::new();
+        for l in 0..max_len {
+            let v = labels.at(&[b, l]);
+            if v < 0.0 {
+                break;
+            }
+            let v = v as usize;
+            if v == blank {
+                return Err(ExecError::BadLabels(format!(
+                    "label {v} equals the blank symbol at [{b}, {l}]"
+                )));
+            }
+            seq.push(v);
+        }
+        out.push(seq);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fathom_tensor::Shape;
+
+    #[test]
+    fn feed_and_fetch() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(3));
+        let y = g.neg(x);
+        let mut s = Session::new(g, Device::cpu(1));
+        let out = s.run1(y, &[(x, Tensor::from(vec![1.0, -2.0, 3.0]))]).unwrap();
+        assert_eq!(out.data(), &[-1.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn missing_feed_is_an_error() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(3));
+        let y = g.neg(x);
+        let mut s = Session::new(g, Device::cpu(1));
+        assert_eq!(s.run(&[y], &[]), Err(ExecError::MissingFeed(x)));
+    }
+
+    #[test]
+    fn feed_shape_is_validated() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(3));
+        let mut s = Session::new(g, Device::cpu(1));
+        let err = s.run(&[x], &[(x, Tensor::zeros([2]))]).unwrap_err();
+        assert!(matches!(err, ExecError::FeedShape { .. }));
+    }
+
+    #[test]
+    fn constants_and_variables() {
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::from(vec![1.0, 2.0]));
+        let v = g.variable("v", Tensor::from(vec![10.0, 20.0]));
+        let sum = g.add_op(c, v);
+        let mut s = Session::new(g, Device::cpu(1));
+        assert_eq!(s.run1(sum, &[]).unwrap().data(), &[11.0, 22.0]);
+        s.assign(v, Tensor::from(vec![0.0, 0.0])).unwrap();
+        assert_eq!(s.run1(sum, &[]).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sgd_apply_updates_variable() {
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![1.0, 1.0]));
+        let grad = g.constant(Tensor::from(vec![0.5, -0.5]));
+        let apply = g.add(OpKind::ApplyGradientDescent { lr: 0.1 }, &[v, grad]);
+        let mut s = Session::new(g, Device::cpu(1));
+        s.run(&[apply], &[]).unwrap();
+        let v_now = s.variable_value(v).unwrap();
+        assert!((v_now.data()[0] - 0.95).abs() < 1e-6);
+        assert!((v_now.data()[1] - 1.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![0.0]));
+        let grad = g.constant(Tensor::from(vec![1.0]));
+        let apply = g.add(OpKind::ApplyMomentum { lr: 1.0, momentum: 0.5 }, &[v, grad]);
+        let mut s = Session::new(g, Device::cpu(1));
+        s.run(&[apply], &[]).unwrap(); // velocity 1.0, v = -1.0
+        s.run(&[apply], &[]).unwrap(); // velocity 1.5, v = -2.5
+        assert!((s.variable_value(v).unwrap().data()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsprop_normalizes_step_size() {
+        // With a constant gradient, RMSProp steps approach lr/sqrt(g^2)*g
+        // = lr * sign(g) as ms converges; verify the variable decreases.
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![5.0]));
+        let grad = g.constant(Tensor::from(vec![2.0]));
+        let apply = g.add(
+            OpKind::ApplyRmsProp { lr: 0.1, decay: 0.9, momentum: 0.0, epsilon: 1e-8 },
+            &[v, grad],
+        );
+        let mut s = Session::new(g, Device::cpu(1));
+        let mut prev = 5.0;
+        for _ in 0..10 {
+            s.run(&[apply], &[]).unwrap();
+            let now = s.variable_value(v).unwrap().data()[0];
+            assert!(now < prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize (v - 3)^2 with Adam using graph-built gradient 2(v-3).
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![0.0]));
+        let target = g.constant(Tensor::from(vec![3.0]));
+        let diff = g.sub(v, target);
+        let two = g.constant(Tensor::scalar(2.0));
+        let grad = g.mul(diff, two);
+        let apply = g.add(
+            OpKind::ApplyAdam { lr: 0.1, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 },
+            &[v, grad],
+        );
+        let mut s = Session::new(g, Device::cpu(1));
+        for _ in 0..200 {
+            s.run(&[apply], &[]).unwrap();
+        }
+        let now = s.variable_value(v).unwrap().data()[0];
+        assert!((now - 3.0).abs() < 0.05, "v = {now}");
+    }
+
+    #[test]
+    fn tracing_captures_events() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(4, 4));
+        let y = g.matmul(x, x);
+        let z = g.relu(y);
+        let mut s = Session::new(g, Device::cpu(1));
+        s.enable_tracing();
+        s.run(&[z], &[(x, Tensor::ones([4, 4]))]).unwrap();
+        let trace = s.take_trace();
+        assert_eq!(trace.steps, 1);
+        let ops: Vec<&str> = trace.events.iter().map(|e| e.op).collect();
+        assert_eq!(ops, vec!["Placeholder", "MatMul", "Relu"]);
+        assert!(trace.events[1].cost.flops > 0.0);
+    }
+
+    #[test]
+    fn sim_gpu_produces_identical_values_with_modeled_times() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(8, 8));
+        let y = g.matmul(x, x);
+        let feeds = Tensor::filled([8, 8], 0.5);
+        let mut cpu = Session::new(g.clone(), Device::cpu(1));
+        let mut gpu = Session::new(g, Device::sim_gpu());
+        gpu.enable_tracing();
+        let a = cpu.run1(y, &[(x, feeds.clone())]).unwrap();
+        let b = gpu.run1(y, &[(x, feeds)]).unwrap();
+        assert_eq!(a, b);
+        let trace = gpu.take_trace();
+        // Modeled durations must include the launch overhead.
+        assert!(trace.events.iter().all(|e| e.nanos >= 1_500.0));
+    }
+
+    #[test]
+    fn random_ops_are_deterministic_per_seed() {
+        let mut g = Graph::new();
+        let r = g.random_normal([16]);
+        let mut s1 = Session::with_seed(g.clone(), Device::cpu(1), 99);
+        let mut s2 = Session::with_seed(g, Device::cpu(1), 99);
+        assert_eq!(s1.run1(r, &[]).unwrap(), s2.run1(r, &[]).unwrap());
+    }
+
+    #[test]
+    fn dropout_mask_statistics() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(10_000));
+        let mask = g.dropout_mask(x, 0.25);
+        let mut s = Session::new(g, Device::cpu(1));
+        let m = s.run1(mask, &[(x, Tensor::zeros([10_000]))]).unwrap();
+        let zeros = m.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = m.data().iter().find(|&&v| v != 0.0).copied().unwrap();
+        assert!((zeros as f32 / 10_000.0 - 0.25).abs() < 0.03);
+        assert!((kept - 1.0 / 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_executes_only_needed_nodes() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(2));
+        let used = g.neg(x);
+        let unused = g.placeholder("unused", Shape::vector(9));
+        let _dead = g.exp(unused);
+        let mut s = Session::new(g, Device::cpu(1));
+        s.enable_tracing();
+        // Running `used` must not require feeding `unused`.
+        s.run1(used, &[(x, Tensor::zeros([2]))]).unwrap();
+        let trace = s.take_trace();
+        assert_eq!(trace.events.len(), 2);
+    }
+
+    #[test]
+    fn eager_release_keeps_peak_memory_below_sum_of_intermediates() {
+        // A long chain of equally-sized intermediates: with eager release
+        // the peak is a small multiple of one tensor, not chain_len of them.
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(10_000));
+        let mut node = x;
+        for _ in 0..50 {
+            node = g.tanh(node);
+        }
+        let mut s = Session::new(g, Device::cpu(1));
+        s.enable_tracing();
+        s.run1(node, &[(x, Tensor::zeros([10_000]))]).unwrap();
+        let trace = s.take_trace();
+        let one_tensor = 10_000 * 4;
+        assert!(trace.peak_live_bytes > 0);
+        assert!(
+            (trace.peak_live_bytes as usize) <= 4 * one_tensor,
+            "peak {} should be a few tensors, not the whole chain ({})",
+            trace.peak_live_bytes,
+            51 * one_tensor
+        );
+    }
+
+    #[test]
+    fn fetched_and_reused_values_survive_release() {
+        // x is consumed early but also fetched; y reuses an early value.
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(4));
+        let a = g.neg(x);
+        let b = g.exp(a);
+        let c = g.add_op(b, a); // `a` is consumed again after `b`
+        let out = {
+            let mut s = Session::new(g, Device::cpu(1));
+            s.run(&[c, a, x], &[(x, Tensor::from(vec![1.0, 2.0, 3.0, 4.0]))]).unwrap()
+        };
+        assert_eq!(out[1].data(), &[-1.0, -2.0, -3.0, -4.0]);
+        assert_eq!(out[2].data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!((out[0].data()[0] - ((-1.0f32).exp() - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ctc_loss_through_graph() {
+        let mut g = Graph::new();
+        let logits = g.placeholder("logits", Shape::new(vec![4, 1, 3]));
+        let labels = g.placeholder("labels", Shape::matrix(1, 2));
+        let loss = g.ctc_loss(logits, labels, 0);
+        let mut s = Session::new(g, Device::cpu(1));
+        let out = s
+            .run1(
+                loss,
+                &[
+                    (logits, Tensor::zeros([4, 1, 3])),
+                    (labels, Tensor::from_vec(vec![1.0, 2.0], [1, 2])),
+                ],
+            )
+            .unwrap();
+        assert!(out.scalar_value() > 0.0);
+        assert!(out.scalar_value().is_finite());
+    }
+
+    #[test]
+    fn shape_of_materializes_dims() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::new(vec![2, 5, 3]));
+        let sh = g.shape_of(x);
+        let mut s = Session::new(g, Device::cpu(1));
+        let out = s.run1(sh, &[(x, Tensor::zeros([2, 5, 3]))]).unwrap();
+        assert_eq!(out.data(), &[2.0, 5.0, 3.0]);
+    }
+}

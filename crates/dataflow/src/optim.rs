@@ -1,0 +1,308 @@
+//! Optimizers: gradient construction plus `Apply*` update operations.
+//!
+//! An optimizer's `minimize` extends the graph with the backward pass and
+//! one stateful `Apply*` node per variable (op class F, "Optimization"),
+//! grouped behind a single train-step handle — exactly the structure whose
+//! cost becomes visible at high thread counts in the paper's Figure 6a
+//! ("the optimizer … rises to around 7% of the execution time").
+
+use crate::grad::gradients;
+use crate::graph::{Graph, NodeId};
+use crate::op::OpKind;
+
+/// A gradient-descent-family optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Vanilla stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient.
+        momentum: f32,
+    },
+    /// RMSProp (used by the original DQN work).
+    RmsProp {
+        /// Learning rate.
+        lr: f32,
+        /// Squared-gradient decay.
+        decay: f32,
+        /// Momentum coefficient.
+        momentum: f32,
+        /// Numerical-stability constant.
+        epsilon: f32,
+    },
+    /// Adam (used by the end-to-end memory network and VAE works).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability constant.
+        epsilon: f32,
+    },
+}
+
+impl Optimizer {
+    /// SGD with a typical default rate.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr }
+    }
+
+    /// Momentum SGD with the common 0.9 coefficient.
+    pub fn momentum(lr: f32) -> Self {
+        Optimizer::Momentum { lr, momentum: 0.9 }
+    }
+
+    /// RMSProp with the DQN paper's settings.
+    pub fn rms_prop(lr: f32) -> Self {
+        Optimizer::RmsProp { lr, decay: 0.95, momentum: 0.0, epsilon: 1e-6 }
+    }
+
+    /// Adam with the original paper's defaults.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+    }
+
+    /// The `Apply*` op kind this optimizer emits.
+    fn apply_kind(&self) -> OpKind {
+        match *self {
+            Optimizer::Sgd { lr } => OpKind::ApplyGradientDescent { lr },
+            Optimizer::Momentum { lr, momentum } => OpKind::ApplyMomentum { lr, momentum },
+            Optimizer::RmsProp { lr, decay, momentum, epsilon } => {
+                OpKind::ApplyRmsProp { lr, decay, momentum, epsilon }
+            }
+            Optimizer::Adam { lr, beta1, beta2, epsilon } => {
+                OpKind::ApplyAdam { lr, beta1, beta2, epsilon }
+            }
+        }
+    }
+
+    /// Builds the backward pass for `loss` w.r.t. `variables` and one
+    /// update op per variable, returning a single `Group` node to fetch as
+    /// the train step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar or the loss's ancestry contains an
+    /// op without a gradient (see [`gradients`]).
+    pub fn minimize(&self, g: &mut Graph, loss: NodeId, variables: &[NodeId]) -> NodeId {
+        let grads = gradients(g, loss, variables);
+        let applies: Vec<NodeId> = variables
+            .iter()
+            .zip(&grads)
+            .map(|(&var, &grad)| g.add(self.apply_kind(), &[var, grad]))
+            .collect();
+        g.add(OpKind::Group, &applies)
+    }
+
+    /// Like [`Optimizer::minimize`], targeting every variable in the graph.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Optimizer::minimize`].
+    pub fn minimize_all(&self, g: &mut Graph, loss: NodeId) -> NodeId {
+        let vars = g.variables();
+        self.minimize(g, loss, &vars)
+    }
+
+    /// Like [`Optimizer::minimize`], but rescales all gradients so their
+    /// global L2 norm never exceeds `clip_norm` (the clipped-gradient
+    /// recipe the original seq2seq training used). The clip itself is
+    /// built from ordinary graph ops, so it shows up in profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clip_norm` is not positive, plus the
+    /// [`Optimizer::minimize`] conditions.
+    pub fn minimize_clipped(
+        &self,
+        g: &mut Graph,
+        loss: NodeId,
+        variables: &[NodeId],
+        clip_norm: f32,
+    ) -> NodeId {
+        assert!(clip_norm > 0.0, "clip_norm must be positive, got {clip_norm}");
+        let grads = gradients(g, loss, variables);
+        // global_norm = sqrt(sum_i ||g_i||^2)
+        let sq_sums: Vec<NodeId> = grads
+            .iter()
+            .map(|&d| {
+                let sq = g.square(d);
+                g.sum_all(sq)
+            })
+            .collect();
+        let total = if sq_sums.len() == 1 { sq_sums[0] } else { g.add_n(&sq_sums) };
+        let norm = g.sqrt(total);
+        let clip = g.constant(fathom_tensor::Tensor::scalar(clip_norm));
+        // scale = clip / max(norm, clip)  (== 1 when norm <= clip)
+        let denom = g.maximum(norm, clip);
+        let scale = g.div(clip, denom);
+        let applies: Vec<NodeId> = variables
+            .iter()
+            .zip(&grads)
+            .map(|(&var, &grad)| {
+                let clipped = g.mul(grad, scale);
+                g.add(self.apply_kind(), &[var, clipped])
+            })
+            .collect();
+        g.add(OpKind::Group, &applies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::exec::Session;
+    use fathom_tensor::{Rng, Shape, Tensor};
+
+    /// Linear regression: y = x*w + b must fit a known line.
+    fn linear_regression_with(opt: Optimizer, steps: usize) -> f32 {
+        let mut rng = Rng::seeded(42);
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(16, 1));
+        let t = g.placeholder("t", Shape::matrix(16, 1));
+        let w = g.variable("w", Tensor::zeros([1, 1]));
+        let b = g.variable("b", Tensor::zeros([1]));
+        let xw = g.matmul(x, w);
+        let pred = g.add_op(xw, b);
+        let err = g.sub(pred, t);
+        let sq = g.square(err);
+        let loss = g.mean_all(sq);
+        let train = opt.minimize_all(&mut g, loss);
+        let mut sess = Session::new(g, Device::cpu(1));
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            let xs = Tensor::randn([16, 1], 0.0, 1.0, &mut rng);
+            // target line: y = 3x - 1
+            let ts = Tensor::from_vec(xs.data().iter().map(|&v| 3.0 * v - 1.0).collect(), [16, 1]);
+            let out = sess.run(&[loss, train], &[(x, xs), (t, ts)]).unwrap();
+            last = out[0].scalar_value();
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_fits_a_line() {
+        assert!(linear_regression_with(Optimizer::sgd(0.1), 200) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_fits_a_line() {
+        assert!(linear_regression_with(Optimizer::momentum(0.02), 200) < 1e-3);
+    }
+
+    #[test]
+    fn rmsprop_fits_a_line() {
+        assert!(linear_regression_with(Optimizer::rms_prop(0.02), 300) < 1e-2);
+    }
+
+    #[test]
+    fn adam_fits_a_line() {
+        assert!(linear_regression_with(Optimizer::adam(0.05), 300) < 1e-2);
+    }
+
+    #[test]
+    fn clipping_bounds_the_first_step() {
+        use fathom_tensor::Tensor;
+        // loss = 50 * v^2 at v = 10: raw gradient is 1000, far above the
+        // clip of 1.0, so the first SGD step must move by exactly lr * 1.
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::scalar(10.0));
+        let sq = g.square(v);
+        let fifty = g.constant(Tensor::scalar(50.0));
+        let scaled = g.mul(sq, fifty);
+        let loss = g.mean_all(scaled);
+        let train = Optimizer::sgd(0.5).minimize_clipped(&mut g, loss, &[v], 1.0);
+        let mut sess = Session::new(g, Device::cpu(1));
+        sess.run(&[train], &[]).unwrap();
+        let moved = 10.0 - sess.variable_value(v).unwrap().scalar_value();
+        assert!((moved - 0.5).abs() < 1e-5, "step was {moved}, expected lr*clip = 0.5");
+    }
+
+    #[test]
+    fn clipping_leaves_small_gradients_alone() {
+        use fathom_tensor::Tensor;
+        // Gradient of mean((v - 1)^2) at v = 1.1 is 0.2, well below the
+        // clip: the update must match unclipped SGD exactly.
+        let build = |clip: Option<f32>| -> f32 {
+            let mut g = Graph::new();
+            let v = g.variable("v", Tensor::scalar(1.1));
+            let t = g.constant(Tensor::scalar(1.0));
+            let d = g.sub(v, t);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            let train = match clip {
+                Some(c) => Optimizer::sgd(0.1).minimize_clipped(&mut g, loss, &[v], c),
+                None => Optimizer::sgd(0.1).minimize(&mut g, loss, &[v]),
+            };
+            let mut sess = Session::new(g, Device::cpu(1));
+            sess.run(&[train], &[]).unwrap();
+            sess.variable_value(v).unwrap().scalar_value()
+        };
+        let clipped = build(Some(5.0));
+        let raw = build(None);
+        assert!((clipped - raw).abs() < 1e-7, "{clipped} vs {raw}");
+    }
+
+    #[test]
+    fn clipped_training_survives_steep_starts() {
+        use fathom_tensor::{Rng, Shape, Tensor};
+        // Exponential loss with a large initial gradient diverges with
+        // plain SGD at this rate but converges when clipped.
+        let run = |clip: Option<f32>| -> f32 {
+            let mut rng = Rng::seeded(9);
+            let mut g = Graph::new();
+            let x = g.placeholder("x", Shape::matrix(8, 4));
+            let w = g.variable("w", Tensor::randn([4, 1], 3.0, 0.5, &mut rng));
+            let y = g.matmul(x, w);
+            let e = g.exp(y);
+            let loss = g.mean_all(e);
+            let train = match clip {
+                Some(c) => Optimizer::sgd(0.5).minimize_clipped(&mut g, loss, &[w], c),
+                None => Optimizer::sgd(0.5).minimize(&mut g, loss, &[w]),
+            };
+            let mut sess = Session::new(g, Device::cpu(1));
+            let xs = Tensor::rand_uniform([8, 4], 0.5, 1.5, &mut rng);
+            let mut last = f32::INFINITY;
+            for _ in 0..60 {
+                last = sess.run(&[loss, train], &[(x, xs.clone())]).unwrap()[0].scalar_value();
+            }
+            last
+        };
+        let clipped = run(Some(1.0));
+        assert!(clipped.is_finite() && clipped < 10.0, "clipped run ended at {clipped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "clip_norm must be positive")]
+    fn zero_clip_is_rejected() {
+        let mut g = Graph::new();
+        let v = g.variable("v", fathom_tensor::Tensor::scalar(0.0));
+        let loss = g.mean_all(v);
+        Optimizer::sgd(0.1).minimize_clipped(&mut g, loss, &[v], 0.0);
+    }
+
+    #[test]
+    fn minimize_emits_apply_ops_in_class_f() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(4, 2));
+        let w = g.variable("w", Tensor::zeros([2, 1]));
+        let y = g.matmul(x, w);
+        let loss = g.mean_all(y);
+        let train = Optimizer::rms_prop(0.01).minimize_all(&mut g, loss);
+        let apply_count = g
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, OpKind::ApplyRmsProp { .. }))
+            .count();
+        assert_eq!(apply_count, 1);
+        assert!(matches!(g.node(train).kind, OpKind::Group));
+    }
+}

@@ -1,0 +1,140 @@
+//! Operation-level execution tracing.
+//!
+//! The paper's entire methodology rests on "capturing performance
+//! information at the model level" by instrumenting operations. A
+//! [`RunTrace`] is the raw material every analysis in `fathom-profile`
+//! consumes: one [`TraceEvent`] per executed operation, carrying the op
+//! type, class, step index, and measured (or modeled) duration.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::cost::OpCost;
+use crate::graph::NodeId;
+use crate::op::OpClass;
+
+/// One executed operation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// Graph node that ran.
+    pub node: NodeId,
+    /// Operation type name (`"MatMul"`, `"Conv2DBackpropFilter"`, …).
+    pub op: &'static str,
+    /// The paper's A–G class of the operation.
+    pub class: OpClass,
+    /// Which `Session::run` call this event belongs to.
+    pub step: u64,
+    /// Execution time in nanoseconds (wall time on a CPU device, modeled
+    /// time on the simulated GPU).
+    pub nanos: f64,
+    /// Static cost estimate for the execution.
+    pub cost: OpCost,
+}
+
+impl TraceEvent {
+    /// Execution time as a [`Duration`].
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.nanos as u64)
+    }
+}
+
+/// All events captured across one or more traced steps, plus the
+/// end-to-end wall time of those steps (used to quantify inter-op
+/// overhead, paper §V-A).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RunTrace {
+    /// Per-operation events in execution order.
+    pub events: Vec<TraceEvent>,
+    /// Total wall time of the traced `run` calls, in nanoseconds.
+    pub total_nanos: f64,
+    /// Number of `run` calls traced.
+    pub steps: u64,
+    /// Highest number of bytes simultaneously live in intermediate
+    /// tensors across the traced steps (the executor frees values after
+    /// their last consumer).
+    pub peak_live_bytes: u64,
+}
+
+impl RunTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        RunTrace::default()
+    }
+
+    /// Sum of per-operation times, in nanoseconds.
+    pub fn op_nanos(&self) -> f64 {
+        self.events.iter().map(|e| e.nanos).sum()
+    }
+
+    /// Fraction of total wall time spent *outside* operations. The paper
+    /// reports this is "typically less than 1-2%" for TensorFlow; the
+    /// `overhead_check` bench verifies the same property here.
+    ///
+    /// Returns 0 when no wall time was recorded (e.g. on a modeled
+    /// device).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_nanos <= 0.0 {
+            return 0.0;
+        }
+        ((self.total_nanos - self.op_nanos()) / self.total_nanos).max(0.0)
+    }
+
+    /// Appends the events of another trace, accumulating wall time.
+    pub fn merge(&mut self, other: RunTrace) {
+        self.events.extend(other.events);
+        self.total_nanos += other.total_nanos;
+        self.steps += other.steps;
+        self.peak_live_bytes = self.peak_live_bytes.max(other.peak_live_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(op: &'static str, class: OpClass, step: u64, nanos: f64) -> TraceEvent {
+        TraceEvent {
+            node: NodeId(0),
+            op,
+            class,
+            step,
+            nanos,
+            cost: OpCost::default(),
+        }
+    }
+
+    #[test]
+    fn overhead_fraction_math() {
+        let mut t = RunTrace::new();
+        t.events.push(event("MatMul", OpClass::MatrixOps, 0, 90.0));
+        t.total_nanos = 100.0;
+        t.steps = 1;
+        assert!((t.overhead_fraction() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_clamped_at_zero() {
+        let mut t = RunTrace::new();
+        t.events.push(event("MatMul", OpClass::MatrixOps, 0, 110.0));
+        t.total_nanos = 100.0;
+        assert_eq!(t.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunTrace::new();
+        a.events.push(event("Add", OpClass::ElementwiseArithmetic, 0, 10.0));
+        a.total_nanos = 12.0;
+        a.steps = 1;
+        let mut b = RunTrace::new();
+        b.events.push(event("Mul", OpClass::ElementwiseArithmetic, 1, 20.0));
+        b.total_nanos = 25.0;
+        b.steps = 1;
+        a.merge(b);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.total_nanos, 37.0);
+        assert_eq!(a.steps, 2);
+        assert_eq!(a.op_nanos(), 30.0);
+    }
+}

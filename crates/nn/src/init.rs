@@ -1,0 +1,178 @@
+//! Weight initialization and parameter tracking.
+
+use fathom_dataflow::{Graph, NodeId};
+use fathom_tensor::{Rng, Shape, Tensor};
+
+/// Weight-initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// All ones (batch-norm scales).
+    Ones,
+    /// A constant value.
+    Const(f32),
+    /// Normal with the given standard deviation.
+    Normal(f32),
+    /// Xavier/Glorot: `N(0, sqrt(2 / (fan_in + fan_out)))`.
+    Xavier,
+    /// He/Kaiming: `N(0, sqrt(2 / fan_in))`, for ReLU stacks.
+    He,
+}
+
+impl Init {
+    /// Materializes an initial value of the given shape.
+    ///
+    /// Fan-in/fan-out are derived from the shape: for matrices
+    /// `[in, out]`; for conv filters `[kh, kw, ic, oc]`,
+    /// `fan_in = kh*kw*ic` and `fan_out = kh*kw*oc`; otherwise the first
+    /// and last extents.
+    pub fn materialize(&self, shape: &Shape, rng: &mut Rng) -> Tensor {
+        let (fan_in, fan_out) = fans(shape);
+        match *self {
+            Init::Zeros => Tensor::zeros(shape.clone()),
+            Init::Ones => Tensor::ones(shape.clone()),
+            Init::Const(v) => Tensor::filled(shape.clone(), v),
+            Init::Normal(std) => Tensor::randn(shape.clone(), 0.0, std, rng),
+            Init::Xavier => {
+                let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::randn(shape.clone(), 0.0, std, rng)
+            }
+            Init::He => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::randn(shape.clone(), 0.0, std, rng)
+            }
+        }
+    }
+}
+
+fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        0 => (1, 1),
+        1 => (shape.dim(0), shape.dim(0)),
+        2 => (shape.dim(0), shape.dim(1)),
+        4 => {
+            let receptive = shape.dim(0) * shape.dim(1);
+            (receptive * shape.dim(2), receptive * shape.dim(3))
+        }
+        _ => (shape.dim(0), shape.dim(shape.rank() - 1)),
+    }
+}
+
+/// Creates graph variables with deterministic initialization and records
+/// them so optimizers can enumerate the trainable set.
+///
+/// # Examples
+///
+/// ```
+/// use fathom_dataflow::Graph;
+/// use fathom_nn::{Init, Params};
+///
+/// let mut g = Graph::new();
+/// let mut p = Params::seeded(7);
+/// let w = p.variable(&mut g, "w", [3, 4], Init::Xavier);
+/// assert_eq!(g.shape(w).dims(), &[3, 4]);
+/// assert_eq!(p.trainable(), &[w]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Params {
+    rng: Rng,
+    vars: Vec<NodeId>,
+}
+
+impl Params {
+    /// A parameter set with a deterministic seed.
+    pub fn seeded(seed: u64) -> Self {
+        Params { rng: Rng::seeded(seed), vars: Vec::new() }
+    }
+
+    /// Adds a trainable variable.
+    pub fn variable(
+        &mut self,
+        g: &mut Graph,
+        name: impl Into<String>,
+        shape: impl Into<Shape>,
+        init: Init,
+    ) -> NodeId {
+        let shape = shape.into();
+        let value = init.materialize(&shape, &mut self.rng);
+        let id = g.variable(name, value);
+        self.vars.push(id);
+        id
+    }
+
+    /// Records an externally created variable as trainable (used when a
+    /// layer needs a custom initial value).
+    pub fn record(&mut self, var: NodeId) {
+        self.vars.push(var);
+    }
+
+    /// All variables created so far, in creation order.
+    pub fn trainable(&self) -> &[NodeId] {
+        &self.vars
+    }
+
+    /// Number of scalar parameters across all variables.
+    pub fn parameter_count(&self, g: &Graph) -> usize {
+        self.vars.iter().map(|&v| g.shape(v).num_elements()).sum()
+    }
+
+    /// Draws from the internal RNG (for data-side randomness that should
+    /// share the parameter seed).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_scale_tracks_fans() {
+        let mut rng = Rng::seeded(1);
+        let big = Init::Xavier.materialize(&Shape::matrix(1000, 1000), &mut rng);
+        let small = Init::Xavier.materialize(&Shape::matrix(10, 10), &mut rng);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            (t.data().iter().map(|v| (v - m) * (v - m)).sum::<f32>() / t.len() as f32).sqrt()
+        };
+        let expected_big = (2.0f32 / 2000.0).sqrt();
+        let expected_small = (2.0f32 / 20.0).sqrt();
+        assert!((std(&big) - expected_big).abs() / expected_big < 0.1);
+        assert!((std(&small) - expected_small).abs() / expected_small < 0.2);
+    }
+
+    #[test]
+    fn conv_fans_use_receptive_field() {
+        assert_eq!(fans(&Shape::new(vec![3, 3, 16, 32])), (144, 288));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut g1 = Graph::new();
+        let mut g2 = Graph::new();
+        let mut p1 = Params::seeded(5);
+        let mut p2 = Params::seeded(5);
+        let a = p1.variable(&mut g1, "w", [4, 4], Init::He);
+        let b = p2.variable(&mut g2, "w", [4, 4], Init::He);
+        let va = match &g1.node(a).kind {
+            fathom_dataflow::OpKind::Variable { init } => init.clone(),
+            _ => unreachable!(),
+        };
+        let vb = match &g2.node(b).kind {
+            fathom_dataflow::OpKind::Variable { init } => init.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn parameter_count_sums_elements() {
+        let mut g = Graph::new();
+        let mut p = Params::seeded(0);
+        p.variable(&mut g, "a", [3, 4], Init::Zeros);
+        p.variable(&mut g, "b", [5], Init::Zeros);
+        assert_eq!(p.parameter_count(&g), 17);
+    }
+}

@@ -1,0 +1,264 @@
+//! Feed-forward layer builders: dense, convolution, pooling, batch norm,
+//! dropout, and embeddings.
+//!
+//! Every builder appends primitive operations to a [`Graph`]; layers exist
+//! only at construction time, exactly as in TensorFlow ("those layers only
+//! exist as internal data structures", paper §V-A).
+
+use fathom_dataflow::{Graph, NodeId};
+use fathom_tensor::kernels::conv::Conv2dSpec;
+use fathom_tensor::kernels::pool2d::Pool2dSpec;
+use fathom_tensor::Tensor;
+
+use crate::init::{Init, Params};
+
+/// Activation applied after a layer's affine part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a node.
+    pub fn apply(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => g.relu(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+}
+
+/// Fully-connected layer: `act(x @ W + b)` for `x` of shape
+/// `[batch, in_dim]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 2.
+pub fn dense(
+    g: &mut Graph,
+    p: &mut Params,
+    name: &str,
+    x: NodeId,
+    out_dim: usize,
+    act: Activation,
+) -> NodeId {
+    let in_dim = {
+        let s = g.shape(x);
+        assert_eq!(s.rank(), 2, "dense expects [batch, features], got {s}");
+        s.dim(1)
+    };
+    let init = if act == Activation::Relu { Init::He } else { Init::Xavier };
+    let w = p.variable(g, format!("{name}/weights"), [in_dim, out_dim], init);
+    let b = p.variable(g, format!("{name}/bias"), [out_dim], Init::Zeros);
+    let xw = g.matmul(x, w);
+    let pre = g.add_op(xw, b);
+    act.apply(g, pre)
+}
+
+/// Convolution layer: `act(conv2d(x, W) + b)` for NHWC `x`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4.
+pub fn conv2d(
+    g: &mut Graph,
+    p: &mut Params,
+    name: &str,
+    x: NodeId,
+    kernel: usize,
+    out_channels: usize,
+    spec: Conv2dSpec,
+    act: Activation,
+) -> NodeId {
+    let in_channels = {
+        let s = g.shape(x);
+        assert_eq!(s.rank(), 4, "conv2d expects NHWC, got {s}");
+        s.dim(3)
+    };
+    let init = if act == Activation::Relu { Init::He } else { Init::Xavier };
+    let w = p.variable(
+        g,
+        format!("{name}/filters"),
+        [kernel, kernel, in_channels, out_channels],
+        init,
+    );
+    let b = p.variable(g, format!("{name}/bias"), [out_channels], Init::Zeros);
+    let conv = g.conv2d(x, w, spec);
+    let pre = g.add_op(conv, b); // bias broadcasts over [n, h, w, oc]
+    act.apply(g, pre)
+}
+
+/// Max pooling with a square window.
+pub fn max_pool(g: &mut Graph, x: NodeId, window: usize, stride: usize) -> NodeId {
+    g.max_pool(x, Pool2dSpec { window, stride })
+}
+
+/// Average pooling with a square window.
+pub fn avg_pool(g: &mut Graph, x: NodeId, window: usize, stride: usize) -> NodeId {
+    g.avg_pool(x, Pool2dSpec { window, stride })
+}
+
+/// Flattens `[batch, ...]` to `[batch, features]`.
+pub fn flatten(g: &mut Graph, x: NodeId) -> NodeId {
+    let s = g.shape(x).clone();
+    let batch = s.dim(0);
+    let features = s.num_elements() / batch.max(1);
+    g.reshape(x, [batch, features])
+}
+
+/// Inverted dropout: `x * mask` with a freshly sampled mask each step.
+/// Identity when `rate == 0`.
+pub fn dropout(g: &mut Graph, x: NodeId, rate: f32) -> NodeId {
+    if rate == 0.0 {
+        return x;
+    }
+    let mask = g.dropout_mask(x, rate);
+    g.mul(x, mask)
+}
+
+/// Batch normalization over all axes except the last (channels), with
+/// learnable scale/offset. Uses batch statistics (training-style).
+pub fn batch_norm(g: &mut Graph, p: &mut Params, name: &str, x: NodeId, epsilon: f32) -> NodeId {
+    let shape = g.shape(x).clone();
+    let channels = shape.dim(shape.rank() - 1);
+    let gamma = p.variable(g, format!("{name}/gamma"), [channels], Init::Ones);
+    let beta = p.variable(g, format!("{name}/beta"), [channels], Init::Zeros);
+    // Mean/variance over every axis but the last, keeping dims so the
+    // result broadcasts back over x.
+    let mut mean = x;
+    for axis in 0..shape.rank() - 1 {
+        mean = g.mean_axis(mean, axis, true);
+    }
+    let centered = g.sub(x, mean);
+    let sq = g.square(centered);
+    let mut var = sq;
+    for axis in 0..shape.rank() - 1 {
+        var = g.mean_axis(var, axis, true);
+    }
+    let eps = g.constant(Tensor::scalar(epsilon));
+    let var_eps = g.add_op(var, eps);
+    let std = g.sqrt(var_eps);
+    let normed = g.div(centered, std);
+    let scaled = g.mul(normed, gamma);
+    g.add_op(scaled, beta)
+}
+
+/// Embedding lookup: builds a `[vocab, dim]` table and gathers `indices`
+/// (an integer-valued tensor) into `indices.shape() + [dim]`.
+pub fn embedding(
+    g: &mut Graph,
+    p: &mut Params,
+    name: &str,
+    indices: NodeId,
+    vocab: usize,
+    dim: usize,
+) -> NodeId {
+    let table = p.variable(g, format!("{name}/table"), [vocab, dim], Init::Normal(0.1));
+    g.gather(table, indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fathom_dataflow::{grad::gradients, Device, Session};
+    use fathom_tensor::{Rng, Shape};
+
+    #[test]
+    fn dense_shapes_and_forward() {
+        let mut g = Graph::new();
+        let mut p = Params::seeded(1);
+        let x = g.placeholder("x", Shape::matrix(5, 3));
+        let y = dense(&mut g, &mut p, "fc", x, 7, Activation::Relu);
+        assert_eq!(g.shape(y).dims(), &[5, 7]);
+        let mut s = Session::new(g, Device::cpu(1));
+        let out = s.run1(y, &[(x, Tensor::ones([5, 3]))]).unwrap();
+        assert!(out.min() >= 0.0, "relu output must be non-negative");
+    }
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut g = Graph::new();
+        let mut p = Params::seeded(2);
+        let x = g.placeholder("x", Shape::new(vec![2, 8, 8, 3]));
+        let y = conv2d(&mut g, &mut p, "c1", x, 3, 16, Conv2dSpec::same(3), Activation::Relu);
+        assert_eq!(g.shape(y).dims(), &[2, 8, 8, 16]);
+        let z = max_pool(&mut g, y, 2, 2);
+        assert_eq!(g.shape(z).dims(), &[2, 4, 4, 16]);
+        let f = flatten(&mut g, z);
+        assert_eq!(g.shape(f).dims(), &[2, 256]);
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(4));
+        let y = dropout(&mut g, x, 0.0);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(100_000));
+        let y = dropout(&mut g, x, 0.3);
+        let mut s = Session::new(g, Device::cpu(1));
+        let out = s.run1(y, &[(x, Tensor::ones([100_000]))]).unwrap();
+        assert!((out.mean() - 1.0).abs() < 0.02, "mean {}", out.mean());
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let mut rng = Rng::seeded(3);
+        let mut g = Graph::new();
+        let mut p = Params::seeded(3);
+        let x = g.placeholder("x", Shape::matrix(64, 4));
+        let y = batch_norm(&mut g, &mut p, "bn", x, 1e-5);
+        let mut s = Session::new(g, Device::cpu(1));
+        let data = Tensor::randn([64, 4], 5.0, 3.0, &mut rng);
+        let out = s.run1(y, &[(x, data)]).unwrap();
+        // With gamma=1, beta=0, per-channel mean ~0 and std ~1.
+        for c in 0..4 {
+            let col: Vec<f32> = (0..64).map(|r| out.at(&[r, c])).collect();
+            let mean = col.iter().sum::<f32>() / 64.0;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!((var - 1.0).abs() < 0.05, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_is_differentiable() {
+        let mut g = Graph::new();
+        let mut p = Params::seeded(4);
+        let x = g.placeholder("x", Shape::matrix(8, 2));
+        let y = batch_norm(&mut g, &mut p, "bn", x, 1e-5);
+        let sq = g.square(y);
+        let loss = g.sum_all(sq);
+        let grads = gradients(&mut g, loss, p.trainable());
+        assert_eq!(grads.len(), 2);
+        let mut s = Session::new(g, Device::cpu(1));
+        let mut rng = Rng::seeded(4);
+        let data = Tensor::randn([8, 2], 0.0, 1.0, &mut rng);
+        let dg = s.run1(grads[0], &[(x, data)]).unwrap();
+        assert!(dg.all_finite());
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut g = Graph::new();
+        let mut p = Params::seeded(5);
+        let idx = g.placeholder("idx", Shape::matrix(2, 3));
+        let e = embedding(&mut g, &mut p, "emb", idx, 10, 8);
+        assert_eq!(g.shape(e).dims(), &[2, 3, 8]);
+    }
+}

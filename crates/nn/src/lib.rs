@@ -1,0 +1,43 @@
+//! Neural-network building blocks on top of [`fathom_dataflow`].
+//!
+//! Layers here are *builders*: each call appends primitive operations to a
+//! [`fathom_dataflow::Graph`] and registers any created variables with a
+//! [`Params`] set. At run time only operations exist — layers "only exist
+//! as internal data structures", matching the framework model the Fathom
+//! paper profiles.
+//!
+//! # Examples
+//!
+//! ```
+//! use fathom_dataflow::{Device, Graph, Session};
+//! use fathom_nn::{dense, Activation, Params};
+//! use fathom_tensor::{Shape, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new();
+//! let mut p = Params::seeded(1);
+//! let x = g.placeholder("x", Shape::matrix(2, 8));
+//! let h = dense(&mut g, &mut p, "fc1", x, 16, Activation::Relu);
+//! let y = dense(&mut g, &mut p, "fc2", h, 4, Activation::Linear);
+//! let mut sess = Session::new(g, Device::cpu(1));
+//! let out = sess.run1(y, &[(x, Tensor::ones([2, 8]))])?;
+//! assert_eq!(out.shape().dims(), &[2, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod attention;
+mod init;
+mod layers;
+pub mod loss;
+mod rnn;
+pub mod vae;
+
+pub use attention::Attention;
+pub use init::{Init, Params};
+pub use layers::{
+    avg_pool, batch_norm, conv2d, dense, dropout, embedding, flatten, max_pool, Activation,
+};
+pub use rnn::{bidirectional_rnn, lstm_stack, LstmCell};

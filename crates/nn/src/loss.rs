@@ -1,0 +1,156 @@
+//! Loss functions composed from primitive operations.
+
+use fathom_dataflow::{Graph, NodeId};
+use fathom_tensor::Tensor;
+
+/// Mean squared error between `pred` and `target` (same shape), as a
+/// scalar.
+pub fn mse(g: &mut Graph, pred: NodeId, target: NodeId) -> NodeId {
+    let diff = g.sub(pred, target);
+    let sq = g.square(diff);
+    g.mean_all(sq)
+}
+
+/// Mean softmax cross-entropy of `[batch, classes]` logits against
+/// `[batch]` integer labels (fused kernel, as in TensorFlow).
+pub fn softmax_cross_entropy(g: &mut Graph, logits: NodeId, labels: NodeId) -> NodeId {
+    g.softmax_cross_entropy(logits, labels)
+}
+
+/// Bernoulli negative log-likelihood (binary cross-entropy) of
+/// probabilities `p` in `(0,1)` against targets in `[0,1]`, averaged over
+/// the batch axis (axis 0) and summed over features:
+/// `mean_b sum_f -(t log p + (1-t) log(1-p))`.
+pub fn bernoulli_nll(g: &mut Graph, p: NodeId, target: NodeId) -> NodeId {
+    let eps = g.constant(Tensor::scalar(1e-7));
+    let one = g.constant(Tensor::scalar(1.0));
+    let p_safe = g.add_op(p, eps);
+    let log_p = g.log(p_safe);
+    let t_log_p = g.mul(target, log_p);
+    let one_m_p0 = g.sub(one, p);
+    let one_m_p = g.add_op(one_m_p0, eps);
+    let log_1mp = g.log(one_m_p);
+    let one_m_t = g.sub(one, target);
+    let t2 = g.mul(one_m_t, log_1mp);
+    let ll = g.add_op(t_log_p, t2);
+    let per_item = g.sum_axis(ll, 1); // [batch]
+    let mean = g.mean_all(per_item);
+    g.neg(mean)
+}
+
+/// Huber loss (mean over all elements): quadratic within `delta` of the
+/// target, linear outside — the loss the 2015 DQN work used to clip
+/// error magnitudes.
+pub fn huber(g: &mut Graph, pred: NodeId, target: NodeId, delta: f32) -> NodeId {
+    let diff = g.sub(pred, target);
+    let neg = g.neg(diff);
+    let abs = g.maximum(diff, neg);
+    let d = g.constant(Tensor::scalar(delta));
+    let half = g.constant(Tensor::scalar(0.5));
+    // quadratic branch: 0.5 * diff^2
+    let sq = g.square(diff);
+    let quad = g.mul(sq, half);
+    // linear branch: delta * (|diff| - 0.5*delta)
+    let half_delta = g.constant(Tensor::scalar(0.5 * delta));
+    let shifted = g.sub(abs, half_delta);
+    let lin = g.mul(shifted, d);
+    let small = g.greater(d, abs); // |diff| < delta
+    let picked = g.select(small, quad, lin);
+    g.mean_all(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fathom_dataflow::{grad::gradients, Device, Session};
+    use fathom_tensor::Shape;
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(4));
+        let loss = mse(&mut g, x, x);
+        let mut s = Session::new(g, Device::cpu(1));
+        let out = s.run1(loss, &[(x, Tensor::from(vec![1.0, 2.0, 3.0, 4.0]))]).unwrap();
+        assert_eq!(out.scalar_value(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from(vec![1.0, 2.0]));
+        let b = g.constant(Tensor::from(vec![3.0, 2.0]));
+        let loss = mse(&mut g, a, b);
+        let mut s = Session::new(g, Device::cpu(1));
+        assert_eq!(s.run1(loss, &[]).unwrap().scalar_value(), 2.0);
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        let mut g = Graph::new();
+        let p = g.placeholder("p", Shape::vector(1));
+        let t = g.constant(Tensor::from(vec![0.0]));
+        let loss = huber(&mut g, p, t, 1.0);
+        let mut s = Session::new(g, Device::cpu(1));
+        let eval = |s: &mut Session, v: f32| {
+            s.run1(loss, &[(p, Tensor::from(vec![v]))]).unwrap().scalar_value()
+        };
+        // Inside |d| < 1: 0.5 d^2.
+        assert!((eval(&mut s, 0.5) - 0.125).abs() < 1e-6);
+        // Outside: d - 0.5.
+        assert!((eval(&mut s, 3.0) - 2.5).abs() < 1e-6);
+        assert!((eval(&mut s, -3.0) - 2.5).abs() < 1e-6);
+        // Continuous at the knee.
+        assert!((eval(&mut s, 1.0) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn huber_gradient_is_clipped() {
+        use fathom_dataflow::grad::gradients;
+        let mut g = Graph::new();
+        let p = g.placeholder("p", Shape::vector(2));
+        let t = g.constant(Tensor::from(vec![0.0, 0.0]));
+        let loss = huber(&mut g, p, t, 1.0);
+        let grads = gradients(&mut g, loss, &[p]);
+        let mut s = Session::new(g, Device::cpu(1));
+        let d = s
+            .run1(grads[0], &[(p, Tensor::from(vec![0.4, 10.0]))])
+            .unwrap();
+        // d/dx of mean: inside knee -> x/2 (mean over 2), outside -> delta/2.
+        assert!((d.data()[0] - 0.2).abs() < 1e-6);
+        assert!((d.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bernoulli_nll_prefers_correct_probabilities() {
+        let mut g = Graph::new();
+        let p = g.placeholder("p", Shape::matrix(1, 2));
+        let t = g.constant(Tensor::from_vec(vec![1.0, 0.0], [1, 2]));
+        let loss = bernoulli_nll(&mut g, p, t);
+        let mut s = Session::new(g, Device::cpu(1));
+        let good = s
+            .run1(loss, &[(p, Tensor::from_vec(vec![0.99, 0.01], [1, 2]))])
+            .unwrap()
+            .scalar_value();
+        let bad = s
+            .run1(loss, &[(p, Tensor::from_vec(vec![0.3, 0.7], [1, 2]))])
+            .unwrap()
+            .scalar_value();
+        assert!(good < bad);
+        assert!(good < 0.05);
+    }
+
+    #[test]
+    fn bernoulli_nll_gradient_is_finite_at_extremes() {
+        let mut g = Graph::new();
+        let p = g.placeholder("p", Shape::matrix(1, 2));
+        let t = g.constant(Tensor::from_vec(vec![1.0, 0.0], [1, 2]));
+        let loss = bernoulli_nll(&mut g, p, t);
+        let grads = gradients(&mut g, loss, &[p]);
+        let mut s = Session::new(g, Device::cpu(1));
+        let d = s
+            .run1(grads[0], &[(p, Tensor::from_vec(vec![1.0, 0.0], [1, 2]))])
+            .unwrap();
+        assert!(d.all_finite());
+    }
+}

@@ -1,0 +1,142 @@
+//! Variational autoencoder components: the reparameterization trick and
+//! the evidence lower bound (ELBO).
+//!
+//! The paper singles autoencoders out as "somewhat unique in that they
+//! require stochastic sampling as part of inference, not just training" —
+//! realized here by a `StandardRandomNormal` operation (op class E) on the
+//! inference path.
+
+use fathom_dataflow::{Graph, NodeId};
+use fathom_tensor::Tensor;
+
+/// The latent sampling head of a VAE: `z = mu + exp(logvar / 2) * eps`,
+/// `eps ~ N(0, I)`, plus the analytic KL divergence to the unit Gaussian.
+#[derive(Debug, Clone, Copy)]
+pub struct LatentSample {
+    /// The sampled latent code `[batch, latent]`.
+    pub z: NodeId,
+    /// Scalar mean KL divergence `KL(q(z|x) || N(0, I))` over the batch.
+    pub kl: NodeId,
+}
+
+/// Builds the reparameterized sample and KL term from `mu` and `logvar`
+/// nodes of shape `[batch, latent]`.
+///
+/// # Panics
+///
+/// Panics if the two shapes differ or are not rank 2.
+pub fn latent_sample(g: &mut Graph, mu: NodeId, logvar: NodeId) -> LatentSample {
+    let shape = g.shape(mu).clone();
+    assert_eq!(shape.rank(), 2, "latent sample expects [batch, latent], got {shape}");
+    assert_eq!(&shape, g.shape(logvar), "mu and logvar must agree");
+
+    // z = mu + exp(0.5 * logvar) * eps
+    let half = g.constant(Tensor::scalar(0.5));
+    let half_logvar = g.mul(logvar, half);
+    let std = g.exp(half_logvar);
+    let eps = g.random_normal(shape.clone());
+    let noise = g.mul(std, eps);
+    let z = g.add_op(mu, noise);
+
+    // KL = -0.5 * mean_b sum_l (1 + logvar - mu^2 - exp(logvar))
+    let one = g.constant(Tensor::scalar(1.0));
+    let mu_sq = g.square(mu);
+    let var = g.exp(logvar);
+    let t0 = g.add_op(one, logvar);
+    let t1 = g.sub(t0, mu_sq);
+    let t2 = g.sub(t1, var);
+    let per_item = g.sum_axis(t2, 1); // [batch]
+    let mean = g.mean_all(per_item);
+    let neg_half = g.constant(Tensor::scalar(-0.5));
+    let kl = g.mul(mean, neg_half);
+    LatentSample { z, kl }
+}
+
+/// Combines a reconstruction loss and KL term into the negative ELBO:
+/// `recon + beta * kl`.
+pub fn elbo_loss(g: &mut Graph, recon: NodeId, kl: NodeId, beta: f32) -> NodeId {
+    let b = g.constant(Tensor::scalar(beta));
+    let weighted = g.mul(kl, b);
+    g.add_op(recon, weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fathom_dataflow::{Device, OpKind, Session};
+    use fathom_tensor::Shape;
+
+    #[test]
+    fn kl_of_standard_normal_is_zero() {
+        let mut g = Graph::new();
+        let mu = g.constant(Tensor::zeros([4, 3]));
+        let logvar = g.constant(Tensor::zeros([4, 3]));
+        let ls = latent_sample(&mut g, mu, logvar);
+        let mut s = Session::new(g, Device::cpu(1));
+        let kl = s.run1(ls.kl, &[]).unwrap().scalar_value();
+        assert!(kl.abs() < 1e-6, "kl {kl}");
+    }
+
+    #[test]
+    fn kl_grows_with_mean_offset() {
+        let mut g = Graph::new();
+        let mu_small = g.constant(Tensor::filled([2, 2], 0.5));
+        let mu_large = g.constant(Tensor::filled([2, 2], 3.0));
+        let logvar = g.constant(Tensor::zeros([2, 2]));
+        let ls_small = latent_sample(&mut g, mu_small, logvar);
+        let ls_large = latent_sample(&mut g, mu_large, logvar);
+        let mut s = Session::new(g, Device::cpu(1));
+        let a = s.run1(ls_small.kl, &[]).unwrap().scalar_value();
+        let b = s.run1(ls_large.kl, &[]).unwrap().scalar_value();
+        assert!(b > a && a > 0.0);
+        // Analytic: KL = 0.5 * sum(mu^2) / batch = 0.5 * 2 * 0.25 = 0.25
+        assert!((a - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sampling_is_stochastic_across_steps() {
+        let mut g = Graph::new();
+        let mu = g.constant(Tensor::zeros([1, 8]));
+        let logvar = g.constant(Tensor::zeros([1, 8]));
+        let ls = latent_sample(&mut g, mu, logvar);
+        let mut s = Session::new(g, Device::cpu(1));
+        let a = s.run1(ls.z, &[]).unwrap();
+        let b = s.run1(ls.z, &[]).unwrap();
+        assert!(a.max_abs_diff(&b) > 1e-4, "two draws were identical");
+    }
+
+    #[test]
+    fn zero_variance_sample_equals_mu() {
+        let mut g = Graph::new();
+        let mu = g.constant(Tensor::filled([1, 4], 2.0));
+        // logvar -> -inf is not representable; use a very negative value.
+        let logvar = g.constant(Tensor::filled([1, 4], -40.0));
+        let ls = latent_sample(&mut g, mu, logvar);
+        let mut s = Session::new(g, Device::cpu(1));
+        let z = s.run1(ls.z, &[]).unwrap();
+        for &v in z.data() {
+            assert!((v - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn inference_path_contains_random_sampling_op() {
+        let mut g = Graph::new();
+        let mu = g.placeholder("mu", Shape::matrix(2, 3));
+        let logvar = g.placeholder("lv", Shape::matrix(2, 3));
+        let _ = latent_sample(&mut g, mu, logvar);
+        assert!(g
+            .iter()
+            .any(|(_, n)| matches!(n.kind, OpKind::StandardRandomNormal { .. })));
+    }
+
+    #[test]
+    fn elbo_combines_terms() {
+        let mut g = Graph::new();
+        let recon = g.constant(Tensor::scalar(2.0));
+        let kl = g.constant(Tensor::scalar(3.0));
+        let loss = elbo_loss(&mut g, recon, kl, 0.5);
+        let mut s = Session::new(g, Device::cpu(1));
+        assert_eq!(s.run1(loss, &[]).unwrap().scalar_value(), 3.5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Operation-level characterization tools for the Fathom-rs suite.
+//!
+//! These are the reproduction's equivalent of the paper's "custom,
+//! high-level analysis framework built around TensorFlow" (§V-A):
+//!
+//! * [`OpProfile`] — time by operation type and by A-G class (Figure 3);
+//! * [`SkewCurve`] — cumulative dominance curves (Figure 2);
+//! * [`similarity`] — cosine distance + centroidal agglomerative
+//!   clustering (Figure 4);
+//! * [`StabilityReport`] — per-op stationarity across steps (Figure 1);
+//! * [`report`] — ASCII heatmaps, dendrograms, tables, CSV;
+//! * [`runner`] — one-call workload tracing.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fathom::{BuildConfig, ModelKind};
+//! use fathom_profile::{report, runner};
+//!
+//! let profile = runner::profile_workload(
+//!     ModelKind::Alexnet,
+//!     &BuildConfig::training(),
+//!     1,
+//!     5,
+//! );
+//! println!("{}", report::render_profile_table(&profile, 10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod intensity;
+mod profile;
+pub mod report;
+pub mod runner;
+pub mod similarity;
+mod skew;
+mod stationarity;
+
+pub use intensity::{ClassWork, IntensityReport};
+pub use profile::{OpEntry, OpProfile};
+pub use similarity::{cluster, cosine_distance, Dendrogram, DendrogramNode};
+pub use skew::SkewCurve;
+pub use stationarity::{OpStability, StabilityReport};

@@ -1,0 +1,201 @@
+//! Text renderers for the analyses: tables, heatmaps (Figure 3), and
+//! dendrograms (Figure 4), plus CSV output for external plotting.
+
+use std::fmt::Write as _;
+
+use crate::profile::OpProfile;
+use crate::similarity::{Dendrogram, DendrogramNode};
+
+/// Shade characters from empty to full, used by the heatmap.
+const SHADES: [char; 6] = [' ', '░', '▒', '▓', '█', '█'];
+
+fn shade(fraction: f64) -> char {
+    let idx = (fraction * 5.0).ceil().clamp(0.0, 5.0) as usize;
+    SHADES[idx]
+}
+
+/// Renders Figure 3's heatmap: workloads as rows, the union of op types
+/// (grouped by class, A-G) as columns, cell intensity = time share.
+/// Ops below `min_fraction` in every workload are dropped, mirroring the
+/// paper's 1% display threshold.
+pub fn render_heatmap(profiles: &[OpProfile], min_fraction: f64) -> String {
+    // Collect ops that pass the threshold anywhere, ordered by class then
+    // by total weight.
+    let mut ops: Vec<(String, char, f64)> = Vec::new();
+    for p in profiles {
+        for e in p.ranked() {
+            let frac = p.fraction(&e.op);
+            if frac >= min_fraction {
+                if let Some(existing) = ops.iter_mut().find(|(name, _, _)| *name == e.op) {
+                    existing.2 += frac;
+                } else {
+                    ops.push((e.op.clone(), e.class.letter(), frac));
+                }
+            }
+        }
+    }
+    // Order columns by class letter (A..G), heaviest first within a class.
+    ops.sort_by(|a, b| {
+        a.1.cmp(&b.1)
+            .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    let name_width = profiles.iter().map(|p| p.workload.len()).max().unwrap_or(8).max(8);
+    let mut out = String::new();
+    // Class letter header.
+    let _ = write!(out, "{:>name_width$} ", "class:");
+    for (_, class, _) in &ops {
+        let _ = write!(out, "{class}");
+    }
+    out.push('\n');
+    for p in profiles {
+        let _ = write!(out, "{:>name_width$} ", p.workload);
+        for (op, _, _) in &ops {
+            out.push(shade(p.fraction(op)));
+        }
+        out.push('\n');
+    }
+    // Column legend.
+    out.push('\n');
+    for (i, (op, class, _)) in ops.iter().enumerate() {
+        let _ = writeln!(out, "  col {i:>2} [{class}] {op}");
+    }
+    out
+}
+
+/// Renders Figure 4's dendrogram as ASCII: leaves left-aligned, merges
+/// annotated with their cosine distance.
+pub fn render_dendrogram(d: &Dendrogram) -> String {
+    let mut out = String::new();
+    render_node(&d.root, 0, &mut out);
+    out
+}
+
+fn render_node(node: &DendrogramNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    match node {
+        DendrogramNode::Leaf { name } => {
+            let _ = writeln!(out, "{indent}- {name}");
+        }
+        DendrogramNode::Merge { distance, left, right } => {
+            let _ = writeln!(out, "{indent}+ d = {distance:.3}");
+            render_node(left, depth + 1, out);
+            render_node(right, depth + 1, out);
+        }
+    }
+}
+
+/// Renders a profile as a two-column table of op name and time share.
+pub fn render_profile_table(profile: &OpProfile, max_rows: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<28} {:>8} {:>10} {:>7}", "op", "share", "time(us)", "count");
+    for e in profile.ranked().into_iter().take(max_rows) {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7.2}% {:>10.1} {:>7}",
+            e.op,
+            profile.fraction(&e.op) * 100.0,
+            e.nanos / 1_000.0,
+            e.count
+        );
+    }
+    out
+}
+
+/// Serializes rows of `(label, values...)` as CSV with a header.
+pub fn to_csv(header: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for (label, values) in rows {
+        let cells: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(out, "{label},{}", cells.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cluster;
+    use fathom_dataflow::cost::OpCost;
+    use fathom_dataflow::trace::{RunTrace, TraceEvent};
+    use fathom_dataflow::{NodeId, OpClass};
+
+    fn profile(name: &str, times: &[(&'static str, OpClass, f64)]) -> OpProfile {
+        let events = times
+            .iter()
+            .map(|(op, class, nanos)| TraceEvent {
+                node: NodeId::default(),
+                op,
+                class: *class,
+                step: 0,
+                nanos: *nanos,
+                cost: OpCost::default(),
+            })
+            .collect();
+        OpProfile::from_trace(name, &RunTrace { events, total_nanos: 0.0, steps: 1, peak_live_bytes: 0 })
+    }
+
+    #[test]
+    fn heatmap_contains_workloads_and_classes() {
+        let a = profile("alexnet", &[("Conv2D", OpClass::Convolution, 90.0), ("MatMul", OpClass::MatrixOps, 10.0)]);
+        let b = profile("speech", &[("MatMul", OpClass::MatrixOps, 100.0)]);
+        let s = render_heatmap(&[a, b], 0.01);
+        assert!(s.contains("alexnet"));
+        assert!(s.contains("speech"));
+        assert!(s.contains("Conv2D"));
+        assert!(s.contains("[B]"));
+        assert!(s.contains("[A]"));
+    }
+
+    #[test]
+    fn heatmap_drops_below_threshold() {
+        let a = profile("m", &[("Big", OpClass::MatrixOps, 995.0), ("Tiny", OpClass::MatrixOps, 5.0)]);
+        let s = render_heatmap(&[a], 0.01);
+        assert!(s.contains("Big"));
+        assert!(!s.contains("Tiny"));
+    }
+
+    #[test]
+    fn shade_is_monotone() {
+        assert_eq!(shade(0.0), ' ');
+        assert_eq!(shade(1.0), '█');
+        let mut prev = ' ';
+        for i in 0..=10 {
+            let c = shade(i as f64 / 10.0);
+            assert!(SHADES.iter().position(|&s| s == c) >= SHADES.iter().position(|&s| s == prev));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn dendrogram_renders_all_leaves() {
+        let a = profile("a", &[("Conv2D", OpClass::Convolution, 1.0)]);
+        let b = profile("b", &[("MatMul", OpClass::MatrixOps, 1.0)]);
+        let d = cluster(&[a, b]);
+        let s = render_dendrogram(&d);
+        assert!(s.contains("- a"));
+        assert!(s.contains("- b"));
+        assert!(s.contains("d = "));
+    }
+
+    #[test]
+    fn table_lists_ranked_ops() {
+        let p = profile("x", &[("MatMul", OpClass::MatrixOps, 80.0), ("Add", OpClass::ElementwiseArithmetic, 20.0)]);
+        let s = render_profile_table(&p, 10);
+        let matmul_pos = s.find("MatMul").unwrap();
+        let add_pos = s.find("Add").unwrap();
+        assert!(matmul_pos < add_pos, "rows must be ranked");
+        assert!(s.contains("80.00%"));
+    }
+
+    #[test]
+    fn csv_format() {
+        let rows = vec![("a".to_string(), vec![1.0, 2.5]), ("b".to_string(), vec![3.0, 4.0])];
+        let s = to_csv(&["name", "x", "y"], &rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name,x,y");
+        assert_eq!(lines[1], "a,1,2.5");
+        assert_eq!(lines[2], "b,3,4");
+    }
+}

@@ -1,0 +1,55 @@
+//! Convenience drivers: trace a workload for N steps and aggregate.
+
+use fathom::{BuildConfig, ModelKind, Workload};
+use fathom_dataflow::trace::RunTrace;
+
+use crate::profile::OpProfile;
+
+/// Runs `steps` steps of an already-built workload with tracing enabled,
+/// returning the raw trace. Prior trace state is discarded.
+pub fn trace_steps(model: &mut dyn Workload, steps: usize) -> RunTrace {
+    model.session_mut().enable_tracing();
+    let _ = model.session_mut().take_trace();
+    model.session_mut().enable_tracing();
+    for _ in 0..steps {
+        model.step();
+    }
+    model.session_mut().take_trace()
+}
+
+/// Builds a workload, runs `warmup + steps` steps, and profiles the last
+/// `steps` of them.
+pub fn profile_workload(kind: ModelKind, cfg: &BuildConfig, warmup: usize, steps: usize) -> OpProfile {
+    let mut model = kind.build(cfg);
+    for _ in 0..warmup {
+        model.step();
+    }
+    let trace = trace_steps(model.as_mut(), steps);
+    OpProfile::from_trace(kind.name(), &trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_a_small_workload() {
+        let p = profile_workload(ModelKind::Autoenc, &BuildConfig::training(), 1, 2);
+        assert_eq!(p.workload, "autoenc");
+        assert_eq!(p.steps, 2);
+        assert!(p.total_nanos() > 0.0);
+        // A VAE profile must contain matmul, random sampling, and the
+        // optimizer.
+        assert!(p.fraction("MatMul") > 0.0);
+        assert!(p.entry("StandardRandomNormal").is_some());
+        assert!(p.entry("ApplyAdam").is_some());
+    }
+
+    #[test]
+    fn trace_steps_resets_prior_state() {
+        let mut model = ModelKind::Autoenc.build(&BuildConfig::inference());
+        model.step(); // untraced
+        let trace = trace_steps(model.as_mut(), 1);
+        assert_eq!(trace.steps, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the analysis pipeline: metric axioms for
+//! cosine distance, structural invariants of the clustering, and
+//! conservation laws of profiles and skew curves.
+
+use fathom_dataflow::cost::OpCost;
+use fathom_dataflow::trace::{RunTrace, TraceEvent};
+use fathom_dataflow::{NodeId, OpClass};
+use fathom_profile::{cluster, cosine_distance, OpProfile, SkewCurve};
+use proptest::prelude::*;
+
+const OPS: [&str; 6] = ["MatMul", "Conv2D", "Add", "Tile", "Softmax", "Sum"];
+
+/// A random profile over the fixed op menu.
+fn profile_strategy(name: &'static str) -> impl Strategy<Value = OpProfile> {
+    proptest::collection::vec(0.0f64..100.0, OPS.len()).prop_map(move |times| {
+        let events = OPS
+            .iter()
+            .zip(&times)
+            .filter(|(_, &t)| t > 0.0)
+            .map(|(&op, &nanos)| TraceEvent {
+                node: NodeId::default(),
+                op,
+                class: OpClass::MatrixOps,
+                step: 0,
+                nanos,
+                cost: OpCost::default(),
+            })
+            .collect();
+        OpProfile::from_trace(name, &RunTrace { events, total_nanos: 0.0, steps: 1, peak_live_bytes: 0 })
+    })
+}
+
+fn nonneg_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cosine distance is bounded, symmetric, and zero on identical
+    /// non-zero vectors.
+    #[test]
+    fn cosine_distance_axioms(a in nonneg_vec()) {
+        let b: Vec<f64> = a.iter().rev().copied().collect();
+        let d_ab = cosine_distance(&a, &b);
+        let d_ba = cosine_distance(&b, &a);
+        prop_assert!((0.0..=2.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        if a.iter().any(|&v| v > 0.0) {
+            prop_assert!(cosine_distance(&a, &a) < 1e-9);
+        }
+    }
+
+    /// Cosine distance is scale-invariant.
+    #[test]
+    fn cosine_distance_scale_invariant(a in nonneg_vec(), k in 0.1f64..50.0) {
+        let b: Vec<f64> = a.iter().rev().copied().collect();
+        let scaled: Vec<f64> = a.iter().map(|v| v * k).collect();
+        let d1 = cosine_distance(&a, &b);
+        let d2 = cosine_distance(&scaled, &b);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    /// Class fractions always sum to 1 for a non-empty profile.
+    #[test]
+    fn class_fractions_sum_to_one(p in profile_strategy("w")) {
+        prop_assume!(p.total_nanos() > 0.0);
+        let total: f64 = p.class_fractions().iter().map(|(_, f)| f).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Skew curves are monotone non-decreasing and end at 1.
+    #[test]
+    fn skew_curves_are_monotone(p in profile_strategy("w")) {
+        prop_assume!(p.total_nanos() > 0.0);
+        let c = SkewCurve::from_profile(&p);
+        for w in c.cumulative.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        prop_assert!((c.cumulative.last().unwrap() - 1.0).abs() < 1e-9);
+        // ops_for_fraction is consistent with the curve.
+        if let Some(k) = c.ops_for_fraction(0.5) {
+            prop_assert!(c.cumulative[k - 1] >= 0.5);
+            if k >= 2 {
+                prop_assert!(c.cumulative[k - 2] < 0.5);
+            }
+        }
+    }
+
+    /// Clustering keeps every input as a leaf, exactly once, and merge
+    /// distances are bounded.
+    #[test]
+    fn dendrogram_structure(
+        a in profile_strategy("w_a"),
+        b in profile_strategy("w_b"),
+        c in profile_strategy("w_c"),
+    ) {
+        prop_assume!(a.total_nanos() > 0.0 && b.total_nanos() > 0.0 && c.total_nanos() > 0.0);
+        let d = cluster(&[a, b, c]);
+        let mut leaves = d.root.leaves();
+        leaves.sort_unstable();
+        prop_assert_eq!(leaves, vec!["w_a", "w_b", "w_c"]);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((0.0..=2.0).contains(&d.distances[i][j]));
+                prop_assert!((d.distances[i][j] - d.distances[j][i]).abs() < 1e-12);
+            }
+            prop_assert!(d.distances[i][i] < 1e-9);
+        }
+    }
+
+    /// The profile's ranked list is a permutation of its entries with
+    /// non-increasing times.
+    #[test]
+    fn ranking_is_sorted(p in profile_strategy("w")) {
+        let ranked = p.ranked();
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].nanos >= w[1].nanos);
+        }
+    }
+}

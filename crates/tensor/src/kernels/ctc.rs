@@ -1,0 +1,389 @@
+//! Connectionist temporal classification (CTC) loss.
+//!
+//! Deep Speech's "CTC loss function can learn from unsegmented data"
+//! (Graves et al., ICML 2006); the paper's Figure 3 shows CTC as the only
+//! significant non-matmul computation in the `speech` workload. This is a
+//! full log-space forward-backward implementation with analytic gradients.
+
+use crate::pool::ExecPool;
+use crate::tensor::Tensor;
+
+/// Log of the sum of exponentials of two log-domain values.
+fn log_add(a: f32, b: f32) -> f32 {
+    if a == f32::NEG_INFINITY {
+        return b;
+    }
+    if b == f32::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Builds the blank-interleaved extended label sequence
+/// `[blank, l1, blank, l2, ..., blank]`.
+fn extend_labels(labels: &[usize], blank: usize) -> Vec<usize> {
+    let mut ext = Vec::with_capacity(labels.len() * 2 + 1);
+    ext.push(blank);
+    for &l in labels {
+        ext.push(l);
+        ext.push(blank);
+    }
+    ext
+}
+
+/// CTC negative log-likelihood and its gradient for a batch.
+///
+/// `logits` is `[time, batch, classes]` (pre-softmax). `labels[b]` is the
+/// target sequence for batch item `b` (values in `0..classes`, excluding
+/// `blank`). Returns `(mean_loss, dlogits)` where `dlogits` is the gradient
+/// of the *mean* loss with respect to the logits.
+///
+/// Batch items whose label is longer than representable in `time` frames
+/// contribute an infinite loss and a zero gradient (matching TensorFlow's
+/// behavior of rejecting such items).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent, `blank >= classes`, or a label value
+/// is out of range.
+pub fn ctc_loss(
+    logits: &Tensor,
+    labels: &[Vec<usize>],
+    blank: usize,
+    pool: &ExecPool,
+) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 3, "ctc logits must be [time, batch, classes]");
+    let t_max = logits.shape().dim(0);
+    let batch = logits.shape().dim(1);
+    let classes = logits.shape().dim(2);
+    assert_eq!(labels.len(), batch, "ctc label batch mismatch");
+    assert!(blank < classes, "blank {blank} out of range for {classes} classes");
+    for seq in labels {
+        for &l in seq {
+            assert!(l < classes && l != blank, "ctc label {l} invalid (classes {classes}, blank {blank})");
+        }
+    }
+
+    let mut grad = Tensor::zeros(logits.shape().clone());
+    if t_max == 0 || batch == 0 {
+        return (0.0, grad);
+    }
+    let src = logits.data();
+
+    // One batch item per worker: the gradient layout is [T, B, C], so the
+    // per-item columns are strided. We accumulate per-item gradients into
+    // scratch and write them out under a lock-free disjoint pattern by
+    // returning them from map_reduce.
+    let results: Vec<(f32, Vec<f32>)> = pool
+        .map_reduce(
+            batch,
+            t_max * classes * 8,
+            Vec::new(),
+            |range| {
+                let mut out = Vec::new();
+                for b in range {
+                    out.push(ctc_single(src, t_max, batch, classes, b, &labels[b], blank));
+                }
+                out
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+        .into_iter()
+        .collect();
+
+    let mut total = 0.0;
+    let mut valid = 0usize;
+    let g = grad.data_mut();
+    for (b, (loss, item_grad)) in results.into_iter().enumerate() {
+        if loss.is_finite() {
+            total += loss;
+            valid += 1;
+            for t in 0..t_max {
+                for c in 0..classes {
+                    g[(t * batch + b) * classes + c] = item_grad[t * classes + c];
+                }
+            }
+        }
+    }
+    let denom = valid.max(1) as f32;
+    for v in g.iter_mut() {
+        *v /= denom;
+    }
+    (if valid == 0 { f32::INFINITY } else { total / denom }, grad)
+}
+
+/// Loss and gradient (w.r.t. logits, unnormalized) for one batch item.
+/// The returned gradient is `[t_max * classes]` in row-major `[t, c]`.
+fn ctc_single(
+    src: &[f32],
+    t_max: usize,
+    batch: usize,
+    classes: usize,
+    b: usize,
+    labels: &[usize],
+    blank: usize,
+) -> (f32, Vec<f32>) {
+    let ext = extend_labels(labels, blank);
+    let s = ext.len();
+    // Minimum frames: every label plus a mandatory blank between repeats.
+    let mut min_frames = labels.len();
+    for w in labels.windows(2) {
+        if w[0] == w[1] {
+            min_frames += 1;
+        }
+    }
+    if t_max < min_frames {
+        return (f32::INFINITY, vec![0.0; t_max * classes]);
+    }
+
+    // Per-frame log-softmax for this batch item.
+    let mut logp = vec![0.0f32; t_max * classes];
+    for t in 0..t_max {
+        let row = &src[(t * batch + b) * classes..(t * batch + b) * classes + classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logsum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        for c in 0..classes {
+            logp[t * classes + c] = row[c] - max - logsum;
+        }
+    }
+
+    let ninf = f32::NEG_INFINITY;
+    // Forward (alpha) and backward (beta) passes in log space.
+    let mut alpha = vec![ninf; t_max * s];
+    alpha[0] = logp[ext[0]];
+    if s > 1 {
+        alpha[1] = logp[ext[1]];
+    }
+    for t in 1..t_max {
+        for i in 0..s {
+            let mut acc = alpha[(t - 1) * s + i];
+            if i >= 1 {
+                acc = log_add(acc, alpha[(t - 1) * s + i - 1]);
+            }
+            // Skip connection allowed when the symbol differs from the one
+            // two positions back (i.e. not a blank and not a repeat).
+            if i >= 2 && ext[i] != blank && ext[i] != ext[i - 2] {
+                acc = log_add(acc, alpha[(t - 1) * s + i - 2]);
+            }
+            alpha[t * s + i] = acc + logp[t * classes + ext[i]];
+        }
+    }
+    let mut beta = vec![ninf; t_max * s];
+    beta[(t_max - 1) * s + s - 1] = 0.0;
+    if s > 1 {
+        beta[(t_max - 1) * s + s - 2] = 0.0;
+    }
+    for t in (0..t_max - 1).rev() {
+        for i in 0..s {
+            let mut acc = beta[(t + 1) * s + i] + logp[(t + 1) * classes + ext[i]];
+            if i + 1 < s {
+                acc = log_add(acc, beta[(t + 1) * s + i + 1] + logp[(t + 1) * classes + ext[i + 1]]);
+            }
+            if i + 2 < s && ext[i + 2] != blank && ext[i + 2] != ext[i] {
+                acc = log_add(acc, beta[(t + 1) * s + i + 2] + logp[(t + 1) * classes + ext[i + 2]]);
+            }
+            beta[t * s + i] = acc;
+        }
+    }
+
+    let mut log_lik = ninf;
+    log_lik = log_add(log_lik, alpha[(t_max - 1) * s + s - 1]);
+    if s > 1 {
+        log_lik = log_add(log_lik, alpha[(t_max - 1) * s + s - 2]);
+    }
+    if log_lik == ninf {
+        return (f32::INFINITY, vec![0.0; t_max * classes]);
+    }
+
+    // Gradient w.r.t. logits: p(c|t) - sum over matching extended positions
+    // of the posterior gamma.
+    let mut grad = vec![0.0f32; t_max * classes];
+    for t in 0..t_max {
+        // gamma mass per class at this frame
+        let mut class_mass = vec![ninf; classes];
+        for i in 0..s {
+            let g = alpha[t * s + i] + beta[t * s + i];
+            class_mass[ext[i]] = log_add(class_mass[ext[i]], g);
+        }
+        for c in 0..classes {
+            let p = logp[t * classes + c].exp();
+            let posterior = if class_mass[c] == ninf {
+                0.0
+            } else {
+                (class_mass[c] - log_lik).exp()
+            };
+            grad[t * classes + c] = p - posterior;
+        }
+    }
+    (-log_lik, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn pool() -> ExecPool {
+        ExecPool::serial()
+    }
+
+    /// Brute-force CTC likelihood: enumerate every alignment path and sum
+    /// the probabilities of those that collapse to the label.
+    fn ctc_brute_force(logits: &Tensor, labels: &[usize], blank: usize) -> f32 {
+        let t_max = logits.shape().dim(0);
+        let classes = logits.shape().dim(2);
+        // log-softmax per frame (batch item 0)
+        let mut logp = vec![0.0f32; t_max * classes];
+        for t in 0..t_max {
+            let row: Vec<f32> = (0..classes).map(|c| logits.at(&[t, 0, c])).collect();
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let logsum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            for c in 0..classes {
+                logp[t * classes + c] = row[c] - max - logsum;
+            }
+        }
+        fn collapse(path: &[usize], blank: usize) -> Vec<usize> {
+            let mut out = Vec::new();
+            let mut prev = usize::MAX;
+            for &p in path {
+                if p != prev && p != blank {
+                    out.push(p);
+                }
+                prev = p;
+            }
+            out
+        }
+        let mut total = f32::NEG_INFINITY;
+        let paths = (classes as u64).pow(t_max as u32);
+        for code in 0..paths {
+            let mut c = code;
+            let mut path = Vec::with_capacity(t_max);
+            let mut lp = 0.0;
+            for t in 0..t_max {
+                let sym = (c % classes as u64) as usize;
+                c /= classes as u64;
+                path.push(sym);
+                lp += logp[t * classes + sym];
+            }
+            if collapse(&path, blank) == labels {
+                total = log_add(total, lp);
+            }
+        }
+        -total
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        let mut rng = Rng::seeded(1);
+        // 4 frames, 3 classes (blank=0), label "1 2"
+        let logits = Tensor::randn([4, 1, 3], 0.0, 1.0, &mut rng);
+        let labels = vec![vec![1usize, 2]];
+        let (loss, _) = ctc_loss(&logits, &labels, 0, &pool());
+        let brute = ctc_brute_force(&logits, &[1, 2], 0);
+        assert!((loss - brute).abs() < 1e-4, "fb {loss} vs brute {brute}");
+    }
+
+    #[test]
+    fn repeated_labels_need_separating_blank() {
+        let mut rng = Rng::seeded(2);
+        let logits = Tensor::randn([5, 1, 3], 0.0, 1.0, &mut rng);
+        let (loss, _) = ctc_loss(&logits, &[vec![1, 1]], 0, &pool());
+        let brute = ctc_brute_force(&logits, &[1, 1], 0);
+        assert!((loss - brute).abs() < 1e-4, "fb {loss} vs brute {brute}");
+    }
+
+    #[test]
+    fn impossible_label_is_infinite() {
+        // 2 frames cannot emit 3 labels.
+        let logits = Tensor::zeros([2, 1, 4]);
+        let (loss, grad) = ctc_loss(&logits, &[vec![1, 2, 3]], 0, &pool());
+        assert!(loss.is_infinite());
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = Rng::seeded(3);
+        let logits = Tensor::randn([5, 2, 4], 0.0, 1.0, &mut rng);
+        let labels = vec![vec![1usize, 2], vec![3usize]];
+        let (_, grad) = ctc_loss(&logits, &labels, 0, &pool());
+        let eps = 1e-2;
+        for idx in [0usize, 3, 11, 17, 26, 39] {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (fp, _) = ctc_loss(&lp, &labels, 0, &pool());
+            let (fm, _) = ctc_loss(&lm, &labels, 0, &pool());
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[idx]).abs() < 5e-3,
+                "grad[{idx}]: numeric {num} vs analytic {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_logits_give_small_loss() {
+        // Logits strongly favoring the path "1 blank 2 blank" for label [1,2].
+        let mut logits = Tensor::filled([4, 1, 3], -10.0);
+        logits.set(&[0, 0, 1], 10.0);
+        logits.set(&[1, 0, 0], 10.0);
+        logits.set(&[2, 0, 2], 10.0);
+        logits.set(&[3, 0, 0], 10.0);
+        let (loss, _) = ctc_loss(&logits, &[vec![1, 2]], 0, &pool());
+        assert!(loss < 0.01, "loss {loss}");
+    }
+
+    #[test]
+    fn batch_means_losses() {
+        let mut rng = Rng::seeded(4);
+        let l0 = Tensor::randn([4, 1, 3], 0.0, 1.0, &mut rng);
+        let l1 = Tensor::randn([4, 1, 3], 0.0, 1.0, &mut rng);
+        // Interleave into a batch of 2: [T, 2, C]
+        let mut both = Tensor::zeros([4, 2, 3]);
+        for t in 0..4 {
+            for c in 0..3 {
+                both.set(&[t, 0, c], l0.at(&[t, 0, c]));
+                both.set(&[t, 1, c], l1.at(&[t, 0, c]));
+            }
+        }
+        let (a, _) = ctc_loss(&l0, &[vec![1]], 0, &pool());
+        let (b, _) = ctc_loss(&l1, &[vec![2]], 0, &pool());
+        let (mean, _) = ctc_loss(&both, &[vec![1], vec![2]], 0, &pool());
+        assert!((mean - (a + b) / 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn label_equal_to_blank_panics() {
+        ctc_loss(&Tensor::zeros([2, 1, 3]), &[vec![0]], 0, &pool());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = Rng::seeded(5);
+        let logits = Tensor::randn([6, 4, 5], 0.0, 1.0, &mut rng);
+        let labels = vec![vec![1, 2], vec![3], vec![4, 1, 2], vec![2, 2]];
+        let (ls, gs) = ctc_loss(&logits, &labels, 0, &ExecPool::serial());
+        let (lp, gp) = ctc_loss(&logits, &labels, 0, &ExecPool::new(4).with_grain(1));
+        assert!((ls - lp).abs() < 1e-6);
+        assert!(gs.max_abs_diff(&gp) < 1e-6);
+    }
+
+    #[test]
+    fn empty_label_prefers_all_blanks() {
+        // With an empty label the only valid paths are all-blank.
+        let mut logits = Tensor::filled([3, 1, 2], 0.0);
+        logits.set(&[0, 0, 0], 5.0);
+        logits.set(&[1, 0, 0], 5.0);
+        logits.set(&[2, 0, 0], 5.0);
+        let (loss, _) = ctc_loss(&logits, &[vec![]], 0, &pool());
+        assert!(loss < 0.05, "loss {loss}");
+    }
+}

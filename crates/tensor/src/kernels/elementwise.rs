@@ -1,0 +1,324 @@
+//! Elementwise arithmetic kernels (op class C in the paper's taxonomy).
+//!
+//! Binary kernels support NumPy-style broadcasting. All kernels parallelize
+//! across flat output chunks through an [`ExecPool`].
+
+use crate::pool::ExecPool;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Span length used when chunking flat elementwise loops.
+const FLAT_SPAN: usize = 1024;
+
+/// Applies `f` to every element, producing a new tensor.
+pub fn unary(x: &Tensor, pool: &ExecPool, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = Tensor::zeros(x.shape().clone());
+    let src = x.data();
+    let span = FLAT_SPAN.min(src.len().max(1));
+    let tail = src.len() % span;
+    // Process the aligned prefix in parallel, the remainder serially.
+    let aligned = src.len() - tail;
+    pool.for_spans(&mut out.data_mut()[..aligned], span, 0, |i, dst| {
+        let base = i * span;
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = f(src[base + j]);
+        }
+    });
+    for j in aligned..src.len() {
+        out.data_mut()[j] = f(src[j]);
+    }
+    out
+}
+
+/// Applies `f(a, b)` elementwise with broadcasting.
+///
+/// # Panics
+///
+/// Panics if the shapes are not broadcast-compatible.
+pub fn binary(a: &Tensor, b: &Tensor, pool: &ExecPool, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
+
+    // Fast path: identical shapes.
+    if a.shape() == b.shape() {
+        let mut out = Tensor::zeros(out_shape);
+        let (x, y) = (a.data(), b.data());
+        let span = FLAT_SPAN.min(x.len().max(1));
+        let aligned = x.len() - x.len() % span;
+        pool.for_spans(&mut out.data_mut()[..aligned], span, 0, |i, dst| {
+            let base = i * span;
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = f(x[base + j], y[base + j]);
+            }
+        });
+        for j in aligned..x.len() {
+            out.data_mut()[j] = f(x[j], y[j]);
+        }
+        return out;
+    }
+
+    // Fast path: one side is a scalar (or single element).
+    if a.len() == 1 {
+        let s = a.data()[0];
+        return unary(b, pool, |v| f(s, v)).reshaped(out_shape);
+    }
+    if b.len() == 1 {
+        let s = b.data()[0];
+        let out = unary(a, pool, |v| f(v, s));
+        return out.reshaped(out_shape);
+    }
+
+    // General strided broadcast.
+    let rank = out_shape.rank();
+    let out_dims = out_shape.dims().to_vec();
+    let a_strides = broadcast_strides(a.shape(), rank, &out_dims);
+    let b_strides = broadcast_strides(b.shape(), rank, &out_dims);
+    let mut out = Tensor::zeros(out_shape.clone());
+    let inner = if rank == 0 { 1 } else { out_dims[rank - 1] };
+    let a_data = a.data();
+    let b_data = b.data();
+    pool.for_spans(out.data_mut(), inner.max(1), 0, |row, dst| {
+        // Decompose the row index into the leading coordinates.
+        let mut rem = row;
+        let mut a_off = 0;
+        let mut b_off = 0;
+        for axis in (0..rank.saturating_sub(1)).rev() {
+            let coord = rem % out_dims[axis];
+            rem /= out_dims[axis];
+            a_off += coord * a_strides[axis];
+            b_off += coord * b_strides[axis];
+        }
+        let a_inner = if rank == 0 { 0 } else { a_strides[rank - 1] };
+        let b_inner = if rank == 0 { 0 } else { b_strides[rank - 1] };
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = f(a_data[a_off + j * a_inner], b_data[b_off + j * b_inner]);
+        }
+    });
+    out
+}
+
+/// Strides for reading a tensor of shape `shape` as though it had the
+/// broadcast target's rank and dims: broadcast axes get stride 0.
+fn broadcast_strides(shape: &Shape, target_rank: usize, target_dims: &[usize]) -> Vec<usize> {
+    let own = shape.strides();
+    let offset = target_rank - shape.rank();
+    let mut strides = vec![0; target_rank];
+    for i in 0..shape.rank() {
+        let t = i + offset;
+        strides[t] = if shape.dims()[i] == 1 && target_dims[t] != 1 { 0 } else { own[i] };
+    }
+    strides
+}
+
+/// `a + b` with broadcasting.
+pub fn add(a: &Tensor, b: &Tensor, pool: &ExecPool) -> Tensor {
+    binary(a, b, pool, |x, y| x + y)
+}
+
+/// `a - b` with broadcasting.
+pub fn sub(a: &Tensor, b: &Tensor, pool: &ExecPool) -> Tensor {
+    binary(a, b, pool, |x, y| x - y)
+}
+
+/// `a * b` with broadcasting.
+pub fn mul(a: &Tensor, b: &Tensor, pool: &ExecPool) -> Tensor {
+    binary(a, b, pool, |x, y| x * y)
+}
+
+/// `a / b` with broadcasting.
+pub fn div(a: &Tensor, b: &Tensor, pool: &ExecPool) -> Tensor {
+    binary(a, b, pool, |x, y| x / y)
+}
+
+/// Elementwise maximum with broadcasting.
+pub fn maximum(a: &Tensor, b: &Tensor, pool: &ExecPool) -> Tensor {
+    binary(a, b, pool, f32::max)
+}
+
+/// Elementwise `a^b` with broadcasting.
+pub fn pow(a: &Tensor, b: &Tensor, pool: &ExecPool) -> Tensor {
+    binary(a, b, pool, f32::powf)
+}
+
+/// Elementwise negation.
+pub fn neg(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, |v| -v)
+}
+
+/// Elementwise `e^x`.
+pub fn exp(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, f32::exp)
+}
+
+/// Elementwise natural logarithm.
+pub fn log(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, f32::ln)
+}
+
+/// Elementwise square root.
+pub fn sqrt(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, f32::sqrt)
+}
+
+/// Elementwise square.
+pub fn square(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, |v| v * v)
+}
+
+/// Elementwise hyperbolic tangent.
+pub fn tanh(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, f32::tanh)
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, |v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Elementwise rectified linear unit.
+pub fn relu(x: &Tensor, pool: &ExecPool) -> Tensor {
+    unary(x, pool, |v| v.max(0.0))
+}
+
+/// Sum of `n >= 1` same-shaped tensors (the `AddN` kernel).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or shapes differ.
+pub fn add_n(inputs: &[&Tensor], pool: &ExecPool) -> Tensor {
+    assert!(!inputs.is_empty(), "add_n requires at least one input");
+    let shape = inputs[0].shape().clone();
+    for t in inputs {
+        assert_eq!(t.shape(), &shape, "add_n inputs must share a shape");
+    }
+    let mut out = Tensor::zeros(shape);
+    let span = FLAT_SPAN.min(out.len().max(1));
+    let aligned = out.len() - out.len() % span;
+    let n = out.len();
+    pool.for_spans(&mut out.data_mut()[..aligned], span, inputs.len(), |i, dst| {
+        let base = i * span;
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = inputs.iter().map(|t| t.data()[base + j]).sum();
+        }
+    });
+    for j in aligned..n {
+        out.data_mut()[j] = inputs.iter().map(|t| t.data()[j]).sum();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ExecPool {
+        ExecPool::new(4).with_grain(1)
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
+        assert_eq!(add(&a, &b, &pool()).data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let s = Tensor::scalar(10.0);
+        assert_eq!(mul(&a, &s, &pool()).data(), &[10.0, 20.0]);
+        assert_eq!(sub(&s, &a, &pool()).data(), &[9.0, 8.0]);
+    }
+
+    #[test]
+    fn row_broadcast() {
+        // [2,3] + [3] broadcasts the vector across rows.
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
+        let c = add(&a, &b, &pool());
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn column_broadcast() {
+        // [2,3] * [2,1] broadcasts the column across columns.
+        let a = Tensor::ones([2, 3]);
+        let b = Tensor::from_vec(vec![2.0, 3.0], [2, 1]);
+        let c = mul(&a, &b, &pool());
+        assert_eq!(c.data(), &[2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn both_sides_broadcast() {
+        // [2,1] + [1,3] -> [2,3]
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2, 1]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [1, 3]);
+        let c = add(&a, &b, &pool());
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(c.data(), &[11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn incompatible_shapes_panic() {
+        add(&Tensor::zeros([2]), &Tensor::zeros([3]), &pool());
+    }
+
+    #[test]
+    fn unary_functions() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 1.0], [3]);
+        assert_eq!(relu(&x, &pool()).data(), &[0.0, 0.0, 1.0]);
+        assert_eq!(neg(&x, &pool()).data(), &[1.0, 0.0, -1.0]);
+        assert_eq!(square(&x, &pool()).data(), &[1.0, 0.0, 1.0]);
+        let s = sigmoid(&x, &pool());
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[0] < 0.5 && s.data()[2] > 0.5);
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        let x = Tensor::from_vec(vec![0.5, 1.0, 2.0], [3]);
+        let y = log(&exp(&x, &pool()), &pool());
+        assert!(x.max_abs_diff(&y) < 1e-5);
+    }
+
+    #[test]
+    fn add_n_accumulates() {
+        let a = Tensor::ones([4]);
+        let b = Tensor::filled([4], 2.0);
+        let c = Tensor::filled([4], 3.0);
+        let s = add_n(&[&a, &b, &c], &pool());
+        assert_eq!(s.data(), &[6.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn add_n_empty_panics() {
+        add_n(&[], &pool());
+    }
+
+    #[test]
+    fn large_parallel_matches_serial() {
+        let n = 100_000;
+        let x = Tensor::from_vec((0..n).map(|i| i as f32 * 0.001).collect(), [n]);
+        let serial = tanh(&x, &ExecPool::serial());
+        let parallel = tanh(&x, &ExecPool::new(8));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn high_rank_broadcast() {
+        // [2,1,2] * [3,1] -> [2,3,2]
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 1, 2]);
+        let b = Tensor::from_vec(vec![1.0, 10.0, 100.0], [3, 1]);
+        let c = mul(&a, &b, &pool());
+        assert_eq!(c.shape().dims(), &[2, 3, 2]);
+        assert_eq!(
+            c.data(),
+            &[1.0, 2.0, 10.0, 20.0, 100.0, 200.0, 3.0, 4.0, 30.0, 40.0, 300.0, 400.0]
+        );
+    }
+}

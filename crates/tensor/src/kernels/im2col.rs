@@ -1,0 +1,142 @@
+//! im2col convolution: the classic "lower convolution to matmul" kernel
+//! used by Caffe and early cuDNN.
+//!
+//! The patch matrix `[n*oh*ow, kh*kw*ic]` is materialized once and
+//! multiplied by the filter viewed as `[kh*kw*ic, oc]`. This trades
+//! memory traffic (the input is duplicated up to `kh*kw` times) for a
+//! single large, highly regular matmul — the `kernels` criterion bench
+//! compares it against the direct kernel, and the result is one of the
+//! design-choice ablations DESIGN.md calls for.
+
+use crate::kernels::conv::Conv2dSpec;
+use crate::kernels::matmul::matmul;
+use crate::pool::ExecPool;
+use crate::tensor::Tensor;
+
+/// Materializes the patch matrix `[n*oh*ow, kh*kw*ic]` for an NHWC input.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid (see [`Conv2dSpec::out_shape`]).
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec, pool: &ExecPool) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "im2col input must be NHWC");
+    let (n, h, w, ic) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let patch = kh * kw * ic;
+    let mut out = Tensor::zeros([n * oh * ow, patch]);
+    if out.is_empty() {
+        return out;
+    }
+    let src = input.data();
+    pool.for_spans(out.data_mut(), patch, patch, |row, dst| {
+        let ox = row % ow;
+        let oy = (row / ow) % oh;
+        let b = row / (ow * oh);
+        for ky in 0..kh {
+            let y = (oy * spec.stride + ky) as isize - spec.pad as isize;
+            for kx in 0..kw {
+                let x = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                let dst_px = &mut dst[(ky * kw + kx) * ic..(ky * kw + kx) * ic + ic];
+                if y < 0 || y >= h as isize || x < 0 || x >= w as isize {
+                    dst_px.fill(0.0);
+                } else {
+                    let base = ((b * h + y as usize) * w + x as usize) * ic;
+                    dst_px.copy_from_slice(&src[base..base + ic]);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Forward convolution by patch-matrix lowering; numerically equivalent
+/// to [`crate::kernels::conv::conv2d`].
+///
+/// # Panics
+///
+/// Panics if the shapes are not a valid convolution.
+pub fn conv2d_im2col(input: &Tensor, filter: &Tensor, spec: Conv2dSpec, pool: &ExecPool) -> Tensor {
+    let out_shape = spec.out_shape(input.shape(), filter.shape());
+    let (kh, kw, ic, oc) = (
+        filter.shape().dim(0),
+        filter.shape().dim(1),
+        filter.shape().dim(2),
+        filter.shape().dim(3),
+    );
+    let patches = im2col(input, kh, kw, spec, pool);
+    let filter_mat = filter.clone().reshaped([kh * kw * ic, oc]);
+    let product = matmul(&patches, &filter_mat, false, false, pool);
+    product.reshaped(out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::conv::conv2d;
+    use crate::rng::Rng;
+
+    fn pool() -> ExecPool {
+        ExecPool::new(2).with_grain(64)
+    }
+
+    #[test]
+    fn matches_direct_convolution() {
+        let mut rng = Rng::seeded(11);
+        for &(h, w, k, ic, oc, stride, pad) in &[
+            (6, 6, 3, 2, 4, 1, 1),
+            (8, 8, 3, 3, 2, 2, 1),
+            (9, 7, 5, 1, 3, 2, 2),
+            (5, 5, 1, 4, 4, 1, 0),
+        ] {
+            let spec = Conv2dSpec { stride, pad };
+            let x = Tensor::randn([2, h, w, ic], 0.0, 1.0, &mut rng);
+            let f = Tensor::randn([k, k, ic, oc], 0.0, 1.0, &mut rng);
+            let direct = conv2d(&x, &f, spec, &pool());
+            let lowered = conv2d_im2col(&x, &f, spec, &pool());
+            assert!(
+                direct.max_abs_diff(&lowered) < 1e-4,
+                "mismatch for h={h} w={w} k={k} s={stride} p={pad}: {}",
+                direct.max_abs_diff(&lowered)
+            );
+        }
+    }
+
+    #[test]
+    fn patch_matrix_shape_and_content() {
+        // 3x3 single-channel input, 2x2 valid conv: 4 patches of 4.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), [1, 3, 3, 1]);
+        let p = im2col(&x, 2, 2, Conv2dSpec::valid(), &pool());
+        assert_eq!(p.shape().dims(), &[4, 4]);
+        // First patch is the top-left 2x2 window.
+        assert_eq!(&p.data()[..4], &[1.0, 2.0, 4.0, 5.0]);
+        // Last patch is the bottom-right window.
+        assert_eq!(&p.data()[12..], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_zero_fills() {
+        let x = Tensor::ones([1, 2, 2, 1]);
+        let p = im2col(&x, 3, 3, Conv2dSpec::same(3), &pool());
+        // Center patch of the 2x2 image with 3x3 same padding: corners of
+        // the first patch are zeros.
+        assert_eq!(p.shape().dims(), &[4, 9]);
+        assert_eq!(p.data()[0], 0.0, "top-left of first patch is padding");
+        assert_eq!(p.data()[4], 1.0, "center of first patch is real data");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = Rng::seeded(12);
+        let x = Tensor::randn([2, 10, 10, 3], 0.0, 1.0, &mut rng);
+        let f = Tensor::randn([3, 3, 3, 8], 0.0, 1.0, &mut rng);
+        let a = conv2d_im2col(&x, &f, Conv2dSpec::same(3), &ExecPool::serial());
+        let b = conv2d_im2col(&x, &f, Conv2dSpec::same(3), &ExecPool::new(4).with_grain(1));
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+}

@@ -1,0 +1,15 @@
+//! Numeric kernels backing the dataflow operations.
+//!
+//! Every kernel takes an [`crate::ExecPool`] and parallelizes across
+//! disjoint spans of its output, mirroring how TensorFlow's CPU backend
+//! parallelizes through Eigen's thread pool.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool2d;
+pub mod reduce;
+pub mod softmax;
+pub mod transform;
+pub mod ctc;
+pub mod im2col;

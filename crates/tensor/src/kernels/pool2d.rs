@@ -1,0 +1,294 @@
+//! Spatial pooling kernels (grouped with convolution in the paper's op
+//! taxonomy, since cuDNN/Eigen implement them in the same family).
+
+use crate::pool::ExecPool;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+use super::conv::Conv2dSpec;
+
+/// Pooling window geometry: square window with a stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dSpec {
+    /// Window edge length, in pixels.
+    pub window: usize,
+    /// Step between adjacent windows.
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// The common non-overlapping `k x k` pooling.
+    pub fn square(window: usize) -> Self {
+        Pool2dSpec { window, stride: window }
+    }
+
+    /// Output shape `[n, oh, ow, c]` for an NHWC input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4 or the window does not fit.
+    pub fn out_shape(&self, input: &Shape) -> Shape {
+        assert_eq!(input.rank(), 4, "pool2d input must be NHWC, got {input}");
+        let spec = Conv2dSpec { stride: self.stride, pad: 0 };
+        Shape::new(vec![
+            input.dim(0),
+            spec.out_extent(input.dim(1), self.window),
+            spec.out_extent(input.dim(2), self.window),
+            input.dim(3),
+        ])
+    }
+}
+
+/// Max pooling over NHWC input.
+pub fn max_pool(input: &Tensor, spec: Pool2dSpec, pool: &ExecPool) -> Tensor {
+    pool_forward(input, spec, pool, true)
+}
+
+/// Average pooling over NHWC input.
+pub fn avg_pool(input: &Tensor, spec: Pool2dSpec, pool: &ExecPool) -> Tensor {
+    pool_forward(input, spec, pool, false)
+}
+
+fn pool_forward(input: &Tensor, spec: Pool2dSpec, pool: &ExecPool, is_max: bool) -> Tensor {
+    let out_shape = spec.out_shape(input.shape());
+    let (_, h, w, c) = nhwc(input.shape());
+    let (oh, ow) = (out_shape.dim(1), out_shape.dim(2));
+    let mut out = Tensor::zeros(out_shape);
+    if out.is_empty() {
+        return out;
+    }
+    let x = input.data();
+    let span = ow * c;
+    let work = spec.window * spec.window * ow * c;
+    let win_area = (spec.window * spec.window) as f32;
+    pool.for_spans(out.data_mut(), span, work, |row, dst| {
+        let b = row / oh;
+        let oy = row % oh;
+        if is_max {
+            dst.fill(f32::NEG_INFINITY);
+        }
+        for ky in 0..spec.window {
+            let y = oy * spec.stride + ky;
+            for ox in 0..ow {
+                let dst_px = &mut dst[ox * c..(ox + 1) * c];
+                for kx in 0..spec.window {
+                    let xx = ox * spec.stride + kx;
+                    let src = &x[((b * h + y) * w + xx) * c..((b * h + y) * w + xx) * c + c];
+                    if is_max {
+                        for (d, &v) in dst_px.iter_mut().zip(src) {
+                            if v > *d {
+                                *d = v;
+                            }
+                        }
+                    } else {
+                        for (d, &v) in dst_px.iter_mut().zip(src) {
+                            *d += v / win_area;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Gradient of max pooling: routes each output gradient to the input
+/// position that attained the window maximum (first occurrence wins).
+///
+/// # Panics
+///
+/// Panics if `grad`'s shape is not the pooled shape of `input`.
+pub fn max_pool_grad(input: &Tensor, grad: &Tensor, spec: Pool2dSpec, pool: &ExecPool) -> Tensor {
+    let out_shape = spec.out_shape(input.shape());
+    assert_eq!(grad.shape(), &out_shape, "grad shape {} != pooled {}", grad.shape(), out_shape);
+    let (n, h, w, c) = nhwc(input.shape());
+    let (oh, ow) = (out_shape.dim(1), out_shape.dim(2));
+    let mut out = Tensor::zeros(input.shape().clone());
+    if out.is_empty() {
+        return out;
+    }
+    let x = input.data();
+    let g = grad.data();
+    // Parallelize over batch items: windows within one item may overlap
+    // rows when stride < window, so a full image is the safe disjoint unit.
+    let span = h * w * c;
+    let work = oh * ow * spec.window * spec.window * c;
+    pool.for_spans(out.data_mut(), span, work, |b, dst| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = 0;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            let y = oy * spec.stride + ky;
+                            let xx = ox * spec.stride + kx;
+                            let off = (y * w + xx) * c + ch;
+                            let v = x[b * span + off];
+                            if v > best {
+                                best = v;
+                                best_off = off;
+                            }
+                        }
+                    }
+                    dst[best_off] += g[((b * oh + oy) * ow + ox) * c + ch];
+                }
+            }
+        }
+    });
+    let _ = n;
+    out
+}
+
+/// Gradient of average pooling: spreads each output gradient uniformly
+/// across its window.
+///
+/// # Panics
+///
+/// Panics if `grad`'s shape is not the pooled shape of `input_shape`.
+pub fn avg_pool_grad(input_shape: &Shape, grad: &Tensor, spec: Pool2dSpec, pool: &ExecPool) -> Tensor {
+    let out_shape = spec.out_shape(input_shape);
+    assert_eq!(grad.shape(), &out_shape, "grad shape {} != pooled {}", grad.shape(), out_shape);
+    let (_, h, w, c) = nhwc(input_shape);
+    let (oh, ow) = (out_shape.dim(1), out_shape.dim(2));
+    let mut out = Tensor::zeros(input_shape.clone());
+    if out.is_empty() {
+        return out;
+    }
+    let g = grad.data();
+    let span = h * w * c;
+    let work = oh * ow * spec.window * spec.window * c;
+    let inv_area = 1.0 / (spec.window * spec.window) as f32;
+    pool.for_spans(out.data_mut(), span, work, |b, dst| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let y = oy * spec.stride + ky;
+                        let xx = ox * spec.stride + kx;
+                        for ch in 0..c {
+                            dst[(y * w + xx) * c + ch] +=
+                                g[((b * oh + oy) * ow + ox) * c + ch] * inv_area;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+fn nhwc(s: &Shape) -> (usize, usize, usize, usize) {
+    assert_eq!(s.rank(), 4, "expected NHWC shape, got {s}");
+    (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn pool() -> ExecPool {
+        ExecPool::new(4).with_grain(1)
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        // 4x4 single-channel image, 2x2 non-overlapping windows.
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            [1, 4, 4, 1],
+        );
+        let y = max_pool(&x, Pool2dSpec::square(2), &pool());
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 1]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            [1, 4, 4, 1],
+        );
+        let y = avg_pool(&x, Pool2dSpec::square(2), &pool());
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        // AlexNet-style 3x3 stride-2 overlapping max pooling.
+        let mut rng = Rng::seeded(8);
+        let x = Tensor::randn([1, 7, 7, 2], 0.0, 1.0, &mut rng);
+        let spec = Pool2dSpec { window: 3, stride: 2 };
+        let y = max_pool(&x, spec, &pool());
+        assert_eq!(y.shape().dims(), &[1, 3, 3, 2]);
+        // Every output must be >= the center of its window.
+        for oy in 0..3 {
+            for ox in 0..3 {
+                for c in 0..2 {
+                    assert!(y.at(&[0, oy, ox, c]) >= x.at(&[0, oy * 2 + 1, ox * 2 + 1, c]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_grad_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 4.0, 3.0], [1, 2, 2, 1]);
+        let g = Tensor::from_vec(vec![5.0], [1, 1, 1, 1]);
+        let dx = max_pool_grad(&x, &g, Pool2dSpec::square(2), &pool());
+        assert_eq!(dx.data(), &[0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_grad_spreads_uniformly() {
+        let shape = Shape::new(vec![1, 2, 2, 1]);
+        let g = Tensor::from_vec(vec![8.0], [1, 1, 1, 1]);
+        let dx = avg_pool_grad(&shape, &g, Pool2dSpec::square(2), &pool());
+        assert_eq!(dx.data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn max_grad_matches_finite_difference() {
+        let mut rng = Rng::seeded(9);
+        let x = Tensor::randn([1, 4, 4, 2], 0.0, 1.0, &mut rng);
+        let spec = Pool2dSpec::square(2);
+        let out = max_pool(&x, spec, &pool());
+        let ones = Tensor::ones(out.shape().clone());
+        let dx = max_pool_grad(&x, &ones, spec, &pool());
+        let eps = 1e-3;
+        for idx in [0usize, 5, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num =
+                (max_pool(&xp, spec, &pool()).sum() - max_pool(&xm, spec, &pool()).sum()) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 1e-2,
+                "dx[{idx}]: numeric {num} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = Rng::seeded(10);
+        let x = Tensor::randn([4, 16, 16, 8], 0.0, 1.0, &mut rng);
+        let spec = Pool2dSpec { window: 3, stride: 2 };
+        let a = max_pool(&x, spec, &ExecPool::serial());
+        let b = max_pool(&x, spec, &ExecPool::new(8).with_grain(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Softmax-family kernels.
+//!
+//! Softmax appears both standalone (attention weights, memory-network hop
+//! addressing — visible in the paper's Figure 6c) and fused with the
+//! cross-entropy loss used by most supervised workloads.
+
+use crate::pool::ExecPool;
+use crate::tensor::Tensor;
+
+/// Numerically-stable softmax along the last axis.
+///
+/// # Panics
+///
+/// Panics on rank-0 input or when the last axis has extent 0.
+pub fn softmax(x: &Tensor, pool: &ExecPool) -> Tensor {
+    let (outer, inner) = split_last(x);
+    let mut out = Tensor::zeros(x.shape().clone());
+    let src = x.data();
+    pool.for_spans(out.data_mut(), inner, inner, |row, dst| {
+        let s = &src[row * inner..(row + 1) * inner];
+        let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (d, &v) in dst.iter_mut().zip(s) {
+            let e = (v - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    });
+    let _ = outer;
+    out
+}
+
+/// Numerically-stable log-softmax along the last axis.
+///
+/// # Panics
+///
+/// Panics on rank-0 input or when the last axis has extent 0.
+pub fn log_softmax(x: &Tensor, pool: &ExecPool) -> Tensor {
+    let (_, inner) = split_last(x);
+    let mut out = Tensor::zeros(x.shape().clone());
+    let src = x.data();
+    pool.for_spans(out.data_mut(), inner, inner, |row, dst| {
+        let s = &src[row * inner..(row + 1) * inner];
+        let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = s.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        for (d, &v) in dst.iter_mut().zip(s) {
+            *d = v - max - log_sum;
+        }
+    });
+    out
+}
+
+/// Gradient of [`softmax`] given the softmax output `y` and upstream
+/// gradient `g`: `dx = y * (g - sum(g * y, last_axis))`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn softmax_grad(y: &Tensor, g: &Tensor, pool: &ExecPool) -> Tensor {
+    assert_eq!(y.shape(), g.shape(), "softmax_grad shape mismatch");
+    let (_, inner) = split_last(y);
+    let mut out = Tensor::zeros(y.shape().clone());
+    let yd = y.data();
+    let gd = g.data();
+    pool.for_spans(out.data_mut(), inner, inner, |row, dst| {
+        let ys = &yd[row * inner..(row + 1) * inner];
+        let gs = &gd[row * inner..(row + 1) * inner];
+        let dot: f32 = ys.iter().zip(gs).map(|(a, b)| a * b).sum();
+        for ((d, &yv), &gv) in dst.iter_mut().zip(ys).zip(gs) {
+            *d = yv * (gv - dot);
+        }
+    });
+    out
+}
+
+/// Fused softmax + cross-entropy against integer class labels.
+///
+/// `logits` is `[batch, classes]`; `labels` is `[batch]` whose values are
+/// class indices stored as `f32`. Returns `(mean_loss, dlogits)` where
+/// `dlogits` is the gradient of the mean loss (`(softmax - onehot) / batch`),
+/// matching TensorFlow's fused `SoftmaxCrossEntropyWithLogits` kernel.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels` is not rank 1 with matching
+/// batch, or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &Tensor, pool: &ExecPool) -> (Tensor, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [batch, classes]");
+    assert_eq!(labels.shape().rank(), 1, "labels must be [batch]");
+    let batch = logits.shape().dim(0);
+    let classes = logits.shape().dim(1);
+    assert_eq!(labels.len(), batch, "label batch mismatch");
+    assert!(batch > 0 && classes > 0, "empty logits");
+    let mut grad = Tensor::zeros(logits.shape().clone());
+    let src = logits.data();
+    let lab = labels.data();
+    let losses = std::sync::Mutex::new(vec![0.0f32; batch]);
+    pool.for_spans(grad.data_mut(), classes, classes, |row, dst| {
+        let s = &src[row * classes..(row + 1) * classes];
+        let target = lab[row] as usize;
+        assert!(target < classes, "label {target} out of range for {classes} classes");
+        let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (d, &v) in dst.iter_mut().zip(s) {
+            let e = (v - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        let scale = 1.0 / batch as f32;
+        for d in dst.iter_mut() {
+            *d *= inv * scale;
+        }
+        dst[target] -= scale;
+        let loss = -(s[target] - max - sum.ln());
+        losses.lock().unwrap()[row] = loss;
+    });
+    let losses = losses.into_inner().unwrap();
+    let mean = losses.iter().sum::<f32>() / batch as f32;
+    (Tensor::scalar(mean), grad)
+}
+
+fn split_last(x: &Tensor) -> (usize, usize) {
+    let rank = x.shape().rank();
+    assert!(rank >= 1, "softmax requires rank >= 1, got scalar");
+    let inner = x.shape().dim(rank - 1);
+    assert!(inner > 0, "softmax along empty axis");
+    (x.len() / inner, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn pool() -> ExecPool {
+        ExecPool::new(4).with_grain(1)
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let mut rng = Rng::seeded(1);
+        let x = Tensor::randn([5, 7], 0.0, 3.0, &mut rng);
+        let y = softmax(&x, &pool());
+        for r in 0..5 {
+            let row_sum: f32 = y.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        assert!(y.min() >= 0.0);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let shifted = Tensor::from_vec(vec![101.0, 102.0, 103.0], [3]);
+        let a = softmax(&x, &pool());
+        let b = softmax(&shifted, &pool());
+        assert!(a.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let x = Tensor::from_vec(vec![1000.0, -1000.0, 0.0], [3]);
+        let y = softmax(&x, &pool());
+        assert!(y.all_finite());
+        assert!((y.data()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_consistency() {
+        let mut rng = Rng::seeded(2);
+        let x = Tensor::randn([4, 6], 0.0, 2.0, &mut rng);
+        let lsm = log_softmax(&x, &pool());
+        let sm = softmax(&x, &pool());
+        for (a, b) in lsm.data().iter().zip(sm.data()) {
+            assert!((a.exp() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut rng = Rng::seeded(3);
+        let x = Tensor::randn([2, 5], 0.0, 1.0, &mut rng);
+        let g = Tensor::randn([2, 5], 0.0, 1.0, &mut rng);
+        let y = softmax(&x, &pool());
+        let dx = softmax_grad(&y, &g, &pool());
+        let eps = 1e-3;
+        for idx in 0..10 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp: f32 = softmax(&xp, &pool()).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let fm: f32 = softmax(&xm, &pool()).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 1e-2,
+                "dx[{idx}]: numeric {num} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction() {
+        // Very confident correct logits give near-zero loss.
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], [2, 3]);
+        let labels = Tensor::from_vec(vec![0.0, 1.0], [2]);
+        let (loss, _) = softmax_cross_entropy(&logits, &labels, &pool());
+        assert!(loss.scalar_value() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits give loss = ln(classes).
+        let logits = Tensor::zeros([4, 10]);
+        let labels = Tensor::from_vec(vec![0.0, 3.0, 7.0, 9.0], [4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels, &pool());
+        assert!((loss.scalar_value() - (10.0f32).ln()).abs() < 1e-4);
+        // Gradient rows sum to zero.
+        for r in 0..4 {
+            let s: f32 = grad.data()[r * 10..(r + 1) * 10].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let mut rng = Rng::seeded(5);
+        let logits = Tensor::randn([3, 4], 0.0, 1.0, &mut rng);
+        let labels = Tensor::from_vec(vec![1.0, 0.0, 3.0], [3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &labels, &pool());
+        let eps = 1e-2;
+        for idx in 0..12 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels, &pool());
+            let (fm, _) = softmax_cross_entropy(&lm, &labels, &pool());
+            let num = (fp.scalar_value() - fm.scalar_value()) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-3,
+                "grad[{idx}]: numeric {num} vs analytic {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros([1, 3]);
+        let labels = Tensor::from_vec(vec![5.0], [1]);
+        softmax_cross_entropy(&logits, &labels, &pool());
+    }
+}

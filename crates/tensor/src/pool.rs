@@ -1,0 +1,392 @@
+//! Intra-operation parallelism.
+//!
+//! TensorFlow exposes "hooks to specify the available thread pool for the
+//! underlying Eigen library"; the paper's Figure 6 uses those hooks to
+//! sweep intra-op parallelism from 1 to 8 threads. [`ExecPool`] is this
+//! suite's equivalent: a persistent worker pool shared by every kernel,
+//! whose dispatch splits an output buffer into disjoint contiguous chunks.
+//!
+//! Work below a per-worker grain runs serially on the calling thread,
+//! modeling the thread-dispatch avoidance of production linear algebra
+//! libraries — which is exactly the behavior that keeps skinny-tensor
+//! operations flat in the Figure 6 reproduction ("the trip count is too
+//! low for thread-level parallelism, so the underlying library avoids
+//! it").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::sync::WaitGroup;
+
+/// Minimum useful work (in touched elements) per participating worker.
+pub const DEFAULT_GRAIN: usize = 16 * 1024;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared, persistent worker threads behind a pool.
+///
+/// Workers are detached: they hold only the channel receiver and the
+/// poison flag, and exit when the last pool clone drops the sender.
+#[derive(Debug)]
+struct PoolCore {
+    sender: Sender<Job>,
+    poisoned: Arc<AtomicBool>,
+}
+
+impl PoolCore {
+    fn new(extra_workers: usize) -> Arc<Self> {
+        let (sender, receiver) = unbounded::<Job>();
+        let poisoned = Arc::new(AtomicBool::new(false));
+        for i in 0..extra_workers {
+            let rx = receiver.clone();
+            let flag = Arc::clone(&poisoned);
+            std::thread::Builder::new()
+                .name(format!("fathom-pool-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                            flag.store(true, Ordering::SeqCst);
+                        }
+                    }
+                })
+                .expect("can spawn pool worker");
+        }
+        Arc::new(PoolCore { sender, poisoned })
+    }
+}
+
+/// A configurable intra-op execution pool with persistent workers.
+///
+/// Cloning is cheap and shares the same workers. A pool created with
+/// `threads == 1` performs no cross-thread dispatch at all.
+///
+/// # Examples
+///
+/// ```
+/// use fathom_tensor::ExecPool;
+///
+/// let pool = ExecPool::new(4);
+/// let mut out = vec![0.0f32; 100_000];
+/// pool.for_spans(&mut out, 1, 0, |i, span| span[0] = i as f32);
+/// assert_eq!(out[99_999], 99_999.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecPool {
+    threads: usize,
+    grain: usize,
+    core: Option<Arc<PoolCore>>,
+}
+
+impl ExecPool {
+    /// Creates a pool that may use up to `threads` threads per dispatch
+    /// (the calling thread participates; `threads - 1` workers are
+    /// spawned). `threads <= 1` means fully serial execution.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let core = if threads > 1 { Some(PoolCore::new(threads - 1)) } else { None };
+        ExecPool { threads, grain: DEFAULT_GRAIN, core }
+    }
+
+    /// A serial pool.
+    pub fn serial() -> Self {
+        ExecPool::new(1)
+    }
+
+    /// Overrides the per-worker grain (in elements of total work).
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(1);
+        self
+    }
+
+    /// Maximum threads (including the caller) per dispatch.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `out` into consecutive spans of `span` elements and invokes
+    /// `f(span_index, span_slice)` for each, in parallel across chunks of
+    /// spans.
+    ///
+    /// `work_per_span` estimates the elements touched to produce one span
+    /// beyond the span itself (e.g. the reduction length of a matmul
+    /// row); it drives the how-many-workers decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`, `out.len()` is not a multiple of `span`, or
+    /// a worker executing `f` panicked.
+    pub fn for_spans<F>(&self, out: &mut [f32], span: usize, work_per_span: usize, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        assert!(span > 0, "span must be positive");
+        assert_eq!(out.len() % span, 0, "output length {} not a multiple of span {span}", out.len());
+        let spans = out.len() / span;
+        let total_work = out.len() + spans.saturating_mul(work_per_span);
+        let workers = self.workers_for(total_work, spans);
+        if workers <= 1 {
+            for (i, chunk) in out.chunks_mut(span).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let core = self.core.as_ref().expect("workers > 1 implies a live core");
+        let spans_per_worker = spans.div_ceil(workers);
+        let chunk_len = spans_per_worker * span;
+        let wg = WaitGroup::new();
+        let sender = &core.sender;
+
+        {
+            let mut chunks = out.chunks_mut(chunk_len).enumerate();
+            // The caller runs the first chunk itself after enqueueing the
+            // rest, so a 2-way dispatch costs one wake-up.
+            let first = chunks.next();
+            for (w, chunk) in chunks {
+                let wg = wg.clone();
+                let flag = Arc::clone(&core.poisoned);
+                let task = RawTask {
+                    data: chunk.as_mut_ptr(),
+                    len: chunk.len(),
+                    f: &f as *const F as *const (),
+                };
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    // Capture the task as a whole (edition-2021 disjoint
+                    // capture would otherwise capture the raw-pointer
+                    // fields individually, which are not Send).
+                    let task = task;
+                    // SAFETY: `task` points at a disjoint sub-slice of
+                    // `out` and at `f`, both of which outlive the wait
+                    // below; the WaitGroup guarantees completion before
+                    // `for_spans` returns.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                        let chunk = std::slice::from_raw_parts_mut(task.data, task.len);
+                        let f = &*(task.f as *const F);
+                        let base = w * spans_per_worker;
+                        for (i, sub) in chunk.chunks_mut(span).enumerate() {
+                            f(base + i, sub);
+                        }
+                    }));
+                    // Record failure *before* releasing the WaitGroup so
+                    // the caller observes the flag after `wait`.
+                    if result.is_err() {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                    drop(wg);
+                });
+                // SAFETY: extend the job's borrow of stack data to
+                // 'static; the WaitGroup wait below outlives its use.
+                let job: Job = unsafe { std::mem::transmute(job) };
+                sender.send(job).expect("pool workers are alive");
+            }
+            if let Some((_, chunk)) = first {
+                for (i, sub) in chunk.chunks_mut(span).enumerate() {
+                    f(i, sub);
+                }
+            }
+        }
+        wg.wait();
+        if core.poisoned.swap(false, Ordering::SeqCst) {
+            panic!("a pool worker panicked while executing a kernel");
+        }
+    }
+
+    /// Parallel map-reduce over the index range `0..n`: `map` is invoked
+    /// on disjoint subranges and the partial results are combined with
+    /// `reduce`. Returns `identity` when `n == 0`.
+    ///
+    /// Used by coarse-grained kernels (e.g. CTC's per-utterance
+    /// forward-backward) where per-item work is large.
+    pub fn map_reduce<T, M, R>(&self, n: usize, work_per_item: usize, identity: T, map: M, reduce: R) -> T
+    where
+        T: Send,
+        M: Fn(std::ops::Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T,
+    {
+        if n == 0 {
+            return identity;
+        }
+        let workers = self.workers_for(n * work_per_item.max(1), n);
+        if workers <= 1 {
+            return reduce(identity, map(0..n));
+        }
+        let per = n.div_ceil(workers);
+        let mut parts = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut start = 0;
+            while start < n {
+                let end = (start + per).min(n);
+                let map = &map;
+                handles.push(scope.spawn(move || map(start..end)));
+                start = end;
+            }
+            for h in handles {
+                parts.push(h.join().expect("pool worker panicked"));
+            }
+        });
+        let mut acc = identity;
+        for p in parts {
+            acc = reduce(acc, p);
+        }
+        acc
+    }
+
+    /// The number of threads a dispatch with this much work would use —
+    /// the pool's sizing policy, exposed so analytic device models can
+    /// mirror it.
+    pub fn planned_workers(&self, total_work: usize, parallel_units: usize) -> usize {
+        self.workers_for(total_work, parallel_units)
+    }
+
+    /// How many threads to use for a dispatch: at most `threads`, at most
+    /// one per parallel unit, and at most one per `grain` of total work.
+    fn workers_for(&self, total_work: usize, parallel_units: usize) -> usize {
+        if self.threads <= 1 {
+            return 1;
+        }
+        let by_work = total_work / self.grain;
+        by_work.min(self.threads).min(parallel_units).max(1)
+    }
+}
+
+/// Raw pointers shipped to a worker; see the safety notes in `for_spans`.
+struct RawTask {
+    data: *mut f32,
+    len: usize,
+    f: *const (),
+}
+
+// SAFETY: the pointers reference disjoint data that outlives the dispatch
+// (enforced by the WaitGroup barrier in `for_spans`).
+unsafe impl Send for RawTask {}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mut serial_out = vec![0.0f32; 64 * 1024];
+        let mut par_out = vec![0.0f32; 64 * 1024];
+        ExecPool::serial().for_spans(&mut serial_out, 16, 0, |i, s| {
+            for (j, v) in s.iter_mut().enumerate() {
+                *v = (i * 16 + j) as f32 * 0.5;
+            }
+        });
+        ExecPool::new(4).for_spans(&mut par_out, 16, 0, |i, s| {
+            for (j, v) in s.iter_mut().enumerate() {
+                *v = (i * 16 + j) as f32 * 0.5;
+            }
+        });
+        assert_eq!(serial_out, par_out);
+    }
+
+    #[test]
+    fn small_work_stays_serial() {
+        // With work below the grain, even a many-threaded pool must not
+        // dispatch: span indices then arrive strictly in order.
+        let pool = ExecPool::new(8);
+        let mut out = vec![0.0f32; 128];
+        let order = std::sync::Mutex::new(Vec::new());
+        pool.for_spans(&mut out, 1, 0, |i, _| order.lock().unwrap().push(i));
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_span_division() {
+        // 10 spans across 4 workers: 3,3,3,1.
+        let pool = ExecPool::new(4).with_grain(1);
+        let mut out = vec![0.0f32; 10 * 3];
+        pool.for_spans(&mut out, 3, 0, |i, s| s.fill(i as f32));
+        for i in 0..10 {
+            assert_eq!(&out[i * 3..i * 3 + 3], &[i as f32; 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of span")]
+    fn misaligned_span_panics() {
+        ExecPool::serial().for_spans(&mut [0.0; 7], 2, 0, |_, _| {});
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let pool = ExecPool::new(4).with_grain(1);
+        let total = pool.map_reduce(
+            1000,
+            1,
+            0u64,
+            |r| r.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn map_reduce_empty() {
+        let pool = ExecPool::new(4);
+        let total = pool.map_reduce(0, 1, 7i64, |_| unreachable!(), |a, b| a + b);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn pool_clamps_zero_threads() {
+        assert_eq!(ExecPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn clones_share_workers() {
+        let pool = ExecPool::new(4).with_grain(1);
+        let clone = pool.clone();
+        let mut a = vec![0.0f32; 1024];
+        let mut b = vec![0.0f32; 1024];
+        pool.for_spans(&mut a, 1, 0, |i, s| s[0] = i as f32);
+        clone.for_spans(&mut b, 1, 0, |i, s| s[0] = i as f32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_dispatches_are_stable() {
+        // Exercise the channel/waitgroup plumbing under churn.
+        let pool = ExecPool::new(8).with_grain(1);
+        for round in 0..200 {
+            let mut out = vec![0.0f32; 256];
+            pool.for_spans(&mut out, 4, 0, |i, s| s.fill((i + round) as f32));
+            assert_eq!(out[0], round as f32);
+            assert_eq!(out[252], (63 + round) as f32);
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let pool = ExecPool::new(4).with_grain(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = vec![0.0f32; 1024];
+            pool.for_spans(&mut out, 1, 0, |i, _| {
+                assert!(i != 900, "deliberate failure");
+            });
+        }));
+        assert!(result.is_err(), "panic in a worker must propagate to the caller");
+        // The pool must remain usable afterwards.
+        let mut out = vec![0.0f32; 64];
+        pool.for_spans(&mut out, 1, 0, |i, s| s[0] = i as f32);
+        assert_eq!(out[63], 63.0);
+    }
+
+    #[test]
+    fn workers_for_respects_grain() {
+        let pool = ExecPool::new(8); // default grain 16k
+        assert_eq!(pool.workers_for(1_000, 100), 1, "tiny work stays serial");
+        assert_eq!(pool.workers_for(40_000, 100), 2, "two grains of work -> 2 workers");
+        assert_eq!(pool.workers_for(10_000_000, 100), 8, "big work uses all threads");
+        assert_eq!(pool.workers_for(10_000_000, 3), 3, "capped by parallel units");
+    }
+}

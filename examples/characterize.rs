@@ -1,0 +1,42 @@
+//! Characterize the whole suite: per-workload op-class breakdown
+//! (paper Figure 3) and the similarity dendrogram (Figure 4), at a small
+//! step budget suitable for a demo.
+//!
+//! ```text
+//! cargo run --release --example characterize
+//! ```
+
+use fathom_suite::fathom::{BuildConfig, ModelKind};
+use fathom_suite::fathom_dataflow::OpClass;
+use fathom_suite::fathom_profile::{cluster, report, runner};
+
+fn main() {
+    println!("profiling all eight workloads (1 warm-up + 2 traced steps each)...\n");
+    let profiles: Vec<_> = ModelKind::ALL
+        .iter()
+        .map(|&kind| {
+            let p = runner::profile_workload(kind, &BuildConfig::training(), 1, 2);
+            println!("  {:<9} {:>7.1} ms/step", kind.name(), p.total_nanos() / p.steps.max(1) as f64 / 1e6);
+            p
+        })
+        .collect();
+
+    println!("\n=== execution time by op class (Figure 3) ===");
+    print!("{:<9}", "workload");
+    for c in OpClass::ALL {
+        print!(" {:>6}", c.letter());
+    }
+    println!();
+    for p in &profiles {
+        print!("{:<9}", p.workload);
+        for (_, f) in p.class_fractions() {
+            print!(" {:>5.1}%", f * 100.0);
+        }
+        println!();
+    }
+    println!("(A Matrix, B Convolution, C Elementwise, D Reduction, E Random, F Optimizer, G Movement)");
+
+    println!("\n=== hierarchical similarity (Figure 4) ===");
+    let dendrogram = cluster(&profiles);
+    print!("{}", report::render_dendrogram(&dendrogram));
+}

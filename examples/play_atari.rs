@@ -1,0 +1,51 @@
+//! Train the DQN agent on the ALE-style catch game and watch its score
+//! improve, then render one played frame.
+//!
+//! ```text
+//! cargo run --release --example play_atari
+//! ```
+
+use fathom_suite::fathom::models::deepq::Deepq;
+use fathom_suite::fathom::{BuildConfig, Workload};
+use fathom_suite::fathom_ale::{AleEnv, FRAME_SIDE};
+
+fn render_frame(env: &AleEnv) -> String {
+    // Downsample the 84x84 frame 2x for the terminal.
+    let obs = env.observation();
+    let mut out = String::new();
+    for r in (0..FRAME_SIDE).step_by(2) {
+        for c in (0..FRAME_SIDE).step_by(2) {
+            // Newest frame plane is the last of the 4-stack.
+            let v = obs.data()[(r * FRAME_SIDE + c) * 4 + 3];
+            out.push(if v > 0.8 {
+                'O'
+            } else if v > 0.3 {
+                '='
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut agent = Deepq::build(&BuildConfig::training());
+    println!("training DQN on the catch game (replay + target network + RMSProp)...");
+    println!("a random policy scores about -0.6; a perfect one +1.0.\n");
+    for round in 0..8 {
+        for _ in 0..500 {
+            agent.step();
+        }
+        println!(
+            "  after {:>4} steps: mean episode reward {:+.2}",
+            (round + 1) * 500,
+            agent.recent_reward()
+        );
+    }
+
+    println!("\none frame of the game (O = ball, = = paddle):");
+    let env = AleEnv::new(99);
+    print!("{}", render_frame(&env));
+}

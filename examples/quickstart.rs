@@ -1,0 +1,40 @@
+//! Quickstart: build any Fathom workload by name, train it a few steps,
+//! and print where its time goes.
+//!
+//! ```text
+//! cargo run --release --example quickstart -- alexnet
+//! ```
+
+use std::error::Error;
+
+use fathom_suite::fathom::{BuildConfig, ModelKind};
+use fathom_suite::fathom_profile::{report, runner, OpProfile};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "autoenc".to_string());
+    let kind: ModelKind = name.parse()?;
+    let meta = kind.metadata();
+    println!("== {} ({}, {}) ==", meta.name, meta.year, meta.reference);
+    println!("{} | {} layers | {} | dataset: {}\n", meta.style, meta.layers, meta.task, meta.dataset);
+
+    // The standard interface: build, step, inspect.
+    let mut model = kind.build(&BuildConfig::training());
+    println!("graph has {} operations", model.session().graph().len());
+    for step in 0..5 {
+        let stats = model.step();
+        if let Some(loss) = stats.loss {
+            println!("step {step}: loss = {loss:.4}");
+        }
+    }
+
+    // Trace two more steps and show the op-type profile (a Figure 3 row).
+    let trace = runner::trace_steps(model.as_mut(), 2);
+    let profile = OpProfile::from_trace(kind.name(), &trace);
+    println!("\ntop operation types by execution time:");
+    print!("{}", report::render_profile_table(&profile, 12));
+    println!(
+        "\ninter-op overhead: {:.2}% of wall time",
+        trace.overhead_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Train the variational autoencoder on the synthetic MNIST stand-in and
+//! visualize a reconstruction as ASCII art.
+//!
+//! ```text
+//! cargo run --release --example train_autoencoder
+//! ```
+
+use fathom_suite::fathom::models::autoenc::Autoenc;
+use fathom_suite::fathom::{BuildConfig, Workload};
+
+const SIDE: usize = 28;
+
+fn ascii_digit(pixels: &[f32]) -> String {
+    let ramp = [' ', '.', ':', 'o', '#', '@'];
+    let mut out = String::new();
+    for r in 0..SIDE {
+        for c in 0..SIDE {
+            let v = pixels[r * SIDE + c].clamp(0.0, 1.0);
+            out.push(ramp[(v * (ramp.len() - 1) as f32).round() as usize]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut model = Autoenc::build(&BuildConfig::training());
+    println!("training the VAE (3 dense layers, reparameterized sampling)...");
+    let mut first = 0.0;
+    let mut last = 0.0;
+    for step in 0..120 {
+        let loss = model.step().loss.expect("training reports loss");
+        if step == 0 {
+            first = loss;
+        }
+        last = loss;
+        if step % 20 == 0 {
+            println!("  step {step:>3}: -ELBO = {loss:.2}");
+        }
+    }
+    println!("loss: {first:.2} -> {last:.2}\n");
+
+    let (input, reconstruction) = model.reconstruct();
+    println!("input digit:                    reconstruction:");
+    let a = ascii_digit(&input.data()[..784]);
+    let b = ascii_digit(&reconstruction.data()[..784]);
+    for (la, lb) in a.lines().zip(b.lines()) {
+        println!("{la}    {lb}");
+    }
+}

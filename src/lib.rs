@@ -1,0 +1,14 @@
+//! Umbrella crate for the Fathom-rs workload suite.
+//!
+//! Re-exports the component crates so examples and integration tests can
+//! use a single dependency. See the individual crates for full APIs:
+//! [`fathom`] (the workloads), [`fathom_dataflow`], [`fathom_tensor`],
+//! [`fathom_nn`], [`fathom_data`], [`fathom_ale`], [`fathom_profile`].
+
+pub use fathom;
+pub use fathom_ale;
+pub use fathom_data;
+pub use fathom_dataflow;
+pub use fathom_nn;
+pub use fathom_profile;
+pub use fathom_tensor;

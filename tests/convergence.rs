@@ -1,0 +1,76 @@
+//! Integration: the workloads actually learn their synthetic tasks.
+//! The heavier end-to-end runs are `#[ignore]`d by default; run them with
+//! `cargo test --release -- --ignored`.
+
+use fathom_suite::fathom::models::deepq::Deepq;
+use fathom_suite::fathom::models::memnet::Memnet;
+use fathom_suite::fathom::models::seq2seq::Seq2Seq;
+use fathom_suite::fathom::{BuildConfig, ModelKind, Workload};
+
+/// Mean loss over a window of steps.
+fn mean_loss(model: &mut dyn Workload, steps: usize) -> f32 {
+    (0..steps).map(|_| model.step().loss.expect("training loss")).sum::<f32>() / steps as f32
+}
+
+#[test]
+fn autoenc_loss_decreases() {
+    let mut m = ModelKind::Autoenc.build(&BuildConfig::training());
+    let early = mean_loss(m.as_mut(), 5);
+    for _ in 0..25 {
+        m.step();
+    }
+    let late = mean_loss(m.as_mut(), 5);
+    assert!(late < early, "autoenc did not learn: {early} -> {late}");
+}
+
+#[test]
+fn speech_ctc_loss_decreases() {
+    let mut m = ModelKind::Speech.build(&BuildConfig::training());
+    let early = mean_loss(m.as_mut(), 3);
+    for _ in 0..12 {
+        m.step();
+    }
+    let late = mean_loss(m.as_mut(), 3);
+    assert!(late < early, "speech did not learn: {early} -> {late}");
+}
+
+#[test]
+#[ignore = "long-running; use cargo test --release -- --ignored"]
+fn memnet_reaches_high_babi_accuracy() {
+    let mut m = Memnet::build(&BuildConfig::training());
+    for _ in 0..800 {
+        m.step();
+    }
+    let acc = (0..8).map(|_| m.evaluate_accuracy()).sum::<f32>() / 8.0;
+    assert!(acc > 0.7, "memnet accuracy only {acc}");
+}
+
+#[test]
+#[ignore = "long-running; use cargo test --release -- --ignored"]
+fn seq2seq_beats_chance_by_an_order_of_magnitude() {
+    let mut m = Seq2Seq::build(&BuildConfig::training());
+    for _ in 0..300 {
+        m.step();
+    }
+    let acc = m.evaluate_accuracy();
+    // Chance is ~1.1% over the 90-token vocabulary.
+    assert!(acc > 0.10, "seq2seq accuracy only {acc}");
+}
+
+#[test]
+#[ignore = "long-running; use cargo test --release -- --ignored"]
+fn deepq_learns_to_catch() {
+    let mut agent = Deepq::build(&BuildConfig::training());
+    for _ in 0..600 {
+        agent.step();
+    }
+    let early = agent.recent_reward();
+    for _ in 0..3400 {
+        agent.step();
+    }
+    let late = agent.recent_reward();
+    assert!(
+        late > early + 0.5 || late > 0.3,
+        "deepq did not improve: {early} -> {late}"
+    );
+}

@@ -1,0 +1,74 @@
+//! Integration: devices differ only in *timing*, never in values, and
+//! thread counts never change results.
+
+use fathom_suite::fathom::{BuildConfig, ModelKind};
+use fathom_suite::fathom_dataflow::{Device, Graph, Optimizer, Session};
+use fathom_suite::fathom_tensor::{Shape, Tensor};
+
+/// Trains the same tiny graph on two devices and compares every loss.
+fn losses_on(device: Device, steps: usize) -> Vec<f32> {
+    let mut g = Graph::new();
+    let x = g.placeholder("x", Shape::matrix(8, 4));
+    let t = g.placeholder("t", Shape::matrix(8, 2));
+    let w = g.variable("w", Tensor::filled([4, 2], 0.1));
+    let y = g.matmul(x, w);
+    let e = g.sub(y, t);
+    let sq = g.square(e);
+    let loss = g.mean_all(sq);
+    let train = Optimizer::sgd(0.05).minimize_all(&mut g, loss);
+    let mut sess = Session::with_seed(g, device, 7);
+    let xs = Tensor::from_vec((0..32).map(|i| (i % 7) as f32 * 0.3).collect(), [8, 4]);
+    let ts = Tensor::from_vec((0..16).map(|i| (i % 3) as f32).collect(), [8, 2]);
+    (0..steps)
+        .map(|_| {
+            sess.run(&[loss, train], &[(x, xs.clone()), (t, ts.clone())])
+                .expect("graph is well-formed")[0]
+                .scalar_value()
+        })
+        .collect()
+}
+
+#[test]
+fn all_devices_compute_identical_values() {
+    let reference = losses_on(Device::cpu(1), 5);
+    assert_eq!(losses_on(Device::cpu(4), 5), reference, "threads changed values");
+    assert_eq!(losses_on(Device::sim_gpu(), 5), reference, "SimGpu changed values");
+    assert_eq!(losses_on(Device::sim_cpu(8), 5), reference, "SimCpu changed values");
+}
+
+#[test]
+fn workload_losses_match_across_thread_counts() {
+    let cfg1 = BuildConfig::training().with_device(Device::cpu(1));
+    let cfg4 = BuildConfig::training().with_device(Device::cpu(4));
+    let mut a = ModelKind::Memnet.build(&cfg1);
+    let mut b = ModelKind::Memnet.build(&cfg4);
+    for _ in 0..3 {
+        let la = a.step().loss.unwrap();
+        let lb = b.step().loss.unwrap();
+        assert!(
+            (la - lb).abs() < 1e-4,
+            "thread count changed training: {la} vs {lb}"
+        );
+    }
+}
+
+#[test]
+fn modeled_devices_report_modeled_durations() {
+    let mut model = ModelKind::Autoenc.build(
+        &BuildConfig::training().with_device(Device::sim_gpu()),
+    );
+    model.session_mut().enable_tracing();
+    model.step();
+    let trace = model.session_mut().take_trace();
+    // Every modeled GPU duration includes the launch overhead.
+    assert!(trace.events.iter().all(|e| e.nanos >= 1_500.0));
+}
+
+#[test]
+fn device_can_be_swapped_mid_session() {
+    let mut model = ModelKind::Autoenc.build(&BuildConfig::training());
+    let l1 = model.step().loss.unwrap();
+    model.session_mut().set_device(Device::cpu(2));
+    let l2 = model.step().loss.unwrap();
+    assert!(l1.is_finite() && l2.is_finite());
+}

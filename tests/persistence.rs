@@ -1,0 +1,89 @@
+//! Integration: checkpoints, exports, and full-scale graph construction
+//! across real workloads.
+
+use fathom_suite::fathom::{BuildConfig, ModelKind, ModelScale};
+use fathom_suite::fathom_dataflow::{checkpoint, export};
+
+#[test]
+fn autoenc_checkpoint_round_trips_through_the_workload_interface() {
+    let cfg = BuildConfig::training().with_seed(7);
+    let mut trained = ModelKind::Autoenc.build(&cfg);
+    for _ in 0..5 {
+        trained.step();
+    }
+    let mut buf = Vec::new();
+    checkpoint::save(trained.session(), &mut buf).expect("saves");
+
+    // A fresh instance restored from the checkpoint must produce the same
+    // next loss as the trained one (identical variables, RNG reseeded, and
+    // the data stream restarted from the same seed).
+    let trained_loss = {
+        let mut probe = ModelKind::Autoenc.build(&cfg);
+        checkpoint::load(probe.session_mut(), buf.as_slice()).expect("loads");
+        probe.step().loss.expect("training loss")
+    };
+    let fresh_loss = ModelKind::Autoenc
+        .build(&cfg)
+        .step()
+        .loss
+        .expect("training loss");
+    assert_ne!(
+        trained_loss, fresh_loss,
+        "restored weights should differ from initialization"
+    );
+    assert!(trained_loss < fresh_loss, "training progress was not restored");
+}
+
+#[test]
+fn checkpoints_do_not_cross_workloads() {
+    let mut alexnet = ModelKind::Alexnet.build(&BuildConfig::training());
+    alexnet.step();
+    let mut buf = Vec::new();
+    checkpoint::save(alexnet.session(), &mut buf).expect("saves");
+    let mut vgg = ModelKind::Vgg.build(&BuildConfig::training());
+    assert!(
+        checkpoint::load(vgg.session_mut(), buf.as_slice()).is_err(),
+        "an alexnet checkpoint must not load into vgg"
+    );
+}
+
+#[test]
+fn every_workload_exports_dot_and_chrome_trace() {
+    for kind in [ModelKind::Autoenc, ModelKind::Memnet, ModelKind::Deepq] {
+        let mut model = kind.build(&BuildConfig::training());
+        let dot = export::to_dot(model.session().graph());
+        assert!(dot.starts_with("digraph fathom"));
+        assert!(dot.len() > 1000, "{kind}: suspiciously small graph export");
+
+        model.session_mut().enable_tracing();
+        model.step();
+        let trace = model.session_mut().take_trace();
+        let json = export::to_chrome_trace(&trace);
+        assert!(json.contains("\"traceEvents\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}
+
+#[test]
+#[ignore = "allocates full-scale parameters; run with --release -- --ignored"]
+fn full_scale_graphs_construct_with_paper_dimensions() {
+    // Building (not stepping) the Full-scale graphs checks that the
+    // paper-true dimension tables are internally consistent.
+    for kind in [ModelKind::Alexnet, ModelKind::Residual, ModelKind::Deepq, ModelKind::Autoenc] {
+        let cfg = BuildConfig::training().with_scale(ModelScale::Full);
+        let model = kind.build(&cfg);
+        let params: usize = model
+            .session()
+            .graph()
+            .variables()
+            .iter()
+            .map(|&v| model.session().graph().shape(v).num_elements())
+            .sum();
+        // Sanity bands for the famous parameter counts.
+        match kind {
+            ModelKind::Alexnet => assert!((50e6..80e6).contains(&(params as f64)), "alexnet {params}"),
+            ModelKind::Residual => assert!((15e6..30e6).contains(&(params as f64)), "residual {params}"),
+            _ => assert!(params > 100_000, "{kind}: only {params} params"),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Integration: every workload builds and steps through the standard
+//! interface, in both modes, with consistent metadata — the paper's
+//! "evaluating training, inference, or simply inspecting the model's
+//! dataflow graph is straightforward" contract.
+
+use fathom_suite::fathom::{BuildConfig, Mode, ModelKind};
+
+#[test]
+fn all_eight_workloads_train_one_step() {
+    for kind in ModelKind::ALL {
+        let mut model = kind.build(&BuildConfig::training());
+        let stats = model.step();
+        let loss = stats.loss.unwrap_or_else(|| panic!("{kind} training must report a loss"));
+        assert!(loss.is_finite(), "{kind} produced a non-finite loss");
+        assert_eq!(model.mode(), Mode::Training);
+        assert_eq!(model.name(), kind.name());
+    }
+}
+
+#[test]
+fn all_eight_workloads_run_inference() {
+    for kind in ModelKind::ALL {
+        let mut model = kind.build(&BuildConfig::inference());
+        let stats = model.step();
+        assert!(stats.loss.is_none() || stats.loss.unwrap().is_finite());
+        assert!(
+            stats.metric.is_some() || stats.loss.is_some(),
+            "{kind} inference must report something"
+        );
+        assert_eq!(model.mode(), Mode::Inference);
+    }
+}
+
+#[test]
+fn inference_graphs_are_smaller_than_training_graphs() {
+    for kind in ModelKind::ALL {
+        let train = kind.build(&BuildConfig::training());
+        let infer = kind.build(&BuildConfig::inference());
+        assert!(
+            infer.session().graph().len() < train.session().graph().len(),
+            "{kind}: inference graph should omit the backward pass"
+        );
+    }
+}
+
+#[test]
+fn metadata_covers_every_style_and_task() {
+    let metas: Vec<_> = ModelKind::ALL.iter().map(|k| k.metadata()).collect();
+    // The paper's coverage claims (Table I, Fathom column).
+    assert!(metas.iter().any(|m| m.style.contains("Recurrent")));
+    assert!(metas.iter().any(|m| m.style.contains("Convolutional")));
+    assert!(metas.iter().any(|m| m.style.contains("Memory")));
+    assert!(metas.iter().any(|m| m.task == "Supervised"));
+    assert!(metas.iter().any(|m| m.task == "Unsupervised"));
+    assert!(metas.iter().any(|m| m.task == "Reinforcement"));
+    // Max depth 34 (residual), as in Table I's Fathom column.
+    assert_eq!(metas.iter().map(|m| m.layers).max(), Some(34));
+}
+
+#[test]
+fn training_losses_are_deterministic_given_seed() {
+    // Two identically seeded instances must produce identical losses.
+    for kind in [ModelKind::Autoenc, ModelKind::Memnet] {
+        let cfg = BuildConfig::training().with_seed(123);
+        let mut a = kind.build(&cfg);
+        let mut b = kind.build(&cfg);
+        for step in 0..3 {
+            let la = a.step().loss.unwrap();
+            let lb = b.step().loss.unwrap();
+            assert_eq!(la, lb, "{kind} diverged at step {step}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let mut a = ModelKind::Autoenc.build(&BuildConfig::training().with_seed(1));
+    let mut b = ModelKind::Autoenc.build(&BuildConfig::training().with_seed(2));
+    assert_ne!(a.step().loss, b.step().loss);
+}
