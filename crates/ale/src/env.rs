@@ -115,8 +115,8 @@ mod tests {
         assert!(before != after);
         // Frame plane 3 of `after` is the most recent render.
         let latest = env.game().render();
-        for px in 0..FRAME_SIDE * FRAME_SIDE {
-            assert_eq!(after.data()[px * STACK + (STACK - 1)], latest[px]);
+        for (px, &pixel) in latest.iter().enumerate() {
+            assert_eq!(after.data()[px * STACK + (STACK - 1)], pixel);
         }
     }
 

@@ -138,7 +138,7 @@ mod tests {
             action: marker as usize % 3,
             reward: marker,
             next_state: Tensor::filled([1, 3], marker + 0.5),
-            done: marker as usize % 2 == 0,
+            done: (marker as usize).is_multiple_of(2),
         }
     }
 

@@ -29,7 +29,7 @@ proptest! {
         let mut rng = Rng::seeded(1);
         let batch = b.sample(200, &mut rng);
         let newest = (pushes - 1) as f32;
-        prop_assert!(batch.rewards.data().iter().any(|&r| r == newest));
+        prop_assert!(batch.rewards.data().contains(&newest));
     }
 
     /// Every sampled reward corresponds to something actually pushed and

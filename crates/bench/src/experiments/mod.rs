@@ -11,5 +11,6 @@ pub mod fig6;
 pub mod memory;
 pub mod overhead;
 pub mod profiles;
+pub mod scheduler;
 pub mod table1;
 pub mod table2;

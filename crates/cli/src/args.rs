@@ -34,6 +34,8 @@ pub struct RunArgs {
     pub steps: usize,
     /// Intra-op threads.
     pub threads: usize,
+    /// Inter-op workers (1 = serial plan walk).
+    pub inter_ops: usize,
     /// Random seed.
     pub seed: u64,
     /// Output path for export subcommands.
@@ -52,6 +54,7 @@ impl RunArgs {
             scale: ModelScale::Reference,
             steps: 5,
             threads: 1,
+            inter_ops: 1,
             seed: 0xFA7408,
             out: None,
             load: None,
@@ -78,7 +81,7 @@ pub const USAGE: &str = "fathom — the Fathom-rs workload suite
 USAGE:
     fathom list
     fathom run     <model> [--mode training|inference] [--scale reference|full]
-                           [--steps N] [--threads N] [--seed N]
+                           [--steps N] [--threads N] [--inter-ops N] [--seed N]
                            [--load FILE] [--save FILE]
     fathom profile <model> [same options as run]
     fathom trace   <model> --out FILE.json [same options]
@@ -153,6 +156,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError("--threads needs an integer".into()))?
                     }
+                    "--inter-ops" => {
+                        run.inter_ops = value("--inter-ops")?
+                            .parse()
+                            .map_err(|_| ParseError("--inter-ops needs an integer".into()))?;
+                        if run.inter_ops == 0 {
+                            return Err(ParseError("--inter-ops must be at least 1".into()));
+                        }
+                    }
                     "--seed" => {
                         run.seed = value("--seed")?
                             .parse()
@@ -216,7 +227,8 @@ mod tests {
     fn run_with_all_flags() {
         let Command::Run(args) = parse(&s(&[
             "run", "deepq", "--mode", "inference", "--scale", "full", "--steps", "9",
-            "--threads", "4", "--seed", "42", "--load", "in.ck", "--save", "out.ck",
+            "--threads", "4", "--inter-ops", "2", "--seed", "42",
+            "--load", "in.ck", "--save", "out.ck",
         ]))
         .unwrap() else {
             panic!("expected Run");
@@ -226,6 +238,7 @@ mod tests {
         assert_eq!(args.scale, ModelScale::Full);
         assert_eq!(args.steps, 9);
         assert_eq!(args.threads, 4);
+        assert_eq!(args.inter_ops, 2);
         assert_eq!(args.seed, 42);
         assert_eq!(args.load.as_deref(), Some("in.ck"));
         assert_eq!(args.save.as_deref(), Some("out.ck"));
@@ -255,6 +268,12 @@ mod tests {
         assert!(parse(&s(&["trace", "vgg"])).is_err());
         assert!(parse(&s(&["dot", "vgg"])).is_err());
         assert!(parse(&s(&["dot", "vgg", "--out", "g.dot"])).is_ok());
+    }
+
+    #[test]
+    fn zero_inter_ops_is_rejected() {
+        let err = parse(&s(&["run", "vgg", "--inter-ops", "0"])).unwrap_err();
+        assert!(err.0.contains("--inter-ops"));
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn build(a: &RunArgs) -> Box<dyn Workload> {
     let cfg = BuildConfig {
         mode: a.mode,
         scale: a.scale,
-        device: Device::cpu(a.threads),
+        device: Device::cpu_inter_op(a.threads, a.inter_ops),
         seed: a.seed,
     };
     a.model.build(&cfg)

@@ -133,8 +133,7 @@ impl QNetwork {
     /// Builds a Q-value tower `[batch, actions]` over `states`.
     fn apply(&self, g: &mut Graph, states: NodeId) -> NodeId {
         let mut x = states;
-        for i in 0..3 {
-            let (_, spec) = CONV_SPECS[i];
+        for (i, &(_, spec)) in CONV_SPECS.iter().enumerate() {
             let conv = g.conv2d(x, self.conv_w[i], spec);
             let biased = g.add_op(conv, self.conv_b[i]);
             x = Activation::Relu.apply(g, biased);
@@ -381,7 +380,7 @@ impl Workload for Deepq {
                 self.play(4);
                 let loss = self.learn();
                 self.steps_done += 1;
-                if self.steps_done % self.d.target_sync == 0 {
+                if self.steps_done.is_multiple_of(self.d.target_sync) {
                     self.sync_target();
                 }
                 StepStats { loss: Some(loss), metric: Some(self.recent_reward()) }

@@ -1,3 +1,7 @@
+// The doc example reproduces the real bAbI format, whose answer field is
+// tab-separated; keep the literal tabs.
+#![allow(clippy::tabs_in_doc_comments)]
+
 //! The bAbI plain-text task format (Weston et al.).
 //!
 //! Real bAbI files look like:

@@ -94,7 +94,7 @@ pub fn read_idx(mut r: impl Read) -> Result<Tensor, IdxError> {
 /// Returns an I/O error from the writer.
 pub fn write_idx_u8(t: &Tensor, mut w: impl Write) -> Result<(), IdxError> {
     let rank = t.shape().rank();
-    assert!(rank >= 1 && rank <= 4, "idx supports rank 1..=4, got {rank}");
+    assert!((1..=4).contains(&rank), "idx supports rank 1..=4, got {rank}");
     w.write_all(&[0, 0, TYPE_U8, rank as u8])?;
     for &d in t.shape().dims() {
         w.write_all(&(d as u32).to_be_bytes())?;
@@ -115,7 +115,7 @@ pub fn write_idx_u8(t: &Tensor, mut w: impl Write) -> Result<(), IdxError> {
 /// Returns an I/O error from the writer.
 pub fn write_idx_f32(t: &Tensor, mut w: impl Write) -> Result<(), IdxError> {
     let rank = t.shape().rank();
-    assert!(rank >= 1 && rank <= 4, "idx supports rank 1..=4, got {rank}");
+    assert!((1..=4).contains(&rank), "idx supports rank 1..=4, got {rank}");
     w.write_all(&[0, 0, TYPE_F32, rank as u8])?;
     for &d in t.shape().dims() {
         w.write_all(&(d as u32).to_be_bytes())?;

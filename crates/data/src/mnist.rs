@@ -14,9 +14,11 @@ pub const PIXELS: usize = SIDE * SIDE;
 /// Number of digit classes.
 pub const CLASSES: usize = 10;
 
-/// Stroke endpoints (on a 28x28 canvas) per class, loosely tracing digit
-/// shapes. Coordinates are (row, col).
-const STROKES: [&[((f32, f32), (f32, f32))]; CLASSES] = [
+/// One stroke: (row, col) start and end points on a 28x28 canvas.
+type Segment = ((f32, f32), (f32, f32));
+
+/// Stroke endpoints per class, loosely tracing digit shapes.
+const STROKES: [&[Segment]; CLASSES] = [
     // 0: a box
     &[((5.0, 9.0), (5.0, 19.0)), ((5.0, 19.0), (22.0, 19.0)), ((22.0, 19.0), (22.0, 9.0)), ((22.0, 9.0), (5.0, 9.0))],
     // 1: a vertical bar

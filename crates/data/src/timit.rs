@@ -149,7 +149,7 @@ mod tests {
         assert_eq!(frames.shape().dim(2), 13);
         assert_eq!(labels.shape().dims(), &[3, 4]);
         for &l in labels.data() {
-            assert!(l == -1.0 || (l >= 1.0 && l < 10.0));
+            assert!(l == -1.0 || (1.0..10.0).contains(&l));
         }
     }
 

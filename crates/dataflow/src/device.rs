@@ -119,8 +119,17 @@ impl Default for CpuModel {
 /// Where (and how) a session executes operations.
 #[derive(Debug, Clone)]
 pub enum Device {
-    /// Real execution on the host CPU through an intra-op thread pool.
-    Cpu(ExecPool),
+    /// Real execution on the host CPU. Two independent parallelism knobs,
+    /// mirroring TensorFlow's thread-pool pair: `pool` bounds *intra*-op
+    /// threads (workers splitting one kernel), `inter_ops` bounds how many
+    /// independent operations the session scheduler may run concurrently.
+    Cpu {
+        /// The intra-op thread pool shared by every kernel.
+        pool: ExecPool,
+        /// Maximum concurrently executing operations (`1` = serial plan
+        /// walk, the classic single-stream executor).
+        inter_ops: usize,
+    },
     /// Serial execution with durations scaled by an analytic multi-core
     /// model (for hosts with fewer cores than the experiment sweeps).
     SimCpu {
@@ -135,9 +144,19 @@ pub enum Device {
 }
 
 impl Device {
-    /// CPU device with `threads` intra-op workers.
+    /// CPU device with `threads` intra-op workers and a serial (one op at
+    /// a time) scheduler.
     pub fn cpu(threads: usize) -> Self {
-        Device::Cpu(ExecPool::new(threads))
+        Device::Cpu { pool: ExecPool::new(threads), inter_ops: 1 }
+    }
+
+    /// CPU device with both parallelism knobs: `intra_threads` workers
+    /// per kernel and up to `inter_ops` independent operations in flight.
+    /// The two worker sets are separate, so the total thread budget is
+    /// roughly `inter_ops + intra_threads - 2` beyond the calling thread;
+    /// keep the product near the core count to avoid oversubscription.
+    pub fn cpu_inter_op(intra_threads: usize, inter_ops: usize) -> Self {
+        Device::Cpu { pool: ExecPool::new(intra_threads), inter_ops: inter_ops.max(1) }
     }
 
     /// Modeled multi-core CPU with `threads` workers.
@@ -165,8 +184,18 @@ impl Device {
     /// a serial host pool so their measured serial time is meaningful.
     pub fn pool(&self) -> ExecPool {
         match self {
-            Device::Cpu(pool) => pool.clone(),
+            Device::Cpu { pool, .. } => pool.clone(),
             Device::SimCpu { .. } | Device::SimGpu(_) => ExecPool::serial(),
+        }
+    }
+
+    /// How many operations the session may execute concurrently. Modeled
+    /// devices execute serially (their op durations are scaled
+    /// analytically instead), so they report 1.
+    pub fn inter_ops(&self) -> usize {
+        match self {
+            Device::Cpu { inter_ops, .. } => (*inter_ops).max(1),
+            Device::SimCpu { .. } | Device::SimGpu(_) => 1,
         }
     }
 

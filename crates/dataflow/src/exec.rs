@@ -1,16 +1,36 @@
 //! The session: schedules and executes dataflow graphs.
 //!
-//! Operations are "the smallest schedulable unit" (paper §V-A); a
-//! [`Session`] walks the fetched subgraph in topological order, dispatches
-//! each operation to the device, and (when tracing is enabled) records one
-//! [`crate::trace::TraceEvent`] per execution. Inter-op overhead is kept
-//! minimal — the `overhead_check` bench verifies the paper's "<1-2%
-//! outside of operations" property.
+//! Operations are "the smallest schedulable unit" (paper §V-A). A
+//! [`Session`] plans the fetched subgraph once (topological order,
+//! per-node liveness, dependency counts) and then executes it with one of
+//! two executors:
+//!
+//! * a **serial** walk in plan order, used when the device has a single
+//!   inter-op worker or is a modeled (`SimCpu`/`SimGpu`) device, and
+//! * a **dependency-counting parallel** executor, used when the device
+//!   advertises more than one inter-op worker
+//!   ([`Device::cpu_inter_op`]): ops whose inputs are all available are
+//!   dispatched onto a dedicated inter-op worker set, while stateful ops
+//!   (`Variable` reads, `Apply*` writes, RNG sampling) are chained in
+//!   plan order and run only on the coordinating thread, so results are
+//!   bitwise identical to the serial executor regardless of worker
+//!   timing.
+//!
+//! Both executors release intermediates eagerly at their last use and
+//! return the freed backing buffers to a per-session
+//! [`BufferPool`], from which subsequent allocations draw. When tracing
+//! is enabled the session records one [`crate::trace::TraceEvent`] per
+//! execution; inter-op overhead is kept minimal — the `overhead_check`
+//! bench verifies the paper's "<1-2% outside of operations" property.
 
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crossbeam::channel;
 use fathom_tensor::kernels::conv as kconv;
 use fathom_tensor::kernels::ctc as kctc;
 use fathom_tensor::kernels::elementwise as kew;
@@ -19,7 +39,7 @@ use fathom_tensor::kernels::pool2d as kpool;
 use fathom_tensor::kernels::reduce as kred;
 use fathom_tensor::kernels::softmax as ksm;
 use fathom_tensor::kernels::transform as ktf;
-use fathom_tensor::{ExecPool, Rng, Tensor};
+use fathom_tensor::{BufferPool, ExecPool, RecycleStats, Rng, Tensor};
 
 use crate::cost;
 use crate::device::Device;
@@ -61,14 +81,43 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// A cached execution plan: topological order plus per-node liveness
-/// (the plan position after which each value is dead and can be freed).
-#[derive(Debug, Clone)]
+/// A cached execution plan: topological order, per-node liveness, and the
+/// dependency structure the parallel executor counts down at run time.
+///
+/// `indegree`, `consumers`, `use_count`, and `serial` are indexed by plan
+/// position; `last_use` and `pos_of` by graph node index.
+#[derive(Debug)]
 struct Plan {
     order: Vec<NodeId>,
     /// For each graph node index, the plan position of its last consumer
-    /// (`usize::MAX` for fetched nodes, which must outlive the run).
+    /// (its own position if nothing consumes it; `usize::MAX` for fetched
+    /// nodes, which must outlive the run).
     last_use: Vec<usize>,
+    /// Graph node index -> plan position (`usize::MAX` if unplanned).
+    pos_of: Vec<usize>,
+    /// Unmet-dependency count per position: one per input occurrence plus
+    /// one per serialization-chain edge.
+    indegree: Vec<u32>,
+    /// Positions to notify when the op at a position completes (dataflow
+    /// edges plus serialization-chain edges; duplicates are fine because
+    /// increments and decrements are symmetric).
+    consumers: Vec<Vec<u32>>,
+    /// Times each position's value is consumed: input occurrences plus
+    /// fetch occurrences. Zero means the value dies at its own position.
+    use_count: Vec<u32>,
+    /// Whether the op at a position must run on the coordinating thread,
+    /// in plan order (see [`OpKind::needs_serial`]).
+    serial: Vec<bool>,
+}
+
+/// The mutable state touched by stateful ops: variables, optimizer slots,
+/// and the random stream. Split out of [`Session`] so the executors can
+/// borrow it independently of the graph and pools.
+#[derive(Debug)]
+struct SessionState {
+    variables: HashMap<NodeId, Tensor>,
+    slots: HashMap<(NodeId, &'static str), Tensor>,
+    rng: Rng,
 }
 
 /// Executes a [`Graph`] on a [`Device`], holding variable state, optimizer
@@ -96,16 +145,27 @@ pub struct Session {
     graph: Graph,
     device: Device,
     pool: ExecPool,
-    variables: HashMap<NodeId, Tensor>,
-    slots: HashMap<(NodeId, &'static str), Tensor>,
-    rng: Rng,
+    /// Inter-op worker set; `None` when the device schedules serially.
+    sched: Option<ExecPool>,
+    state: SessionState,
+    /// Free list fed by the executors' eager releases and drained by
+    /// constant-fill tensor constructors while a run is in flight.
+    recycler: Arc<BufferPool>,
     step: u64,
     tracing: bool,
     trace: RunTrace,
-    plan_cache: HashMap<Vec<NodeId>, Plan>,
+    plan_cache: HashMap<Vec<NodeId>, Arc<Plan>>,
     /// Per-node static cost estimates, filled lazily on first traced run
     /// so tracing adds minimal inter-op overhead.
     cost_cache: Vec<Option<cost::OpCost>>,
+}
+
+/// A dedicated inter-op pool for devices that schedule ops concurrently.
+/// Kept separate from the intra-op pool so a worker blocked inside a
+/// kernel's `for_spans` never waits on its own queue.
+fn scheduler_for(device: &Device) -> Option<ExecPool> {
+    let inter = device.inter_ops();
+    (inter > 1).then(|| ExecPool::new(inter))
 }
 
 impl Session {
@@ -124,13 +184,18 @@ impl Session {
             }
         }
         let pool = device.pool();
+        let sched = scheduler_for(&device);
         Session {
             graph,
             device,
             pool,
-            variables,
-            slots: HashMap::new(),
-            rng: Rng::seeded(seed),
+            sched,
+            state: SessionState {
+                variables,
+                slots: HashMap::new(),
+                rng: Rng::seeded(seed),
+            },
+            recycler: Arc::new(BufferPool::new()),
             step: 0,
             tracing: false,
             trace: RunTrace::new(),
@@ -149,10 +214,11 @@ impl Session {
         &self.device
     }
 
-    /// Switches devices (e.g. to sweep intra-op thread counts). Variable
-    /// state is preserved.
+    /// Switches devices (e.g. to sweep intra-op thread counts or inter-op
+    /// worker counts). Variable state is preserved.
     pub fn set_device(&mut self, device: Device) {
         self.pool = device.pool();
+        self.sched = scheduler_for(&device);
         self.device = device;
     }
 
@@ -172,6 +238,11 @@ impl Session {
         self.step
     }
 
+    /// Usage counters of the session's buffer recycler.
+    pub fn recycle_stats(&self) -> RecycleStats {
+        self.recycler.stats()
+    }
+
     /// Current value of a variable.
     ///
     /// # Errors
@@ -179,7 +250,7 @@ impl Session {
     /// Returns [`ExecError::NotAVariable`] if `id` is not a variable of
     /// this graph.
     pub fn variable_value(&self, id: NodeId) -> Result<&Tensor, ExecError> {
-        self.variables.get(&id).ok_or(ExecError::NotAVariable(id))
+        self.state.variables.get(&id).ok_or(ExecError::NotAVariable(id))
     }
 
     /// Overwrites a variable's value (used for target-network syncs in
@@ -190,7 +261,7 @@ impl Session {
     /// Returns [`ExecError::NotAVariable`] if `id` is not a variable, or
     /// [`ExecError::FeedShape`] if the shape differs.
     pub fn assign(&mut self, id: NodeId, value: Tensor) -> Result<(), ExecError> {
-        let slot = self.variables.get_mut(&id).ok_or(ExecError::NotAVariable(id))?;
+        let slot = self.state.variables.get_mut(&id).ok_or(ExecError::NotAVariable(id))?;
         if slot.shape() != value.shape() {
             return Err(ExecError::FeedShape {
                 node: id,
@@ -229,43 +300,23 @@ impl Session {
             }
             feed_map.insert(*id, value);
         }
-
         let plan = self.plan(fetches);
-        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
-        // Liveness-based eager release: drop intermediates after their
-        // last consumer runs, tracking the peak footprint as we go.
-        let mut live_bytes: usize = 0;
-        let mut peak_bytes: usize = 0;
-        for (pos, &id) in plan.order.iter().enumerate() {
-            let value = self.execute_node(id, &feed_map, &values)?;
-            live_bytes += value.len() * 4;
-            peak_bytes = peak_bytes.max(live_bytes);
-            values[id.index()] = Some(value);
-            if plan.last_use[id.index()] <= pos {
-                // No consumer (pure side-effect node): free immediately.
-                if let Some(t) = values[id.index()].take() {
-                    live_bytes -= t.len() * 4;
-                }
-            }
-            for &input in &self.graph.node(id).inputs {
-                if plan.last_use[input.index()] == pos {
-                    if let Some(t) = values[input.index()].take() {
-                        live_bytes -= t.len() * 4;
-                    }
-                }
+        // Every planned placeholder must be fed before any op runs, so a
+        // bad feed set can never leave variables partially updated and
+        // both executors report the same (first-in-plan-order) error.
+        for &id in &plan.order {
+            if matches!(self.graph.node(id).kind, OpKind::Placeholder { .. })
+                && !feed_map.contains_key(&id)
+            {
+                return Err(ExecError::MissingFeed(id));
             }
         }
-        let out = fetches
-            .iter()
-            .map(|f| values[f.index()].clone().expect("fetched node kept alive"))
-            .collect();
-        self.step += 1;
-        if self.tracing {
-            self.trace.total_nanos += started.elapsed().as_nanos() as f64;
-            self.trace.steps += 1;
-            self.trace.peak_live_bytes = self.trace.peak_live_bytes.max(peak_bytes as u64);
+        match self.sched.clone() {
+            Some(sched) if !self.device.is_modeled() => {
+                self.run_parallel(fetches, &feed_map, &plan, &sched, started)
+            }
+            _ => self.run_serial(fetches, &feed_map, &plan, started),
         }
-        Ok(out)
     }
 
     /// Convenience wrapper fetching a single node.
@@ -277,44 +328,339 @@ impl Session {
         Ok(self.run(&[fetch], feeds)?.remove(0))
     }
 
-    /// Topological execution plan for a fetch set (cached), with per-node
-    /// last-use positions for eager memory release.
-    fn plan(&mut self, fetches: &[NodeId]) -> Plan {
-        let key: Vec<NodeId> = fetches.to_vec();
-        if let Some(plan) = self.plan_cache.get(&key) {
-            return plan.clone();
+    /// Executes a plan one op at a time in plan order.
+    fn run_serial(
+        &mut self,
+        fetches: &[NodeId],
+        feed_map: &HashMap<NodeId, &Tensor>,
+        plan: &Plan,
+        started: Instant,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        let recycler = Arc::clone(&self.recycler);
+        let _guard = BufferPool::install(&recycler);
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        // Liveness-based eager release: drop intermediates after their
+        // last consumer runs, tracking the peak footprint as we go.
+        let mut live_bytes: usize = 0;
+        let mut peak_bytes: usize = 0;
+        for (pos, &id) in plan.order.iter().enumerate() {
+            let value = self.execute_node(id, feed_map, &values)?;
+            live_bytes += value.len() * 4;
+            peak_bytes = peak_bytes.max(live_bytes);
+            values[id.index()] = Some(value);
+            if plan.last_use[id.index()] == pos {
+                // No consumer (pure side-effect node): free immediately.
+                if let Some(dead) = values[id.index()].take() {
+                    live_bytes -= dead.len() * 4;
+                    recycler.give(dead);
+                }
+            }
+            for &input in &self.graph.node(id).inputs {
+                if plan.last_use[input.index()] == pos {
+                    if let Some(dead) = values[input.index()].take() {
+                        live_bytes -= dead.len() * 4;
+                        recycler.give(dead);
+                    }
+                }
+            }
         }
-        let mut needed = vec![false; self.graph.len()];
+        let out = extract_fetches(fetches, &mut values);
+        self.step += 1;
+        if self.tracing {
+            self.trace.total_nanos += started.elapsed().as_nanos() as f64;
+            self.trace.steps += 1;
+            self.trace.peak_live_bytes = self.trace.peak_live_bytes.max(peak_bytes as u64);
+        }
+        Ok(out)
+    }
+
+    /// Executes a plan with the dependency-counting parallel scheduler.
+    ///
+    /// Each op's unmet-dependency count starts at [`Plan::indegree`];
+    /// when a producer finishes it publishes its value, decrements its
+    /// consumers' counts, and queues any that reach zero. Pure ops go to
+    /// a shared queue drained by the inter-op workers and the
+    /// coordinating thread; serial ops go to a queue only the coordinator
+    /// drains. The serialization chain built at plan time guarantees at
+    /// most one serial op is ready at any moment, and in plan order, so
+    /// variable reads/writes and RNG draws happen in exactly the order
+    /// the serial executor would perform them.
+    fn run_parallel(
+        &mut self,
+        fetches: &[NodeId],
+        feed_map: &HashMap<NodeId, &Tensor>,
+        plan: &Plan,
+        sched: &ExecPool,
+        started: Instant,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        /// Queue sentinel telling a worker to exit its receive loop.
+        const STOP: usize = usize::MAX;
+        let tracing = self.tracing;
+        if tracing {
+            self.fill_cost_cache(plan);
+        }
+        let total = plan.order.len();
+        let graph = &self.graph;
+        let pool = &self.pool;
+        let recycler = &self.recycler;
+        let state = &mut self.state;
+
+        let slots = SlotTable::new(graph.len());
+        let indegree: Vec<AtomicU32> = plan.indegree.iter().map(|&d| AtomicU32::new(d)).collect();
+        let remaining: Vec<AtomicU32> = plan.use_count.iter().map(|&u| AtomicU32::new(u)).collect();
+        let completed = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<ExecError>> = Mutex::new(None);
+        let live_bytes = AtomicUsize::new(0);
+        let peak_bytes = AtomicUsize::new(0);
+        let op_nanos: Vec<AtomicU64> =
+            (0..if tracing { total } else { 0 }).map(|_| AtomicU64::new(0)).collect();
+
+        let (pure_tx, pure_rx) = channel::unbounded::<usize>();
+        let (serial_tx, serial_rx) = channel::unbounded::<usize>();
+        for (pos, (&deg, &serial)) in plan.indegree.iter().zip(&plan.serial).enumerate() {
+            if deg == 0 {
+                let tx = if serial { &serial_tx } else { &pure_tx };
+                tx.send(pos).expect("scheduler queue open");
+            }
+        }
+
+        // Runs on whichever thread produced `value` for position `pos`:
+        // publishes the value, releases inputs whose uses are exhausted,
+        // and queues consumers whose dependency count reaches zero.
+        let finish = |pos: usize, id: NodeId, value: Tensor| {
+            let bytes = value.len() * 4;
+            let now_live = live_bytes.fetch_add(bytes, Ordering::AcqRel) + bytes;
+            let mut peak = peak_bytes.load(Ordering::Relaxed);
+            while now_live > peak {
+                match peak_bytes.compare_exchange_weak(peak, now_live, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(seen) => peak = seen,
+                }
+            }
+            if plan.use_count[pos] == 0 {
+                // Nothing consumes or fetches this value: dead on arrival.
+                live_bytes.fetch_sub(bytes, Ordering::AcqRel);
+                recycler.give(value);
+            } else {
+                // SAFETY: this thread is the slot's only producer and no
+                // consumer reads it before the fan-out below queues them.
+                unsafe { slots.set(id.index(), value) };
+            }
+            for &input in &graph.node(id).inputs {
+                let ipos = plan.pos_of[input.index()];
+                if remaining[ipos].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // SAFETY: the last consumer has completed, so no
+                    // reference into this slot can still be alive, and
+                    // the AcqRel counter chain orders all of their reads
+                    // before this take.
+                    if let Some(dead) = unsafe { slots.take(input.index()) } {
+                        live_bytes.fetch_sub(dead.len() * 4, Ordering::AcqRel);
+                        recycler.give(dead);
+                    }
+                }
+            }
+            for &c in &plan.consumers[pos] {
+                let c = c as usize;
+                if indegree[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let tx = if plan.serial[c] { &serial_tx } else { &pure_tx };
+                    tx.send(c).expect("scheduler queue open");
+                }
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+        };
+        let fail = |err: ExecError| {
+            let mut slot = failure.lock().expect("failure mutex");
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            abort.store(true, Ordering::Release);
+        };
+        let run_pure = |pos: usize| {
+            if abort.load(Ordering::Acquire) {
+                return;
+            }
+            let id = plan.order[pos];
+            let t0 = Instant::now();
+            // SAFETY (the `slots.get`): every input slot was published by
+            // its producer before the dependency count that queued this
+            // op reached zero, and stays alive until this op completes.
+            match dispatch_op(graph, pool, id, feed_map, |n| unsafe { slots.get(n.index()) }, None) {
+                Ok(value) => {
+                    if tracing {
+                        let nanos = t0.elapsed().as_nanos() as f64;
+                        op_nanos[pos].store(nanos.to_bits(), Ordering::Relaxed);
+                    }
+                    finish(pos, id, value);
+                }
+                Err(err) => fail(err),
+            }
+        };
+        let run_serial_op = |pos: usize, st: &mut SessionState| {
+            if abort.load(Ordering::Acquire) {
+                return;
+            }
+            let id = plan.order[pos];
+            let t0 = Instant::now();
+            // SAFETY: as in `run_pure`.
+            match dispatch_op(graph, pool, id, feed_map, |n| unsafe { slots.get(n.index()) }, Some(st)) {
+                Ok(value) => {
+                    if tracing {
+                        let nanos = t0.elapsed().as_nanos() as f64;
+                        op_nanos[pos].store(nanos.to_bits(), Ordering::Relaxed);
+                    }
+                    finish(pos, id, value);
+                }
+                Err(err) => fail(err),
+            }
+        };
+
+        sched.scoped(|scope| {
+            for _ in 0..sched.extra_workers() {
+                let rx = pure_rx.clone();
+                let run_pure = &run_pure;
+                let worker_pool = Arc::clone(recycler);
+                scope.spawn(move || {
+                    let _guard = BufferPool::install(&worker_pool);
+                    while let Ok(pos) = rx.recv() {
+                        if pos == STOP {
+                            break;
+                        }
+                        run_pure(pos);
+                    }
+                });
+            }
+            let _guard = BufferPool::install(recycler);
+            // The coordinator owns the session state: it alone drains the
+            // serial queue, and helps with pure ops while waiting.
+            while completed.load(Ordering::SeqCst) < total && !abort.load(Ordering::Acquire) {
+                if let Ok(pos) = serial_rx.try_recv() {
+                    run_serial_op(pos, state);
+                } else if let Ok(pos) = pure_rx.try_recv() {
+                    if pos != STOP {
+                        run_pure(pos);
+                    }
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            for _ in 0..sched.extra_workers() {
+                pure_tx.send(STOP).expect("scheduler queue open");
+            }
+        });
+
+        if let Some(err) = failure.into_inner().expect("failure mutex") {
+            return Err(err);
+        }
+        let mut values = slots.into_values();
+        let out = extract_fetches(fetches, &mut values);
+        if tracing {
+            for (pos, &id) in plan.order.iter().enumerate() {
+                let node = self.graph.node(id);
+                self.trace.events.push(TraceEvent {
+                    node: id,
+                    op: node.kind.name(),
+                    class: node.kind.class(),
+                    step: self.step,
+                    nanos: f64::from_bits(op_nanos[pos].load(Ordering::Relaxed)),
+                    cost: self.cost_cache[id.index()].expect("cost cache pre-filled"),
+                });
+            }
+        }
+        self.step += 1;
+        if tracing {
+            self.trace.total_nanos += started.elapsed().as_nanos() as f64;
+            self.trace.steps += 1;
+            self.trace.peak_live_bytes =
+                self.trace.peak_live_bytes.max(peak_bytes.load(Ordering::Relaxed) as u64);
+        }
+        Ok(out)
+    }
+
+    /// Topological execution plan for a fetch set (cached), with liveness
+    /// and dependency counts for the two executors.
+    fn plan(&mut self, fetches: &[NodeId]) -> Arc<Plan> {
+        if let Some(plan) = self.plan_cache.get(fetches) {
+            return Arc::clone(plan);
+        }
+        let graph = &self.graph;
+        let mut needed = vec![false; graph.len()];
         let mut stack: Vec<NodeId> = fetches.to_vec();
         while let Some(id) = stack.pop() {
             if needed[id.index()] {
                 continue;
             }
             needed[id.index()] = true;
-            stack.extend(self.graph.node(id).inputs.iter().copied());
+            stack.extend(graph.node(id).inputs.iter().copied());
         }
         // Insertion order is a valid topological order (append-only graph).
-        let order: Vec<NodeId> = self
-            .graph
+        let order: Vec<NodeId> = graph
             .iter()
             .filter(|(id, _)| needed[id.index()])
             .map(|(id, _)| id)
             .collect();
-        let mut last_use = vec![0usize; self.graph.len()];
+        let total = order.len();
+        let mut pos_of = vec![usize::MAX; graph.len()];
         for (pos, &id) in order.iter().enumerate() {
-            for &input in &self.graph.node(id).inputs {
+            pos_of[id.index()] = pos;
+        }
+        let mut last_use = vec![0usize; graph.len()];
+        let mut indegree = vec![0u32; total];
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); total];
+        let mut use_count = vec![0u32; total];
+        let mut serial = vec![false; total];
+        for (pos, &id) in order.iter().enumerate() {
+            // A node with no consumers dies at its own position; later
+            // consumers (always at higher positions) overwrite this.
+            last_use[id.index()] = pos;
+            serial[pos] = graph.node(id).kind.needs_serial();
+            for &input in &graph.node(id).inputs {
+                let ipos = pos_of[input.index()];
+                indegree[pos] += 1;
+                consumers[ipos].push(pos as u32);
+                use_count[ipos] += 1;
                 last_use[input.index()] = pos;
             }
         }
+        // Chain stateful/RNG ops to each other in plan order so at most
+        // one is ever ready: this pins the variable read/write and RNG
+        // draw order to the serial executor's, making parallel runs
+        // bitwise deterministic.
+        let mut prev: Option<usize> = None;
+        for (pos, &is_serial) in serial.iter().enumerate() {
+            if is_serial {
+                if let Some(p) = prev {
+                    indegree[pos] += 1;
+                    consumers[p].push(pos as u32);
+                }
+                prev = Some(pos);
+            }
+        }
         for &f in fetches {
+            use_count[pos_of[f.index()]] += 1;
             last_use[f.index()] = usize::MAX;
         }
-        let plan = Plan { order, last_use };
-        self.plan_cache.insert(key, plan.clone());
+        let plan = Arc::new(Plan { order, last_use, pos_of, indegree, consumers, use_count, serial });
+        self.plan_cache.insert(fetches.to_vec(), Arc::clone(&plan));
         plan
     }
 
-    /// Executes one node and (if tracing) records its event.
+    /// Fills the static cost cache for every planned node, so traced
+    /// parallel runs never touch the cache concurrently.
+    fn fill_cost_cache(&mut self, plan: &Plan) {
+        if self.cost_cache.is_empty() {
+            self.cost_cache = vec![None; self.graph.len()];
+        }
+        for &id in &plan.order {
+            if self.cost_cache[id.index()].is_none() {
+                let node = self.graph.node(id);
+                let input_shapes: Vec<_> = node.inputs.iter().map(|&i| self.graph.shape(i)).collect();
+                self.cost_cache[id.index()] = Some(cost::estimate(node, &input_shapes));
+            }
+        }
+    }
+
+    /// Executes one node serially and (if tracing) records its event.
     fn execute_node(
         &mut self,
         id: NodeId,
@@ -322,7 +668,14 @@ impl Session {
         values: &[Option<Tensor>],
     ) -> Result<Tensor, ExecError> {
         let started = Instant::now();
-        let value = self.dispatch(id, feeds, values)?;
+        let value = dispatch_op(
+            &self.graph,
+            &self.pool,
+            id,
+            feeds,
+            |n| values[n.index()].as_ref().expect("input executed before use"),
+            Some(&mut self.state),
+        )?;
         if self.tracing {
             if self.cost_cache.is_empty() {
                 self.cost_cache = vec![None; self.graph.len()];
@@ -340,7 +693,7 @@ impl Session {
             };
             let node = self.graph.node(id);
             let nanos = match &self.device {
-                Device::Cpu(_) => started.elapsed().as_nanos() as f64,
+                Device::Cpu { .. } => started.elapsed().as_nanos() as f64,
                 Device::SimCpu { threads, model } => model.model_nanos(
                     started.elapsed().as_nanos() as f64,
                     op_cost,
@@ -360,248 +713,315 @@ impl Session {
         }
         Ok(value)
     }
+}
 
-    #[allow(clippy::too_many_lines)]
-    fn dispatch(
-        &mut self,
-        id: NodeId,
-        feeds: &HashMap<NodeId, &Tensor>,
-        values: &[Option<Tensor>],
-    ) -> Result<Tensor, ExecError> {
-        // Clone the (cheap) op metadata so match arms may mutate session
-        // state; large constants are handled before the clone.
-        if let OpKind::Constant(t) = &self.graph.node(id).kind {
-            return Ok(t.clone());
-        }
-        let kind = self.graph.node(id).kind.clone();
-        let inputs = self.graph.node(id).inputs.clone();
-        let input = |i: usize| -> &Tensor {
-            values[inputs[i].index()]
-                .as_ref()
-                .expect("input executed before use")
-        };
-        let pool = self.pool.clone();
-        let pool = &pool;
-        let out = match &kind {
-            OpKind::Placeholder { .. } => {
-                (*feeds.get(&id).ok_or(ExecError::MissingFeed(id))?).clone()
-            }
-            OpKind::Variable { .. } => self.variables[&id].clone(),
-            OpKind::Constant(t) => t.clone(),
-            OpKind::Identity | OpKind::StopGradient => input(0).clone(),
+/// Node-value table shared between scheduler threads. Soundness rests on
+/// the dependency counts: a slot is written exactly once (by its
+/// producer, before any consumer is queued), read only while its
+/// remaining-use count is positive, and taken only after the count hits
+/// zero — so no two threads ever touch a cell concurrently.
+struct SlotTable {
+    cells: Vec<UnsafeCell<Option<Tensor>>>,
+}
 
-            OpKind::MatMul { transpose_a, transpose_b } => {
-                kmm::matmul(input(0), input(1), *transpose_a, *transpose_b, pool)
-            }
+unsafe impl Sync for SlotTable {}
 
-            OpKind::Conv2D(spec) => kconv::conv2d(input(0), input(1), *spec, pool),
-            OpKind::Conv2DBackpropInput { spec, input_shape } => {
-                kconv::conv2d_backprop_input(input_shape, input(0), input(1), *spec, pool)
-            }
-            OpKind::Conv2DBackpropFilter { spec, filter_shape } => {
-                kconv::conv2d_backprop_filter(input(0), filter_shape, input(1), *spec, pool)
-            }
-            OpKind::MaxPool(spec) => kpool::max_pool(input(0), *spec, pool),
-            OpKind::MaxPoolGrad(spec) => kpool::max_pool_grad(input(0), input(1), *spec, pool),
-            OpKind::AvgPool(spec) => kpool::avg_pool(input(0), *spec, pool),
-            OpKind::AvgPoolGrad { spec, input_shape } => {
-                kpool::avg_pool_grad(input_shape, input(0), *spec, pool)
-            }
-
-            OpKind::Add => kew::add(input(0), input(1), pool),
-            OpKind::Sub => kew::sub(input(0), input(1), pool),
-            OpKind::Mul => kew::mul(input(0), input(1), pool),
-            OpKind::Div => kew::div(input(0), input(1), pool),
-            OpKind::Maximum => kew::maximum(input(0), input(1), pool),
-            OpKind::Pow => kew::pow(input(0), input(1), pool),
-            OpKind::Greater => kew::binary(input(0), input(1), pool, |a, b| f32::from(a > b)),
-            OpKind::GreaterEqual => kew::binary(input(0), input(1), pool, |a, b| f32::from(a >= b)),
-            OpKind::Equal => kew::binary(input(0), input(1), pool, |a, b| f32::from(a == b)),
-            OpKind::Select => {
-                // cond ? a : b with two broadcasting passes.
-                let masked_a = kew::binary(input(0), input(1), pool, |c, a| if c != 0.0 { a } else { 0.0 });
-                let masked = kew::binary(input(0), input(2), pool, |c, b| if c != 0.0 { 0.0 } else { b });
-                kew::add(&masked_a, &masked, pool)
-            }
-            OpKind::Neg => kew::neg(input(0), pool),
-            OpKind::Exp => kew::exp(input(0), pool),
-            OpKind::Log => kew::log(input(0), pool),
-            OpKind::Sqrt => kew::sqrt(input(0), pool),
-            OpKind::Square => kew::square(input(0), pool),
-            OpKind::Tanh => kew::tanh(input(0), pool),
-            OpKind::Sigmoid => kew::sigmoid(input(0), pool),
-            OpKind::Relu => kew::relu(input(0), pool),
-            OpKind::ReluGrad => {
-                kew::binary(input(0), input(1), pool, |x, g| if x > 0.0 { g } else { 0.0 })
-            }
-            OpKind::TanhGrad => kew::binary(input(0), input(1), pool, |y, g| g * (1.0 - y * y)),
-            OpKind::SigmoidGrad => kew::binary(input(0), input(1), pool, |y, g| g * y * (1.0 - y)),
-            OpKind::AddN => {
-                let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
-                kew::add_n(&tensors, pool)
-            }
-
-            OpKind::Sum { axis, keep_dims } => match axis {
-                Some(a) => kred::reduce_axis(input(0), *a, kred::ReduceKind::Sum, *keep_dims, pool),
-                None => kred::reduce_all_sum(input(0), pool),
-            },
-            OpKind::Mean { axis, keep_dims } => match axis {
-                Some(a) => kred::reduce_axis(input(0), *a, kred::ReduceKind::Mean, *keep_dims, pool),
-                None => kred::reduce_all_mean(input(0), pool),
-            },
-            OpKind::MaxReduce { axis, keep_dims } => {
-                kred::reduce_axis(input(0), *axis, kred::ReduceKind::Max, *keep_dims, pool)
-            }
-            OpKind::Softmax => ksm::softmax(input(0), pool),
-            OpKind::LogSoftmax => ksm::log_softmax(input(0), pool),
-            OpKind::SoftmaxGrad => ksm::softmax_grad(input(0), input(1), pool),
-            OpKind::SoftmaxCrossEntropy => ksm::softmax_cross_entropy(input(0), input(1), pool).0,
-            OpKind::SoftmaxCrossEntropyGrad => {
-                ksm::softmax_cross_entropy(input(0), input(1), pool).1
-            }
-            OpKind::CtcLoss { blank } => {
-                let labels = decode_padded_labels(input(1), self.graph.shape(id).rank(), *blank)?;
-                Tensor::scalar(kctc::ctc_loss(input(0), &labels, *blank, pool).0)
-            }
-            OpKind::CtcLossGrad { blank } => {
-                let labels = decode_padded_labels(input(1), 0, *blank)?;
-                kctc::ctc_loss(input(0), &labels, *blank, pool).1
-            }
-            OpKind::Tile { reps } => ktf::tile(input(0), reps, pool),
-
-            OpKind::StandardRandomNormal { shape, mean, std } => {
-                Tensor::randn(shape.clone(), *mean, *std, &mut self.rng)
-            }
-            OpKind::RandomUniform { shape, lo, hi } => {
-                Tensor::rand_uniform(shape.clone(), *lo, *hi, &mut self.rng)
-            }
-            OpKind::DropoutMask { rate } => {
-                let keep = 1.0 / (1.0 - rate);
-                let mut mask = Tensor::zeros(input(0).shape().clone());
-                let rate = *rate;
-                for v in mask.data_mut() {
-                    *v = if self.rng.uniform() < rate { 0.0 } else { keep };
-                }
-                mask
-            }
-
-            OpKind::ApplyGradientDescent { lr } => {
-                let var_id = self.variable_target(id)?;
-                let grad = input(1).clone();
-                let lr = *lr;
-                let var = self.variables.get_mut(&var_id).expect("checked above");
-                for (v, g) in var.data_mut().iter_mut().zip(grad.data()) {
-                    *v -= lr * g;
-                }
-                var.clone()
-            }
-            OpKind::ApplyMomentum { lr, momentum } => {
-                let var_id = self.variable_target(id)?;
-                let grad = input(1).clone();
-                let (lr, momentum) = (*lr, *momentum);
-                let accum = self
-                    .slots
-                    .entry((id, "momentum"))
-                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
-                for (m, g) in accum.data_mut().iter_mut().zip(grad.data()) {
-                    *m = momentum * *m + g;
-                }
-                let accum = accum.clone();
-                let var = self.variables.get_mut(&var_id).expect("checked above");
-                for (v, m) in var.data_mut().iter_mut().zip(accum.data()) {
-                    *v -= lr * m;
-                }
-                var.clone()
-            }
-            OpKind::ApplyRmsProp { lr, decay, momentum, epsilon } => {
-                let var_id = self.variable_target(id)?;
-                let grad = input(1).clone();
-                let (lr, decay, momentum, epsilon) = (*lr, *decay, *momentum, *epsilon);
-                let ms = self
-                    .slots
-                    .entry((id, "ms"))
-                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
-                for (m, g) in ms.data_mut().iter_mut().zip(grad.data()) {
-                    *m = decay * *m + (1.0 - decay) * g * g;
-                }
-                let ms = ms.clone();
-                let mom = self
-                    .slots
-                    .entry((id, "mom"))
-                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
-                for ((mo, g), m) in mom.data_mut().iter_mut().zip(grad.data()).zip(ms.data()) {
-                    *mo = momentum * *mo + lr * g / (m.sqrt() + epsilon);
-                }
-                let mom = mom.clone();
-                let var = self.variables.get_mut(&var_id).expect("checked above");
-                for (v, mo) in var.data_mut().iter_mut().zip(mom.data()) {
-                    *v -= mo;
-                }
-                var.clone()
-            }
-            OpKind::ApplyAdam { lr, beta1, beta2, epsilon } => {
-                let var_id = self.variable_target(id)?;
-                let grad = input(1).clone();
-                let (lr, beta1, beta2, epsilon) = (*lr, *beta1, *beta2, *epsilon);
-                let t_slot = self.slots.entry((id, "t")).or_insert_with(|| Tensor::scalar(0.0));
-                let t = t_slot.scalar_value() + 1.0;
-                *t_slot = Tensor::scalar(t);
-                let m = self
-                    .slots
-                    .entry((id, "m"))
-                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
-                for (mv, g) in m.data_mut().iter_mut().zip(grad.data()) {
-                    *mv = beta1 * *mv + (1.0 - beta1) * g;
-                }
-                let m = m.clone();
-                let v2 = self
-                    .slots
-                    .entry((id, "v"))
-                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
-                for (vv, g) in v2.data_mut().iter_mut().zip(grad.data()) {
-                    *vv = beta2 * *vv + (1.0 - beta2) * g * g;
-                }
-                let v2 = v2.clone();
-                let bc1 = 1.0 - beta1.powf(t);
-                let bc2 = 1.0 - beta2.powf(t);
-                let var = self.variables.get_mut(&var_id).expect("checked above");
-                for ((v, mv), vv) in var.data_mut().iter_mut().zip(m.data()).zip(v2.data()) {
-                    let m_hat = mv / bc1;
-                    let v_hat = vv / bc2;
-                    *v -= lr * m_hat / (v_hat.sqrt() + epsilon);
-                }
-                var.clone()
-            }
-            OpKind::Group => Tensor::scalar(0.0),
-
-            OpKind::Reshape(shape) => input(0).clone().reshaped(shape.clone()),
-            OpKind::Transpose { perm } => ktf::transpose(input(0), perm, pool),
-            OpKind::Concat { axis } => {
-                let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
-                ktf::concat(&tensors, *axis, pool)
-            }
-            OpKind::Slice { axis, start, len } => ktf::slice_axis(input(0), *axis, *start, *len, pool),
-            OpKind::Gather => ktf::gather_rows(input(0), input(1), pool),
-            OpKind::ScatterAddRows { vocab, dim } => {
-                ktf::scatter_add_rows(*vocab, *dim, input(0), input(1))
-            }
-            OpKind::ShapeOf => {
-                let dims: Vec<f32> = input(0).shape().dims().iter().map(|&d| d as f32).collect();
-                Tensor::from(dims)
-            }
-        };
-        Ok(out)
+impl SlotTable {
+    fn new(len: usize) -> Self {
+        SlotTable { cells: (0..len).map(|_| UnsafeCell::new(None)).collect() }
     }
 
-    /// Resolves the variable an `Apply*` node updates.
-    fn variable_target(&self, apply: NodeId) -> Result<NodeId, ExecError> {
-        let var_id = self.graph.node(apply).inputs[0];
-        if self.variables.contains_key(&var_id) {
-            Ok(var_id)
-        } else {
-            Err(ExecError::NotAVariable(var_id))
-        }
+    /// # Safety
+    ///
+    /// Caller must be the cell's unique producer, before consumers run.
+    unsafe fn set(&self, idx: usize, value: Tensor) {
+        *self.cells[idx].get() = Some(value);
     }
+
+    /// # Safety
+    ///
+    /// Caller must hold an outstanding use (remaining-use count > 0).
+    unsafe fn get(&self, idx: usize) -> &Tensor {
+        (*self.cells[idx].get()).as_ref().expect("input executed before use")
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have observed the remaining-use count reach zero.
+    unsafe fn take(&self, idx: usize) -> Option<Tensor> {
+        (*self.cells[idx].get()).take()
+    }
+
+    fn into_values(self) -> Vec<Option<Tensor>> {
+        self.cells.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+/// Moves fetched values out of the value table, cloning only when the
+/// same node is fetched more than once.
+fn extract_fetches(fetches: &[NodeId], values: &mut [Option<Tensor>]) -> Vec<Tensor> {
+    let mut left: HashMap<NodeId, usize> = HashMap::with_capacity(fetches.len());
+    for &f in fetches {
+        *left.entry(f).or_insert(0) += 1;
+    }
+    fetches
+        .iter()
+        .map(|f| {
+            let uses = left.get_mut(f).expect("counted above");
+            *uses -= 1;
+            if *uses == 0 {
+                values[f.index()].take().expect("fetched node kept alive")
+            } else {
+                values[f.index()].clone().expect("fetched node kept alive")
+            }
+        })
+        .collect()
+}
+
+/// Resolves the variable an `Apply*` node updates.
+fn variable_target(graph: &Graph, state: &SessionState, apply: NodeId) -> Result<NodeId, ExecError> {
+    let var_id = graph.node(apply).inputs[0];
+    if state.variables.contains_key(&var_id) {
+        Ok(var_id)
+    } else {
+        Err(ExecError::NotAVariable(var_id))
+    }
+}
+
+/// Computes one node's value. `resolve` maps an input id to its computed
+/// tensor; `state` must be `Some` for ops where [`OpKind::needs_serial`]
+/// is true (the schedulers guarantee those run with exclusive access to
+/// the session state, on one thread, in plan order).
+#[allow(clippy::too_many_lines)]
+fn dispatch_op<'v, F>(
+    graph: &Graph,
+    pool: &ExecPool,
+    id: NodeId,
+    feeds: &HashMap<NodeId, &Tensor>,
+    resolve: F,
+    mut state: Option<&mut SessionState>,
+) -> Result<Tensor, ExecError>
+where
+    F: Fn(NodeId) -> &'v Tensor,
+{
+    let node = graph.node(id);
+    let inputs = &node.inputs;
+    let input = |i: usize| -> &'v Tensor { resolve(inputs[i]) };
+    fn take_state<'a>(state: &mut Option<&'a mut SessionState>) -> &'a mut SessionState {
+        state.take().expect("stateful op scheduled with session state")
+    }
+    let mut serial_state = || take_state(&mut state);
+    let out = match &node.kind {
+        OpKind::Placeholder { .. } => {
+            (*feeds.get(&id).ok_or(ExecError::MissingFeed(id))?).clone()
+        }
+        OpKind::Variable { .. } => serial_state().variables[&id].clone(),
+        OpKind::Constant(t) => t.clone(),
+        OpKind::Identity | OpKind::StopGradient => input(0).clone(),
+
+        OpKind::MatMul { transpose_a, transpose_b } => {
+            kmm::matmul(input(0), input(1), *transpose_a, *transpose_b, pool)
+        }
+
+        OpKind::Conv2D(spec) => kconv::conv2d(input(0), input(1), *spec, pool),
+        OpKind::Conv2DBackpropInput { spec, input_shape } => {
+            kconv::conv2d_backprop_input(input_shape, input(0), input(1), *spec, pool)
+        }
+        OpKind::Conv2DBackpropFilter { spec, filter_shape } => {
+            kconv::conv2d_backprop_filter(input(0), filter_shape, input(1), *spec, pool)
+        }
+        OpKind::MaxPool(spec) => kpool::max_pool(input(0), *spec, pool),
+        OpKind::MaxPoolGrad(spec) => kpool::max_pool_grad(input(0), input(1), *spec, pool),
+        OpKind::AvgPool(spec) => kpool::avg_pool(input(0), *spec, pool),
+        OpKind::AvgPoolGrad { spec, input_shape } => {
+            kpool::avg_pool_grad(input_shape, input(0), *spec, pool)
+        }
+
+        OpKind::Add => kew::add(input(0), input(1), pool),
+        OpKind::Sub => kew::sub(input(0), input(1), pool),
+        OpKind::Mul => kew::mul(input(0), input(1), pool),
+        OpKind::Div => kew::div(input(0), input(1), pool),
+        OpKind::Maximum => kew::maximum(input(0), input(1), pool),
+        OpKind::Pow => kew::pow(input(0), input(1), pool),
+        OpKind::Greater => kew::binary(input(0), input(1), pool, |a, b| f32::from(a > b)),
+        OpKind::GreaterEqual => kew::binary(input(0), input(1), pool, |a, b| f32::from(a >= b)),
+        OpKind::Equal => kew::binary(input(0), input(1), pool, |a, b| f32::from(a == b)),
+        OpKind::Select => {
+            // cond ? a : b with two broadcasting passes.
+            let masked_a = kew::binary(input(0), input(1), pool, |c, a| if c != 0.0 { a } else { 0.0 });
+            let masked = kew::binary(input(0), input(2), pool, |c, b| if c != 0.0 { 0.0 } else { b });
+            kew::add(&masked_a, &masked, pool)
+        }
+        OpKind::Neg => kew::neg(input(0), pool),
+        OpKind::Exp => kew::exp(input(0), pool),
+        OpKind::Log => kew::log(input(0), pool),
+        OpKind::Sqrt => kew::sqrt(input(0), pool),
+        OpKind::Square => kew::square(input(0), pool),
+        OpKind::Tanh => kew::tanh(input(0), pool),
+        OpKind::Sigmoid => kew::sigmoid(input(0), pool),
+        OpKind::Relu => kew::relu(input(0), pool),
+        OpKind::ReluGrad => {
+            kew::binary(input(0), input(1), pool, |x, g| if x > 0.0 { g } else { 0.0 })
+        }
+        OpKind::TanhGrad => kew::binary(input(0), input(1), pool, |y, g| g * (1.0 - y * y)),
+        OpKind::SigmoidGrad => kew::binary(input(0), input(1), pool, |y, g| g * y * (1.0 - y)),
+        OpKind::AddN => {
+            let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
+            kew::add_n(&tensors, pool)
+        }
+
+        OpKind::Sum { axis, keep_dims } => match axis {
+            Some(a) => kred::reduce_axis(input(0), *a, kred::ReduceKind::Sum, *keep_dims, pool),
+            None => kred::reduce_all_sum(input(0), pool),
+        },
+        OpKind::Mean { axis, keep_dims } => match axis {
+            Some(a) => kred::reduce_axis(input(0), *a, kred::ReduceKind::Mean, *keep_dims, pool),
+            None => kred::reduce_all_mean(input(0), pool),
+        },
+        OpKind::MaxReduce { axis, keep_dims } => {
+            kred::reduce_axis(input(0), *axis, kred::ReduceKind::Max, *keep_dims, pool)
+        }
+        OpKind::Softmax => ksm::softmax(input(0), pool),
+        OpKind::LogSoftmax => ksm::log_softmax(input(0), pool),
+        OpKind::SoftmaxGrad => ksm::softmax_grad(input(0), input(1), pool),
+        OpKind::SoftmaxCrossEntropy => ksm::softmax_cross_entropy(input(0), input(1), pool).0,
+        OpKind::SoftmaxCrossEntropyGrad => {
+            ksm::softmax_cross_entropy(input(0), input(1), pool).1
+        }
+        OpKind::CtcLoss { blank } => {
+            let labels = decode_padded_labels(input(1), graph.shape(id).rank(), *blank)?;
+            Tensor::scalar(kctc::ctc_loss(input(0), &labels, *blank, pool).0)
+        }
+        OpKind::CtcLossGrad { blank } => {
+            let labels = decode_padded_labels(input(1), 0, *blank)?;
+            kctc::ctc_loss(input(0), &labels, *blank, pool).1
+        }
+        OpKind::Tile { reps } => ktf::tile(input(0), reps, pool),
+
+        OpKind::StandardRandomNormal { shape, mean, std } => {
+            Tensor::randn(shape.clone(), *mean, *std, &mut serial_state().rng)
+        }
+        OpKind::RandomUniform { shape, lo, hi } => {
+            Tensor::rand_uniform(shape.clone(), *lo, *hi, &mut serial_state().rng)
+        }
+        OpKind::DropoutMask { rate } => {
+            let st = serial_state();
+            let keep = 1.0 / (1.0 - rate);
+            let mut mask = Tensor::zeros(input(0).shape().clone());
+            let rate = *rate;
+            for v in mask.data_mut() {
+                *v = if st.rng.uniform() < rate { 0.0 } else { keep };
+            }
+            mask
+        }
+
+        OpKind::ApplyGradientDescent { lr } => {
+            let st = serial_state();
+            let var_id = variable_target(graph, st, id)?;
+            let grad = input(1);
+            let lr = *lr;
+            let var = st.variables.get_mut(&var_id).expect("checked above");
+            for (v, g) in var.data_mut().iter_mut().zip(grad.data()) {
+                *v -= lr * g;
+            }
+            var.clone()
+        }
+        OpKind::ApplyMomentum { lr, momentum } => {
+            let st = serial_state();
+            let var_id = variable_target(graph, st, id)?;
+            let grad = input(1);
+            let (lr, momentum) = (*lr, *momentum);
+            let accum = st
+                .slots
+                .entry((id, "momentum"))
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            for (m, g) in accum.data_mut().iter_mut().zip(grad.data()) {
+                *m = momentum * *m + g;
+            }
+            let var = st.variables.get_mut(&var_id).expect("checked above");
+            for (v, m) in var.data_mut().iter_mut().zip(accum.data()) {
+                *v -= lr * m;
+            }
+            var.clone()
+        }
+        OpKind::ApplyRmsProp { lr, decay, momentum, epsilon } => {
+            let st = serial_state();
+            let var_id = variable_target(graph, st, id)?;
+            let grad = input(1);
+            let (lr, decay, momentum, epsilon) = (*lr, *decay, *momentum, *epsilon);
+            let ms = st
+                .slots
+                .entry((id, "ms"))
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            for (m, g) in ms.data_mut().iter_mut().zip(grad.data()) {
+                *m = decay * *m + (1.0 - decay) * g * g;
+            }
+            let ms = ms.clone();
+            let mom = st
+                .slots
+                .entry((id, "mom"))
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            for ((mo, g), m) in mom.data_mut().iter_mut().zip(grad.data()).zip(ms.data()) {
+                *mo = momentum * *mo + lr * g / (m.sqrt() + epsilon);
+            }
+            let var = st.variables.get_mut(&var_id).expect("checked above");
+            for (v, mo) in var.data_mut().iter_mut().zip(mom.data()) {
+                *v -= mo;
+            }
+            var.clone()
+        }
+        OpKind::ApplyAdam { lr, beta1, beta2, epsilon } => {
+            let st = serial_state();
+            let var_id = variable_target(graph, st, id)?;
+            let grad = input(1);
+            let (lr, beta1, beta2, epsilon) = (*lr, *beta1, *beta2, *epsilon);
+            let t_slot = st.slots.entry((id, "t")).or_insert_with(|| Tensor::scalar(0.0));
+            let t = t_slot.scalar_value() + 1.0;
+            *t_slot = Tensor::scalar(t);
+            let m = st
+                .slots
+                .entry((id, "m"))
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            for (mv, g) in m.data_mut().iter_mut().zip(grad.data()) {
+                *mv = beta1 * *mv + (1.0 - beta1) * g;
+            }
+            let m = m.clone();
+            let v2 = st
+                .slots
+                .entry((id, "v"))
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            for (vv, g) in v2.data_mut().iter_mut().zip(grad.data()) {
+                *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+            }
+            let bc1 = 1.0 - beta1.powf(t);
+            let bc2 = 1.0 - beta2.powf(t);
+            let var = st.variables.get_mut(&var_id).expect("checked above");
+            for ((v, mv), vv) in var.data_mut().iter_mut().zip(m.data()).zip(v2.data()) {
+                let m_hat = mv / bc1;
+                let v_hat = vv / bc2;
+                *v -= lr * m_hat / (v_hat.sqrt() + epsilon);
+            }
+            var.clone()
+        }
+        OpKind::Group => Tensor::scalar(0.0),
+
+        OpKind::Reshape(shape) => input(0).clone().reshaped(shape.clone()),
+        OpKind::Transpose { perm } => ktf::transpose(input(0), perm, pool),
+        OpKind::Concat { axis } => {
+            let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
+            ktf::concat(&tensors, *axis, pool)
+        }
+        OpKind::Slice { axis, start, len } => ktf::slice_axis(input(0), *axis, *start, *len, pool),
+        OpKind::Gather => ktf::gather_rows(input(0), input(1), pool),
+        OpKind::ScatterAddRows { vocab, dim } => {
+            ktf::scatter_add_rows(*vocab, *dim, input(0), input(1))
+        }
+        OpKind::ShapeOf => {
+            let dims: Vec<f32> = input(0).shape().dims().iter().map(|&d| d as f32).collect();
+            Tensor::from(dims)
+        }
+    };
+    Ok(out)
 }
 
 /// Decodes a `[batch, max_len]` label tensor padded with `-1` into per-item
@@ -851,6 +1271,123 @@ mod tests {
         assert_eq!(out[1].data(), &[-1.0, -2.0, -3.0, -4.0]);
         assert_eq!(out[2].data(), &[1.0, 2.0, 3.0, 4.0]);
         assert!((out[0].data()[0] - ((-1.0f32).exp() - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_fetches_clone_only_the_extras() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(3));
+        let y = g.neg(x);
+        let mut s = Session::new(g, Device::cpu(1));
+        let out = s.run(&[y, y], &[(x, Tensor::from(vec![1.0, 2.0, 3.0]))]).unwrap();
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0].data(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn recycler_reuses_buffers_across_runs() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(4096));
+        let mut node = x;
+        for _ in 0..4 {
+            node = g.tanh(node);
+        }
+        let mut s = Session::new(g, Device::cpu(1));
+        let feed = Tensor::filled([4096], 0.5);
+        s.run1(node, &[(x, feed.clone())]).unwrap();
+        let first = s.recycle_stats();
+        assert!(first.returned > 0, "freed intermediates must reach the pool");
+        s.run1(node, &[(x, feed)]).unwrap();
+        let second = s.recycle_stats();
+        assert!(second.hits > first.hits, "second run must draw from the pool");
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_results() {
+        // A graph with parallel branches, RNG, and an optimizer update:
+        // every worker count must produce bitwise-identical results.
+        fn build() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+            let mut g = Graph::new();
+            let x = g.placeholder("x", Shape::matrix(16, 16));
+            let v = g.variable("v", Tensor::filled([16, 16], 0.1));
+            let noise = g.random_normal([16, 16]);
+            let a = g.matmul(x, v);
+            let b = g.tanh(x);
+            let c = g.add_op(a, b);
+            let d = g.add_op(c, noise);
+            let loss = g.mean_all(d);
+            let grads = crate::grad::gradients(&mut g, loss, &[v]);
+            let apply = g.add(OpKind::ApplyGradientDescent { lr: 0.05 }, &[v, grads[0]]);
+            (g, x, v, loss, apply)
+        }
+        let feed = Tensor::filled([16, 16], 0.25);
+        let mut reference: Option<(Tensor, Tensor)> = None;
+        for inter_ops in [1usize, 2, 4, 8] {
+            let (g, x, v, loss, apply) = build();
+            let device = if inter_ops == 1 {
+                Device::cpu(1)
+            } else {
+                Device::cpu_inter_op(1, inter_ops)
+            };
+            let mut s = Session::with_seed(g, device, 7);
+            let mut last_loss = Tensor::scalar(0.0);
+            for _ in 0..3 {
+                let out = s.run(&[loss, apply], &[(x, feed.clone())]).unwrap();
+                last_loss = out.into_iter().next().unwrap();
+            }
+            let var = s.variable_value(v).unwrap().clone();
+            match &reference {
+                None => reference = Some((last_loss, var)),
+                Some((ref_loss, ref_var)) => {
+                    assert_eq!(&last_loss, ref_loss, "loss diverged at {inter_ops} workers");
+                    assert_eq!(&var, ref_var, "variables diverged at {inter_ops} workers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_executor_reports_missing_feed() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(3));
+        let y = g.neg(x);
+        let mut s = Session::new(g, Device::cpu_inter_op(1, 4));
+        assert_eq!(s.run(&[y], &[]), Err(ExecError::MissingFeed(x)));
+    }
+
+    #[test]
+    fn parallel_executor_traces_in_plan_order() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(4, 4));
+        let y = g.matmul(x, x);
+        let z = g.relu(y);
+        let mut s = Session::new(g, Device::cpu_inter_op(1, 4));
+        s.enable_tracing();
+        s.run(&[z], &[(x, Tensor::ones([4, 4]))]).unwrap();
+        let trace = s.take_trace();
+        let ops: Vec<&str> = trace.events.iter().map(|e| e.op).collect();
+        assert_eq!(ops, vec!["Placeholder", "MatMul", "Relu"]);
+        assert!(trace.events.iter().all(|e| e.nanos >= 0.0));
+    }
+
+    #[test]
+    fn parallel_executor_propagates_op_errors() {
+        let mut g = Graph::new();
+        let logits = g.placeholder("logits", Shape::new(vec![4, 1, 3]));
+        let labels = g.placeholder("labels", Shape::matrix(1, 2));
+        let loss = g.ctc_loss(logits, labels, 0);
+        let mut s = Session::new(g, Device::cpu_inter_op(1, 4));
+        // Label 0 collides with the blank symbol: BadLabels.
+        let err = s
+            .run(
+                &[loss],
+                &[
+                    (logits, Tensor::zeros([4, 1, 3])),
+                    (labels, Tensor::from_vec(vec![0.0, 1.0], [1, 2])),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BadLabels(_)));
     }
 
     #[test]

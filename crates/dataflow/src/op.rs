@@ -488,6 +488,16 @@ impl OpKind {
         )
     }
 
+    /// Whether the parallel executor must run this op on the coordinator
+    /// thread, ordered by the plan's serialization chain: every op that
+    /// reads or writes session state. `Apply*` writes variables and
+    /// optimizer slots, `Variable` reads them (a read racing a concurrent
+    /// update would be non-deterministic), and the sampling ops consume
+    /// the session RNG stream, whose draw order defines determinism.
+    pub fn needs_serial(&self) -> bool {
+        self.is_stateful() || matches!(self, OpKind::Variable { .. })
+    }
+
     /// Infers the output shape from the input shapes, or explains why the
     /// inputs are invalid.
     ///
@@ -689,7 +699,7 @@ impl OpKind {
                 if reps.len() != inputs[0].rank() {
                     return fail(format!("{} reps for rank {}", reps.len(), inputs[0].rank()));
                 }
-                if reps.iter().any(|&r| r == 0) {
+                if reps.contains(&0) {
                     return fail("tile repetitions must be positive".into());
                 }
                 Ok(Shape::new(

@@ -70,6 +70,7 @@ pub fn dense(
 /// # Panics
 ///
 /// Panics if `x` is not rank 4.
+#[allow(clippy::too_many_arguments)] // mirrors the TF layer signature
 pub fn conv2d(
     g: &mut Graph,
     p: &mut Params,

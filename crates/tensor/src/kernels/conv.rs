@@ -160,7 +160,7 @@ pub fn conv2d_backprop_input(
         for ky in 0..kh {
             // oy * stride + ky - pad == y  =>  oy = (y + pad - ky) / stride
             let num = y as isize + spec.pad as isize - ky as isize;
-            if num < 0 || num as usize % spec.stride != 0 {
+            if num < 0 || !(num as usize).is_multiple_of(spec.stride) {
                 continue;
             }
             let oy = num as usize / spec.stride;
@@ -171,7 +171,7 @@ pub fn conv2d_backprop_input(
                 let dst_px = &mut dst[x * ic..(x + 1) * ic];
                 for kx in 0..kw {
                     let num = x as isize + spec.pad as isize - kx as isize;
-                    if num < 0 || num as usize % spec.stride != 0 {
+                    if num < 0 || !(num as usize).is_multiple_of(spec.stride) {
                         continue;
                     }
                     let ox = num as usize / spec.stride;

@@ -24,8 +24,8 @@ pub fn unary(x: &Tensor, pool: &ExecPool, f: impl Fn(f32) -> f32 + Sync) -> Tens
             *d = f(src[base + j]);
         }
     });
-    for j in aligned..src.len() {
-        out.data_mut()[j] = f(src[j]);
+    for (d, &s) in out.data_mut()[aligned..].iter_mut().zip(&src[aligned..]) {
+        *d = f(s);
     }
     out
 }
@@ -105,9 +105,9 @@ fn broadcast_strides(shape: &Shape, target_rank: usize, target_dims: &[usize]) -
     let own = shape.strides();
     let offset = target_rank - shape.rank();
     let mut strides = vec![0; target_rank];
-    for i in 0..shape.rank() {
+    for (i, (&dim, &stride)) in shape.dims().iter().zip(own.iter()).enumerate() {
         let t = i + offset;
-        strides[t] = if shape.dims()[i] == 1 && target_dims[t] != 1 { 0 } else { own[i] };
+        strides[t] = if dim == 1 && target_dims[t] != 1 { 0 } else { stride };
     }
     strides
 }

@@ -48,15 +48,26 @@ pub fn matmul(a: &Tensor, b: &Tensor, transpose_a: bool, transpose_b: bool, pool
         for k0 in (0..k).step_by(BLOCK_K) {
             let k1 = (k0 + BLOCK_K).min(k);
             if !transpose_b {
-                // Stream rows of B; good locality in both B and C.
-                for kk in k0..k1 {
-                    let a_ik = if transpose_a { a_data[kk * m + i] } else { a_data[i * k + kk] };
-                    if a_ik == 0.0 {
-                        continue;
+                // Stream rows of B; good locality in both B and C. The
+                // transpose select is hoisted out of the k loop, and there
+                // is no zero-skip: a data-dependent branch in the inner
+                // loop costs more in mispredictions than the multiplies
+                // it saves on typical (dense) activations.
+                if transpose_a {
+                    for kk in k0..k1 {
+                        let a_ik = a_data[kk * m + i];
+                        let b_row = &b_data[kk * n..kk * n + n];
+                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                            *c += a_ik * bv;
+                        }
                     }
-                    let b_row = &b_data[kk * n..kk * n + n];
-                    for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                        *c += a_ik * bv;
+                } else {
+                    let a_row = &a_data[i * k + k0..i * k + k1];
+                    for (off, &a_ik) in a_row.iter().enumerate() {
+                        let b_row = &b_data[(k0 + off) * n..(k0 + off) * n + n];
+                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                            *c += a_ik * bv;
+                        }
                     }
                 }
             } else {

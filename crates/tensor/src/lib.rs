@@ -21,11 +21,13 @@
 
 pub mod kernels;
 mod pool;
+pub mod recycle;
 mod rng;
 mod shape;
 mod tensor;
 
-pub use pool::{ExecPool, DEFAULT_GRAIN};
+pub use pool::{ExecPool, PoolScope, DEFAULT_GRAIN};
+pub use recycle::{BufferPool, RecycleStats};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

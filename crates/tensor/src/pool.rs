@@ -61,6 +61,18 @@ impl PoolCore {
 /// Cloning is cheap and shares the same workers. A pool created with
 /// `threads == 1` performs no cross-thread dispatch at all.
 ///
+/// # Poisoning
+///
+/// Workers execute every job under `catch_unwind`; a panicking job sets a
+/// shared *poisoned* flag instead of killing the worker thread. The next
+/// barrier point — the end of [`ExecPool::for_spans`] or
+/// [`ExecPool::scoped`] — swaps the flag back to `false` and re-raises the
+/// panic on the calling thread, so the pool itself stays usable afterwards.
+/// Because the flag is shared by every clone of the pool, a concurrent
+/// dispatch on another thread may observe (and report) a panic raised by a
+/// job it did not submit; panics are treated as fatal programming errors,
+/// not recoverable conditions, so this imprecision is acceptable.
+///
 /// # Examples
 ///
 /// ```
@@ -102,6 +114,45 @@ impl ExecPool {
     /// Maximum threads (including the caller) per dispatch.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of persistent worker threads owned by this pool (always
+    /// `threads() - 1`, and 0 for a serial pool). Exposed so schedulers
+    /// layering on top of the pool can size their dispatch without
+    /// oversubscribing the machine.
+    pub fn extra_workers(&self) -> usize {
+        self.threads - 1
+    }
+
+    /// Runs `f` with a [`PoolScope`] that can launch individual tasks onto
+    /// this pool's persistent workers *without* a per-task barrier: tasks
+    /// started with [`PoolScope::spawn`] run concurrently with the caller
+    /// and with each other, and `scoped` only waits for all of them once
+    /// `f` returns. This is the building block for *inter-op* scheduling,
+    /// where long-lived worker loops must coexist with the chunked
+    /// [`ExecPool::for_spans`] dispatches issued by kernels.
+    ///
+    /// On a serial pool (no workers), spawned tasks run inline on the
+    /// calling thread at `spawn` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics after all tasks finish if any spawned task panicked (see the
+    /// poisoning notes on [`ExecPool`]).
+    pub fn scoped<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'_, 'env>) -> R,
+    {
+        let wg = WaitGroup::new();
+        let scope = PoolScope { core: self.core.as_deref(), wg: &wg, _env: std::marker::PhantomData };
+        let out = f(&scope);
+        wg.wait();
+        if let Some(core) = self.core.as_deref() {
+            if core.poisoned.swap(false, Ordering::SeqCst) {
+                panic!("a pool task panicked inside ExecPool::scoped");
+            }
+        }
+        out
     }
 
     /// Splits `out` into consecutive spans of `span` elements and invokes
@@ -250,6 +301,53 @@ impl ExecPool {
     }
 }
 
+/// Handle for launching barrier-free tasks inside [`ExecPool::scoped`].
+///
+/// Tasks may borrow from the environment of the `scoped` call (`'env`);
+/// the scope's closing barrier guarantees they finish before those
+/// borrows expire.
+pub struct PoolScope<'a, 'env> {
+    core: Option<&'a PoolCore>,
+    wg: &'a WaitGroup,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolScope { .. }")
+    }
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Starts `job` on one of the pool's persistent workers and returns
+    /// immediately; the enclosing [`ExecPool::scoped`] call waits for it.
+    /// On a serial pool the job runs inline before `spawn` returns.
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let Some(core) = self.core else {
+            job();
+            return;
+        };
+        let wg = self.wg.clone();
+        let flag = Arc::clone(&core.poisoned);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                flag.store(true, Ordering::SeqCst);
+            }
+            // Release the scope barrier only after the poison flag is
+            // visible, so the caller observes failures after `scoped`.
+            drop(wg);
+        });
+        // SAFETY: extend the job's environment borrows to 'static; the
+        // WaitGroup barrier at the end of `scoped` keeps `'env` alive
+        // until every spawned job has run to completion.
+        let wrapped: Job = unsafe { std::mem::transmute(wrapped) };
+        core.sender.send(wrapped).expect("pool workers are alive");
+    }
+}
+
 /// Raw pointers shipped to a worker; see the safety notes in `for_spans`.
 struct RawTask {
     data: *mut f32,
@@ -388,5 +486,57 @@ mod tests {
         assert_eq!(pool.workers_for(40_000, 100), 2, "two grains of work -> 2 workers");
         assert_eq!(pool.workers_for(10_000_000, 100), 8, "big work uses all threads");
         assert_eq!(pool.workers_for(10_000_000, 3), 3, "capped by parallel units");
+    }
+
+    #[test]
+    fn extra_workers_counts_spawned_threads() {
+        assert_eq!(ExecPool::serial().extra_workers(), 0);
+        assert_eq!(ExecPool::new(1).extra_workers(), 0);
+        assert_eq!(ExecPool::new(4).extra_workers(), 3);
+    }
+
+    #[test]
+    fn scoped_jobs_borrow_the_stack() {
+        let pool = ExecPool::new(4);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..pool.extra_workers() {
+                scope.spawn(|| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        });
+        // scoped() blocks until every spawned job has run.
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn scoped_on_serial_pool_runs_inline() {
+        let pool = ExecPool::serial();
+        let mut hits = 0;
+        let hits_ref = std::sync::Mutex::new(&mut hits);
+        pool.scoped(|scope| {
+            scope.spawn(|| {
+                **hits_ref.lock().unwrap() += 1;
+            });
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn scoped_propagates_worker_panics() {
+        let pool = ExecPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.spawn(|| panic!("deliberate failure"));
+            });
+        }));
+        assert!(result.is_err(), "panic in a scoped job must propagate");
+        // The pool must remain usable afterwards.
+        let ran = std::sync::atomic::AtomicBool::new(false);
+        pool.scoped(|scope| {
+            scope.spawn(|| ran.store(true, std::sync::atomic::Ordering::SeqCst));
+        });
+        assert!(ran.load(std::sync::atomic::Ordering::SeqCst));
     }
 }

@@ -1,0 +1,275 @@
+//! Size-bucketed recycling of tensor backing buffers.
+//!
+//! A training step allocates and frees the same set of intermediate
+//! shapes every iteration, so the allocator sees a perfectly periodic
+//! churn of large short-lived `Vec<f32>`s. A [`BufferPool`] breaks that
+//! cycle: the executor returns freed intermediates with [`BufferPool::give`]
+//! and subsequent [`Tensor::zeros`]/[`Tensor::filled`]-style allocations
+//! draw from the pool instead of the system allocator.
+//!
+//! The pool is *installed* per thread ([`BufferPool::install`]); while a
+//! guard is alive, every constant-fill tensor constructor on that thread
+//! transparently draws from the pool. Recycled buffers are re-filled with
+//! the requested value before use, so recycling never changes computed
+//! results — only where the bytes live.
+//!
+//! Buckets are keyed by exact element count. Workloads execute a fixed
+//! graph, so sizes repeat exactly; near-miss reuse (handing a 1000-element
+//! request a 1024-element buffer) would silently change `capacity` and
+//! complicate accounting for no measured benefit.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::tensor::Tensor;
+
+/// Maximum buffers retained per size bucket; beyond this, `give` lets the
+/// buffer drop. Bounds worst-case retention on graphs with many
+/// same-shaped intermediates that are live simultaneously.
+const BUCKET_CAP: usize = 16;
+
+/// Buffers below this element count are not worth pooling: a small `Vec`
+/// costs less to allocate than a `HashMap` probe under a lock.
+const MIN_POOLED_LEN: usize = 256;
+
+/// Counters describing how a [`BufferPool`] has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecycleStats {
+    /// Allocations served from the pool.
+    pub hits: u64,
+    /// Pool-eligible allocations that fell through to the allocator.
+    pub misses: u64,
+    /// Buffers returned with [`BufferPool::give`] (whether or not they
+    /// were retained).
+    pub returned: u64,
+}
+
+impl RecycleStats {
+    /// Fraction of pool-eligible allocations served from the pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe free list of tensor backing buffers, bucketed by exact
+/// element count.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    buckets: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returned: AtomicU64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Takes a buffer of exactly `len` elements, if one is pooled.
+    /// Contents are unspecified; callers must overwrite them.
+    pub fn take(&self, len: usize) -> Option<Vec<f32>> {
+        if len < MIN_POOLED_LEN {
+            return None;
+        }
+        let taken = self.buckets.lock().expect("buffer pool lock").get_mut(&len)?.pop();
+        match taken {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(buf)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns a dead tensor's buffer to the pool (or drops it if the
+    /// bucket is full or the buffer is too small to pool).
+    pub fn give(&self, tensor: Tensor) {
+        let buf = tensor.into_vec();
+        if buf.len() < MIN_POOLED_LEN {
+            return;
+        }
+        self.returned.fetch_add(1, Ordering::Relaxed);
+        let mut buckets = self.buckets.lock().expect("buffer pool lock");
+        let bucket = buckets.entry(buf.len()).or_default();
+        if bucket.len() < BUCKET_CAP {
+            bucket.push(buf);
+        }
+    }
+
+    /// Number of buffers currently held, across all buckets.
+    pub fn buffers_held(&self) -> usize {
+        self.buckets.lock().expect("buffer pool lock").values().map(Vec::len).sum()
+    }
+
+    /// Bytes currently held, across all buckets.
+    pub fn bytes_held(&self) -> usize {
+        self.buckets
+            .lock()
+            .expect("buffer pool lock")
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|buf| buf.len() * 4))
+            .sum()
+    }
+
+    /// Usage counters since the pool was created.
+    pub fn stats(&self) -> RecycleStats {
+        RecycleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returned: self.returned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every held buffer (counters are kept).
+    pub fn clear(&self) {
+        self.buckets.lock().expect("buffer pool lock").clear();
+    }
+
+    /// Installs `pool` as the calling thread's allocation source for
+    /// constant-fill tensor constructors. The previous installation (if
+    /// any) is restored when the returned guard drops, so installs nest.
+    pub fn install(pool: &Arc<BufferPool>) -> InstallGuard {
+        let previous = ACTIVE.with(|active| active.replace(Some(Arc::clone(pool))));
+        InstallGuard { previous }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<BufferPool>>> = const { RefCell::new(None) };
+}
+
+/// Restores the thread's previous pool installation on drop.
+#[derive(Debug)]
+pub struct InstallGuard {
+    previous: Option<Arc<BufferPool>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|active| {
+            *active.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Allocates a buffer of `len` copies of `value`, drawing from the
+/// thread's installed pool when possible. Used by `Tensor::zeros`,
+/// `Tensor::filled`, and `Tensor::ones`.
+pub(crate) fn alloc_filled(len: usize, value: f32) -> Vec<f32> {
+    let pooled = ACTIVE.with(|active| {
+        active.borrow().as_ref().and_then(|pool| pool.take(len))
+    });
+    match pooled {
+        Some(mut buf) => {
+            buf.fill(value);
+            buf
+        }
+        None => vec![value; len],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(n: usize) -> Tensor {
+        Tensor::filled([n], 7.0)
+    }
+
+    #[test]
+    fn take_returns_given_buffer() {
+        let pool = BufferPool::new();
+        pool.give(big(1000));
+        assert_eq!(pool.buffers_held(), 1);
+        let buf = pool.take(1000).expect("bucket has a buffer");
+        assert_eq!(buf.len(), 1000);
+        assert_eq!(pool.buffers_held(), 0);
+        assert!(pool.take(1000).is_none(), "bucket drained");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.returned), (1, 1));
+        assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn exact_size_match_only() {
+        let pool = BufferPool::new();
+        pool.give(big(1024));
+        assert!(pool.take(1000).is_none());
+        assert!(pool.take(1024).is_some());
+    }
+
+    #[test]
+    fn small_buffers_bypass_the_pool() {
+        let pool = BufferPool::new();
+        pool.give(big(MIN_POOLED_LEN - 1));
+        assert_eq!(pool.buffers_held(), 0);
+        assert_eq!(pool.stats().returned, 0);
+        assert!(pool.take(MIN_POOLED_LEN - 1).is_none());
+        assert_eq!(pool.stats().misses, 0, "small takes are not counted as misses");
+    }
+
+    #[test]
+    fn bucket_is_capped() {
+        let pool = BufferPool::new();
+        for _ in 0..BUCKET_CAP + 5 {
+            pool.give(big(512));
+        }
+        assert_eq!(pool.buffers_held(), BUCKET_CAP);
+        assert_eq!(pool.stats().returned, (BUCKET_CAP + 5) as u64);
+    }
+
+    #[test]
+    fn installed_pool_feeds_zeros_and_restores_on_drop() {
+        let pool = Arc::new(BufferPool::new());
+        pool.give(big(4096));
+        {
+            let _guard = BufferPool::install(&pool);
+            let t = Tensor::zeros([4096]);
+            assert!(t.data().iter().all(|&v| v == 0.0), "recycled buffer must be re-filled");
+            assert_eq!(pool.stats().hits, 1);
+        }
+        // Guard dropped: allocations no longer touch the pool.
+        let _t = Tensor::zeros([4096]);
+        assert_eq!(pool.stats().hits + pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn installs_nest() {
+        let outer = Arc::new(BufferPool::new());
+        let inner = Arc::new(BufferPool::new());
+        outer.give(big(2048));
+        inner.give(big(2048));
+        let _outer_guard = BufferPool::install(&outer);
+        {
+            let _inner_guard = BufferPool::install(&inner);
+            let _t = Tensor::ones([2048]);
+            assert_eq!(inner.stats().hits, 1, "inner pool shadows outer");
+            assert_eq!(outer.stats().hits, 0);
+        }
+        let _t = Tensor::ones([2048]);
+        assert_eq!(outer.stats().hits, 1, "outer pool restored");
+    }
+
+    #[test]
+    fn hit_rate_is_sane() {
+        let pool = BufferPool::new();
+        assert_eq!(pool.stats().hit_rate(), 0.0);
+        pool.give(big(512));
+        let _ = pool.take(512);
+        let _ = pool.take(512);
+        let s = pool.stats();
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -129,10 +129,10 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0; rank];
-        for i in 0..rank {
+        for (i, dim) in dims.iter_mut().enumerate() {
             let a = if i < rank - self.rank() { 1 } else { self.dims[i - (rank - self.rank())] };
             let b = if i < rank - other.rank() { 1 } else { other.dims[i - (rank - other.rank())] };
-            dims[i] = if a == b {
+            *dim = if a == b {
                 a
             } else if a == 1 {
                 b

@@ -46,11 +46,12 @@ impl Tensor {
         Tensor { shape, data }
     }
 
-    /// A tensor filled with zeros.
+    /// A tensor filled with zeros. Draws its backing buffer from the
+    /// thread's installed [`crate::recycle::BufferPool`], when one is.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor { shape, data: crate::recycle::alloc_filled(n, 0.0) }
     }
 
     /// A tensor filled with ones.
@@ -58,11 +59,12 @@ impl Tensor {
         Tensor::filled(shape, 1.0)
     }
 
-    /// A tensor filled with `value`.
+    /// A tensor filled with `value`. Draws its backing buffer from the
+    /// thread's installed [`crate::recycle::BufferPool`], when one is.
     pub fn filled(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        Tensor { shape, data: vec![value; n] }
+        Tensor { shape, data: crate::recycle::alloc_filled(n, value) }
     }
 
     /// A rank-0 tensor holding a single value.

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#   build (release) -> unit+integration tests -> lint (warnings are errors)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

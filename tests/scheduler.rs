@@ -1,0 +1,60 @@
+//! Integration: the inter-op parallel executor is an *optimization*, not
+//! a semantic change. For every workload, one training step under the
+//! dependency-counting scheduler — at any worker count — produces
+//! bitwise-identical losses and variable state to the serial plan walk.
+//!
+//! Stateful ops (variable reads/updates, RNG draws) are serialized by the
+//! scheduler through plan-time ordering edges, which is what makes this
+//! exact equality (not tolerance-based closeness) possible.
+
+use fathom_suite::fathom::{BuildConfig, ModelKind};
+use fathom_suite::fathom_dataflow::Device;
+use fathom_suite::fathom_tensor::Tensor;
+
+/// One seeded training step on `device`: (loss bits, every variable).
+fn step_snapshot(kind: ModelKind, device: Device) -> (Option<u32>, Vec<Tensor>) {
+    let cfg = BuildConfig::training().with_seed(42).with_device(device);
+    let mut model = kind.build(&cfg);
+    let loss = model.step().loss.map(f32::to_bits);
+    let session = model.session();
+    let variables = session
+        .graph()
+        .variables()
+        .into_iter()
+        .map(|id| session.variable_value(id).expect("variable is live").clone())
+        .collect();
+    (loss, variables)
+}
+
+#[test]
+fn parallel_steps_are_bitwise_identical_to_serial() {
+    for kind in ModelKind::ALL {
+        let (serial_loss, serial_vars) = step_snapshot(kind, Device::cpu(1));
+        for workers in [1usize, 2, 8] {
+            let (loss, vars) = step_snapshot(kind, Device::cpu_inter_op(1, workers));
+            assert_eq!(
+                loss, serial_loss,
+                "{kind}: loss diverged at {workers} inter-op workers"
+            );
+            assert_eq!(vars.len(), serial_vars.len(), "{kind}: variable count changed");
+            for (i, (p, s)) in vars.iter().zip(&serial_vars).enumerate() {
+                // Tensor equality is exact (element-wise f32 ==), and no
+                // step produces NaN state, so this is a bitwise check.
+                assert_eq!(
+                    p, s,
+                    "{kind}: variable #{i} diverged at {workers} inter-op workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn intra_and_inter_op_parallelism_compose_deterministically() {
+    // Both pools at once: 2 intra-op threads under 2 inter-op workers.
+    let kind = ModelKind::Memnet;
+    let (serial_loss, serial_vars) = step_snapshot(kind, Device::cpu(1));
+    let (loss, vars) = step_snapshot(kind, Device::cpu_inter_op(2, 2));
+    assert_eq!(loss, serial_loss, "nested pools changed the loss");
+    assert_eq!(vars, serial_vars, "nested pools changed variable state");
+}

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! This workspace builds in environments with no access to a crates.io
+//! registry, so the handful of crossbeam APIs the suite uses are
+//! re-implemented here on top of `std::sync` primitives with the same
+//! names and semantics:
+//!
+//! * [`channel::unbounded`] — a multi-producer/multi-consumer FIFO
+//!   channel whose `Receiver` is cloneable and whose `recv` unblocks with
+//!   an error once every `Sender` is dropped;
+//! * [`sync::WaitGroup`] — a clone-counted barrier that releases `wait`
+//!   when every other clone has been dropped.
+//!
+//! Throughput is a lock-and-condvar design rather than crossbeam's
+//! lock-free one; for this suite the channel carries coarse-grained
+//! work items (whole tensor operations), so the difference is noise.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable (items are handed to exactly one
+    /// receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by `send` when all receivers are gone. This stub
+    /// never reports it (receiver liveness is not tracked), matching how
+    /// the suite uses channels: receivers outlive the last send.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by `recv` once the channel is empty and every
+    /// sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by `try_recv` when no item is immediately ready.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues an item, waking one blocked receiver.
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this stub; the `Result` mirrors crossbeam's
+        /// signature.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            state.items.push_back(item);
+            drop(state);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().expect("channel lock").senders += 1;
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and all
+        /// senders have been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.ready.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Dequeues an item if one is immediately available.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when the queue is empty but
+        /// senders remain, [`TryRecvError::Disconnected`] once it is
+        /// empty with no senders left.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            if let Some(item) = state.items.pop_front() {
+                Ok(item)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+/// Synchronization helpers.
+pub mod sync {
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// A clone-counted rendezvous: `wait` returns once every other clone
+    /// has been dropped.
+    pub struct WaitGroup {
+        inner: Arc<Inner>,
+    }
+
+    impl WaitGroup {
+        /// Creates a group with one member (the caller).
+        pub fn new() -> Self {
+            WaitGroup { inner: Arc::new(Inner { count: Mutex::new(1), zero: Condvar::new() }) }
+        }
+
+        /// Drops this membership and blocks until the count reaches zero.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self); // release our own membership
+            let mut count = inner.count.lock().expect("waitgroup lock");
+            while *count > 0 {
+                count = inner.zero.wait(count).expect("waitgroup lock");
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.inner.count.lock().expect("waitgroup lock") += 1;
+            WaitGroup { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self.inner.count.lock().expect("waitgroup lock");
+            *count -= 1;
+            let done = *count == 0;
+            drop(count);
+            if done {
+                self.inner.zero.notify_all();
+            }
+        }
+    }
+
+    impl fmt::Debug for WaitGroup {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("WaitGroup { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+    use super::sync::WaitGroup;
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn channel_across_threads() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let h1 = std::thread::spawn(move || rx.recv().unwrap());
+        let h2 = std::thread::spawn(move || rx2.recv().unwrap());
+        tx.send(10u32).unwrap();
+        tx.send(20u32).unwrap();
+        let mut got = vec![h1.join().unwrap(), h2.join().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20]);
+    }
+
+    #[test]
+    fn waitgroup_waits_for_all_clones() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let wg = wg.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+}
