@@ -279,6 +279,17 @@ impl Session {
     ///
     /// Returns an error for unknown ids, missing or mis-shaped feeds,
     /// malformed labels, or `Apply*` ops whose target is not a variable.
+    ///
+    /// Feed and fetch validation (`UnknownNode`, `FeedShape`,
+    /// `MissingFeed`) happens before any op executes and never mutates
+    /// session state. After a *runtime* error (e.g. `BadLabels` mid-step)
+    /// the serial executor stops exactly at the failing op, but under the
+    /// parallel executor the session's mutable state — variables,
+    /// optimizer slots, and the RNG stream — is unspecified: independent
+    /// ops already in flight, including `Apply*` updates positioned after
+    /// the failing op in plan order, may or may not have committed before
+    /// the abort was observed. Treat the session as tainted after a
+    /// failed run; don't resume training from it.
     pub fn run(&mut self, fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<Vec<Tensor>, ExecError> {
         let started = Instant::now();
         for &f in fetches {
@@ -425,6 +436,18 @@ impl Session {
             }
         }
 
+        // The coordinator parks when both queues are empty and ops are in
+        // flight; every state change that could let it make progress
+        // (queue push, completion, abort) unparks it.
+        let coordinator = std::thread::current();
+        // A panic raised by an op (e.g. a kernel assert) is caught on the
+        // executing thread and re-raised on the coordinator after the
+        // scope closes: letting it unwind in place would kill a worker's
+        // receive loop without the op ever completing — deadlocking the
+        // coordinator, which counts completions — or, on the coordinator
+        // itself, skip the STOP fan-out and deadlock the scope barrier.
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
         // Runs on whichever thread produced `value` for position `pos`:
         // publishes the value, releases inputs whose uses are exhausted,
         // and queues consumers whose dependency count reaches zero.
@@ -468,6 +491,7 @@ impl Session {
                 }
             }
             completed.fetch_add(1, Ordering::SeqCst);
+            coordinator.unpark();
         };
         let fail = |err: ExecError| {
             let mut slot = failure.lock().expect("failure mutex");
@@ -475,6 +499,19 @@ impl Session {
                 *slot = Some(err);
             }
             abort.store(true, Ordering::Release);
+            coordinator.unpark();
+        };
+        // Routes an op panic through the abort path (see `panic_slot`).
+        let trap = |result: std::thread::Result<()>| {
+            if let Err(payload) = result {
+                let mut slot = panic_slot.lock().expect("panic slot");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                drop(slot);
+                abort.store(true, Ordering::Release);
+                coordinator.unpark();
+            }
         };
         let run_pure = |pos: usize| {
             if abort.load(Ordering::Acquire) {
@@ -519,6 +556,7 @@ impl Session {
             for _ in 0..sched.extra_workers() {
                 let rx = pure_rx.clone();
                 let run_pure = &run_pure;
+                let trap = &trap;
                 let worker_pool = Arc::clone(recycler);
                 scope.spawn(move || {
                     let _guard = BufferPool::install(&worker_pool);
@@ -526,22 +564,32 @@ impl Session {
                         if pos == STOP {
                             break;
                         }
-                        run_pure(pos);
+                        trap(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_pure(pos);
+                        })));
                     }
                 });
             }
             let _guard = BufferPool::install(recycler);
             // The coordinator owns the session state: it alone drains the
-            // serial queue, and helps with pure ops while waiting.
+            // serial queue, and helps with pure ops while waiting. With
+            // both queues empty it parks instead of spinning; `finish`,
+            // `fail`, and `trap` unpark it after every state change, so
+            // no wakeup is lost (an unpark that lands before the park
+            // leaves a token that makes the park return immediately).
             while completed.load(Ordering::SeqCst) < total && !abort.load(Ordering::Acquire) {
                 if let Ok(pos) = serial_rx.try_recv() {
-                    run_serial_op(pos, state);
+                    trap(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_serial_op(pos, &mut *state);
+                    })));
                 } else if let Ok(pos) = pure_rx.try_recv() {
                     if pos != STOP {
-                        run_pure(pos);
+                        trap(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_pure(pos);
+                        })));
                     }
                 } else {
-                    std::thread::yield_now();
+                    std::thread::park();
                 }
             }
             for _ in 0..sched.extra_workers() {
@@ -549,6 +597,9 @@ impl Session {
             }
         });
 
+        if let Some(payload) = panic_slot.into_inner().expect("panic slot") {
+            std::panic::resume_unwind(payload);
+        }
         if let Some(err) = failure.into_inner().expect("failure mutex") {
             return Err(err);
         }
@@ -1388,6 +1439,26 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, ExecError::BadLabels(_)));
+    }
+
+    #[test]
+    fn parallel_executor_propagates_op_panics() {
+        // A gather with an out-of-range index asserts inside the kernel
+        // at run time. The parallel executor must re-raise that panic on
+        // the calling thread — not hang the coordinator (the panicking
+        // op never reports completion) and not poison the worker set.
+        let mut g = Graph::new();
+        let table = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let idx = g.placeholder("idx", Shape::vector(2));
+        let rows = g.gather(table, idx);
+        let mut s = Session::new(g, Device::cpu_inter_op(1, 4));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.run(&[rows], &[(idx, Tensor::from(vec![0.0, 9.0]))]);
+        }));
+        assert!(result.is_err(), "kernel panic must propagate, not hang");
+        // The session (and its inter-op pool) must remain usable.
+        let out = s.run1(rows, &[(idx, Tensor::from(vec![1.0, 0.0]))]).unwrap();
+        assert_eq!(out.data(), &[3.0, 4.0, 1.0, 2.0]);
     }
 
     #[test]

@@ -138,20 +138,48 @@ impl ExecPool {
     /// # Panics
     ///
     /// Panics after all tasks finish if any spawned task panicked (see the
-    /// poisoning notes on [`ExecPool`]).
+    /// poisoning notes on [`ExecPool`]). If `f` itself panics, `scoped`
+    /// still waits for every spawned task before the panic propagates —
+    /// tasks borrow `f`'s environment, so the barrier must run even
+    /// during unwinding. Note that a panicking `f` must not leave workers
+    /// blocked on data only it would have produced, or the barrier
+    /// deadlocks; catch such panics inside `f` and release the workers
+    /// first.
     pub fn scoped<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&PoolScope<'_, 'env>) -> R,
     {
-        let wg = WaitGroup::new();
-        let scope = PoolScope { core: self.core.as_deref(), wg: &wg, _env: std::marker::PhantomData };
-        let out = f(&scope);
-        wg.wait();
-        if let Some(core) = self.core.as_deref() {
-            if core.poisoned.swap(false, Ordering::SeqCst) {
-                panic!("a pool task panicked inside ExecPool::scoped");
+        // Runs the barrier on drop, so spawned jobs that borrow the
+        // caller's stack are finished before the frame dies even when `f`
+        // unwinds (the same shape std::thread::scope uses). On the normal
+        // path it also re-raises job panics; during unwinding it only
+        // clears the poison flag and lets the original panic propagate.
+        struct Barrier<'p> {
+            wg: Option<WaitGroup>,
+            core: Option<&'p PoolCore>,
+        }
+        impl Drop for Barrier<'_> {
+            fn drop(&mut self) {
+                if let Some(wg) = self.wg.take() {
+                    wg.wait();
+                }
+                if let Some(core) = self.core {
+                    if core.poisoned.swap(false, Ordering::SeqCst) && !std::thread::panicking() {
+                        panic!("a pool task panicked inside ExecPool::scoped");
+                    }
+                }
             }
         }
+        let barrier = Barrier { wg: Some(WaitGroup::new()), core: self.core.as_deref() };
+        let out = {
+            let scope = PoolScope {
+                core: self.core.as_deref(),
+                wg: barrier.wg.as_ref().expect("barrier is armed"),
+                _env: std::marker::PhantomData,
+            };
+            f(&scope)
+        };
+        drop(barrier);
         out
     }
 
@@ -521,6 +549,37 @@ mod tests {
             });
         });
         assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn scoped_waits_for_jobs_when_caller_panics() {
+        // If the scoped closure panics while jobs borrowing its
+        // environment are still running, the barrier must run during
+        // unwinding — otherwise workers would dereference a dead frame.
+        let pool = ExecPool::new(4);
+        let data = vec![7u8; 1024];
+        let finished = std::sync::atomic::AtomicBool::new(false);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    assert_eq!(data[0], 7);
+                    finished.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+                panic!("caller failure");
+            });
+        }));
+        assert!(result.is_err(), "the caller's panic must still propagate");
+        assert!(
+            finished.load(std::sync::atomic::Ordering::SeqCst),
+            "the in-flight job must have completed before scoped unwound"
+        );
+        // The pool must remain usable, with no stale poison report.
+        let ran = std::sync::atomic::AtomicBool::new(false);
+        pool.scoped(|scope| {
+            scope.spawn(|| ran.store(true, std::sync::atomic::Ordering::SeqCst));
+        });
+        assert!(ran.load(std::sync::atomic::Ordering::SeqCst));
     }
 
     #[test]
