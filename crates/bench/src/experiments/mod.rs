@@ -12,5 +12,6 @@ pub mod memory;
 pub mod overhead;
 pub mod profiles;
 pub mod scheduler;
+pub mod serve;
 pub mod table1;
 pub mod table2;

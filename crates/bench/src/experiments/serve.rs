@@ -1,0 +1,169 @@
+//! Serving latency/throughput sweep: batched inference through
+//! `fathom-serve` across every workload and a range of coalescing
+//! limits.
+//!
+//! For each workload and each batch size, a closed-loop load (clients =
+//! twice the batch, zero think time) drives one `SessionWorker` built at
+//! that batch extent. Service times are real wall-clock measurements of
+//! the inference session; queueing, batching, and latency accounting run
+//! in the engine's deterministic virtual time. The sweep reports
+//! throughput and tail latency per configuration — the classic
+//! batching trade: larger batches amortize per-op overhead (throughput
+//! up) while requests wait longer for a slot (p99 up). Emits
+//! `BENCH_serve.json` into `target/fathom-results/` and the repository
+//! root.
+
+use std::fmt::Write as _;
+
+use fathom::{BuildConfig, ModelKind};
+use fathom_serve::{serve, synth_inputs, BatchRunner, LoadModel, ServeConfig, SessionWorker};
+
+use crate::{write_artifact, Effort};
+
+/// Coalescing limits swept per workload.
+pub const BATCH_SIZES: [usize; 3] = [1, 2, 4];
+
+/// One (workload, batch size) measurement.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Batcher coalescing limit (= graph batch extent).
+    pub max_batch: usize,
+    /// Completed requests per second of virtual makespan.
+    pub throughput_rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean carried batch size across dispatches.
+    pub mean_batch: f64,
+    /// Requests completed (none may be shed or timed out here).
+    pub completed: u64,
+}
+
+/// Measures one (workload, batch size) cell.
+pub fn measure(kind: ModelKind, max_batch: usize, effort: &Effort) -> ServePoint {
+    let cfg = BuildConfig::inference().with_batch(max_batch);
+    let mut worker = SessionWorker::new(kind, &cfg).expect("every workload is servable");
+    let shapes = worker.item_shapes();
+    let domains = worker.domains();
+    let serve_cfg = ServeConfig {
+        // Closed loops with zero think time never outrun the queue cap;
+        // a generous bound keeps shed == 0 so throughput is comparable.
+        queue_cap: 64 * max_batch.max(1),
+        ..ServeConfig::new(max_batch)
+    };
+    let requests = (effort.steps.max(1) * 8).max(2 * max_batch);
+    let load = LoadModel::Closed { clients: 2 * max_batch, requests };
+    let mut runners: Vec<&mut dyn BatchRunner> = vec![&mut worker];
+    let report = serve(
+        &mut runners,
+        &serve_cfg,
+        &load,
+        &mut |rng, _| synth_inputs(&shapes, &domains, rng),
+        kind.name(),
+    )
+    .expect("serving a well-formed workload succeeds");
+    ServePoint {
+        workload: kind.name(),
+        max_batch,
+        throughput_rps: report.throughput_rps(),
+        p50_ms: report.latency.quantile(0.50) / 1e6,
+        p99_ms: report.latency.quantile(0.99) / 1e6,
+        mean_batch: report.mean_batch_size(),
+        completed: report.completed,
+    }
+}
+
+/// Renders the sweep as `BENCH_serve.json` (written by hand; the suite
+/// carries no JSON dependency).
+pub fn to_json(points: &[ServePoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"serve_latency\",\n");
+    let _ = writeln!(
+        out,
+        "  \"batch_sizes\": [{}],",
+        BATCH_SIZES.map(|b| b.to_string()).join(", ")
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"max_batch\": {}, \"throughput_rps\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_batch\": {:.2}, \"completed\": {}}}",
+            p.workload, p.max_batch, p.throughput_rps, p.p50_ms, p.p99_ms, p.mean_batch, p.completed
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the serving sweep over every workload and batch size.
+pub fn run(effort: &Effort) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SERVING: closed-loop batched inference (fathom-serve)\n\
+         throughput (req/s of virtual time) and latency vs coalescing limit\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>12} {:>10} {:>10} {:>10}",
+        "workload", "batch", "thru req/s", "p50 ms", "p99 ms", "mean sz"
+    );
+    let mut points = Vec::new();
+    for kind in ModelKind::ALL {
+        for b in BATCH_SIZES {
+            let p = measure(kind, b, effort);
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6} {:>12.1} {:>10.3} {:>10.3} {:>10.2}",
+                p.workload, p.max_batch, p.throughput_rps, p.p50_ms, p.p99_ms, p.mean_batch
+            );
+            points.push(p);
+        }
+    }
+    let json = to_json(&points);
+    write_artifact("BENCH_serve.json", &json);
+    // Also drop it at the repository root, where the PR driver tracks it.
+    let repo_root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(repo_root.join("BENCH_serve.json"), &json)
+        .expect("can write BENCH_serve.json at the repo root");
+    write_artifact("serve_latency.txt", &out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_one_cell() {
+        let p = measure(ModelKind::Memnet, 2, &Effort::quick());
+        assert_eq!(p.workload, "memnet");
+        assert_eq!(p.max_batch, 2);
+        assert!(p.completed >= 4);
+        assert!(p.throughput_rps > 0.0);
+        assert!(p.p99_ms >= p.p50_ms);
+    }
+
+    #[test]
+    fn json_shape() {
+        let points = vec![ServePoint {
+            workload: "memnet",
+            max_batch: 4,
+            throughput_rps: 123.4,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            mean_batch: 3.5,
+            completed: 32,
+        }];
+        let json = to_json(&points);
+        assert!(json.contains("\"experiment\": \"serve_latency\""));
+        assert!(json.contains("\"workload\": \"memnet\""));
+        assert!(json.contains("\"throughput_rps\": 123.400"));
+        assert!(json.contains("\"p99_ms\": 2.000"));
+    }
+}

@@ -7,8 +7,11 @@ use fathom::{Mode, ModelKind, ModelScale};
 /// A fully parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `fathom list` — print the workload inventory.
-    List,
+    /// `fathom list [--json]` — print the workload inventory.
+    List {
+        /// Emit machine-readable JSON instead of the table.
+        json: bool,
+    },
     /// `fathom run <model> [options]` — step a workload and report.
     Run(RunArgs),
     /// `fathom profile <model> [options]` — op-type profile.
@@ -17,6 +20,8 @@ pub enum Command {
     Trace(RunArgs),
     /// `fathom dot <model> --out <file> [options]` — Graphviz export.
     Dot(RunArgs),
+    /// `fathom serve-bench <model> [options]` — batched serving benchmark.
+    ServeBench(ServeArgs),
     /// `fathom help` or `-h`/`--help`.
     Help,
 }
@@ -63,6 +68,66 @@ impl RunArgs {
     }
 }
 
+/// Options for the serving benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Which workload to serve.
+    pub model: ModelKind,
+    /// Reference (default) or full scale.
+    pub scale: ModelScale,
+    /// Open-loop offered rate, requests/second.
+    pub rps: f64,
+    /// Open-loop arrival window, seconds.
+    pub duration: f64,
+    /// Closed-loop concurrent callers (presence selects closed loop).
+    pub clients: Option<usize>,
+    /// Closed-loop total request budget.
+    pub requests: Option<usize>,
+    /// Batcher coalescing limit (also the graph's batch extent).
+    pub max_batch: usize,
+    /// Longest a request may head the queue before a partial dispatch, ms.
+    pub max_delay_ms: f64,
+    /// Admission bound (default `8 * max_batch`).
+    pub queue_cap: Option<usize>,
+    /// Per-request deadline, ms (absent = never time out).
+    pub deadline_ms: Option<f64>,
+    /// Session workers serving in parallel.
+    pub replicas: usize,
+    /// Random seed for arrivals and request payloads.
+    pub seed: u64,
+    /// Intra-op threads per worker.
+    pub threads: usize,
+    /// Inter-op workers per session.
+    pub inter_ops: usize,
+    /// Warm-start checkpoint to restore before serving.
+    pub load: Option<String>,
+    /// Write the full JSON report here.
+    pub out: Option<String>,
+}
+
+impl ServeArgs {
+    fn new(model: ModelKind) -> Self {
+        ServeArgs {
+            model,
+            scale: ModelScale::Reference,
+            rps: 50.0,
+            duration: 1.0,
+            clients: None,
+            requests: None,
+            max_batch: 4,
+            max_delay_ms: 2.0,
+            queue_cap: None,
+            deadline_ms: None,
+            replicas: 1,
+            seed: 0xFA7408,
+            threads: 1,
+            inter_ops: 1,
+            load: None,
+            out: None,
+        }
+    }
+}
+
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -79,13 +144,19 @@ impl std::error::Error for ParseError {}
 pub const USAGE: &str = "fathom — the Fathom-rs workload suite
 
 USAGE:
-    fathom list
+    fathom list    [--json]
     fathom run     <model> [--mode training|inference] [--scale reference|full]
                            [--steps N] [--threads N] [--inter-ops N] [--seed N]
                            [--load FILE] [--save FILE]
     fathom profile <model> [same options as run]
     fathom trace   <model> --out FILE.json [same options]
     fathom dot     <model> --out FILE.dot  [same options]
+    fathom serve-bench <model>
+                   [--rps R --duration S | --clients N --requests N]
+                   [--max-batch N] [--max-delay-ms MS] [--queue-cap N]
+                   [--deadline-ms MS] [--replicas N] [--scale reference|full]
+                   [--threads N] [--inter-ops N] [--seed N]
+                   [--load FILE.ck] [--out FILE.json]
 
 MODELS:
     seq2seq memnet speech autoenc residual vgg alexnet deepq
@@ -104,7 +175,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     };
     match sub {
         "help" | "-h" | "--help" => Ok(Command::Help),
-        "list" => Ok(Command::List),
+        "list" => {
+            let mut json = false;
+            for flag in it {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::List { json })
+        }
+        "serve-bench" => parse_serve_bench(&mut it),
         "run" | "profile" | "trace" | "dot" => {
             let model_str = it
                 .next()
@@ -192,6 +273,69 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
 }
 
+fn parse_serve_bench(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let model_str = it
+        .next()
+        .ok_or_else(|| ParseError("'serve-bench' needs a model name".into()))?;
+    let model: ModelKind = model_str
+        .parse()
+        .map_err(|e: fathom::ParseModelError| ParseError(e.to_string()))?;
+    let mut a = ServeArgs::new(model);
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let mut value = |name: &str| -> Result<String, ParseError> {
+            i += 1;
+            rest.get(i)
+                .map(|s| s.to_string())
+                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        fn num<T: std::str::FromStr>(name: &str, raw: String) -> Result<T, ParseError> {
+            raw.parse().map_err(|_| ParseError(format!("{name} needs a number")))
+        }
+        match flag {
+            "--scale" => {
+                a.scale = match value("--scale")?.as_str() {
+                    "reference" => ModelScale::Reference,
+                    "full" => ModelScale::Full,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown scale '{other}' (reference|full)"
+                        )))
+                    }
+                }
+            }
+            "--rps" => a.rps = num("--rps", value("--rps")?)?,
+            "--duration" => a.duration = num("--duration", value("--duration")?)?,
+            "--clients" => a.clients = Some(num("--clients", value("--clients")?)?),
+            "--requests" => a.requests = Some(num("--requests", value("--requests")?)?),
+            "--max-batch" => a.max_batch = num("--max-batch", value("--max-batch")?)?,
+            "--max-delay-ms" => a.max_delay_ms = num("--max-delay-ms", value("--max-delay-ms")?)?,
+            "--queue-cap" => a.queue_cap = Some(num("--queue-cap", value("--queue-cap")?)?),
+            "--deadline-ms" => a.deadline_ms = Some(num("--deadline-ms", value("--deadline-ms")?)?),
+            "--replicas" => a.replicas = num("--replicas", value("--replicas")?)?,
+            "--seed" => a.seed = num("--seed", value("--seed")?)?,
+            "--threads" => a.threads = num("--threads", value("--threads")?)?,
+            "--inter-ops" => a.inter_ops = num("--inter-ops", value("--inter-ops")?)?,
+            "--load" => a.load = Some(value("--load")?),
+            "--out" => a.out = Some(value("--out")?),
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+        i += 1;
+    }
+    if a.max_batch == 0 {
+        return Err(ParseError("--max-batch must be at least 1".into()));
+    }
+    if a.replicas == 0 {
+        return Err(ParseError("--replicas must be at least 1".into()));
+    }
+    if a.rps <= 0.0 || a.duration <= 0.0 {
+        return Err(ParseError("--rps and --duration must be positive".into()));
+    }
+    Ok(Command::ServeBench(a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,7 +353,63 @@ mod tests {
 
     #[test]
     fn list_parses() {
-        assert_eq!(parse(&s(&["list"])).unwrap(), Command::List);
+        assert_eq!(parse(&s(&["list"])).unwrap(), Command::List { json: false });
+        assert_eq!(parse(&s(&["list", "--json"])).unwrap(), Command::List { json: true });
+        assert!(parse(&s(&["list", "--table"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_defaults() {
+        let Command::ServeBench(a) = parse(&s(&["serve-bench", "alexnet"])).unwrap() else {
+            panic!("expected ServeBench");
+        };
+        assert_eq!(a.model, ModelKind::Alexnet);
+        assert_eq!(a.max_batch, 4);
+        assert_eq!(a.replicas, 1);
+        assert_eq!(a.clients, None);
+        assert!((a.rps - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_bench_all_flags() {
+        let Command::ServeBench(a) = parse(&s(&[
+            "serve-bench", "speech", "--rps", "120.5", "--duration", "2", "--max-batch", "8",
+            "--max-delay-ms", "1.5", "--queue-cap", "32", "--deadline-ms", "50",
+            "--replicas", "2", "--scale", "full", "--threads", "2", "--inter-ops", "3",
+            "--seed", "7", "--load", "w.ck", "--out", "r.json",
+        ]))
+        .unwrap() else {
+            panic!("expected ServeBench");
+        };
+        assert_eq!(a.model, ModelKind::Speech);
+        assert!((a.rps - 120.5).abs() < 1e-9);
+        assert_eq!(a.max_batch, 8);
+        assert_eq!(a.queue_cap, Some(32));
+        assert_eq!(a.deadline_ms, Some(50.0));
+        assert_eq!(a.replicas, 2);
+        assert_eq!(a.scale, ModelScale::Full);
+        assert_eq!(a.inter_ops, 3);
+        assert_eq!(a.load.as_deref(), Some("w.ck"));
+        assert_eq!(a.out.as_deref(), Some("r.json"));
+    }
+
+    #[test]
+    fn serve_bench_closed_loop_flags() {
+        let Command::ServeBench(a) =
+            parse(&s(&["serve-bench", "vgg", "--clients", "6", "--requests", "48"])).unwrap()
+        else {
+            panic!("expected ServeBench");
+        };
+        assert_eq!(a.clients, Some(6));
+        assert_eq!(a.requests, Some(48));
+    }
+
+    #[test]
+    fn serve_bench_rejects_degenerate_values() {
+        assert!(parse(&s(&["serve-bench", "vgg", "--max-batch", "0"])).is_err());
+        assert!(parse(&s(&["serve-bench", "vgg", "--replicas", "0"])).is_err());
+        assert!(parse(&s(&["serve-bench", "vgg", "--rps", "0"])).is_err());
+        assert!(parse(&s(&["serve-bench"])).is_err());
     }
 
     #[test]

@@ -12,10 +12,11 @@ mod args;
 
 use std::process::ExitCode;
 
-use args::{parse, Command, RunArgs, USAGE};
+use args::{parse, Command, RunArgs, ServeArgs, USAGE};
 use fathom::{BuildConfig, Mode, ModelKind, Workload};
 use fathom_dataflow::{checkpoint, export, Device};
 use fathom_profile::{report, runner, OpProfile};
+use fathom_serve::{serve, synth_inputs, BatchRunner, LoadModel, ServeConfig, SessionWorker};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -41,17 +42,21 @@ fn dispatch(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             println!("{USAGE}");
             Ok(())
         }
-        Command::List => {
-            println!(
-                "{:<9} {:>5} {:<22} {:>6} {:<14} {:<10}",
-                "model", "year", "style", "layers", "task", "dataset"
-            );
-            for kind in ModelKind::ALL {
-                let m = kind.metadata();
+        Command::List { json } => {
+            if json {
+                println!("{}", list_json());
+            } else {
                 println!(
                     "{:<9} {:>5} {:<22} {:>6} {:<14} {:<10}",
-                    m.name, m.year, m.style, m.layers, m.task, m.dataset
+                    "model", "year", "style", "layers", "task", "dataset"
                 );
+                for kind in ModelKind::ALL {
+                    let m = kind.metadata();
+                    println!(
+                        "{:<9} {:>5} {:<22} {:>6} {:<14} {:<10}",
+                        m.name, m.year, m.style, m.layers, m.task, m.dataset
+                    );
+                }
             }
             Ok(())
         }
@@ -59,7 +64,25 @@ fn dispatch(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Profile(a) => cmd_profile(a),
         Command::Trace(a) => cmd_trace(a),
         Command::Dot(a) => cmd_dot(a),
+        Command::ServeBench(a) => cmd_serve_bench(a),
     }
+}
+
+/// The workload inventory as a JSON array (hand-rolled; the vendored
+/// serde is marker-traits only).
+fn list_json() -> String {
+    let rows: Vec<String> = ModelKind::ALL
+        .iter()
+        .map(|kind| {
+            let m = kind.metadata();
+            format!(
+                "  {{\"name\": \"{}\", \"year\": {}, \"style\": \"{}\", \"layers\": {}, \
+                 \"task\": \"{}\", \"dataset\": \"{}\", \"reference\": \"{}\"}}",
+                m.name, m.year, m.style, m.layers, m.task, m.dataset, m.reference
+            )
+        })
+        .collect();
+    format!("[\n{}\n]", rows.join(",\n"))
 }
 
 fn build(a: &RunArgs) -> Box<dyn Workload> {
@@ -68,6 +91,7 @@ fn build(a: &RunArgs) -> Box<dyn Workload> {
         scale: a.scale,
         device: Device::cpu_inter_op(a.threads, a.inter_ops),
         seed: a.seed,
+        batch: None,
     };
     a.model.build(&cfg)
 }
@@ -129,6 +153,88 @@ fn cmd_trace(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
         "wrote {} events to {out} (open in chrome://tracing or Perfetto)",
         trace.events.len()
     );
+    Ok(())
+}
+
+fn cmd_serve_bench(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = BuildConfig {
+        mode: Mode::Inference,
+        scale: a.scale,
+        device: Device::cpu_inter_op(a.threads, a.inter_ops),
+        seed: a.seed,
+        batch: Some(a.max_batch),
+    };
+    let mut workers = Vec::with_capacity(a.replicas);
+    for _ in 0..a.replicas {
+        let mut w = SessionWorker::new(a.model, &cfg)?;
+        if let Some(path) = &a.load {
+            let file = std::fs::File::open(path)?;
+            w.warm_start(std::io::BufReader::new(file))?;
+        }
+        w.enable_tracing();
+        workers.push(w);
+    }
+    if a.load.is_some() {
+        println!("restored variables from {} into {} replica(s)", a.load.as_deref().unwrap(), a.replicas);
+    }
+    let shapes = workers[0].item_shapes();
+    let domains = workers[0].domains();
+
+    let serve_cfg = ServeConfig {
+        max_batch: a.max_batch,
+        max_delay_nanos: (a.max_delay_ms * 1e6) as u64,
+        queue_cap: a.queue_cap.unwrap_or(8 * a.max_batch),
+        deadline_nanos: a.deadline_ms.map(|ms| (ms * 1e6) as u64),
+        seed: a.seed,
+    };
+    let load = match (a.clients, a.requests) {
+        (None, None) => {
+            LoadModel::Open { rps: a.rps, duration_nanos: (a.duration * 1e9) as u64 }
+        }
+        (clients, requests) => {
+            let clients = clients.unwrap_or(2 * a.max_batch);
+            LoadModel::Closed { clients, requests: requests.unwrap_or(8 * clients) }
+        }
+    };
+
+    let mut runners: Vec<&mut dyn BatchRunner> =
+        workers.iter_mut().map(|w| w as &mut dyn BatchRunner).collect();
+    let report = serve(
+        &mut runners,
+        &serve_cfg,
+        &load,
+        &mut |rng, _id| synth_inputs(&shapes, &domains, rng),
+        a.model.name(),
+    )?;
+
+    let ms = |nanos: f64| nanos / 1e6;
+    println!("{} | serve-bench | {:?}", a.model.name(), load);
+    println!(
+        "issued {}  completed {}  shed {}  timed-out {}",
+        report.issued, report.completed, report.shed, report.timed_out
+    );
+    println!(
+        "throughput {:.1} req/s over {:.1} ms of virtual time",
+        report.throughput_rps(),
+        report.makespan_nanos as f64 / 1e6
+    );
+    println!(
+        "latency ms: p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
+        ms(report.latency.quantile(0.50)),
+        ms(report.latency.quantile(0.95)),
+        ms(report.latency.quantile(0.99)),
+        ms(report.latency.max()),
+    );
+    println!(
+        "batches {}  mean size {:.2}  max queue depth {}",
+        report.batches.len(),
+        report.mean_batch_size(),
+        report.max_queue_depth()
+    );
+    if let Some(path) = &a.out {
+        std::fs::write(path, report.to_json())?;
+        println!("wrote report to {path}");
+    }
     Ok(())
 }
 

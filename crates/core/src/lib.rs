@@ -29,4 +29,7 @@ mod registry;
 mod workload;
 
 pub use registry::{ModelKind, ParseModelError};
-pub use workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};
+pub use workload::{
+    BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
+    Workload, WorkloadMetadata,
+};

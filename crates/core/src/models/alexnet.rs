@@ -73,7 +73,8 @@ pub struct Alexnet {
 impl Alexnet {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let training = cfg.mode == Mode::Training;
         let inner = ImageClassifier::new(
             metadata(),
@@ -123,6 +124,10 @@ impl Workload for Alexnet {
 
     fn session_mut(&mut self) -> &mut Session {
         self.inner.session_mut()
+    }
+
+    fn batch_spec(&self) -> Option<crate::workload::BatchSpec> {
+        self.inner.batch_spec()
     }
 }
 

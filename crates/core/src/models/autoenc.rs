@@ -11,7 +11,10 @@ use fathom_data::mnist::{DigitCorpus, PIXELS};
 use fathom_dataflow::{NodeId, Optimizer, Session};
 use fathom_nn::{dense, loss::bernoulli_nll, vae, Activation, Params};
 
-use crate::workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};
+use crate::workload::{
+    BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
+    Workload, WorkloadMetadata,
+};
 
 struct Dims {
     batch: usize,
@@ -57,7 +60,8 @@ pub struct Autoenc {
 impl Autoenc {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let mut g = fathom_dataflow::Graph::new();
         let mut p = Params::seeded(cfg.seed);
         let images = g.placeholder("images", [d.batch, PIXELS]);
@@ -142,6 +146,21 @@ impl Workload for Autoenc {
 
     fn session_mut(&mut self) -> &mut Session {
         &mut self.session
+    }
+
+    fn batch_spec(&self) -> Option<BatchSpec> {
+        if self.mode != Mode::Inference {
+            return None;
+        }
+        // The latent draw consumes the session RNG row-major, so row i of
+        // a batched run reads the same stream values as the i-th batch-1
+        // run of a same-seed session — sampling stays bitwise aligned for
+        // full batches.
+        Some(BatchSpec {
+            inputs: vec![InputPort { node: self.images, batch_axis: 0, domain: PortDomain::Real }],
+            output: OutputPort { node: self.reconstruction, batch_axis: 0 },
+            capacity: self.batch,
+        })
     }
 }
 

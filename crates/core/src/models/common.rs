@@ -5,7 +5,10 @@ use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
 use fathom_nn::Params;
 use fathom_tensor::Tensor;
 
-use crate::workload::{BuildConfig, Mode, StepStats, Workload, WorkloadMetadata};
+use crate::workload::{
+    BatchSpec, BuildConfig, InputPort, Mode, OutputPort, PortDomain, StepStats, Workload,
+    WorkloadMetadata,
+};
 
 /// An image classifier driven by the synthetic ImageNet stand-in: feeds a
 /// fresh minibatch per step, runs cross-entropy training or batched
@@ -116,5 +119,16 @@ impl Workload for ImageClassifier {
 
     fn session_mut(&mut self) -> &mut Session {
         &mut self.session
+    }
+
+    fn batch_spec(&self) -> Option<BatchSpec> {
+        if self.mode != Mode::Inference {
+            return None;
+        }
+        Some(BatchSpec {
+            inputs: vec![InputPort { node: self.images, batch_axis: 0, domain: PortDomain::Real }],
+            output: OutputPort { node: self.logits, batch_axis: 0 },
+            capacity: self.batch,
+        })
     }
 }

@@ -17,7 +17,10 @@ use fathom_nn::{Activation, Init, Params};
 use fathom_tensor::kernels::conv::Conv2dSpec;
 use fathom_tensor::{Rng, Tensor};
 
-use crate::workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};
+use crate::workload::{
+    BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
+    Workload, WorkloadMetadata,
+};
 
 struct Dims {
     batch: usize,
@@ -170,6 +173,7 @@ pub struct Deepq {
     act_state: NodeId,
     act_q: NodeId,
     batch_states: NodeId,
+    batch_q: NodeId,
     batch_actions_onehot: NodeId,
     batch_targets: NodeId,
     loss: NodeId,
@@ -188,7 +192,8 @@ pub struct Deepq {
 impl Deepq {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let env = AleEnv::new(cfg.seed ^ 0xA7A21);
         let actions = env.num_actions();
         let mut g = Graph::new();
@@ -233,6 +238,7 @@ impl Deepq {
             act_state,
             act_q,
             batch_states,
+            batch_q: q_values,
             batch_actions_onehot,
             batch_targets,
             loss,
@@ -402,6 +408,25 @@ impl Workload for Deepq {
 
     fn session_mut(&mut self) -> &mut Session {
         &mut self.session
+    }
+
+    fn batch_spec(&self) -> Option<BatchSpec> {
+        if self.mode != Mode::Inference {
+            return None;
+        }
+        // Serve the learning tower (`states -> q_values`): the act tower
+        // is pinned to batch 1 for the environment loop, but policy
+        // evaluation over observation batches is the natural serving
+        // shape for a DQN.
+        Some(BatchSpec {
+            inputs: vec![InputPort {
+                node: self.batch_states,
+                batch_axis: 0,
+                domain: PortDomain::Real,
+            }],
+            output: OutputPort { node: self.batch_q, batch_axis: 0 },
+            capacity: self.d.batch,
+        })
     }
 }
 

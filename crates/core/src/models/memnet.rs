@@ -13,7 +13,10 @@ use fathom_data::babi::BabiTask;
 use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
 use fathom_nn::{Init, Params};
 
-use crate::workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};
+use crate::workload::{
+    BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
+    Workload, WorkloadMetadata,
+};
 
 struct Dims {
     batch: usize,
@@ -63,7 +66,8 @@ pub struct Memnet {
 impl Memnet {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let task = BabiTask::new(d.sentences, cfg.seed ^ 0xBAB1);
         let vocab = task.vocab();
         let classes = task.classes();
@@ -216,6 +220,29 @@ impl Workload for Memnet {
 
     fn session_mut(&mut self) -> &mut Session {
         &mut self.session
+    }
+
+    fn batch_spec(&self) -> Option<BatchSpec> {
+        if self.mode != Mode::Inference {
+            return None;
+        }
+        let vocab = self.task.vocab();
+        Some(BatchSpec {
+            inputs: vec![
+                InputPort {
+                    node: self.stories,
+                    batch_axis: 0,
+                    domain: PortDomain::Tokens { vocab },
+                },
+                InputPort {
+                    node: self.questions,
+                    batch_axis: 0,
+                    domain: PortDomain::Tokens { vocab },
+                },
+            ],
+            output: OutputPort { node: self.logits, batch_axis: 0 },
+            capacity: self.batch,
+        })
     }
 }
 

@@ -9,7 +9,7 @@
 //! difference between input and output" (paper §IV).
 
 use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
-use fathom_nn::{avg_pool, batch_norm, conv2d, dense, flatten, Activation, Params};
+use fathom_nn::{avg_pool, batch_norm, conv2d, dense, flatten, instance_norm, Activation, Params};
 use fathom_tensor::kernels::conv::Conv2dSpec;
 
 use crate::models::common::ImageClassifier;
@@ -58,8 +58,23 @@ pub fn metadata() -> WorkloadMetadata {
     }
 }
 
-/// One basic residual block: two 3x3 conv+BN layers with an identity (or
-/// 1x1-projection) shortcut.
+/// The normalization layer applied after every convolution. Training
+/// graphs use classic batch statistics; inference graphs use the
+/// per-sample variant so batched serving output is independent of
+/// batchmates (see [`instance_norm`]). Both share parameter names, so
+/// checkpoints move freely between the two graphs.
+type NormFn = fn(&mut Graph, &mut Params, &str, NodeId, f32) -> NodeId;
+
+fn norm_for(mode: Mode) -> NormFn {
+    match mode {
+        Mode::Training => batch_norm,
+        Mode::Inference => instance_norm,
+    }
+}
+
+/// One basic residual block: two 3x3 conv+norm layers with an identity
+/// (or 1x1-projection) shortcut.
+#[allow(clippy::too_many_arguments)]
 fn basic_block(
     g: &mut Graph,
     p: &mut Params,
@@ -67,6 +82,7 @@ fn basic_block(
     x: NodeId,
     channels: usize,
     stride: usize,
+    norm: NormFn,
 ) -> NodeId {
     let in_channels = g.shape(x).dim(3);
     let c1 = conv2d(
@@ -79,7 +95,7 @@ fn basic_block(
         Conv2dSpec { stride, pad: 1 },
         Activation::Linear,
     );
-    let b1 = batch_norm(g, p, &format!("{name}/bn1"), c1, 1e-5);
+    let b1 = norm(g, p, &format!("{name}/bn1"), c1, 1e-5);
     let a1 = g.relu(b1);
     let c2 = conv2d(
         g,
@@ -91,7 +107,7 @@ fn basic_block(
         Conv2dSpec::same(3),
         Activation::Linear,
     );
-    let b2 = batch_norm(g, p, &format!("{name}/bn2"), c2, 1e-5);
+    let b2 = norm(g, p, &format!("{name}/bn2"), c2, 1e-5);
     let shortcut = if stride != 1 || in_channels != channels {
         // Projection shortcut: 1x1 convolution matching shape.
         let proj = conv2d(
@@ -104,7 +120,7 @@ fn basic_block(
             Conv2dSpec { stride, pad: 0 },
             Activation::Linear,
         );
-        batch_norm(g, p, &format!("{name}/proj_bn"), proj, 1e-5)
+        norm(g, p, &format!("{name}/proj_bn"), proj, 1e-5)
     } else {
         x
     };
@@ -120,8 +136,10 @@ pub struct Residual {
 impl Residual {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let full = cfg.scale == ModelScale::Full;
+        let norm = norm_for(cfg.mode);
         let inner = ImageClassifier::new(
             metadata(),
             cfg,
@@ -143,7 +161,7 @@ impl Residual {
                         Conv2dSpec { stride: 2, pad: 3 },
                         Activation::Linear,
                     );
-                    let b = batch_norm(g, p, "stem_bn", c, 1e-5);
+                    let b = norm(g, p, "stem_bn", c, 1e-5);
                     let r = g.relu(b);
                     fathom_nn::max_pool(g, r, 3, 2)
                 } else {
@@ -157,7 +175,7 @@ impl Residual {
                         Conv2dSpec::same(3),
                         Activation::Linear,
                     );
-                    let b = batch_norm(g, p, "stem_bn", c, 1e-5);
+                    let b = norm(g, p, "stem_bn", c, 1e-5);
                     g.relu(b)
                 };
                 for (stage, (&blocks, &channels)) in
@@ -172,6 +190,7 @@ impl Residual {
                             x,
                             channels,
                             stride,
+                            norm,
                         );
                     }
                 }
@@ -205,6 +224,10 @@ impl Workload for Residual {
 
     fn session_mut(&mut self) -> &mut Session {
         self.inner.session_mut()
+    }
+
+    fn batch_spec(&self) -> Option<crate::workload::BatchSpec> {
+        self.inner.batch_spec()
     }
 }
 

@@ -13,7 +13,10 @@ use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
 use fathom_nn::{lstm_stack, Attention, Init, Params};
 use fathom_tensor::Tensor;
 
-use crate::workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};
+use crate::workload::{
+    BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
+    Workload, WorkloadMetadata,
+};
 
 struct Dims {
     batch: usize,
@@ -75,15 +78,18 @@ pub struct Seq2Seq {
     target_in: NodeId,
     target_out_steps: Vec<NodeId>,
     logit_steps: Vec<NodeId>,
+    serve_logits: Option<NodeId>,
     loss: NodeId,
     train: Option<NodeId>,
+    vocab: usize,
     batch: usize,
 }
 
 impl Seq2Seq {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let tgt_len = d.src_len + 1; // GO/EOS shifted sequences
         let mut g = Graph::new();
         let mut p = Params::seeded(cfg.seed);
@@ -142,6 +148,13 @@ impl Seq2Seq {
             Mode::Training => Some(Optimizer::adam(2e-3).minimize(&mut g, loss, p.trainable())),
             Mode::Inference => None,
         };
+        // A single `[b, tgt_len * vocab]` fetch for the serving layer:
+        // per-step logits concatenated along the feature axis, so one
+        // node carries the whole decode and splits per request on axis 0.
+        let serve_logits = match cfg.mode {
+            Mode::Inference => Some(g.concat(&logit_steps, 1)),
+            Mode::Training => None,
+        };
         let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
         Seq2Seq {
             meta: metadata(),
@@ -152,8 +165,10 @@ impl Seq2Seq {
             target_in,
             target_out_steps,
             logit_steps,
+            serve_logits,
             loss,
             train,
+            vocab: d.vocab,
             batch: d.batch,
         }
     }
@@ -235,6 +250,26 @@ impl Workload for Seq2Seq {
 
     fn session_mut(&mut self) -> &mut Session {
         &mut self.session
+    }
+
+    fn batch_spec(&self) -> Option<BatchSpec> {
+        let serve_logits = self.serve_logits?;
+        Some(BatchSpec {
+            inputs: vec![
+                InputPort {
+                    node: self.source,
+                    batch_axis: 0,
+                    domain: PortDomain::Tokens { vocab: self.vocab },
+                },
+                InputPort {
+                    node: self.target_in,
+                    batch_axis: 0,
+                    domain: PortDomain::Tokens { vocab: self.vocab },
+                },
+            ],
+            output: OutputPort { node: serve_logits, batch_axis: 0 },
+            capacity: self.batch,
+        })
     }
 }
 

@@ -16,7 +16,10 @@ use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
 use fathom_nn::{bidirectional_rnn, Activation, Init, Params};
 use fathom_tensor::Tensor;
 
-use crate::workload::{BuildConfig, Mode, ModelScale, StepStats, Workload, WorkloadMetadata};
+use crate::workload::{
+    BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
+    Workload, WorkloadMetadata,
+};
 
 struct Dims {
     batch: usize,
@@ -77,7 +80,8 @@ pub struct Speech {
 impl Speech {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let t = d.time();
         let mut g = Graph::new();
         let mut p = Params::seeded(cfg.seed);
@@ -200,6 +204,20 @@ impl Workload for Speech {
 
     fn session_mut(&mut self) -> &mut Session {
         &mut self.session
+    }
+
+    fn batch_spec(&self) -> Option<BatchSpec> {
+        if self.mode != Mode::Inference {
+            return None;
+        }
+        // Deep Speech is time-major: both the frames placeholder and the
+        // CTC logits are `[time, batch, features]`, so requests pack and
+        // split on axis 1.
+        Some(BatchSpec {
+            inputs: vec![InputPort { node: self.frames, batch_axis: 1, domain: PortDomain::Real }],
+            output: OutputPort { node: self.logits, batch_axis: 1 },
+            capacity: self.d.batch,
+        })
     }
 }
 

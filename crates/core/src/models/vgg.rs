@@ -69,7 +69,8 @@ pub struct Vgg {
 impl Vgg {
     /// Builds the workload per the configuration.
     pub fn build(cfg: &BuildConfig) -> Self {
-        let d = dims(cfg.scale);
+        let mut d = dims(cfg.scale);
+        d.batch = cfg.batch_or(d.batch);
         let inner = ImageClassifier::new(
             metadata(),
             cfg,
@@ -125,6 +126,10 @@ impl Workload for Vgg {
 
     fn session_mut(&mut self) -> &mut Session {
         self.inner.session_mut()
+    }
+
+    fn batch_spec(&self) -> Option<crate::workload::BatchSpec> {
+        self.inner.batch_spec()
     }
 }
 

@@ -5,7 +5,7 @@
 //! inference, or simply inspecting the model's dataflow graph is
 //! straightforward." (paper §VI). [`Workload`] is that interface.
 
-use fathom_dataflow::{Device, Session};
+use fathom_dataflow::{Device, NodeId, Session};
 
 /// Whether a workload instance executes forward-only or full update steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -76,6 +76,59 @@ pub struct StepStats {
     pub metric: Option<f32>,
 }
 
+/// The values a serving client may legally feed into an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDomain {
+    /// Real-valued data: any finite `f32` is acceptable.
+    Real,
+    /// Integer token ids in `0..vocab`, stored as `f32` (the convention
+    /// the `Gather`/embedding ops use). Out-of-range ids are invalid.
+    Tokens {
+        /// Exclusive upper bound on legal token ids.
+        vocab: usize,
+    },
+}
+
+/// One batched placeholder of an inference graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputPort {
+    /// The placeholder node to feed.
+    pub node: NodeId,
+    /// Which axis of the placeholder indexes requests (0 for most
+    /// workloads; 1 for `speech`, whose frames are `[time, batch, ...]`).
+    pub batch_axis: usize,
+    /// What values a request may supply.
+    pub domain: PortDomain,
+}
+
+/// The per-request result node of an inference graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputPort {
+    /// The node whose value is split back per request.
+    pub node: NodeId,
+    /// Which axis of the fetched tensor indexes requests.
+    pub batch_axis: usize,
+}
+
+/// How a serving layer batches independent requests through a workload's
+/// inference graph: which placeholders to pack, which node to fetch, and
+/// how many requests one run can carry.
+///
+/// The contract is *batch independence*: row `i` of the output depends
+/// only on row `i` of each input, so a server may pack unrelated requests
+/// into one minibatch and split the result without cross-talk (verified
+/// bitwise in `tests/serving.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// Placeholders a request must populate, in request-payload order.
+    pub inputs: Vec<InputPort>,
+    /// The per-request result.
+    pub output: OutputPort,
+    /// The graph's fixed batch extent — at most this many requests fit in
+    /// one run; short batches are zero-padded up to it.
+    pub capacity: usize,
+}
+
 /// The standard interface every Fathom workload implements.
 pub trait Workload {
     /// Static facts about the model.
@@ -98,6 +151,13 @@ pub trait Workload {
     fn name(&self) -> &'static str {
         self.metadata().name
     }
+
+    /// How a serving layer may batch independent requests through this
+    /// instance, when it supports that at all. `None` for training-mode
+    /// instances and for workloads without a batch-independent fetch.
+    fn batch_spec(&self) -> Option<BatchSpec> {
+        None
+    }
 }
 
 /// Construction parameters shared by every workload.
@@ -111,6 +171,12 @@ pub struct BuildConfig {
     pub device: Device,
     /// Seed for parameters, data, and sampling ops.
     pub seed: u64,
+    /// Overrides the scale's default minibatch extent when set — the
+    /// serving layer builds graphs sized to its `max_batch`. Parameter
+    /// shapes never depend on the batch extent, so two instances that
+    /// differ only in `batch` have identical variables (and accept each
+    /// other's checkpoints).
+    pub batch: Option<usize>,
 }
 
 impl BuildConfig {
@@ -121,6 +187,7 @@ impl BuildConfig {
             scale: ModelScale::Reference,
             device: Device::cpu(1),
             seed: 0xFA7408,
+            batch: None,
         }
     }
 
@@ -145,6 +212,18 @@ impl BuildConfig {
     pub fn with_scale(mut self, scale: ModelScale) -> Self {
         self.scale = scale;
         self
+    }
+
+    /// Overrides the minibatch extent.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// The batch extent to build with: the override when present,
+    /// otherwise the scale's default.
+    pub fn batch_or(&self, default: usize) -> usize {
+        self.batch.unwrap_or(default)
     }
 }
 
@@ -172,5 +251,14 @@ mod tests {
         assert_eq!(c.scale, ModelScale::Reference);
         let c = c.with_scale(ModelScale::Full);
         assert_eq!(c.scale, ModelScale::Full);
+    }
+
+    #[test]
+    fn batch_override() {
+        let c = BuildConfig::inference();
+        assert_eq!(c.batch, None);
+        assert_eq!(c.batch_or(32), 32);
+        let c = c.with_batch(5);
+        assert_eq!(c.batch_or(32), 5);
     }
 }

@@ -1,0 +1,152 @@
+//! Packing single-request tensors into a minibatch and splitting the
+//! batched fetch back per request.
+//!
+//! The serving layer coalesces independent requests into one `Session`
+//! run (the graph's batch extent is fixed at build time), so it needs a
+//! pair of inverse layout transforms: [`pack`] interleaves extent-1 item
+//! slices along an arbitrary batch axis, zero-padding unused capacity,
+//! and [`split`] slices the fetched result back into per-request tensors.
+//! Both are plain row-major index arithmetic — no executor pool is
+//! involved, so they are cheap enough to run on the serving thread.
+
+use fathom_tensor::{Shape, Tensor};
+
+/// The batch-extent-1 shape an item must have to occupy one slot of a
+/// batched tensor shaped `batched` along `axis`.
+pub fn item_shape(batched: &Shape, axis: usize) -> Shape {
+    batched.with_axis_one(axis)
+}
+
+/// Packs `items` (each with extent 1 along `axis`, identical shapes
+/// otherwise) into one tensor whose `axis` extent is `capacity`. Slots
+/// beyond `items.len()` are zero — padding rows are computed by the graph
+/// and discarded by [`split`].
+///
+/// # Panics
+///
+/// Panics when `items` is empty, exceeds `capacity`, or the shapes
+/// disagree with the slot layout.
+pub fn pack(items: &[&Tensor], axis: usize, capacity: usize) -> Tensor {
+    assert!(!items.is_empty(), "cannot pack an empty batch");
+    assert!(
+        items.len() <= capacity,
+        "{} items exceed the batch capacity {capacity}",
+        items.len()
+    );
+    let slot = items[0].shape().clone();
+    assert!(axis < slot.rank(), "batch axis {axis} out of range for {slot}");
+    assert_eq!(slot.dim(axis), 1, "items must have extent 1 along the batch axis");
+    let mut dims = slot.dims().to_vec();
+    dims[axis] = capacity;
+    let out_shape = Shape::new(dims);
+
+    // Row-major layout: positions split into `outer` leading blocks, each
+    // holding `capacity` slots of `inner` contiguous elements.
+    let outer: usize = slot.dims()[..axis].iter().product();
+    let inner: usize = slot.dims()[axis + 1..].iter().product();
+    let mut data = vec![0.0f32; out_shape.num_elements()];
+    for (i, item) in items.iter().enumerate() {
+        assert_eq!(
+            item.shape(),
+            &slot,
+            "item {i} shape {} disagrees with slot shape {slot}",
+            item.shape()
+        );
+        let src = item.data();
+        for o in 0..outer {
+            let dst_at = (o * capacity + i) * inner;
+            data[dst_at..dst_at + inner].copy_from_slice(&src[o * inner..(o + 1) * inner]);
+        }
+    }
+    Tensor::from_vec(data, out_shape)
+}
+
+/// Splits the first `count` extent-1 slices of `batched` along `axis`
+/// back into per-request tensors — the inverse of [`pack`], dropping any
+/// padding slots.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range or `count` exceeds the axis extent.
+pub fn split(batched: &Tensor, axis: usize, count: usize) -> Vec<Tensor> {
+    let shape = batched.shape();
+    assert!(axis < shape.rank(), "batch axis {axis} out of range for {shape}");
+    let extent = shape.dim(axis);
+    assert!(count <= extent, "cannot split {count} items out of extent {extent}");
+    let slot = shape.with_axis_one(axis);
+    let outer: usize = shape.dims()[..axis].iter().product();
+    let inner: usize = shape.dims()[axis + 1..].iter().product();
+    let src = batched.data();
+    (0..count)
+        .map(|i| {
+            let mut data = vec![0.0f32; slot.num_elements()];
+            for o in 0..outer {
+                let src_at = (o * extent + i) * inner;
+                data[o * inner..(o + 1) * inner].copy_from_slice(&src[src_at..src_at + inner]);
+            }
+            Tensor::from_vec(data, slot.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(vals: &[f32], shape: impl Into<Shape>) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), shape)
+    }
+
+    #[test]
+    fn pack_and_split_axis0_round_trip() {
+        let a = item(&[1.0, 2.0, 3.0], [1, 3]);
+        let b = item(&[4.0, 5.0, 6.0], [1, 3]);
+        let batched = pack(&[&a, &b], 0, 4);
+        assert_eq!(batched.shape().dims(), &[4, 3]);
+        assert_eq!(
+            batched.data(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        );
+        let back = split(&batched, 0, 2);
+        assert_eq!(back[0].data(), a.data());
+        assert_eq!(back[1].data(), b.data());
+        assert_eq!(back[1].shape().dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn pack_and_split_interior_axis() {
+        // Time-major layout [time=2, batch, feat=2], as `speech` uses.
+        let a = item(&[1.0, 2.0, 3.0, 4.0], [2, 1, 2]);
+        let b = item(&[5.0, 6.0, 7.0, 8.0], [2, 1, 2]);
+        let batched = pack(&[&a, &b], 1, 3);
+        assert_eq!(batched.shape().dims(), &[2, 3, 2]);
+        // Each time block interleaves the two items, then a zero pad slot.
+        assert_eq!(
+            batched.data(),
+            &[1.0, 2.0, 5.0, 6.0, 0.0, 0.0, 3.0, 4.0, 7.0, 8.0, 0.0, 0.0]
+        );
+        let back = split(&batched, 1, 2);
+        assert_eq!(back[0].data(), a.data());
+        assert_eq!(back[1].data(), b.data());
+    }
+
+    #[test]
+    fn item_shape_zeroes_in_on_the_axis() {
+        let batched = Shape::new(vec![6, 4, 2]);
+        assert_eq!(item_shape(&batched, 1).dims(), &[6, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the batch capacity")]
+    fn pack_rejects_overfull_batches() {
+        let a = item(&[1.0], [1, 1]);
+        let _ = pack(&[&a, &a, &a], 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "extent 1 along the batch axis")]
+    fn pack_rejects_wide_items() {
+        let a = item(&[1.0, 2.0], [2, 1]);
+        let _ = pack(&[&a], 0, 4);
+    }
+}

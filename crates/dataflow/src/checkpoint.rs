@@ -65,6 +65,17 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
+/// Distinguishes a truncated checkpoint (EOF mid-record) from a real
+/// I/O failure: a short read means the bytes are not a complete
+/// checkpoint, which is a format problem, not a transport problem.
+fn eof_is_truncation(e: io::Error) -> CheckpointError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        CheckpointError::BadHeader("truncated checkpoint: unexpected end of stream".into())
+    } else {
+        CheckpointError::Io(e)
+    }
+}
+
 /// The name a variable is stored under: its debug name when present,
 /// otherwise its node id.
 fn variable_key(session: &Session, id: crate::graph::NodeId) -> String {
@@ -110,39 +121,41 @@ pub fn save(session: &Session, mut w: impl Write) -> Result<(), CheckpointError>
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError::BadHeader`] for foreign data,
-/// [`CheckpointError::Mismatch`] when names/shapes disagree with the
-/// session, or an I/O error.
+/// Returns [`CheckpointError::BadHeader`] for foreign or truncated data
+/// (a premature EOF anywhere in the stream is reported as `BadHeader`,
+/// not as a raw I/O error), [`CheckpointError::Mismatch`] when
+/// names/shapes disagree with the session, or an I/O error for genuine
+/// transport failures.
 pub fn load(session: &mut Session, mut r: impl Read) -> Result<(), CheckpointError> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic).map_err(eof_is_truncation)?;
     if &magic != MAGIC {
         return Err(CheckpointError::BadHeader("bad magic bytes".into()));
     }
-    let version = read_u32(&mut r)?;
+    let version = read_u32(&mut r).map_err(eof_is_truncation)?;
     if version != VERSION {
         return Err(CheckpointError::BadHeader(format!(
             "unsupported version {version} (expected {VERSION})"
         )));
     }
-    let count = read_u64(&mut r)? as usize;
+    let count = read_u64(&mut r).map_err(eof_is_truncation)? as usize;
     let mut loaded: HashMap<String, Tensor> = HashMap::with_capacity(count);
     for _ in 0..count {
-        let name_len = read_u64(&mut r)? as usize;
+        let name_len = read_u64(&mut r).map_err(eof_is_truncation)? as usize;
         let mut name_bytes = vec![0u8; name_len];
-        r.read_exact(&mut name_bytes)?;
+        r.read_exact(&mut name_bytes).map_err(eof_is_truncation)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| CheckpointError::BadHeader("variable name is not UTF-8".into()))?;
-        let rank = read_u64(&mut r)? as usize;
+        let rank = read_u64(&mut r).map_err(eof_is_truncation)? as usize;
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(read_u64(&mut r)? as usize);
+            dims.push(read_u64(&mut r).map_err(eof_is_truncation)? as usize);
         }
         let shape = Shape::new(dims);
         let mut data = vec![0.0f32; shape.num_elements()];
         for v in &mut data {
             let mut b = [0u8; 4];
-            r.read_exact(&mut b)?;
+            r.read_exact(&mut b).map_err(eof_is_truncation)?;
             *v = f32::from_le_bytes(b);
         }
         loaded.insert(name, Tensor::from_vec(data, shape));
@@ -262,13 +275,15 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_is_an_io_error() {
+    fn truncated_stream_is_rejected_as_bad_header() {
         let (_, trained, _, _) = trained_session();
         let mut buf = Vec::new();
         save(&trained, &mut buf).expect("saves");
         buf.truncate(buf.len() / 2);
         let (g, _, _, _) = trained_session();
         let mut s = Session::new(g, Device::cpu(1));
-        assert!(matches!(load(&mut s, buf.as_slice()).unwrap_err(), CheckpointError::Io(_)));
+        let err = load(&mut s, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadHeader(_)), "got {err}");
+        assert!(err.to_string().contains("truncated"), "got {err}");
     }
 }

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod checkpoint;
 pub mod cost;
 mod device;

@@ -127,23 +127,29 @@ pub fn dropout(g: &mut Graph, x: NodeId, rate: f32) -> NodeId {
     g.mul(x, mask)
 }
 
-/// Batch normalization over all axes except the last (channels), with
-/// learnable scale/offset. Uses batch statistics (training-style).
-pub fn batch_norm(g: &mut Graph, p: &mut Params, name: &str, x: NodeId, epsilon: f32) -> NodeId {
+/// Shared normalization body: standardize `x` over `axes` (keeping dims
+/// so statistics broadcast back), then apply a learnable per-channel
+/// scale/offset named `{name}/gamma` and `{name}/beta`.
+fn normalize_over(
+    g: &mut Graph,
+    p: &mut Params,
+    name: &str,
+    x: NodeId,
+    epsilon: f32,
+    axes: std::ops::Range<usize>,
+) -> NodeId {
     let shape = g.shape(x).clone();
     let channels = shape.dim(shape.rank() - 1);
     let gamma = p.variable(g, format!("{name}/gamma"), [channels], Init::Ones);
     let beta = p.variable(g, format!("{name}/beta"), [channels], Init::Zeros);
-    // Mean/variance over every axis but the last, keeping dims so the
-    // result broadcasts back over x.
     let mut mean = x;
-    for axis in 0..shape.rank() - 1 {
+    for axis in axes.clone() {
         mean = g.mean_axis(mean, axis, true);
     }
     let centered = g.sub(x, mean);
     let sq = g.square(centered);
     let mut var = sq;
-    for axis in 0..shape.rank() - 1 {
+    for axis in axes {
         var = g.mean_axis(var, axis, true);
     }
     let eps = g.constant(Tensor::scalar(epsilon));
@@ -152,6 +158,32 @@ pub fn batch_norm(g: &mut Graph, p: &mut Params, name: &str, x: NodeId, epsilon:
     let normed = g.div(centered, std);
     let scaled = g.mul(normed, gamma);
     g.add_op(scaled, beta)
+}
+
+/// Batch normalization over all axes except the last (channels), with
+/// learnable scale/offset. Uses batch statistics (training-style): every
+/// output row depends on every row of the minibatch. Inference graphs
+/// that must be batch-size invariant (the serving batcher packs unrelated
+/// requests into one minibatch) should use [`instance_norm`] instead.
+pub fn batch_norm(g: &mut Graph, p: &mut Params, name: &str, x: NodeId, epsilon: f32) -> NodeId {
+    let rank = g.shape(x).rank();
+    normalize_over(g, p, name, x, epsilon, 0..rank - 1)
+}
+
+/// Per-sample normalization over the non-batch, non-channel axes (for
+/// NHWC activations: the two spatial axes), with the same learnable
+/// `{name}/gamma` / `{name}/beta` parameters as [`batch_norm`].
+///
+/// Each sample is standardized independently, so the output for one row
+/// never depends on its batchmates — the property the serving layer
+/// relies on to make batched inference bitwise identical to batch-1
+/// inference. Parameter names and shapes match [`batch_norm`], so
+/// checkpoints transfer between a training graph (batch statistics) and
+/// an inference graph (per-sample statistics).
+pub fn instance_norm(g: &mut Graph, p: &mut Params, name: &str, x: NodeId, epsilon: f32) -> NodeId {
+    let rank = g.shape(x).rank();
+    assert!(rank >= 3, "instance_norm needs [batch, ..., channels] input of rank >= 3");
+    normalize_over(g, p, name, x, epsilon, 1..rank - 1)
 }
 
 /// Embedding lookup: builds a `[vocab, dim]` table and gathers `indices`
@@ -252,6 +284,30 @@ mod tests {
         let data = Tensor::randn([8, 2], 0.0, 1.0, &mut rng);
         let dg = s.run1(grads[0], &[(x, data)]).unwrap();
         assert!(dg.all_finite());
+    }
+
+    #[test]
+    fn instance_norm_is_batch_size_invariant() {
+        // The same sample must normalize identically whether it sits in a
+        // batch of 1 or a batch of 4 — the serving-layer contract.
+        let mut rng = Rng::seeded(9);
+        let sample = Tensor::randn([1, 3, 3, 2], 5.0, 3.0, &mut rng);
+        let filler = Tensor::randn([3, 3, 3, 2], -2.0, 7.0, &mut rng);
+
+        let run = |batch: usize, data: Tensor| -> Tensor {
+            let mut g = Graph::new();
+            let mut p = Params::seeded(9);
+            let x = g.placeholder("x", [batch, 3, 3, 2]);
+            let y = instance_norm(&mut g, &mut p, "in", x, 1e-5);
+            let mut s = Session::new(g, Device::cpu(1));
+            s.run1(y, &[(x, data)]).unwrap()
+        };
+
+        let solo = run(1, sample.clone());
+        let mut packed = sample.data().to_vec();
+        packed.extend_from_slice(filler.data());
+        let batched = run(4, Tensor::from_vec(packed, [4, 3, 3, 2]));
+        assert_eq!(&batched.data()[..solo.len()], solo.data(), "row 0 depends on batchmates");
     }
 
     #[test]

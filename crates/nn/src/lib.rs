@@ -38,6 +38,7 @@ pub mod vae;
 pub use attention::Attention;
 pub use init::{Init, Params};
 pub use layers::{
-    avg_pool, batch_norm, conv2d, dense, dropout, embedding, flatten, max_pool, Activation,
+    avg_pool, batch_norm, conv2d, dense, dropout, embedding, flatten, instance_norm, max_pool,
+    Activation,
 };
 pub use rnn::{bidirectional_rnn, lstm_stack, LstmCell};

@@ -6,9 +6,13 @@ use fathom_dataflow::trace::RunTrace;
 use crate::profile::OpProfile;
 
 /// Runs `steps` steps of an already-built workload with tracing enabled,
-/// returning the raw trace. Prior trace state is discarded.
+/// returning the raw trace.
+///
+/// Reset semantics: any events a caller traced before this function is
+/// entered are discarded first — `take_trace` both drains the buffer and
+/// disables tracing — so tracing is (re-)enabled exactly once and the
+/// returned trace covers precisely these `steps` steps.
 pub fn trace_steps(model: &mut dyn Workload, steps: usize) -> RunTrace {
-    model.session_mut().enable_tracing();
     let _ = model.session_mut().take_trace();
     model.session_mut().enable_tracing();
     for _ in 0..steps {

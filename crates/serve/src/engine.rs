@@ -1,0 +1,403 @@
+//! The serving engine: admission control, dynamic batching, and a
+//! virtual-time event loop.
+//!
+//! Time is *virtual*: arrivals come from a seeded stochastic process and
+//! each batch advances the clock by its measured (or, in tests,
+//! injected) service time. Real graph execution happens inside
+//! [`BatchRunner::run_batch`], but the queueing dynamics — coalescing,
+//! shedding, deadlines, drain — are a deterministic discrete-event
+//! simulation, so the same seed and runner behavior always produce the
+//! identical [`ServeReport`]. That is what lets `tests/serving.rs` make
+//! exact assertions about counts and batch shapes without ever sleeping.
+//!
+//! Dispatch rule: an idle replica takes up to `max_batch` queued
+//! requests as soon as the queue is full enough, the oldest request has
+//! waited `max_delay`, or no further arrivals are scheduled (drain).
+//! Admission rule: a request arriving to a queue at `queue_cap` is shed;
+//! a queued request whose deadline passes before dispatch is timed out
+//! (work already in flight always completes).
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use fathom_tensor::{Rng, Tensor};
+
+use crate::metrics::{BatchRecord, ServeReport};
+use crate::worker::{BatchRunner, Request, ServeError};
+
+/// Batching and admission parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one session run.
+    pub max_batch: usize,
+    /// Longest a request may head the queue before a partial batch is
+    /// dispatched anyway, in virtual nanoseconds.
+    pub max_delay_nanos: u64,
+    /// Admission bound: arrivals beyond this queue depth are shed.
+    pub queue_cap: usize,
+    /// When set, queued requests older than this are dropped (timed out)
+    /// instead of dispatched.
+    pub deadline_nanos: Option<u64>,
+    /// Seed for the arrival process and request synthesis.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// Sensible defaults around a coalescing limit: 2 ms max delay, a
+    /// queue of `8 * max_batch`, no deadline.
+    pub fn new(max_batch: usize) -> Self {
+        ServeConfig {
+            max_batch,
+            max_delay_nanos: 2_000_000,
+            queue_cap: 8 * max_batch,
+            deadline_nanos: None,
+            seed: 0xFA7408,
+        }
+    }
+}
+
+/// How load is offered to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadModel {
+    /// Open loop: a Poisson process at `rps` requests/second for
+    /// `duration_nanos` of virtual time. Arrivals do not wait for
+    /// responses, so overload sheds.
+    Open {
+        /// Offered rate, requests per second.
+        rps: f64,
+        /// Length of the arrival window, virtual nanoseconds.
+        duration_nanos: u64,
+    },
+    /// Closed loop: `clients` concurrent callers, each issuing its next
+    /// request the moment the previous one resolves, until `requests`
+    /// total have been issued.
+    Closed {
+        /// Concurrent callers.
+        clients: usize,
+        /// Total requests across all callers.
+        requests: usize,
+    },
+}
+
+/// One replica's occupancy: the virtual time it frees up and how many
+/// requests its in-flight batch carries (for closed-loop re-issue).
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    free_at: u64,
+    carried: usize,
+}
+
+/// Runs one serving experiment: offers `load` to `runners` under `cfg`,
+/// synthesizing each admitted request's payload with `synth`.
+///
+/// `runners` is one [`BatchRunner`] per replica; each owns independent
+/// session state. The virtual clock starts at 0 and the function returns
+/// once every admitted request has resolved (completed, shed, or timed
+/// out) — graceful drain, never mid-flight abandonment.
+///
+/// # Errors
+///
+/// Propagates the first [`ServeError`] a runner reports.
+///
+/// # Panics
+///
+/// Panics when `runners` is empty or `cfg.max_batch` is 0.
+pub fn serve(
+    runners: &mut [&mut dyn BatchRunner],
+    cfg: &ServeConfig,
+    load: &LoadModel,
+    synth: &mut dyn FnMut(&mut Rng, u64) -> Vec<Tensor>,
+    workload: &str,
+) -> Result<ServeReport, ServeError> {
+    assert!(!runners.is_empty(), "serve needs at least one replica");
+    assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+    let max_batch = cfg.max_batch.min(runners.iter().map(|r| r.capacity()).min().unwrap());
+
+    let mut rng = Rng::seeded(cfg.seed);
+    let mut report = ServeReport::new(workload, max_batch, runners.len());
+
+    // Scheduled arrival times (min-heap). Open loop precomputes the whole
+    // Poisson trace; closed loop seeds `clients` arrivals at t=0 and adds
+    // one per resolution while `remaining_closed > 0`.
+    let mut arrivals: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+    let mut remaining_closed = 0usize;
+    match load {
+        LoadModel::Open { rps, duration_nanos } => {
+            assert!(*rps > 0.0, "open-loop load needs a positive rate");
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival; 1 - uniform() keeps ln() off 0.
+                t += -(1.0 - rng.uniform() as f64).ln() / rps * 1e9;
+                if t >= *duration_nanos as f64 {
+                    break;
+                }
+                arrivals.push(std::cmp::Reverse(t as u64));
+            }
+        }
+        LoadModel::Closed { clients, requests } => {
+            let first = (*clients).min(*requests);
+            for _ in 0..first {
+                arrivals.push(std::cmp::Reverse(0));
+            }
+            remaining_closed = requests - first;
+        }
+    }
+
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut busy: Vec<Option<InFlight>> = vec![None; runners.len()];
+    let mut now = 0u64;
+    let mut next_id = 0u64;
+
+    loop {
+        // 1. Completions: free replicas whose batch has finished; each
+        // resolved request lets a closed-loop client issue its next one.
+        for slot in busy.iter_mut() {
+            if let Some(f) = *slot {
+                if f.free_at <= now {
+                    *slot = None;
+                    for _ in 0..f.carried {
+                        if remaining_closed > 0 {
+                            arrivals.push(std::cmp::Reverse(now));
+                            remaining_closed -= 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Arrivals due now: admit or shed.
+        while arrivals.peek().is_some_and(|t| t.0 <= now) {
+            let at = arrivals.pop().unwrap().0;
+            let id = next_id;
+            next_id += 1;
+            report.issued += 1;
+            if queue.len() >= cfg.queue_cap {
+                report.shed += 1;
+                // A shed closed-loop client immediately tries again.
+                if remaining_closed > 0 {
+                    arrivals.push(std::cmp::Reverse(at));
+                    remaining_closed -= 1;
+                }
+                continue;
+            }
+            let inputs = synth(&mut rng, id);
+            queue.push_back(Request { id, arrival: at, inputs });
+            report.queue_depths.push(queue.len());
+        }
+
+        // 3. Deadline expiry of queued (never in-flight) requests.
+        if let Some(deadline) = cfg.deadline_nanos {
+            let before = queue.len();
+            queue.retain(|r| r.arrival + deadline > now);
+            let expired = (before - queue.len()) as u64;
+            report.timed_out += expired;
+            for _ in 0..expired {
+                if remaining_closed > 0 {
+                    arrivals.push(std::cmp::Reverse(now));
+                    remaining_closed -= 1;
+                }
+            }
+        }
+
+        // 4. Dispatch to idle replicas while the batching rule fires.
+        for (slot, runner) in busy.iter_mut().zip(runners.iter_mut()) {
+            if slot.is_some() || queue.is_empty() {
+                continue;
+            }
+            let oldest_wait = now - queue.front().expect("nonempty").arrival;
+            let draining = arrivals.is_empty();
+            if queue.len() < max_batch && oldest_wait < cfg.max_delay_nanos && !draining {
+                continue;
+            }
+            let take = queue.len().min(max_batch);
+            let batch: Vec<Request> = queue.drain(..take).collect();
+            let refs: Vec<&Request> = batch.iter().collect();
+            let result = runner.run_batch(&refs)?;
+            let service = (result.service_nanos as u64).max(1);
+            let done = now + service;
+            *slot = Some(InFlight { free_at: done, carried: batch.len() });
+            for r in &batch {
+                report.latency.record((done - r.arrival) as f64);
+            }
+            report.completed += batch.len() as u64;
+            report.makespan_nanos = report.makespan_nanos.max(done);
+            report.batches.push(BatchRecord {
+                size: batch.len(),
+                service_nanos: result.service_nanos,
+                class_nanos: result.class_nanos,
+            });
+        }
+
+        // 5. Terminate when fully drained.
+        let all_idle = busy.iter().all(|b| b.is_none());
+        if arrivals.is_empty() && remaining_closed == 0 && queue.is_empty() && all_idle {
+            break;
+        }
+
+        // 6. Advance the clock to the next event: an arrival, a batch
+        // completion, the oldest waiter hitting max_delay, or a deadline.
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            let t = t.max(now + 1);
+            next = Some(next.map_or(t, |n: u64| n.min(t)));
+        };
+        if let Some(t) = arrivals.peek() {
+            consider(t.0);
+        }
+        for f in busy.iter().flatten() {
+            consider(f.free_at);
+        }
+        if let Some(front) = queue.front() {
+            if busy.iter().any(|b| b.is_none()) {
+                consider(front.arrival + cfg.max_delay_nanos);
+            }
+            if let Some(deadline) = cfg.deadline_nanos {
+                consider(front.arrival + deadline);
+            }
+        }
+        now = next.expect("events remain while the system is not drained");
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::BatchResult;
+
+    /// Deterministic runner: fixed service time per batch, no tensors.
+    struct FakeRunner {
+        capacity: usize,
+        service_nanos: f64,
+        batches: Vec<usize>,
+    }
+
+    impl FakeRunner {
+        fn new(capacity: usize, service_nanos: f64) -> Self {
+            FakeRunner { capacity, service_nanos, batches: Vec::new() }
+        }
+    }
+
+    impl BatchRunner for FakeRunner {
+        fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        fn run_batch(&mut self, reqs: &[&Request]) -> Result<BatchResult, ServeError> {
+            self.batches.push(reqs.len());
+            Ok(BatchResult {
+                outputs: reqs.iter().map(|_| Tensor::zeros([1])).collect(),
+                service_nanos: self.service_nanos,
+                class_nanos: [0.0; 7],
+            })
+        }
+    }
+
+    fn no_inputs(_rng: &mut Rng, _id: u64) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    #[test]
+    fn open_loop_conserves_requests() {
+        let mut runner = FakeRunner::new(4, 1_000_000.0);
+        let cfg = ServeConfig::new(4);
+        let load = LoadModel::Open { rps: 200.0, duration_nanos: 1_000_000_000 };
+        let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert!(r.issued > 100, "Poisson(200 rps, 1 s) should issue ~200, got {}", r.issued);
+        assert_eq!(r.issued, r.completed + r.shed + r.timed_out);
+        assert_eq!(r.completed, runner.batches.iter().sum::<usize>() as u64);
+        assert!(r.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn heavy_load_fills_batches() {
+        // Service is slow relative to arrivals, so the queue backs up and
+        // dispatches run at the coalescing limit.
+        let mut runner = FakeRunner::new(4, 50_000_000.0);
+        let cfg = ServeConfig { queue_cap: 64, ..ServeConfig::new(4) };
+        let load = LoadModel::Open { rps: 1000.0, duration_nanos: 200_000_000 };
+        let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        let full = r.batches_of_size(4);
+        assert!(full * 2 > r.batches.len(), "expected mostly full batches, sizes {:?}", runner.batches);
+        assert!(r.max_queue_depth() > 4);
+    }
+
+    #[test]
+    fn closed_loop_issues_exactly_the_request_budget() {
+        let mut runner = FakeRunner::new(8, 3_000_000.0);
+        let cfg = ServeConfig::new(4);
+        let load = LoadModel::Closed { clients: 6, requests: 40 };
+        let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert_eq!(r.issued, 40);
+        assert_eq!(r.completed, 40);
+        assert_eq!(r.shed, 0);
+        // 6 clients with zero think time never batch above the client count.
+        assert!(runner.batches.iter().all(|&s| s <= 6));
+    }
+
+    #[test]
+    fn tiny_queue_sheds_under_overload() {
+        let mut runner = FakeRunner::new(2, 100_000_000.0);
+        let cfg = ServeConfig { queue_cap: 2, ..ServeConfig::new(2) };
+        let load = LoadModel::Open { rps: 500.0, duration_nanos: 500_000_000 };
+        let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert!(r.shed > 0, "queue_cap=2 under 500 rps must shed");
+        assert_eq!(r.issued, r.completed + r.shed + r.timed_out);
+    }
+
+    #[test]
+    fn deadlines_time_out_queued_work() {
+        // One slow replica; requests queued behind a 100 ms batch blow a
+        // 10 ms deadline before they can be dispatched.
+        let mut runner = FakeRunner::new(1, 100_000_000.0);
+        let cfg = ServeConfig {
+            deadline_nanos: Some(10_000_000),
+            queue_cap: 64,
+            ..ServeConfig::new(1)
+        };
+        let load = LoadModel::Open { rps: 100.0, duration_nanos: 1_000_000_000 };
+        let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert!(r.timed_out > 0, "expected deadline expirations");
+        assert_eq!(r.issued, r.completed + r.shed + r.timed_out);
+        // In-flight work is never cancelled: every dispatched batch completes.
+        assert_eq!(r.completed, runner.batches.iter().sum::<usize>() as u64);
+    }
+
+    #[test]
+    fn two_replicas_share_the_queue() {
+        let mut a = FakeRunner::new(4, 20_000_000.0);
+        let mut b = FakeRunner::new(4, 20_000_000.0);
+        let cfg = ServeConfig { queue_cap: 64, ..ServeConfig::new(4) };
+        let load = LoadModel::Open { rps: 400.0, duration_nanos: 300_000_000 };
+        let r = serve(&mut [&mut a, &mut b], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert_eq!(r.replicas, 2);
+        assert!(!a.batches.is_empty() && !b.batches.is_empty(), "both replicas must serve");
+        assert_eq!(
+            r.completed,
+            (a.batches.iter().sum::<usize>() + b.batches.iter().sum::<usize>()) as u64
+        );
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let run = || {
+            let mut runner = FakeRunner::new(4, 5_000_000.0);
+            let cfg = ServeConfig::new(4);
+            let load = LoadModel::Open { rps: 300.0, duration_nanos: 400_000_000 };
+            serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drain_flushes_partial_batches() {
+        // 3 requests, max_batch 4, huge max_delay: once arrivals are
+        // exhausted the engine must not wait out the delay timer.
+        let mut runner = FakeRunner::new(4, 1_000_000.0);
+        let cfg = ServeConfig { max_delay_nanos: u64::MAX / 2, ..ServeConfig::new(4) };
+        let load = LoadModel::Closed { clients: 3, requests: 3 };
+        let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert_eq!(r.completed, 3);
+        assert_eq!(runner.batches, vec![3]);
+    }
+}

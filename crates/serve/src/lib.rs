@@ -1,0 +1,37 @@
+//! `fathom-serve` — batched inference serving for the Fathom workloads.
+//!
+//! The paper frames its workloads as *reference benchmarks* for both
+//! training and deployment; this crate adds the deployment half's
+//! missing piece: a serving layer that coalesces independent inference
+//! requests into the minibatches the graphs are built for, with the
+//! admission-control and observability machinery a real model server
+//! needs. It is deliberately framework-free and reuses the suite's own
+//! substrate end to end:
+//!
+//! * [`worker::SessionWorker`] — one pre-built inference [`Session`]
+//!   (with the inter-op executor and buffer recycling from
+//!   `fathom-dataflow`) per replica, packing and splitting request
+//!   tensors via `fathom_dataflow::batch` along each workload's declared
+//!   [`BatchSpec`](fathom::BatchSpec);
+//! * [`engine::serve`] — a deterministic virtual-time event loop:
+//!   dynamic batching up to `max_batch`/`max_delay`, bounded-queue load
+//!   shedding, per-request deadlines, graceful drain;
+//! * [`metrics::ServeReport`] — per-request latency quantiles, queue
+//!   depth, batch-size distribution, shed/timeout counters, and op-class
+//!   time slices fed from the session trace.
+//!
+//! The correctness contract is *batch independence*: a request's output
+//! is bitwise identical whether it rode in a batch of one or a full
+//! batch (verified for all eight workloads in `tests/serving.rs`).
+//!
+//! [`Session`]: fathom_dataflow::Session
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod worker;
+
+pub use engine::{serve, LoadModel, ServeConfig};
+pub use metrics::{BatchRecord, LatencyHistogram, ServeReport};
+pub use worker::{synth_inputs, BatchResult, BatchRunner, Request, ServeError, SessionWorker};

@@ -4,6 +4,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+cargo build --workspace --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Serving smoke: the batcher, admission control, and report must survive a
+# real open-loop run end to end.
+./target/release/fathom serve-bench alexnet --rps 50 --duration 1 --seed 7

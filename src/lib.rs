@@ -3,7 +3,8 @@
 //! Re-exports the component crates so examples and integration tests can
 //! use a single dependency. See the individual crates for full APIs:
 //! [`fathom`] (the workloads), [`fathom_dataflow`], [`fathom_tensor`],
-//! [`fathom_nn`], [`fathom_data`], [`fathom_ale`], [`fathom_profile`].
+//! [`fathom_nn`], [`fathom_data`], [`fathom_ale`], [`fathom_profile`],
+//! [`fathom_serve`].
 
 pub use fathom;
 pub use fathom_ale;
@@ -11,4 +12,5 @@ pub use fathom_data;
 pub use fathom_dataflow;
 pub use fathom_nn;
 pub use fathom_profile;
+pub use fathom_serve;
 pub use fathom_tensor;

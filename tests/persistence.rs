@@ -2,6 +2,7 @@
 //! across real workloads.
 
 use fathom_suite::fathom::{BuildConfig, ModelKind, ModelScale};
+use fathom_suite::fathom_dataflow::checkpoint::CheckpointError;
 use fathom_suite::fathom_dataflow::{checkpoint, export};
 
 #[test]
@@ -45,6 +46,36 @@ fn checkpoints_do_not_cross_workloads() {
         checkpoint::load(vgg.session_mut(), buf.as_slice()).is_err(),
         "an alexnet checkpoint must not load into vgg"
     );
+}
+
+#[test]
+fn truncated_and_corrupt_checkpoints_are_rejected_loudly() {
+    let mut model = ModelKind::Memnet.build(&BuildConfig::training());
+    model.step();
+    let mut buf = Vec::new();
+    checkpoint::save(model.session(), &mut buf).expect("saves");
+
+    // Truncation anywhere — inside the header, a record header, or a
+    // record's data — must surface as BadHeader ("this is not a complete
+    // checkpoint"), never as a raw I/O EOF.
+    for keep in [4, 13, buf.len() / 3, buf.len() - 1] {
+        let mut cut = buf.clone();
+        cut.truncate(keep);
+        let mut fresh = ModelKind::Memnet.build(&BuildConfig::training());
+        let err = checkpoint::load(fresh.session_mut(), cut.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::BadHeader(_)),
+            "truncation at {keep}/{} bytes gave {err:?}",
+            buf.len()
+        );
+    }
+
+    // Corrupt magic bytes are a format error too.
+    let mut garbled = buf.clone();
+    garbled[0] ^= 0xFF;
+    let mut fresh = ModelKind::Memnet.build(&BuildConfig::training());
+    let err = checkpoint::load(fresh.session_mut(), garbled.as_slice()).unwrap_err();
+    assert!(matches!(err, CheckpointError::BadHeader(_)), "got {err:?}");
 }
 
 #[test]

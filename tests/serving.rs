@@ -1,0 +1,139 @@
+//! Integration: the serving layer's correctness contract.
+//!
+//! The central claim is *batch independence*: a request's output is
+//! bitwise identical whether it rode alone through a batch-1 graph or
+//! packed with unrelated requests through a batch-4 graph. That holds
+//! for every workload because (a) each `BatchSpec` names only
+//! batch-independent fetches, (b) normalization in inference graphs is
+//! per-sample (`instance_norm`), and (c) the session RNG streams values
+//! row-major, so a full batch reads exactly what the same-seed serial
+//! session reads across consecutive runs.
+
+use fathom_suite::fathom::{BuildConfig, ModelKind};
+use fathom_suite::fathom_dataflow::checkpoint;
+use fathom_suite::fathom_serve::{
+    serve, synth_inputs, BatchRunner, LoadModel, Request, ServeConfig, SessionWorker,
+};
+use fathom_suite::fathom_tensor::Rng;
+
+const BATCH: usize = 4;
+const SEED: u64 = 0xBA7C4;
+
+fn requests_for(worker: &SessionWorker, n: usize) -> Vec<Request> {
+    // Payloads come from a fixed, worker-independent stream so the
+    // batched and serial sides see identical bytes.
+    let mut rng = Rng::seeded(0x5EED);
+    let shapes = worker.item_shapes();
+    let domains = worker.domains();
+    (0..n)
+        .map(|i| Request {
+            id: i as u64,
+            arrival: 0,
+            inputs: synth_inputs(&shapes, &domains, &mut rng),
+        })
+        .collect()
+}
+
+#[test]
+fn batched_serving_is_bitwise_identical_to_serial_for_every_workload() {
+    for kind in ModelKind::ALL {
+        let mut batched =
+            SessionWorker::new(kind, &BuildConfig::inference().with_seed(SEED).with_batch(BATCH))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let mut serial =
+            SessionWorker::new(kind, &BuildConfig::inference().with_seed(SEED).with_batch(1))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+
+        let reqs = requests_for(&batched, BATCH);
+        let refs: Vec<&Request> = reqs.iter().collect();
+        let together = batched.run_batch(&refs).expect("full batch runs");
+
+        // One persistent batch-1 session stepped request by request: its
+        // RNG consumes the same stream, in the same order, as the packed
+        // batch's row-major sampling.
+        for (i, req) in reqs.iter().enumerate() {
+            let alone = serial.run_batch(&[req]).expect("single request runs");
+            assert!(alone.outputs[0].all_finite(), "{kind}: non-finite output");
+            assert_eq!(
+                together.outputs[i].data(),
+                alone.outputs[0].data(),
+                "{kind}: request {i} differs between batch-of-{BATCH} and batch-of-1"
+            );
+        }
+    }
+}
+
+#[test]
+fn padded_partial_batches_do_not_disturb_real_requests() {
+    // 2 requests through a capacity-4 graph: rows beyond the requests are
+    // zero padding, and the real rows must match the full serial run.
+    for kind in [ModelKind::Alexnet, ModelKind::Memnet, ModelKind::Residual] {
+        let mut batched =
+            SessionWorker::new(kind, &BuildConfig::inference().with_seed(SEED).with_batch(BATCH))
+                .expect("servable");
+        let mut serial =
+            SessionWorker::new(kind, &BuildConfig::inference().with_seed(SEED).with_batch(1))
+                .expect("servable");
+        let reqs = requests_for(&batched, 2);
+        let refs: Vec<&Request> = reqs.iter().collect();
+        let together = batched.run_batch(&refs).expect("partial batch runs");
+        assert_eq!(together.outputs.len(), 2);
+        for (i, req) in reqs.iter().enumerate() {
+            let alone = serial.run_batch(&[req]).expect("single request runs");
+            assert_eq!(
+                together.outputs[i].data(),
+                alone.outputs[0].data(),
+                "{kind}: padding leaked into request {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_start_accepts_training_checkpoints() {
+    // Train a few steps, checkpoint, and restore into a serving replica:
+    // training and inference graphs share their variable set, so the
+    // bytes survive the round trip exactly.
+    let cfg = BuildConfig::training().with_seed(3);
+    let mut trained = ModelKind::Memnet.build(&cfg);
+    for _ in 0..3 {
+        trained.step();
+    }
+    let mut ck = Vec::new();
+    checkpoint::save(trained.session(), &mut ck).expect("saves");
+
+    let mut worker =
+        SessionWorker::new(ModelKind::Memnet, &BuildConfig::inference().with_batch(BATCH))
+            .expect("servable");
+    worker.warm_start(ck.as_slice()).expect("training checkpoint loads into serving graph");
+
+    let mut restored = Vec::new();
+    checkpoint::save(worker.workload_mut().session(), &mut restored).expect("saves");
+    assert_eq!(ck, restored, "restored serving variables differ from the trained ones");
+}
+
+#[test]
+fn engine_resolves_every_closed_loop_request_with_a_real_worker() {
+    let mut worker =
+        SessionWorker::new(ModelKind::Memnet, &BuildConfig::inference().with_batch(2))
+            .expect("servable");
+    let shapes = worker.item_shapes();
+    let domains = worker.domains();
+    let cfg = ServeConfig { queue_cap: 64, ..ServeConfig::new(2) };
+    let load = LoadModel::Closed { clients: 3, requests: 12 };
+    let mut runners: Vec<&mut dyn BatchRunner> = vec![&mut worker];
+    let report = serve(
+        &mut runners,
+        &cfg,
+        &load,
+        &mut |rng, _| synth_inputs(&shapes, &domains, rng),
+        "memnet",
+    )
+    .expect("serves");
+    assert_eq!(report.issued, 12);
+    assert_eq!(report.completed, 12, "closed loop with no deadline resolves everything");
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.timed_out, 0);
+    assert_eq!(report.latency.count(), 12);
+    assert!(report.batches.iter().all(|b| b.size <= 2));
+}
