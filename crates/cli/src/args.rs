@@ -22,6 +22,13 @@ pub enum Command {
     Dot(RunArgs),
     /// `fathom serve-bench <model> [options]` — batched serving benchmark.
     ServeBench(ServeArgs),
+    /// `fathom chaos <model> [--seed N]` — fault-injection smoke probes.
+    Chaos {
+        /// Which workload to probe.
+        model: ModelKind,
+        /// Seed for the injected fault schedule and payloads.
+        seed: u64,
+    },
     /// `fathom help` or `-h`/`--help`.
     Help,
 }
@@ -103,6 +110,9 @@ pub struct ServeArgs {
     pub load: Option<String>,
     /// Write the full JSON report here.
     pub out: Option<String>,
+    /// Fault-plan spec (`[seed=N;]site@hit=action;...`) injected into
+    /// the replicas, e.g. `replica0@3=crash`.
+    pub fault_plan: Option<String>,
 }
 
 impl ServeArgs {
@@ -124,6 +134,7 @@ impl ServeArgs {
             inter_ops: 1,
             load: None,
             out: None,
+            fault_plan: None,
         }
     }
 }
@@ -156,10 +167,19 @@ USAGE:
                    [--max-batch N] [--max-delay-ms MS] [--queue-cap N]
                    [--deadline-ms MS] [--replicas N] [--scale reference|full]
                    [--threads N] [--inter-ops N] [--seed N]
-                   [--load FILE.ck] [--out FILE.json]
+                   [--load FILE.ck] [--out FILE.json] [--fault-plan SPEC]
+    fathom chaos   <model> [--seed N]
 
 MODELS:
     seq2seq memnet speech autoenc residual vgg alexnet deepq
+
+FAULT PLANS:
+    SPEC is `[seed=N;]site@hit=action;...` — sites: op, ckpt-write,
+    ckpt-read, replica<R>; actions: panic, nan, crash, stall:<ns>,
+    truncate:<keep>, bitflip:<n>. Example: `replica0@3=crash` crashes
+    replica 0's fourth batch dispatch. `fathom chaos` runs seeded
+    fault-injection probes over one workload's executor, checkpoint,
+    and serving layers and exits nonzero if any recovery fails.
 ";
 
 /// Parses an argument list (without the program name).
@@ -186,6 +206,31 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::List { json })
         }
         "serve-bench" => parse_serve_bench(&mut it),
+        "chaos" => {
+            let model_str =
+                it.next().ok_or_else(|| ParseError("'chaos' needs a model name".into()))?;
+            let model: ModelKind = model_str
+                .parse()
+                .map_err(|e: fathom::ParseModelError| ParseError(e.to_string()))?;
+            let mut seed = 0xFA7408u64;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--seed" => {
+                        i += 1;
+                        seed = rest
+                            .get(i)
+                            .ok_or_else(|| ParseError("--seed needs a value".into()))?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?;
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Chaos { model, seed })
+        }
         "run" | "profile" | "trace" | "dot" => {
             let model_str = it
                 .next()
@@ -320,6 +365,7 @@ fn parse_serve_bench(it: &mut std::slice::Iter<'_, String>) -> Result<Command, P
             "--inter-ops" => a.inter_ops = num("--inter-ops", value("--inter-ops")?)?,
             "--load" => a.load = Some(value("--load")?),
             "--out" => a.out = Some(value("--out")?),
+            "--fault-plan" => a.fault_plan = Some(value("--fault-plan")?),
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
         i += 1;
@@ -410,6 +456,30 @@ mod tests {
         assert!(parse(&s(&["serve-bench", "vgg", "--replicas", "0"])).is_err());
         assert!(parse(&s(&["serve-bench", "vgg", "--rps", "0"])).is_err());
         assert!(parse(&s(&["serve-bench"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_fault_plan_flag() {
+        let Command::ServeBench(a) =
+            parse(&s(&["serve-bench", "alexnet", "--fault-plan", "replica0@3=crash"])).unwrap()
+        else {
+            panic!("expected ServeBench");
+        };
+        assert_eq!(a.fault_plan.as_deref(), Some("replica0@3=crash"));
+    }
+
+    #[test]
+    fn chaos_parses_model_and_seed() {
+        assert_eq!(
+            parse(&s(&["chaos", "autoenc"])).unwrap(),
+            Command::Chaos { model: ModelKind::Autoenc, seed: 0xFA7408 }
+        );
+        assert_eq!(
+            parse(&s(&["chaos", "vgg", "--seed", "9"])).unwrap(),
+            Command::Chaos { model: ModelKind::Vgg, seed: 9 }
+        );
+        assert!(parse(&s(&["chaos"])).is_err());
+        assert!(parse(&s(&["chaos", "vgg", "--frob"])).is_err());
     }
 
     #[test]

@@ -11,12 +11,17 @@
 mod args;
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::{parse, Command, RunArgs, ServeArgs, USAGE};
-use fathom::{BuildConfig, Mode, ModelKind, Workload};
-use fathom_dataflow::{checkpoint, export, Device};
+use fathom::{BuildConfig, Mode, ModelKind, ModelScale, Workload};
+use fathom_dataflow::{checkpoint, export, Device, FaultAction, FaultPlan, FaultSite};
 use fathom_profile::{report, runner, OpProfile};
-use fathom_serve::{serve, synth_inputs, BatchRunner, LoadModel, ServeConfig, SessionWorker};
+use fathom_serve::{
+    serve, synth_inputs, BatchRunner, FaultyRunner, LoadModel, RecoveryPolicy, ServeConfig,
+    ServeReport, SessionWorker,
+};
+use fathom_suite::FathomError;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +41,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+fn dispatch(command: Command) -> Result<(), FathomError> {
     match command {
         Command::Help => {
             println!("{USAGE}");
@@ -65,6 +70,7 @@ fn dispatch(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Trace(a) => cmd_trace(a),
         Command::Dot(a) => cmd_dot(a),
         Command::ServeBench(a) => cmd_serve_bench(a),
+        Command::Chaos { model, seed } => cmd_chaos(model, seed),
     }
 }
 
@@ -96,7 +102,7 @@ fn build(a: &RunArgs) -> Box<dyn Workload> {
     a.model.build(&cfg)
 }
 
-fn cmd_run(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_run(a: RunArgs) -> Result<(), FathomError> {
     let mut model = build(&a);
     if let Some(path) = &a.load {
         let file = std::fs::File::open(path)?;
@@ -119,14 +125,14 @@ fn cmd_run(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if let Some(path) = &a.save {
-        let file = std::fs::File::create(path)?;
-        checkpoint::save(model.session(), std::io::BufWriter::new(file))?;
+        // Crash-consistent: temp file, fsync, verify, atomic rename.
+        checkpoint::save_to_path(model.session(), std::path::Path::new(path))?;
         println!("saved variables to {path}");
     }
     Ok(())
 }
 
-fn cmd_profile(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_profile(a: RunArgs) -> Result<(), FathomError> {
     let mut model = build(&a);
     model.step(); // warm-up
     let trace = runner::trace_steps(model.as_mut(), a.steps);
@@ -143,7 +149,7 @@ fn cmd_profile(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_trace(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_trace(a: RunArgs) -> Result<(), FathomError> {
     let out = a.out.clone().expect("parser enforces --out");
     let mut model = build(&a);
     model.step();
@@ -156,7 +162,7 @@ fn cmd_trace(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_serve_bench(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_serve_bench(a: ServeArgs) -> Result<(), FathomError> {
     let cfg = BuildConfig {
         mode: Mode::Inference,
         scale: a.scale,
@@ -186,6 +192,7 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
         queue_cap: a.queue_cap.unwrap_or(8 * a.max_batch),
         deadline_nanos: a.deadline_ms.map(|ms| (ms * 1e6) as u64),
         seed: a.seed,
+        recovery: RecoveryPolicy::default(),
     };
     let load = match (a.clients, a.requests) {
         (None, None) => {
@@ -197,15 +204,36 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
-    let mut runners: Vec<&mut dyn BatchRunner> =
-        workers.iter_mut().map(|w| w as &mut dyn BatchRunner).collect();
-    let report = serve(
-        &mut runners,
-        &serve_cfg,
-        &load,
-        &mut |rng, _id| synth_inputs(&shapes, &domains, rng),
-        a.model.name(),
-    )?;
+    let report = if let Some(spec) = &a.fault_plan {
+        // Wrap every replica in the same seeded plan; `replica<N>` specs
+        // target runners by their position in this vector.
+        let plan = Arc::new(FaultPlan::parse(spec, a.seed).map_err(FathomError::Message)?);
+        println!("fault plan: {spec} (seed {})", plan.seed());
+        let mut faulty: Vec<FaultyRunner<SessionWorker>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| FaultyRunner::new(w, plan.clone(), i))
+            .collect();
+        let mut runners: Vec<&mut dyn BatchRunner> =
+            faulty.iter_mut().map(|w| w as &mut dyn BatchRunner).collect();
+        serve(
+            &mut runners,
+            &serve_cfg,
+            &load,
+            &mut |rng, _id| synth_inputs(&shapes, &domains, rng),
+            a.model.name(),
+        )?
+    } else {
+        let mut runners: Vec<&mut dyn BatchRunner> =
+            workers.iter_mut().map(|w| w as &mut dyn BatchRunner).collect();
+        serve(
+            &mut runners,
+            &serve_cfg,
+            &load,
+            &mut |rng, _id| synth_inputs(&shapes, &domains, rng),
+            a.model.name(),
+        )?
+    };
 
     let ms = |nanos: f64| nanos / 1e6;
     println!("{} | serve-bench | {:?}", a.model.name(), load);
@@ -231,6 +259,7 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
         report.mean_batch_size(),
         report.max_queue_depth()
     );
+    print_recovery(&report);
     if let Some(path) = &a.out {
         std::fs::write(path, report.to_json())?;
         println!("wrote report to {path}");
@@ -238,7 +267,153 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_dot(a: RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+/// One line of supervisor activity, only when there was any — fault-free
+/// output stays identical to earlier builds.
+fn print_recovery(report: &ServeReport) {
+    if report.recovery.any() {
+        let r = &report.recovery;
+        println!(
+            "recovery: crashes {}  retried {}  dropped {}  quarantines {}  recoveries {}  dead replicas {}",
+            r.crashes, r.retried, r.dropped, r.quarantines, r.recoveries, r.dead_replicas
+        );
+    }
+}
+
+/// Runs seeded fault-injection probes across the three recovery layers —
+/// executor rollback, checkpoint integrity, serve supervision — and
+/// fails (nonzero exit) if any layer does not recover.
+fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
+    println!("{} | chaos probes | seed {seed}", model.name());
+    let mut failures = 0u32;
+    let probe = |name: &str, ok: bool, failures: &mut u32| {
+        if ok {
+            println!("PASS  {name}");
+        } else {
+            println!("FAIL  {name}");
+            *failures += 1;
+        }
+    };
+
+    // Probe 1: an injected op panic mid-step must roll the session back
+    // to its pre-step state and leave it usable.
+    {
+        let cfg = BuildConfig {
+            mode: Mode::Training,
+            scale: ModelScale::Reference,
+            device: Device::cpu(1),
+            seed,
+            batch: None,
+        };
+        let mut m = model.build(&cfg);
+        let mut before = Vec::new();
+        checkpoint::save(m.session(), &mut before)?;
+        // Hit 2 fires before any optimizer Apply* op can commit, so the
+        // rolled-back state must be byte-identical to `before`.
+        m.session_mut().set_fault_plan(Some(Arc::new(
+            FaultPlan::new(seed).with(FaultSite::ExecOp, 2, FaultAction::Panic),
+        )));
+        // The injected panic is expected; keep its backtrace off stderr.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = m.step();
+        }))
+        .is_err();
+        std::panic::set_hook(hook);
+        m.session_mut().set_fault_plan(None);
+        let mut after = Vec::new();
+        checkpoint::save(m.session(), &mut after)?;
+        let rolled_back = before == after;
+        let reusable = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = m.step();
+        }))
+        .is_ok();
+        probe(
+            "exec: injected op panic rolled back, session reusable",
+            panicked && rolled_back && reusable,
+            &mut failures,
+        );
+
+        // Probe 2: seeded corruption of checkpoint bytes must surface as
+        // a typed error, and the crash-consistent save must verify.
+        let mut clean = Vec::new();
+        checkpoint::save(m.session(), &mut clean)?;
+        let plan = FaultPlan::new(seed);
+        let mut flipped = clean.clone();
+        plan.corrupt(&mut flipped, &FaultAction::BitFlips { flips: 4 });
+        let flip_detected = checkpoint::verify(flipped.as_slice()).is_err();
+        let mut torn = clean.clone();
+        plan.corrupt(&mut torn, &FaultAction::Truncate { keep: clean.len() / 2 });
+        let torn_detected = checkpoint::verify(torn.as_slice()).is_err();
+        let dir = std::env::temp_dir().join(format!("fathom-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.ckpt", model.name()));
+        checkpoint::save_to_path(m.session(), &path)?;
+        let resumable = checkpoint::load_from_path(m.session_mut(), &path).is_ok();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+        probe(
+            "checkpoint: bit flips and truncation detected, atomic save resumes",
+            flip_detected && torn_detected && resumable,
+            &mut failures,
+        );
+    }
+
+    // Probe 3: a replica crash mid-run must retry the batch on the
+    // healthy replica — recovery counters nonzero, no request lost.
+    {
+        let cfg = BuildConfig {
+            mode: Mode::Inference,
+            scale: ModelScale::Reference,
+            device: Device::cpu(1),
+            seed,
+            batch: Some(2),
+        };
+        let plan = Arc::new(
+            FaultPlan::new(seed).with(FaultSite::ServeBatch { replica: 0 }, 0, FaultAction::Crash),
+        );
+        let mut workers = Vec::with_capacity(2);
+        for i in 0..2 {
+            workers.push(FaultyRunner::new(SessionWorker::new(model, &cfg)?, plan.clone(), i));
+        }
+        let shapes = workers[0].inner().item_shapes();
+        let domains = workers[0].inner().domains();
+        let serve_cfg = ServeConfig { seed, ..ServeConfig::new(2) };
+        let load = LoadModel::Closed { clients: 2, requests: 8 };
+        let mut runners: Vec<&mut dyn BatchRunner> =
+            workers.iter_mut().map(|w| w as &mut dyn BatchRunner).collect();
+        let report = serve(
+            &mut runners,
+            &serve_cfg,
+            &load,
+            &mut |rng, _id| synth_inputs(&shapes, &domains, rng),
+            model.name(),
+        )?;
+        println!(
+            "  serve: issued {}  completed {}  shed {}  timed-out {}",
+            report.issued, report.completed, report.shed, report.timed_out
+        );
+        print_recovery(&report);
+        let conserved = report.issued == report.completed + report.shed + report.timed_out;
+        let recovered = report.recovery.crashes >= 1
+            && report.recovery.retried >= 1
+            && report.completed == report.issued;
+        probe(
+            "serve: replica crash retried on healthy replica, zero requests lost",
+            conserved && recovered,
+            &mut failures,
+        );
+    }
+
+    if failures == 0 {
+        println!("chaos: all probes recovered");
+        Ok(())
+    } else {
+        Err(FathomError::Message(format!("chaos: {failures} probe(s) failed")))
+    }
+}
+
+fn cmd_dot(a: RunArgs) -> Result<(), FathomError> {
     let out = a.out.clone().expect("parser enforces --out");
     let model = build(&a);
     let dot = export::to_dot(model.session().graph());

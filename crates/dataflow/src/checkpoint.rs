@@ -1,12 +1,20 @@
 //! Variable checkpointing: save and restore a session's trained state.
 //!
 //! The format is a small self-describing binary container (magic,
-//! version, then one record per variable: name, shape, raw f32 data,
-//! little-endian throughout). No external serialization crate is needed
-//! and files are portable across runs of the same model topology.
+//! version, one record per variable — name, shape, raw f32 data — and a
+//! trailing FNV-1a checksum, little-endian throughout). No external
+//! serialization crate is needed and files are portable across runs of
+//! the same model topology.
+//!
+//! Durability: [`save_to_path`] is crash-consistent. It writes to a
+//! temporary file in the same directory, fsyncs it, re-reads and
+//! verifies the bytes, then atomically renames over the destination and
+//! fsyncs the parent directory. A crash at any point leaves either the
+//! old checkpoint or the new one, never a torn file.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 use fathom_tensor::{Shape, Tensor};
 
@@ -14,7 +22,18 @@ use crate::exec::Session;
 use crate::op::OpKind;
 
 const MAGIC: &[u8; 8] = b"FATHOMCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Caps on self-described sizes. A corrupt length field must fail with a
+/// typed error before it can drive a pathological allocation.
+const MAX_VARIABLES: u64 = 1 << 20;
+const MAX_NAME_LEN: u64 = 1 << 12;
+const MAX_RANK: u64 = 16;
+const MAX_ELEMENTS: u64 = 1 << 28;
+
+/// Elements decoded per chunk while streaming tensor data (64 KiB of
+/// bytes): memory for a record grows only as its bytes actually arrive.
+const CHUNK_ELEMS: usize = 16 * 1024;
 
 /// Errors produced while reading a checkpoint.
 #[derive(Debug)]
@@ -23,6 +42,9 @@ pub enum CheckpointError {
     Io(io::Error),
     /// The stream is not a Fathom checkpoint or has a newer version.
     BadHeader(String),
+    /// The payload parsed but its checksum does not match: the bytes
+    /// were altered after the checkpoint was written.
+    Corrupt(String),
     /// The checkpoint does not match the session's variables.
     Mismatch(String),
 }
@@ -32,16 +54,96 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             CheckpointError::BadHeader(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
             CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
         }
     }
 }
 
-impl std::error::Error for CheckpointError {}
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for CheckpointError {
     fn from(e: io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and plenty to catch the
+/// single-bit flips and short writes this format defends against. Not a
+/// cryptographic integrity check.
+#[derive(Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn digest(self) -> u64 {
+        self.0
+    }
+}
+
+/// A writer that hashes every byte passing through it.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter { inner, hash: Fnv64::new() }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that hashes every byte passing through it, so the trailing
+/// checksum can be validated against exactly the bytes parsed.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader { inner, hash: Fnv64::new() }
+    }
+
+    fn digest(&self) -> u64 {
+        self.hash.digest()
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
     }
 }
 
@@ -87,13 +189,15 @@ fn variable_key(session: &Session, id: crate::graph::NodeId) -> String {
         .unwrap_or_else(|| id.to_string())
 }
 
-/// Writes every variable of `session` to `w`. A reader can take a `&mut`
-/// reference, so files, buffers, and sockets all work.
+/// Writes every variable of `session` to `w`, followed by a checksum of
+/// everything written. A reader can take a `&mut` reference, so files,
+/// buffers, and sockets all work.
 ///
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn save(session: &Session, mut w: impl Write) -> Result<(), CheckpointError> {
+pub fn save(session: &Session, w: impl Write) -> Result<(), CheckpointError> {
+    let mut w = HashingWriter::new(w);
     let vars = session.graph().variables();
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
@@ -111,22 +215,17 @@ pub fn save(session: &Session, mut w: impl Write) -> Result<(), CheckpointError>
             w.write_all(&v.to_le_bytes())?;
         }
     }
+    let digest = w.hash.digest();
+    w.inner.write_all(&digest.to_le_bytes())?;
+    w.inner.flush()?;
     Ok(())
 }
 
-/// Restores variables saved by [`save`] into `session`, matching by
-/// variable name. Every variable in the session must be present in the
-/// checkpoint with an identical shape; extra checkpoint entries are an
-/// error too, so topology drift is caught loudly.
-///
-/// # Errors
-///
-/// Returns [`CheckpointError::BadHeader`] for foreign or truncated data
-/// (a premature EOF anywhere in the stream is reported as `BadHeader`,
-/// not as a raw I/O error), [`CheckpointError::Mismatch`] when
-/// names/shapes disagree with the session, or an I/O error for genuine
-/// transport failures.
-pub fn load(session: &mut Session, mut r: impl Read) -> Result<(), CheckpointError> {
+/// Parses header and records from `r`, enforcing the size caps, then
+/// validates the trailing checksum. Everything before the checksum is
+/// hashed; the checksum itself is read from the raw inner stream.
+fn read_payload(r: impl Read) -> Result<HashMap<String, Tensor>, CheckpointError> {
+    let mut r = HashingReader::new(r);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(eof_is_truncation)?;
     if &magic != MAGIC {
@@ -138,29 +237,98 @@ pub fn load(session: &mut Session, mut r: impl Read) -> Result<(), CheckpointErr
             "unsupported version {version} (expected {VERSION})"
         )));
     }
-    let count = read_u64(&mut r).map_err(eof_is_truncation)? as usize;
-    let mut loaded: HashMap<String, Tensor> = HashMap::with_capacity(count);
+    let count = read_u64(&mut r).map_err(eof_is_truncation)?;
+    if count > MAX_VARIABLES {
+        return Err(CheckpointError::BadHeader(format!(
+            "implausible variable count {count} (cap {MAX_VARIABLES})"
+        )));
+    }
+    let mut loaded: HashMap<String, Tensor> = HashMap::with_capacity(count as usize);
     for _ in 0..count {
-        let name_len = read_u64(&mut r).map_err(eof_is_truncation)? as usize;
-        let mut name_bytes = vec![0u8; name_len];
+        let name_len = read_u64(&mut r).map_err(eof_is_truncation)?;
+        if name_len > MAX_NAME_LEN {
+            return Err(CheckpointError::BadHeader(format!(
+                "implausible name length {name_len} (cap {MAX_NAME_LEN})"
+            )));
+        }
+        let mut name_bytes = vec![0u8; name_len as usize];
         r.read_exact(&mut name_bytes).map_err(eof_is_truncation)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| CheckpointError::BadHeader("variable name is not UTF-8".into()))?;
-        let rank = read_u64(&mut r).map_err(eof_is_truncation)? as usize;
-        let mut dims = Vec::with_capacity(rank);
+        let rank = read_u64(&mut r).map_err(eof_is_truncation)?;
+        if rank > MAX_RANK {
+            return Err(CheckpointError::BadHeader(format!(
+                "implausible rank {rank} (cap {MAX_RANK})"
+            )));
+        }
+        let mut dims = Vec::with_capacity(rank as usize);
+        let mut elements: u64 = 1;
         for _ in 0..rank {
-            dims.push(read_u64(&mut r).map_err(eof_is_truncation)? as usize);
+            let d = read_u64(&mut r).map_err(eof_is_truncation)?;
+            elements = elements.saturating_mul(d);
+            if elements > MAX_ELEMENTS {
+                return Err(CheckpointError::BadHeader(format!(
+                    "implausible tensor size (cap {MAX_ELEMENTS} elements)"
+                )));
+            }
+            dims.push(d as usize);
         }
         let shape = Shape::new(dims);
-        let mut data = vec![0.0f32; shape.num_elements()];
-        for v in &mut data {
-            let mut b = [0u8; 4];
-            r.read_exact(&mut b).map_err(eof_is_truncation)?;
-            *v = f32::from_le_bytes(b);
+        let total = shape.num_elements();
+        // Stream the payload in chunks: memory grows with bytes actually
+        // read, so a corrupt size field hits EOF before a big allocation.
+        let mut data = Vec::with_capacity(total.min(CHUNK_ELEMS));
+        let mut byte_buf = vec![0u8; CHUNK_ELEMS * 4];
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK_ELEMS);
+            let chunk = &mut byte_buf[..n * 4];
+            r.read_exact(chunk).map_err(eof_is_truncation)?;
+            for c in chunk.chunks_exact(4) {
+                data.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            }
+            remaining -= n;
         }
         loaded.insert(name, Tensor::from_vec(data, shape));
     }
+    let expected = r.digest();
+    let mut tail = [0u8; 8];
+    r.inner.read_exact(&mut tail).map_err(eof_is_truncation)?;
+    let stored = u64::from_le_bytes(tail);
+    if stored != expected {
+        return Err(CheckpointError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {expected:#018x}"
+        )));
+    }
+    Ok(loaded)
+}
 
+/// Structurally validates checkpoint bytes — header, records, size caps,
+/// checksum — without needing a session. Returns the variable count.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadHeader`] for malformed or truncated
+/// data and [`CheckpointError::Corrupt`] for a checksum mismatch.
+pub fn verify(r: impl Read) -> Result<usize, CheckpointError> {
+    Ok(read_payload(r)?.len())
+}
+
+/// Restores variables saved by [`save`] into `session`, matching by
+/// variable name. Every variable in the session must be present in the
+/// checkpoint with an identical shape; extra checkpoint entries are an
+/// error too, so topology drift is caught loudly.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadHeader`] for foreign or truncated data
+/// (a premature EOF anywhere in the stream is reported as `BadHeader`,
+/// not as a raw I/O error), [`CheckpointError::Corrupt`] when the
+/// trailing checksum disagrees with the bytes read,
+/// [`CheckpointError::Mismatch`] when names/shapes disagree with the
+/// session, or an I/O error for genuine transport failures.
+pub fn load(session: &mut Session, r: impl Read) -> Result<(), CheckpointError> {
+    let mut loaded = read_payload(r)?;
     let vars = session.graph().variables();
     if vars.len() != loaded.len() {
         return Err(CheckpointError::Mismatch(format!(
@@ -185,6 +353,54 @@ pub fn load(session: &mut Session, mut r: impl Read) -> Result<(), CheckpointErr
         session.assign(id, value).expect("shape verified above");
     }
     Ok(())
+}
+
+/// Crash-consistent save: writes `<path>.tmp`, fsyncs it, re-reads and
+/// verifies the bytes, atomically renames over `path`, then fsyncs the
+/// parent directory so the rename itself is durable.
+///
+/// # Errors
+///
+/// Returns I/O errors from any step, or the verification error if the
+/// just-written bytes do not read back as a valid checkpoint.
+pub fn save_to_path(session: &Session, path: &Path) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    {
+        // Serialize to memory first: one write syscall instead of one
+        // per f32, and no torn partial record if serialization fails.
+        let mut bytes = Vec::new();
+        save(session, &mut bytes)?;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    // Resume verification: never promote bytes we cannot read back.
+    match verify(std::io::BufReader::new(std::fs::File::open(&tmp)?)) {
+        Ok(_) => {}
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+        // Directory fsync makes the rename durable; some filesystems
+        // refuse to open directories, which is not worth failing over.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads the checkpoint at `path` into `session` via [`load`].
+///
+/// # Errors
+///
+/// Same as [`load`], plus the open error for a missing file.
+pub fn load_from_path(session: &mut Session, path: &Path) -> Result<(), CheckpointError> {
+    load(session, std::io::BufReader::new(std::fs::File::open(path)?))
 }
 
 /// Is a variable node kind (used by tests).
@@ -285,5 +501,59 @@ mod tests {
         let err = load(&mut s, buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::BadHeader(_)), "got {err}");
         assert!(err.to_string().contains("truncated"), "got {err}");
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let (_, trained, _, _) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+        // Flip one bit in the f32 payload region (past header + name):
+        // only the checksum can catch this class of corruption.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        let err = verify(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt(_) | CheckpointError::BadHeader(_)),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_clean_bytes_and_counts_variables() {
+        let (_, trained, _, _) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+        assert_eq!(verify(buf.as_slice()).expect("clean checkpoint verifies"), 2);
+    }
+
+    #[test]
+    fn implausible_sizes_fail_before_allocation() {
+        let (_, trained, _, _) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+        // Stamp a huge variable count into the header (offset 12).
+        buf[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = verify(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadHeader(_)), "got {err}");
+        assert!(err.to_string().contains("implausible"), "got {err}");
+    }
+
+    #[test]
+    fn save_to_path_round_trips_and_replaces_atomically() {
+        let (g, trained, w, _) = trained_session();
+        let dir = std::env::temp_dir().join(format!("fathom-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.ckpt");
+        save_to_path(&trained, &path).expect("first save");
+        // Overwrite with the same state: must go through the tmp+rename
+        // path without leaving the .tmp file behind.
+        save_to_path(&trained, &path).expect("second save");
+        assert!(!path.with_extension("tmp").exists(), "tmp file must be cleaned up");
+        let mut fresh = Session::new(g, Device::cpu(1));
+        load_from_path(&mut fresh, &path).expect("loads");
+        assert_eq!(fresh.variable_value(w).unwrap(), trained.variable_value(w).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

@@ -43,6 +43,7 @@ use fathom_tensor::{BufferPool, ExecPool, RecycleStats, Rng, Tensor};
 
 use crate::cost;
 use crate::device::Device;
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::graph::{Graph, NodeId};
 use crate::op::OpKind;
 use crate::trace::{RunTrace, TraceEvent};
@@ -113,11 +114,67 @@ struct Plan {
 /// The mutable state touched by stateful ops: variables, optimizer slots,
 /// and the random stream. Split out of [`Session`] so the executors can
 /// borrow it independently of the graph and pools.
+///
+/// The undo journal makes a failed run recoverable: before an `Apply*`
+/// op first mutates a variable or optimizer slot within a run, the prior
+/// value is recorded; if the run errors (or an op panics), [`Session::run`]
+/// replays the journal so the session lands back in exactly the state it
+/// had when the failed run began.
 #[derive(Debug)]
 struct SessionState {
     variables: HashMap<NodeId, Tensor>,
     slots: HashMap<(NodeId, &'static str), Tensor>,
     rng: Rng,
+    /// Pre-mutation variable values for the in-flight run.
+    journal_vars: HashMap<NodeId, Tensor>,
+    /// Pre-mutation optimizer-slot values for the in-flight run
+    /// (`None` = the slot did not exist yet).
+    journal_slots: HashMap<(NodeId, &'static str), Option<Tensor>>,
+}
+
+impl SessionState {
+    /// Records a variable's value before its first mutation this run.
+    fn journal_variable(&mut self, id: NodeId) {
+        if !self.journal_vars.contains_key(&id) {
+            if let Some(v) = self.variables.get(&id) {
+                let v = v.clone();
+                self.journal_vars.insert(id, v);
+            }
+        }
+    }
+
+    /// Records an optimizer slot's value before its first mutation this run.
+    fn journal_slot(&mut self, key: (NodeId, &'static str)) {
+        if !self.journal_slots.contains_key(&key) {
+            let prior = self.slots.get(&key).cloned();
+            self.journal_slots.insert(key, prior);
+        }
+    }
+
+    /// Discards the journal after a successful run.
+    fn commit(&mut self) {
+        self.journal_vars.clear();
+        self.journal_slots.clear();
+    }
+
+    /// Replays the journal after a failed run, restoring every mutated
+    /// variable and slot to its pre-run value and the RNG to `rng`.
+    fn rollback(&mut self, rng: Rng) {
+        for (id, value) in self.journal_vars.drain() {
+            self.variables.insert(id, value);
+        }
+        for (key, prior) in self.journal_slots.drain() {
+            match prior {
+                Some(value) => {
+                    self.slots.insert(key, value);
+                }
+                None => {
+                    self.slots.remove(&key);
+                }
+            }
+        }
+        self.rng = rng;
+    }
 }
 
 /// Executes a [`Graph`] on a [`Device`], holding variable state, optimizer
@@ -153,6 +210,8 @@ pub struct Session {
     recycler: Arc<BufferPool>,
     step: u64,
     tracing: bool,
+    /// Armed fault schedule; probed once per executed op when present.
+    fault: Option<Arc<FaultPlan>>,
     trace: RunTrace,
     plan_cache: HashMap<Vec<NodeId>, Arc<Plan>>,
     /// Per-node static cost estimates, filled lazily on first traced run
@@ -194,10 +253,13 @@ impl Session {
                 variables,
                 slots: HashMap::new(),
                 rng: Rng::seeded(seed),
+                journal_vars: HashMap::new(),
+                journal_slots: HashMap::new(),
             },
             recycler: Arc::new(BufferPool::new()),
             step: 0,
             tracing: false,
+            fault: None,
             trace: RunTrace::new(),
             plan_cache: HashMap::new(),
             cost_cache: Vec::new(),
@@ -225,6 +287,15 @@ impl Session {
     /// Starts recording a [`TraceEvent`] per executed op.
     pub fn enable_tracing(&mut self) {
         self.tracing = true;
+    }
+
+    /// Arms (or clears) a fault-injection plan. When set, every executed
+    /// op probes [`FaultSite::ExecOp`]; a firing `Panic` aborts the run
+    /// with an "injected fault" panic and a firing `PoisonNan` replaces
+    /// the op's output with NaNs. Both paths exercise the same recovery
+    /// machinery real kernel failures do.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault = plan;
     }
 
     /// Stops recording and returns everything captured so far.
@@ -282,14 +353,16 @@ impl Session {
     ///
     /// Feed and fetch validation (`UnknownNode`, `FeedShape`,
     /// `MissingFeed`) happens before any op executes and never mutates
-    /// session state. After a *runtime* error (e.g. `BadLabels` mid-step)
-    /// the serial executor stops exactly at the failing op, but under the
-    /// parallel executor the session's mutable state — variables,
-    /// optimizer slots, and the RNG stream — is unspecified: independent
-    /// ops already in flight, including `Apply*` updates positioned after
-    /// the failing op in plan order, may or may not have committed before
-    /// the abort was observed. Treat the session as tainted after a
-    /// failed run; don't resume training from it.
+    /// session state. A *runtime* failure mid-step (e.g. `BadLabels`, an
+    /// injected fault, or a kernel panic) rolls the session back before
+    /// the error (or panic) reaches the caller: every variable and
+    /// optimizer slot mutated by the failed run is restored from the undo
+    /// journal and the RNG stream is rewound, so the session is exactly
+    /// as it was when the failed `run` began. A failed step is therefore
+    /// a no-op — retry it, skip it, or checkpoint afterwards; the session
+    /// is never tainted. This holds for both executors: under the
+    /// parallel scheduler, `Apply*` updates that committed before the
+    /// abort was observed are undone by the same journal.
     pub fn run(&mut self, fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<Vec<Tensor>, ExecError> {
         let started = Instant::now();
         for &f in fetches {
@@ -322,11 +395,31 @@ impl Session {
                 return Err(ExecError::MissingFeed(id));
             }
         }
-        match self.sched.clone() {
-            Some(sched) if !self.device.is_modeled() => {
-                self.run_parallel(fetches, &feed_map, &plan, &sched, started)
+        // Recovery point: the RNG snapshot plus the state journal filled
+        // by `Apply*` ops lets a failed run (typed error *or* op panic)
+        // be undone completely before it surfaces to the caller.
+        let rng_snapshot = self.state.rng.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match self.sched.clone() {
+                Some(sched) if !self.device.is_modeled() => {
+                    self.run_parallel(fetches, &feed_map, &plan, &sched, started)
+                }
+                _ => self.run_serial(fetches, &feed_map, &plan, started),
             }
-            _ => self.run_serial(fetches, &feed_map, &plan, started),
+        }));
+        match outcome {
+            Ok(Ok(out)) => {
+                self.state.commit();
+                Ok(out)
+            }
+            Ok(Err(err)) => {
+                self.state.rollback(rng_snapshot);
+                Err(err)
+            }
+            Err(payload) => {
+                self.state.rollback(rng_snapshot);
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 
@@ -355,7 +448,10 @@ impl Session {
         let mut live_bytes: usize = 0;
         let mut peak_bytes: usize = 0;
         for (pos, &id) in plan.order.iter().enumerate() {
-            let value = self.execute_node(id, feed_map, &values)?;
+            let mut value = self.execute_node(id, feed_map, &values)?;
+            if let Some(action) = self.fault.as_ref().and_then(|f| f.check(FaultSite::ExecOp)) {
+                apply_exec_fault(&action, id, &mut value);
+            }
             live_bytes += value.len() * 4;
             peak_bytes = peak_bytes.max(live_bytes);
             values[id.index()] = Some(value);
@@ -411,6 +507,7 @@ impl Session {
             self.fill_cost_cache(plan);
         }
         let total = plan.order.len();
+        let fault = self.fault.clone();
         let graph = &self.graph;
         let pool = &self.pool;
         let recycler = &self.recycler;
@@ -523,7 +620,10 @@ impl Session {
             // its producer before the dependency count that queued this
             // op reached zero, and stays alive until this op completes.
             match dispatch_op(graph, pool, id, feed_map, |n| unsafe { slots.get(n.index()) }, None) {
-                Ok(value) => {
+                Ok(mut value) => {
+                    if let Some(action) = fault.as_ref().and_then(|f| f.check(FaultSite::ExecOp)) {
+                        apply_exec_fault(&action, id, &mut value);
+                    }
                     if tracing {
                         let nanos = t0.elapsed().as_nanos() as f64;
                         op_nanos[pos].store(nanos.to_bits(), Ordering::Relaxed);
@@ -541,7 +641,10 @@ impl Session {
             let t0 = Instant::now();
             // SAFETY: as in `run_pure`.
             match dispatch_op(graph, pool, id, feed_map, |n| unsafe { slots.get(n.index()) }, Some(st)) {
-                Ok(value) => {
+                Ok(mut value) => {
+                    if let Some(action) = fault.as_ref().and_then(|f| f.check(FaultSite::ExecOp)) {
+                        apply_exec_fault(&action, id, &mut value);
+                    }
                     if tracing {
                         let nanos = t0.elapsed().as_nanos() as f64;
                         op_nanos[pos].store(nanos.to_bits(), Ordering::Relaxed);
@@ -829,6 +932,23 @@ fn extract_fetches(fetches: &[NodeId], values: &mut [Option<Tensor>]) -> Vec<Ten
         .collect()
 }
 
+/// Applies a fired [`FaultSite::ExecOp`] fault to a freshly computed op
+/// value: `Panic` aborts the run (the caller's recovery machinery rolls
+/// the session back), `PoisonNan` overwrites the value with NaNs to
+/// model silent numerical corruption. Byte- and serve-level actions are
+/// inert at exec sites.
+fn apply_exec_fault(action: &FaultAction, id: NodeId, value: &mut Tensor) {
+    match action {
+        FaultAction::Panic => panic!("injected fault: op panic at node {id}"),
+        FaultAction::PoisonNan => {
+            for v in value.data_mut() {
+                *v = f32::NAN;
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Resolves the variable an `Apply*` node updates.
 fn variable_target(graph: &Graph, state: &SessionState, apply: NodeId) -> Result<NodeId, ExecError> {
     let var_id = graph.node(apply).inputs[0];
@@ -969,6 +1089,7 @@ where
         OpKind::ApplyGradientDescent { lr } => {
             let st = serial_state();
             let var_id = variable_target(graph, st, id)?;
+            st.journal_variable(var_id);
             let grad = input(1);
             let lr = *lr;
             let var = st.variables.get_mut(&var_id).expect("checked above");
@@ -980,6 +1101,8 @@ where
         OpKind::ApplyMomentum { lr, momentum } => {
             let st = serial_state();
             let var_id = variable_target(graph, st, id)?;
+            st.journal_variable(var_id);
+            st.journal_slot((id, "momentum"));
             let grad = input(1);
             let (lr, momentum) = (*lr, *momentum);
             let accum = st
@@ -998,6 +1121,9 @@ where
         OpKind::ApplyRmsProp { lr, decay, momentum, epsilon } => {
             let st = serial_state();
             let var_id = variable_target(graph, st, id)?;
+            st.journal_variable(var_id);
+            st.journal_slot((id, "ms"));
+            st.journal_slot((id, "mom"));
             let grad = input(1);
             let (lr, decay, momentum, epsilon) = (*lr, *decay, *momentum, *epsilon);
             let ms = st
@@ -1024,6 +1150,10 @@ where
         OpKind::ApplyAdam { lr, beta1, beta2, epsilon } => {
             let st = serial_state();
             let var_id = variable_target(graph, st, id)?;
+            st.journal_variable(var_id);
+            st.journal_slot((id, "t"));
+            st.journal_slot((id, "m"));
+            st.journal_slot((id, "v"));
             let grad = input(1);
             let (lr, beta1, beta2, epsilon) = (*lr, *beta1, *beta2, *epsilon);
             let t_slot = st.slots.entry((id, "t")).or_insert_with(|| Tensor::scalar(0.0));
@@ -1459,6 +1589,119 @@ mod tests {
         // The session (and its inter-op pool) must remain usable.
         let out = s.run1(rows, &[(idx, Tensor::from(vec![1.0, 0.0]))]).unwrap();
         assert_eq!(out.data(), &[3.0, 4.0, 1.0, 2.0]);
+    }
+
+    /// A graph whose plan runs an SGD update *before* a CTC loss that can
+    /// be made to fail via bad labels: the classic "state committed, then
+    /// the step died" shape. Returns (graph, label placeholder, logits
+    /// placeholder, variable, apply node, loss node).
+    fn apply_then_failable_loss() -> (Graph, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![1.0, 2.0]));
+        let grad = g.random_normal([2]);
+        let apply = g.add(OpKind::ApplyGradientDescent { lr: 0.1 }, &[v, grad]);
+        let logits = g.placeholder("logits", Shape::new(vec![4, 1, 3]));
+        let labels = g.placeholder("labels", Shape::matrix(1, 2));
+        let loss = g.ctc_loss(logits, labels, 0);
+        (g, labels, logits, v, apply, loss)
+    }
+
+    fn rollback_after_mid_run_error(device: Device) {
+        let (g, labels, logits, v, apply, loss) = apply_then_failable_loss();
+        let mut s = Session::with_seed(g, device, 42);
+        let before = s.variable_value(v).unwrap().clone();
+        // Label 0 collides with the blank symbol: the run fails after the
+        // apply op already committed its variable update in plan order.
+        let err = s
+            .run(
+                &[apply, loss],
+                &[
+                    (logits, Tensor::zeros([4, 1, 3])),
+                    (labels, Tensor::from_vec(vec![0.0, 1.0], [1, 2])),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BadLabels(_)));
+        assert_eq!(
+            s.variable_value(v).unwrap(),
+            &before,
+            "failed run must roll the committed SGD update back"
+        );
+        // The RNG must be rewound too: the post-failure run draws the
+        // same gradient a never-failed session would.
+        let good = [
+            (logits, Tensor::zeros([4, 1, 3])),
+            (labels, Tensor::from_vec(vec![1.0, 2.0], [1, 2])),
+        ];
+        s.run(&[apply, loss], &good).expect("session recovered");
+        let recovered = s.variable_value(v).unwrap().clone();
+        let (g2, labels2, logits2, v2, apply2, loss2) = apply_then_failable_loss();
+        let mut fresh = Session::with_seed(g2, Device::cpu(1), 42);
+        fresh
+            .run(
+                &[apply2, loss2],
+                &[
+                    (logits2, Tensor::zeros([4, 1, 3])),
+                    (labels2, Tensor::from_vec(vec![1.0, 2.0], [1, 2])),
+                ],
+            )
+            .expect("runs");
+        assert_eq!(
+            recovered,
+            fresh.variable_value(v2).unwrap().clone(),
+            "a rolled-back failure must leave no trace on later steps"
+        );
+    }
+
+    #[test]
+    fn serial_executor_rolls_back_failed_runs() {
+        rollback_after_mid_run_error(Device::cpu(1));
+    }
+
+    #[test]
+    fn parallel_executor_rolls_back_failed_runs() {
+        rollback_after_mid_run_error(Device::cpu_inter_op(1, 4));
+    }
+
+    #[test]
+    fn injected_op_panic_rolls_back_and_session_stays_usable() {
+        use crate::fault::{FaultAction, FaultPlan, FaultSite};
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![1.0, 1.0]));
+        let grad = g.constant(Tensor::from(vec![0.5, -0.5]));
+        let apply = g.add(OpKind::ApplyGradientDescent { lr: 0.1 }, &[v, grad]);
+        let mut s = Session::new(g, Device::cpu(1));
+        // Fire after the apply committed (plan: variable, constant, apply).
+        s.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(0).with(FaultSite::ExecOp, 2, FaultAction::Panic),
+        )));
+        let before = s.variable_value(v).unwrap().clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.run(&[apply], &[]);
+        }));
+        assert!(result.is_err(), "injected panic must surface");
+        assert_eq!(s.variable_value(v).unwrap(), &before, "panic must roll state back");
+        s.set_fault_plan(None);
+        s.run(&[apply], &[]).expect("session recovered after injected panic");
+        assert!((s.variable_value(v).unwrap().data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn injected_nan_poisoning_is_visible_in_the_output() {
+        use crate::fault::{FaultAction, FaultPlan, FaultSite};
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(4));
+        let y = g.neg(x);
+        let mut s = Session::new(g, Device::cpu(1));
+        // Plan order: placeholder (hit 0), neg (hit 1).
+        s.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(0).with(FaultSite::ExecOp, 1, FaultAction::PoisonNan),
+        )));
+        let out = s.run1(y, &[(x, Tensor::from(vec![1.0, 2.0, 3.0, 4.0]))]).unwrap();
+        assert!(out.data().iter().all(|v| v.is_nan()), "poisoned op must emit NaNs");
+        s.set_fault_plan(None);
+        let clean = s.run1(y, &[(x, Tensor::from(vec![1.0, 2.0, 3.0, 4.0]))]).unwrap();
+        assert_eq!(clean.data(), &[-1.0, -2.0, -3.0, -4.0]);
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! Deterministic fault injection: a seeded [`FaultPlan`] that fires
+//! failures at named points in the stack.
+//!
+//! Production DL clusters are defined by partial failure — op kernels
+//! that die mid-step, checkpoints cut short by a crashed writer, serving
+//! replicas that stall or disappear. Every recovery path in this repo
+//! (session rollback, crash-consistent checkpoints, the serve
+//! supervisor) is driven by this module in tests, so each path is
+//! *reachable on demand and reproducibly*: the same plan and seed always
+//! fire the same faults at the same points, which is what lets
+//! `tests/serving.rs` assert bitwise-identical reports for runs that
+//! include a replica crash.
+//!
+//! A plan is a list of armed faults. Each fault names a [`FaultSite`]
+//! (where), a hit index (the N-th time execution passes that site), and
+//! a [`FaultAction`] (what happens). Instrumented code calls
+//! [`FaultPlan::check`] at each site; the call is a no-op returning
+//! `None` unless an armed fault's turn has come. Sites are cheap to
+//! probe and plans are `Sync`, so one plan can drive the executor,
+//! checkpoint IO, and several serve replicas at once.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use fathom_tensor::Rng;
+
+/// A named point where a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// One op execution inside `Session::run` (serial or parallel).
+    ExecOp,
+    /// Checkpoint bytes on their way to storage.
+    CheckpointWrite,
+    /// Checkpoint bytes on their way back from storage.
+    CheckpointRead,
+    /// One batch dispatch on a serve replica.
+    ServeBatch {
+        /// Replica index within the serving engine's runner set.
+        replica: usize,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::ExecOp => write!(f, "op"),
+            FaultSite::CheckpointWrite => write!(f, "ckpt-write"),
+            FaultSite::CheckpointRead => write!(f, "ckpt-read"),
+            FaultSite::ServeBatch { replica } => write!(f, "replica{replica}"),
+        }
+    }
+}
+
+/// What happens when an armed fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with an "injected fault" message (exec sites).
+    Panic,
+    /// Overwrite the op's output with NaNs — silent numerical corruption
+    /// (exec sites).
+    PoisonNan,
+    /// Keep only the first `keep` bytes — a writer that died mid-stream
+    /// (checkpoint sites).
+    Truncate {
+        /// Bytes to keep; everything past this offset is dropped.
+        keep: usize,
+    },
+    /// Flip `flips` seeded bits anywhere in the byte stream — storage
+    /// or transport corruption (checkpoint sites).
+    BitFlips {
+        /// Number of single-bit flips to apply.
+        flips: usize,
+    },
+    /// Fail the batch as if the replica process died (serve sites).
+    Crash,
+    /// Inflate the batch's service time by `nanos` — a straggler
+    /// replica (serve sites).
+    Stall {
+        /// Extra virtual nanoseconds added to the batch's service time.
+        nanos: u64,
+    },
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Panic => write!(f, "panic"),
+            FaultAction::PoisonNan => write!(f, "nan"),
+            FaultAction::Truncate { keep } => write!(f, "truncate:{keep}"),
+            FaultAction::BitFlips { flips } => write!(f, "bitflip:{flips}"),
+            FaultAction::Crash => write!(f, "crash"),
+            FaultAction::Stall { nanos } => write!(f, "stall:{nanos}"),
+        }
+    }
+}
+
+/// One armed fault: fires on the `at_hit`-th (0-based) pass of `site`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Where the fault fires.
+    pub site: FaultSite,
+    /// Which pass of the site triggers it (0 = the first).
+    pub at_hit: u64,
+    /// What happens when it fires.
+    pub action: FaultAction,
+}
+
+#[derive(Debug)]
+struct PlanState {
+    faults: Vec<(FaultSpec, bool)>,
+    hits: HashMap<FaultSite, u64>,
+    fired: Vec<String>,
+}
+
+/// A seeded, shareable schedule of injected failures.
+///
+/// Interior-mutable (`check` takes `&self`) so one plan can be shared
+/// across the executor's worker threads and several serve replicas via
+/// `Arc`. Probing an unarmed site costs one mutex lock and a hash
+/// lookup; code paths that hold no plan at all skip even that.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults armed) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            state: Mutex::new(PlanState { faults: Vec::new(), hits: HashMap::new(), fired: Vec::new() }),
+        }
+    }
+
+    /// Arms one fault; builder-style.
+    #[must_use]
+    pub fn with(self, site: FaultSite, at_hit: u64, action: FaultAction) -> Self {
+        self.state
+            .lock()
+            .expect("fault plan lock")
+            .faults
+            .push((FaultSpec { site, at_hit, action }, false));
+        self
+    }
+
+    /// The seed that parameterizes seeded actions (bit-flip offsets).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Records one pass of `site` and returns the action of any armed
+    /// fault whose turn this is. Each armed fault fires at most once.
+    pub fn check(&self, site: FaultSite) -> Option<FaultAction> {
+        let mut st = self.state.lock().expect("fault plan lock");
+        let hit = {
+            let h = st.hits.entry(site).or_insert(0);
+            let now = *h;
+            *h += 1;
+            now
+        };
+        for (spec, fired) in &mut st.faults {
+            if !*fired && spec.site == site && spec.at_hit == hit {
+                *fired = true;
+                let line = format!("{}@{}={}", spec.site, spec.at_hit, spec.action);
+                let action = spec.action.clone();
+                st.fired.push(line);
+                return Some(action);
+            }
+        }
+        None
+    }
+
+    /// Faults that have fired so far, as `site@hit=action` lines.
+    pub fn fired(&self) -> Vec<String> {
+        self.state.lock().expect("fault plan lock").fired.clone()
+    }
+
+    /// Number of faults that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.state.lock().expect("fault plan lock").fired.len()
+    }
+
+    /// Applies a byte-corrupting `action` to `bytes` deterministically:
+    /// the same plan seed, action, and input length always mutate the
+    /// same offsets. Non-byte actions leave `bytes` untouched.
+    pub fn corrupt(&self, bytes: &mut Vec<u8>, action: &FaultAction) {
+        match action {
+            FaultAction::Truncate { keep } => bytes.truncate(*keep.min(&bytes.len())),
+            FaultAction::BitFlips { flips } => {
+                if bytes.is_empty() {
+                    return;
+                }
+                let mut rng = Rng::seeded(self.seed ^ 0xB17F_11B5);
+                for _ in 0..*flips {
+                    let at = rng.below(bytes.len());
+                    let bit = rng.below(8) as u8;
+                    bytes[at] ^= 1 << bit;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Parses a plan from its textual form:
+    ///
+    /// ```text
+    /// [seed=N;]site@hit=action[;site@hit=action...]
+    /// ```
+    ///
+    /// Sites: `op`, `ckpt-write`, `ckpt-read`, `replica<R>`. Actions:
+    /// `panic`, `nan`, `crash`, `stall:<nanos>`, `truncate:<keep>`,
+    /// `bitflip:<n>`. Example: `seed=7;replica0@2=crash;op@40=nan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed entry.
+    pub fn parse(spec: &str, default_seed: u64) -> Result<FaultPlan, String> {
+        let mut seed = default_seed;
+        let mut faults = Vec::new();
+        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            if let Some(s) = part.strip_prefix("seed=") {
+                seed = s.parse().map_err(|_| format!("bad seed '{s}'"))?;
+                continue;
+            }
+            let (site_hit, action) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault '{part}' is not site@hit=action"))?;
+            let (site_str, hit_str) = site_hit
+                .split_once('@')
+                .ok_or_else(|| format!("fault '{part}' is missing '@hit'"))?;
+            let site = match site_str {
+                "op" => FaultSite::ExecOp,
+                "ckpt-write" => FaultSite::CheckpointWrite,
+                "ckpt-read" => FaultSite::CheckpointRead,
+                other => match other.strip_prefix("replica") {
+                    Some(idx) => FaultSite::ServeBatch {
+                        replica: idx.parse().map_err(|_| format!("bad replica index '{idx}'"))?,
+                    },
+                    None => return Err(format!("unknown fault site '{other}'")),
+                },
+            };
+            let at_hit: u64 = hit_str.parse().map_err(|_| format!("bad hit index '{hit_str}'"))?;
+            let action = match action.split_once(':') {
+                None => match action {
+                    "panic" => FaultAction::Panic,
+                    "nan" => FaultAction::PoisonNan,
+                    "crash" => FaultAction::Crash,
+                    other => return Err(format!("unknown fault action '{other}'")),
+                },
+                Some((name, arg)) => {
+                    let n: u64 = arg.parse().map_err(|_| format!("bad argument '{arg}' for '{name}'"))?;
+                    match name {
+                        "stall" => FaultAction::Stall { nanos: n },
+                        "truncate" => FaultAction::Truncate { keep: n as usize },
+                        "bitflip" => FaultAction::BitFlips { flips: n as usize },
+                        other => return Err(format!("unknown fault action '{other}'")),
+                    }
+                }
+            };
+            faults.push((FaultSpec { site, at_hit, action }, false));
+        }
+        if faults.is_empty() {
+            return Err("fault plan arms no faults".into());
+        }
+        Ok(FaultPlan {
+            seed,
+            state: Mutex::new(PlanState { faults, hits: HashMap::new(), fired: Vec::new() }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_the_exact_hit_and_only_once() {
+        let plan = FaultPlan::new(1).with(FaultSite::ExecOp, 2, FaultAction::Panic);
+        assert_eq!(plan.check(FaultSite::ExecOp), None);
+        assert_eq!(plan.check(FaultSite::ExecOp), None);
+        assert_eq!(plan.check(FaultSite::ExecOp), Some(FaultAction::Panic));
+        assert_eq!(plan.check(FaultSite::ExecOp), None);
+        assert_eq!(plan.fired(), vec!["op@2=panic".to_string()]);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let plan = FaultPlan::new(1)
+            .with(FaultSite::ServeBatch { replica: 0 }, 1, FaultAction::Crash)
+            .with(FaultSite::ServeBatch { replica: 1 }, 0, FaultAction::Crash);
+        assert_eq!(plan.check(FaultSite::ServeBatch { replica: 1 }), Some(FaultAction::Crash));
+        assert_eq!(plan.check(FaultSite::ServeBatch { replica: 0 }), None);
+        assert_eq!(plan.check(FaultSite::ServeBatch { replica: 0 }), Some(FaultAction::Crash));
+        assert_eq!(plan.fired_count(), 2);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let base: Vec<u8> = (0..=255).collect();
+        let flip = FaultAction::BitFlips { flips: 4 };
+        let mut a = base.clone();
+        let mut b = base.clone();
+        FaultPlan::new(9).corrupt(&mut a, &flip);
+        FaultPlan::new(9).corrupt(&mut b, &flip);
+        assert_eq!(a, b);
+        assert_ne!(a, base);
+        let mut c = base.clone();
+        FaultPlan::new(10).corrupt(&mut c, &flip);
+        assert_ne!(a, c, "different seeds flip different bits");
+        let mut t = base.clone();
+        FaultPlan::new(9).corrupt(&mut t, &FaultAction::Truncate { keep: 10 });
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_format() {
+        let plan =
+            FaultPlan::parse("seed=7; replica0@2=crash; op@40=nan; ckpt-read@0=bitflip:3", 0)
+                .expect("parses");
+        assert_eq!(plan.seed(), 7);
+        for _ in 0..2 {
+            assert_eq!(plan.check(FaultSite::ServeBatch { replica: 0 }), None);
+        }
+        assert_eq!(plan.check(FaultSite::ServeBatch { replica: 0 }), Some(FaultAction::Crash));
+        assert_eq!(
+            plan.check(FaultSite::CheckpointRead),
+            Some(FaultAction::BitFlips { flips: 3 })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("", 0).is_err());
+        assert!(FaultPlan::parse("op@1", 0).is_err());
+        assert!(FaultPlan::parse("op=panic", 0).is_err());
+        assert!(FaultPlan::parse("gpu@1=panic", 0).is_err());
+        assert!(FaultPlan::parse("op@1=explode", 0).is_err());
+        assert!(FaultPlan::parse("replicaX@1=crash", 0).is_err());
+        assert!(FaultPlan::parse("op@1=stall:xyz", 0).is_err());
+    }
+
+    #[test]
+    fn stall_and_truncate_parse_arguments() {
+        let plan = FaultPlan::parse("replica1@0=stall:5000000;ckpt-write@0=truncate:16", 3).unwrap();
+        assert_eq!(
+            plan.check(FaultSite::ServeBatch { replica: 1 }),
+            Some(FaultAction::Stall { nanos: 5_000_000 })
+        );
+        assert_eq!(
+            plan.check(FaultSite::CheckpointWrite),
+            Some(FaultAction::Truncate { keep: 16 })
+        );
+    }
+}

@@ -53,6 +53,7 @@ pub mod cost;
 mod device;
 mod exec;
 pub mod export;
+pub mod fault;
 pub mod grad;
 mod graph;
 mod op;
@@ -63,6 +64,7 @@ pub mod trace;
 
 pub use device::{CpuModel, Device, GpuModel};
 pub use exec::{ExecError, Session};
+pub use fault::{FaultAction, FaultPlan, FaultSite, FaultSpec};
 pub use graph::{Graph, GraphError, Node, NodeId};
 pub use op::{OpClass, OpKind};
 pub use optim::Optimizer;

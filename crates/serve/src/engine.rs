@@ -17,12 +17,35 @@
 //! a queued request whose deadline passes before dispatch is timed out
 //! (work already in flight always completes).
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use fathom_tensor::{Rng, Tensor};
 
-use crate::metrics::{BatchRecord, ServeReport};
+use crate::metrics::{BatchRecord, RecoveryCounters, ServeReport};
 use crate::worker::{BatchRunner, Request, ServeError};
+
+/// Supervisor policy: what happens to a replica that fails a batch and
+/// to the requests that were riding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Times one request may be re-queued after riding a failed batch
+    /// before it is dropped (dropped requests count as shed).
+    pub max_retries: u32,
+    /// Quarantine length after a replica's first failure, in virtual
+    /// nanoseconds; doubles with each subsequent restart of the same
+    /// replica (exponential backoff).
+    pub backoff_nanos: u64,
+    /// Rebuilds attempted before a replica is retired for good.
+    pub max_restarts: u32,
+}
+
+impl Default for RecoveryPolicy {
+    /// Two retries per request, 5 ms initial backoff, two restarts per
+    /// replica.
+    fn default() -> Self {
+        RecoveryPolicy { max_retries: 2, backoff_nanos: 5_000_000, max_restarts: 2 }
+    }
+}
 
 /// Batching and admission parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,11 +62,13 @@ pub struct ServeConfig {
     pub deadline_nanos: Option<u64>,
     /// Seed for the arrival process and request synthesis.
     pub seed: u64,
+    /// Supervisor behavior for failed replicas and their batches.
+    pub recovery: RecoveryPolicy,
 }
 
 impl ServeConfig {
     /// Sensible defaults around a coalescing limit: 2 ms max delay, a
-    /// queue of `8 * max_batch`, no deadline.
+    /// queue of `8 * max_batch`, no deadline, default recovery policy.
     pub fn new(max_batch: usize) -> Self {
         ServeConfig {
             max_batch,
@@ -51,6 +76,7 @@ impl ServeConfig {
             queue_cap: 8 * max_batch,
             deadline_nanos: None,
             seed: 0xFA7408,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -86,6 +112,42 @@ struct InFlight {
     carried: usize,
 }
 
+/// Supervisor view of one replica.
+#[derive(Debug, Clone, Copy)]
+enum Replica {
+    /// Ready to take a batch.
+    Idle,
+    /// Executing a batch until `InFlight::free_at`.
+    Busy(InFlight),
+    /// Failed; rebuilt (via [`BatchRunner::recover`]) at `until`.
+    Quarantined {
+        /// Virtual time the backoff expires and recovery is attempted.
+        until: u64,
+    },
+    /// Retired after exhausting its restart budget.
+    Dead,
+}
+
+/// Moves a failed replica into quarantine with exponential backoff, or
+/// retires it when its restart budget is spent.
+fn quarantine_or_retire(
+    slot: &mut Replica,
+    restarts: &mut u32,
+    policy: &RecoveryPolicy,
+    now: u64,
+    counters: &mut RecoveryCounters,
+) {
+    if *restarts >= policy.max_restarts {
+        *slot = Replica::Dead;
+        counters.dead_replicas += 1;
+    } else {
+        let backoff = policy.backoff_nanos.saturating_mul(1u64 << (*restarts).min(32));
+        *slot = Replica::Quarantined { until: now.saturating_add(backoff.max(1)) };
+        *restarts += 1;
+        counters.quarantines += 1;
+    }
+}
+
 /// Runs one serving experiment: offers `load` to `runners` under `cfg`,
 /// synthesizing each admitted request's payload with `synth`.
 ///
@@ -94,13 +156,21 @@ struct InFlight {
 /// once every admitted request has resolved (completed, shed, or timed
 /// out) — graceful drain, never mid-flight abandonment.
 ///
+/// A runner failure does *not* abort the run: the supervisor
+/// quarantines the replica (exponential backoff, then
+/// [`BatchRunner::recover`]), re-queues the failed batch's requests at
+/// the front of the queue for a healthy replica (each request at most
+/// [`RecoveryPolicy::max_retries`] times, then it is dropped and counted
+/// as shed), and retires replicas that keep failing. When every replica
+/// is dead, remaining work is shed and the run still terminates with an
+/// honest report. Conservation always holds:
+/// `issued == completed + shed + timed_out`.
+///
 /// # Errors
 ///
-/// Propagates the first [`ServeError`] a runner reports.
-///
-/// # Panics
-///
-/// Panics when `runners` is empty or `cfg.max_batch` is 0.
+/// Returns [`ServeError::Unservable`] when `runners` is empty or the
+/// effective batch limit is zero, and [`ServeError::Fault`] if the event
+/// loop ever stalls (an engine bug, not a replica failure).
 pub fn serve(
     runners: &mut [&mut dyn BatchRunner],
     cfg: &ServeConfig,
@@ -108,9 +178,16 @@ pub fn serve(
     synth: &mut dyn FnMut(&mut Rng, u64) -> Vec<Tensor>,
     workload: &str,
 ) -> Result<ServeReport, ServeError> {
-    assert!(!runners.is_empty(), "serve needs at least one replica");
-    assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
-    let max_batch = cfg.max_batch.min(runners.iter().map(|r| r.capacity()).min().unwrap());
+    if runners.is_empty() {
+        return Err(ServeError::Unservable("serve needs at least one replica".into()));
+    }
+    let cap_floor = runners.iter().map(|r| r.capacity()).min().unwrap_or(0);
+    let max_batch = cfg.max_batch.min(cap_floor);
+    if max_batch == 0 {
+        return Err(ServeError::Unservable(
+            "max_batch and every replica capacity must be at least 1".into(),
+        ));
+    }
 
     let mut rng = Rng::seeded(cfg.seed);
     let mut report = ServeReport::new(workload, max_batch, runners.len());
@@ -122,7 +199,9 @@ pub fn serve(
     let mut remaining_closed = 0usize;
     match load {
         LoadModel::Open { rps, duration_nanos } => {
-            assert!(*rps > 0.0, "open-loop load needs a positive rate");
+            if rps.is_nan() || *rps <= 0.0 {
+                return Err(ServeError::Unservable("open-loop load needs a positive rate".into()));
+            }
             let mut t = 0.0f64;
             loop {
                 // Exponential inter-arrival; 1 - uniform() keeps ln() off 0.
@@ -143,17 +222,22 @@ pub fn serve(
     }
 
     let mut queue: VecDeque<Request> = VecDeque::new();
-    let mut busy: Vec<Option<InFlight>> = vec![None; runners.len()];
+    let mut replicas: Vec<Replica> = vec![Replica::Idle; runners.len()];
+    let mut restarts: Vec<u32> = vec![0; runners.len()];
+    // Failed-batch retry counts, by request id. Engine-side so the
+    // public `Request` stays a plain payload.
+    let mut retries: HashMap<u64, u32> = HashMap::new();
     let mut now = 0u64;
     let mut next_id = 0u64;
 
     loop {
-        // 1. Completions: free replicas whose batch has finished; each
-        // resolved request lets a closed-loop client issue its next one.
-        for slot in busy.iter_mut() {
-            if let Some(f) = *slot {
-                if f.free_at <= now {
-                    *slot = None;
+        // 1. Completions free busy replicas (each resolved request lets a
+        // closed-loop client issue its next one); expired quarantines
+        // attempt a supervised rebuild.
+        for (i, runner) in runners.iter_mut().enumerate() {
+            match replicas[i] {
+                Replica::Busy(f) if f.free_at <= now => {
+                    replicas[i] = Replica::Idle;
                     for _ in 0..f.carried {
                         if remaining_closed > 0 {
                             arrivals.push(std::cmp::Reverse(now));
@@ -161,16 +245,36 @@ pub fn serve(
                         }
                     }
                 }
+                Replica::Quarantined { until } if until <= now => match runner.recover() {
+                    Ok(()) => {
+                        report.recovery.recoveries += 1;
+                        replicas[i] = Replica::Idle;
+                    }
+                    Err(_) => quarantine_or_retire(
+                        &mut replicas[i],
+                        &mut restarts[i],
+                        &cfg.recovery,
+                        now,
+                        &mut report.recovery,
+                    ),
+                },
+                _ => {}
             }
         }
+        let all_dead = replicas.iter().all(|r| matches!(r, Replica::Dead));
 
-        // 2. Arrivals due now: admit or shed.
+        // 2. Arrivals due now: admit or shed. With every replica retired
+        // nothing can ever serve, so arrivals are shed outright.
         while arrivals.peek().is_some_and(|t| t.0 <= now) {
-            let at = arrivals.pop().unwrap().0;
+            let at = match arrivals.pop() {
+                Some(std::cmp::Reverse(t)) => t,
+                // Invariant: peek above just returned Some.
+                None => break,
+            };
             let id = next_id;
             next_id += 1;
             report.issued += 1;
-            if queue.len() >= cfg.queue_cap {
+            if all_dead || queue.len() >= cfg.queue_cap {
                 report.shed += 1;
                 // A shed closed-loop client immediately tries again.
                 if remaining_closed > 0 {
@@ -198,12 +302,29 @@ pub fn serve(
             }
         }
 
-        // 4. Dispatch to idle replicas while the batching rule fires.
-        for (slot, runner) in busy.iter_mut().zip(runners.iter_mut()) {
-            if slot.is_some() || queue.is_empty() {
+        // 3b. Every replica retired: queued work can never be served —
+        // shed it so the run degrades gracefully instead of hanging.
+        if all_dead && !queue.is_empty() {
+            let stranded = queue.len() as u64;
+            report.shed += stranded;
+            queue.clear();
+            for _ in 0..stranded {
+                if remaining_closed > 0 {
+                    arrivals.push(std::cmp::Reverse(now));
+                    remaining_closed -= 1;
+                }
+            }
+        }
+
+        // 4. Dispatch to idle replicas while the batching rule fires. A
+        // failed dispatch quarantines the replica and re-queues its
+        // batch (front of the queue, original order) for a healthy one.
+        for (i, runner) in runners.iter_mut().enumerate() {
+            if !matches!(replicas[i], Replica::Idle) {
                 continue;
             }
-            let oldest_wait = now - queue.front().expect("nonempty").arrival;
+            let Some(front) = queue.front() else { break };
+            let oldest_wait = now - front.arrival;
             let draining = arrivals.is_empty();
             if queue.len() < max_batch && oldest_wait < cfg.max_delay_nanos && !draining {
                 continue;
@@ -211,10 +332,38 @@ pub fn serve(
             let take = queue.len().min(max_batch);
             let batch: Vec<Request> = queue.drain(..take).collect();
             let refs: Vec<&Request> = batch.iter().collect();
-            let result = runner.run_batch(&refs)?;
+            let result = match runner.run_batch(&refs) {
+                Ok(result) => result,
+                Err(_) => {
+                    report.recovery.crashes += 1;
+                    quarantine_or_retire(
+                        &mut replicas[i],
+                        &mut restarts[i],
+                        &cfg.recovery,
+                        now,
+                        &mut report.recovery,
+                    );
+                    for r in batch.into_iter().rev() {
+                        let attempts = retries.entry(r.id).or_insert(0);
+                        if *attempts >= cfg.recovery.max_retries {
+                            report.recovery.dropped += 1;
+                            report.shed += 1;
+                            if remaining_closed > 0 {
+                                arrivals.push(std::cmp::Reverse(now));
+                                remaining_closed -= 1;
+                            }
+                        } else {
+                            *attempts += 1;
+                            report.recovery.retried += 1;
+                            queue.push_front(r);
+                        }
+                    }
+                    continue;
+                }
+            };
             let service = (result.service_nanos as u64).max(1);
             let done = now + service;
-            *slot = Some(InFlight { free_at: done, carried: batch.len() });
+            replicas[i] = Replica::Busy(InFlight { free_at: done, carried: batch.len() });
             for r in &batch {
                 report.latency.record((done - r.arrival) as f64);
             }
@@ -227,14 +376,17 @@ pub fn serve(
             });
         }
 
-        // 5. Terminate when fully drained.
-        let all_idle = busy.iter().all(|b| b.is_none());
-        if arrivals.is_empty() && remaining_closed == 0 && queue.is_empty() && all_idle {
+        // 5. Terminate when fully drained. Quarantined and dead replicas
+        // do not block termination: with no work left there is nothing
+        // to recover *for*.
+        let any_busy = replicas.iter().any(|r| matches!(r, Replica::Busy(_)));
+        if arrivals.is_empty() && remaining_closed == 0 && queue.is_empty() && !any_busy {
             break;
         }
 
         // 6. Advance the clock to the next event: an arrival, a batch
-        // completion, the oldest waiter hitting max_delay, or a deadline.
+        // completion, a quarantine expiry, the oldest waiter hitting
+        // max_delay, or a deadline.
         let mut next: Option<u64> = None;
         let mut consider = |t: u64| {
             let t = t.max(now + 1);
@@ -243,18 +395,33 @@ pub fn serve(
         if let Some(t) = arrivals.peek() {
             consider(t.0);
         }
-        for f in busy.iter().flatten() {
-            consider(f.free_at);
+        for r in &replicas {
+            match r {
+                Replica::Busy(f) => consider(f.free_at),
+                Replica::Quarantined { until } => consider(*until),
+                Replica::Idle | Replica::Dead => {}
+            }
         }
         if let Some(front) = queue.front() {
-            if busy.iter().any(|b| b.is_none()) {
+            if replicas.iter().any(|r| matches!(r, Replica::Idle)) {
                 consider(front.arrival + cfg.max_delay_nanos);
             }
             if let Some(deadline) = cfg.deadline_nanos {
                 consider(front.arrival + deadline);
             }
         }
-        now = next.expect("events remain while the system is not drained");
+        match next {
+            Some(t) => now = t,
+            // Unreachable by construction: work remaining implies a
+            // scheduled arrival, a busy/quarantined replica, an
+            // all-dead purge, or a queue-front timer. Surface an engine
+            // bug as a typed error rather than a hang or panic.
+            None => {
+                return Err(ServeError::Fault(
+                    "engine stalled: work remains but no future event is scheduled".into(),
+                ))
+            }
+        }
     }
 
     Ok(report)
@@ -387,6 +554,103 @@ mod tests {
             serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap().to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashed_batch_retries_on_a_healthy_replica() {
+        use crate::chaos::FaultyRunner;
+        use fathom_dataflow::{FaultAction, FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        let plan = Arc::new(
+            FaultPlan::new(7).with(FaultSite::ServeBatch { replica: 0 }, 0, FaultAction::Crash),
+        );
+        let mut a = FaultyRunner::new(FakeRunner::new(4, 5_000_000.0), plan.clone(), 0);
+        let mut b = FakeRunner::new(4, 5_000_000.0);
+        let cfg = ServeConfig::new(4);
+        let load = LoadModel::Closed { clients: 4, requests: 24 };
+        let r = serve(&mut [&mut a, &mut b], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        // One crash, every rider retried within budget: nothing is lost.
+        assert_eq!(r.issued, 24);
+        assert_eq!(r.completed, 24, "retried requests must complete: {:?}", r.recovery);
+        assert_eq!(r.issued, r.completed + r.shed + r.timed_out);
+        assert_eq!(r.recovery.crashes, 1);
+        assert!(r.recovery.retried >= 1);
+        assert_eq!(r.recovery.quarantines, 1);
+        assert_eq!(r.recovery.recoveries, 1, "quarantine must expire into recovery");
+        assert_eq!(r.recovery.dropped, 0);
+        assert_eq!(plan.fired_count(), 1, "the injected crash must have fired");
+    }
+
+    #[test]
+    fn all_replicas_dead_sheds_everything_and_terminates() {
+        use crate::chaos::FaultyRunner;
+        use fathom_dataflow::{FaultAction, FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        // Crash every dispatch: initial failure plus both restart
+        // attempts (max_restarts = 2) retire the only replica.
+        let mut plan = FaultPlan::new(3);
+        for hit in 0..8 {
+            plan = plan.with(FaultSite::ServeBatch { replica: 0 }, hit, FaultAction::Crash);
+        }
+        let mut only = FaultyRunner::new(FakeRunner::new(4, 5_000_000.0), Arc::new(plan), 0);
+        let cfg = ServeConfig::new(4);
+        let load = LoadModel::Closed { clients: 4, requests: 16 };
+        let r = serve(&mut [&mut only], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert_eq!(r.completed, 0, "a dead fleet completes nothing");
+        assert_eq!(r.issued, r.completed + r.shed + r.timed_out, "conservation holds");
+        assert_eq!(r.recovery.dead_replicas, 1);
+        assert!(r.recovery.dropped > 0, "retry-exhausted requests are dropped");
+        assert_eq!(r.shed, r.issued, "every issued request is reported shed");
+    }
+
+    #[test]
+    fn stalled_replica_inflates_service_time_deterministically() {
+        use crate::chaos::FaultyRunner;
+        use fathom_dataflow::{FaultAction, FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        let plan = Arc::new(FaultPlan::new(1).with(
+            FaultSite::ServeBatch { replica: 0 },
+            0,
+            FaultAction::Stall { nanos: 40_000_000 },
+        ));
+        let mut runner = FaultyRunner::new(FakeRunner::new(4, 5_000_000.0), plan, 0);
+        let cfg = ServeConfig::new(4);
+        let load = LoadModel::Closed { clients: 2, requests: 2 };
+        let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.batches[0].service_nanos, 45_000_000.0, "stall adds to service time");
+    }
+
+    #[test]
+    fn same_fault_plan_seed_reproduces_the_identical_report() {
+        use crate::chaos::FaultyRunner;
+        use fathom_dataflow::FaultPlan;
+        use std::sync::Arc;
+
+        let run = || {
+            let plan = Arc::new(
+                FaultPlan::parse("replica0@2=crash;replica1@5=stall:30000000", 9).unwrap(),
+            );
+            let mut a = FaultyRunner::new(FakeRunner::new(4, 5_000_000.0), plan.clone(), 0);
+            let mut b = FaultyRunner::new(FakeRunner::new(4, 5_000_000.0), plan, 1);
+            let cfg = ServeConfig { queue_cap: 64, ..ServeConfig::new(4) };
+            let load = LoadModel::Open { rps: 400.0, duration_nanos: 300_000_000 };
+            serve(&mut [&mut a, &mut b], &cfg, &load, &mut no_inputs, "fake").unwrap().to_json()
+        };
+        let first = run();
+        assert!(first.contains("\"recovery\""), "faulted run must report recovery counters");
+        assert_eq!(first, run());
+    }
+
+    #[test]
+    fn empty_replica_set_is_unservable_not_a_panic() {
+        let cfg = ServeConfig::new(4);
+        let load = LoadModel::Closed { clients: 1, requests: 1 };
+        let err = serve(&mut [], &cfg, &load, &mut no_inputs, "fake").unwrap_err();
+        assert!(matches!(err, ServeError::Unservable(_)), "got {err}");
     }
 
     #[test]

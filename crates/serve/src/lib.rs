@@ -18,7 +18,13 @@
 //!   shedding, per-request deadlines, graceful drain;
 //! * [`metrics::ServeReport`] — per-request latency quantiles, queue
 //!   depth, batch-size distribution, shed/timeout counters, and op-class
-//!   time slices fed from the session trace.
+//!   time slices fed from the session trace;
+//! * supervised recovery — a failed replica is quarantined with
+//!   exponential backoff and rebuilt from its checkpoint, its in-flight
+//!   batch retries on a healthy replica, and
+//!   [`metrics::RecoveryCounters`] account for every crash. The
+//!   [`chaos::FaultyRunner`] wrapper drives all of it deterministically
+//!   from a seeded [`FaultPlan`](fathom_dataflow::FaultPlan).
 //!
 //! The correctness contract is *batch independence*: a request's output
 //! is bitwise identical whether it rode in a batch of one or a full
@@ -28,10 +34,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod metrics;
 pub mod worker;
 
-pub use engine::{serve, LoadModel, ServeConfig};
-pub use metrics::{BatchRecord, LatencyHistogram, ServeReport};
+pub use chaos::FaultyRunner;
+pub use engine::{serve, LoadModel, RecoveryPolicy, ServeConfig};
+pub use metrics::{BatchRecord, LatencyHistogram, RecoveryCounters, ServeReport};
 pub use worker::{synth_inputs, BatchResult, BatchRunner, Request, ServeError, SessionWorker};

@@ -27,6 +27,9 @@ pub enum ServeError {
     Unservable(String),
     /// Warm-start checkpoint could not be restored.
     Checkpoint(CheckpointError),
+    /// A replica failed while executing a batch — a crashed process,
+    /// an injected fault, or an engine-internal invariant violation.
+    Fault(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -35,6 +38,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Exec(e) => write!(f, "serving execution failed: {e}"),
             ServeError::Unservable(msg) => write!(f, "unservable: {msg}"),
             ServeError::Checkpoint(e) => write!(f, "warm start failed: {e}"),
+            ServeError::Fault(msg) => write!(f, "replica fault: {msg}"),
         }
     }
 }
@@ -87,6 +91,20 @@ pub trait BatchRunner {
     /// Returns [`ServeError`] when the requests do not fit the graph or
     /// execution fails.
     fn run_batch(&mut self, reqs: &[&Request]) -> Result<BatchResult, ServeError>;
+
+    /// Restores the runner to a servable state after [`run_batch`]
+    /// returned an error. The engine's supervisor calls this when a
+    /// quarantine expires; the default is a no-op for stateless runners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the runner cannot be rebuilt; the
+    /// supervisor then re-quarantines or retires the replica.
+    ///
+    /// [`run_batch`]: BatchRunner::run_batch
+    fn recover(&mut self) -> Result<(), ServeError> {
+        Ok(())
+    }
 }
 
 /// A [`BatchRunner`] backed by a real workload session.
@@ -94,6 +112,14 @@ pub struct SessionWorker {
     model: Box<dyn Workload>,
     spec: BatchSpec,
     trace: bool,
+    kind: ModelKind,
+    cfg: BuildConfig,
+    /// Checkpoint of the variables this worker should serve with — the
+    /// initial weights at construction, replaced by [`warm_start`].
+    /// [`recover`](Self::recover) rebuilds the session from these bytes.
+    ///
+    /// [`warm_start`]: Self::warm_start
+    baseline: Vec<u8>,
 }
 
 impl SessionWorker {
@@ -111,7 +137,9 @@ impl SessionWorker {
         let spec = model.batch_spec().ok_or_else(|| {
             ServeError::Unservable(format!("{} does not support batched serving", kind.name()))
         })?;
-        Ok(SessionWorker { model, spec, trace: false })
+        let mut baseline = Vec::new();
+        checkpoint::save(model.session(), &mut baseline)?;
+        Ok(SessionWorker { model, spec, trace: false, kind, cfg, baseline })
     }
 
     /// The workload's batching contract.
@@ -141,6 +169,11 @@ impl SessionWorker {
     /// disagrees with the graph.
     pub fn warm_start(&mut self, r: impl Read) -> Result<(), ServeError> {
         checkpoint::load(self.model.session_mut(), r)?;
+        // The restored weights become the recovery baseline: a replica
+        // rebuilt after a crash serves the warm-started model, not the
+        // random initialization.
+        self.baseline.clear();
+        checkpoint::save(self.model.session(), &mut self.baseline)?;
         Ok(())
     }
 
@@ -210,12 +243,29 @@ impl BatchRunner for SessionWorker {
         if self.trace {
             let trace = self.model.session_mut().take_trace();
             for e in &trace.events {
+                // Invariant: every TraceEvent carries one of the seven
+                // paper classes, and OpClass::ALL enumerates all seven,
+                // so the position lookup cannot fail.
                 let slot = OpClass::ALL.iter().position(|c| *c == e.class).expect("A-G class");
                 class_nanos[slot] += e.nanos;
             }
         }
         let outputs = batch::split(&fetched, self.spec.output.batch_axis, reqs.len());
         Ok(BatchResult { outputs, service_nanos, class_nanos })
+    }
+
+    /// Rebuilds the workload session from scratch and reloads the
+    /// baseline checkpoint — the supervised-recovery path after a
+    /// replica crash. Tracing preference survives the rebuild.
+    fn recover(&mut self) -> Result<(), ServeError> {
+        let model = self.kind.build(&self.cfg);
+        let spec = model.batch_spec().ok_or_else(|| {
+            ServeError::Unservable(format!("{} does not support batched serving", self.kind.name()))
+        })?;
+        self.model = model;
+        self.spec = spec;
+        checkpoint::load(self.model.session_mut(), self.baseline.as_slice())?;
+        Ok(())
     }
 }
 
@@ -291,6 +341,22 @@ mod tests {
         let reqs: Vec<Request> = (0..2).map(|i| request(i, &w, &mut rng)).collect();
         let refs: Vec<&Request> = reqs.iter().collect();
         assert!(matches!(w.run_batch(&refs).unwrap_err(), ServeError::Unservable(_)));
+    }
+
+    #[test]
+    fn recover_rebuilds_the_session_with_identical_weights() {
+        let cfg = BuildConfig::inference().with_batch(2);
+        let mut w = SessionWorker::new(ModelKind::Alexnet, &cfg).expect("servable");
+        let mut rng = Rng::seeded(21);
+        let req = request(0, &w, &mut rng);
+        let before = w.run_batch(&[&req]).expect("runs");
+        w.recover().expect("recovers");
+        let after = w.run_batch(&[&req]).expect("runs after recovery");
+        assert_eq!(
+            before.outputs[0].data(),
+            after.outputs[0].data(),
+            "recovery must restore the exact served weights"
+        );
     }
 
     #[test]

@@ -6,8 +6,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Serving smoke: the batcher, admission control, and report must survive a
 # real open-loop run end to end.
 ./target/release/fathom serve-bench alexnet --rps 50 --duration 1 --seed 7
+
+# Chaos smoke: injected op panic, checkpoint corruption, and a replica
+# crash must all be recovered from (nonzero exit if any probe fails).
+./target/release/fathom chaos autoenc --seed 7

@@ -1,0 +1,139 @@
+//! The workspace-wide error type.
+//!
+//! Each component crate keeps its own focused error enum — that is
+//! where failure detail lives — but code that spans layers (the CLI,
+//! integration tests, recovery supervisors) needs one type every
+//! failure converts into, so `?` works across crate boundaries and
+//! nothing falls back to `panic!` for lack of a common denominator.
+
+use std::fmt;
+
+use fathom_data::idx::IdxError;
+use fathom_dataflow::checkpoint::CheckpointError;
+use fathom_dataflow::{ExecError, GraphError};
+use fathom_serve::ServeError;
+
+/// Any failure the Fathom suite can report, by originating layer.
+#[derive(Debug)]
+pub enum FathomError {
+    /// Graph construction or validation failed (`fathom-dataflow`).
+    Graph(GraphError),
+    /// Graph execution failed (`fathom-dataflow`).
+    Exec(ExecError),
+    /// A checkpoint could not be written, read, or verified
+    /// (`fathom-dataflow`).
+    Checkpoint(CheckpointError),
+    /// An IDX dataset file was malformed (`fathom-data`).
+    Idx(IdxError),
+    /// The serving layer failed (`fathom-serve`).
+    Serve(ServeError),
+    /// An I/O failure outside any component crate (the CLI's own files).
+    Io(std::io::Error),
+    /// A failure with no structured source, e.g. CLI usage errors.
+    Message(String),
+}
+
+impl fmt::Display for FathomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FathomError::Graph(e) => write!(f, "{e}"),
+            FathomError::Exec(e) => write!(f, "{e}"),
+            FathomError::Checkpoint(e) => write!(f, "{e}"),
+            FathomError::Idx(e) => write!(f, "{e}"),
+            FathomError::Serve(e) => write!(f, "{e}"),
+            FathomError::Io(e) => write!(f, "{e}"),
+            FathomError::Message(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FathomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FathomError::Graph(e) => Some(e),
+            FathomError::Exec(e) => Some(e),
+            FathomError::Checkpoint(e) => Some(e),
+            FathomError::Idx(e) => Some(e),
+            FathomError::Serve(e) => Some(e),
+            FathomError::Io(e) => Some(e),
+            FathomError::Message(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for FathomError {
+    fn from(e: GraphError) -> Self {
+        FathomError::Graph(e)
+    }
+}
+
+impl From<ExecError> for FathomError {
+    fn from(e: ExecError) -> Self {
+        FathomError::Exec(e)
+    }
+}
+
+impl From<CheckpointError> for FathomError {
+    fn from(e: CheckpointError) -> Self {
+        FathomError::Checkpoint(e)
+    }
+}
+
+impl From<IdxError> for FathomError {
+    fn from(e: IdxError) -> Self {
+        FathomError::Idx(e)
+    }
+}
+
+impl From<ServeError> for FathomError {
+    fn from(e: ServeError) -> Self {
+        FathomError::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for FathomError {
+    fn from(e: std::io::Error) -> Self {
+        FathomError::Io(e)
+    }
+}
+
+impl From<String> for FathomError {
+    fn from(msg: String) -> Self {
+        FathomError::Message(msg)
+    }
+}
+
+impl From<&str> for FathomError {
+    fn from(msg: &str) -> Self {
+        FathomError::Message(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_via_question_mark() {
+        fn graph() -> Result<(), FathomError> {
+            Err(GraphError::Shape { op: "test", msg: "bad extent".into() })?
+        }
+        fn ckpt() -> Result<(), FathomError> {
+            Err(CheckpointError::BadHeader("x".into()))?
+        }
+        fn serve() -> Result<(), FathomError> {
+            Err(ServeError::Unservable("x".into()))?
+        }
+        assert!(matches!(graph().unwrap_err(), FathomError::Graph(_)));
+        assert!(matches!(ckpt().unwrap_err(), FathomError::Checkpoint(_)));
+        assert!(matches!(serve().unwrap_err(), FathomError::Serve(_)));
+    }
+
+    #[test]
+    fn display_passes_the_inner_message_through() {
+        let e = FathomError::from(ServeError::Fault("injected crash on replica 1".into()));
+        assert!(e.to_string().contains("injected crash"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&FathomError::from("usage")).is_none());
+    }
+}

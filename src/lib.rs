@@ -5,6 +5,15 @@
 //! [`fathom`] (the workloads), [`fathom_dataflow`], [`fathom_tensor`],
 //! [`fathom_nn`], [`fathom_data`], [`fathom_ale`], [`fathom_profile`],
 //! [`fathom_serve`].
+//!
+//! The one piece of first-party API defined here is [`FathomError`]:
+//! the workspace-wide error that every per-crate error enum converts
+//! into, so multi-layer code (the CLI, integration tests) propagates
+//! failures typed instead of panicking.
+
+mod error;
+
+pub use error::FathomError;
 
 pub use fathom;
 pub use fathom_ale;

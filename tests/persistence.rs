@@ -79,6 +79,56 @@ fn truncated_and_corrupt_checkpoints_are_rejected_loudly() {
 }
 
 #[test]
+fn fuzzed_corruption_always_yields_a_typed_error_and_never_panics() {
+    use fathom_suite::fathom_dataflow::{FaultAction, FaultPlan};
+
+    let cfg = BuildConfig::training().with_seed(11);
+    let mut model = ModelKind::Autoenc.build(&cfg);
+    model.step();
+    let mut buf = Vec::new();
+    checkpoint::save(model.session(), &mut buf).expect("saves");
+    checkpoint::verify(buf.as_slice()).expect("the pristine checkpoint verifies");
+
+    // One victim session reused across rounds: `load` stages the whole
+    // payload before touching any variable, so a failed load must leave
+    // the session loadable for the next round.
+    let mut victim = ModelKind::Autoenc.build(&cfg);
+    for round in 0..48u64 {
+        let plan = FaultPlan::new(0xF0_22 + round);
+        let action = if round % 3 == 0 {
+            FaultAction::Truncate { keep: (round as usize * 977) % buf.len() }
+        } else {
+            FaultAction::BitFlips { flips: 1 + (round as usize % 7) }
+        };
+        let mut mangled = buf.clone();
+        plan.corrupt(&mut mangled, &action);
+        if mangled == buf {
+            continue; // an even number of flips on one bit can cancel out
+        }
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            checkpoint::load(victim.session_mut(), mangled.as_slice())
+        }));
+        let result = outcome.unwrap_or_else(|_| {
+            panic!("load panicked on corrupted bytes (round {round}, {action:?})")
+        });
+        let err = result.expect_err("corrupted bytes must not load");
+        assert!(
+            matches!(err, CheckpointError::BadHeader(_) | CheckpointError::Corrupt(_)),
+            "round {round} ({action:?}) gave unexpected error {err:?}"
+        );
+        assert!(
+            checkpoint::verify(mangled.as_slice()).is_err(),
+            "verify must agree with load (round {round}, {action:?})"
+        );
+    }
+
+    // The victim took no damage from any of the failed loads.
+    checkpoint::load(victim.session_mut(), buf.as_slice())
+        .expect("the pristine checkpoint still loads after 48 failed attempts");
+}
+
+#[test]
 fn every_workload_exports_dot_and_chrome_trace() {
     for kind in [ModelKind::Autoenc, ModelKind::Memnet, ModelKind::Deepq] {
         let mut model = kind.build(&BuildConfig::training());

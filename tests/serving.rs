@@ -113,6 +113,112 @@ fn warm_start_accepts_training_checkpoints() {
 }
 
 #[test]
+fn fault_injected_runs_are_deterministic_for_a_fixed_seed() {
+    use fathom_suite::fathom_dataflow::{FaultAction, FaultPlan, FaultSite};
+    use fathom_suite::fathom_serve::{BatchResult, FaultyRunner, LoadModel, ServeError};
+    use fathom_suite::fathom_tensor::Tensor;
+    use std::sync::Arc;
+
+    /// Fixed service time per batch — the only nondeterminism left is
+    /// whatever the fault plan and the engine introduce, which is none.
+    struct FixedRunner {
+        capacity: usize,
+        service_nanos: f64,
+    }
+
+    impl BatchRunner for FixedRunner {
+        fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        fn run_batch(&mut self, reqs: &[&Request]) -> Result<BatchResult, ServeError> {
+            Ok(BatchResult {
+                outputs: reqs.iter().map(|_| Tensor::zeros([1])).collect(),
+                service_nanos: self.service_nanos,
+                class_nanos: [0.0; 7],
+            })
+        }
+    }
+
+    let run = || {
+        let plan = Arc::new(
+            FaultPlan::new(0xD37)
+                .with(FaultSite::ServeBatch { replica: 0 }, 1, FaultAction::Crash)
+                .with(
+                    FaultSite::ServeBatch { replica: 1 },
+                    2,
+                    FaultAction::Stall { nanos: 250_000 },
+                ),
+        );
+        let mut r0 = FaultyRunner::new(
+            FixedRunner { capacity: 2, service_nanos: 1_000_000.0 },
+            plan.clone(),
+            0,
+        );
+        let mut r1 = FaultyRunner::new(
+            FixedRunner { capacity: 2, service_nanos: 1_000_000.0 },
+            plan,
+            1,
+        );
+        let mut runners: Vec<&mut dyn BatchRunner> = vec![&mut r0, &mut r1];
+        let cfg = ServeConfig { queue_cap: 64, ..ServeConfig::new(2) };
+        let load = LoadModel::Open { rps: 4_000.0, duration_nanos: 5_000_000 };
+        serve(&mut runners, &cfg, &load, &mut |_rng, _id| Vec::new(), "fixed").expect("serves")
+    };
+
+    let first = run();
+    let second = run();
+    assert!(first.recovery.crashes >= 1, "the planned crash must fire: {:?}", first.recovery);
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "the same fault-plan seed must reproduce the report bitwise"
+    );
+}
+
+#[test]
+fn a_replica_crash_mid_run_loses_no_accepted_requests() {
+    use fathom_suite::fathom_dataflow::{FaultAction, FaultPlan, FaultSite};
+    use fathom_suite::fathom_serve::{FaultyRunner, LoadModel};
+    use std::sync::Arc;
+
+    let build = BuildConfig::inference().with_seed(SEED).with_batch(2);
+    let w0 = SessionWorker::new(ModelKind::Memnet, &build).expect("servable");
+    let w1 = SessionWorker::new(ModelKind::Memnet, &build).expect("servable");
+    let shapes = w0.item_shapes();
+    let domains = w0.domains();
+
+    // Replica 0 crashes on its second batch; the supervisor must retry
+    // that batch on replica 1 (or on replica 0 once recovered) so the
+    // closed loop still resolves every request it issued.
+    let plan = Arc::new(FaultPlan::new(9).with(
+        FaultSite::ServeBatch { replica: 0 },
+        1,
+        FaultAction::Crash,
+    ));
+    let mut r0 = FaultyRunner::new(w0, plan.clone(), 0);
+    let mut r1 = FaultyRunner::new(w1, plan, 1);
+    let mut runners: Vec<&mut dyn BatchRunner> = vec![&mut r0, &mut r1];
+    let cfg = ServeConfig { queue_cap: 64, ..ServeConfig::new(2) };
+    let load = LoadModel::Closed { clients: 3, requests: 10 };
+    let report = serve(
+        &mut runners,
+        &cfg,
+        &load,
+        &mut |rng, _| synth_inputs(&shapes, &domains, rng),
+        "memnet",
+    )
+    .expect("serves");
+
+    assert!(report.recovery.crashes >= 1, "the planned crash must fire: {:?}", report.recovery);
+    assert!(report.recovery.retried >= 1, "the crashed batch must be requeued");
+    assert_eq!(report.issued, 10);
+    assert_eq!(report.completed, 10, "no accepted request may be lost to the crash");
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.timed_out, 0);
+}
+
+#[test]
 fn engine_resolves_every_closed_loop_request_with_a_real_worker() {
     let mut worker =
         SessionWorker::new(ModelKind::Memnet, &BuildConfig::inference().with_batch(2))
