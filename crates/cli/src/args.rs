@@ -29,6 +29,18 @@ pub enum Command {
         /// Seed for the injected fault schedule and payloads.
         seed: u64,
     },
+    /// `fathom gemm-check [--m N --k N --n N --threads N]` — packed GEMM
+    /// agreement and determinism smoke check.
+    GemmCheck {
+        /// Output rows.
+        m: usize,
+        /// Contraction extent.
+        k: usize,
+        /// Output columns.
+        n: usize,
+        /// Widest worker count checked against serial.
+        threads: usize,
+    },
     /// `fathom help` or `-h`/`--help`.
     Help,
 }
@@ -169,6 +181,7 @@ USAGE:
                    [--threads N] [--inter-ops N] [--seed N]
                    [--load FILE.ck] [--out FILE.json] [--fault-plan SPEC]
     fathom chaos   <model> [--seed N]
+    fathom gemm-check      [--m N] [--k N] [--n N] [--threads N]
 
 MODELS:
     seq2seq memnet speech autoenc residual vgg alexnet deepq
@@ -230,6 +243,33 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 i += 1;
             }
             Ok(Command::Chaos { model, seed })
+        }
+        "gemm-check" => {
+            let (mut m, mut k, mut n, mut threads) = (384usize, 512usize, 256usize, 8usize);
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<usize, ParseError> {
+                    i += 1;
+                    rest.get(i)
+                        .ok_or_else(|| ParseError(format!("{name} needs a value")))?
+                        .parse()
+                        .map_err(|_| ParseError(format!("{name} needs an integer")))
+                };
+                match flag {
+                    "--m" => m = value("--m")?,
+                    "--k" => k = value("--k")?,
+                    "--n" => n = value("--n")?,
+                    "--threads" => threads = value("--threads")?,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            if m == 0 || k == 0 || n == 0 || threads == 0 {
+                return Err(ParseError("gemm-check extents and --threads must be positive".into()));
+            }
+            Ok(Command::GemmCheck { m, k, n, threads })
         }
         "run" | "profile" | "trace" | "dot" => {
             let model_str = it
@@ -480,6 +520,22 @@ mod tests {
         );
         assert!(parse(&s(&["chaos"])).is_err());
         assert!(parse(&s(&["chaos", "vgg", "--frob"])).is_err());
+    }
+
+    #[test]
+    fn gemm_check_defaults_and_flags() {
+        assert_eq!(
+            parse(&s(&["gemm-check"])).unwrap(),
+            Command::GemmCheck { m: 384, k: 512, n: 256, threads: 8 }
+        );
+        assert_eq!(
+            parse(&s(&["gemm-check", "--m", "64", "--k", "700", "--n", "33", "--threads", "2"]))
+                .unwrap(),
+            Command::GemmCheck { m: 64, k: 700, n: 33, threads: 2 }
+        );
+        assert!(parse(&s(&["gemm-check", "--m", "0"])).is_err());
+        assert!(parse(&s(&["gemm-check", "--frob"])).is_err());
+        assert!(parse(&s(&["gemm-check", "--k"])).is_err());
     }
 
     #[test]

@@ -71,6 +71,59 @@ fn dispatch(command: Command) -> Result<(), FathomError> {
         Command::Dot(a) => cmd_dot(a),
         Command::ServeBench(a) => cmd_serve_bench(a),
         Command::Chaos { model, seed } => cmd_chaos(model, seed),
+        Command::GemmCheck { m, k, n, threads } => cmd_gemm_check(m, k, n, threads),
+    }
+}
+
+/// Checks the packed GEMM engine on one geometry: agreement with the
+/// naive kernel across all four transpose layouts, and bitwise serial ==
+/// parallel determinism at the requested width. Exits nonzero on any
+/// violation, so scripts/tier1.sh can use it as a smoke gate.
+fn cmd_gemm_check(m: usize, k: usize, n: usize, threads: usize) -> Result<(), FathomError> {
+    use fathom_tensor::kernels::gemm::matmul_packed;
+    use fathom_tensor::kernels::matmul::matmul_naive;
+    use fathom_tensor::{ExecPool, Rng, Tensor};
+    use std::time::Instant;
+
+    println!("gemm-check | {m}x{k}x{n} | serial vs {threads} worker(s)");
+    let mut rng = Rng::seeded(0xFA7408);
+    let serial = ExecPool::serial();
+    let wide = ExecPool::new(threads);
+    // Naive accumulates in the same k-order, so the gap is pure rounding
+    // from the packed kernel's blocked summation; scale the bound with k.
+    let tol = 1e-6 * k as f64;
+    let mut failures = 0u32;
+    for (ta, tb) in [(false, false), (true, false), (false, true), (true, true)] {
+        let a = Tensor::randn(if ta { [k, m] } else { [m, k] }, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(if tb { [n, k] } else { [k, n] }, 0.0, 1.0, &mut rng);
+        let reference = matmul_naive(&a, &b, ta, tb);
+        let t0 = Instant::now();
+        let packed = matmul_packed(&a, &b, ta, tb, &wide);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let gflops = 2.0 * (m * k * n) as f64 / elapsed / 1e9;
+        let diff = packed.max_abs_diff(&reference) as f64;
+        let agree = diff < tol;
+        let deterministic = matmul_packed(&a, &b, ta, tb, &serial).data() == packed.data();
+        let layout = format!(
+            "{}{}",
+            if ta { 't' } else { 'n' },
+            if tb { 't' } else { 'n' }
+        );
+        let ok = agree && deterministic;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{}  {layout}: max |packed - naive| = {diff:.2e} (tol {tol:.2e}), \
+             bitwise serial == parallel: {deterministic}, {gflops:.1} GFLOP/s",
+            if ok { "PASS" } else { "FAIL" },
+        );
+    }
+    if failures == 0 {
+        println!("gemm-check: all layouts agree and are deterministic");
+        Ok(())
+    } else {
+        Err(FathomError::Message(format!("gemm-check: {failures} layout(s) failed")))
     }
 }
 

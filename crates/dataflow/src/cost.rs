@@ -4,6 +4,7 @@
 //! paper measured a real GTX 960; we substitute an analytic model — see
 //! DESIGN.md) and provide flop counts for reports.
 
+use fathom_tensor::kernels::conv::Conv2dSpec;
 use fathom_tensor::Shape;
 
 use crate::graph::Node;
@@ -27,6 +28,55 @@ impl OpCost {
         } else {
             self.flops / self.bytes
         }
+    }
+}
+
+/// How a convolution (and its gradients) should execute on CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvLowering {
+    /// Direct nested loops over the output (or input/filter for the
+    /// gradients).
+    Direct,
+    /// im2col patch materialization plus a packed GEMM (col2im for the
+    /// input gradient).
+    Im2colGemm,
+}
+
+/// Picks the convolution lowering from flop/byte estimates of the
+/// geometry.
+///
+/// im2col duplicates the input up to `kh*kw` times, so it only pays when
+/// the GEMM does enough arithmetic per byte of patch-matrix traffic to
+/// amortize the copy — and when there is enough total work for packed
+/// GEMM to beat the direct kernel's simpler loops.
+///
+/// Every term is **per sample**: the batch extent is deliberately
+/// excluded so a batch-1 serving graph and a batch-B graph over the same
+/// geometry pick the same lowering (serving's bitwise batch-independence
+/// contract).
+pub fn conv2d_lowering(input: &Shape, filter: &Shape, spec: Conv2dSpec) -> ConvLowering {
+    assert_eq!(input.rank(), 4, "conv2d input must be NHWC, got {input}");
+    assert_eq!(filter.rank(), 4, "conv2d filter must be [kh,kw,ic,oc], got {filter}");
+    let (kh, kw, ic, oc) = (filter.dim(0), filter.dim(1), filter.dim(2), filter.dim(3));
+    let (h, w) = (input.dim(1), input.dim(2));
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let kdim = (kh * kw * ic) as f64;
+    let out_px = (oh * ow) as f64;
+    // Work and traffic for one sample's lowered GEMM: patch matrix
+    // written once and read once, plus filter, input, and output moved
+    // once each.
+    let gemm_flops = 2.0 * out_px * kdim * oc as f64;
+    let bytes = 4.0
+        * (2.0 * out_px * kdim
+            + kdim * oc as f64
+            + (h * w * ic) as f64
+            + out_px * oc as f64);
+    let intensity = OpCost { flops: gemm_flops, bytes }.intensity();
+    if intensity >= 2.0 && gemm_flops >= 100_000.0 {
+        ConvLowering::Im2colGemm
+    } else {
+        ConvLowering::Direct
     }
 }
 
@@ -139,6 +189,60 @@ mod tests {
         let cost = estimate(g.node(t), &[g.shape(x)]);
         assert_eq!(cost.flops, 0.0);
         assert!(cost.bytes > 0.0);
+    }
+
+    #[test]
+    fn lowering_heuristic_on_clear_cut_geometries() {
+        // Deep residual-style body: many channels both sides, 3x3 same.
+        // GEMM arithmetic dwarfs the patch copy.
+        assert_eq!(
+            conv2d_lowering(
+                &Shape::new(vec![1, 8, 8, 64]),
+                &Shape::new(vec![3, 3, 64, 64]),
+                Conv2dSpec::same(3),
+            ),
+            ConvLowering::Im2colGemm
+        );
+        // The deepq first conv: fat 8x8 patches, enough output channels.
+        assert_eq!(
+            conv2d_lowering(
+                &Shape::new(vec![4, 20, 20, 4]),
+                &Shape::new(vec![8, 8, 4, 16]),
+                Conv2dSpec { stride: 4, pad: 0 },
+            ),
+            ConvLowering::Im2colGemm
+        );
+        // Single output channel: the GEMM cannot amortize duplicating
+        // the input kh*kw times.
+        assert_eq!(
+            conv2d_lowering(
+                &Shape::new(vec![1, 32, 32, 3]),
+                &Shape::new(vec![3, 3, 3, 1]),
+                Conv2dSpec::same(3),
+            ),
+            ConvLowering::Direct
+        );
+        // Tiny total work: packing overhead swamps the product.
+        assert_eq!(
+            conv2d_lowering(
+                &Shape::new(vec![1, 5, 5, 2]),
+                &Shape::new(vec![3, 3, 2, 4]),
+                Conv2dSpec::valid(),
+            ),
+            ConvLowering::Direct
+        );
+    }
+
+    #[test]
+    fn lowering_ignores_batch() {
+        // Identical geometry, batch 1 vs 64: same choice, by construction.
+        for &(h, ic, oc) in &[(6, 2, 4), (8, 64, 64), (20, 4, 16)] {
+            let f = Shape::new(vec![3, 3, ic, oc]);
+            let spec = Conv2dSpec::same(3);
+            let one = conv2d_lowering(&Shape::new(vec![1, h, h, ic]), &f, spec);
+            let many = conv2d_lowering(&Shape::new(vec![64, h, h, ic]), &f, spec);
+            assert_eq!(one, many, "lowering must not depend on batch (h={h} ic={ic} oc={oc})");
+        }
     }
 
     #[test]

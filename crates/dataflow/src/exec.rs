@@ -34,6 +34,7 @@ use crossbeam::channel;
 use fathom_tensor::kernels::conv as kconv;
 use fathom_tensor::kernels::ctc as kctc;
 use fathom_tensor::kernels::elementwise as kew;
+use fathom_tensor::kernels::im2col as kim2col;
 use fathom_tensor::kernels::matmul as kmm;
 use fathom_tensor::kernels::pool2d as kpool;
 use fathom_tensor::kernels::reduce as kred;
@@ -994,12 +995,37 @@ where
             kmm::matmul(input(0), input(1), *transpose_a, *transpose_b, pool)
         }
 
-        OpKind::Conv2D(spec) => kconv::conv2d(input(0), input(1), *spec, pool),
+        // Convolutions pick their lowering from the cost model's
+        // flop/byte estimate of the (batch-independent) geometry: big
+        // GEMM-shaped geometries go through im2col + the packed engine,
+        // small or thin ones stay on the direct loops.
+        OpKind::Conv2D(spec) => {
+            match cost::conv2d_lowering(input(0).shape(), input(1).shape(), *spec) {
+                cost::ConvLowering::Im2colGemm => {
+                    kim2col::conv2d_im2col(input(0), input(1), *spec, pool)
+                }
+                cost::ConvLowering::Direct => kconv::conv2d(input(0), input(1), *spec, pool),
+            }
+        }
         OpKind::Conv2DBackpropInput { spec, input_shape } => {
-            kconv::conv2d_backprop_input(input_shape, input(0), input(1), *spec, pool)
+            match cost::conv2d_lowering(input_shape, input(0).shape(), *spec) {
+                cost::ConvLowering::Im2colGemm => {
+                    kconv::conv2d_backprop_input_im2col(input_shape, input(0), input(1), *spec, pool)
+                }
+                cost::ConvLowering::Direct => {
+                    kconv::conv2d_backprop_input(input_shape, input(0), input(1), *spec, pool)
+                }
+            }
         }
         OpKind::Conv2DBackpropFilter { spec, filter_shape } => {
-            kconv::conv2d_backprop_filter(input(0), filter_shape, input(1), *spec, pool)
+            match cost::conv2d_lowering(input(0).shape(), filter_shape, *spec) {
+                cost::ConvLowering::Im2colGemm => {
+                    kconv::conv2d_backprop_filter_im2col(input(0), filter_shape, input(1), *spec, pool)
+                }
+                cost::ConvLowering::Direct => {
+                    kconv::conv2d_backprop_filter(input(0), filter_shape, input(1), *spec, pool)
+                }
+            }
         }
         OpKind::MaxPool(spec) => kpool::max_pool(input(0), *spec, pool),
         OpKind::MaxPoolGrad(spec) => kpool::max_pool_grad(input(0), input(1), *spec, pool),

@@ -8,6 +8,7 @@
 //! `Conv2DBackpropFilter`) because the paper's profiles treat them as
 //! distinct operation types (see Figure 6a for `deepq`).
 
+use crate::kernels::gemm;
 use crate::pool::ExecPool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -253,7 +254,80 @@ pub fn conv2d_backprop_filter(
     out
 }
 
-fn dims4(s: &Shape) -> (usize, usize, usize, usize) {
+/// `Conv2DBackpropInput` lowered onto the packed GEMM engine:
+/// `dP = G * F^T` (grad `[n*oh*ow, oc]` by filter `[kh*kw*ic, oc]`
+/// transposed), then [`crate::kernels::im2col::col2im`] folds the patch
+/// gradient back onto the input grid. Numerically equivalent to
+/// [`conv2d_backprop_input`]; bitwise deterministic across worker counts.
+///
+/// # Panics
+///
+/// Panics if `grad`'s shape is not the forward output shape for
+/// `input_shape`/`filter`/`spec`.
+pub fn conv2d_backprop_input_im2col(
+    input_shape: &Shape,
+    filter: &Tensor,
+    grad: &Tensor,
+    spec: Conv2dSpec,
+    pool: &ExecPool,
+) -> Tensor {
+    use crate::kernels::im2col::{col2im, is_pointwise};
+
+    let expect = spec.out_shape(input_shape, filter.shape());
+    assert_eq!(grad.shape(), &expect, "grad shape {} != forward output {}", grad.shape(), expect);
+    let (kh, kw, ic, oc) = dims4(filter.shape());
+    let rows = expect.dim(0) * expect.dim(1) * expect.dim(2);
+    let kdim = kh * kw * ic;
+    if is_pointwise(kh, kw, spec) {
+        // dP == dX: write the product straight into the input gradient.
+        let mut dx = crate::recycle::take_buffer(rows * ic);
+        gemm::gemm_into(&mut dx, rows, ic, oc, grad.data(), false, filter.data(), true, pool);
+        return Tensor::from_vec(dx, input_shape.clone());
+    }
+    let mut dp = crate::recycle::take_buffer(rows * kdim);
+    gemm::gemm_into(&mut dp, rows, kdim, oc, grad.data(), false, filter.data(), true, pool);
+    let dx = col2im(&dp, input_shape, kh, kw, spec, pool);
+    crate::recycle::give_buffer(dp);
+    dx
+}
+
+/// `Conv2DBackpropFilter` lowered onto the packed GEMM engine:
+/// `dF = P^T * G` where `P` is the im2col patch matrix and `G` the
+/// output gradient viewed as `[n*oh*ow, oc]`. The transpose costs
+/// nothing extra — GEMM packing absorbs it. Numerically equivalent to
+/// [`conv2d_backprop_filter`]; bitwise deterministic across worker
+/// counts.
+///
+/// # Panics
+///
+/// Panics if `grad`'s shape is not the forward output shape for
+/// `input`/`filter_shape`/`spec`.
+pub fn conv2d_backprop_filter_im2col(
+    input: &Tensor,
+    filter_shape: &Shape,
+    grad: &Tensor,
+    spec: Conv2dSpec,
+    pool: &ExecPool,
+) -> Tensor {
+    use crate::kernels::im2col::{im2col, is_pointwise};
+
+    let expect = spec.out_shape(input.shape(), filter_shape);
+    assert_eq!(grad.shape(), &expect, "grad shape {} != forward output {}", grad.shape(), expect);
+    let (kh, kw, ic, oc) = dims4(filter_shape);
+    let rows = expect.dim(0) * expect.dim(1) * expect.dim(2);
+    let kdim = kh * kw * ic;
+    let mut df = crate::recycle::take_buffer(kdim * oc);
+    if is_pointwise(kh, kw, spec) {
+        gemm::gemm_into(&mut df, kdim, oc, rows, input.data(), true, grad.data(), false, pool);
+    } else {
+        let patches = im2col(input, kh, kw, spec, pool);
+        gemm::gemm_into(&mut df, kdim, oc, rows, patches.data(), true, grad.data(), false, pool);
+        crate::recycle::reclaim(patches);
+    }
+    Tensor::from_vec(df, filter_shape.clone())
+}
+
+pub(crate) fn dims4(s: &Shape) -> (usize, usize, usize, usize) {
     assert_eq!(s.rank(), 4, "expected rank-4 shape, got {s}");
     (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
 }
@@ -392,6 +466,58 @@ mod tests {
         let serial = conv2d(&x, &f, spec, &ExecPool::serial());
         let par = conv2d(&x, &f, spec, &ExecPool::new(8).with_grain(1));
         assert!(serial.max_abs_diff(&par) < 1e-5);
+    }
+
+    #[test]
+    fn backprop_im2col_lowerings_match_direct() {
+        let mut rng = Rng::seeded(17);
+        for &(h, w, k, ic, oc, stride, pad) in &[
+            (6, 6, 3, 2, 4, 1, 1),
+            (8, 8, 3, 3, 5, 2, 1),
+            (9, 7, 5, 1, 3, 2, 2),
+            (5, 5, 1, 4, 4, 1, 0), // pointwise fast path
+            (20, 20, 8, 4, 16, 4, 0), // dqn geometry
+        ] {
+            let spec = Conv2dSpec { stride, pad };
+            let x = Tensor::randn([2, h, w, ic], 0.0, 1.0, &mut rng);
+            let f = Tensor::randn([k, k, ic, oc], 0.0, 1.0, &mut rng);
+            let g = Tensor::randn(spec.out_shape(x.shape(), f.shape()), 0.0, 1.0, &mut rng);
+
+            let dx_direct = conv2d_backprop_input(x.shape(), &f, &g, spec, &pool());
+            let dx_gemm = conv2d_backprop_input_im2col(x.shape(), &f, &g, spec, &pool());
+            assert!(
+                dx_direct.max_abs_diff(&dx_gemm) < 1e-3,
+                "dx mismatch for h={h} k={k} s={stride} p={pad}: {}",
+                dx_direct.max_abs_diff(&dx_gemm)
+            );
+
+            let dw_direct = conv2d_backprop_filter(&x, f.shape(), &g, spec, &pool());
+            let dw_gemm = conv2d_backprop_filter_im2col(&x, f.shape(), &g, spec, &pool());
+            assert!(
+                dw_direct.max_abs_diff(&dw_gemm) < 1e-3,
+                "dw mismatch for h={h} k={k} s={stride} p={pad}: {}",
+                dw_direct.max_abs_diff(&dw_gemm)
+            );
+        }
+    }
+
+    #[test]
+    fn backprop_im2col_parallel_is_bitwise_identical_to_serial() {
+        let mut rng = Rng::seeded(18);
+        let spec = Conv2dSpec { stride: 2, pad: 1 };
+        let x = Tensor::randn([2, 14, 14, 6], 0.0, 1.0, &mut rng);
+        let f = Tensor::randn([3, 3, 6, 12], 0.0, 1.0, &mut rng);
+        let g = Tensor::randn(spec.out_shape(x.shape(), f.shape()), 0.0, 1.0, &mut rng);
+        let serial = ExecPool::serial();
+        let dx0 = conv2d_backprop_input_im2col(x.shape(), &f, &g, spec, &serial);
+        let dw0 = conv2d_backprop_filter_im2col(&x, f.shape(), &g, spec, &serial);
+        for threads in [2, 8] {
+            let par = ExecPool::new(threads).with_grain(1);
+            let dx = conv2d_backprop_input_im2col(x.shape(), &f, &g, spec, &par);
+            let dw = conv2d_backprop_filter_im2col(&x, f.shape(), &g, spec, &par);
+            assert_eq!(dx0.data(), dx.data(), "dx diverged at {threads} workers");
+            assert_eq!(dw0.data(), dw.data(), "dw diverged at {threads} workers");
+        }
     }
 
     #[test]

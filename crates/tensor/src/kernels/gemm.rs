@@ -1,0 +1,356 @@
+//! Packed, register-tiled GEMM engine (op class A in the paper's taxonomy).
+//!
+//! This is the BLIS-style counterpart to the row-parallel kernel in
+//! [`crate::kernels::matmul`]: both operands are first *packed* into
+//! contiguous panels, then an MR×NR register-tiled microkernel walks the
+//! panels with unit stride. Packing pays one pass over each operand and
+//! buys three things:
+//!
+//! 1. Every microkernel read is sequential, so the `transpose_a` path —
+//!    a strided column walk in the row kernel — costs the same as the
+//!    plain layout.
+//! 2. The accumulator tile is a local `[[f32; NR]; MR]` array with
+//!    independent lanes, which the compiler can keep in vector registers
+//!    and auto-vectorize *without* reassociating any floating-point sum.
+//! 3. Work splits over a 2D grid of MC×NC output tiles rather than rows
+//!    of C, so small-m matrices (one row per request in serving,
+//!    per-step seq2seq/memnet matrices) still fan out across workers.
+//!
+//! # Determinism
+//!
+//! Parallel output is bitwise identical to serial. Each C element is
+//! owned by exactly one output tile (tiles partition the M×N plane), and
+//! its value is produced by a fixed-order sum: K blocks are walked in
+//! ascending order, each block's partial sum accumulates sequentially
+//! over `kk` into a fresh tile-local accumulator, and the block results
+//! are added into C left to right. None of that order depends on worker
+//! count, tile ownership, or whether the element sits in a full or edge
+//! tile — edge tiles compute the same lanes against zero padding.
+//!
+//! Packing buffers come from the thread's installed [`crate::BufferPool`]
+//! (see [`crate::recycle::take_buffer`]), so steady-state training does
+//! no kernel-scratch allocation.
+
+use crate::pool::ExecPool;
+use crate::recycle;
+use crate::tensor::Tensor;
+
+/// Microkernel tile rows: one accumulator row per packed-A lane.
+pub const MR: usize = 8;
+/// Microkernel tile columns: one SIMD-friendly strip of packed B.
+pub const NR: usize = 16;
+/// K-dimension block: a KC-deep slice of packed A and B panels stays
+/// resident in L1/L2 while a tile's partial products accumulate.
+const KC: usize = 512;
+/// Rows of C per parallel task (must be a multiple of `MR`).
+const MC: usize = 64;
+/// Columns of C per parallel task (must be a multiple of `NR`).
+const NC: usize = 64;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+
+/// Raw output pointer shared across tile tasks. Safe because the tile
+/// grid partitions C: no two tasks touch the same element.
+struct SharedOut(*mut f32);
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    /// Accessor rather than field reads inside closures: 2021-edition
+    /// closures capture individual fields, and a captured bare `*mut`
+    /// would lose the wrapper's `Sync`.
+    fn ptr(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Whether `matmul` should route a `[m,k]x[k,n]` product through the
+/// packed engine rather than the row-parallel kernel.
+///
+/// Deliberately independent of `m`: serving's batch-independence
+/// contract compares batch-1 against batch-B outputs bitwise, and `m` is
+/// the batch-scaled dimension. Keying the choice on `m` would make the
+/// two runs take different kernels. Small `k*n` products do not amortize
+/// the packing pass, and `n < NR` leaves most microkernel lanes padding.
+pub fn use_packed(k: usize, n: usize) -> bool {
+    k >= 32 && n >= NR && k.saturating_mul(n) >= 8192
+}
+
+/// `C = op(A) * op(B)` through the packed engine. Same contract as
+/// [`crate::kernels::matmul::matmul`].
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the contraction dimensions
+/// disagree.
+pub fn matmul_packed(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_a: bool,
+    transpose_b: bool,
+    pool: &ExecPool,
+) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, ka) = if transpose_a {
+        (a.shape().dim(1), a.shape().dim(0))
+    } else {
+        (a.shape().dim(0), a.shape().dim(1))
+    };
+    let (kb, n) = if transpose_b {
+        (b.shape().dim(1), b.shape().dim(0))
+    } else {
+        (b.shape().dim(0), b.shape().dim(1))
+    };
+    assert_eq!(
+        ka, kb,
+        "matmul contraction mismatch: op(a) is [{m}, {ka}], op(b) is [{kb}, {n}]"
+    );
+    let mut c = recycle::take_buffer(m * n);
+    gemm_into(&mut c, m, n, ka, a.data(), transpose_a, b.data(), transpose_b, pool);
+    Tensor::from_vec(c, [m, n])
+}
+
+/// Writes `op(A) * op(B)` into `c` (`c` is fully overwritten; prior
+/// contents are ignored). `a` is `[m, k]` (`[k, m]` when `transpose_a`)
+/// and `b` is `[k, n]` (`[n, k]` when `transpose_b`), both row-major.
+///
+/// # Panics
+///
+/// Panics if `c.len() != m * n` or an operand slice is shorter than its
+/// claimed extent.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    transpose_a: bool,
+    b: &[f32],
+    transpose_b: bool,
+    pool: &ExecPool,
+) {
+    assert_eq!(c.len(), m * n, "gemm output length mismatch");
+    assert_eq!(a.len(), m * k, "gemm lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs length mismatch");
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let m_strips = m.div_ceil(MR);
+    let n_strips = n.div_ceil(NR);
+    let k_blocks = k.div_ceil(KC);
+    let m_pad = m_strips * MR;
+    let n_pad = n_strips * NR;
+
+    // Pack both operands once, up front, in parallel over strips. A
+    // strip is MR (or NR) rows/columns of one K block, stored as
+    // `[kc][MR]` (`[kc][NR]`): the microkernel then reads both panels
+    // with unit stride regardless of the source transpose flags.
+    // Rows/columns past the matrix edge pack as zeros, so edge tiles
+    // run the identical lane schedule as interior tiles.
+    let mut apack = recycle::take_buffer(k * m_pad);
+    let mut bpack = recycle::take_buffer(k * n_pad);
+    let a_out = SharedOut(apack.as_mut_ptr());
+    pool.for_indices(k_blocks * m_strips, KC * MR, |idx| {
+        let (p, s) = (idx / m_strips, idx % m_strips);
+        let kstart = p * KC;
+        let kc = KC.min(k - kstart);
+        // SAFETY: strip (p, s) owns exactly this MR*kc region; the
+        // (p, s) -> offset map is injective across tasks.
+        let strip = unsafe {
+            std::slice::from_raw_parts_mut(a_out.ptr().add(kstart * m_pad + s * MR * kc), MR * kc)
+        };
+        for (kk, row) in strip.chunks_exact_mut(MR).enumerate() {
+            let krow = kstart + kk;
+            for (r, slot) in row.iter_mut().enumerate() {
+                let i = s * MR + r;
+                *slot = if i >= m {
+                    0.0
+                } else if transpose_a {
+                    a[krow * m + i]
+                } else {
+                    a[i * k + krow]
+                };
+            }
+        }
+    });
+    let b_out = SharedOut(bpack.as_mut_ptr());
+    pool.for_indices(k_blocks * n_strips, KC * NR, |idx| {
+        let (p, t) = (idx / n_strips, idx % n_strips);
+        let kstart = p * KC;
+        let kc = KC.min(k - kstart);
+        // SAFETY: strip (p, t) owns exactly this NR*kc region.
+        let strip = unsafe {
+            std::slice::from_raw_parts_mut(b_out.ptr().add(kstart * n_pad + t * NR * kc), NR * kc)
+        };
+        for (kk, row) in strip.chunks_exact_mut(NR).enumerate() {
+            let krow = kstart + kk;
+            for (col, slot) in row.iter_mut().enumerate() {
+                let j = t * NR + col;
+                *slot = if j >= n {
+                    0.0
+                } else if transpose_b {
+                    b[j * k + krow]
+                } else {
+                    b[krow * n + j]
+                };
+            }
+        }
+    });
+
+    // 2D parallelism over the MC×NC output-tile grid. Each task owns a
+    // disjoint C rectangle and walks K blocks in ascending order, so the
+    // per-element reduction order is fixed (see module docs).
+    let mc_blocks = m.div_ceil(MC);
+    let nc_blocks = n.div_ceil(NC);
+    let c_out = SharedOut(c.as_mut_ptr());
+    let (ap, bp) = (apack.as_slice(), bpack.as_slice());
+    pool.for_indices(mc_blocks * nc_blocks, 2 * MC * NC * k, |idx| {
+        let (ic, jc) = (idx / nc_blocks, idx % nc_blocks);
+        let i_hi = (ic * MC + MC).min(m);
+        let j_hi = (jc * NC + NC).min(n);
+        let (s_lo, s_hi) = (ic * MC / MR, i_hi.div_ceil(MR));
+        let (t_lo, t_hi) = (jc * NC / NR, j_hi.div_ceil(NR));
+        for p in 0..k_blocks {
+            let kstart = p * KC;
+            let kc = KC.min(k - kstart);
+            for s in s_lo..s_hi {
+                let apanel = &ap[kstart * m_pad + s * MR * kc..][..MR * kc];
+                let rows = MR.min(i_hi - s * MR);
+                for t in t_lo..t_hi {
+                    let bpanel = &bp[kstart * n_pad + t * NR * kc..][..NR * kc];
+                    let acc = micro_kernel(apanel, bpanel, kc);
+                    let cols = NR.min(j_hi - t * NR);
+                    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                        // SAFETY: rows [s*MR, i_hi) × cols [t*NR, j_hi)
+                        // lie inside this task's tile; tiles partition C.
+                        let c_row = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                c_out.ptr().add((s * MR + r) * n + t * NR),
+                                cols,
+                            )
+                        };
+                        for (cv, av) in c_row.iter_mut().zip(acc_row) {
+                            *cv += av;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    recycle::give_buffer(apack);
+    recycle::give_buffer(bpack);
+}
+
+/// One MR×NR tile against one K block of packed panels. `apanel` is
+/// `[kc][MR]`, `bpanel` is `[kc][NR]`. The accumulator lanes are
+/// independent (no cross-lane sum), so the compiler vectorizes this
+/// without changing any reduction order.
+#[inline]
+fn micro_kernel(apanel: &[f32], bpanel: &[f32], kc: usize) -> [[f32; NR]; MR] {
+    const { assert!(MR == 8, "micro_kernel unrolls exactly MR accumulator rows") };
+    // One named accumulator row per MR lane, updated through `axpy`. The
+    // row loop is unrolled by hand rather than written `for r in 0..MR`:
+    // given a 2D accumulator array, LLVM's loop vectorizer (with wide
+    // vectors available) prefers vectorizing *across rows* with
+    // gather/scatter on the accumulator — an order of magnitude slower
+    // than broadcasting `a` and streaming `b`. With the rows as distinct
+    // locals only the contiguous NR axis is left to vectorize, which is
+    // the canonical broadcast GEMM kernel.
+    let mut r0 = [0.0f32; NR];
+    let mut r1 = [0.0f32; NR];
+    let mut r2 = [0.0f32; NR];
+    let mut r3 = [0.0f32; NR];
+    let mut r4 = [0.0f32; NR];
+    let mut r5 = [0.0f32; NR];
+    let mut r6 = [0.0f32; NR];
+    let mut r7 = [0.0f32; NR];
+    for kk in 0..kc {
+        let a: &[f32; MR] = apanel[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b: &[f32; NR] = bpanel[kk * NR..kk * NR + NR].try_into().unwrap();
+        axpy(&mut r0, a[0], b);
+        axpy(&mut r1, a[1], b);
+        axpy(&mut r2, a[2], b);
+        axpy(&mut r3, a[3], b);
+        axpy(&mut r4, a[4], b);
+        axpy(&mut r5, a[5], b);
+        axpy(&mut r6, a[6], b);
+        axpy(&mut r7, a[7], b);
+    }
+    [r0, r1, r2, r3, r4, r5, r6, r7]
+}
+
+/// `acc += a * b` over one register-width row; the independent lanes
+/// vectorize without reordering any per-lane sum.
+#[inline(always)]
+fn axpy(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
+    for (slot, &bv) in acc.iter_mut().zip(b) {
+        *slot += a * bv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul::matmul_naive;
+    use crate::rng::Rng;
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+        assert!(a.max_abs_diff(b) < tol, "{what}: max diff {}", a.max_abs_diff(b));
+    }
+
+    #[test]
+    fn matches_naive_on_odd_shapes_for_all_transposes() {
+        let mut rng = Rng::seeded(11);
+        for &(m, k, n) in &[(1, 37, 17), (13, 300, 31), (67, 129, 19), (8, 256, 16)] {
+            for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+                let a = Tensor::randn(if ta { [k, m] } else { [m, k] }, 0.0, 1.0, &mut rng);
+                let b = Tensor::randn(if tb { [n, k] } else { [k, n] }, 0.0, 1.0, &mut rng);
+                let packed = matmul_packed(&a, &b, ta, tb, &ExecPool::new(4).with_grain(1));
+                let naive = matmul_naive(&a, &b, ta, tb);
+                close(&packed, &naive, 1e-3, &format!("m={m} k={k} n={n} ta={ta} tb={tb}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_serial() {
+        let mut rng = Rng::seeded(29);
+        let a = Tensor::randn([129, 517], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([517, 143], 0.0, 1.0, &mut rng);
+        let serial = matmul_packed(&a, &b, false, false, &ExecPool::serial());
+        for threads in [2, 4, 8] {
+            let par = matmul_packed(&a, &b, false, false, &ExecPool::new(threads).with_grain(1));
+            assert_eq!(serial.data(), par.data(), "{threads} workers diverged");
+        }
+    }
+
+    #[test]
+    fn degenerate_extents_yield_zeros_or_empty() {
+        let pool = ExecPool::serial();
+        let c = matmul_packed(&Tensor::zeros([0, 5]), &Tensor::zeros([5, 4]), false, false, &pool);
+        assert_eq!(c.shape().dims(), &[0, 4]);
+        let c = matmul_packed(&Tensor::ones([3, 0]), &Tensor::ones([0, 4]), false, false, &pool);
+        assert_eq!(c.shape().dims(), &[3, 4]);
+        assert!(c.data().iter().all(|&v| v == 0.0), "k=0 product must be all zeros");
+    }
+
+    #[test]
+    fn gemm_into_overwrites_stale_output() {
+        let mut c = vec![f32::NAN; 4];
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        gemm_into(&mut c, 2, 2, 2, &a, false, &b, false, &ExecPool::serial());
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn dispatch_threshold_ignores_m() {
+        assert!(use_packed(512, 512));
+        assert!(!use_packed(4, 512), "tiny k cannot amortize packing");
+        assert!(!use_packed(512, 8), "n below NR leaves lanes as padding");
+    }
+}

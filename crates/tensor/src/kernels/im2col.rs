@@ -1,17 +1,30 @@
-//! im2col convolution: the classic "lower convolution to matmul" kernel
-//! used by Caffe and early cuDNN.
+//! im2col/col2im convolution: the classic "lower convolution to GEMM"
+//! kernels used by Caffe and early cuDNN.
 //!
 //! The patch matrix `[n*oh*ow, kh*kw*ic]` is materialized once and
-//! multiplied by the filter viewed as `[kh*kw*ic, oc]`. This trades
-//! memory traffic (the input is duplicated up to `kh*kw` times) for a
-//! single large, highly regular matmul — the `kernels` criterion bench
-//! compares it against the direct kernel, and the result is one of the
-//! design-choice ablations DESIGN.md calls for.
+//! multiplied by the filter viewed as `[kh*kw*ic, oc]` through the
+//! packed engine in [`crate::kernels::gemm`]. This trades memory traffic
+//! (the input is duplicated up to `kh*kw` times) for a single large,
+//! highly regular GEMM — the `kernels` criterion bench compares it
+//! against the direct kernel, and the result is one of the design-choice
+//! ablations DESIGN.md calls for. [`col2im`] is the adjoint scatter that
+//! lowers `Conv2DBackpropInput` onto the same engine, and 1×1 unit-stride
+//! unpadded convolutions skip patch materialization entirely (the patch
+//! matrix *is* the input). Patch/product scratch is drawn from the
+//! thread's installed [`crate::BufferPool`].
 
-use crate::kernels::conv::Conv2dSpec;
-use crate::kernels::matmul::matmul;
+use crate::kernels::conv::{dims4, Conv2dSpec};
+use crate::kernels::gemm::gemm_into;
 use crate::pool::ExecPool;
+use crate::recycle;
+use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Whether the patch matrix is the input itself: a 1×1 unit-stride
+/// unpadded convolution is exactly `[n*h*w, ic] x [ic, oc]`.
+pub(crate) fn is_pointwise(kh: usize, kw: usize, spec: Conv2dSpec) -> bool {
+    kh == 1 && kw == 1 && spec.stride == 1 && spec.pad == 0
+}
 
 /// Materializes the patch matrix `[n*oh*ow, kh*kw*ic]` for an NHWC input.
 ///
@@ -63,16 +76,85 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec, pool: &Exe
 /// Panics if the shapes are not a valid convolution.
 pub fn conv2d_im2col(input: &Tensor, filter: &Tensor, spec: Conv2dSpec, pool: &ExecPool) -> Tensor {
     let out_shape = spec.out_shape(input.shape(), filter.shape());
-    let (kh, kw, ic, oc) = (
-        filter.shape().dim(0),
-        filter.shape().dim(1),
-        filter.shape().dim(2),
-        filter.shape().dim(3),
-    );
-    let patches = im2col(input, kh, kw, spec, pool);
-    let filter_mat = filter.clone().reshaped([kh * kw * ic, oc]);
-    let product = matmul(&patches, &filter_mat, false, false, pool);
-    product.reshaped(out_shape)
+    let (kh, kw, ic, oc) = dims4(filter.shape());
+    let rows = out_shape.dim(0) * out_shape.dim(1) * out_shape.dim(2);
+    let mut out = recycle::take_buffer(rows * oc);
+    if is_pointwise(kh, kw, spec) {
+        // The patch matrix is the input viewed as [n*h*w, ic]; multiply
+        // in place with no materialization at all.
+        gemm_into(&mut out, rows, oc, ic, input.data(), false, filter.data(), false, pool);
+    } else {
+        let patches = im2col(input, kh, kw, spec, pool);
+        gemm_into(&mut out, rows, oc, kh * kw * ic, patches.data(), false, filter.data(), false, pool);
+        recycle::reclaim(patches);
+    }
+    Tensor::from_vec(out, out_shape)
+}
+
+/// Adjoint of [`im2col`]: folds a patch-matrix gradient
+/// `[n*oh*ow, kh*kw*ic]` back onto the input grid, summing every patch
+/// that covered each input element.
+///
+/// Written in gather form — parallel spans are input rows, and each
+/// input element accumulates its contributions in a fixed `ky, x, kx`
+/// order — so parallel execution is bitwise identical to serial.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have `n*oh*ow * kh*kw*ic` elements for the
+/// given geometry.
+pub fn col2im(
+    cols: &[f32],
+    input_shape: &Shape,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    pool: &ExecPool,
+) -> Tensor {
+    let (n, h, w, ic) = dims4(input_shape);
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let kdim = kh * kw * ic;
+    assert_eq!(cols.len(), n * oh * ow * kdim, "col2im patch matrix length mismatch");
+    let mut out = Tensor::zeros(input_shape.clone());
+    if out.is_empty() || cols.is_empty() {
+        return out;
+    }
+    let span = w * ic; // one input row
+    let work = kh * kw * w * ic / spec.stride.max(1);
+    pool.for_spans(out.data_mut(), span, work, |row, dst| {
+        let b = row / h;
+        let y = row % h;
+        for ky in 0..kh {
+            // oy * stride + ky - pad == y  =>  oy = (y + pad - ky) / stride
+            let num = y as isize + spec.pad as isize - ky as isize;
+            if num < 0 || !(num as usize).is_multiple_of(spec.stride) {
+                continue;
+            }
+            let oy = num as usize / spec.stride;
+            if oy >= oh {
+                continue;
+            }
+            for x in 0..w {
+                let dst_px = &mut dst[x * ic..(x + 1) * ic];
+                for kx in 0..kw {
+                    let num = x as isize + spec.pad as isize - kx as isize;
+                    if num < 0 || !(num as usize).is_multiple_of(spec.stride) {
+                        continue;
+                    }
+                    let ox = num as usize / spec.stride;
+                    if ox >= ow {
+                        continue;
+                    }
+                    let base = ((b * oh + oy) * ow + ox) * kdim + (ky * kw + kx) * ic;
+                    for (d, &v) in dst_px.iter_mut().zip(&cols[base..base + ic]) {
+                        *d += v;
+                    }
+                }
+            }
+        }
+    });
+    out
 }
 
 #[cfg(test)]

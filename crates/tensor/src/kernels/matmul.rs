@@ -1,9 +1,16 @@
 //! Matrix multiplication kernels (op class A in the paper's taxonomy).
 //!
 //! The `MatMul` kernel is the dominant operation of the fully-connected and
-//! recurrent Fathom workloads (`speech`, `autoenc`, `seq2seq`, `memnet`),
-//! so it gets a cache-blocked, row-parallel implementation.
+//! recurrent Fathom workloads (`speech`, `autoenc`, `seq2seq`, `memnet`).
+//! [`matmul`] dispatches between two implementations: the packed,
+//! register-tiled engine in [`crate::kernels::gemm`] for products large
+//! enough to amortize packing, and the cache-blocked row-parallel kernel
+//! [`matmul_rows`] for everything else. The choice depends only on the
+//! `(k, n)` geometry — never on `m` — so batched and batch-1 runs of the
+//! same graph take the same kernel (serving's bitwise batch-independence
+//! contract).
 
+use crate::kernels::gemm;
 use crate::pool::ExecPool;
 use crate::tensor::Tensor;
 
@@ -20,6 +27,24 @@ const BLOCK_K: usize = 64;
 /// Panics if either input is not rank 2 or the contraction dimensions
 /// disagree.
 pub fn matmul(a: &Tensor, b: &Tensor, transpose_a: bool, transpose_b: bool, pool: &ExecPool) -> Tensor {
+    if a.shape().rank() == 2 && b.shape().rank() == 2 {
+        let (k, n) = if transpose_b {
+            (b.shape().dim(1), b.shape().dim(0))
+        } else {
+            (b.shape().dim(0), b.shape().dim(1))
+        };
+        if gemm::use_packed(k, n) {
+            return gemm::matmul_packed(a, b, transpose_a, transpose_b, pool);
+        }
+    }
+    matmul_rows(a, b, transpose_a, transpose_b, pool)
+}
+
+/// The pre-packing kernel: one parallel span per row of C, k-blocked.
+/// Kept as the dispatch target for small products (packing would cost
+/// more than it saves) and as the baseline the `gemm_scaling` benchmark
+/// measures the packed engine against.
+pub fn matmul_rows(a: &Tensor, b: &Tensor, transpose_a: bool, transpose_b: bool, pool: &ExecPool) -> Tensor {
     assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
     assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
     let (m, ka) = if transpose_a {

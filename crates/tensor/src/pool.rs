@@ -270,6 +270,59 @@ impl ExecPool {
         }
     }
 
+    /// Invokes `f(i)` for every index in `0..n`, parallelized over
+    /// contiguous index chunks sized by the same policy as
+    /// [`ExecPool::for_spans`].
+    ///
+    /// Unlike `for_spans`, no output buffer is managed: `f` is responsible
+    /// for writing only data it owns for that index (e.g. one disjoint
+    /// macro-tile of a matrix). This is the dispatch shape used by kernels
+    /// whose parallel units are not contiguous output spans — the packed
+    /// GEMM engine parallelizes over a 2-D tile grid this way.
+    ///
+    /// Chunk boundaries depend only on `n` and the work estimate, never on
+    /// timing, so any `f` that writes a deterministic function of `i` to a
+    /// disjoint region yields results identical to a serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker executing `f` panicked.
+    pub fn for_indices<F>(&self, n: usize, work_per_index: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let total_work = n.saturating_mul(work_per_index.max(1));
+        let workers = self.workers_for(total_work, n);
+        if workers <= 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let per = n.div_ceil(workers);
+        self.scoped(|scope| {
+            let f = &f;
+            // The caller runs the first chunk itself after enqueueing the
+            // rest (same shape as `for_spans`).
+            let mut start = per;
+            while start < n {
+                let end = (start + per).min(n);
+                scope.spawn(move || {
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+                start = end;
+            }
+            for i in 0..per.min(n) {
+                f(i);
+            }
+        });
+    }
+
     /// Parallel map-reduce over the index range `0..n`: `map` is invoked
     /// on disjoint subranges and the partial results are combined with
     /// `reduce`. Returns `identity` when `n == 0`.
@@ -441,6 +494,44 @@ mod tests {
     #[should_panic(expected = "not a multiple of span")]
     fn misaligned_span_panics() {
         ExecPool::serial().for_spans(&mut [0.0; 7], 2, 0, |_, _| {});
+    }
+
+    #[test]
+    fn for_indices_covers_every_index_once() {
+        let pool = ExecPool::new(4).with_grain(1);
+        let hits: Vec<std::sync::atomic::AtomicUsize> =
+            (0..37).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+        pool.for_indices(37, 1, |i| {
+            hits[i].fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(std::sync::atomic::Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn for_indices_small_work_stays_serial_and_ordered() {
+        let pool = ExecPool::new(8); // default grain: tiny work stays serial
+        let order = std::sync::Mutex::new(Vec::new());
+        pool.for_indices(64, 1, |i| order.lock().unwrap().push(i));
+        assert_eq!(order.into_inner().unwrap(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_indices_empty_range_is_a_noop() {
+        ExecPool::new(4).with_grain(1).for_indices(0, 1, |_| unreachable!());
+    }
+
+    #[test]
+    fn for_indices_panic_propagates_and_pool_survives() {
+        let pool = ExecPool::new(4).with_grain(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.for_indices(1024, 1, |i| assert!(i != 700, "deliberate failure"));
+        }));
+        assert!(result.is_err(), "panic in a worker must propagate");
+        let ran = std::sync::atomic::AtomicBool::new(false);
+        pool.for_indices(1, 1, |_| ran.store(true, std::sync::atomic::Ordering::SeqCst));
+        assert!(ran.load(std::sync::atomic::Ordering::SeqCst));
     }
 
     #[test]

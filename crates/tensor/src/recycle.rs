@@ -96,7 +96,12 @@ impl BufferPool {
     /// Returns a dead tensor's buffer to the pool (or drops it if the
     /// bucket is full or the buffer is too small to pool).
     pub fn give(&self, tensor: Tensor) {
-        let buf = tensor.into_vec();
+        self.give_vec(tensor.into_vec());
+    }
+
+    /// Returns a raw buffer to the pool (or drops it if the bucket is
+    /// full or the buffer is too small to pool).
+    pub fn give_vec(&self, buf: Vec<f32>) {
         if buf.len() < MIN_POOLED_LEN {
             return;
         }
@@ -178,6 +183,35 @@ pub(crate) fn alloc_filled(len: usize, value: f32) -> Vec<f32> {
         }
         None => vec![value; len],
     }
+}
+
+/// Takes a kernel-scratch buffer of exactly `len` elements, drawing from
+/// the thread's installed pool when possible. **Contents are
+/// unspecified** — pooled buffers carry stale data; callers must
+/// overwrite every element before reading. Fresh allocations are zeroed.
+///
+/// Pair with [`give_buffer`] so steady-state kernel scratch (GEMM packing
+/// panels, im2col patch matrices) costs no allocation.
+pub fn take_buffer(len: usize) -> Vec<f32> {
+    let pooled = ACTIVE.with(|active| active.borrow().as_ref().and_then(|pool| pool.take(len)));
+    pooled.unwrap_or_else(|| vec![0.0; len])
+}
+
+/// Returns a scratch buffer to the thread's installed pool. Drops it when
+/// no pool is installed.
+pub fn give_buffer(buf: Vec<f32>) {
+    ACTIVE.with(|active| {
+        if let Some(pool) = active.borrow().as_ref() {
+            pool.give_vec(buf);
+        }
+    });
+}
+
+/// Recycles a dead intermediate tensor's backing buffer into the thread's
+/// installed pool (drops it when none is installed). Kernels use this for
+/// scratch tensors that never escape the call.
+pub fn reclaim(tensor: Tensor) {
+    give_buffer(tensor.into_vec());
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Property and determinism tests for the packed GEMM engine and the
+//! GEMM-lowered convolution gradients.
+//!
+//! Two families of claims:
+//!
+//! 1. **Agreement**: `matmul_packed` equals `matmul_naive` (to rounding)
+//!    for arbitrary — prime, odd, degenerate — `(m, k, n)` and all four
+//!    transpose combinations. Shapes are drawn to straddle the MR/NR/KC
+//!    tile edges so partial tiles and zero-padded pack lanes are hit.
+//! 2. **Determinism**: parallel execution at any worker count is bitwise
+//!    identical to serial, for the raw GEMM and for both conv backprop
+//!    lowerings — the contract PRs 1–3 established for every kernel.
+
+use fathom_tensor::kernels::conv::{
+    conv2d_backprop_filter_im2col, conv2d_backprop_input_im2col, Conv2dSpec,
+};
+use fathom_tensor::kernels::gemm::matmul_packed;
+use fathom_tensor::kernels::matmul::{matmul, matmul_naive};
+use fathom_tensor::{ExecPool, Rng, Tensor};
+use proptest::prelude::*;
+
+/// Dimension sizes that exercise tile interiors, tile edges, and the
+/// one-short / one-over boundaries of MR=8, NR=16, KC=512.
+fn awkward_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..4,           // degenerate
+        Just(7usize),        // MR - 1 (prime)
+        Just(8usize),        // exactly MR
+        Just(13usize),       // prime between MR and NR
+        Just(16usize),       // exactly NR
+        Just(17usize),       // NR + 1 (prime)
+        Just(31usize),       // prime, two NR strips minus one
+        Just(64usize),       // exactly MC/NC
+        Just(67usize),       // prime just past a macro tile
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_matches_naive_all_transposes(
+        m in awkward_dim(),
+        k in awkward_dim(),
+        n in awkward_dim(),
+        combo in 0u8..4,
+        seed in 0u64..1000,
+    ) {
+        let (ta, tb) = (combo & 1 == 1, combo & 2 == 2);
+        let mut rng = Rng::seeded(seed);
+        let a = Tensor::randn(if ta { [k, m] } else { [m, k] }, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(if tb { [n, k] } else { [k, n] }, 0.0, 1.0, &mut rng);
+        let fast = matmul_packed(&a, &b, ta, tb, &ExecPool::new(3).with_grain(1));
+        let slow = matmul_naive(&a, &b, ta, tb);
+        prop_assert_eq!(fast.shape(), slow.shape());
+        prop_assert!(
+            fast.max_abs_diff(&slow) < 1e-3,
+            "m={} k={} n={} ta={} tb={}: diff {}",
+            m, k, n, ta, tb, fast.max_abs_diff(&slow)
+        );
+    }
+
+    #[test]
+    fn packed_is_bitwise_deterministic_across_worker_counts(
+        m in awkward_dim(),
+        k in awkward_dim(),
+        n in awkward_dim(),
+        combo in 0u8..4,
+        seed in 0u64..1000,
+    ) {
+        let (ta, tb) = (combo & 1 == 1, combo & 2 == 2);
+        let mut rng = Rng::seeded(seed);
+        let a = Tensor::randn(if ta { [k, m] } else { [m, k] }, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(if tb { [n, k] } else { [k, n] }, 0.0, 1.0, &mut rng);
+        let serial = matmul_packed(&a, &b, ta, tb, &ExecPool::serial());
+        for threads in [2usize, 8] {
+            let par = matmul_packed(&a, &b, ta, tb, &ExecPool::new(threads).with_grain(1));
+            prop_assert_eq!(serial.data(), par.data(), "{} workers diverged", threads);
+        }
+    }
+}
+
+/// The dispatching `matmul` must agree with naive across the packed /
+/// row-kernel threshold, so graph results do not depend on which side of
+/// `use_packed` a geometry lands.
+#[test]
+fn dispatching_matmul_agrees_with_naive_around_the_threshold() {
+    let mut rng = Rng::seeded(77);
+    for &(m, k, n) in &[
+        (5, 31, 15),   // below: rows kernel
+        (5, 32, 16),   // at the edge
+        (3, 512, 16),  // packed, skinny m
+        (1, 600, 40),  // packed, single row
+    ] {
+        for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+            let a = Tensor::randn(if ta { [k, m] } else { [m, k] }, 0.0, 1.0, &mut rng);
+            let b = Tensor::randn(if tb { [n, k] } else { [k, n] }, 0.0, 1.0, &mut rng);
+            let fast = matmul(&a, &b, ta, tb, &ExecPool::new(2).with_grain(1));
+            let slow = matmul_naive(&a, &b, ta, tb);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-3,
+                "m={m} k={k} n={n} ta={ta} tb={tb}: diff {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+}
+
+/// Serial vs 8 workers, bitwise, for both GEMM-lowered conv gradients
+/// over geometries with and without the pointwise fast path.
+#[test]
+fn conv_backprop_lowerings_are_bitwise_deterministic() {
+    let mut rng = Rng::seeded(99);
+    for &(h, w, k, ic, oc, stride, pad) in &[
+        (13, 11, 3, 5, 17, 1, 1),
+        (16, 16, 5, 3, 8, 2, 2),
+        (9, 9, 1, 6, 12, 1, 0), // pointwise
+        (20, 20, 8, 4, 16, 4, 0), // dqn geometry
+    ] {
+        let spec = Conv2dSpec { stride, pad };
+        let x = Tensor::randn([3, h, w, ic], 0.0, 1.0, &mut rng);
+        let f = Tensor::randn([k, k, ic, oc], 0.0, 1.0, &mut rng);
+        let g = Tensor::randn(spec.out_shape(x.shape(), f.shape()), 0.0, 1.0, &mut rng);
+
+        let serial = ExecPool::serial();
+        let dx0 = conv2d_backprop_input_im2col(x.shape(), &f, &g, spec, &serial);
+        let dw0 = conv2d_backprop_filter_im2col(&x, f.shape(), &g, spec, &serial);
+        for threads in [2usize, 8] {
+            let par = ExecPool::new(threads).with_grain(1);
+            let dx = conv2d_backprop_input_im2col(x.shape(), &f, &g, spec, &par);
+            let dw = conv2d_backprop_filter_im2col(&x, f.shape(), &g, spec, &par);
+            assert_eq!(
+                dx0.data(),
+                dx.data(),
+                "dx diverged at {threads} workers (h={h} k={k} s={stride})"
+            );
+            assert_eq!(
+                dw0.data(),
+                dw.data(),
+                "dw diverged at {threads} workers (h={h} k={k} s={stride})"
+            );
+        }
+    }
+}

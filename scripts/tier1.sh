@@ -15,3 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Chaos smoke: injected op panic, checkpoint corruption, and a replica
 # crash must all be recovered from (nonzero exit if any probe fails).
 ./target/release/fathom chaos autoenc --seed 7
+
+# GEMM smoke: the packed engine must agree with the naive kernel on all
+# four transpose layouts and be bitwise-deterministic serial vs parallel.
+./target/release/fathom gemm-check --m 256 --k 512 --n 192 --threads 8
