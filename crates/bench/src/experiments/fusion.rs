@@ -1,0 +1,272 @@
+//! Elementwise-fusion ablation: executed nodes per training step and
+//! median step wall time with the fusion pass off vs on, across all
+//! eight workloads.
+//!
+//! Fusion collapses chains and DAGs of class-C elementwise operations
+//! into single `Fused` nodes whose loop-jammed interpreter keeps
+//! intermediates register-resident, so the expected signature is fewer
+//! executed nodes per step and a lower class-C share of step time (the
+//! class-G data-movement share is reported alongside as the paper's
+//! other "overhead" class). The evaluator is bitwise-identical to the
+//! unfused kernels (`fathom fuse-check` gates this), so the ablation
+//! measures pure scheduling/traversal savings. Besides the
+//! human-readable table, the experiment emits machine-readable
+//! `BENCH_fusion.json` into both `target/fathom-results/` and the
+//! repository root so the perf trajectory is tracked across PRs.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fathom::{BuildConfig, ModelKind};
+use fathom_dataflow::OpKind;
+use fathom_profile::OpProfile;
+
+use crate::{write_artifact, Effort};
+
+/// One workload's unfused-vs-fused comparison.
+#[derive(Debug, Clone)]
+pub struct FusionRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// `Fused` nodes present in the fused training graph.
+    pub fused_groups: usize,
+    /// Executed nodes per training step, fusion off.
+    pub nodes_unfused: usize,
+    /// Executed nodes per training step, fusion on.
+    pub nodes_fused: usize,
+    /// Median training-step wall time (ms), fusion off.
+    pub ms_unfused: f64,
+    /// Median training-step wall time (ms), fusion on.
+    pub ms_fused: f64,
+    /// Class-C (elementwise) share of traced step time, fusion off/on.
+    pub class_c: (f64, f64),
+    /// Class-G (data movement) share of traced step time, fusion off/on.
+    pub class_g: (f64, f64),
+}
+
+impl FusionRow {
+    /// Fraction of per-step node launches removed by fusion.
+    pub fn node_reduction(&self) -> f64 {
+        if self.nodes_unfused == 0 {
+            return 0.0;
+        }
+        1.0 - self.nodes_fused as f64 / self.nodes_unfused as f64
+    }
+
+    /// Unfused-to-fused step-time ratio (>1 means fusion is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.ms_fused > 0.0 { self.ms_unfused / self.ms_fused } else { 0.0 }
+    }
+}
+
+/// Median of a sample set (mean of the middle two for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Steady-state step time plus one traced step's node count and class
+/// shares for one (workload, fusion) leg.
+///
+/// Timing is taken untraced (tracing itself costs per-event work that
+/// fusion would otherwise be credited for); the traced step that follows
+/// only feeds the node count and the class-share attribution. A `Fused`
+/// node emits one trace event per constituent instruction, all carrying
+/// the node's id, so distinct `(run, node)` pairs count *executed nodes*
+/// rather than attributed ops.
+fn measure(kind: ModelKind, fusion: bool, effort: &Effort) -> (f64, usize, f64, f64) {
+    let cfg = BuildConfig::training().with_fusion(fusion);
+    let mut workload = kind.build(&cfg);
+    for _ in 0..effort.warmup {
+        workload.step();
+    }
+    let mut samples: Vec<f64> = (0..effort.steps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            workload.step();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let ms = median(&mut samples);
+    workload.session_mut().enable_tracing();
+    workload.step();
+    let trace = workload.session_mut().take_trace();
+    let nodes: HashSet<(u64, fathom_dataflow::NodeId)> =
+        trace.events.iter().map(|e| (e.step, e.node)).collect();
+    let profile = OpProfile::from_trace(kind.name(), &trace);
+    let mut class_c = 0.0;
+    let mut class_g = 0.0;
+    for (class, fraction) in profile.class_fractions() {
+        match class.letter() {
+            'C' => class_c = fraction,
+            'G' => class_g = fraction,
+            _ => {}
+        }
+    }
+    (ms, nodes.len(), class_c, class_g)
+}
+
+/// Compares one workload with fusion off and on.
+pub fn compare(kind: ModelKind, effort: &Effort) -> FusionRow {
+    let (ms_unfused, nodes_unfused, c0, g0) = measure(kind, false, effort);
+    let (ms_fused, nodes_fused, c1, g1) = measure(kind, true, effort);
+    let fused_groups = {
+        let cfg = BuildConfig::training().with_fusion(true);
+        let workload = kind.build(&cfg);
+        workload
+            .session()
+            .graph()
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, OpKind::Fused(_)))
+            .count()
+    };
+    FusionRow {
+        workload: kind.name(),
+        fused_groups,
+        nodes_unfused,
+        nodes_fused,
+        ms_unfused,
+        ms_fused,
+        class_c: (c0, c1),
+        class_g: (g0, g1),
+    }
+}
+
+/// Renders the rows as `BENCH_fusion.json` (written by hand; the suite
+/// carries no JSON dependency).
+pub fn to_json(rows: &[FusionRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"ablation_fusion\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"fused_groups\": {}, \
+             \"nodes_per_step\": {{\"unfused\": {}, \"fused\": {}}}, \
+             \"node_reduction\": {:.4}, \
+             \"step_ms\": {{\"unfused\": {:.4}, \"fused\": {:.4}}}, \
+             \"speedup\": {:.3}, \
+             \"class_c_share\": {{\"unfused\": {:.4}, \"fused\": {:.4}}}, \
+             \"class_g_share\": {{\"unfused\": {:.4}, \"fused\": {:.4}}}}}",
+            r.workload,
+            r.fused_groups,
+            r.nodes_unfused,
+            r.nodes_fused,
+            r.node_reduction(),
+            r.ms_unfused,
+            r.ms_fused,
+            r.speedup(),
+            r.class_c.0,
+            r.class_c.1,
+            r.class_g.0,
+            r.class_g.1,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the fusion ablation over every workload.
+pub fn run(effort: &Effort) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ABLATION: elementwise fusion off vs on (training step, median ms)\n\
+         (nodes = executed nodes per step; class shares from one traced step;\n\
+         fused runs are bitwise-identical to unfused -- see `fathom fuse-check`)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>8} {:>8} {:>7} {:>9} {:>9} {:>8} {:>11} {:>11}",
+        "workload", "groups", "nodes", "nodes'", "-nodes", "ms", "ms'", "speedup", "C% off/on", "G% off/on"
+    );
+    let rows: Vec<FusionRow> = ModelKind::ALL.iter().map(|&k| compare(k, effort)).collect();
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>8} {:>8} {:>6.1}% {:>9.2} {:>9.2} {:>7.2}x {:>5.1}/{:<5.1} {:>5.1}/{:<5.1}",
+            r.workload,
+            r.fused_groups,
+            r.nodes_unfused,
+            r.nodes_fused,
+            r.node_reduction() * 100.0,
+            r.ms_unfused,
+            r.ms_fused,
+            r.speedup(),
+            r.class_c.0 * 100.0,
+            r.class_c.1 * 100.0,
+            r.class_g.0 * 100.0,
+            r.class_g.1 * 100.0,
+        );
+    }
+    let total_unfused: usize = rows.iter().map(|r| r.nodes_unfused).sum();
+    let total_fused: usize = rows.iter().map(|r| r.nodes_fused).sum();
+    let faster = rows.iter().filter(|r| r.speedup() > 1.0).count();
+    let _ = writeln!(
+        out,
+        "\nsuite node launches per step: {total_unfused} -> {total_fused}; \
+         workloads faster with fusion: {faster}/{}",
+        rows.len()
+    );
+    let json = to_json(&rows);
+    write_artifact("BENCH_fusion.json", &json);
+    // Also drop it at the repository root, where the PR driver tracks it.
+    let repo_root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(repo_root.join("BENCH_fusion.json"), &json)
+        .expect("can write BENCH_fusion.json at the repo root");
+    write_artifact("ablation_fusion.txt", &out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_fuses_and_preserves_metrics() {
+        let r = compare(ModelKind::Memnet, &Effort::quick());
+        assert!(r.fused_groups > 0, "memnet has fusible hop arithmetic");
+        assert!(r.nodes_fused < r.nodes_unfused, "fusion must shrink the executed-node count");
+        assert!(r.ms_unfused > 0.0 && r.ms_fused > 0.0);
+        for share in [r.class_c.0, r.class_c.1, r.class_g.0, r.class_g.1] {
+            assert!((0.0..=1.0).contains(&share));
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let rows = vec![FusionRow {
+            workload: "memnet",
+            fused_groups: 2,
+            nodes_unfused: 100,
+            nodes_fused: 90,
+            ms_unfused: 10.0,
+            ms_fused: 8.0,
+            class_c: (0.30, 0.25),
+            class_g: (0.20, 0.21),
+        }];
+        let json = to_json(&rows);
+        assert!(json.contains("\"experiment\": \"ablation_fusion\""));
+        assert!(json.contains("\"name\": \"memnet\""));
+        assert!(json.contains("\"node_reduction\": 0.1000"));
+        assert!(json.contains("\"speedup\": 1.250"));
+        assert!(json.contains("\"class_c_share\": {\"unfused\": 0.3000, \"fused\": 0.2500}"));
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+}

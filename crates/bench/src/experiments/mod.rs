@@ -8,6 +8,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fusion;
 pub mod gemm;
 pub mod memory;
 pub mod overhead;

@@ -41,6 +41,19 @@ pub enum Command {
         /// Widest worker count checked against serial.
         threads: usize,
     },
+    /// `fathom fuse-check [--steps N --threads N --inter-ops N --seed N]` —
+    /// elementwise-fusion agreement check: every workload must step
+    /// bitwise-identically with fusion on and off, serial and parallel.
+    FuseCheck {
+        /// Training steps compared per workload.
+        steps: usize,
+        /// Intra-op threads for the parallel leg.
+        threads: usize,
+        /// Inter-op workers for the parallel leg.
+        inter_ops: usize,
+        /// Seed shared by every compared build.
+        seed: u64,
+    },
     /// `fathom help` or `-h`/`--help`.
     Help,
 }
@@ -68,6 +81,8 @@ pub struct RunArgs {
     pub load: Option<String>,
     /// Save variables to this checkpoint after stepping.
     pub save: Option<String>,
+    /// Run the elementwise fusion pass on the built graph.
+    pub fuse: bool,
 }
 
 impl RunArgs {
@@ -83,6 +98,7 @@ impl RunArgs {
             out: None,
             load: None,
             save: None,
+            fuse: false,
         }
     }
 }
@@ -170,7 +186,7 @@ USAGE:
     fathom list    [--json]
     fathom run     <model> [--mode training|inference] [--scale reference|full]
                            [--steps N] [--threads N] [--inter-ops N] [--seed N]
-                           [--load FILE] [--save FILE]
+                           [--load FILE] [--save FILE] [--fuse]
     fathom profile <model> [same options as run]
     fathom trace   <model> --out FILE.json [same options]
     fathom dot     <model> --out FILE.dot  [same options]
@@ -182,6 +198,7 @@ USAGE:
                    [--load FILE.ck] [--out FILE.json] [--fault-plan SPEC]
     fathom chaos   <model> [--seed N]
     fathom gemm-check      [--m N] [--k N] [--n N] [--threads N]
+    fathom fuse-check      [--steps N] [--threads N] [--inter-ops N] [--seed N]
 
 MODELS:
     seq2seq memnet speech autoenc residual vgg alexnet deepq
@@ -271,6 +288,48 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::GemmCheck { m, k, n, threads })
         }
+        "fuse-check" => {
+            let (mut steps, mut threads, mut inter_ops, mut seed) = (3usize, 2usize, 2usize, 0xFA7408u64);
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut raw = |name: &str| -> Result<&String, ParseError> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--steps" => {
+                        steps = raw("--steps")?
+                            .parse()
+                            .map_err(|_| ParseError("--steps needs an integer".into()))?
+                    }
+                    "--threads" => {
+                        threads = raw("--threads")?
+                            .parse()
+                            .map_err(|_| ParseError("--threads needs an integer".into()))?
+                    }
+                    "--inter-ops" => {
+                        inter_ops = raw("--inter-ops")?
+                            .parse()
+                            .map_err(|_| ParseError("--inter-ops needs an integer".into()))?
+                    }
+                    "--seed" => {
+                        seed = raw("--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            if steps == 0 || threads == 0 || inter_ops == 0 {
+                return Err(ParseError(
+                    "fuse-check --steps, --threads and --inter-ops must be positive".into(),
+                ));
+            }
+            Ok(Command::FuseCheck { steps, threads, inter_ops, seed })
+        }
         "run" | "profile" | "trace" | "dot" => {
             let model_str = it
                 .next()
@@ -338,6 +397,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--out" => run.out = Some(value("--out")?),
                     "--load" => run.load = Some(value("--load")?),
                     "--save" => run.save = Some(value("--save")?),
+                    "--fuse" => run.fuse = true,
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -536,6 +596,36 @@ mod tests {
         assert!(parse(&s(&["gemm-check", "--m", "0"])).is_err());
         assert!(parse(&s(&["gemm-check", "--frob"])).is_err());
         assert!(parse(&s(&["gemm-check", "--k"])).is_err());
+    }
+
+    #[test]
+    fn fuse_check_defaults_and_flags() {
+        assert_eq!(
+            parse(&s(&["fuse-check"])).unwrap(),
+            Command::FuseCheck { steps: 3, threads: 2, inter_ops: 2, seed: 0xFA7408 }
+        );
+        assert_eq!(
+            parse(&s(&[
+                "fuse-check", "--steps", "5", "--threads", "4", "--inter-ops", "3", "--seed", "11",
+            ]))
+            .unwrap(),
+            Command::FuseCheck { steps: 5, threads: 4, inter_ops: 3, seed: 11 }
+        );
+        assert!(parse(&s(&["fuse-check", "--steps", "0"])).is_err());
+        assert!(parse(&s(&["fuse-check", "--frob"])).is_err());
+        assert!(parse(&s(&["fuse-check", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn run_parses_fuse_flag() {
+        let Command::Run(args) = parse(&s(&["run", "vgg", "--fuse"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(args.fuse);
+        let Command::Run(args) = parse(&s(&["run", "vgg"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(!args.fuse);
     }
 
     #[test]

@@ -72,6 +72,97 @@ fn dispatch(command: Command) -> Result<(), FathomError> {
         Command::ServeBench(a) => cmd_serve_bench(a),
         Command::Chaos { model, seed } => cmd_chaos(model, seed),
         Command::GemmCheck { m, k, n, threads } => cmd_gemm_check(m, k, n, threads),
+        Command::FuseCheck { steps, threads, inter_ops, seed } => {
+            cmd_fuse_check(steps, threads, inter_ops, seed)
+        }
+    }
+}
+
+/// Checks the elementwise fusion pass across every workload: training
+/// losses, trained variables, and inference metrics must be bitwise
+/// identical with fusion on and off, serial and parallel — and fusion
+/// must actually fire somewhere in the suite. Exits nonzero on any
+/// violation, so scripts/tier1.sh can use it as a smoke gate.
+fn cmd_fuse_check(
+    steps: usize,
+    threads: usize,
+    inter_ops: usize,
+    seed: u64,
+) -> Result<(), FathomError> {
+    use fathom_dataflow::OpKind;
+
+    println!(
+        "fuse-check | {steps} step(s) | parallel leg {threads} thread(s) x {inter_ops} \
+         inter-op worker(s) | seed {seed:#x}"
+    );
+    let mut failures = 0u32;
+    let mut total_groups = 0usize;
+    for kind in ModelKind::ALL {
+        let make = |mode: Mode, fusion: bool, device: Device| {
+            kind.build(&BuildConfig {
+                mode,
+                scale: ModelScale::Reference,
+                device,
+                seed,
+                batch: None,
+                fusion,
+            })
+        };
+        // Training legs: unfused serial is the reference; fused serial and
+        // fused parallel must both reproduce it bit for bit.
+        let mut base = make(Mode::Training, false, Device::cpu(1));
+        let mut fused = make(Mode::Training, true, Device::cpu(1));
+        let mut fused_par = make(Mode::Training, true, Device::cpu_inter_op(threads, inter_ops));
+        let groups = fused
+            .session()
+            .graph()
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, OpKind::Fused(_)))
+            .count();
+        total_groups += groups;
+        let mut loss_ok = true;
+        for _ in 0..steps {
+            let l0 = base.step().loss.expect("training emits a loss");
+            let l1 = fused.step().loss.expect("training emits a loss");
+            let l2 = fused_par.step().loss.expect("training emits a loss");
+            loss_ok &= l0.to_bits() == l1.to_bits() && l0.to_bits() == l2.to_bits();
+        }
+        // Trained variables must agree too; fusion never touches variable
+        // nodes, so the checkpoint byte streams are directly comparable.
+        let mut base_vars = Vec::new();
+        checkpoint::save(base.session(), &mut base_vars)?;
+        let mut fused_vars = Vec::new();
+        checkpoint::save(fused.session(), &mut fused_vars)?;
+        let mut par_vars = Vec::new();
+        checkpoint::save(fused_par.session(), &mut par_vars)?;
+        let vars_ok = base_vars == fused_vars && base_vars == par_vars;
+        // Inference leg: one step, metric bits must agree.
+        let mut inf_base = make(Mode::Inference, false, Device::cpu(1));
+        let mut inf_fused = make(Mode::Inference, true, Device::cpu(1));
+        let m0 = inf_base.step().metric.expect("inference emits a metric");
+        let m1 = inf_fused.step().metric.expect("inference emits a metric");
+        let inf_ok = m0.to_bits() == m1.to_bits();
+        let ok = loss_ok && vars_ok && inf_ok;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{}  {:<8} {groups:>3} fused group(s) | loss bits: {loss_ok}  variables: {vars_ok}  \
+             inference bits: {inf_ok}",
+            if ok { "PASS" } else { "FAIL" },
+            kind.name(),
+        );
+    }
+    if total_groups == 0 {
+        return Err(FathomError::Message(
+            "fuse-check: fusion never fired on any workload".into(),
+        ));
+    }
+    if failures == 0 {
+        println!("fuse-check: all workloads agree bitwise ({total_groups} fused groups total)");
+        Ok(())
+    } else {
+        Err(FathomError::Message(format!("fuse-check: {failures} workload(s) failed")))
     }
 }
 
@@ -151,6 +242,7 @@ fn build(a: &RunArgs) -> Box<dyn Workload> {
         device: Device::cpu_inter_op(a.threads, a.inter_ops),
         seed: a.seed,
         batch: None,
+        fusion: a.fuse,
     };
     a.model.build(&cfg)
 }
@@ -222,6 +314,7 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), FathomError> {
         device: Device::cpu_inter_op(a.threads, a.inter_ops),
         seed: a.seed,
         batch: Some(a.max_batch),
+        fusion: false,
     };
     let mut workers = Vec::with_capacity(a.replicas);
     for _ in 0..a.replicas {
@@ -356,6 +449,7 @@ fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
             device: Device::cpu(1),
             seed,
             batch: None,
+            fusion: false,
         };
         let mut m = model.build(&cfg);
         let mut before = Vec::new();
@@ -421,6 +515,7 @@ fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
             device: Device::cpu(1),
             seed,
             batch: Some(2),
+            fusion: false,
         };
         let plan = Arc::new(
             FaultPlan::new(seed).with(FaultSite::ServeBatch { replica: 0 }, 0, FaultAction::Crash),

@@ -84,7 +84,12 @@ impl Autoenc {
             Mode::Training => Some(Optimizer::adam(1e-3).minimize(&mut g, loss, p.trainable())),
             Mode::Inference => None,
         };
-        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        if cfg.fusion {
+            let mut keep = vec![loss, reconstruction];
+            keep.extend(train);
+            session.enable_fusion(&keep);
+        }
         Autoenc {
             meta: metadata(),
             mode: cfg.mode,

@@ -55,7 +55,12 @@ impl ImageClassifier {
             Mode::Training => Some(optimizer.minimize(&mut g, loss, p.trainable())),
             Mode::Inference => None,
         };
-        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        if cfg.fusion {
+            let mut keep = vec![loss, logits];
+            keep.extend(train);
+            session.enable_fusion(&keep);
+        }
         let corpus = ImageCorpus::new(side, 3, classes, cfg.seed ^ 0xDA7A);
         ImageClassifier {
             meta,

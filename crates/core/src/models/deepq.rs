@@ -227,7 +227,12 @@ impl Deepq {
             }
             Mode::Inference => None,
         };
-        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        if cfg.fusion {
+            let mut keep = vec![act_q, q_values, loss, target_next_q];
+            keep.extend(train);
+            session.enable_fusion(&keep);
+        }
         Deepq {
             meta: metadata(),
             mode: cfg.mode,

@@ -127,7 +127,12 @@ impl Memnet {
             Mode::Training => Some(Optimizer::adam(5e-3).minimize(&mut g, loss, p.trainable())),
             Mode::Inference => None,
         };
-        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        if cfg.fusion {
+            let mut keep = vec![loss, logits];
+            keep.extend(train);
+            session.enable_fusion(&keep);
+        }
         Memnet {
             meta: metadata(),
             mode: cfg.mode,

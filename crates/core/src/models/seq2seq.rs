@@ -155,7 +155,14 @@ impl Seq2Seq {
             Mode::Inference => Some(g.concat(&logit_steps, 1)),
             Mode::Training => None,
         };
-        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        if cfg.fusion {
+            let mut keep = vec![loss];
+            keep.extend_from_slice(&logit_steps);
+            keep.extend(train);
+            keep.extend(serve_logits);
+            session.enable_fusion(&keep);
+        }
         Seq2Seq {
             meta: metadata(),
             mode: cfg.mode,

@@ -133,7 +133,12 @@ impl Speech {
             Mode::Training => Some(Optimizer::adam(1e-3).minimize(&mut g, loss, p.trainable())),
             Mode::Inference => None,
         };
-        let session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
+        if cfg.fusion {
+            let mut keep = vec![loss, logits];
+            keep.extend(train);
+            session.enable_fusion(&keep);
+        }
         Speech {
             meta: metadata(),
             mode: cfg.mode,

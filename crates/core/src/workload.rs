@@ -177,6 +177,11 @@ pub struct BuildConfig {
     /// differ only in `batch` have identical variables (and accept each
     /// other's checkpoints).
     pub batch: Option<usize>,
+    /// Collapse elementwise chains into fused register programs after
+    /// the graph (gradients included) is built. Bitwise-neutral: fused
+    /// and unfused sessions produce identical losses, metrics, and
+    /// variable trajectories.
+    pub fusion: bool,
 }
 
 impl BuildConfig {
@@ -188,6 +193,7 @@ impl BuildConfig {
             device: Device::cpu(1),
             seed: 0xFA7408,
             batch: None,
+            fusion: false,
         }
     }
 
@@ -217,6 +223,12 @@ impl BuildConfig {
     /// Overrides the minibatch extent.
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = Some(batch);
+        self
+    }
+
+    /// Enables or disables elementwise fusion.
+    pub fn with_fusion(mut self, on: bool) -> Self {
+        self.fusion = on;
         self
     }
 

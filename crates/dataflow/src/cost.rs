@@ -5,10 +5,29 @@
 //! DESIGN.md) and provide flop counts for reports.
 
 use fathom_tensor::kernels::conv::Conv2dSpec;
+use fathom_tensor::kernels::fused::{FusedInstr, FusedOp};
 use fathom_tensor::Shape;
 
 use crate::graph::Node;
 use crate::op::OpKind;
+
+/// Per-output-element flop weight of one fused instruction, matching
+/// what [`estimate`] charges the same op unfused. Also used by the
+/// executor to apportion a fused node's measured time across its
+/// constituents for trace attribution.
+pub fn fused_instr_flops_per_elem(instr: &FusedInstr) -> f64 {
+    match instr.op {
+        FusedOp::Exp
+        | FusedOp::Log
+        | FusedOp::Tanh
+        | FusedOp::Sigmoid
+        | FusedOp::Sqrt
+        | FusedOp::Pow => 8.0,
+        // Unfused AddN is charged in_elems = n_args * out_elems.
+        FusedOp::AddN => instr.args.len() as f64,
+        _ => 1.0,
+    }
+}
 
 /// Estimated work of one operation execution.
 #[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
@@ -137,6 +156,12 @@ pub fn estimate(node: &Node, input_shapes: &[&Shape]) -> OpCost {
         OpKind::ApplyRmsProp { .. } => 8.0 * out_elems,
         OpKind::ApplyAdam { .. } => 10.0 * out_elems,
         OpKind::AddN => in_elems,
+        // A fused group's arithmetic is the sum of its constituents'
+        // (the default `bytes` above already counts only external
+        // traffic, which is exactly the fusion win).
+        OpKind::Fused(program) => {
+            program.instrs.iter().map(fused_instr_flops_per_elem).sum::<f64>() * out_elems
+        }
         OpKind::Sum { .. } | OpKind::Mean { .. } | OpKind::MaxReduce { .. } => in_elems,
         OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Maximum
         | OpKind::Greater | OpKind::GreaterEqual | OpKind::Equal | OpKind::Select

@@ -45,8 +45,9 @@ use fathom_tensor::{BufferPool, ExecPool, RecycleStats, Rng, Tensor};
 use crate::cost;
 use crate::device::Device;
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, Node, NodeId};
 use crate::op::OpKind;
+use crate::optimize;
 use crate::trace::{RunTrace, TraceEvent};
 
 /// Errors produced while running a graph.
@@ -712,14 +713,14 @@ impl Session {
         if tracing {
             for (pos, &id) in plan.order.iter().enumerate() {
                 let node = self.graph.node(id);
-                self.trace.events.push(TraceEvent {
-                    node: id,
-                    op: node.kind.name(),
-                    class: node.kind.class(),
-                    step: self.step,
-                    nanos: f64::from_bits(op_nanos[pos].load(Ordering::Relaxed)),
-                    cost: self.cost_cache[id.index()].expect("cost cache pre-filled"),
-                });
+                push_trace_events(
+                    &mut self.trace.events,
+                    id,
+                    node,
+                    self.step,
+                    f64::from_bits(op_nanos[pos].load(Ordering::Relaxed)),
+                    self.cost_cache[id.index()].expect("cost cache pre-filled"),
+                );
             }
         }
         self.step += 1;
@@ -857,16 +858,83 @@ impl Session {
                 ),
                 Device::SimGpu(model) => model.model_nanos(&node.kind, op_cost),
             };
-            self.trace.events.push(TraceEvent {
-                node: id,
-                op: node.kind.name(),
-                class: node.kind.class(),
-                step: self.step,
-                nanos,
-                cost: op_cost,
-            });
+            push_trace_events(&mut self.trace.events, id, node, self.step, nanos, op_cost);
         }
         Ok(value)
+    }
+
+    /// Collapses chains of pure elementwise ops into fused register
+    /// programs, in place (see [`optimize::fuse_in_place`]). Every
+    /// existing [`NodeId`] stays valid: fused-away interiors remain in
+    /// the graph as unscheduled dead nodes, variables and their
+    /// checkpoint order are untouched, and fused execution is bitwise
+    /// identical to unfused. `keep` must cover every node the caller
+    /// will still fetch *through a fused value* — typically the model's
+    /// fetch handles — so their values stay materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kept id does not belong to this session's graph.
+    pub fn enable_fusion(&mut self, keep: &[NodeId]) -> optimize::FusionStats {
+        let stats = optimize::fuse_in_place(&mut self.graph, keep);
+        // Plans and cost estimates were computed against the unfused
+        // node kinds.
+        self.plan_cache.clear();
+        self.cost_cache.clear();
+        stats
+    }
+}
+
+/// Appends the trace event(s) for one executed op.
+///
+/// A [`OpKind::Fused`] node expands into one event per constituent
+/// instruction — each carrying the original elementwise op's name and
+/// class C, with the measured duration and cost apportioned by the
+/// instructions' static flop weights (remainder on the last event, so
+/// per-step sums are exact). Profiles over fused runs therefore keep
+/// reporting constituent op types, and the paper's class breakdown
+/// remains comparable before/after fusion.
+fn push_trace_events(
+    events: &mut Vec<TraceEvent>,
+    id: NodeId,
+    node: &Node,
+    step: u64,
+    nanos: f64,
+    op_cost: cost::OpCost,
+) {
+    let OpKind::Fused(program) = &node.kind else {
+        events.push(TraceEvent {
+            node: id,
+            op: node.kind.name(),
+            class: node.kind.class(),
+            step,
+            nanos,
+            cost: op_cost,
+        });
+        return;
+    };
+    let weights: Vec<f64> = program.instrs.iter().map(cost::fused_instr_flops_per_elem).collect();
+    let total: f64 = weights.iter().sum();
+    let count = weights.len();
+    let (mut nanos_left, mut flops_left, mut bytes_left) = (nanos, op_cost.flops, op_cost.bytes);
+    for (k, instr) in program.instrs.iter().enumerate() {
+        let (n, f, b) = if k + 1 == count {
+            (nanos_left, flops_left, bytes_left)
+        } else {
+            let frac = if total > 0.0 { weights[k] / total } else { 1.0 / count as f64 };
+            (nanos * frac, op_cost.flops * frac, op_cost.bytes * frac)
+        };
+        nanos_left -= n;
+        flops_left -= f;
+        bytes_left -= b;
+        events.push(TraceEvent {
+            node: id,
+            op: instr.op.name(),
+            class: crate::op::OpClass::ElementwiseArithmetic,
+            step,
+            nanos: n,
+            cost: cost::OpCost { flops: f, bytes: b },
+        });
     }
 }
 
@@ -1065,6 +1133,10 @@ where
         OpKind::AddN => {
             let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
             kew::add_n(&tensors, pool)
+        }
+        OpKind::Fused(program) => {
+            let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
+            program.eval(&tensors, pool)
         }
 
         OpKind::Sum { axis, keep_dims } => match axis {

@@ -404,11 +404,13 @@ fn backward(
 
         Greater | GreaterEqual | Equal => Vec::new(),
 
+        // Fusion runs after autodiff (like CSE); a Fused node in a graph
+        // still being differentiated is a pipeline-ordering bug.
         ReluGrad | TanhGrad | SigmoidGrad | SoftmaxGrad
         | SoftmaxCrossEntropyGrad | CtcLossGrad { .. } | Conv2DBackpropInput { .. }
         | Conv2DBackpropFilter { .. } | MaxPoolGrad(_) | AvgPoolGrad { .. }
         | ScatterAddRows { .. } | ApplyGradientDescent { .. } | ApplyMomentum { .. }
-        | ApplyRmsProp { .. } | ApplyAdam { .. } | Group => {
+        | ApplyRmsProp { .. } | ApplyAdam { .. } | Group | Fused(_) => {
             panic!("no gradient registered for {kind}")
         }
     }

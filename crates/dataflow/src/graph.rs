@@ -154,6 +154,46 @@ impl Graph {
         Ok(id)
     }
 
+    /// Rewrites a node in place with a new kind and input list, keeping
+    /// its id, shape, and name. This is how the fusion pass collapses a
+    /// group: the root becomes a [`OpKind::Fused`] node over the group's
+    /// external inputs while interior nodes stay in the graph (possibly
+    /// unreferenced), so every previously handed-out [`NodeId`] remains
+    /// valid and fetchable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input id is foreign or does not strictly
+    /// precede `id` (which would break the append-order topological
+    /// invariant), or if the new kind infers a different output shape.
+    pub fn replace_node(
+        &mut self,
+        id: NodeId,
+        kind: OpKind,
+        inputs: &[NodeId],
+    ) -> Result<(), GraphError> {
+        if id.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(id));
+        }
+        for &i in inputs {
+            if i.index() >= id.index() {
+                return Err(GraphError::UnknownNode(i));
+            }
+        }
+        let shapes: Vec<&Shape> = inputs.iter().map(|&i| &self.nodes[i.index()].shape).collect();
+        let shape = kind.infer_shape(&shapes)?;
+        let node = &mut self.nodes[id.index()];
+        if shape != node.shape {
+            return Err(GraphError::Shape {
+                op: node.kind.name(),
+                msg: format!("replacement infers {shape}, original was {}", node.shape),
+            });
+        }
+        node.kind = kind;
+        node.inputs = inputs.to_vec();
+        Ok(())
+    }
+
     /// Adds a node, panicking on invalid input (graph construction errors
     /// are programming errors, as in TensorFlow's Python frontend).
     ///

@@ -9,6 +9,7 @@
 use std::fmt;
 
 use fathom_tensor::kernels::conv::Conv2dSpec;
+use fathom_tensor::kernels::fused::FusedProgram;
 use fathom_tensor::kernels::pool2d::Pool2dSpec;
 use fathom_tensor::{Shape, Tensor};
 
@@ -190,6 +191,11 @@ pub enum OpKind {
     SigmoidGrad,
     /// Sum of N same-shaped tensors.
     AddN,
+    /// A group of pure elementwise ops collapsed by the fusion pass into
+    /// one register program, evaluated in a single loop-jammed pass (see
+    /// [`crate::optimize::fuse_in_place`]). Inputs are the group's
+    /// external inputs, each either output-shaped or a broadcast scalar.
+    Fused(FusedProgram),
 
     // ---- class D: reduction and expansion ----
     /// Sum along `axis`, or over all elements when `axis` is `None`.
@@ -385,6 +391,7 @@ impl OpKind {
             OpKind::TanhGrad => "TanhGrad",
             OpKind::SigmoidGrad => "SigmoidGrad",
             OpKind::AddN => "AddN",
+            OpKind::Fused(_) => "Fused",
             OpKind::Sum { .. } => "Sum",
             OpKind::Mean { .. } => "Mean",
             OpKind::MaxReduce { .. } => "Max",
@@ -429,7 +436,7 @@ impl OpKind {
             | AvgPoolGrad { .. } => OpClass::Convolution,
             Add | Sub | Mul | Div | Maximum | Pow | Greater | GreaterEqual | Equal | Select
             | Neg | Exp | Log | Sqrt | Square | Tanh | Sigmoid | Relu | ReluGrad | TanhGrad
-            | SigmoidGrad | AddN => OpClass::ElementwiseArithmetic,
+            | SigmoidGrad | AddN | Fused(_) => OpClass::ElementwiseArithmetic,
             Sum { .. } | Mean { .. } | MaxReduce { .. } | Softmax | LogSoftmax | SoftmaxGrad
             | SoftmaxCrossEntropy | SoftmaxCrossEntropyGrad | CtcLoss { .. }
             | CtcLossGrad { .. } | Tile { .. } => OpClass::ReductionExpansion,
@@ -624,6 +631,27 @@ impl OpKind {
                     }
                 }
                 Ok(inputs[0].clone())
+            }
+            Fused(program) => {
+                if let Err(msg) = program.validate() {
+                    return fail(msg);
+                }
+                want_arity(program.n_inputs)?;
+                // Output shape is the shape shared by all non-scalar
+                // inputs; single-element inputs broadcast. This is
+                // deliberately stricter than the binary ops' general
+                // broadcasting — the fused loop walks one flat index.
+                let out = inputs
+                    .iter()
+                    .find(|s| s.num_elements() != 1)
+                    .copied()
+                    .unwrap_or(inputs[0]);
+                for s in inputs {
+                    if s.num_elements() != 1 && *s != out {
+                        return fail(format!("input {s} incompatible with fused output {out}"));
+                    }
+                }
+                Ok(out.clone())
             }
             Sum { axis, keep_dims } | Mean { axis, keep_dims } => {
                 want_arity(1)?;

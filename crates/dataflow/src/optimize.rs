@@ -13,11 +13,18 @@
 //!   ops are merged (the autodiff pass emits many duplicate scalars and
 //!   reduction chains, so this fires often in practice).
 //!
+//! * **elementwise fusion** — chains/DAGs of pure, shape-compatible
+//!   class-C ops collapse into a single [`OpKind::Fused`] register
+//!   program evaluated in one loop-jammed pass (see [`fuse_in_place`]).
+//!
 //! Optimization is opt-in: the profiling experiments characterize the
 //! graphs as built, and the `ablation_optimizer` bench quantifies what
-//! the optimizer buys.
+//! the optimizer buys. Fusion runs *after* autodiff, like CSE, so
+//! gradients are always built against the unfused graph.
 
 use std::collections::HashMap;
+
+use fathom_tensor::kernels::fused::{FusedInstr, FusedOp, FusedProgram};
 
 use crate::device::Device;
 use crate::exec::Session;
@@ -39,6 +46,12 @@ pub struct OptimizeStats {
     pub constants_folded: usize,
     /// Duplicate pure ops merged.
     pub subexpressions_merged: usize,
+    /// `Fused` nodes created (only set by [`optimize_with`] with fusion
+    /// enabled).
+    pub fused_groups: usize,
+    /// Original elementwise ops absorbed into fused groups (roots
+    /// included).
+    pub fused_ops: usize,
 }
 
 /// An optimized graph plus the id remapping for the caller's handles.
@@ -184,6 +197,288 @@ pub fn optimize(g: &Graph, keep: &[NodeId]) -> OptimizedGraph {
 
     stats.optimized_nodes = out.len();
     OptimizedGraph { graph: out, map, stats }
+}
+
+/// What the fusion pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// `Fused` nodes created.
+    pub groups: usize,
+    /// Original elementwise ops absorbed (roots included), so
+    /// `ops_fused - groups` nodes disappear from the executed plan.
+    pub ops_fused: usize,
+}
+
+/// Largest member count of one fused group. Bounds the register file
+/// (which lives on the stack of every evaluating worker) and keeps
+/// programs trivially within the `u16` register index space.
+const MAX_GROUP: usize = 64;
+
+/// The fused instruction for a fusible op kind, or `None` when the op
+/// cannot join a group (non-elementwise, stateful, or control ops).
+fn fusible_op(kind: &OpKind) -> Option<FusedOp> {
+    match kind {
+        OpKind::Add => Some(FusedOp::Add),
+        OpKind::Sub => Some(FusedOp::Sub),
+        OpKind::Mul => Some(FusedOp::Mul),
+        OpKind::Div => Some(FusedOp::Div),
+        OpKind::Maximum => Some(FusedOp::Maximum),
+        OpKind::Pow => Some(FusedOp::Pow),
+        OpKind::Greater => Some(FusedOp::Greater),
+        OpKind::GreaterEqual => Some(FusedOp::GreaterEqual),
+        OpKind::Equal => Some(FusedOp::Equal),
+        OpKind::Select => Some(FusedOp::Select),
+        OpKind::Neg => Some(FusedOp::Neg),
+        OpKind::Exp => Some(FusedOp::Exp),
+        OpKind::Log => Some(FusedOp::Log),
+        OpKind::Sqrt => Some(FusedOp::Sqrt),
+        OpKind::Square => Some(FusedOp::Square),
+        OpKind::Tanh => Some(FusedOp::Tanh),
+        OpKind::Sigmoid => Some(FusedOp::Sigmoid),
+        OpKind::Relu => Some(FusedOp::Relu),
+        OpKind::ReluGrad => Some(FusedOp::ReluGrad),
+        OpKind::TanhGrad => Some(FusedOp::TanhGrad),
+        OpKind::SigmoidGrad => Some(FusedOp::SigmoidGrad),
+        OpKind::AddN => Some(FusedOp::AddN),
+        _ => None,
+    }
+}
+
+/// Collapses chains/DAGs of pure elementwise ops into [`OpKind::Fused`]
+/// nodes, **in place**: each group's root is rewritten to a `Fused` node
+/// over the group's external inputs, while interior members stay in the
+/// graph (as unreferenced dead nodes the executor's reachability walk
+/// skips). Every previously handed-out [`NodeId`] therefore remains
+/// valid — fetch handles, serving ports, and checkpoint variable order
+/// are unaffected, and fetching a former interior node still runs the
+/// original unfused chain.
+///
+/// Legality rules (each guarantees the fused single-flat-loop evaluation
+/// is **bitwise identical** to the unfused kernels):
+///
+/// * members come from the fusible class-C set ([`fusible_op`]) — pure,
+///   elementwise, no session state, no RNG;
+/// * every member produces exactly the root's shape, and every member
+///   input is either another member, a root-shaped external, or a
+///   single-element (broadcast scalar) external — precisely the cases
+///   where the unfused kernels take their per-element fast paths;
+/// * an interior member's consumers (among nodes reachable from `keep`)
+///   must all be inside the group, so no fused-away intermediate is
+///   needed elsewhere;
+/// * nodes in `keep` are never interior (their values stay fetchable
+///   from the fused graph);
+/// * groups have at least two members and at most [`MAX_GROUP`].
+///
+/// Growth is greedy: roots are visited in reverse insertion order
+/// (consumers before producers) and each group absorbs producers to a
+/// fixpoint, so a chain fuses into its deepest consumer.
+///
+/// # Panics
+///
+/// Panics if a kept id does not belong to `g`.
+pub fn fuse_in_place(g: &mut Graph, keep: &[NodeId]) -> FusionStats {
+    let n = g.len();
+
+    // Reachability from the kept set: unreachable nodes are never
+    // touched (and never counted as consumers — they stay behind as the
+    // unfused originals either way).
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<NodeId> = keep.to_vec();
+    while let Some(id) = stack.pop() {
+        assert!(id.index() < n, "kept node {id} is not in this graph");
+        if reachable[id.index()] {
+            continue;
+        }
+        reachable[id.index()] = true;
+        stack.extend(g.node(id).inputs.iter().copied());
+    }
+
+    // Consumer lists among reachable nodes.
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (id, node) in g.iter() {
+        if reachable[id.index()] {
+            for i in &node.inputs {
+                consumers[i.index()].push(id.0);
+            }
+        }
+    }
+    let mut kept = vec![false; n];
+    for k in keep {
+        kept[k.index()] = true;
+    }
+
+    let mut interior = vec![false; n]; // absorbed as a non-root member
+    let mut rooted = vec![false; n]; // already the root of a group
+    let mut stats = FusionStats::default();
+    let mut rewrites: Vec<(NodeId, FusedProgram, Vec<NodeId>)> = Vec::new();
+
+    for root_idx in (0..n).rev() {
+        let root = NodeId(root_idx as u32);
+        if !reachable[root_idx] || interior[root_idx] || rooted[root_idx] {
+            continue;
+        }
+        if fusible_op(&g.node(root).kind).is_none() {
+            continue;
+        }
+        let root_shape = g.shape(root).clone();
+        let input_ok = |g: &Graph, i: NodeId| {
+            g.shape(i) == &root_shape || g.shape(i).num_elements() == 1
+        };
+        if !g.node(root).inputs.iter().all(|&i| input_ok(g, i)) {
+            continue;
+        }
+
+        // Grow the group to a fixpoint.
+        let mut member = vec![false; n];
+        member[root_idx] = true;
+        let mut members = vec![root_idx];
+        loop {
+            let mut grew = false;
+            for mi in 0..members.len() {
+                if members.len() >= MAX_GROUP {
+                    break;
+                }
+                for &cand in &g.node(NodeId(members[mi] as u32)).inputs {
+                    let c = cand.index();
+                    if member[c]
+                        || !reachable[c]
+                        || interior[c]
+                        || rooted[c]
+                        || kept[c]
+                        || members.len() >= MAX_GROUP
+                    {
+                        continue;
+                    }
+                    if fusible_op(&g.node(cand).kind).is_none()
+                        || g.shape(cand) != &root_shape
+                        || !g.node(cand).inputs.iter().all(|&i| input_ok(g, i))
+                        || !consumers[c].iter().all(|&u| member[u as usize])
+                    {
+                        continue;
+                    }
+                    member[c] = true;
+                    members.push(c);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_unstable();
+
+        // Compile the group: inputs first in the register file, then one
+        // register per member in ascending (graph) order; the root is the
+        // maximal member, so the last register is the output.
+        let mut ext_inputs: Vec<NodeId> = Vec::new();
+        let mut ext_reg: HashMap<NodeId, u16> = HashMap::new();
+        let mut member_reg: HashMap<usize, usize> = HashMap::new();
+        let mut raw_instrs: Vec<(FusedOp, Vec<NodeId>)> = Vec::new();
+        for (k, &m) in members.iter().enumerate() {
+            let node = g.node(NodeId(m as u32));
+            let op = fusible_op(&node.kind).expect("members are fusible");
+            raw_instrs.push((op, node.inputs.clone()));
+            member_reg.insert(m, k);
+        }
+        for (_, inputs) in &raw_instrs {
+            for &i in inputs {
+                if !member[i.index()] && !ext_reg.contains_key(&i) {
+                    let reg = ext_inputs.len() as u16;
+                    ext_inputs.push(i);
+                    ext_reg.insert(i, reg);
+                }
+            }
+        }
+        // The Fused node's inferred shape must reproduce the root's
+        // exactly (an all-scalar group could disagree on scalar rank).
+        let inferred = ext_inputs
+            .iter()
+            .find(|&&i| g.shape(i).num_elements() != 1)
+            .or(ext_inputs.first())
+            .map(|&i| g.shape(i).clone());
+        if inferred.as_ref() != Some(&root_shape) {
+            continue;
+        }
+        let n_inputs = ext_inputs.len();
+        let instrs: Vec<FusedInstr> = raw_instrs
+            .iter()
+            .map(|(op, inputs)| FusedInstr {
+                op: *op,
+                args: inputs
+                    .iter()
+                    .map(|i| {
+                        member_reg.get(&i.index()).map_or_else(
+                            || ext_reg[i],
+                            |&k| (n_inputs + k) as u16,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        rooted[root_idx] = true;
+        for &m in &members {
+            if m != root_idx {
+                interior[m] = true;
+            }
+        }
+        stats.groups += 1;
+        stats.ops_fused += members.len();
+        rewrites.push((root, FusedProgram { n_inputs, instrs }, ext_inputs));
+    }
+
+    for (root, program, ext) in rewrites {
+        g.replace_node(root, OpKind::Fused(program), &ext)
+            .expect("fusion rewrites are shape-preserving");
+    }
+    stats
+}
+
+/// Options for [`optimize_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeOptions {
+    /// Run the elementwise fusion pass after the base pipeline.
+    pub fusion: bool,
+}
+
+/// Runs the base [`optimize`] pipeline and, when enabled, the
+/// elementwise fusion pass followed by a second sweep that removes the
+/// fused-away interior nodes from the rewritten graph. The returned map
+/// composes all stages, so callers remap handles exactly as with
+/// [`optimize`]. (Sessions that must keep their ids stable use
+/// [`crate::exec::Session::enable_fusion`] instead, which fuses in place
+/// and leaves interiors as unscheduled dead nodes.)
+///
+/// # Panics
+///
+/// Panics if a kept id does not belong to `g`.
+pub fn optimize_with(g: &Graph, keep: &[NodeId], options: OptimizeOptions) -> OptimizedGraph {
+    let mut base = optimize(g, keep);
+    if !options.fusion {
+        return base;
+    }
+    let kept: Vec<NodeId> = keep.iter().filter_map(|&k| base.remap(k)).collect();
+    let fstats = fuse_in_place(&mut base.graph, &kept);
+    let swept = optimize(&base.graph, &kept);
+    let map = base.map.iter().map(|m| m.and_then(|id| swept.remap(id))).collect();
+    OptimizedGraph {
+        stats: OptimizeStats {
+            original_nodes: g.len(),
+            optimized_nodes: swept.stats.optimized_nodes,
+            dead_removed: base.stats.dead_removed + swept.stats.dead_removed,
+            identities_removed: base.stats.identities_removed + swept.stats.identities_removed,
+            constants_folded: base.stats.constants_folded + swept.stats.constants_folded,
+            subexpressions_merged: base.stats.subexpressions_merged
+                + swept.stats.subexpressions_merged,
+            fused_groups: fstats.groups,
+            fused_ops: fstats.ops_fused,
+        },
+        graph: swept.graph,
+        map,
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +632,133 @@ mod tests {
             .unwrap();
         assert_eq!(a[0], b[0]);
         assert!(a[1].max_abs_diff(&b[1]) < 1e-6);
+    }
+
+    fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+        a.shape() == b.shape()
+            && a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn elementwise_chain_fuses_into_root() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(3, 4));
+        let t = g.tanh(x);
+        let s = g.square(t);
+        let y = g.neg(s);
+        let unfused = g.clone();
+        let stats = fuse_in_place(&mut g, &[y]);
+        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3 });
+        let OpKind::Fused(program) = &g.node(y).kind else {
+            panic!("root should be fused, got {:?}", g.node(y).kind)
+        };
+        assert_eq!(program.n_inputs, 1);
+        assert_eq!(program.instrs.len(), 3);
+        assert_eq!(g.node(y).inputs, vec![x]);
+        // Interiors are untouched and still fetchable.
+        assert!(matches!(g.node(t).kind, OpKind::Tanh));
+
+        let x_val = Tensor::randn([3, 4], 0.0, 1.0, &mut fathom_tensor::Rng::seeded(7));
+        let mut a = Session::new(unfused, Device::cpu(1));
+        let mut b = Session::new(g, Device::cpu(1));
+        let want = a.run1(y, &[(x, x_val.clone())]).unwrap();
+        let got = b.run1(y, &[(x, x_val.clone())]).unwrap();
+        assert!(bitwise_eq(&want, &got));
+        // The former interior still computes the original chain.
+        let interior = b.run1(s, &[(x, x_val)]).unwrap();
+        assert_eq!(interior.shape().dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn kept_nodes_are_never_interior() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(8));
+        let t = g.tanh(x);
+        let y = g.neg(t);
+        let stats = fuse_in_place(&mut g, &[y, t]);
+        // t is kept, so the only possible group {t, y} is blocked.
+        assert_eq!(stats.groups, 0);
+        assert!(matches!(g.node(y).kind, OpKind::Neg));
+    }
+
+    #[test]
+    fn outside_consumer_blocks_interior() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(8));
+        let t = g.tanh(x);
+        let y = g.neg(t);
+        let other = g.sum_all(t); // non-fusible consumer of t
+        let stats = fuse_in_place(&mut g, &[y, other]);
+        assert_eq!(stats.groups, 0);
+    }
+
+    #[test]
+    fn scalar_broadcast_fuses_but_row_broadcast_does_not() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(4, 6));
+        let s = g.placeholder("scale", Shape::scalar());
+        let row = g.placeholder("row", Shape::matrix(1, 6));
+        let scaled = g.mul(x, s);
+        let act = g.relu(scaled);
+        let keep_a = g.neg(act);
+        let shifted = g.add_op(x, row); // row-broadcast: not fusible
+        let keep_b = g.neg(shifted);
+        let stats = fuse_in_place(&mut g, &[keep_a, keep_b]);
+        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3 });
+        assert!(matches!(g.node(keep_a).kind, OpKind::Fused(_)));
+        assert!(matches!(g.node(keep_b).kind, OpKind::Neg));
+        assert!(matches!(g.node(shifted).kind, OpKind::Add));
+    }
+
+    #[test]
+    fn fused_dag_reuses_shared_member() {
+        // d = (tanh x) * (tanh x + x): the tanh feeds two members but no
+        // outside consumer, so the whole diamond fuses into one group.
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(16));
+        let t = g.tanh(x);
+        let sum = g.add_op(t, x);
+        let d = g.mul(t, sum);
+        let unfused = g.clone();
+        let stats = fuse_in_place(&mut g, &[d]);
+        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3 });
+        let x_val = Tensor::randn([16], 0.0, 2.0, &mut fathom_tensor::Rng::seeded(11));
+        let mut a = Session::new(unfused, Device::cpu(1));
+        let mut b = Session::new(g, Device::cpu(1));
+        let want = a.run1(d, &[(x, x_val.clone())]).unwrap();
+        let got = b.run1(d, &[(x, x_val)]).unwrap();
+        assert!(bitwise_eq(&want, &got));
+    }
+
+    #[test]
+    fn optimize_with_fusion_compacts_and_remaps() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(32));
+        let t = g.tanh(x);
+        let s = g.square(t);
+        let y = g.neg(s);
+        let plain = optimize(&g, &[y]);
+        let fused = optimize_with(&g, &[y], OptimizeOptions { fusion: true });
+        assert_eq!(fused.stats.fused_groups, 1);
+        assert_eq!(fused.stats.fused_ops, 3);
+        // The second sweep removes the two interiors.
+        assert_eq!(fused.graph.len(), plain.graph.len() - 2);
+        let new_y = fused.remap(y).unwrap();
+        assert!(matches!(fused.graph.node(new_y).kind, OpKind::Fused(_)));
+        // Interiors are dead in the compacted graph.
+        assert!(fused.remap(s).is_none());
+        assert!(fused.remap(x).is_some());
+    }
+
+    #[test]
+    fn optimize_with_fusion_off_matches_optimize() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::vector(4));
+        let y = g.tanh(x);
+        let plain = optimize(&g, &[y]);
+        let opt = optimize_with(&g, &[y], OptimizeOptions::default());
+        assert_eq!(opt.stats, plain.stats);
+        assert_eq!(opt.graph.len(), plain.graph.len());
     }
 
     #[test]

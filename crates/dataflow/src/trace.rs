@@ -34,7 +34,21 @@ pub struct TraceEvent {
 
 impl TraceEvent {
     /// Execution time as a [`Duration`].
+    ///
+    /// `nanos` is an `f64` because modeled devices synthesize it, and
+    /// synthetic values can be negative, non-finite, or beyond `u64`
+    /// range (chaos runs inject NaN deliberately). The conversion
+    /// contract is explicit: NaN, negative, and `-inf` map to
+    /// [`Duration::ZERO`]; values at or above `u64::MAX` nanoseconds
+    /// (including `+inf`) saturate to `Duration::from_nanos(u64::MAX)`
+    /// (~584 years); everything else truncates toward zero.
     pub fn duration(&self) -> Duration {
+        if self.nanos.is_nan() || self.nanos <= 0.0 {
+            return Duration::ZERO;
+        }
+        if self.nanos >= u64::MAX as f64 {
+            return Duration::from_nanos(u64::MAX);
+        }
         Duration::from_nanos(self.nanos as u64)
     }
 }
@@ -102,6 +116,18 @@ mod tests {
             nanos,
             cost: OpCost::default(),
         }
+    }
+
+    #[test]
+    fn duration_clamps_pathological_nanos() {
+        let at = |nanos: f64| event("Add", OpClass::ElementwiseArithmetic, 0, nanos).duration();
+        assert_eq!(at(f64::NAN), Duration::ZERO);
+        assert_eq!(at(-1.0), Duration::ZERO);
+        assert_eq!(at(f64::NEG_INFINITY), Duration::ZERO);
+        assert_eq!(at(0.0), Duration::ZERO);
+        assert_eq!(at(f64::INFINITY), Duration::from_nanos(u64::MAX));
+        assert_eq!(at(1e30), Duration::from_nanos(u64::MAX));
+        assert_eq!(at(1_500.75), Duration::from_nanos(1_500));
     }
 
     #[test]

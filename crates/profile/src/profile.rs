@@ -69,10 +69,13 @@ impl OpProfile {
         self.total_nanos
     }
 
-    /// Entries sorted by descending time share.
+    /// Entries sorted by descending time share. Durations are not
+    /// guaranteed finite — chaos runs and modeled-time edge cases can
+    /// inject NaN — so the sort uses IEEE total order, which places NaN
+    /// entries first (after `+inf`) instead of panicking.
     pub fn ranked(&self) -> Vec<&OpEntry> {
         let mut v: Vec<&OpEntry> = self.entries.values().collect();
-        v.sort_by(|a, b| b.nanos.partial_cmp(&a.nanos).expect("finite durations"));
+        v.sort_by(|a, b| b.nanos.total_cmp(&a.nanos));
         v
     }
 
@@ -235,5 +238,29 @@ mod tests {
         let b = OpProfile::from_trace("b", &t);
         let u = OpProfile::universe(&[a, b]);
         assert_eq!(u, vec!["Add", "Conv2D", "MatMul", "Tile"]);
+    }
+
+    #[test]
+    fn ranked_survives_nan_durations() {
+        // Chaos runs can leave NaN in modeled durations; ranking must
+        // not panic, and finite entries must still come out in
+        // descending order.
+        let mut t = fake_trace();
+        t.events.push(TraceEvent {
+            node: NodeId::default(),
+            op: "Conv2D",
+            class: OpClass::Convolution,
+            step: 0,
+            nanos: f64::NAN,
+            cost: OpCost::default(),
+        });
+        let p = OpProfile::from_trace("chaos", &t);
+        let ranked = p.ranked();
+        assert_eq!(ranked.len(), 4);
+        // NaN sorts first under descending total order.
+        assert_eq!(ranked[0].op, "Conv2D");
+        let finite: Vec<&str> =
+            ranked.iter().filter(|e| e.nanos.is_finite()).map(|e| e.op.as_str()).collect();
+        assert_eq!(finite, vec!["MatMul", "Add", "Tile"]);
     }
 }

@@ -1,0 +1,499 @@
+//! Loop-jammed interpreter for fused elementwise expression programs.
+//!
+//! A [`FusedProgram`] is a tiny register program over one output element:
+//! registers `0..n_inputs` hold the input tensors' values at that element,
+//! and instruction `k` writes register `n_inputs + k`. The evaluator
+//! jams the whole program into one pass over the output, processing it a
+//! flat span at a time: within a span every register is a span-length
+//! row in one cache-resident scratch block, and each instruction runs a
+//! tight vectorizable inner loop over its rows. Intermediates never
+//! round-trip through tensor-sized buffers — one memory pass per input
+//! and output — and spans parallelize across the [`ExecPool`] like every
+//! other kernel in this module.
+//!
+//! Bitwise contract: each instruction applies *exactly* the scalar
+//! formula of the standalone kernel it replaces (`elementwise.rs` and the
+//! executor's inlined closures), in the producing op's original graph
+//! order, so a fused evaluation is bit-identical to running the unfused
+//! chain. The graph-level legality rules that make per-element evaluation
+//! valid (same-shaped members, scalar-or-same-shaped inputs) live in the
+//! dataflow optimizer; this kernel only checks structural validity.
+
+use crate::pool::ExecPool;
+use crate::tensor::Tensor;
+
+/// Span length used when chunking the flat output loop (matches the
+/// elementwise kernels).
+const FLAT_SPAN: usize = 1024;
+
+/// One scalar operation of a fused program. Every variant mirrors the
+/// scalar formula of the unfused kernel with the same name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `f32::max(a, b)`
+    Maximum,
+    /// `a.powf(b)`
+    Pow,
+    /// `a > b` as 0/1
+    Greater,
+    /// `a >= b` as 0/1
+    GreaterEqual,
+    /// `a == b` as 0/1
+    Equal,
+    /// `(cond, a, b)`: the executor's two-masked-pass formula.
+    Select,
+    /// `-v`
+    Neg,
+    /// `e^v`
+    Exp,
+    /// `ln v`
+    Log,
+    /// `sqrt v`
+    Sqrt,
+    /// `v * v`
+    Square,
+    /// `tanh v`
+    Tanh,
+    /// `1 / (1 + e^-v)`
+    Sigmoid,
+    /// `max(v, 0)`
+    Relu,
+    /// `(x, g)`: `g` where `x > 0`, else 0.
+    ReluGrad,
+    /// `(y, g)`: `g * (1 - y^2)`.
+    TanhGrad,
+    /// `(y, g)`: `g * y * (1 - y)`.
+    SigmoidGrad,
+    /// Variadic sum, accumulated left to right from 0.
+    AddN,
+}
+
+impl FusedOp {
+    /// Fixed operand count, or `None` for the variadic [`FusedOp::AddN`].
+    pub fn arity(&self) -> Option<usize> {
+        use FusedOp::*;
+        match self {
+            Neg | Exp | Log | Sqrt | Square | Tanh | Sigmoid | Relu => Some(1),
+            Add | Sub | Mul | Div | Maximum | Pow | Greater | GreaterEqual | Equal | ReluGrad
+            | TanhGrad | SigmoidGrad => Some(2),
+            Select => Some(3),
+            AddN => None,
+        }
+    }
+
+    /// The TensorFlow-style name of the op this instruction replaces
+    /// (used for profile attribution).
+    pub fn name(&self) -> &'static str {
+        use FusedOp::*;
+        match self {
+            Add => "Add",
+            Sub => "Sub",
+            Mul => "Mul",
+            Div => "Div",
+            Maximum => "Maximum",
+            Pow => "Pow",
+            Greater => "Greater",
+            GreaterEqual => "GreaterEqual",
+            Equal => "Equal",
+            Select => "Select",
+            Neg => "Neg",
+            Exp => "Exp",
+            Log => "Log",
+            Sqrt => "Sqrt",
+            Square => "Square",
+            Tanh => "Tanh",
+            Sigmoid => "Sigmoid",
+            Relu => "Relu",
+            ReluGrad => "ReluGrad",
+            TanhGrad => "TanhGrad",
+            SigmoidGrad => "SigmoidGrad",
+            AddN => "AddN",
+        }
+    }
+}
+
+/// One instruction: an op applied to registers, writing the next register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedInstr {
+    /// Scalar operation.
+    pub op: FusedOp,
+    /// Register operands (inputs come first in the register file).
+    pub args: Vec<u16>,
+}
+
+/// Applies a unary scalar formula across a register row.
+#[inline]
+fn unary_row(a: &[f32], dst: &mut [f32], f: impl Fn(f32) -> f32) {
+    for (d, &av) in dst.iter_mut().zip(a) {
+        *d = f(av);
+    }
+}
+
+/// Applies a binary scalar formula across two register rows.
+#[inline]
+fn binary_row(a: &[f32], b: &[f32], dst: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+    for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(b) {
+        *d = f(av, bv);
+    }
+}
+
+impl FusedInstr {
+    /// Applies the instruction's scalar formula across one span:
+    /// `resolve` maps a register number to its `dst.len()`-long row and
+    /// `dst` is the row being written. Running a tight per-instruction
+    /// inner loop — instead of re-dispatching the op for every element —
+    /// is what lets the fused evaluator vectorize like the standalone
+    /// kernels it replaces.
+    #[inline]
+    fn apply_rows<'r>(&self, resolve: impl Fn(u16) -> &'r [f32], dst: &mut [f32]) {
+        use FusedOp::*;
+        let arg = |i: usize| resolve(self.args[i]);
+        match self.op {
+            Add => binary_row(arg(0), arg(1), dst, |a, b| a + b),
+            Sub => binary_row(arg(0), arg(1), dst, |a, b| a - b),
+            Mul => binary_row(arg(0), arg(1), dst, |a, b| a * b),
+            Div => binary_row(arg(0), arg(1), dst, |a, b| a / b),
+            Maximum => binary_row(arg(0), arg(1), dst, f32::max),
+            Pow => binary_row(arg(0), arg(1), dst, f32::powf),
+            Greater => binary_row(arg(0), arg(1), dst, |a, b| f32::from(a > b)),
+            GreaterEqual => binary_row(arg(0), arg(1), dst, |a, b| f32::from(a >= b)),
+            Equal => binary_row(arg(0), arg(1), dst, |a, b| f32::from(a == b)),
+            // The executor lowers Select to two masked passes plus an
+            // add; mirror that formula exactly (it differs from a plain
+            // conditional move on signed zeros).
+            Select => {
+                let (c, a, b) = (arg(0), arg(1), arg(2));
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = (if c[j] != 0.0 { a[j] } else { 0.0 })
+                        + (if c[j] != 0.0 { 0.0 } else { b[j] });
+                }
+            }
+            Neg => unary_row(arg(0), dst, |v| -v),
+            Exp => unary_row(arg(0), dst, f32::exp),
+            Log => unary_row(arg(0), dst, f32::ln),
+            Sqrt => unary_row(arg(0), dst, f32::sqrt),
+            Square => unary_row(arg(0), dst, |v| v * v),
+            Tanh => unary_row(arg(0), dst, f32::tanh),
+            Sigmoid => unary_row(arg(0), dst, |v| 1.0 / (1.0 + (-v).exp())),
+            Relu => unary_row(arg(0), dst, |v| v.max(0.0)),
+            ReluGrad => binary_row(arg(0), arg(1), dst, |x, g| if x > 0.0 { g } else { 0.0 }),
+            TanhGrad => binary_row(arg(0), arg(1), dst, |y, g| g * (1.0 - y * y)),
+            SigmoidGrad => binary_row(arg(0), arg(1), dst, |y, g| g * y * (1.0 - y)),
+            // Accumulate from 0.0 in operand order — `add_n`'s exact
+            // fold, so signed zeros round-trip identically.
+            AddN => {
+                dst.fill(0.0);
+                for &a in &self.args {
+                    let row = resolve(a);
+                    for (d, &v) in dst.iter_mut().zip(row) {
+                        *d += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A straight-line elementwise expression program.
+///
+/// Register layout: `0..n_inputs` are the external inputs in argument
+/// order; instruction `k` writes register `n_inputs + k`; the last
+/// register is the output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FusedProgram {
+    /// External input count (and the index of the first scratch register).
+    pub n_inputs: usize,
+    /// Instructions in evaluation (original graph) order.
+    pub instrs: Vec<FusedInstr>,
+}
+
+impl FusedProgram {
+    /// Total register count (inputs plus one per instruction).
+    pub fn n_registers(&self) -> usize {
+        self.n_inputs + self.instrs.len()
+    }
+
+    /// Checks structural validity: at least one input and one
+    /// instruction, arities respected, every operand referring to an
+    /// already-written register.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_inputs == 0 {
+            return Err("fused program needs at least one input".into());
+        }
+        if self.instrs.is_empty() {
+            return Err("fused program needs at least one instruction".into());
+        }
+        if self.n_registers() > usize::from(u16::MAX) {
+            return Err(format!("fused program needs {} registers (max 65535)", self.n_registers()));
+        }
+        for (k, instr) in self.instrs.iter().enumerate() {
+            if let Some(arity) = instr.op.arity() {
+                if instr.args.len() != arity {
+                    return Err(format!(
+                        "instruction {k} ({}) takes {arity} operands, got {}",
+                        instr.op.name(),
+                        instr.args.len()
+                    ));
+                }
+            } else if instr.args.is_empty() {
+                return Err(format!("instruction {k} (AddN) needs at least one operand"));
+            }
+            let writable = self.n_inputs + k;
+            for &a in &instr.args {
+                if usize::from(a) >= writable {
+                    return Err(format!(
+                        "instruction {k} reads register {a} before it is written"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the program over `inputs`, walking each output element
+    /// once through every instruction.
+    ///
+    /// The output shape is the shape shared by the non-scalar inputs
+    /// (single-element inputs broadcast); an all-scalar program yields
+    /// the first input's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is structurally invalid, `inputs` does not
+    /// match `n_inputs`, or a non-scalar input disagrees on shape.
+    pub fn eval(&self, inputs: &[&Tensor], pool: &ExecPool) -> Tensor {
+        self.validate().expect("fused program is structurally valid");
+        assert_eq!(inputs.len(), self.n_inputs, "fused program input arity");
+        let out_shape = inputs
+            .iter()
+            .find(|t| t.len() != 1)
+            .map_or_else(|| inputs[0].shape().clone(), |t| t.shape().clone());
+        for t in inputs {
+            assert!(
+                t.len() == 1 || t.shape() == &out_shape,
+                "fused input {} incompatible with output {out_shape}",
+                t.shape()
+            );
+        }
+        let n = out_shape.num_elements();
+        let mut out = Tensor::zeros(out_shape);
+        let span = FLAT_SPAN.min(n.max(1));
+        let aligned = n - n % span;
+        // Span-length splat rows for scalar inputs, shared by every span
+        // (tail spans borrow a prefix).
+        let scalar_rows: Vec<Option<Vec<f32>>> = inputs
+            .iter()
+            .map(|t| (t.len() == 1).then(|| vec![t.data()[0]; span]))
+            .collect();
+        // Instruction-major within each span: every intermediate register
+        // is a span-length row in one cache-resident scratch block, and
+        // each instruction runs a tight inner loop over its operand rows.
+        // Input registers are read in place from the input tensors and
+        // the final instruction writes straight into the output, so
+        // intermediates never round-trip through tensor-sized buffers,
+        // while the per-element op dispatch of a naive interpreter is
+        // hoisted out of the hot loop and each instruction's inner loop
+        // vectorizes like the unfused kernels.
+        let n_instr = self.instrs.len();
+        let run_span = |base: usize, dst: &mut [f32]| {
+            let len = dst.len();
+            let mut scratch = vec![0.0f32; (n_instr - 1) * len];
+            for (k, instr) in self.instrs.iter().enumerate() {
+                let (done, rest) = scratch.split_at_mut(k * len);
+                let resolve = |a: u16| -> &[f32] {
+                    let r = usize::from(a);
+                    if r < self.n_inputs {
+                        match &scalar_rows[r] {
+                            Some(row) => &row[..len],
+                            None => &inputs[r].data()[base..base + len],
+                        }
+                    } else {
+                        let at = (r - self.n_inputs) * len;
+                        &done[at..at + len]
+                    }
+                };
+                if k + 1 == n_instr {
+                    instr.apply_rows(resolve, dst);
+                } else {
+                    // Split the row being written out of `rest` so the
+                    // resolver can keep borrowing every finished row.
+                    let (row, _) = rest.split_at_mut(len);
+                    instr.apply_rows(resolve, row);
+                }
+            }
+        };
+        // Each span reads every input and runs the whole program, so the
+        // worker-count heuristic sees instrs-per-element extra work.
+        pool.for_spans(&mut out.data_mut()[..aligned], span, self.instrs.len(), |i, dst| {
+            run_span(i * span, dst);
+        });
+        let tail = &mut out.data_mut()[aligned..n];
+        if !tail.is_empty() {
+            let mut scratch = vec![0.0f32; tail.len()];
+            run_span(aligned, &mut scratch);
+            tail.copy_from_slice(&scratch);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::elementwise as ew;
+
+    fn pool() -> ExecPool {
+        ExecPool::new(4).with_grain(1)
+    }
+
+    fn instr(op: FusedOp, args: &[u16]) -> FusedInstr {
+        FusedInstr { op, args: args.to_vec() }
+    }
+
+    #[test]
+    fn chain_matches_unfused_kernels_bitwise() {
+        // sigmoid(x * y + x) over awkward values.
+        let x = Tensor::from_vec(vec![-2.5, -0.0, 0.0, 1.0, 3.25, -7.5], [2, 3]);
+        let y = Tensor::from_vec(vec![0.5, -1.0, 2.0, -3.5, 0.25, 4.0], [2, 3]);
+        let p = pool();
+        let prog = FusedProgram {
+            n_inputs: 2,
+            instrs: vec![
+                instr(FusedOp::Mul, &[0, 1]),
+                instr(FusedOp::Add, &[2, 0]),
+                instr(FusedOp::Sigmoid, &[3]),
+            ],
+        };
+        let fused = prog.eval(&[&x, &y], &p);
+        let unfused = ew::sigmoid(&ew::add(&ew::mul(&x, &y, &p), &x, &p), &p);
+        assert_eq!(fused.shape(), unfused.shape());
+        for (a, b) in fused.data().iter().zip(unfused.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scalar_inputs_broadcast() {
+        // relu((x - mu) * scale) with scalar mu and scale.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]);
+        let mu = Tensor::scalar(2.5);
+        let scale = Tensor::scalar(-2.0);
+        let prog = FusedProgram {
+            n_inputs: 3,
+            instrs: vec![
+                instr(FusedOp::Sub, &[0, 1]),
+                instr(FusedOp::Mul, &[3, 2]),
+                instr(FusedOp::Relu, &[4]),
+            ],
+        };
+        let out = prog.eval(&[&x, &mu, &scale], &pool());
+        assert_eq!(out.shape().dims(), &[4]);
+        assert_eq!(out.data(), &[3.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn addn_sums_in_operand_order() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], [2]);
+        let c = Tensor::from_vec(vec![100.0, 200.0], [2]);
+        let prog = FusedProgram {
+            n_inputs: 3,
+            instrs: vec![instr(FusedOp::AddN, &[0, 1, 2])],
+        };
+        let out = prog.eval(&[&a, &b, &c], &pool());
+        let expect = ew::add_n(&[&a, &b, &c], &pool());
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn grad_formulas_match_executor_closures() {
+        let y = Tensor::from_vec(vec![-0.9, -0.1, 0.0, 0.4, 0.99], [5]);
+        let g = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5, -0.25], [5]);
+        let p = pool();
+        let tanh_grad = FusedProgram {
+            n_inputs: 2,
+            instrs: vec![instr(FusedOp::TanhGrad, &[0, 1])],
+        };
+        let expect = ew::binary(&y, &g, &p, |yv, gv| gv * (1.0 - yv * yv));
+        assert_eq!(tanh_grad.eval(&[&y, &g], &p), expect);
+
+        let relu_grad = FusedProgram {
+            n_inputs: 2,
+            instrs: vec![instr(FusedOp::ReluGrad, &[0, 1])],
+        };
+        let expect = ew::binary(&y, &g, &p, |x, gv| if x > 0.0 { gv } else { 0.0 });
+        assert_eq!(relu_grad.eval(&[&y, &g], &p), expect);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let n = 50_000;
+        let x = Tensor::from_vec((0..n).map(|i| (i as f32).mul_add(0.001, -20.0)).collect(), [n]);
+        let prog = FusedProgram {
+            n_inputs: 1,
+            instrs: vec![
+                instr(FusedOp::Tanh, &[0]),
+                instr(FusedOp::Square, &[1]),
+                instr(FusedOp::Neg, &[2]),
+                instr(FusedOp::Exp, &[3]),
+            ],
+        };
+        let serial = prog.eval(&[&x], &ExecPool::serial());
+        let parallel = prog.eval(&[&x], &ExecPool::new(8));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_programs() {
+        assert!(FusedProgram { n_inputs: 0, instrs: vec![instr(FusedOp::Neg, &[0])] }
+            .validate()
+            .is_err());
+        assert!(FusedProgram { n_inputs: 1, instrs: vec![] }.validate().is_err());
+        // Reads a register that is not yet written.
+        assert!(FusedProgram { n_inputs: 1, instrs: vec![instr(FusedOp::Neg, &[1])] }
+            .validate()
+            .is_err());
+        // Wrong arity.
+        assert!(FusedProgram { n_inputs: 2, instrs: vec![instr(FusedOp::Add, &[0])] }
+            .validate()
+            .is_err());
+        // Valid: second instruction reads the first's result.
+        assert!(FusedProgram {
+            n_inputs: 2,
+            instrs: vec![instr(FusedOp::Add, &[0, 1]), instr(FusedOp::Relu, &[2])],
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn select_matches_two_pass_lowering() {
+        let c = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0], [4]);
+        let a = Tensor::from_vec(vec![10.0, 20.0, 30.0, -0.0], [4]);
+        let b = Tensor::from_vec(vec![-1.0, -2.0, -3.0, -0.0], [4]);
+        let p = pool();
+        let prog = FusedProgram {
+            n_inputs: 3,
+            instrs: vec![instr(FusedOp::Select, &[0, 1, 2])],
+        };
+        let masked_a = ew::binary(&c, &a, &p, |cv, av| if cv != 0.0 { av } else { 0.0 });
+        let masked_b = ew::binary(&c, &b, &p, |cv, bv| if cv != 0.0 { 0.0 } else { bv });
+        let expect = ew::add(&masked_a, &masked_b, &p);
+        let got = prog.eval(&[&c, &a, &b], &p);
+        for (x, y) in got.data().iter().zip(expect.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -19,3 +19,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # GEMM smoke: the packed engine must agree with the naive kernel on all
 # four transpose layouts and be bitwise-deterministic serial vs parallel.
 ./target/release/fathom gemm-check --m 256 --k 512 --n 192 --threads 8
+
+# Fusion smoke: every workload must step bitwise-identically with the
+# elementwise fusion pass on and off, serial and parallel.
+./target/release/fathom fuse-check --steps 2 --threads 2 --inter-ops 2
