@@ -17,7 +17,7 @@ use crate::{write_artifact, Effort};
 pub fn run(effort: &Effort) -> String {
     // Similarity distances are second-order statistics of noisy wall-time
     // shares, so sample more steps than the other figures.
-    let effort = Effort { warmup: effort.warmup, steps: (effort.steps * 3).max(9) };
+    let effort = Effort { steps: (effort.steps * 3).max(9), ..*effort };
     let profiles = all_training_profiles(&effort);
     let dendrogram = cluster(&profiles);
 

@@ -20,21 +20,27 @@ pub struct Effort {
     pub warmup: usize,
     /// Measured steps per configuration.
     pub steps: usize,
+    /// Interleaved repetitions of each timed configuration; experiments
+    /// that honor this keep the best (minimum) median across repeats,
+    /// which rejects transient host slowdowns a single pass would bake
+    /// into one leg of an A/B comparison.
+    pub repeats: usize,
 }
 
 impl Effort {
     /// The default effort used by `cargo bench`.
     pub fn standard() -> Self {
-        Effort { warmup: 1, steps: 4 }
+        Effort { warmup: 1, steps: 4, repeats: 1 }
     }
 
     /// A minimal effort for smoke tests (1 step, no warm-up).
     pub fn quick() -> Self {
-        Effort { warmup: 0, steps: 1 }
+        Effort { warmup: 0, steps: 1, repeats: 1 }
     }
 
-    /// Reads `FATHOM_STEPS` / `FATHOM_WARMUP` overrides from the
-    /// environment, falling back to [`Effort::standard`].
+    /// Reads `FATHOM_STEPS` / `FATHOM_WARMUP` / `FATHOM_REPEATS`
+    /// overrides from the environment, falling back to
+    /// [`Effort::standard`].
     pub fn from_env() -> Self {
         let mut e = Effort::standard();
         if let Ok(s) = std::env::var("FATHOM_STEPS") {
@@ -45,6 +51,11 @@ impl Effort {
         if let Ok(s) = std::env::var("FATHOM_WARMUP") {
             if let Ok(v) = s.parse() {
                 e.warmup = v;
+            }
+        }
+        if let Ok(s) = std::env::var("FATHOM_REPEATS") {
+            if let Ok(v) = s.parse::<usize>() {
+                e.repeats = v.max(1);
             }
         }
         e

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use args::{parse, Command, RunArgs, ServeArgs, USAGE};
-use fathom::{BuildConfig, Mode, ModelKind, ModelScale, Workload};
+use fathom::{BuildConfig, FusionLevel, Mode, ModelKind, ModelScale, Workload};
 use fathom_dataflow::{checkpoint, export, Device, FaultAction, FaultPlan, FaultSite};
 use fathom_profile::{report, runner, OpProfile};
 use fathom_serve::{
@@ -78,11 +78,12 @@ fn dispatch(command: Command) -> Result<(), FathomError> {
     }
 }
 
-/// Checks the elementwise fusion pass across every workload: training
-/// losses, trained variables, and inference metrics must be bitwise
-/// identical with fusion on and off, serial and parallel — and fusion
-/// must actually fire somewhere in the suite. Exits nonzero on any
-/// violation, so scripts/tier1.sh can use it as a smoke gate.
+/// Checks the fusion passes across every workload: training losses,
+/// trained variables, and inference metrics must be bitwise identical
+/// with fusion (GEMM epilogues included) on and off, serial and parallel
+/// — and both elementwise and epilogue fusion must actually fire
+/// somewhere in the suite. Exits nonzero on any violation, so
+/// scripts/tier1.sh can use it as a smoke gate.
 fn cmd_fuse_check(
     steps: usize,
     threads: usize,
@@ -97,8 +98,9 @@ fn cmd_fuse_check(
     );
     let mut failures = 0u32;
     let mut total_groups = 0usize;
+    let mut total_gemm_groups = 0usize;
     for kind in ModelKind::ALL {
-        let make = |mode: Mode, fusion: bool, device: Device| {
+        let make = |mode: Mode, fusion: FusionLevel, device: Device| {
             kind.build(&BuildConfig {
                 mode,
                 scale: ModelScale::Reference,
@@ -110,16 +112,24 @@ fn cmd_fuse_check(
         };
         // Training legs: unfused serial is the reference; fused serial and
         // fused parallel must both reproduce it bit for bit.
-        let mut base = make(Mode::Training, false, Device::cpu(1));
-        let mut fused = make(Mode::Training, true, Device::cpu(1));
-        let mut fused_par = make(Mode::Training, true, Device::cpu_inter_op(threads, inter_ops));
+        let mut base = make(Mode::Training, FusionLevel::Off, Device::cpu(1));
+        let mut fused = make(Mode::Training, FusionLevel::Full, Device::cpu(1));
+        let mut fused_par =
+            make(Mode::Training, FusionLevel::Full, Device::cpu_inter_op(threads, inter_ops));
         let groups = fused
             .session()
             .graph()
             .iter()
             .filter(|(_, n)| matches!(n.kind, OpKind::Fused(_)))
             .count();
+        let gemm_groups = fused
+            .session()
+            .graph()
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, OpKind::GemmFused { .. }))
+            .count();
         total_groups += groups;
+        total_gemm_groups += gemm_groups;
         let mut loss_ok = true;
         for _ in 0..steps {
             let l0 = base.step().loss.expect("training emits a loss");
@@ -137,8 +147,8 @@ fn cmd_fuse_check(
         checkpoint::save(fused_par.session(), &mut par_vars)?;
         let vars_ok = base_vars == fused_vars && base_vars == par_vars;
         // Inference leg: one step, metric bits must agree.
-        let mut inf_base = make(Mode::Inference, false, Device::cpu(1));
-        let mut inf_fused = make(Mode::Inference, true, Device::cpu(1));
+        let mut inf_base = make(Mode::Inference, FusionLevel::Off, Device::cpu(1));
+        let mut inf_fused = make(Mode::Inference, FusionLevel::Full, Device::cpu(1));
         let m0 = inf_base.step().metric.expect("inference emits a metric");
         let m1 = inf_fused.step().metric.expect("inference emits a metric");
         let inf_ok = m0.to_bits() == m1.to_bits();
@@ -147,19 +157,27 @@ fn cmd_fuse_check(
             failures += 1;
         }
         println!(
-            "{}  {:<8} {groups:>3} fused group(s) | loss bits: {loss_ok}  variables: {vars_ok}  \
-             inference bits: {inf_ok}",
+            "{}  {:<8} {groups:>3} fused + {gemm_groups:>3} epilogue group(s) | \
+             loss bits: {loss_ok}  variables: {vars_ok}  inference bits: {inf_ok}",
             if ok { "PASS" } else { "FAIL" },
             kind.name(),
         );
     }
     if total_groups == 0 {
         return Err(FathomError::Message(
-            "fuse-check: fusion never fired on any workload".into(),
+            "fuse-check: elementwise fusion never fired on any workload".into(),
+        ));
+    }
+    if total_gemm_groups == 0 {
+        return Err(FathomError::Message(
+            "fuse-check: GEMM epilogue fusion never fired on any workload".into(),
         ));
     }
     if failures == 0 {
-        println!("fuse-check: all workloads agree bitwise ({total_groups} fused groups total)");
+        println!(
+            "fuse-check: all workloads agree bitwise ({total_groups} fused + \
+             {total_gemm_groups} epilogue groups total)"
+        );
         Ok(())
     } else {
         Err(FathomError::Message(format!("fuse-check: {failures} workload(s) failed")))
@@ -167,11 +185,16 @@ fn cmd_fuse_check(
 }
 
 /// Checks the packed GEMM engine on one geometry: agreement with the
-/// naive kernel across all four transpose layouts, and bitwise serial ==
-/// parallel determinism at the requested width. Exits nonzero on any
-/// violation, so scripts/tier1.sh can use it as a smoke gate.
+/// naive kernel across all four transpose layouts, bitwise serial ==
+/// parallel determinism at the requested width, and a fused bias+ReLU
+/// epilogue that must reproduce the unfused matmul-then-elementwise
+/// pipeline bit for bit. Exits nonzero on any violation, so
+/// scripts/tier1.sh can use it as a smoke gate.
 fn cmd_gemm_check(m: usize, k: usize, n: usize, threads: usize) -> Result<(), FathomError> {
-    use fathom_tensor::kernels::gemm::matmul_packed;
+    use fathom_tensor::kernels::elementwise as kew;
+    use fathom_tensor::kernels::epilogue::{Epilogue, EpilogueArg, EpilogueInstr, OperandKind};
+    use fathom_tensor::kernels::fused::FusedOp;
+    use fathom_tensor::kernels::gemm::{matmul_fused, matmul_packed};
     use fathom_tensor::kernels::matmul::matmul_naive;
     use fathom_tensor::{ExecPool, Rng, Tensor};
     use std::time::Instant;
@@ -210,6 +233,43 @@ fn cmd_gemm_check(m: usize, k: usize, n: usize, threads: usize) -> Result<(), Fa
             if ok { "PASS" } else { "FAIL" },
         );
     }
+    // Fused-epilogue case: bias + ReLU applied in the microkernel
+    // writeback must match matmul followed by the elementwise kernels,
+    // bit for bit, serial and parallel.
+    {
+        let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn([n], 0.0, 1.0, &mut rng);
+        let ep = Epilogue {
+            n_operands: 1,
+            instrs: vec![
+                EpilogueInstr {
+                    op: FusedOp::Add,
+                    args: vec![
+                        EpilogueArg::Acc,
+                        EpilogueArg::Operand { index: 0, kind: OperandKind::Col },
+                    ],
+                },
+                EpilogueInstr { op: FusedOp::Relu, args: vec![EpilogueArg::Acc] },
+            ],
+        };
+        let product = matmul_packed(&a, &b, false, false, &wide);
+        let biased = kew::add(&product, &bias, &wide);
+        let reference = kew::relu(&biased, &wide);
+        let fused = matmul_fused(&a, &b, false, false, &ep, &[&bias], &wide);
+        let bitwise = fused.data() == reference.data();
+        let deterministic =
+            matmul_fused(&a, &b, false, false, &ep, &[&bias], &serial).data() == fused.data();
+        let ok = bitwise && deterministic;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{}  bias+relu epilogue: bitwise fused == unfused: {bitwise}, \
+             bitwise serial == parallel: {deterministic}",
+            if ok { "PASS" } else { "FAIL" },
+        );
+    }
     if failures == 0 {
         println!("gemm-check: all layouts agree and are deterministic");
         Ok(())
@@ -242,7 +302,7 @@ fn build(a: &RunArgs) -> Box<dyn Workload> {
         device: Device::cpu_inter_op(a.threads, a.inter_ops),
         seed: a.seed,
         batch: None,
-        fusion: a.fuse,
+        fusion: if a.fuse { FusionLevel::Full } else { FusionLevel::Off },
     };
     a.model.build(&cfg)
 }
@@ -314,7 +374,7 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), FathomError> {
         device: Device::cpu_inter_op(a.threads, a.inter_ops),
         seed: a.seed,
         batch: Some(a.max_batch),
-        fusion: false,
+        fusion: FusionLevel::Off,
     };
     let mut workers = Vec::with_capacity(a.replicas);
     for _ in 0..a.replicas {
@@ -449,7 +509,7 @@ fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
             device: Device::cpu(1),
             seed,
             batch: None,
-            fusion: false,
+            fusion: FusionLevel::Off,
         };
         let mut m = model.build(&cfg);
         let mut before = Vec::new();
@@ -515,7 +575,7 @@ fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
             device: Device::cpu(1),
             seed,
             batch: Some(2),
-            fusion: false,
+            fusion: FusionLevel::Off,
         };
         let plan = Arc::new(
             FaultPlan::new(seed).with(FaultSite::ServeBatch { replica: 0 }, 0, FaultAction::Crash),

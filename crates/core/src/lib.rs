@@ -30,6 +30,6 @@ mod workload;
 
 pub use registry::{ModelKind, ParseModelError};
 pub use workload::{
-    BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
-    Workload, WorkloadMetadata,
+    BatchSpec, BuildConfig, FusionLevel, InputPort, Mode, ModelScale, OutputPort, PortDomain,
+    StepStats, Workload, WorkloadMetadata,
 };

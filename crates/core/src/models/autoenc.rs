@@ -85,10 +85,15 @@ impl Autoenc {
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
-        if cfg.fusion {
+        if cfg.fusion.enabled() {
             let mut keep = vec![loss, reconstruction];
             keep.extend(train);
-            session.enable_fusion(&keep);
+            session.enable_fusion_with(
+                &keep,
+                fathom_dataflow::optimize::FusionOptions {
+                    gemm_epilogues: cfg.fusion.gemm_epilogues(),
+                },
+            );
         }
         Autoenc {
             meta: metadata(),

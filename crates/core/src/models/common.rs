@@ -56,10 +56,15 @@ impl ImageClassifier {
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
-        if cfg.fusion {
+        if cfg.fusion.enabled() {
             let mut keep = vec![loss, logits];
             keep.extend(train);
-            session.enable_fusion(&keep);
+            session.enable_fusion_with(
+                &keep,
+                fathom_dataflow::optimize::FusionOptions {
+                    gemm_epilogues: cfg.fusion.gemm_epilogues(),
+                },
+            );
         }
         let corpus = ImageCorpus::new(side, 3, classes, cfg.seed ^ 0xDA7A);
         ImageClassifier {

@@ -228,10 +228,15 @@ impl Deepq {
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
-        if cfg.fusion {
+        if cfg.fusion.enabled() {
             let mut keep = vec![act_q, q_values, loss, target_next_q];
             keep.extend(train);
-            session.enable_fusion(&keep);
+            session.enable_fusion_with(
+                &keep,
+                fathom_dataflow::optimize::FusionOptions {
+                    gemm_epilogues: cfg.fusion.gemm_epilogues(),
+                },
+            );
         }
         Deepq {
             meta: metadata(),

@@ -128,10 +128,15 @@ impl Memnet {
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
-        if cfg.fusion {
+        if cfg.fusion.enabled() {
             let mut keep = vec![loss, logits];
             keep.extend(train);
-            session.enable_fusion(&keep);
+            session.enable_fusion_with(
+                &keep,
+                fathom_dataflow::optimize::FusionOptions {
+                    gemm_epilogues: cfg.fusion.gemm_epilogues(),
+                },
+            );
         }
         Memnet {
             meta: metadata(),

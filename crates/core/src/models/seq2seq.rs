@@ -156,12 +156,17 @@ impl Seq2Seq {
             Mode::Training => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
-        if cfg.fusion {
+        if cfg.fusion.enabled() {
             let mut keep = vec![loss];
             keep.extend_from_slice(&logit_steps);
             keep.extend(train);
             keep.extend(serve_logits);
-            session.enable_fusion(&keep);
+            session.enable_fusion_with(
+                &keep,
+                fathom_dataflow::optimize::FusionOptions {
+                    gemm_epilogues: cfg.fusion.gemm_epilogues(),
+                },
+            );
         }
         Seq2Seq {
             meta: metadata(),

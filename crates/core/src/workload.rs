@@ -177,11 +177,34 @@ pub struct BuildConfig {
     /// differ only in `batch` have identical variables (and accept each
     /// other's checkpoints).
     pub batch: Option<usize>,
-    /// Collapse elementwise chains into fused register programs after
-    /// the graph (gradients included) is built. Bitwise-neutral: fused
-    /// and unfused sessions produce identical losses, metrics, and
-    /// variable trajectories.
-    pub fusion: bool,
+    /// Which fusion passes run after the graph (gradients included) is
+    /// built. Bitwise-neutral at every level: fused and unfused sessions
+    /// produce identical losses, metrics, and variable trajectories.
+    pub fusion: FusionLevel,
+}
+
+/// How aggressively a workload's session fuses its graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FusionLevel {
+    /// No fusion: the graph runs as built.
+    #[default]
+    Off,
+    /// Elementwise fusion only (loop-jammed register programs).
+    Elementwise,
+    /// GEMM epilogue fusion plus elementwise fusion.
+    Full,
+}
+
+impl FusionLevel {
+    /// Whether any fusion pass runs at all.
+    pub fn enabled(self) -> bool {
+        self != FusionLevel::Off
+    }
+
+    /// Whether packed GEMMs absorb their consumer chains as epilogues.
+    pub fn gemm_epilogues(self) -> bool {
+        self == FusionLevel::Full
+    }
 }
 
 impl BuildConfig {
@@ -193,7 +216,7 @@ impl BuildConfig {
             device: Device::cpu(1),
             seed: 0xFA7408,
             batch: None,
-            fusion: false,
+            fusion: FusionLevel::Off,
         }
     }
 
@@ -226,9 +249,15 @@ impl BuildConfig {
         self
     }
 
-    /// Enables or disables elementwise fusion.
+    /// Enables or disables fusion (`true` means [`FusionLevel::Full`]).
     pub fn with_fusion(mut self, on: bool) -> Self {
-        self.fusion = on;
+        self.fusion = if on { FusionLevel::Full } else { FusionLevel::Off };
+        self
+    }
+
+    /// Selects an exact fusion level.
+    pub fn with_fusion_level(mut self, level: FusionLevel) -> Self {
+        self.fusion = level;
         self
     }
 

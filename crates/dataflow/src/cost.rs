@@ -5,18 +5,17 @@
 //! DESIGN.md) and provide flop counts for reports.
 
 use fathom_tensor::kernels::conv::Conv2dSpec;
+use fathom_tensor::kernels::epilogue::EpilogueInstr;
 use fathom_tensor::kernels::fused::{FusedInstr, FusedOp};
 use fathom_tensor::Shape;
 
 use crate::graph::Node;
-use crate::op::OpKind;
+use crate::op::{GemmOp, OpKind};
 
-/// Per-output-element flop weight of one fused instruction, matching
-/// what [`estimate`] charges the same op unfused. Also used by the
-/// executor to apportion a fused node's measured time across its
-/// constituents for trace attribution.
-pub fn fused_instr_flops_per_elem(instr: &FusedInstr) -> f64 {
-    match instr.op {
+/// Per-output-element flop weight of one scalar op with `n_args`
+/// operands, matching what [`estimate`] charges the same op unfused.
+fn op_flops_per_elem(op: FusedOp, n_args: usize) -> f64 {
+    match op {
         FusedOp::Exp
         | FusedOp::Log
         | FusedOp::Tanh
@@ -24,9 +23,24 @@ pub fn fused_instr_flops_per_elem(instr: &FusedInstr) -> f64 {
         | FusedOp::Sqrt
         | FusedOp::Pow => 8.0,
         // Unfused AddN is charged in_elems = n_args * out_elems.
-        FusedOp::AddN => instr.args.len() as f64,
+        FusedOp::AddN => n_args as f64,
         _ => 1.0,
     }
+}
+
+/// Per-output-element flop weight of one fused instruction, matching
+/// what [`estimate`] charges the same op unfused. Also used by the
+/// executor to apportion a fused node's measured time across its
+/// constituents for trace attribution.
+pub fn fused_instr_flops_per_elem(instr: &FusedInstr) -> f64 {
+    op_flops_per_elem(instr.op, instr.args.len())
+}
+
+/// Per-output-element flop weight of one GEMM-epilogue instruction —
+/// the same scale as [`fused_instr_flops_per_elem`], so Figure 3
+/// attribution charges an op identically whichever pass absorbed it.
+pub fn epilogue_instr_flops_per_elem(instr: &EpilogueInstr) -> f64 {
+    op_flops_per_elem(instr.op, instr.args.len())
 }
 
 /// Estimated work of one operation execution.
@@ -99,6 +113,34 @@ pub fn conv2d_lowering(input: &Shape, filter: &Shape, spec: Conv2dSpec) -> ConvL
     }
 }
 
+/// Whether a MatMul/Conv2D node with these input shapes is a profitable
+/// root for GEMM-epilogue fusion.
+///
+/// Every MatMul qualifies: geometries that route through the packed
+/// engine apply the epilogue to register-resident tiles, and the
+/// row-parallel fallback applies it as one flat pass over the output —
+/// either way the absorbed chain sheds its node dispatches, intermediate
+/// allocations, and round trips, so fusion is never a loss. (On
+/// RNN-style graphs with thousands of small matmuls per step, the
+/// dispatch savings on the fallback path are most of the win.) Conv2D
+/// qualifies only when it lowers through im2col — the direct kernel is
+/// chosen precisely when the output is too small for the GEMM machinery
+/// to pay off, and its post-hoc epilogue pass saves nothing over leaving
+/// the chain to [`crate::optimize::fuse_in_place`].
+///
+/// Like [`fathom_tensor::kernels::gemm::use_packed`] and [`conv2d_lowering`], the answer is
+/// independent of the batch extent, preserving serving's bitwise
+/// batch-independence contract.
+pub fn gemm_epilogue_profitable(kind: &OpKind, input_shapes: &[&Shape]) -> bool {
+    match kind {
+        OpKind::MatMul { .. } => true,
+        OpKind::Conv2D(spec) => {
+            conv2d_lowering(input_shapes[0], input_shapes[1], *spec) == ConvLowering::Im2colGemm
+        }
+        _ => false,
+    }
+}
+
 /// Estimates the cost of executing `node` once, given resolved input
 /// shapes.
 pub fn estimate(node: &Node, input_shapes: &[&Shape]) -> OpCost {
@@ -161,6 +203,23 @@ pub fn estimate(node: &Node, input_shapes: &[&Shape]) -> OpCost {
         // traffic, which is exactly the fusion win).
         OpKind::Fused(program) => {
             program.instrs.iter().map(fused_instr_flops_per_elem).sum::<f64>() * out_elems
+        }
+        // GEMM root plus its absorbed epilogue; as with `Fused`, the
+        // default `bytes` counts only external traffic.
+        OpKind::GemmFused { gemm, epilogue } => {
+            let root = match gemm {
+                GemmOp::MatMul { transpose_a, .. } => {
+                    let a = input_shapes[0];
+                    let k = if *transpose_a { a.dim(0) } else { a.dim(1) } as f64;
+                    2.0 * out_elems * k
+                }
+                GemmOp::Conv2D(_) => {
+                    let f = input_shapes[1];
+                    2.0 * out_elems * (f.dim(0) * f.dim(1) * f.dim(2)) as f64
+                }
+            };
+            root + epilogue.instrs.iter().map(epilogue_instr_flops_per_elem).sum::<f64>()
+                * out_elems
         }
         OpKind::Sum { .. } | OpKind::Mean { .. } | OpKind::MaxReduce { .. } => in_elems,
         OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Maximum

@@ -34,6 +34,7 @@ use crossbeam::channel;
 use fathom_tensor::kernels::conv as kconv;
 use fathom_tensor::kernels::ctc as kctc;
 use fathom_tensor::kernels::elementwise as kew;
+use fathom_tensor::kernels::gemm as kgemm;
 use fathom_tensor::kernels::im2col as kim2col;
 use fathom_tensor::kernels::matmul as kmm;
 use fathom_tensor::kernels::pool2d as kpool;
@@ -46,7 +47,7 @@ use crate::cost;
 use crate::device::Device;
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::graph::{Graph, Node, NodeId};
-use crate::op::OpKind;
+use crate::op::{GemmOp, OpKind};
 use crate::optimize;
 use crate::trace::{RunTrace, TraceEvent};
 
@@ -876,7 +877,31 @@ impl Session {
     ///
     /// Panics if a kept id does not belong to this session's graph.
     pub fn enable_fusion(&mut self, keep: &[NodeId]) -> optimize::FusionStats {
-        let stats = optimize::fuse_in_place(&mut self.graph, keep);
+        self.enable_fusion_with(keep, optimize::FusionOptions::default())
+    }
+
+    /// [`Session::enable_fusion`] with explicit pass selection. GEMM
+    /// epilogue fusion runs *first* so packed MatMul/Conv2D nodes claim
+    /// their consumer chains; elementwise fusion then groups whatever
+    /// remains (the claimed originals are unreachable dead nodes by
+    /// then, so the passes never double-claim an op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kept id does not belong to this session's graph.
+    pub fn enable_fusion_with(
+        &mut self,
+        keep: &[NodeId],
+        options: optimize::FusionOptions,
+    ) -> optimize::FusionStats {
+        let gemm_stats = if options.gemm_epilogues {
+            optimize::fuse_gemm_epilogues(&mut self.graph, keep)
+        } else {
+            optimize::FusionStats::default()
+        };
+        let mut stats = optimize::fuse_in_place(&mut self.graph, keep);
+        stats.gemm_groups = gemm_stats.gemm_groups;
+        stats.gemm_ops = gemm_stats.gemm_ops;
         // Plans and cost estimates were computed against the unfused
         // node kinds.
         self.plan_cache.clear();
@@ -891,9 +916,12 @@ impl Session {
 /// instruction — each carrying the original elementwise op's name and
 /// class C, with the measured duration and cost apportioned by the
 /// instructions' static flop weights (remainder on the last event, so
-/// per-step sums are exact). Profiles over fused runs therefore keep
-/// reporting constituent op types, and the paper's class breakdown
-/// remains comparable before/after fusion.
+/// per-step sums are exact). An [`OpKind::GemmFused`] node likewise
+/// expands into one event for the GEMM root (its original `MatMul` /
+/// `Conv2D` name and class) plus one class-C event per epilogue
+/// instruction. Profiles over fused runs therefore keep reporting
+/// constituent op types, and the paper's class breakdown remains
+/// comparable before/after fusion.
 fn push_trace_events(
     events: &mut Vec<TraceEvent>,
     id: NodeId,
@@ -902,26 +930,75 @@ fn push_trace_events(
     nanos: f64,
     op_cost: cost::OpCost,
 ) {
-    let OpKind::Fused(program) = &node.kind else {
-        events.push(TraceEvent {
+    use crate::op::OpClass;
+    match &node.kind {
+        OpKind::Fused(program) => {
+            let parts: Vec<(&'static str, OpClass, f64)> = program
+                .instrs
+                .iter()
+                .map(|instr| {
+                    (
+                        instr.op.name(),
+                        OpClass::ElementwiseArithmetic,
+                        cost::fused_instr_flops_per_elem(instr),
+                    )
+                })
+                .collect();
+            push_apportioned(events, id, step, nanos, op_cost, &parts);
+        }
+        OpKind::GemmFused { gemm, epilogue } => {
+            let elems = node.shape.num_elements() as f64;
+            let (root_op, root_class) = match gemm {
+                GemmOp::MatMul { .. } => ("MatMul", OpClass::MatrixOps),
+                GemmOp::Conv2D(_) => ("Conv2D", OpClass::Convolution),
+            };
+            let mut parts = Vec::with_capacity(epilogue.instrs.len() + 1);
+            let ep_flops: f64 = epilogue
+                .instrs
+                .iter()
+                .map(|i| cost::epilogue_instr_flops_per_elem(i) * elems)
+                .sum();
+            // The root's weight is whatever the cost model attributed to
+            // the GEMM itself (total minus the epilogue's share).
+            parts.push((root_op, root_class, (op_cost.flops - ep_flops).max(0.0)));
+            for instr in &epilogue.instrs {
+                parts.push((
+                    instr.op.name(),
+                    OpClass::ElementwiseArithmetic,
+                    cost::epilogue_instr_flops_per_elem(instr) * elems,
+                ));
+            }
+            push_apportioned(events, id, step, nanos, op_cost, &parts);
+        }
+        _ => events.push(TraceEvent {
             node: id,
             op: node.kind.name(),
             class: node.kind.class(),
             step,
             nanos,
             cost: op_cost,
-        });
-        return;
-    };
-    let weights: Vec<f64> = program.instrs.iter().map(cost::fused_instr_flops_per_elem).collect();
-    let total: f64 = weights.iter().sum();
-    let count = weights.len();
+        }),
+    }
+}
+
+/// Splits one measured op across `parts` by static flop weight, with the
+/// remainder on the last event so per-step sums stay exact.
+fn push_apportioned(
+    events: &mut Vec<TraceEvent>,
+    id: NodeId,
+    step: u64,
+    nanos: f64,
+    op_cost: cost::OpCost,
+    parts: &[(&'static str, crate::op::OpClass, f64)],
+) {
+    let total: f64 = parts.iter().map(|p| p.2).sum();
+    let count = parts.len();
     let (mut nanos_left, mut flops_left, mut bytes_left) = (nanos, op_cost.flops, op_cost.bytes);
-    for (k, instr) in program.instrs.iter().enumerate() {
+    for (k, &(op, class, weight)) in parts.iter().enumerate() {
         let (n, f, b) = if k + 1 == count {
             (nanos_left, flops_left, bytes_left)
         } else {
-            let frac = if total > 0.0 { weights[k] / total } else { 1.0 / count as f64 };
+            let frac = if total > 0.0 { weight / total } else { 1.0 / count as f64 };
             (nanos * frac, op_cost.flops * frac, op_cost.bytes * frac)
         };
         nanos_left -= n;
@@ -929,8 +1006,8 @@ fn push_trace_events(
         bytes_left -= b;
         events.push(TraceEvent {
             node: id,
-            op: instr.op.name(),
-            class: crate::op::OpClass::ElementwiseArithmetic,
+            op,
+            class,
             step,
             nanos: n,
             cost: cost::OpCost { flops: f, bytes: b },
@@ -1137,6 +1214,47 @@ where
         OpKind::Fused(program) => {
             let tensors: Vec<&Tensor> = (0..inputs.len()).map(input).collect();
             program.eval(&tensors, pool)
+        }
+        // GEMM with the epilogue applied in the microkernel writeback.
+        // Inputs are [a, b, operands...]; the optimizer only builds these
+        // over geometries the cost model routes to the packed engine, but
+        // both kernel entry points fall back (naive matmul + flat
+        // epilogue, direct conv + flat epilogue) bitwise-identically if a
+        // runtime shape disagrees.
+        OpKind::GemmFused { gemm, epilogue } => {
+            let operand_tensors: Vec<&Tensor> = (2..inputs.len()).map(input).collect();
+            match gemm {
+                GemmOp::MatMul { transpose_a, transpose_b } => kgemm::matmul_fused(
+                    input(0),
+                    input(1),
+                    *transpose_a,
+                    *transpose_b,
+                    epilogue,
+                    &operand_tensors,
+                    pool,
+                ),
+                GemmOp::Conv2D(spec) => {
+                    let operands: Vec<&[f32]> =
+                        operand_tensors.iter().map(|t| t.data()).collect();
+                    match cost::conv2d_lowering(input(0).shape(), input(1).shape(), *spec) {
+                        cost::ConvLowering::Im2colGemm => kim2col::conv2d_im2col_fused(
+                            input(0),
+                            input(1),
+                            *spec,
+                            Some(epilogue),
+                            &operands,
+                            pool,
+                        ),
+                        cost::ConvLowering::Direct => {
+                            let mut out = kconv::conv2d(input(0), input(1), *spec, pool);
+                            let n = out.shape().dim(out.shape().rank() - 1);
+                            let m = out.shape().num_elements() / n.max(1);
+                            epilogue.apply_flat(out.data_mut(), m, n, &operands, pool);
+                            out
+                        }
+                    }
+                }
+            }
         }
 
         OpKind::Sum { axis, keep_dims } => match axis {

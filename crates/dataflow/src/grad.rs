@@ -410,7 +410,7 @@ fn backward(
         | SoftmaxCrossEntropyGrad | CtcLossGrad { .. } | Conv2DBackpropInput { .. }
         | Conv2DBackpropFilter { .. } | MaxPoolGrad(_) | AvgPoolGrad { .. }
         | ScatterAddRows { .. } | ApplyGradientDescent { .. } | ApplyMomentum { .. }
-        | ApplyRmsProp { .. } | ApplyAdam { .. } | Group | Fused(_) => {
+        | ApplyRmsProp { .. } | ApplyAdam { .. } | Group | Fused(_) | GemmFused { .. } => {
             panic!("no gradient registered for {kind}")
         }
     }

@@ -9,11 +9,27 @@
 use std::fmt;
 
 use fathom_tensor::kernels::conv::Conv2dSpec;
+use fathom_tensor::kernels::epilogue::{Epilogue, OperandKind};
 use fathom_tensor::kernels::fused::FusedProgram;
 use fathom_tensor::kernels::pool2d::Pool2dSpec;
 use fathom_tensor::{Shape, Tensor};
 
 use crate::graph::GraphError;
+
+/// The GEMM-backed root of a [`OpKind::GemmFused`] node: the operation
+/// whose packed-engine writeback carries the epilogue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GemmOp {
+    /// 2-D matrix product, as [`OpKind::MatMul`].
+    MatMul {
+        /// Transpose the left operand before multiplying.
+        transpose_a: bool,
+        /// Transpose the right operand before multiplying.
+        transpose_b: bool,
+    },
+    /// NHWC convolution, as [`OpKind::Conv2D`].
+    Conv2D(Conv2dSpec),
+}
 
 /// The seven operation classes of the paper's Figure 3 legend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
@@ -196,6 +212,19 @@ pub enum OpKind {
     /// [`crate::optimize::fuse_in_place`]). Inputs are the group's
     /// external inputs, each either output-shaped or a broadcast scalar.
     Fused(FusedProgram),
+    /// A MatMul/Conv2D whose elementwise consumer chain has been
+    /// absorbed into the packed GEMM writeback as an [`Epilogue`]
+    /// program (see [`crate::optimize::fuse_gemm_epilogues`]). Inputs
+    /// are the GEMM's two operands followed by the epilogue's external
+    /// operands in program order. Classified under its root's op class
+    /// — the trace layer re-expands the epilogue's constituents for
+    /// Figure 3 attribution.
+    GemmFused {
+        /// The GEMM-backed root operation.
+        gemm: GemmOp,
+        /// Post-ops applied to the accumulator before writeback.
+        epilogue: Epilogue,
+    },
 
     // ---- class D: reduction and expansion ----
     /// Sum along `axis`, or over all elements when `axis` is `None`.
@@ -392,6 +421,8 @@ impl OpKind {
             OpKind::SigmoidGrad => "SigmoidGrad",
             OpKind::AddN => "AddN",
             OpKind::Fused(_) => "Fused",
+            OpKind::GemmFused { gemm: GemmOp::MatMul { .. }, .. } => "FusedMatMul",
+            OpKind::GemmFused { gemm: GemmOp::Conv2D(_), .. } => "FusedConv2D",
             OpKind::Sum { .. } => "Sum",
             OpKind::Mean { .. } => "Mean",
             OpKind::MaxReduce { .. } => "Max",
@@ -426,7 +457,8 @@ impl OpKind {
     pub fn class(&self) -> OpClass {
         use OpKind::*;
         match self {
-            MatMul { .. } => OpClass::MatrixOps,
+            MatMul { .. } | GemmFused { gemm: GemmOp::MatMul { .. }, .. } => OpClass::MatrixOps,
+            GemmFused { gemm: GemmOp::Conv2D(_), .. } => OpClass::Convolution,
             Conv2D(_)
             | Conv2DBackpropInput { .. }
             | Conv2DBackpropFilter { .. }
@@ -631,6 +663,47 @@ impl OpKind {
                     }
                 }
                 Ok(inputs[0].clone())
+            }
+            GemmFused { gemm, epilogue } => {
+                if inputs.len() < 2 {
+                    return fail(format!("expected GEMM operands plus epilogue operands, got {}", inputs.len()));
+                }
+                let root = match gemm {
+                    GemmOp::MatMul { transpose_a, transpose_b } => OpKind::MatMul {
+                        transpose_a: *transpose_a,
+                        transpose_b: *transpose_b,
+                    }
+                    .infer_shape(&inputs[..2])?,
+                    GemmOp::Conv2D(spec) => OpKind::Conv2D(*spec).infer_shape(&inputs[..2])?,
+                };
+                if let Err(msg) = epilogue.validate() {
+                    return fail(msg);
+                }
+                if epilogue.n_operands != inputs.len() - 2 {
+                    return fail(format!(
+                        "epilogue expects {} operands, got {}",
+                        epilogue.n_operands,
+                        inputs.len() - 2
+                    ));
+                }
+                // The kernel flattens the output to [rows, cols] with
+                // cols = the trailing axis; operand element counts must
+                // match their broadcast kind against that view.
+                let cols = root.dim(root.rank() - 1);
+                for (i, s) in inputs[2..].iter().enumerate() {
+                    let ok = match epilogue.operand_kind(i) {
+                        Some(OperandKind::Scalar) => s.num_elements() == 1,
+                        Some(OperandKind::Col) => s.num_elements() == cols,
+                        Some(OperandKind::Full) => s.num_elements() == root.num_elements(),
+                        None => true,
+                    };
+                    if !ok {
+                        return fail(format!(
+                            "epilogue operand {i} shape {s} incompatible with output {root}"
+                        ));
+                    }
+                }
+                Ok(root)
             }
             Fused(program) => {
                 if let Err(msg) = program.validate() {

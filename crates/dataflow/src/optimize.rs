@@ -15,7 +15,11 @@
 //!
 //! * **elementwise fusion** — chains/DAGs of pure, shape-compatible
 //!   class-C ops collapse into a single [`OpKind::Fused`] register
-//!   program evaluated in one loop-jammed pass (see [`fuse_in_place`]).
+//!   program evaluated in one loop-jammed pass (see [`fuse_in_place`]);
+//! * **GEMM epilogue fusion** — single-consumer elementwise chains
+//!   hanging off packed-engine MatMul/Conv2D nodes are absorbed into the
+//!   GEMM's register writeback as an [`OpKind::GemmFused`] node (see
+//!   [`fuse_gemm_epilogues`]).
 //!
 //! Optimization is opt-in: the profiling experiments characterize the
 //! graphs as built, and the `ablation_optimizer` bench quantifies what
@@ -24,12 +28,17 @@
 
 use std::collections::HashMap;
 
+use fathom_tensor::kernels::epilogue::{
+    Epilogue, EpilogueArg, EpilogueInstr, OperandKind, MAX_EPILOGUE_ARGS, MAX_EPILOGUE_INSTRS,
+};
 use fathom_tensor::kernels::fused::{FusedInstr, FusedOp, FusedProgram};
+use fathom_tensor::Shape;
 
+use crate::cost;
 use crate::device::Device;
 use crate::exec::Session;
 use crate::graph::{Graph, NodeId};
-use crate::op::OpKind;
+use crate::op::{GemmOp, OpKind};
 
 /// What the optimizer did, for reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -199,7 +208,7 @@ pub fn optimize(g: &Graph, keep: &[NodeId]) -> OptimizedGraph {
     OptimizedGraph { graph: out, map, stats }
 }
 
-/// What the fusion pass did.
+/// What the fusion passes did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FusionStats {
     /// `Fused` nodes created.
@@ -207,6 +216,11 @@ pub struct FusionStats {
     /// Original elementwise ops absorbed (roots included), so
     /// `ops_fused - groups` nodes disappear from the executed plan.
     pub ops_fused: usize,
+    /// `GemmFused` nodes created by [`fuse_gemm_epilogues`].
+    pub gemm_groups: usize,
+    /// Original ops absorbed into `GemmFused` nodes (the GEMM root plus
+    /// every epilogue chain member).
+    pub gemm_ops: usize,
 }
 
 /// Largest member count of one fused group. Bounds the register file
@@ -437,6 +451,217 @@ pub fn fuse_in_place(g: &mut Graph, keep: &[NodeId]) -> FusionStats {
     stats
 }
 
+/// Which fusion passes [`crate::exec::Session::enable_fusion_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionOptions {
+    /// Also run [`fuse_gemm_epilogues`] (before elementwise fusion, so
+    /// packed GEMMs claim their consumer chains first).
+    pub gemm_epilogues: bool,
+}
+
+impl Default for FusionOptions {
+    fn default() -> Self {
+        FusionOptions { gemm_epilogues: true }
+    }
+}
+
+/// Classifies a non-accumulator input of an epilogue chain member against
+/// the GEMM root's shape. `None` means the operand cannot be fed to the
+/// microkernel writeback and the chain must stop before this member.
+///
+/// The three legal classes mirror the broadcast fast paths of the unfused
+/// elementwise kernels, which is what makes the fused writeback bitwise
+/// identical: a single element (`Scalar`), a trailing-axis vector of
+/// exactly `cols` elements such as a bias (`Col`), or a tensor of the
+/// root's exact shape such as a residual (`Full`).
+fn classify_operand(shape: &Shape, root_shape: &Shape, cols: usize) -> Option<OperandKind> {
+    if shape.num_elements() == 1 {
+        Some(OperandKind::Scalar)
+    } else if shape == root_shape {
+        Some(OperandKind::Full)
+    } else if shape.num_elements() == cols && shape.dim(shape.rank() - 1) == cols {
+        // [cols] or [1, .., 1, cols]: broadcasts along the trailing axis.
+        // The chain member's output shape already equals the root's, so
+        // the unfused broadcast aligned this operand with the last axis.
+        Some(OperandKind::Col)
+    } else {
+        None
+    }
+}
+
+/// Absorbs single-consumer elementwise chains hanging off packed-engine
+/// `MatMul`/`Conv2D` nodes into [`OpKind::GemmFused`] nodes, **in
+/// place**: the *last* chain member is rewritten (keeping its id, so
+/// fetch handles stay valid) while the GEMM root and interior members
+/// stay behind as unreferenced dead nodes.
+///
+/// This is the BLIS/cuBLAS "fused epilogue" idiom: the bias-add /
+/// activation / residual that follows a GEMM is applied to the 8×16
+/// accumulator tile while it is still in registers, instead of spilling
+/// the product to memory and re-reading it once per elementwise op.
+///
+/// Legality rules (each preserves the bitwise contract):
+///
+/// * the root is a `MatMul` or `Conv2D` that
+///   [`cost::gemm_epilogue_profitable`] accepts — every matmul (both
+///   GEMM routes absorb the chain's dispatches and round trips), but
+///   only im2col-lowered convs; direct convs keep their chains for
+///   [`fuse_in_place`];
+/// * the chain grows along *unique* reachable consumers: each tip has
+///   exactly one distinct consumer, which is a [`fusible_op`] producing
+///   exactly the root's shape, with every non-chain input classifiable
+///   by [`classify_operand`];
+/// * interior chain members (and the GEMM root) must not be in `keep`;
+///   the final member may be, since its id survives the rewrite;
+/// * chains stop at nodes already claimed by another group, so two GEMMs
+///   feeding one `Add` resolve greedily — the first claims the chain and
+///   the second stays a plain node feeding a `Full` operand;
+/// * at most [`MAX_EPILOGUE_INSTRS`] members per chain.
+///
+/// Returns stats with only the `gemm_*` fields populated.
+///
+/// # Panics
+///
+/// Panics if a kept id does not belong to `g`.
+pub fn fuse_gemm_epilogues(g: &mut Graph, keep: &[NodeId]) -> FusionStats {
+    let n = g.len();
+
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<NodeId> = keep.to_vec();
+    while let Some(id) = stack.pop() {
+        assert!(id.index() < n, "kept node {id} is not in this graph");
+        if reachable[id.index()] {
+            continue;
+        }
+        reachable[id.index()] = true;
+        stack.extend(g.node(id).inputs.iter().copied());
+    }
+
+    // Consumer lists among reachable nodes (duplicates preserved: a
+    // member consuming the tip twice contributes two `Acc` args).
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (id, node) in g.iter() {
+        if reachable[id.index()] {
+            for i in &node.inputs {
+                consumers[i.index()].push(id.0);
+            }
+        }
+    }
+    let mut kept = vec![false; n];
+    for k in keep {
+        kept[k.index()] = true;
+    }
+
+    // Nodes already absorbed into some group (GEMM roots and members).
+    let mut claimed = vec![false; n];
+    let mut stats = FusionStats::default();
+    let mut rewrites: Vec<(NodeId, OpKind, Vec<NodeId>)> = Vec::new();
+
+    for root_idx in 0..n {
+        let root = NodeId(root_idx as u32);
+        if !reachable[root_idx] || claimed[root_idx] || kept[root_idx] {
+            continue;
+        }
+        let gemm = match &g.node(root).kind {
+            OpKind::MatMul { transpose_a, transpose_b } => {
+                GemmOp::MatMul { transpose_a: *transpose_a, transpose_b: *transpose_b }
+            }
+            OpKind::Conv2D(spec) => GemmOp::Conv2D(*spec),
+            _ => continue,
+        };
+        let input_shapes: Vec<&Shape> =
+            g.node(root).inputs.iter().map(|&i| g.shape(i)).collect();
+        if !cost::gemm_epilogue_profitable(&g.node(root).kind, &input_shapes) {
+            continue;
+        }
+        let root_shape = g.shape(root).clone();
+        let cols = root_shape.dim(root_shape.rank() - 1);
+
+        // Walk the unique-consumer chain off the GEMM.
+        let mut members: Vec<NodeId> = Vec::new();
+        let mut instrs: Vec<EpilogueInstr> = Vec::new();
+        let mut operands: Vec<NodeId> = Vec::new();
+        let mut operand_reg: HashMap<NodeId, u16> = HashMap::new();
+        let mut tip = root;
+        loop {
+            if instrs.len() >= MAX_EPILOGUE_INSTRS {
+                break;
+            }
+            let mut cs = consumers[tip.index()].clone();
+            cs.sort_unstable();
+            cs.dedup();
+            if cs.len() != 1 {
+                break;
+            }
+            let next = NodeId(cs[0]);
+            let c = next.index();
+            if claimed[c] {
+                break;
+            }
+            let Some(op) = fusible_op(&g.node(next).kind) else { break };
+            if g.shape(next) != &root_shape
+                || g.node(next).inputs.len() > MAX_EPILOGUE_ARGS
+            {
+                break;
+            }
+            let mut args: Vec<EpilogueArg> = Vec::new();
+            let mut ok = true;
+            for &inp in &g.node(next).inputs {
+                if inp == tip {
+                    args.push(EpilogueArg::Acc);
+                    continue;
+                }
+                let Some(kind) = classify_operand(g.shape(inp), &root_shape, cols) else {
+                    ok = false;
+                    break;
+                };
+                let index = *operand_reg.entry(inp).or_insert_with(|| {
+                    let reg = operands.len() as u16;
+                    operands.push(inp);
+                    reg
+                });
+                args.push(EpilogueArg::Operand { index, kind });
+            }
+            if !ok {
+                break;
+            }
+            // Interior members must not be kept (their values would need
+            // the unfused chain anyway); the final member may be, so add
+            // the node and then stop extending past it.
+            let next_kept = kept[c];
+            members.push(next);
+            instrs.push(EpilogueInstr { op, args });
+            tip = next;
+            if next_kept {
+                break;
+            }
+        }
+        if instrs.is_empty() {
+            continue;
+        }
+
+        let epilogue = Epilogue { n_operands: operands.len(), instrs };
+        debug_assert!(epilogue.validate().is_ok(), "built epilogue must validate");
+
+        claimed[root_idx] = true;
+        for &m in &members {
+            claimed[m.index()] = true;
+        }
+        stats.gemm_groups += 1;
+        stats.gemm_ops += members.len() + 1; // chain members plus the GEMM root
+        let last = *members.last().expect("non-empty chain");
+        let mut inputs = g.node(root).inputs.clone();
+        inputs.extend(operands);
+        rewrites.push((last, OpKind::GemmFused { gemm, epilogue }, inputs));
+    }
+
+    for (last, kind, inputs) in rewrites {
+        g.replace_node(last, kind, &inputs)
+            .expect("epilogue fusion rewrites are shape-preserving");
+    }
+    stats
+}
+
 /// Options for [`optimize_with`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptimizeOptions {
@@ -648,7 +873,7 @@ mod tests {
         let y = g.neg(s);
         let unfused = g.clone();
         let stats = fuse_in_place(&mut g, &[y]);
-        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3 });
+        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3, ..FusionStats::default() });
         let OpKind::Fused(program) = &g.node(y).kind else {
             panic!("root should be fused, got {:?}", g.node(y).kind)
         };
@@ -704,7 +929,7 @@ mod tests {
         let shifted = g.add_op(x, row); // row-broadcast: not fusible
         let keep_b = g.neg(shifted);
         let stats = fuse_in_place(&mut g, &[keep_a, keep_b]);
-        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3 });
+        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3, ..FusionStats::default() });
         assert!(matches!(g.node(keep_a).kind, OpKind::Fused(_)));
         assert!(matches!(g.node(keep_b).kind, OpKind::Neg));
         assert!(matches!(g.node(shifted).kind, OpKind::Add));
@@ -721,7 +946,7 @@ mod tests {
         let d = g.mul(t, sum);
         let unfused = g.clone();
         let stats = fuse_in_place(&mut g, &[d]);
-        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3 });
+        assert_eq!(stats, FusionStats { groups: 1, ops_fused: 3, ..FusionStats::default() });
         let x_val = Tensor::randn([16], 0.0, 2.0, &mut fathom_tensor::Rng::seeded(11));
         let mut a = Session::new(unfused, Device::cpu(1));
         let mut b = Session::new(g, Device::cpu(1));
@@ -759,6 +984,184 @@ mod tests {
         let opt = optimize_with(&g, &[y], OptimizeOptions::default());
         assert_eq!(opt.stats, plain.stats);
         assert_eq!(opt.graph.len(), plain.graph.len());
+    }
+
+    /// `[4,64] x [64,128]` routes to the packed engine
+    /// (`use_packed(64, 128)`), so the bias/activation chain is an
+    /// epilogue candidate.
+    fn packed_matmul_graph() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        use fathom_tensor::Rng;
+        let mut g = Graph::new();
+        let mut rng = Rng::seeded(21);
+        let x = g.placeholder("x", Shape::matrix(4, 64));
+        let w = g.variable("w", Tensor::randn([64, 128], 0.0, 0.5, &mut rng));
+        let b = g.variable("b", Tensor::randn([128], 0.0, 0.5, &mut rng));
+        let mm = g.matmul(x, w);
+        let biased = g.add_op(mm, b);
+        (g, x, mm, biased, b)
+    }
+
+    #[test]
+    fn gemm_bias_relu_chain_fuses_into_epilogue() {
+        use fathom_tensor::kernels::epilogue::{EpilogueArg, OperandKind};
+        use fathom_tensor::Rng;
+        let (mut g, x, mm, biased, b) = packed_matmul_graph();
+        let act = g.relu(biased);
+        let unfused = g.clone();
+        let stats = fuse_gemm_epilogues(&mut g, &[act]);
+        assert_eq!(stats.gemm_groups, 1);
+        assert_eq!(stats.gemm_ops, 3); // matmul + add + relu
+        let OpKind::GemmFused { gemm, epilogue } = &g.node(act).kind else {
+            panic!("last member should be rewritten, got {:?}", g.node(act).kind)
+        };
+        assert!(matches!(gemm, GemmOp::MatMul { transpose_a: false, transpose_b: false }));
+        assert_eq!(epilogue.instrs.len(), 2);
+        assert_eq!(epilogue.n_operands, 1);
+        assert_eq!(
+            epilogue.instrs[0].args,
+            vec![EpilogueArg::Acc, EpilogueArg::Operand { index: 0, kind: OperandKind::Col }]
+        );
+        // Inputs are [a, b, operands...]; the GEMM root and the interior
+        // Add stay behind as dead nodes.
+        let w = unfused.node(mm).inputs[1];
+        assert_eq!(g.node(act).inputs, vec![x, w, b]);
+        assert!(matches!(g.node(mm).kind, OpKind::MatMul { .. }));
+        assert!(matches!(g.node(biased).kind, OpKind::Add));
+
+        let x_val = Tensor::randn([4, 64], 0.0, 1.0, &mut Rng::seeded(22));
+        for threads in [1, 4] {
+            let mut a = Session::new(unfused.clone(), Device::cpu(threads));
+            let mut f = Session::new(g.clone(), Device::cpu(threads));
+            let want = a.run1(act, &[(x, x_val.clone())]).unwrap();
+            let got = f.run1(act, &[(x, x_val.clone())]).unwrap();
+            assert!(bitwise_eq(&want, &got), "fused epilogue diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn small_gemm_fuses_through_the_fallback_path() {
+        // k = 8 routes through the row-parallel kernel, where the
+        // epilogue runs as one flat pass after the matmul. The chain
+        // still sheds its dispatches and round trips, so the pass takes
+        // it — and the result is still bitwise identical.
+        use fathom_tensor::Rng;
+        let mut rng = Rng::seeded(31);
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(4, 8));
+        let w = g.variable("w", Tensor::randn([8, 8], 0.0, 0.5, &mut rng));
+        let b = g.variable("b", Tensor::randn([8], 0.0, 0.5, &mut rng));
+        let mm = g.matmul(x, w);
+        let biased = g.add_op(mm, b);
+        let act = g.relu(biased);
+        let unfused = g.clone();
+        let stats = fuse_gemm_epilogues(&mut g, &[act]);
+        assert_eq!(stats.gemm_groups, 1);
+        assert_eq!(stats.gemm_ops, 3);
+        assert!(matches!(g.node(act).kind, OpKind::GemmFused { .. }));
+        assert!(matches!(g.node(mm).kind, OpKind::MatMul { .. }));
+
+        let x_val = Tensor::randn([4, 8], 0.0, 1.0, &mut rng);
+        let mut a = Session::new(unfused, Device::cpu(1));
+        let mut f = Session::new(g, Device::cpu(1));
+        let want = a.run1(act, &[(x, x_val.clone())]).unwrap();
+        let got = f.run1(act, &[(x, x_val)]).unwrap();
+        assert!(bitwise_eq(&want, &got), "fallback-path epilogue diverged");
+    }
+
+    #[test]
+    fn kept_chain_member_becomes_the_rewrite_point() {
+        let (mut g, _x, mm, biased, _b) = packed_matmul_graph();
+        let act = g.relu(biased);
+        // `biased` is kept, so the chain stops there: the Add is the
+        // final member (its id survives the rewrite) and the Relu stays
+        // a plain consumer of the now-fused node.
+        let stats = fuse_gemm_epilogues(&mut g, &[act, biased]);
+        assert_eq!(stats.gemm_groups, 1);
+        assert_eq!(stats.gemm_ops, 2); // matmul + add only
+        assert!(matches!(g.node(biased).kind, OpKind::GemmFused { .. }));
+        assert!(matches!(g.node(act).kind, OpKind::Relu));
+        assert!(matches!(g.node(mm).kind, OpKind::MatMul { .. }));
+    }
+
+    #[test]
+    fn shared_consumer_resolves_greedily_to_one_group() {
+        use fathom_tensor::Rng;
+        let mut g = Graph::new();
+        let mut rng = Rng::seeded(23);
+        let x = g.placeholder("x", Shape::matrix(4, 64));
+        let w1 = g.variable("w1", Tensor::randn([64, 128], 0.0, 0.5, &mut rng));
+        let w2 = g.variable("w2", Tensor::randn([64, 128], 0.0, 0.5, &mut rng));
+        let mm1 = g.matmul(x, w1);
+        let mm2 = g.matmul(x, w2);
+        let s = g.add_op(mm1, mm2);
+        let unfused = g.clone();
+        let stats = fuse_gemm_epilogues(&mut g, &[s]);
+        // The first matmul claims the Add; the second stays a plain node
+        // feeding the epilogue as a Full operand (the speech BiRNN shape).
+        assert_eq!(stats.gemm_groups, 1);
+        assert_eq!(stats.gemm_ops, 2);
+        assert!(matches!(g.node(s).kind, OpKind::GemmFused { .. }));
+        assert_eq!(g.node(s).inputs, vec![x, w1, mm2]);
+        assert!(matches!(g.node(mm2).kind, OpKind::MatMul { .. }));
+
+        let x_val = Tensor::randn([4, 64], 0.0, 1.0, &mut Rng::seeded(24));
+        let mut a = Session::new(unfused, Device::cpu(2));
+        let mut f = Session::new(g, Device::cpu(2));
+        let want = a.run1(s, &[(x, x_val.clone())]).unwrap();
+        let got = f.run1(s, &[(x, x_val)]).unwrap();
+        assert!(bitwise_eq(&want, &got));
+    }
+
+    #[test]
+    fn conv_bias_chain_fuses_through_im2col() {
+        use fathom_tensor::kernels::conv::Conv2dSpec;
+        use fathom_tensor::Rng;
+        let mut g = Graph::new();
+        let mut rng = Rng::seeded(25);
+        let x = g.placeholder("x", Shape::from(vec![1, 8, 8, 64]));
+        let f = g.variable("f", Tensor::randn([3, 3, 64, 64], 0.0, 0.1, &mut rng));
+        let b = g.variable("b", Tensor::randn([64], 0.0, 0.1, &mut rng));
+        let conv = g.conv2d(x, f, Conv2dSpec::same(3));
+        let biased = g.add_op(conv, b);
+        let act = g.relu(biased);
+        let unfused = g.clone();
+        let stats = fuse_gemm_epilogues(&mut g, &[act]);
+        assert_eq!(stats.gemm_groups, 1, "im2col-lowered conv should take an epilogue");
+        let OpKind::GemmFused { gemm: GemmOp::Conv2D(_), .. } = &g.node(act).kind else {
+            panic!("expected fused conv, got {:?}", g.node(act).kind)
+        };
+        let x_val = Tensor::randn([1, 8, 8, 64], 0.0, 1.0, &mut Rng::seeded(26));
+        let mut a = Session::new(unfused, Device::cpu(2));
+        let mut fs = Session::new(g, Device::cpu(2));
+        let want = a.run1(act, &[(x, x_val.clone())]).unwrap();
+        let got = fs.run1(act, &[(x, x_val)]).unwrap();
+        assert!(bitwise_eq(&want, &got));
+    }
+
+    #[test]
+    fn epilogue_pass_then_elementwise_pass_do_not_double_claim() {
+        use fathom_tensor::Rng;
+        let (mut g, x, mm, biased, _b) = packed_matmul_graph();
+        let act = g.relu(biased);
+        let scaled = g.tanh(act);
+        let y = g.neg(scaled);
+        let unfused = g.clone();
+        let gstats = fuse_gemm_epilogues(&mut g, &[y]);
+        assert_eq!(gstats.gemm_groups, 1);
+        assert_eq!(gstats.gemm_ops, 5); // the whole chain folds into the GEMM
+        let estats = fuse_in_place(&mut g, &[y]);
+        // Everything was claimed by the epilogue; nothing left to fuse
+        // (the dead originals are unreachable so the pass skips them).
+        assert_eq!(estats.groups, 0);
+        assert!(matches!(g.node(y).kind, OpKind::GemmFused { .. }));
+        assert!(matches!(g.node(mm).kind, OpKind::MatMul { .. }));
+
+        let x_val = Tensor::randn([4, 64], 0.0, 1.0, &mut Rng::seeded(27));
+        let mut a = Session::new(unfused, Device::cpu(1));
+        let mut f = Session::new(g, Device::cpu(1));
+        let want = a.run1(y, &[(x, x_val.clone())]).unwrap();
+        let got = f.run1(y, &[(x, x_val)]).unwrap();
+        assert!(bitwise_eq(&want, &got));
     }
 
     #[test]

@@ -1,0 +1,775 @@
+//! GEMM epilogue programs: small elementwise post-ops applied to the
+//! packed engine's accumulator tiles before they are stored to C.
+//!
+//! A dense layer is `matmul -> add bias -> activation`; lowered naively,
+//! the matmul writes `[m, n]` to memory and each elementwise consumer
+//! reads and rewrites it. An [`Epilogue`] instead rides the microkernel
+//! writeback in [`crate::kernels::gemm`]: the accumulator tile is still
+//! in registers when the bias add and activation run, so the chain costs
+//! one store instead of a store plus two round trips (the BLIS/cuBLAS
+//! "fused epilogue" idiom).
+//!
+//! The program is a straight-line chain over one output element: each
+//! instruction reads the running accumulator value (at least one
+//! [`EpilogueArg::Acc`] operand) plus external operands, and writes the
+//! accumulator back. External operands come in three broadcast kinds —
+//! [`OperandKind::Scalar`] (one value), [`OperandKind::Col`] (one value
+//! per output column, e.g. a bias `[n]`), and [`OperandKind::Full`] (one
+//! value per output element, e.g. a residual input).
+//!
+//! # Bitwise contract
+//!
+//! Every instruction applies *exactly* the scalar formula of the
+//! standalone kernel it replaces — the same formulas as
+//! [`crate::kernels::fused::FusedOp`], by construction, because the ops
+//! are shared. Element evaluation is pure (no cross-element reduction),
+//! so applying the program per register tile ([`Epilogue::apply_row`]
+//! inside the GEMM writeback), per flat row ([`Epilogue::apply_flat`] on
+//! the fallback paths), serially, or in parallel all produce identical
+//! bits; and because the unfused elementwise kernels broadcast a `[n]`
+//! bias against `[m, n]` by reading `b[j]` per element — the same value
+//! `Col` reads — a fused evaluation is bit-identical to running the
+//! unfused matmul-then-elementwise chain.
+
+use crate::kernels::fused::FusedOp;
+use crate::pool::ExecPool;
+
+/// Epilogues longer than this are not worth holding in the writeback
+/// loop; the graph pass leaves longer chains to the elementwise
+/// interpreter.
+pub const MAX_EPILOGUE_INSTRS: usize = 8;
+/// Per-instruction operand cap, sized so argument values fit a stack
+/// array in the hot loop (covers every fixed-arity op and bounds AddN).
+pub const MAX_EPILOGUE_ARGS: usize = 8;
+
+/// Broadcast class of an external epilogue operand against the `[m, n]`
+/// GEMM output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandKind {
+    /// One element, broadcast everywhere.
+    Scalar,
+    /// `n` elements, indexed by output column (a bias over the trailing
+    /// dimension).
+    Col,
+    /// `m * n` elements, indexed like the output (a residual input).
+    Full,
+}
+
+/// One operand of an epilogue instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpilogueArg {
+    /// The running accumulator value for this element.
+    Acc,
+    /// External operand `index`, fetched per `kind`.
+    Operand {
+        /// Index into the operand list.
+        index: u16,
+        /// Broadcast class (fixed per operand across the program).
+        kind: OperandKind,
+    },
+}
+
+/// One instruction: a scalar op over accumulator/operand values whose
+/// result becomes the new accumulator value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpilogueInstr {
+    /// Scalar operation (shared with the fused elementwise interpreter).
+    pub op: FusedOp,
+    /// Operands in the replaced graph op's argument order.
+    pub args: Vec<EpilogueArg>,
+}
+
+/// A straight-line epilogue program over the GEMM accumulator.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Epilogue {
+    /// External operand count.
+    pub n_operands: usize,
+    /// Instructions in evaluation (original graph) order.
+    pub instrs: Vec<EpilogueInstr>,
+}
+
+/// Applies one scalar formula. Mirrors
+/// [`crate::kernels::fused::FusedInstr`]'s row loops exactly, value for
+/// value — the bitwise contract of both fusion passes hangs on these
+/// sites agreeing. The specialized row loops in [`apply_instr_row`]
+/// inline the same formulas; this function stays the source of truth
+/// and serves the general fallback.
+#[inline(always)]
+fn scalar_op(op: FusedOp, vals: &[f32]) -> f32 {
+    use FusedOp::*;
+    match op {
+        Add => vals[0] + vals[1],
+        Sub => vals[0] - vals[1],
+        Mul => vals[0] * vals[1],
+        Div => vals[0] / vals[1],
+        Maximum => f32::max(vals[0], vals[1]),
+        Pow => vals[0].powf(vals[1]),
+        Greater => f32::from(vals[0] > vals[1]),
+        GreaterEqual => f32::from(vals[0] >= vals[1]),
+        Equal => f32::from(vals[0] == vals[1]),
+        // Two masked passes plus an add, like the executor's lowering.
+        Select => {
+            (if vals[0] != 0.0 { vals[1] } else { 0.0 })
+                + (if vals[0] != 0.0 { 0.0 } else { vals[2] })
+        }
+        Neg => -vals[0],
+        Exp => vals[0].exp(),
+        Log => vals[0].ln(),
+        Sqrt => vals[0].sqrt(),
+        Square => vals[0] * vals[0],
+        Tanh => vals[0].tanh(),
+        Sigmoid => 1.0 / (1.0 + (-vals[0]).exp()),
+        Relu => vals[0].max(0.0),
+        ReluGrad => {
+            if vals[0] > 0.0 {
+                vals[1]
+            } else {
+                0.0
+            }
+        }
+        TanhGrad => vals[1] * (1.0 - vals[0] * vals[0]),
+        SigmoidGrad => vals[1] * vals[0] * (1.0 - vals[0]),
+        // Accumulate from 0.0 in operand order — `add_n`'s exact fold.
+        AddN => {
+            let mut s = 0.0f32;
+            for &v in vals {
+                s += v;
+            }
+            s
+        }
+    }
+}
+
+/// One epilogue operand resolved against a specific row fragment: the
+/// running accumulator, a broadcast scalar, or a fragment-length slice
+/// (a `Col` or `Full` operand pre-offset to the fragment's columns).
+#[derive(Clone, Copy)]
+enum Src<'a> {
+    Acc,
+    Scalar(f32),
+    Row(&'a [f32]),
+}
+
+/// Resolves one argument of an instruction against a row fragment of
+/// `len` elements starting at output element `(row, col0)`.
+#[inline(always)]
+fn resolve_arg<'a>(
+    arg: EpilogueArg,
+    row: usize,
+    col0: usize,
+    n: usize,
+    len: usize,
+    operands: &[&'a [f32]],
+) -> Src<'a> {
+    match arg {
+        EpilogueArg::Acc => Src::Acc,
+        EpilogueArg::Operand { index, kind } => {
+            let src = operands[usize::from(index)];
+            match kind {
+                OperandKind::Scalar => Src::Scalar(src[0]),
+                OperandKind::Col => Src::Row(&src[col0..col0 + len]),
+                OperandKind::Full => Src::Row(&src[row * n + col0..row * n + col0 + len]),
+            }
+        }
+    }
+}
+
+/// The value of a resolved source at fragment offset `j`, given the
+/// accumulator's current value there.
+#[inline(always)]
+fn fetch(src: Src<'_>, acc: f32, j: usize) -> f32 {
+    match src {
+        Src::Acc => acc,
+        Src::Scalar(s) => s,
+        Src::Row(r) => r[j],
+    }
+}
+
+/// Applies a unary scalar formula over the accumulator fragment.
+#[inline(always)]
+fn acc_unary(acc: &mut [f32], f: impl Fn(f32) -> f32) {
+    for v in acc.iter_mut() {
+        *v = f(*v);
+    }
+}
+
+/// Applies a binary scalar formula over the accumulator fragment. The
+/// Acc/Scalar/Row combinations are split so each runs a tight
+/// vectorizable loop; `validate` guarantees at least one operand is the
+/// accumulator, but the general arm keeps the function total.
+#[inline(always)]
+fn acc_binary(acc: &mut [f32], a: Src<'_>, b: Src<'_>, f: impl Fn(f32, f32) -> f32) {
+    match (a, b) {
+        (Src::Acc, Src::Acc) => acc_unary(acc, |v| f(v, v)),
+        (Src::Acc, Src::Scalar(s)) => acc_unary(acc, |v| f(v, s)),
+        (Src::Scalar(s), Src::Acc) => acc_unary(acc, |v| f(s, v)),
+        (Src::Acc, Src::Row(r)) => {
+            for (v, &bv) in acc.iter_mut().zip(r) {
+                *v = f(*v, bv);
+            }
+        }
+        (Src::Row(r), Src::Acc) => {
+            for (v, &av) in acc.iter_mut().zip(r) {
+                *v = f(av, *v);
+            }
+        }
+        (a, b) => {
+            for (j, v) in acc.iter_mut().enumerate() {
+                *v = f(fetch(a, *v, j), fetch(b, *v, j));
+            }
+        }
+    }
+}
+
+/// Applies a unary scalar formula over every row of a strided block.
+#[inline(always)]
+fn block_unary(block: &mut [f32], rows: usize, cols: usize, stride: usize, f: impl Fn(f32) -> f32) {
+    for r in 0..rows {
+        acc_unary(&mut block[r * stride..][..cols], &f);
+    }
+}
+
+/// Applies a binary instruction over every row of a strided block,
+/// re-resolving the operands per row (a `Full` operand's slice moves
+/// with the row; `Scalar`/`Col` resolve to the same source each time,
+/// cheaply enough not to be worth hoisting).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn block_binary(
+    block: &mut [f32],
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    n: usize,
+    operands: &[&[f32]],
+    a0: EpilogueArg,
+    a1: EpilogueArg,
+    f: impl Fn(f32, f32) -> f32,
+) {
+    for r in 0..rows {
+        let row = &mut block[r * stride..][..cols];
+        let a = resolve_arg(a0, row0 + r, col0, n, cols, operands);
+        let b = resolve_arg(a1, row0 + r, col0, n, cols, operands);
+        acc_binary(row, a, b, &f);
+    }
+}
+
+/// Applies one instruction to a `rows x cols` block stored with row
+/// stride `stride`. Fixed-arity ops match on their shape ONCE per block
+/// and run tight per-op inner loops — the same shape as
+/// [`crate::kernels::fused::FusedInstr`]'s row loops. Dispatching per
+/// block rather than per row matters: a macro tile's rows are 64-element
+/// fragments, and at that grain the argument-pattern and opcode matches
+/// cost as much as the arithmetic they guard (measurably slower than
+/// the unfused elementwise kernels on conv-sized outputs).
+/// `Select`/`AddN` (rare in epilogues) fall back to the per-element
+/// interpreter, per row.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn apply_instr_block(
+    instr: &EpilogueInstr,
+    block: &mut [f32],
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    n: usize,
+    operands: &[&[f32]],
+) {
+    use FusedOp::*;
+    match *instr.args.as_slice() {
+        [EpilogueArg::Acc] => match instr.op {
+            Neg => block_unary(block, rows, cols, stride, |v| -v),
+            Exp => block_unary(block, rows, cols, stride, f32::exp),
+            Log => block_unary(block, rows, cols, stride, f32::ln),
+            Sqrt => block_unary(block, rows, cols, stride, f32::sqrt),
+            Square => block_unary(block, rows, cols, stride, |v| v * v),
+            Tanh => block_unary(block, rows, cols, stride, f32::tanh),
+            Sigmoid => block_unary(block, rows, cols, stride, |v| 1.0 / (1.0 + (-v).exp())),
+            Relu => block_unary(block, rows, cols, stride, |v| v.max(0.0)),
+            _ => block_general(instr, block, row0, col0, rows, cols, stride, n, operands),
+        },
+        [a0, a1] if instr.op.arity() == Some(2) => match instr.op {
+            Add => block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, y| x + y),
+            Sub => block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, y| x - y),
+            Mul => block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, y| x * y),
+            Div => block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, y| x / y),
+            Maximum => block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, f32::max),
+            Pow => block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, f32::powf),
+            Greater => {
+                block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, y| {
+                    f32::from(x > y)
+                })
+            }
+            GreaterEqual => {
+                block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, y| {
+                    f32::from(x >= y)
+                })
+            }
+            Equal => {
+                block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, y| {
+                    f32::from(x == y)
+                })
+            }
+            ReluGrad => {
+                block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |x, g| {
+                    if x > 0.0 {
+                        g
+                    } else {
+                        0.0
+                    }
+                })
+            }
+            TanhGrad => {
+                block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |y, g| {
+                    g * (1.0 - y * y)
+                })
+            }
+            SigmoidGrad => {
+                block_binary(block, row0, col0, rows, cols, stride, n, operands, a0, a1, |y, g| {
+                    g * y * (1.0 - y)
+                })
+            }
+            _ => block_general(instr, block, row0, col0, rows, cols, stride, n, operands),
+        },
+        _ => block_general(instr, block, row0, col0, rows, cols, stride, n, operands),
+    }
+}
+
+/// Per-row fallback onto [`apply_general`] for instruction shapes with
+/// no specialized block loop.
+#[allow(clippy::too_many_arguments)]
+fn block_general(
+    instr: &EpilogueInstr,
+    block: &mut [f32],
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    n: usize,
+    operands: &[&[f32]],
+) {
+    for r in 0..rows {
+        apply_general(instr, &mut block[r * stride..][..cols], row0 + r, col0, n, operands);
+    }
+}
+
+/// Applies one instruction to a single row fragment — the degenerate
+/// one-row block.
+#[inline(always)]
+fn apply_instr_row(
+    instr: &EpilogueInstr,
+    acc: &mut [f32],
+    row: usize,
+    col0: usize,
+    n: usize,
+    operands: &[&[f32]],
+) {
+    let len = acc.len();
+    apply_instr_block(instr, acc, row, col0, 1, len, len, n, operands);
+}
+
+/// The per-element interpreter for instruction shapes without a
+/// specialized loop (`Select`, `AddN`, and any unary op applied to a
+/// non-accumulator source). Applies [`scalar_op`] — the formula source
+/// of truth — one element at a time.
+fn apply_general(
+    instr: &EpilogueInstr,
+    acc: &mut [f32],
+    row: usize,
+    col0: usize,
+    n: usize,
+    operands: &[&[f32]],
+) {
+    let mut vals = [0.0f32; MAX_EPILOGUE_ARGS];
+    let nargs = instr.args.len();
+    for (j, slot) in acc.iter_mut().enumerate() {
+        for (v, arg) in vals[..nargs].iter_mut().zip(&instr.args) {
+            *v = match *arg {
+                EpilogueArg::Acc => *slot,
+                EpilogueArg::Operand { index, kind } => {
+                    let src = operands[usize::from(index)];
+                    match kind {
+                        OperandKind::Scalar => src[0],
+                        OperandKind::Col => src[col0 + j],
+                        OperandKind::Full => src[row * n + col0 + j],
+                    }
+                }
+            };
+        }
+        *slot = scalar_op(instr.op, &vals[..nargs]);
+    }
+}
+
+impl Epilogue {
+    /// Checks structural validity: at least one instruction, instruction
+    /// and operand counts within the hot-loop caps, arities respected,
+    /// at least one [`EpilogueArg::Acc`] per instruction (the program
+    /// must be a chain over the accumulator), operand indices in range,
+    /// and each operand used with one consistent broadcast kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.instrs.is_empty() {
+            return Err("epilogue needs at least one instruction".into());
+        }
+        if self.instrs.len() > MAX_EPILOGUE_INSTRS {
+            return Err(format!(
+                "epilogue has {} instructions (max {MAX_EPILOGUE_INSTRS})",
+                self.instrs.len()
+            ));
+        }
+        let mut kinds: Vec<Option<OperandKind>> = vec![None; self.n_operands];
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let Some(arity) = instr.op.arity() {
+                if instr.args.len() != arity {
+                    return Err(format!(
+                        "epilogue instruction {i} ({}) takes {arity} operands, got {}",
+                        instr.op.name(),
+                        instr.args.len()
+                    ));
+                }
+            } else if instr.args.is_empty() {
+                return Err(format!("epilogue instruction {i} (AddN) needs at least one operand"));
+            }
+            if instr.args.len() > MAX_EPILOGUE_ARGS {
+                return Err(format!(
+                    "epilogue instruction {i} has {} operands (max {MAX_EPILOGUE_ARGS})",
+                    instr.args.len()
+                ));
+            }
+            if !instr.args.contains(&EpilogueArg::Acc) {
+                return Err(format!(
+                    "epilogue instruction {i} ({}) never reads the accumulator",
+                    instr.op.name()
+                ));
+            }
+            for arg in &instr.args {
+                if let EpilogueArg::Operand { index, kind } = *arg {
+                    let slot = kinds
+                        .get_mut(usize::from(index))
+                        .ok_or_else(|| format!("epilogue instruction {i} reads operand {index} (have {})", self.n_operands))?;
+                    match slot {
+                        None => *slot = Some(kind),
+                        Some(k) if *k == kind => {}
+                        Some(k) => {
+                            return Err(format!(
+                                "epilogue operand {index} used as both {k:?} and {kind:?}"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The broadcast kind operand `index` is used with, or `None` if the
+    /// program never reads it.
+    pub fn operand_kind(&self, index: usize) -> Option<OperandKind> {
+        self.instrs.iter().flat_map(|i| &i.args).find_map(|a| match *a {
+            EpilogueArg::Operand { index: at, kind } if usize::from(at) == index => Some(kind),
+            _ => None,
+        })
+    }
+
+    /// Validates the program and asserts every operand slice has the
+    /// length its broadcast kind demands against an `[m, n]` output.
+    /// Kernel entry points call this once before the hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid program or a mis-sized operand.
+    pub fn check_operands(&self, m: usize, n: usize, operands: &[&[f32]]) {
+        self.validate().expect("epilogue is structurally valid");
+        assert_eq!(operands.len(), self.n_operands, "epilogue operand count mismatch");
+        for (i, op) in operands.iter().enumerate() {
+            match self.operand_kind(i) {
+                Some(OperandKind::Scalar) => {
+                    assert_eq!(op.len(), 1, "epilogue scalar operand {i} length");
+                }
+                Some(OperandKind::Col) => {
+                    assert_eq!(op.len(), n, "epilogue column operand {i} length");
+                }
+                Some(OperandKind::Full) => {
+                    assert_eq!(op.len(), m * n, "epilogue full operand {i} length");
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Applies the program to `acc`, a row fragment of the output whose
+    /// first element is output element `(row, col0)` of an `[_, n]`
+    /// matrix. This is the register-tile path: the GEMM writeback calls
+    /// it on accumulator rows before they are stored.
+    ///
+    /// Assumes [`Epilogue::check_operands`] ran at the kernel entry.
+    #[inline]
+    pub fn apply_row(&self, acc: &mut [f32], row: usize, col0: usize, n: usize, operands: &[&[f32]]) {
+        for instr in &self.instrs {
+            apply_instr_row(instr, acc, row, col0, n, operands);
+        }
+    }
+
+    /// Applies the program to a `rows x cols` accumulator block stored
+    /// with row stride `stride`, whose top-left element is output
+    /// element `(row0, col0)` of an `[_, n]` matrix. This is what the
+    /// packed GEMM writeback calls on each macro tile: instructions run
+    /// outermost (each applied to every row before the next starts),
+    /// which dispatches once per instruction per *tile* instead of per
+    /// 64-element row fragment. Every instruction is pure per element,
+    /// so the instruction-outer order is bitwise identical to
+    /// [`Epilogue::apply_row`] row by row.
+    ///
+    /// Assumes [`Epilogue::check_operands`] ran at the kernel entry.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_block(
+        &self,
+        block: &mut [f32],
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+        n: usize,
+        operands: &[&[f32]],
+    ) {
+        for instr in &self.instrs {
+            apply_instr_block(instr, block, row0, col0, rows, cols, stride, n, operands);
+        }
+    }
+
+    /// Applies the program to a whole `[m, n]` buffer in place — the
+    /// fallback for GEMM paths that never hold tiles in registers (the
+    /// row-parallel kernel, the direct conv kernel, `k == 0` products).
+    /// Bitwise identical to the tile path: evaluation is pure per
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is invalid, `data.len() != m * n`, or an
+    /// operand is mis-sized.
+    pub fn apply_flat(&self, data: &mut [f32], m: usize, n: usize, operands: &[&[f32]], pool: &ExecPool) {
+        assert_eq!(data.len(), m * n, "epilogue output length mismatch");
+        self.check_operands(m, n, operands);
+        if data.is_empty() {
+            return;
+        }
+        pool.for_spans(data, n, self.instrs.len(), |row, dst| {
+            self.apply_row(dst, row, 0, n, operands);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::elementwise as ew;
+    use crate::rng::Rng;
+    use crate::tensor::Tensor;
+
+    fn pool() -> ExecPool {
+        ExecPool::new(4).with_grain(1)
+    }
+
+    fn acc() -> EpilogueArg {
+        EpilogueArg::Acc
+    }
+
+    fn operand(index: u16, kind: OperandKind) -> EpilogueArg {
+        EpilogueArg::Operand { index, kind }
+    }
+
+    /// bias-add + relu: the canonical dense-layer epilogue.
+    fn bias_relu() -> Epilogue {
+        Epilogue {
+            n_operands: 1,
+            instrs: vec![
+                EpilogueInstr { op: FusedOp::Add, args: vec![acc(), operand(0, OperandKind::Col)] },
+                EpilogueInstr { op: FusedOp::Relu, args: vec![acc()] },
+            ],
+        }
+    }
+
+    #[test]
+    fn flat_application_matches_unfused_kernels_bitwise() {
+        let mut rng = Rng::seeded(5);
+        let (m, n) = (7, 13);
+        let x = Tensor::randn([m, n], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn([n], 0.0, 1.0, &mut rng);
+        let p = pool();
+        let mut fused = x.clone();
+        bias_relu().apply_flat(fused.data_mut(), m, n, &[bias.data()], &p);
+        let unfused = ew::relu(&ew::add(&x, &bias, &p), &p);
+        assert_eq!(fused.data(), unfused.data());
+    }
+
+    #[test]
+    fn tile_rows_match_flat_application() {
+        let mut rng = Rng::seeded(6);
+        let (m, n) = (9, 21);
+        let x = Tensor::randn([m, n], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn([n], 0.0, 1.0, &mut rng);
+        let res = Tensor::randn([m, n], 0.0, 1.0, &mut rng);
+        let ep = Epilogue {
+            n_operands: 2,
+            instrs: vec![
+                EpilogueInstr { op: FusedOp::Add, args: vec![acc(), operand(0, OperandKind::Col)] },
+                EpilogueInstr { op: FusedOp::Tanh, args: vec![acc()] },
+                EpilogueInstr { op: FusedOp::Add, args: vec![acc(), operand(1, OperandKind::Full)] },
+            ],
+        };
+        let ops = [bias.data(), res.data()];
+        let mut flat = x.clone();
+        ep.apply_flat(flat.data_mut(), m, n, &ops, &pool());
+        // Apply over ragged row fragments, as the tile writeback does.
+        let mut tiled = x.clone();
+        ep.check_operands(m, n, &ops);
+        for row in 0..m {
+            for (col0, width) in [(0usize, 5usize), (5, 16)] {
+                let frag = &mut tiled.data_mut()[row * n + col0..row * n + col0 + width];
+                ep.apply_row(frag, row, col0, n, &ops);
+            }
+        }
+        assert_eq!(flat.data(), tiled.data());
+    }
+
+    #[test]
+    fn strided_block_application_matches_per_row() {
+        let mut rng = Rng::seeded(8);
+        let (m, n) = (11, 17);
+        let x = Tensor::randn([m, n], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn([n], 0.0, 1.0, &mut rng);
+        let res = Tensor::randn([m, n], 0.0, 1.0, &mut rng);
+        let s = Tensor::scalar(-0.75);
+        let ep = Epilogue {
+            n_operands: 3,
+            instrs: vec![
+                EpilogueInstr { op: FusedOp::Add, args: vec![acc(), operand(0, OperandKind::Col)] },
+                EpilogueInstr { op: FusedOp::Maximum, args: vec![acc(), operand(2, OperandKind::Scalar)] },
+                EpilogueInstr { op: FusedOp::Add, args: vec![acc(), operand(1, OperandKind::Full)] },
+                EpilogueInstr { op: FusedOp::Sigmoid, args: vec![acc()] },
+            ],
+        };
+        let ops = [bias.data(), res.data(), s.data()];
+        ep.check_operands(m, n, &ops);
+        // A (rows=4, cols=7) tile at output position (3, 6), laid out in
+        // a wider scratch buffer (stride 9) like the GEMM macro block.
+        let (row0, col0, rows, cols, stride) = (3usize, 6usize, 4usize, 7usize, 9usize);
+        let mut block = vec![0.5f32; rows * stride];
+        for r in 0..rows {
+            block[r * stride..r * stride + cols]
+                .copy_from_slice(&x.data()[(row0 + r) * n + col0..(row0 + r) * n + col0 + cols]);
+        }
+        let mut by_row = block.clone();
+        for r in 0..rows {
+            ep.apply_row(&mut by_row[r * stride..][..cols], row0 + r, col0, n, &ops);
+        }
+        ep.apply_block(&mut block, row0, col0, rows, cols, stride, n, &ops);
+        assert_eq!(block, by_row, "instruction-outer block order must match row order");
+        // Padding lanes between rows are untouched.
+        for r in 0..rows {
+            assert_eq!(&block[r * stride + cols..(r + 1) * stride], &[0.5; 2]);
+        }
+    }
+
+    #[test]
+    fn scalar_and_full_operands_broadcast_like_elementwise() {
+        let mut rng = Rng::seeded(7);
+        let (m, n) = (4, 6);
+        let x = Tensor::randn([m, n], 0.0, 1.0, &mut rng);
+        let r = Tensor::randn([m, n], 0.0, 1.0, &mut rng);
+        let s = Tensor::scalar(0.125);
+        let ep = Epilogue {
+            n_operands: 2,
+            instrs: vec![
+                EpilogueInstr { op: FusedOp::Add, args: vec![acc(), operand(0, OperandKind::Full)] },
+                EpilogueInstr { op: FusedOp::Mul, args: vec![acc(), operand(1, OperandKind::Scalar)] },
+            ],
+        };
+        let p = pool();
+        let mut fused = x.clone();
+        ep.apply_flat(fused.data_mut(), m, n, &[r.data(), s.data()], &p);
+        let unfused = ew::mul(&ew::add(&x, &r, &p), &s, &p);
+        assert_eq!(fused.data(), unfused.data());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_programs() {
+        // No instructions.
+        assert!(Epilogue::default().validate().is_err());
+        // Wrong arity.
+        assert!(Epilogue {
+            n_operands: 0,
+            instrs: vec![EpilogueInstr { op: FusedOp::Add, args: vec![acc()] }],
+        }
+        .validate()
+        .is_err());
+        // Never reads the accumulator.
+        assert!(Epilogue {
+            n_operands: 1,
+            instrs: vec![EpilogueInstr {
+                op: FusedOp::Neg,
+                args: vec![operand(0, OperandKind::Col)],
+            }],
+        }
+        .validate()
+        .is_err());
+        // Operand index out of range.
+        assert!(Epilogue {
+            n_operands: 1,
+            instrs: vec![EpilogueInstr {
+                op: FusedOp::Add,
+                args: vec![acc(), operand(3, OperandKind::Col)],
+            }],
+        }
+        .validate()
+        .is_err());
+        // Inconsistent operand kind.
+        assert!(Epilogue {
+            n_operands: 1,
+            instrs: vec![
+                EpilogueInstr { op: FusedOp::Add, args: vec![acc(), operand(0, OperandKind::Col)] },
+                EpilogueInstr { op: FusedOp::Mul, args: vec![acc(), operand(0, OperandKind::Full)] },
+            ],
+        }
+        .validate()
+        .is_err());
+        // Valid: bias + relu.
+        assert!(bias_relu().validate().is_ok());
+        // Valid: the accumulator may appear several times (x * x).
+        assert!(Epilogue {
+            n_operands: 0,
+            instrs: vec![EpilogueInstr { op: FusedOp::Mul, args: vec![acc(), acc()] }],
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn addn_folds_in_operand_order() {
+        let x = Tensor::from_vec(vec![1.0, -0.0, 0.0, 2.5], [2, 2]);
+        let a = Tensor::from_vec(vec![10.0, 0.0, -0.0, 1.5], [2, 2]);
+        let b = Tensor::from_vec(vec![-10.0, -0.0, -0.0, -4.0], [2, 2]);
+        let ep = Epilogue {
+            n_operands: 2,
+            instrs: vec![EpilogueInstr {
+                op: FusedOp::AddN,
+                args: vec![operand(0, OperandKind::Full), acc(), operand(1, OperandKind::Full)],
+            }],
+        };
+        let p = pool();
+        let mut fused = x.clone();
+        ep.apply_flat(fused.data_mut(), 2, 2, &[a.data(), b.data()], &p);
+        let unfused = ew::add_n(&[&a, &x, &b], &p);
+        assert_eq!(fused.data(), unfused.data());
+    }
+}

@@ -18,6 +18,21 @@
 //! chain. The graph-level legality rules that make per-element evaluation
 //! valid (same-shaped members, scalar-or-same-shaped inputs) live in the
 //! dataflow optimizer; this kernel only checks structural validity.
+//!
+//! # Span-length limitation
+//!
+//! Spans are `FLAT_SPAN` elements, so a tensor with at most `FLAT_SPAN`
+//! elements is a *single* span: the whole program runs on one worker and
+//! fusion's only win is skipping intermediate tensor round trips that
+//! already fit in L1/L2. This is why workloads dominated by many small
+//! fused groups (speech's per-timestep `[batch, hidden]` RNN chains —
+//! 54 groups, ~1.00× end to end) see almost nothing from elementwise
+//! fusion: per-group bookkeeping roughly cancels the saved traffic.
+//! Shrinking the span would not help — below cache-line granularity the
+//! jammed loops stop vectorizing — so small GEMM-fed chains are instead
+//! absorbed into the matmul itself by the epilogue pass (see
+//! [`crate::kernels::epilogue`]), which eliminates both the round trip
+//! and the per-group dispatch.
 
 use crate::pool::ExecPool;
 use crate::tensor::Tensor;

@@ -22,15 +22,28 @@
 //! owned by exactly one output tile (tiles partition the M×N plane), and
 //! its value is produced by a fixed-order sum: K blocks are walked in
 //! ascending order, each block's partial sum accumulates sequentially
-//! over `kk` into a fresh tile-local accumulator, and the block results
-//! are added into C left to right. None of that order depends on worker
-//! count, tile ownership, or whether the element sits in a full or edge
-//! tile — edge tiles compute the same lanes against zero padding.
+//! over `kk` into a fresh microkernel accumulator, and the block results
+//! are added into a tile-resident accumulator left to right before the
+//! tile is stored once. None of that order depends on worker count, tile
+//! ownership, or whether the element sits in a full or edge tile — edge
+//! tiles compute the same lanes against zero padding.
+//!
+//! # Epilogue fusion
+//!
+//! [`gemm_into_fused`] threads an [`Epilogue`] program into the
+//! writeback: because the tile accumulator holds each element's final
+//! K-reduced value before any store, bias adds / activations / residual
+//! adds apply to registers and C is written exactly once, already
+//! post-processed. The epilogue runs per element after the fixed-order
+//! reduction completes, so it changes no sum order and the bitwise
+//! contract above carries over unchanged (see
+//! [`crate::kernels::epilogue`] for the formula-level contract).
 //!
 //! Packing buffers come from the thread's installed [`crate::BufferPool`]
 //! (see [`crate::recycle::take_buffer`]), so steady-state training does
 //! no kernel-scratch allocation.
 
+use crate::kernels::epilogue::Epilogue;
 use crate::pool::ExecPool;
 use crate::recycle;
 use crate::tensor::Tensor;
@@ -111,6 +124,65 @@ pub fn matmul_packed(
     Tensor::from_vec(c, [m, n])
 }
 
+/// `op(A) * op(B)` through the packed engine when the geometry warrants
+/// it (see [`use_packed`]), with `epilogue` applied before each tile is
+/// stored; falls back to the row-parallel kernel plus a flat epilogue
+/// pass otherwise. Either route is bitwise identical to the matching
+/// unfused matmul followed by the unfused elementwise chain.
+///
+/// # Panics
+///
+/// Panics on non-rank-2 inputs, contraction mismatch, an invalid
+/// epilogue, or mis-sized operands.
+pub fn matmul_fused(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_a: bool,
+    transpose_b: bool,
+    epilogue: &Epilogue,
+    operands: &[&Tensor],
+    pool: &ExecPool,
+) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, ka) = if transpose_a {
+        (a.shape().dim(1), a.shape().dim(0))
+    } else {
+        (a.shape().dim(0), a.shape().dim(1))
+    };
+    let (kb, n) = if transpose_b {
+        (b.shape().dim(1), b.shape().dim(0))
+    } else {
+        (b.shape().dim(0), b.shape().dim(1))
+    };
+    assert_eq!(
+        ka, kb,
+        "matmul contraction mismatch: op(a) is [{m}, {ka}], op(b) is [{kb}, {n}]"
+    );
+    let ops: Vec<&[f32]> = operands.iter().map(|t| t.data()).collect();
+    if use_packed(ka, n) {
+        let mut c = recycle::take_buffer(m * n);
+        gemm_into_fused(
+            &mut c,
+            m,
+            n,
+            ka,
+            a.data(),
+            transpose_a,
+            b.data(),
+            transpose_b,
+            Some(epilogue),
+            &ops,
+            pool,
+        );
+        Tensor::from_vec(c, [m, n])
+    } else {
+        let mut c = crate::kernels::matmul::matmul(a, b, transpose_a, transpose_b, pool);
+        epilogue.apply_flat(c.data_mut(), m, n, &ops, pool);
+        c
+    }
+}
+
 /// Writes `op(A) * op(B)` into `c` (`c` is fully overwritten; prior
 /// contents are ignored). `a` is `[m, k]` (`[k, m]` when `transpose_a`)
 /// and `b` is `[k, n]` (`[n, k]` when `transpose_b`), both row-major.
@@ -131,11 +203,48 @@ pub fn gemm_into(
     transpose_b: bool,
     pool: &ExecPool,
 ) {
+    gemm_into_fused(c, m, n, k, a, transpose_a, b, transpose_b, None, &[], pool);
+}
+
+/// [`gemm_into`] with an optional [`Epilogue`] applied to each
+/// accumulator tile before it is stored. The epilogue sees the final
+/// K-reduced element values in registers, so the fused result is
+/// bitwise identical to `gemm_into` followed by
+/// [`Epilogue::apply_flat`].
+///
+/// # Panics
+///
+/// Panics on length mismatches, an invalid epilogue, or mis-sized
+/// operands.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into_fused(
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    transpose_a: bool,
+    b: &[f32],
+    transpose_b: bool,
+    epilogue: Option<&Epilogue>,
+    operands: &[&[f32]],
+    pool: &ExecPool,
+) {
     assert_eq!(c.len(), m * n, "gemm output length mismatch");
     assert_eq!(a.len(), m * k, "gemm lhs length mismatch");
     assert_eq!(b.len(), k * n, "gemm rhs length mismatch");
-    c.fill(0.0);
-    if m == 0 || n == 0 || k == 0 {
+    if let Some(ep) = epilogue {
+        ep.check_operands(m, n, operands);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // An empty contraction is all zeros; the epilogue still applies.
+        c.fill(0.0);
+        if let Some(ep) = epilogue {
+            ep.apply_flat(c, m, n, operands, pool);
+        }
         return;
     }
 
@@ -202,8 +311,16 @@ pub fn gemm_into(
     });
 
     // 2D parallelism over the MC×NC output-tile grid. Each task owns a
-    // disjoint C rectangle and walks K blocks in ascending order, so the
-    // per-element reduction order is fixed (see module docs).
+    // disjoint C rectangle (at most MC×NC floats, 16 KB — L1/L2
+    // resident). K blocks are walked in the *outer* loop so each packed
+    // A/B panel is reused across the whole macro tile while hot — with
+    // the K loop innermost, a deep contraction streams every panel per
+    // register tile and the working set blows past cache. Accumulation
+    // is per element in ascending p order on both paths below, so the
+    // reduction order is fixed (see module docs). With an epilogue the
+    // tile accumulates in a local block so the whole program can be
+    // applied to it before the single store; without one it accumulates
+    // directly into the cache-hot C rectangle.
     let mc_blocks = m.div_ceil(MC);
     let nc_blocks = n.div_ceil(NC);
     let c_out = SharedOut(c.as_mut_ptr());
@@ -214,27 +331,80 @@ pub fn gemm_into(
         let j_hi = (jc * NC + NC).min(n);
         let (s_lo, s_hi) = (ic * MC / MR, i_hi.div_ceil(MR));
         let (t_lo, t_hi) = (jc * NC / NR, j_hi.div_ceil(NR));
-        for p in 0..k_blocks {
-            let kstart = p * KC;
-            let kc = KC.min(k - kstart);
-            for s in s_lo..s_hi {
-                let apanel = &ap[kstart * m_pad + s * MR * kc..][..MR * kc];
-                let rows = MR.min(i_hi - s * MR);
-                for t in t_lo..t_hi {
-                    let bpanel = &bp[kstart * n_pad + t * NR * kc..][..NR * kc];
-                    let acc = micro_kernel(apanel, bpanel, kc);
-                    let cols = NR.min(j_hi - t * NR);
-                    for (r, acc_row) in acc.iter().enumerate().take(rows) {
-                        // SAFETY: rows [s*MR, i_hi) × cols [t*NR, j_hi)
-                        // lie inside this task's tile; tiles partition C.
-                        let c_row = unsafe {
-                            std::slice::from_raw_parts_mut(
-                                c_out.ptr().add((s * MR + r) * n + t * NR),
-                                cols,
-                            )
-                        };
-                        for (cv, av) in c_row.iter_mut().zip(acc_row) {
-                            *cv += av;
+        if let Some(ep) = epilogue {
+            // Accumulate the macro tile in a local block, apply the
+            // whole epilogue to it (one dispatch per instruction per
+            // tile — per-row application at 64-element grain costs more
+            // than the saved round trip), then store each row once.
+            let mut block = [0.0f32; MC * NC];
+            for p in 0..k_blocks {
+                let kstart = p * KC;
+                let kc = KC.min(k - kstart);
+                for s in s_lo..s_hi {
+                    let apanel = &ap[kstart * m_pad + s * MR * kc..][..MR * kc];
+                    for t in t_lo..t_hi {
+                        let bpanel = &bp[kstart * n_pad + t * NR * kc..][..NR * kc];
+                        let acc = micro_kernel(apanel, bpanel, kc);
+                        let (r0, c0) = ((s - s_lo) * MR, (t - t_lo) * NR);
+                        for (r, acc_row) in acc.iter().enumerate() {
+                            let brow = &mut block[(r0 + r) * NC + c0..][..NR];
+                            for (bv, &av) in brow.iter_mut().zip(acc_row) {
+                                *bv += av;
+                            }
+                        }
+                    }
+                }
+            }
+            let rows = i_hi - ic * MC;
+            let cols = j_hi - jc * NC;
+            ep.apply_block(&mut block, ic * MC, jc * NC, rows, cols, NC, n, operands);
+            for r_local in 0..rows {
+                // SAFETY: rows [ic*MC, i_hi) × cols [jc*NC, j_hi) lie
+                // inside this task's rectangle; rectangles partition C.
+                let c_row = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        c_out.ptr().add((ic * MC + r_local) * n + jc * NC),
+                        cols,
+                    )
+                };
+                c_row.copy_from_slice(&block[r_local * NC..][..cols]);
+            }
+        } else {
+            // No epilogue: accumulate straight into the C rectangle.
+            // It is at most MC×NC floats (16 KB), so it stays cache-hot
+            // across K blocks; the first block stores and later blocks
+            // add, which keeps the per-element reduction in ascending p
+            // order (bitwise identical to the block path) without a
+            // zero-fill pass over C.
+            for p in 0..k_blocks {
+                let kstart = p * KC;
+                let kc = KC.min(k - kstart);
+                for s in s_lo..s_hi {
+                    let apanel = &ap[kstart * m_pad + s * MR * kc..][..MR * kc];
+                    let rows = MR.min(i_hi - s * MR);
+                    for t in t_lo..t_hi {
+                        let bpanel = &bp[kstart * n_pad + t * NR * kc..][..NR * kc];
+                        let acc = micro_kernel(apanel, bpanel, kc);
+                        let cols = NR.min(j_hi - t * NR);
+                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                            // SAFETY: rows [s*MR, i_hi) × cols
+                            // [t*NR, j_hi) lie inside this task's
+                            // rectangle; rectangles partition C.
+                            let c_row = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    c_out.ptr().add((s * MR + r) * n + t * NR),
+                                    cols,
+                                )
+                            };
+                            if p == 0 {
+                                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                                    *cv = av;
+                                }
+                            } else {
+                                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                                    *cv += av;
+                                }
+                            }
                         }
                     }
                 }
@@ -352,5 +522,67 @@ mod tests {
         assert!(use_packed(512, 512));
         assert!(!use_packed(4, 512), "tiny k cannot amortize packing");
         assert!(!use_packed(512, 8), "n below NR leaves lanes as padding");
+    }
+
+    use crate::kernels::epilogue::{EpilogueArg, EpilogueInstr, OperandKind};
+    use crate::kernels::fused::FusedOp;
+
+    fn bias_relu_epilogue() -> Epilogue {
+        Epilogue {
+            n_operands: 1,
+            instrs: vec![
+                EpilogueInstr {
+                    op: FusedOp::Add,
+                    args: vec![
+                        EpilogueArg::Acc,
+                        EpilogueArg::Operand { index: 0, kind: OperandKind::Col },
+                    ],
+                },
+                EpilogueInstr { op: FusedOp::Relu, args: vec![EpilogueArg::Acc] },
+            ],
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_is_bitwise_identical_to_unfused_then_flat() {
+        let mut rng = Rng::seeded(41);
+        // Straddles tile edges on both axes and the packed threshold.
+        for &(m, k, n) in &[(1, 64, 160), (13, 300, 31), (67, 129, 19), (5, 10, 7)] {
+            let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+            let bias = Tensor::randn([n], 0.0, 1.0, &mut rng);
+            let ep = bias_relu_epilogue();
+            let pool = ExecPool::new(4).with_grain(1);
+            let fused = matmul_fused(&a, &b, false, false, &ep, &[&bias], &pool);
+            let mut unfused = crate::kernels::matmul::matmul(&a, &b, false, false, &pool);
+            ep.apply_flat(unfused.data_mut(), m, n, &[bias.data()], &pool);
+            assert_eq!(fused.data(), unfused.data(), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_parallel_is_bitwise_identical_to_serial() {
+        let mut rng = Rng::seeded(43);
+        let a = Tensor::randn([67, 300], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([300, 93], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn([93], 0.0, 1.0, &mut rng);
+        let ep = bias_relu_epilogue();
+        let serial = matmul_fused(&a, &b, false, false, &ep, &[&bias], &ExecPool::serial());
+        for threads in [2, 4, 8] {
+            let pool = ExecPool::new(threads).with_grain(1);
+            let par = matmul_fused(&a, &b, false, false, &ep, &[&bias], &pool);
+            assert_eq!(serial.data(), par.data(), "{threads} workers diverged");
+        }
+    }
+
+    #[test]
+    fn zero_k_fused_product_applies_epilogue_to_zeros() {
+        let bias = Tensor::from_vec(vec![1.0, -2.0], [2]);
+        let a = Tensor::zeros([3, 0]);
+        let b = Tensor::zeros([0, 2]);
+        let ep = bias_relu_epilogue();
+        let c = matmul_fused(&a, &b, false, false, &ep, &[&bias], &ExecPool::serial());
+        // relu(0 + bias): [1, 0] per row.
+        assert_eq!(c.data(), &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
     }
 }

@@ -14,7 +14,8 @@
 //! thread's installed [`crate::BufferPool`].
 
 use crate::kernels::conv::{dims4, Conv2dSpec};
-use crate::kernels::gemm::gemm_into;
+use crate::kernels::epilogue::Epilogue;
+use crate::kernels::gemm::gemm_into_fused;
 use crate::pool::ExecPool;
 use crate::recycle;
 use crate::shape::Shape;
@@ -75,6 +76,27 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec, pool: &Exe
 ///
 /// Panics if the shapes are not a valid convolution.
 pub fn conv2d_im2col(input: &Tensor, filter: &Tensor, spec: Conv2dSpec, pool: &ExecPool) -> Tensor {
+    conv2d_im2col_fused(input, filter, spec, None, &[], pool)
+}
+
+/// [`conv2d_im2col`] with an optional GEMM [`Epilogue`] threaded into
+/// the lowered product's tile writeback. The NHWC output flattens to
+/// `[n*oh*ow, oc]`, so a column operand is a per-output-channel bias and
+/// a full operand is an output-shaped residual — the same broadcast
+/// classes the matmul path uses.
+///
+/// # Panics
+///
+/// Panics if the shapes are not a valid convolution, or the epilogue /
+/// operands are invalid for the flattened output.
+pub fn conv2d_im2col_fused(
+    input: &Tensor,
+    filter: &Tensor,
+    spec: Conv2dSpec,
+    epilogue: Option<&Epilogue>,
+    operands: &[&[f32]],
+    pool: &ExecPool,
+) -> Tensor {
     let out_shape = spec.out_shape(input.shape(), filter.shape());
     let (kh, kw, ic, oc) = dims4(filter.shape());
     let rows = out_shape.dim(0) * out_shape.dim(1) * out_shape.dim(2);
@@ -82,10 +104,25 @@ pub fn conv2d_im2col(input: &Tensor, filter: &Tensor, spec: Conv2dSpec, pool: &E
     if is_pointwise(kh, kw, spec) {
         // The patch matrix is the input viewed as [n*h*w, ic]; multiply
         // in place with no materialization at all.
-        gemm_into(&mut out, rows, oc, ic, input.data(), false, filter.data(), false, pool);
+        gemm_into_fused(
+            &mut out, rows, oc, ic, input.data(), false, filter.data(), false, epilogue, operands,
+            pool,
+        );
     } else {
         let patches = im2col(input, kh, kw, spec, pool);
-        gemm_into(&mut out, rows, oc, kh * kw * ic, patches.data(), false, filter.data(), false, pool);
+        gemm_into_fused(
+            &mut out,
+            rows,
+            oc,
+            kh * kw * ic,
+            patches.data(),
+            false,
+            filter.data(),
+            false,
+            epilogue,
+            operands,
+            pool,
+        );
         recycle::reclaim(patches);
     }
     Tensor::from_vec(out, out_shape)

@@ -6,6 +6,7 @@
 
 pub mod conv;
 pub mod elementwise;
+pub mod epilogue;
 pub mod fused;
 pub mod gemm;
 pub mod matmul;

@@ -1,7 +1,7 @@
 //! Property and determinism tests for the packed GEMM engine and the
 //! GEMM-lowered convolution gradients.
 //!
-//! Two families of claims:
+//! Three families of claims:
 //!
 //! 1. **Agreement**: `matmul_packed` equals `matmul_naive` (to rounding)
 //!    for arbitrary — prime, odd, degenerate — `(m, k, n)` and all four
@@ -10,11 +10,19 @@
 //! 2. **Determinism**: parallel execution at any worker count is bitwise
 //!    identical to serial, for the raw GEMM and for both conv backprop
 //!    lowerings — the contract PRs 1–3 established for every kernel.
+//! 3. **Epilogue fusion**: `matmul_fused` with a random epilogue program
+//!    over random operand broadcast classes is bitwise identical to the
+//!    unfused matmul followed by the elementwise kernels, at every
+//!    worker count — the contract the graph-level epilogue pass rests
+//!    on.
 
 use fathom_tensor::kernels::conv::{
     conv2d_backprop_filter_im2col, conv2d_backprop_input_im2col, Conv2dSpec,
 };
-use fathom_tensor::kernels::gemm::matmul_packed;
+use fathom_tensor::kernels::elementwise as kew;
+use fathom_tensor::kernels::epilogue::{Epilogue, EpilogueArg, EpilogueInstr, OperandKind};
+use fathom_tensor::kernels::fused::FusedOp;
+use fathom_tensor::kernels::gemm::{matmul_fused, matmul_packed};
 use fathom_tensor::kernels::matmul::{matmul, matmul_naive};
 use fathom_tensor::{ExecPool, Rng, Tensor};
 use proptest::prelude::*;
@@ -76,6 +84,154 @@ proptest! {
         for threads in [2usize, 8] {
             let par = matmul_packed(&a, &b, ta, tb, &ExecPool::new(threads).with_grain(1));
             prop_assert_eq!(serial.data(), par.data(), "{} workers diverged", threads);
+        }
+    }
+}
+
+/// One randomly drawn epilogue instruction: a unary activation on the
+/// accumulator, or a binary op against one external operand of a random
+/// broadcast class, on either side.
+#[derive(Clone, Copy, Debug)]
+enum InstrSpec {
+    Unary(FusedOp),
+    Binary { op: FusedOp, kind: OperandKind, swapped: bool },
+}
+
+fn instr_spec() -> impl Strategy<Value = InstrSpec> {
+    let unary = prop_oneof![
+        Just(FusedOp::Relu),
+        Just(FusedOp::Tanh),
+        Just(FusedOp::Sigmoid),
+        Just(FusedOp::Neg),
+        Just(FusedOp::Square),
+    ];
+    let binary = prop_oneof![
+        Just(FusedOp::Add),
+        Just(FusedOp::Sub),
+        Just(FusedOp::Mul),
+        Just(FusedOp::Maximum),
+    ];
+    let kind = prop_oneof![
+        Just(OperandKind::Scalar),
+        Just(OperandKind::Col),
+        Just(OperandKind::Full),
+    ];
+    prop_oneof![
+        unary.prop_map(InstrSpec::Unary),
+        (binary, kind, prop_oneof![Just(false), Just(true)])
+            .prop_map(|(op, kind, swapped)| InstrSpec::Binary { op, kind, swapped }),
+    ]
+}
+
+/// Contraction/column sizes for the epilogue test: the awkward tile-edge
+/// menu never satisfies `use_packed` (64 * 67 < 8192), so larger values
+/// are mixed in to land cases on both the packed writeback and the
+/// row-parallel fallback.
+fn epilogue_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![awkward_dim(), Just(130usize), Just(512usize)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fused_epilogue_matches_unfused_chain_bitwise(
+        m in awkward_dim(),
+        k in epilogue_dim(),
+        n in epilogue_dim(),
+        combo in 0u8..4,
+        specs in proptest::collection::vec(instr_spec(), 1..5),
+        seed in 0u64..1000,
+    ) {
+        let (ta, tb) = (combo & 1 == 1, combo & 2 == 2);
+        let mut rng = Rng::seeded(seed);
+        let a = Tensor::randn(if ta { [k, m] } else { [m, k] }, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(if tb { [n, k] } else { [k, n] }, 0.0, 1.0, &mut rng);
+
+        // Build the epilogue program and its operand tensors.
+        let mut operands: Vec<Tensor> = Vec::new();
+        let mut instrs = Vec::new();
+        for spec in &specs {
+            match *spec {
+                InstrSpec::Unary(op) => {
+                    instrs.push(EpilogueInstr { op, args: vec![EpilogueArg::Acc] });
+                }
+                InstrSpec::Binary { op, kind, swapped } => {
+                    let index = operands.len() as u16;
+                    operands.push(match kind {
+                        OperandKind::Scalar => Tensor::randn([1], 0.0, 1.0, &mut rng),
+                        OperandKind::Col => Tensor::randn([n], 0.0, 1.0, &mut rng),
+                        OperandKind::Full => Tensor::randn([m, n], 0.0, 1.0, &mut rng),
+                    });
+                    let ext = EpilogueArg::Operand { index, kind };
+                    let args = if swapped {
+                        vec![ext, EpilogueArg::Acc]
+                    } else {
+                        vec![EpilogueArg::Acc, ext]
+                    };
+                    instrs.push(EpilogueInstr { op, args });
+                }
+            }
+        }
+        let ep = Epilogue { n_operands: operands.len(), instrs };
+
+        // Reference: the dispatching matmul, then the standalone
+        // elementwise kernels. Operands are materialized to [m, n] so
+        // each kernel reads exactly the value the broadcast class
+        // fetches per element.
+        let serial = ExecPool::serial();
+        let mut want = matmul(&a, &b, ta, tb, &serial);
+        let mut next_operand = operands.iter();
+        for spec in &specs {
+            want = match *spec {
+                InstrSpec::Unary(op) => match op {
+                    FusedOp::Relu => kew::relu(&want, &serial),
+                    FusedOp::Tanh => kew::tanh(&want, &serial),
+                    FusedOp::Sigmoid => kew::sigmoid(&want, &serial),
+                    FusedOp::Neg => kew::neg(&want, &serial),
+                    FusedOp::Square => kew::square(&want, &serial),
+                    _ => unreachable!("not in the unary menu"),
+                },
+                InstrSpec::Binary { op, kind, swapped } => {
+                    let t = next_operand.next().expect("one operand per binary instr");
+                    let full = match kind {
+                        OperandKind::Scalar => {
+                            Tensor::from_vec(vec![t.data()[0]; m * n], [m, n])
+                        }
+                        OperandKind::Col => Tensor::from_vec(
+                            (0..m * n).map(|i| t.data()[i % n]).collect(),
+                            [m, n],
+                        ),
+                        OperandKind::Full => t.clone(),
+                    };
+                    let (x, y) = if swapped { (&full, &want) } else { (&want, &full) };
+                    match op {
+                        FusedOp::Add => kew::add(x, y, &serial),
+                        FusedOp::Sub => kew::sub(x, y, &serial),
+                        FusedOp::Mul => kew::mul(x, y, &serial),
+                        FusedOp::Maximum => kew::maximum(x, y, &serial),
+                        _ => unreachable!("not in the binary menu"),
+                    }
+                }
+            };
+        }
+
+        let op_refs: Vec<&Tensor> = operands.iter().collect();
+        let fused = matmul_fused(&a, &b, ta, tb, &ep, &op_refs, &serial);
+        prop_assert_eq!(fused.shape(), want.shape());
+        prop_assert!(
+            fused.data() == want.data(),
+            "serial fused epilogue != unfused chain (m={} k={} n={} ta={} tb={} specs={:?})",
+            m, k, n, ta, tb, specs
+        );
+        for threads in [2usize, 8] {
+            let par =
+                matmul_fused(&a, &b, ta, tb, &ep, &op_refs, &ExecPool::new(threads).with_grain(1));
+            prop_assert!(
+                fused.data() == par.data(),
+                "fused epilogue diverged at {} workers (m={} k={} n={} specs={:?})",
+                threads, m, k, n, specs
+            );
         }
     }
 }

@@ -17,9 +17,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 ./target/release/fathom chaos autoenc --seed 7
 
 # GEMM smoke: the packed engine must agree with the naive kernel on all
-# four transpose layouts and be bitwise-deterministic serial vs parallel.
+# four transpose layouts, be bitwise-deterministic serial vs parallel,
+# and apply a fused bias+relu epilogue bitwise-identically to the
+# unfused matmul-then-elementwise chain.
 ./target/release/fathom gemm-check --m 256 --k 512 --n 192 --threads 8
 
-# Fusion smoke: every workload must step bitwise-identically with the
-# elementwise fusion pass on and off, serial and parallel.
+# Fusion smoke: every workload must step bitwise-identically with fusion
+# off vs full (elementwise groups AND GEMM-epilogue groups), serial and
+# parallel; fails if either pass finds nothing to fuse suite-wide.
 ./target/release/fathom fuse-check --steps 2 --threads 2 --inter-ops 2
