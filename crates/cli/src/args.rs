@@ -29,6 +29,13 @@ pub enum Command {
         /// Seed for the injected fault schedule and payloads.
         seed: u64,
     },
+    /// `fathom cluster-check [--seed N]` — cluster serving smoke check:
+    /// two models behind two shards each, mixed SLO traffic, a hot
+    /// reload mid-run, and zero-drop verification.
+    ClusterCheck {
+        /// Seed for arrivals, class draws, and payloads.
+        seed: u64,
+    },
     /// `fathom gemm-check [--m N --k N --n N --threads N]` — packed GEMM
     /// agreement and determinism smoke check.
     GemmCheck {
@@ -106,8 +113,18 @@ impl RunArgs {
 /// Options for the serving benchmark.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeArgs {
-    /// Which workload to serve.
+    /// Which workload to serve (the first of `models`).
     pub model: ModelKind,
+    /// Every workload named in the positional (comma-separated); more
+    /// than one requires `--cluster`.
+    pub models: Vec<ModelKind>,
+    /// Serve through the cluster layer (sharded routing, SLO classes,
+    /// continuous batching) instead of the single-model engine.
+    pub cluster: bool,
+    /// Shard groups per model in cluster mode.
+    pub shards: usize,
+    /// SLO traffic mix, `interactive,standard,batch` weights.
+    pub slo_mix: Option<String>,
     /// Reference (default) or full scale.
     pub scale: ModelScale,
     /// Open-loop offered rate, requests/second.
@@ -147,6 +164,10 @@ impl ServeArgs {
     fn new(model: ModelKind) -> Self {
         ServeArgs {
             model,
+            models: vec![model],
+            cluster: false,
+            shards: 2,
+            slo_mix: None,
             scale: ModelScale::Reference,
             rps: 50.0,
             duration: 1.0,
@@ -190,18 +211,30 @@ USAGE:
     fathom profile <model> [same options as run]
     fathom trace   <model> --out FILE.json [same options]
     fathom dot     <model> --out FILE.dot  [same options]
-    fathom serve-bench <model>
+    fathom serve-bench <model>[,<model>...]
                    [--rps R --duration S | --clients N --requests N]
                    [--max-batch N] [--max-delay-ms MS] [--queue-cap N]
                    [--deadline-ms MS] [--replicas N] [--scale reference|full]
                    [--threads N] [--inter-ops N] [--seed N]
                    [--load FILE.ck] [--out FILE.json] [--fault-plan SPEC]
+                   [--cluster] [--shards N] [--slo-mix I,S,B]
     fathom chaos   <model> [--seed N]
+    fathom cluster-check   [--seed N]
     fathom gemm-check      [--m N] [--k N] [--n N] [--threads N]
     fathom fuse-check      [--steps N] [--threads N] [--inter-ops N] [--seed N]
 
 MODELS:
     seq2seq memnet speech autoenc residual vgg alexnet deepq
+
+CLUSTER MODE:
+    `--cluster` serves one or more comma-separated models through the
+    fleet layer: per-model shard groups (`--shards`, `--replicas` per
+    shard), consistent-hash routing with load-aware spill, SLO-class
+    admission (`--slo-mix I,S,B` weights, default 50,30,20), and
+    continuous batching. `--rps` is the offered rate per model.
+    `fathom cluster-check` runs the self-verifying smoke: two models,
+    two shards each, mixed SLO traffic, a hot reload mid-run, and exits
+    nonzero unless conservation and zero-drop checks pass.
 
 FAULT PLANS:
     SPEC is `[seed=N;]site@hit=action;...` — sites: op, ckpt-write,
@@ -260,6 +293,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 i += 1;
             }
             Ok(Command::Chaos { model, seed })
+        }
+        "cluster-check" => {
+            let mut seed = 0xFA7408u64;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--seed" => {
+                        i += 1;
+                        seed = rest
+                            .get(i)
+                            .ok_or_else(|| ParseError("--seed needs a value".into()))?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?;
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            Ok(Command::ClusterCheck { seed })
         }
         "gemm-check" => {
             let (mut m, mut k, mut n, mut threads) = (384usize, 512usize, 256usize, 8usize);
@@ -422,10 +475,16 @@ fn parse_serve_bench(it: &mut std::slice::Iter<'_, String>) -> Result<Command, P
     let model_str = it
         .next()
         .ok_or_else(|| ParseError("'serve-bench' needs a model name".into()))?;
-    let model: ModelKind = model_str
-        .parse()
-        .map_err(|e: fathom::ParseModelError| ParseError(e.to_string()))?;
-    let mut a = ServeArgs::new(model);
+    let models: Vec<ModelKind> = model_str
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|e: fathom::ParseModelError| ParseError(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut a = ServeArgs::new(models[0]);
+    a.models = models;
     let rest: Vec<&String> = it.collect();
     let mut i = 0;
     while i < rest.len() {
@@ -451,6 +510,9 @@ fn parse_serve_bench(it: &mut std::slice::Iter<'_, String>) -> Result<Command, P
                     }
                 }
             }
+            "--cluster" => a.cluster = true,
+            "--shards" => a.shards = num("--shards", value("--shards")?)?,
+            "--slo-mix" => a.slo_mix = Some(value("--slo-mix")?),
             "--rps" => a.rps = num("--rps", value("--rps")?)?,
             "--duration" => a.duration = num("--duration", value("--duration")?)?,
             "--clients" => a.clients = Some(num("--clients", value("--clients")?)?),
@@ -478,6 +540,26 @@ fn parse_serve_bench(it: &mut std::slice::Iter<'_, String>) -> Result<Command, P
     }
     if a.rps <= 0.0 || a.duration <= 0.0 {
         return Err(ParseError("--rps and --duration must be positive".into()));
+    }
+    if a.models.len() > 1 && !a.cluster {
+        return Err(ParseError(
+            "serving several models at once needs --cluster".into(),
+        ));
+    }
+    if a.shards == 0 {
+        return Err(ParseError("--shards must be at least 1".into()));
+    }
+    if a.cluster && a.clients.is_some() {
+        return Err(ParseError(
+            "--cluster serves an open-loop load; --clients/--requests do not apply".into(),
+        ));
+    }
+    if let Some(mix) = &a.slo_mix {
+        if !a.cluster {
+            return Err(ParseError("--slo-mix only applies with --cluster".into()));
+        }
+        // Validate eagerly so a typo fails at parse time, not mid-run.
+        fathom_serve::SloMix::parse(mix).map_err(ParseError)?;
     }
     Ok(Command::ServeBench(a))
 }
@@ -566,6 +648,50 @@ mod tests {
             panic!("expected ServeBench");
         };
         assert_eq!(a.fault_plan.as_deref(), Some("replica0@3=crash"));
+    }
+
+    #[test]
+    fn serve_bench_cluster_flags() {
+        let Command::ServeBench(a) = parse(&s(&[
+            "serve-bench", "memnet,alexnet", "--cluster", "--shards", "3",
+            "--slo-mix", "60,25,15", "--rps", "200",
+        ]))
+        .unwrap() else {
+            panic!("expected ServeBench");
+        };
+        assert!(a.cluster);
+        assert_eq!(a.models, vec![ModelKind::Memnet, ModelKind::Alexnet]);
+        assert_eq!(a.model, ModelKind::Memnet);
+        assert_eq!(a.shards, 3);
+        assert_eq!(a.slo_mix.as_deref(), Some("60,25,15"));
+    }
+
+    #[test]
+    fn serve_bench_cluster_rejects_bad_combinations() {
+        // A model list without --cluster is ambiguous.
+        assert!(parse(&s(&["serve-bench", "memnet,alexnet"])).is_err());
+        // A malformed mix fails at parse time.
+        assert!(parse(&s(&["serve-bench", "memnet", "--cluster", "--slo-mix", "1,2"])).is_err());
+        // The mix means nothing outside cluster mode.
+        assert!(parse(&s(&["serve-bench", "memnet", "--slo-mix", "1,2,3"])).is_err());
+        // Cluster mode is open-loop only.
+        assert!(parse(&s(&["serve-bench", "memnet", "--cluster", "--clients", "3"])).is_err());
+        assert!(parse(&s(&["serve-bench", "memnet", "--cluster", "--shards", "0"])).is_err());
+        // An unknown name anywhere in the list is rejected.
+        assert!(parse(&s(&["serve-bench", "memnet,gpt", "--cluster"])).is_err());
+    }
+
+    #[test]
+    fn cluster_check_parses_seed() {
+        assert_eq!(
+            parse(&s(&["cluster-check"])).unwrap(),
+            Command::ClusterCheck { seed: 0xFA7408 }
+        );
+        assert_eq!(
+            parse(&s(&["cluster-check", "--seed", "7"])).unwrap(),
+            Command::ClusterCheck { seed: 7 }
+        );
+        assert!(parse(&s(&["cluster-check", "--frob"])).is_err());
     }
 
     #[test]

@@ -18,8 +18,9 @@ use fathom::{BuildConfig, FusionLevel, Mode, ModelKind, ModelScale, Workload};
 use fathom_dataflow::{checkpoint, export, Device, FaultAction, FaultPlan, FaultSite};
 use fathom_profile::{report, runner, OpProfile};
 use fathom_serve::{
-    serve, synth_inputs, BatchRunner, FaultyRunner, LoadModel, RecoveryPolicy, ServeConfig,
-    ServeReport, SessionWorker,
+    serve, serve_cluster, synth_inputs, BatchRunner, ClusterConfig, ClusterReport, ClusterRunner,
+    FaultyRunner, LoadModel, ModelSpec, RecoveryPolicy, ReloadPlan, ServeConfig, ServeReport,
+    SessionWorker, SloClass, SloMix, SloPolicy,
 };
 use fathom_suite::FathomError;
 
@@ -71,6 +72,7 @@ fn dispatch(command: Command) -> Result<(), FathomError> {
         Command::Dot(a) => cmd_dot(a),
         Command::ServeBench(a) => cmd_serve_bench(a),
         Command::Chaos { model, seed } => cmd_chaos(model, seed),
+        Command::ClusterCheck { seed } => cmd_cluster_check(seed),
         Command::GemmCheck { m, k, n, threads } => cmd_gemm_check(m, k, n, threads),
         Command::FuseCheck { steps, threads, inter_ops, seed } => {
             cmd_fuse_check(steps, threads, inter_ops, seed)
@@ -368,6 +370,9 @@ fn cmd_trace(a: RunArgs) -> Result<(), FathomError> {
 }
 
 fn cmd_serve_bench(a: ServeArgs) -> Result<(), FathomError> {
+    if a.cluster {
+        return cmd_serve_cluster(a);
+    }
     let cfg = BuildConfig {
         mode: Mode::Inference,
         scale: a.scale,
@@ -471,6 +476,341 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), FathomError> {
         println!("wrote report to {path}");
     }
     Ok(())
+}
+
+/// `serve-bench --cluster`: every named model behind `--shards` shard
+/// groups of `--replicas` replicas, offered `--rps` each through the
+/// fleet layer (consistent-hash routing, SLO-class admission, continuous
+/// batching).
+fn cmd_serve_cluster(a: ServeArgs) -> Result<(), FathomError> {
+    if a.load.is_some() {
+        return Err(FathomError::Message(
+            "--load does not apply in cluster mode (reloads are per model)".into(),
+        ));
+    }
+    let plan = match &a.fault_plan {
+        Some(spec) => {
+            let p = Arc::new(FaultPlan::parse(spec, a.seed).map_err(FathomError::Message)?);
+            println!("fault plan: {spec} (seed {})", p.seed());
+            Some(p)
+        }
+        None => None,
+    };
+    /// A fleet replica: a plain worker, or one wrapped in a fault plan.
+    /// Concrete (not boxed) so `&mut ClusterRep` coerces to the
+    /// `&mut dyn ClusterRunner` the spec borrows.
+    enum ClusterRep {
+        Plain(SessionWorker),
+        Faulty(FaultyRunner<SessionWorker>),
+    }
+
+    impl BatchRunner for ClusterRep {
+        fn capacity(&self) -> usize {
+            match self {
+                ClusterRep::Plain(w) => w.capacity(),
+                ClusterRep::Faulty(w) => w.capacity(),
+            }
+        }
+
+        fn run_batch(
+            &mut self,
+            reqs: &[&fathom_serve::Request],
+        ) -> Result<fathom_serve::BatchResult, fathom_serve::ServeError> {
+            match self {
+                ClusterRep::Plain(w) => w.run_batch(reqs),
+                ClusterRep::Faulty(w) => w.run_batch(reqs),
+            }
+        }
+
+        fn recover(&mut self) -> Result<(), fathom_serve::ServeError> {
+            match self {
+                ClusterRep::Plain(w) => w.recover(),
+                ClusterRep::Faulty(w) => w.recover(),
+            }
+        }
+    }
+
+    impl ClusterRunner for ClusterRep {
+        fn reload(&mut self, checkpoint: &[u8]) -> Result<(), fathom_serve::ServeError> {
+            match self {
+                ClusterRep::Plain(w) => w.reload(checkpoint),
+                ClusterRep::Faulty(w) => w.reload(checkpoint),
+            }
+        }
+    }
+
+    // Replica indices for `replica<N>` fault specs run fleet-wide, in
+    // model -> shard -> replica order.
+    let mut fleet: Vec<Vec<Vec<ClusterRep>>> = Vec::with_capacity(a.models.len());
+    let mut replica_idx = 0usize;
+    for kind in &a.models {
+        let cfg = BuildConfig {
+            mode: Mode::Inference,
+            scale: a.scale,
+            device: Device::cpu_inter_op(a.threads, a.inter_ops),
+            seed: a.seed,
+            batch: Some(a.max_batch),
+            fusion: FusionLevel::Off,
+        };
+        let mut shards = Vec::with_capacity(a.shards);
+        for _ in 0..a.shards {
+            let mut replicas = Vec::with_capacity(a.replicas);
+            for _ in 0..a.replicas {
+                let w = SessionWorker::new(*kind, &cfg)?;
+                replicas.push(match &plan {
+                    Some(p) => ClusterRep::Faulty(FaultyRunner::new(w, p.clone(), replica_idx)),
+                    None => ClusterRep::Plain(w),
+                });
+                replica_idx += 1;
+            }
+            shards.push(replicas);
+        }
+        fleet.push(shards);
+    }
+
+    let mut specs: Vec<ModelSpec<'_>> = Vec::with_capacity(a.models.len());
+    for (kind, shards_of) in a.models.iter().zip(fleet.iter_mut()) {
+        // One throwaway probe for shapes/domains; the closure owns them.
+        let probe = SessionWorker::new(
+            *kind,
+            &BuildConfig {
+                mode: Mode::Inference,
+                scale: a.scale,
+                device: Device::cpu(1),
+                seed: a.seed,
+                batch: Some(a.max_batch),
+                fusion: FusionLevel::Off,
+            },
+        )?;
+        let shapes = probe.item_shapes();
+        let domains = probe.domains();
+        specs.push(ModelSpec {
+            name: kind.name().to_string(),
+            shards: shards_of
+                .iter_mut()
+                .map(|s| s.iter_mut().map(|w| w as &mut dyn ClusterRunner).collect())
+                .collect(),
+            rps: a.rps,
+            synth: Box::new(move |rng, _id| synth_inputs(&shapes, &domains, rng)),
+        });
+    }
+
+    let mix = match &a.slo_mix {
+        Some(spec) => SloMix::parse(spec).map_err(FathomError::Message)?,
+        None => SloMix::default_mix(),
+    };
+    let cfg = ClusterConfig {
+        queue_cap: a.queue_cap.unwrap_or(16 * a.max_batch),
+        mix,
+        duration_nanos: (a.duration * 1e9) as u64,
+        seed: a.seed,
+        ..ClusterConfig::new(a.max_batch)
+    };
+    let report = serve_cluster(&mut specs, &cfg)?;
+    drop(specs);
+
+    println!(
+        "cluster | {} model(s) x {} shard(s) x {} replica(s) | {:.0} rps/model over {:.1} s",
+        a.models.len(),
+        a.shards,
+        a.replicas,
+        a.rps,
+        a.duration
+    );
+    print_cluster_report(&report);
+    if let Some(path) = &a.out {
+        std::fs::write(path, report.to_json())?;
+        println!("wrote report to {path}");
+    }
+    Ok(())
+}
+
+/// Human-readable per-class and per-model summary of a cluster run.
+fn print_cluster_report(report: &ClusterReport) {
+    let ms = |nanos: f64| nanos / 1e6;
+    println!(
+        "issued {}  completed {}  shed {}  timed-out {}  spilled {}  reloads {}",
+        report.issued(),
+        report.completed(),
+        report.shed(),
+        report.timed_out(),
+        report.spilled(),
+        report.reloads()
+    );
+    println!(
+        "throughput {:.1} req/s over {:.1} ms of virtual time",
+        report.throughput_rps(),
+        report.makespan_nanos as f64 / 1e6
+    );
+    for class in SloClass::ALL {
+        let c = &report.per_class[class.idx()];
+        if c.issued == 0 {
+            continue;
+        }
+        println!(
+            "  {:<12} issued {:>5}  completed {:>5}  shed {:>4}  timed-out {:>4}  \
+             p50 {:.3} ms  p99 {:.3} ms",
+            class.name(),
+            c.issued,
+            c.completed,
+            c.shed,
+            c.timed_out,
+            ms(c.latency.quantile(0.50)),
+            ms(c.latency.quantile(0.99)),
+        );
+    }
+    for m in &report.models {
+        println!(
+            "  model {:<9} issued {:>5}  completed {:>5}  batches {:>5}  mean size {:.2}  \
+             spilled {}  reloads {}",
+            m.model,
+            m.issued(),
+            m.completed(),
+            m.batches,
+            m.mean_batch(),
+            m.spilled,
+            m.reloads
+        );
+    }
+    let reasons = report.shed_reasons();
+    if reasons.any() {
+        println!(
+            "  shed reasons: queue-full {}  deadline-infeasible {}  priority-evicted {}  \
+             replica-loss {}",
+            reasons.queue_full,
+            reasons.deadline_infeasible,
+            reasons.priority_evicted,
+            reasons.replica_loss
+        );
+    }
+    if report.recovery.any() {
+        let r = &report.recovery;
+        println!(
+            "  recovery: crashes {}  retried {}  dropped {}  quarantines {}  recoveries {}  \
+             dead replicas {}",
+            r.crashes, r.retried, r.dropped, r.quarantines, r.recoveries, r.dead_replicas
+        );
+    }
+}
+
+/// Self-verifying cluster smoke: two models behind two shards each,
+/// mixed-SLO traffic, and a hot reload of one model mid-run. Exits
+/// nonzero unless conservation holds, nothing is dropped, and every
+/// replica of the reloaded model swapped exactly once.
+fn cmd_cluster_check(seed: u64) -> Result<(), FathomError> {
+    println!("cluster-check | 2 models x 2 shards | mixed SLO | hot reload mid-run | seed {seed}");
+    let mut failures = 0u32;
+    let mut probe = |name: &str, ok: bool| {
+        if ok {
+            println!("PASS  {name}");
+        } else {
+            println!("FAIL  {name}");
+            failures += 1;
+        }
+    };
+
+    // The checkpoint the fleet swaps to mid-run: a briefly trained
+    // memnet, so the reloaded weights demonstrably differ from the
+    // build-time initialization.
+    let mut trained = ModelKind::Memnet.build(&BuildConfig {
+        mode: Mode::Training,
+        scale: ModelScale::Reference,
+        device: Device::cpu(1),
+        seed: seed ^ 1,
+        batch: None,
+        fusion: FusionLevel::Off,
+    });
+    for _ in 0..2 {
+        trained.step();
+    }
+    let mut ck = Vec::new();
+    checkpoint::save(trained.session(), &mut ck)?;
+    drop(trained);
+
+    const MAX_BATCH: usize = 2;
+    let build = |kind: ModelKind| -> Result<SessionWorker, FathomError> {
+        Ok(SessionWorker::new(
+            kind,
+            &BuildConfig {
+                mode: Mode::Inference,
+                scale: ModelScale::Reference,
+                device: Device::cpu(1),
+                seed,
+                batch: Some(MAX_BATCH),
+                fusion: FusionLevel::Off,
+            },
+        )?)
+    };
+    let kinds = [ModelKind::Memnet, ModelKind::Autoenc];
+    let mut fleet: Vec<Vec<Vec<SessionWorker>>> = Vec::new();
+    for kind in kinds {
+        fleet.push(vec![vec![build(kind)?], vec![build(kind)?]]);
+    }
+    let mut specs: Vec<ModelSpec<'_>> = Vec::new();
+    for (kind, shards_of) in kinds.iter().zip(fleet.iter_mut()) {
+        let shapes = shards_of[0][0].item_shapes();
+        let domains = shards_of[0][0].domains();
+        specs.push(ModelSpec {
+            name: kind.name().to_string(),
+            shards: shards_of
+                .iter_mut()
+                .map(|s| s.iter_mut().map(|w| w as &mut dyn ClusterRunner).collect())
+                .collect(),
+            rps: 150.0,
+            synth: Box::new(move |rng, _id| synth_inputs(&shapes, &domains, rng)),
+        });
+    }
+    let cfg = ClusterConfig {
+        // Wall-clock service times make virtual backlog uncontrolled, so
+        // the smoke disables the admission limits: with no deadline and
+        // an effectively unbounded queue, the only legitimate outcome is
+        // that every request completes exactly once.
+        slo: SloPolicy { deadline_nanos: [None, None, None] },
+        queue_cap: 1_000_000,
+        duration_nanos: 200_000_000,
+        seed,
+        reloads: vec![ReloadPlan {
+            model: "memnet".into(),
+            at_nanos: 100_000_000,
+            checkpoint: ck.clone(),
+        }],
+        ..ClusterConfig::new(MAX_BATCH)
+    };
+    let report = serve_cluster(&mut specs, &cfg)?;
+    drop(specs);
+    print_cluster_report(&report);
+
+    probe("cluster: conservation (completed + shed + timed-out == offered)", report.conserved());
+    probe(
+        "cluster: zero drops across the hot reload",
+        report.shed() == 0 && report.timed_out() == 0 && report.completed() == report.issued(),
+    );
+    probe("cluster: every class saw traffic", report.per_class.iter().all(|c| c.issued > 0));
+    probe(
+        "cluster: both shards of both models served work",
+        report.models.iter().all(|m| m.batches >= 2 && m.completed() > 0),
+    );
+    probe("cluster: reloaded model swapped every replica once", report.models[0].reloads == 2);
+    probe("cluster: un-reloaded model swapped nothing", report.models[1].reloads == 0);
+
+    // The swap took effect: both memnet replicas now hold the trained
+    // variables (reload also resets the recovery baseline).
+    let mut swapped = true;
+    for shard in &mut fleet[0] {
+        for worker in shard.iter_mut() {
+            let mut after = Vec::new();
+            checkpoint::save(worker.workload_mut().session(), &mut after)?;
+            swapped &= after == ck;
+        }
+    }
+    probe("cluster: replicas hold the reloaded checkpoint bytes", swapped);
+
+    if failures == 0 {
+        println!("cluster-check: all checks passed");
+        Ok(())
+    } else {
+        Err(FathomError::Message(format!("cluster-check: {failures} check(s) failed")))
+    }
 }
 
 /// One line of supervisor activity, only when there was any — fault-free

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use fathom_dataflow::{FaultAction, FaultPlan, FaultSite};
 
+use crate::cluster::ClusterRunner;
 use crate::worker::{BatchResult, BatchRunner, Request, ServeError};
 
 /// A [`BatchRunner`] that consults a [`FaultPlan`] before delegating.
@@ -63,5 +64,14 @@ impl<R: BatchRunner> BatchRunner for FaultyRunner<R> {
 
     fn recover(&mut self) -> Result<(), ServeError> {
         self.inner.recover()
+    }
+}
+
+impl<R: ClusterRunner> ClusterRunner for FaultyRunner<R> {
+    /// Reloads pass straight through: the fault plan only gates batch
+    /// dispatch, so a swap succeeds even on a replica scheduled to
+    /// crash — failures during reload come from the inner runner.
+    fn reload(&mut self, checkpoint: &[u8]) -> Result<(), ServeError> {
+        self.inner.reload(checkpoint)
     }
 }

@@ -128,6 +128,40 @@ enum Replica {
     Dead,
 }
 
+/// What the supervisor decides about a replica that just failed.
+/// Shared with the cluster layer (`cluster.rs`), whose replica state
+/// machine has extra states but the identical failure policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FailureVerdict {
+    /// Back off until the given virtual time, then attempt recovery.
+    Quarantine {
+        /// Virtual time the backoff expires.
+        until: u64,
+    },
+    /// Restart budget exhausted: retire the replica for good.
+    Retire,
+}
+
+/// Applies the recovery policy to one more failure of a replica:
+/// exponential backoff while the restart budget lasts, retirement after.
+/// Updates `restarts` and the report counters as a side effect.
+pub(crate) fn failure_verdict(
+    restarts: &mut u32,
+    policy: &RecoveryPolicy,
+    now: u64,
+    counters: &mut RecoveryCounters,
+) -> FailureVerdict {
+    if *restarts >= policy.max_restarts {
+        counters.dead_replicas += 1;
+        FailureVerdict::Retire
+    } else {
+        let backoff = policy.backoff_nanos.saturating_mul(1u64 << (*restarts).min(32));
+        *restarts += 1;
+        counters.quarantines += 1;
+        FailureVerdict::Quarantine { until: now.saturating_add(backoff.max(1)) }
+    }
+}
+
 /// Moves a failed replica into quarantine with exponential backoff, or
 /// retires it when its restart budget is spent.
 fn quarantine_or_retire(
@@ -137,14 +171,9 @@ fn quarantine_or_retire(
     now: u64,
     counters: &mut RecoveryCounters,
 ) {
-    if *restarts >= policy.max_restarts {
-        *slot = Replica::Dead;
-        counters.dead_replicas += 1;
-    } else {
-        let backoff = policy.backoff_nanos.saturating_mul(1u64 << (*restarts).min(32));
-        *slot = Replica::Quarantined { until: now.saturating_add(backoff.max(1)) };
-        *restarts += 1;
-        counters.quarantines += 1;
+    match failure_verdict(restarts, policy, now, counters) {
+        FailureVerdict::Retire => *slot = Replica::Dead,
+        FailureVerdict::Quarantine { until } => *slot = Replica::Quarantined { until },
     }
 }
 
@@ -276,6 +305,11 @@ pub fn serve(
             report.issued += 1;
             if all_dead || queue.len() >= cfg.queue_cap {
                 report.shed += 1;
+                if all_dead {
+                    report.shed_reasons.replica_loss += 1;
+                } else {
+                    report.shed_reasons.queue_full += 1;
+                }
                 // A shed closed-loop client immediately tries again.
                 if remaining_closed > 0 {
                     arrivals.push(std::cmp::Reverse(at));
@@ -307,6 +341,7 @@ pub fn serve(
         if all_dead && !queue.is_empty() {
             let stranded = queue.len() as u64;
             report.shed += stranded;
+            report.shed_reasons.replica_loss += stranded;
             queue.clear();
             for _ in 0..stranded {
                 if remaining_closed > 0 {
@@ -348,6 +383,7 @@ pub fn serve(
                         if *attempts >= cfg.recovery.max_retries {
                             report.recovery.dropped += 1;
                             report.shed += 1;
+                            report.shed_reasons.replica_loss += 1;
                             if remaining_closed > 0 {
                                 arrivals.push(std::cmp::Reverse(now));
                                 remaining_closed -= 1;
@@ -510,6 +546,8 @@ mod tests {
         let r = serve(&mut [&mut runner], &cfg, &load, &mut no_inputs, "fake").unwrap();
         assert!(r.shed > 0, "queue_cap=2 under 500 rps must shed");
         assert_eq!(r.issued, r.completed + r.shed + r.timed_out);
+        assert_eq!(r.shed_reasons.total(), r.shed, "every shed carries a reason");
+        assert_eq!(r.shed_reasons.queue_full, r.shed, "admission sheds are queue-full");
     }
 
     #[test]
@@ -603,6 +641,11 @@ mod tests {
         assert_eq!(r.recovery.dead_replicas, 1);
         assert!(r.recovery.dropped > 0, "retry-exhausted requests are dropped");
         assert_eq!(r.shed, r.issued, "every issued request is reported shed");
+        assert_eq!(r.shed_reasons.total(), r.shed);
+        assert_eq!(
+            r.shed_reasons.replica_loss, r.shed,
+            "dead-fleet sheds are all attributed to replica loss"
+        );
     }
 
     #[test]

@@ -24,7 +24,13 @@
 //!   batch retries on a healthy replica, and
 //!   [`metrics::RecoveryCounters`] account for every crash. The
 //!   [`chaos::FaultyRunner`] wrapper drives all of it deterministically
-//!   from a seeded [`FaultPlan`](fathom_dataflow::FaultPlan).
+//!   from a seeded [`FaultPlan`](fathom_dataflow::FaultPlan);
+//! * [`cluster::serve_cluster`] — the fleet layer: multiple models, each
+//!   behind a group of shards, with consistent-hash routing and
+//!   load-aware spill ([`router::Router`]), per-request SLO classes and
+//!   deadline-aware admission ([`slo::SloClass`]), continuous batching
+//!   versus fixed rounds ([`cluster::BatchPolicy`]), and zero-drop hot
+//!   model reload from a v2 checkpoint ([`cluster::ReloadPlan`]).
 //!
 //! The correctness contract is *batch independence*: a request's output
 //! is bitwise identical whether it rode in a batch of one or a full
@@ -35,11 +41,20 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cluster;
 pub mod engine;
 pub mod metrics;
+pub mod router;
+pub mod slo;
 pub mod worker;
 
 pub use chaos::FaultyRunner;
+pub use cluster::{
+    serve_cluster, BatchPolicy, ClassStats, ClusterConfig, ClusterReport, ClusterRunner,
+    ModelReport, ModelSpec, ReloadPlan, SynthFn,
+};
 pub use engine::{serve, LoadModel, RecoveryPolicy, ServeConfig};
-pub use metrics::{BatchRecord, LatencyHistogram, RecoveryCounters, ServeReport};
+pub use metrics::{BatchRecord, LatencyHistogram, RecoveryCounters, ServeReport, ShedBreakdown};
+pub use router::{HashRing, Placement, Router};
+pub use slo::{SloClass, SloMix, SloPolicy};
 pub use worker::{synth_inputs, BatchResult, BatchRunner, Request, ServeError, SessionWorker};

@@ -68,6 +68,15 @@ impl LatencyHistogram {
     pub fn max(&self) -> f64 {
         self.samples.iter().cloned().fold(0.0, f64::max)
     }
+
+    /// Folds another histogram's samples into this one. Because samples
+    /// are kept raw, merging per-shard histograms yields exactly the
+    /// quantiles a single combined histogram would report — the property
+    /// the cluster report relies on for cross-shard aggregation (covered
+    /// by `tests/metrics_properties.rs`).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
 }
 
 /// One executed batch: how full it was, how long the session run took,
@@ -109,6 +118,53 @@ impl RecoveryCounters {
     }
 }
 
+/// Why requests were shed, itemized. The sum of the fields equals the
+/// report's `shed` counter; a run that sheds nothing leaves all fields
+/// zero and the breakdown out of the JSON entirely (so no-shed output
+/// stays byte-identical to earlier builds, like the `recovery` block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ShedBreakdown {
+    /// Refused at admission because the queue was at capacity.
+    pub queue_full: u64,
+    /// Refused at admission because the backlog made the request's
+    /// deadline provably unmeetable (cluster admission only).
+    pub deadline_infeasible: u64,
+    /// Evicted from the queue to make room for a higher-priority
+    /// arrival (cluster admission only).
+    pub priority_evicted: u64,
+    /// Lost to replica failure: retry budget exhausted after crashed
+    /// batches, or stranded when every replica died.
+    pub replica_loss: u64,
+}
+
+impl ShedBreakdown {
+    /// True when any shed was recorded.
+    pub fn any(&self) -> bool {
+        *self != ShedBreakdown::default()
+    }
+
+    /// Sum across all reasons — must equal the companion `shed` counter.
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.deadline_infeasible + self.priority_evicted + self.replica_loss
+    }
+
+    /// Folds another breakdown into this one (cross-shard aggregation).
+    pub fn merge(&mut self, other: &ShedBreakdown) {
+        self.queue_full += other.queue_full;
+        self.deadline_infeasible += other.deadline_infeasible;
+        self.priority_evicted += other.priority_evicted;
+        self.replica_loss += other.replica_loss;
+    }
+
+    /// The breakdown as a JSON object string.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_full\": {}, \"deadline_infeasible\": {}, \"priority_evicted\": {}, \"replica_loss\": {}}}",
+            self.queue_full, self.deadline_infeasible, self.priority_evicted, self.replica_loss
+        )
+    }
+}
+
 /// Everything measured over one serving run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServeReport {
@@ -124,6 +180,8 @@ pub struct ServeReport {
     pub completed: u64,
     /// Requests refused at admission (queue full).
     pub shed: u64,
+    /// Why each shed happened; `shed_reasons.total() == shed` always.
+    pub shed_reasons: ShedBreakdown,
     /// Requests dropped from the queue past their deadline.
     pub timed_out: u64,
     /// Virtual time from the first arrival to the last completion, ns.
@@ -148,6 +206,7 @@ impl ServeReport {
             issued: 0,
             completed: 0,
             shed: 0,
+            shed_reasons: ShedBreakdown::default(),
             timed_out: 0,
             makespan_nanos: 0,
             latency: LatencyHistogram::new(),
@@ -206,6 +265,11 @@ impl ServeReport {
         s.push_str(&format!("  \"issued\": {},\n", self.issued));
         s.push_str(&format!("  \"completed\": {},\n", self.completed));
         s.push_str(&format!("  \"shed\": {},\n", self.shed));
+        // Itemized only when something was actually shed, so no-shed
+        // output is byte-identical to the single-counter format.
+        if self.shed_reasons.any() {
+            s.push_str(&format!("  \"shed_reasons\": {},\n", self.shed_reasons.to_json()));
+        }
         s.push_str(&format!("  \"timed_out\": {},\n", self.timed_out));
         s.push_str(&format!("  \"makespan_ms\": {:.3},\n", self.makespan_nanos as f64 / 1e6));
         s.push_str(&format!("  \"throughput_rps\": {:.3},\n", self.throughput_rps()));
@@ -311,6 +375,66 @@ mod tests {
         assert_eq!(h.quantile(f64::NAN), 10.0);
         assert_eq!(h.quantile(1.5), 30.0);
         assert_eq!(h.quantile(f64::INFINITY), 30.0);
+    }
+
+    #[test]
+    fn merged_histograms_match_a_single_combined_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for (i, v) in [5.0, 90.0, 15.0, 70.0, 30.0, 55.0, 10.0, 85.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            combined.record(*v);
+        }
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), combined.count());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), combined.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.mean(), combined.mean());
+        assert_eq!(merged.max(), combined.max());
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_a_noop() {
+        let mut h = LatencyHistogram::new();
+        h.record(7.0);
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), 7.0);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn shed_breakdown_totals_and_merge() {
+        let mut a = ShedBreakdown { queue_full: 2, ..ShedBreakdown::default() };
+        assert!(a.any());
+        assert_eq!(a.total(), 2);
+        let b = ShedBreakdown { deadline_infeasible: 1, priority_evicted: 3, replica_loss: 4, ..ShedBreakdown::default() };
+        a.merge(&b);
+        assert_eq!(a.total(), 10);
+        assert!(!ShedBreakdown::default().any());
+    }
+
+    #[test]
+    fn shed_reasons_appear_in_json_only_when_nonzero() {
+        let mut r = ServeReport::new("vgg", 4, 1);
+        assert!(!r.to_json().contains("shed_reasons"));
+        r.shed = 3;
+        r.shed_reasons.queue_full = 2;
+        r.shed_reasons.replica_loss = 1;
+        let json = r.to_json();
+        assert!(json.contains("\"shed_reasons\""));
+        assert!(json.contains("\"queue_full\": 2"));
+        assert!(json.contains("\"replica_loss\": 1"));
     }
 
     #[test]

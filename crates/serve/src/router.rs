@@ -1,0 +1,232 @@
+//! Front-door request routing: consistent hashing across a model's
+//! shards, with load-aware overrides.
+//!
+//! The router answers one question: *which shard of this model takes
+//! this request?* The base policy is a consistent-hash ring — each shard
+//! owns `VNODES` pseudo-random points on a `u64` circle, and a request's
+//! key routes to the first point clockwise from its hash. That keeps a
+//! given key pinned to a shard (cache affinity, session stickiness) and
+//! moves only `1/shards` of the keyspace when a shard is added or
+//! removed. On top sits a load-aware override: when the hashed shard's
+//! queue is deeper than the least-loaded shard's by more than a
+//! configured spill threshold, the request spills to the least-loaded
+//! shard instead — hashing gives affinity, the override bounds the skew
+//! a hot keyspace region can build up.
+//!
+//! Everything is integer arithmetic on seeded hashes: the same
+//! (seed, shard count, key) triple routes identically forever, which the
+//! cluster's determinism contract requires.
+
+/// Virtual nodes per shard on the hash ring. More points smooth the
+/// keyspace split; 64 keeps the worst shard within a few percent of
+/// fair share without making ring construction noticeable.
+const VNODES: usize = 64;
+
+/// SplitMix64 — the same finalizer the tensor RNG seeds with; enough
+/// mixing that sequential ids and vnode indices land uniformly.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over `shards` shards.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `shards` shards from a seed. The seed folds
+    /// into every vnode hash, so distinct models get distinct rings.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "a hash ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for v in 0..VNODES {
+                points.push((mix(seed ^ mix((shard as u64) << 32 | v as u64)), shard));
+            }
+        }
+        // Point collisions are vanishingly rare but would make the walk
+        // order ambiguous; break ties by shard index.
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: first ring point at or clockwise of the
+    /// key's hash, wrapping at the top.
+    pub fn route(&self, key: u64) -> usize {
+        let h = mix(key);
+        match self.points.binary_search(&(h, 0)) {
+            Ok(i) => self.points[i].1,
+            Err(i) if i == self.points.len() => self.points[0].1,
+            Err(i) => self.points[i].1,
+        }
+    }
+}
+
+/// Shard placement: consistent hashing plus a load-aware spill rule.
+#[derive(Debug, Clone)]
+pub struct Router {
+    ring: HashRing,
+    /// Queue-depth gap (hashed shard minus least-loaded shard) above
+    /// which the request spills to the least-loaded shard. `None`
+    /// disables overrides (pure consistent hashing).
+    spill_threshold: Option<usize>,
+}
+
+/// Where a request was placed, and whether affinity was overridden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The chosen shard.
+    pub shard: usize,
+    /// True when the load-aware rule moved the request off its hashed
+    /// shard.
+    pub spilled: bool,
+}
+
+impl Router {
+    /// A router over `shards` shards. See [`Router::spill_threshold`]
+    /// semantics on the field.
+    pub fn new(shards: usize, seed: u64, spill_threshold: Option<usize>) -> Self {
+        Router { ring: HashRing::new(shards, seed), spill_threshold }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.ring.shards()
+    }
+
+    /// Places `key` given the current per-shard queue depths (`loads`,
+    /// one entry per shard; pass `usize::MAX` for shards that cannot
+    /// accept work, e.g. every replica dead).
+    ///
+    /// The hashed shard wins unless (a) it cannot accept work, or (b)
+    /// load-aware spill is enabled and its queue exceeds the least
+    /// loaded by more than the threshold. Ties on minimum load resolve
+    /// to the lowest shard index, so placement is deterministic.
+    pub fn place(&self, key: u64, loads: &[usize]) -> Placement {
+        debug_assert_eq!(loads.len(), self.ring.shards());
+        let hashed = self.ring.route(key);
+        let (min_shard, min_load) = loads
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, l)| (l, i))
+            .unwrap_or((hashed, 0));
+        if loads[hashed] == usize::MAX {
+            // Hashed shard is unservable; any live shard beats it.
+            return Placement { shard: min_shard, spilled: min_shard != hashed };
+        }
+        if let Some(threshold) = self.spill_threshold {
+            if loads[hashed] > min_load.saturating_add(threshold) {
+                return Placement { shard: min_shard, spilled: min_shard != hashed };
+            }
+        }
+        Placement { shard: hashed, spilled: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routes_deterministically() {
+        let a = HashRing::new(4, 7);
+        let b = HashRing::new(4, 7);
+        for key in 0..256 {
+            assert_eq!(a.route(key), b.route(key));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_roughly_evenly() {
+        let ring = HashRing::new(4, 0xFA7408);
+        let mut counts = [0usize; 4];
+        for key in 0..10_000 {
+            counts[ring.route(key)] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (1_500..=3_500).contains(&c),
+                "shard {shard} owns {c} of 10000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_rings() {
+        let a = HashRing::new(4, 1);
+        let b = HashRing::new(4, 2);
+        let moved = (0..1000).filter(|&k| a.route(k) != b.route(k)).count();
+        assert!(moved > 250, "independent rings should disagree often, moved {moved}");
+    }
+
+    #[test]
+    fn adding_a_shard_moves_a_bounded_keyspace_slice() {
+        let four = HashRing::new(4, 9);
+        let five = HashRing::new(5, 9);
+        let moved = (0..10_000)
+            .filter(|&k| {
+                let before = four.route(k);
+                let after = five.route(k);
+                // Keys either stay put or move to the new shard; a key
+                // hopping between the original four would break affinity.
+                after != before && after != 4
+            })
+            .count();
+        assert!(moved < 1_000, "consistent hashing must not reshuffle old shards: {moved}");
+    }
+
+    #[test]
+    fn balanced_loads_keep_affinity() {
+        let r = Router::new(3, 11, Some(4));
+        let loads = [5, 5, 5];
+        for key in 0..64 {
+            let p = r.place(key, &loads);
+            assert!(!p.spilled);
+            assert_eq!(p.shard, HashRing::new(3, 11).route(key));
+        }
+    }
+
+    #[test]
+    fn overloaded_shard_spills_to_least_loaded() {
+        let r = Router::new(3, 11, Some(4));
+        // Find a key hashed to shard 0, then overload shard 0.
+        let key = (0..1000).find(|&k| HashRing::new(3, 11).route(k) == 0).expect("some key");
+        let p = r.place(key, &[20, 3, 9]);
+        assert!(p.spilled);
+        assert_eq!(p.shard, 1, "spill goes to the least-loaded shard");
+        // Below threshold: affinity holds even when imbalanced.
+        let p = r.place(key, &[6, 3, 9]);
+        assert!(!p.spilled);
+        assert_eq!(p.shard, 0);
+    }
+
+    #[test]
+    fn dead_shard_is_never_chosen() {
+        let r = Router::new(2, 5, None);
+        for key in 0..64 {
+            let p = r.place(key, &[usize::MAX, 7]);
+            assert_eq!(p.shard, 1, "work must route around a dead shard");
+        }
+    }
+
+    #[test]
+    fn spill_disabled_keeps_affinity_under_any_load() {
+        let r = Router::new(2, 5, None);
+        let key = (0..100).find(|&k| HashRing::new(2, 5).route(k) == 0).expect("some key");
+        let p = r.place(key, &[1_000_000, 0]);
+        assert!(!p.spilled, "no threshold, no override");
+        assert_eq!(p.shard, 0);
+    }
+}

@@ -22,6 +22,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # unfused matmul-then-elementwise chain.
 ./target/release/fathom gemm-check --m 256 --k 512 --n 192 --threads 8
 
+# Cluster smoke: 2 models x 2 shards under a mixed SLO arrival stream
+# with a rolling hot reload mid-run — conservation, zero drops, every
+# shard serving, and post-reload replica checkpoints byte-equal to the
+# reloaded artifact (nonzero exit if any probe fails).
+./target/release/fathom cluster-check --seed 7
+
 # Fusion smoke: every workload must step bitwise-identically with fusion
 # off vs full (elementwise groups AND GEMM-epilogue groups), serial and
 # parallel; fails if either pass finds nothing to fuse suite-wide.

@@ -243,3 +243,198 @@ fn engine_resolves_every_closed_loop_request_with_a_real_worker() {
     assert_eq!(report.latency.count(), 12);
     assert!(report.batches.iter().all(|b| b.size <= 2));
 }
+
+#[test]
+fn cluster_crash_mid_overload_spares_the_interactive_class() {
+    use fathom_suite::fathom_dataflow::{FaultAction, FaultPlan, FaultSite};
+    use fathom_suite::fathom_serve::{
+        serve_cluster, BatchResult, ClusterConfig, ClusterRunner, FaultyRunner, ModelSpec,
+        ServeError, SloMix,
+    };
+    use fathom_suite::fathom_tensor::{Rng, Tensor};
+    use std::sync::Arc;
+
+    /// Fixed-service replica so the overload scenario is exactly
+    /// reproducible in virtual time.
+    struct FixedRunner {
+        capacity: usize,
+        service_nanos: f64,
+    }
+
+    impl BatchRunner for FixedRunner {
+        fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        fn run_batch(&mut self, reqs: &[&Request]) -> Result<BatchResult, ServeError> {
+            Ok(BatchResult {
+                outputs: reqs.iter().map(|_| Tensor::zeros([1])).collect(),
+                service_nanos: self.service_nanos,
+                class_nanos: [0.0; 7],
+            })
+        }
+    }
+
+    impl ClusterRunner for FixedRunner {
+        fn reload(&mut self, _checkpoint: &[u8]) -> Result<(), ServeError> {
+            Ok(())
+        }
+    }
+
+    // Two shards of one replica each, 10 ms per batch of 4 -> 800 rps of
+    // fleet capacity. Offer 1600 rps (2x overload) with a 30/30/40 mix,
+    // and crash shard 0's replica partway through the run. The cost of
+    // overload plus the crash must land entirely on the lower classes:
+    // every interactive request completes inside its deadline.
+    let plan = Arc::new(FaultPlan::new(0xC1A5).with(
+        FaultSite::ServeBatch { replica: 0 },
+        3,
+        FaultAction::Crash,
+    ));
+    let mut shard0 =
+        FaultyRunner::new(FixedRunner { capacity: 4, service_nanos: 10_000_000.0 }, plan, 0);
+    let mut shard1 = FixedRunner { capacity: 4, service_nanos: 10_000_000.0 };
+    let mut models = vec![ModelSpec {
+        name: "fixed".into(),
+        shards: vec![vec![&mut shard0], vec![&mut shard1]],
+        rps: 1_600.0,
+        synth: Box::new(|_rng: &mut Rng, _id| Vec::new()),
+    }];
+    let cfg = ClusterConfig {
+        duration_nanos: 400_000_000,
+        mix: SloMix::parse("30,30,40").expect("parses"),
+        seed: SEED,
+        ..ClusterConfig::new(4)
+    };
+    let report = serve_cluster(&mut models, &cfg).expect("serves");
+
+    assert!(report.conserved(), "completed + shed + timed_out must equal offered");
+    assert!(report.recovery.crashes >= 1, "the planned crash must fire");
+    assert!(report.shed() > 0, "2x overload must shed");
+    let [interactive, _standard, batch] = &report.per_class;
+    assert_eq!(
+        interactive.shed + interactive.timed_out,
+        0,
+        "the highest SLO class must lose nothing: {:?}",
+        report.shed_reasons()
+    );
+    assert!(interactive.completed > 0);
+    assert!(
+        batch.shed > 0,
+        "overload cost falls on the batch class first: {:?}",
+        report.shed_reasons()
+    );
+    let deadline = cfg.slo.deadline(fathom_suite::fathom_serve::SloClass::Interactive)
+        .expect("interactive has a deadline") as f64;
+    assert!(
+        interactive.latency.quantile(1.0) <= deadline,
+        "every interactive completion beats its deadline: max {} ns",
+        interactive.latency.quantile(1.0)
+    );
+}
+
+#[test]
+fn cluster_hot_reload_with_real_workers_drops_nothing() {
+    use fathom_suite::fathom_serve::{
+        serve_cluster, BatchResult, ClusterConfig, ClusterRunner, ModelSpec, ReloadPlan,
+        ServeError, SloPolicy,
+    };
+
+    /// Records served request ids so duplicates across the swap show up.
+    struct Recording {
+        inner: SessionWorker,
+        served: Vec<u64>,
+    }
+
+    impl BatchRunner for Recording {
+        fn capacity(&self) -> usize {
+            self.inner.capacity()
+        }
+
+        fn run_batch(&mut self, reqs: &[&Request]) -> Result<BatchResult, ServeError> {
+            self.served.extend(reqs.iter().map(|r| r.id));
+            self.inner.run_batch(reqs)
+        }
+
+        fn recover(&mut self) -> Result<(), ServeError> {
+            self.inner.recover()
+        }
+    }
+
+    impl ClusterRunner for Recording {
+        fn reload(&mut self, checkpoint: &[u8]) -> Result<(), ServeError> {
+            self.inner.reload(checkpoint)
+        }
+    }
+
+    // Train a few steps and checkpoint: these are the weights the fleet
+    // hot-swaps to mid-run.
+    let mut trained = ModelKind::Memnet.build(&BuildConfig::training().with_seed(11));
+    for _ in 0..2 {
+        trained.step();
+    }
+    let mut ck = Vec::new();
+    checkpoint::save(trained.session(), &mut ck).expect("saves");
+    drop(trained);
+
+    let build = BuildConfig::inference().with_seed(SEED).with_batch(BATCH);
+    let mut w0 = Recording {
+        inner: SessionWorker::new(ModelKind::Memnet, &build).expect("servable"),
+        served: Vec::new(),
+    };
+    let mut w1 = Recording {
+        inner: SessionWorker::new(ModelKind::Memnet, &build).expect("servable"),
+        served: Vec::new(),
+    };
+    let shapes = w0.inner.item_shapes();
+    let domains = w0.inner.domains();
+    let mut models = vec![ModelSpec {
+        name: "memnet".into(),
+        shards: vec![vec![&mut w0], vec![&mut w1]],
+        rps: 300.0,
+        synth: Box::new(move |rng, _id| synth_inputs(&shapes, &domains, rng)),
+    }];
+    let cfg = ClusterConfig {
+        duration_nanos: 300_000_000,
+        // No deadlines and an effectively unbounded queue: with real
+        // (wall-clock) service times the virtual backlog is not
+        // controlled, and this test is about the swap, not admission.
+        slo: SloPolicy { deadline_nanos: [None, None, None] },
+        queue_cap: 100_000,
+        seed: SEED,
+        reloads: vec![ReloadPlan {
+            model: "memnet".into(),
+            at_nanos: 100_000_000,
+            checkpoint: ck.clone(),
+        }],
+        ..ClusterConfig::new(BATCH)
+    };
+    let report = serve_cluster(&mut models, &cfg).expect("serves");
+    drop(models);
+
+    assert!(report.conserved());
+    assert!(report.issued() > 30, "Poisson(300 rps, 0.3 s) issues ~90: {}", report.issued());
+    assert_eq!(
+        report.shed() + report.timed_out(),
+        0,
+        "a hot reload must drop nothing: {}",
+        report.to_json()
+    );
+    assert_eq!(report.completed(), report.issued());
+    assert_eq!(report.reloads(), 2, "both replicas swap");
+
+    // No request served twice across the swap.
+    let mut served: Vec<u64> = w0.served.iter().chain(&w1.served).copied().collect();
+    assert_eq!(served.len() as u64, report.completed());
+    served.sort_unstable();
+    served.dedup();
+    assert_eq!(served.len() as u64, report.completed(), "a request must not be served twice");
+
+    // The swap really happened: both replicas now hold the trained
+    // variables (reload also resets the recovery baseline).
+    for w in [&mut w0, &mut w1] {
+        let mut after = Vec::new();
+        checkpoint::save(w.inner.workload_mut().session(), &mut after).expect("saves");
+        assert_eq!(after, ck, "replica variables must match the reloaded checkpoint");
+    }
+}
