@@ -2,7 +2,7 @@
 
 use fathom_tensor::Tensor;
 
-use crate::game::{Action, CatchGame, FRAME_SIDE};
+use crate::game::{Action, CatchGame, GameState, FRAME_SIDE};
 
 /// Number of consecutive frames stacked into one observation, as in the
 /// original DQN preprocessing.
@@ -17,6 +17,20 @@ pub struct AleEnv {
     frames: [Vec<f32>; STACK],
     episode_reward: f32,
     episodes: u64,
+}
+
+/// A copyable capture of the environment — game state, frame stack, and
+/// episode bookkeeping — sufficient to resume bitwise-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvState {
+    /// Underlying game state.
+    pub game: GameState,
+    /// The stacked observation history, oldest first.
+    pub frames: [Vec<f32>; STACK],
+    /// Reward accumulated in the current episode.
+    pub episode_reward: f32,
+    /// Completed episode count.
+    pub episodes: u64,
 }
 
 /// Result of one environment step.
@@ -91,6 +105,25 @@ impl AleEnv {
     pub fn game(&self) -> &CatchGame {
         &self.game
     }
+
+    /// Captures the full environment state for checkpointing.
+    pub fn save_state(&self) -> EnvState {
+        EnvState {
+            game: self.game.snapshot(),
+            frames: self.frames.clone(),
+            episode_reward: self.episode_reward,
+            episodes: self.episodes,
+        }
+    }
+
+    /// Restores a state captured with [`AleEnv::save_state`]; subsequent
+    /// steps continue exactly where the capture left off.
+    pub fn load_state(&mut self, state: &EnvState) {
+        self.game.restore(&state.game);
+        self.frames = state.frames.clone();
+        self.episode_reward = state.episode_reward;
+        self.episodes = state.episodes;
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +151,26 @@ mod tests {
         for (px, &pixel) in latest.iter().enumerate() {
             assert_eq!(after.data()[px * STACK + (STACK - 1)], pixel);
         }
+    }
+
+    #[test]
+    fn save_load_state_resumes_bitwise() {
+        let mut a = AleEnv::new(4);
+        for i in 0..37 {
+            a.step(i % 3);
+        }
+        let state = a.save_state();
+        let mut b = AleEnv::new(1234);
+        b.load_state(&state);
+        assert_eq!(a.observation(), b.observation());
+        for i in 0..200 {
+            let ra = a.step(i % 3);
+            let rb = b.step(i % 3);
+            assert_eq!(ra.observation, rb.observation);
+            assert_eq!(ra.reward, rb.reward);
+            assert_eq!(ra.done, rb.done);
+        }
+        assert_eq!(a.episodes(), b.episodes());
     }
 
     #[test]

@@ -61,6 +61,22 @@ pub struct Tick {
     pub done: bool,
 }
 
+/// A copyable capture of the full game state, sufficient to resume play
+/// bitwise-identically (see [`CatchGame::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameState {
+    /// Horizontal ball position.
+    pub ball_x: f32,
+    /// Vertical ball position.
+    pub ball_y: f32,
+    /// Per-tick horizontal ball drift.
+    pub drift: f32,
+    /// Horizontal paddle center.
+    pub paddle_x: f32,
+    /// Spawn-stream xorshift state.
+    pub rng_state: u64,
+}
+
 impl CatchGame {
     /// Creates a game with a deterministic spawn stream.
     pub fn new(seed: u64) -> Self {
@@ -111,6 +127,27 @@ impl CatchGame {
         } else {
             Tick { reward: 0.0, done: false }
         }
+    }
+
+    /// Captures the full game state for checkpointing.
+    pub fn snapshot(&self) -> GameState {
+        GameState {
+            ball_x: self.ball_x,
+            ball_y: self.ball_y,
+            drift: self.drift,
+            paddle_x: self.paddle_x,
+            rng_state: self.rng_state,
+        }
+    }
+
+    /// Restores a state captured with [`CatchGame::snapshot`]; subsequent
+    /// ticks continue exactly where the capture left off.
+    pub fn restore(&mut self, state: &GameState) {
+        self.ball_x = state.ball_x;
+        self.ball_y = state.ball_y;
+        self.drift = state.drift;
+        self.paddle_x = state.paddle_x;
+        self.rng_state = state.rng_state;
     }
 
     /// Horizontal paddle center (for heuristics and tests).
@@ -218,6 +255,21 @@ mod tests {
         let mut a = CatchGame::new(5);
         let mut b = CatchGame::new(5);
         for _ in 0..50 {
+            assert_eq!(a.tick(Action::Right), b.tick(Action::Right));
+        }
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bitwise() {
+        let mut a = CatchGame::new(6);
+        for _ in 0..23 {
+            a.tick(Action::Left);
+        }
+        let state = a.snapshot();
+        let mut b = CatchGame::new(999);
+        b.restore(&state);
+        for _ in 0..100 {
             assert_eq!(a.tick(Action::Right), b.tick(Action::Right));
         }
         assert_eq!(a.render(), b.render());

@@ -27,6 +27,6 @@ mod env;
 mod game;
 mod replay;
 
-pub use env::{AleEnv, StepResult, STACK};
-pub use game::{Action, CatchGame, Tick, FRAME_PIXELS, FRAME_SIDE};
-pub use replay::{ReplayBatch, ReplayBuffer, Transition};
+pub use env::{AleEnv, EnvState, StepResult, STACK};
+pub use game::{Action, CatchGame, GameState, Tick, FRAME_PIXELS, FRAME_SIDE};
+pub use replay::{ReplayBatch, ReplayBuffer, ReplayMark, Transition};

@@ -33,6 +33,15 @@ pub struct ReplayBatch {
     pub dones: Tensor,
 }
 
+/// Undo record for a bounded number of pushes; see
+/// [`ReplayBuffer::mark`].
+#[derive(Debug, Clone)]
+pub struct ReplayMark {
+    len: usize,
+    cursor: usize,
+    saved: Vec<(usize, Transition)>,
+}
+
 /// A bounded uniform-sampling replay buffer.
 ///
 /// # Examples
@@ -79,6 +88,74 @@ impl ReplayBuffer {
     /// Returns `true` while the buffer holds nothing.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
+    }
+
+    /// Maximum number of stored transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The eviction cursor (next overwrite position once full).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The stored transitions in internal (ring) order, for checkpointing.
+    pub fn items(&self) -> &[Transition] {
+        &self.items
+    }
+
+    /// Rebuilds a buffer from checkpointed parts; paired with
+    /// [`ReplayBuffer::items`] and [`ReplayBuffer::cursor`] this restores
+    /// the ring bitwise, eviction order included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, `items.len() > capacity`, or the cursor
+    /// is out of range.
+    pub fn restore(capacity: usize, items: Vec<Transition>, cursor: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(items.len() <= capacity, "more items than capacity");
+        assert!(cursor == 0 || cursor < capacity, "cursor out of range");
+        ReplayBuffer { capacity, items, cursor }
+    }
+
+    /// Records enough state to undo the next `max_pushes` pushes.
+    ///
+    /// A training step that fails mid-flight (guardrail trip, injected
+    /// fault) must leave the buffer exactly as it found it, or a
+    /// replayed step trains on duplicated experience and determinism is
+    /// lost. The mark clones at most `max_pushes` transitions — only
+    /// the ring slots an overwrite would destroy — never the whole
+    /// buffer.
+    pub fn mark(&self, max_pushes: usize) -> ReplayMark {
+        let mut saved = Vec::new();
+        // Pushes append until the ring fills; the remainder overwrite
+        // slots starting at the cursor. Slots created by this step's own
+        // appends need no saving — rollback truncates them away.
+        let appends = self.capacity - self.items.len();
+        if max_pushes > appends {
+            let overwrites = (max_pushes - appends).min(self.capacity);
+            for i in 0..overwrites {
+                let idx = (self.cursor + i) % self.capacity;
+                if idx < self.items.len() {
+                    saved.push((idx, self.items[idx].clone()));
+                }
+            }
+        }
+        ReplayMark { len: self.items.len(), cursor: self.cursor, saved }
+    }
+
+    /// Undoes every push since `mark` was taken (at most the
+    /// `max_pushes` the mark was sized for).
+    pub fn rollback(&mut self, mark: ReplayMark) {
+        self.items.truncate(mark.len);
+        self.cursor = mark.cursor;
+        for (idx, t) in mark.saved {
+            if idx < self.items.len() {
+                self.items[idx] = t;
+            }
+        }
     }
 
     /// Inserts a transition, evicting the oldest once at capacity.
@@ -201,5 +278,35 @@ mod tests {
     #[should_panic(expected = "empty replay buffer")]
     fn sampling_empty_panics() {
         ReplayBuffer::new(3).sample(1, &mut Rng::seeded(0));
+    }
+
+    #[test]
+    fn mark_and_rollback_undo_pushes_bitwise() {
+        let t = |v: f32| Transition {
+            state: Tensor::from_vec(vec![v; 4], [1, 4]),
+            action: 0,
+            reward: v,
+            next_state: Tensor::from_vec(vec![v + 0.5; 4], [1, 4]),
+            done: false,
+        };
+        let snapshot = |b: &ReplayBuffer| {
+            let rewards: Vec<u32> = b.items().iter().map(|x| x.reward.to_bits()).collect();
+            (b.len(), b.cursor(), rewards)
+        };
+        // Appends only, appends crossing the full boundary, and pure
+        // ring overwrites (including cursor wrap-around).
+        for prefill in [0usize, 3, 4, 6] {
+            let mut b = ReplayBuffer::new(6);
+            for i in 0..prefill {
+                b.push(t(i as f32));
+            }
+            let before = snapshot(&b);
+            let mark = b.mark(4);
+            for i in 0..4 {
+                b.push(t(100.0 + i as f32));
+            }
+            b.rollback(mark);
+            assert_eq!(snapshot(&b), before, "prefill {prefill}");
+        }
     }
 }

@@ -13,6 +13,7 @@ pub mod gemm;
 pub mod memory;
 pub mod overhead;
 pub mod profiles;
+pub mod recovery;
 pub mod scheduler;
 pub mod serve;
 pub mod table1;

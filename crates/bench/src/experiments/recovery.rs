@@ -1,0 +1,250 @@
+//! Recovery ablation: what resilience costs when nothing goes wrong.
+//!
+//! The resilient training loop (`fathom::Trainer`) buys crash
+//! survivability with two standing taxes: the divergence guardrail
+//! (loss/grad-norm checks on every step) and the snapshot cadence
+//! (serialize + fsync + rename every N steps). Both must be cheap
+//! relative to a training step or nobody leaves them on, so this
+//! experiment measures each against a bare training loop, per workload,
+//! plus the one-off costs that matter at recovery time: snapshot size
+//! on disk, save latency, and resume (load + restore) latency.
+//!
+//! Emits `BENCH_recovery.json` into `target/fathom-results/` and the
+//! repository root so the overhead trajectory is tracked across PRs.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use fathom::{BuildConfig, GuardrailPolicy, ModelKind, SnapshotPolicy, Trainer};
+
+use crate::{write_artifact, Effort};
+
+/// One workload's recovery-cost measurements.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Optimizer steps per leg.
+    pub steps: u64,
+    /// Snapshot cadence (steps between snapshots) on the snapshot leg.
+    pub cadence: u64,
+    /// Mean step wall time (ms), bare trainer — no guardrail, no
+    /// snapshots.
+    pub step_ms: f64,
+    /// Mean step wall time (ms) with the guardrail armed.
+    pub guarded_step_ms: f64,
+    /// Snapshot time as a percentage of step time on the snapshot leg.
+    pub snapshot_overhead_pct: f64,
+    /// Newest snapshot generation's size on disk.
+    pub snapshot_bytes: u64,
+    /// Mean serialize + fsync + promote latency per snapshot (ms).
+    pub save_ms: f64,
+    /// Wall time to resume from the newest generation (ms).
+    pub load_ms: f64,
+}
+
+impl RecoveryRow {
+    /// Guardrail overhead relative to the bare step (percent; noise can
+    /// make this slightly negative).
+    pub fn guard_overhead_pct(&self) -> f64 {
+        if self.step_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.guarded_step_ms / self.step_ms - 1.0) * 100.0
+    }
+}
+
+/// Builds a fresh training-mode trainer for `kind`.
+fn trainer(kind: ModelKind) -> Trainer {
+    Trainer::new(kind.build(&BuildConfig::training())).expect("training workload")
+}
+
+/// Size of the newest `step-*.ckpt` generation in `dir`.
+fn newest_snapshot_bytes(dir: &PathBuf) -> u64 {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+        .last()
+        .and_then(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+/// Measures one workload's three legs (bare, guarded, snapshotting)
+/// plus resume latency.
+pub fn measure(kind: ModelKind, effort: &Effort) -> RecoveryRow {
+    let steps = effort.steps.max(1) as u64 * 4;
+    let cadence = effort.steps.max(1) as u64;
+
+    // Leg 1: bare loop — the baseline everything is relative to.
+    let mut bare = trainer(kind);
+    bare.run(steps).expect("bare leg");
+    let step_ms = bare.report().step_nanos as f64 / 1e6 / steps as f64;
+
+    // Leg 2: guardrail armed, same work otherwise.
+    let mut guarded = trainer(kind).with_guardrail(GuardrailPolicy::default());
+    guarded.run(steps).expect("guarded leg");
+    let guarded_step_ms = guarded.report().step_nanos as f64 / 1e6 / steps as f64;
+
+    // Leg 3: guardrail + snapshot cadence into a scratch directory.
+    let dir = std::env::temp_dir()
+        .join(format!("fathom-bench-recovery-{}-{}", kind.name(), std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut snapped = trainer(kind)
+        .with_guardrail(GuardrailPolicy::default())
+        .with_snapshots(SnapshotPolicy { every: cadence, keep: 3 }, &dir);
+    snapped.run(steps).expect("snapshot leg");
+    let r = snapped.report();
+    let snapshot_overhead_pct = if r.step_nanos > 0 {
+        r.snapshot_nanos as f64 / r.step_nanos as f64 * 100.0
+    } else {
+        0.0
+    };
+    let save_ms = if r.snapshots_written > 0 {
+        r.snapshot_nanos as f64 / 1e6 / r.snapshots_written as f64
+    } else {
+        0.0
+    };
+    let snapshot_bytes = newest_snapshot_bytes(&dir);
+
+    // Resume latency: fresh model, restore the newest generation.
+    let mut resumed = trainer(kind);
+    let t0 = Instant::now();
+    resumed.resume(&dir).expect("resume");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RecoveryRow {
+        workload: kind.name(),
+        steps,
+        cadence,
+        step_ms,
+        guarded_step_ms,
+        snapshot_overhead_pct,
+        snapshot_bytes,
+        save_ms,
+        load_ms,
+    }
+}
+
+/// Renders the rows as `BENCH_recovery.json` (written by hand; the
+/// suite carries no JSON dependency).
+pub fn to_json(rows: &[RecoveryRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"ablation_recovery\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"steps\": {}, \"cadence\": {}, \
+             \"step_ms\": {:.4}, \"guarded_step_ms\": {:.4}, \
+             \"guard_overhead_pct\": {:.2}, \
+             \"snapshot_overhead_pct\": {:.2}, \"snapshot_bytes\": {}, \
+             \"save_ms\": {:.4}, \"load_ms\": {:.4}}}",
+            r.workload,
+            r.steps,
+            r.cadence,
+            r.step_ms,
+            r.guarded_step_ms,
+            r.guard_overhead_pct(),
+            r.snapshot_overhead_pct,
+            r.snapshot_bytes,
+            r.save_ms,
+            r.load_ms,
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the full experiment and renders the human-readable table.
+pub fn run(effort: &Effort) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ABLATION: resilience overhead (bare vs guardrail vs snapshot cadence)\n\
+         (step times are means over the leg; snapshot %% is serialize+fsync+rename\n\
+         time relative to step time at the leg's cadence; load is a full resume)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>7} {:>9} {:>9} {:>8} {:>8} {:>10} {:>8} {:>8}",
+        "workload", "steps", "cad", "step ms", "guard ms", "guard%", "snap%", "snap KiB",
+        "save ms", "load ms"
+    );
+    let rows: Vec<RecoveryRow> = ModelKind::ALL.iter().map(|&k| measure(k, effort)).collect();
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>7} {:>9.2} {:>9.2} {:>7.1}% {:>7.1}% {:>10.1} {:>8.2} {:>8.2}",
+            r.workload,
+            r.steps,
+            r.cadence,
+            r.step_ms,
+            r.guarded_step_ms,
+            r.guard_overhead_pct(),
+            r.snapshot_overhead_pct,
+            r.snapshot_bytes as f64 / 1024.0,
+            r.save_ms,
+            r.load_ms,
+        );
+    }
+    let worst = rows
+        .iter()
+        .map(|r| r.snapshot_overhead_pct)
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(
+        out,
+        "\nworst-case snapshot overhead at this cadence: {worst:.1}% of step time"
+    );
+    let json = to_json(&rows);
+    write_artifact("BENCH_recovery.json", &json);
+    // Also drop it at the repository root, where the PR driver tracks it.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(repo_root.join("BENCH_recovery.json"), &json)
+        .expect("can write BENCH_recovery.json at the repo root");
+    write_artifact("ablation_recovery.txt", &out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_costs() {
+        let r = measure(ModelKind::Autoenc, &Effort::quick());
+        assert_eq!(r.workload, "autoenc");
+        assert!(r.step_ms > 0.0 && r.guarded_step_ms > 0.0);
+        assert!(r.snapshot_bytes > 0, "snapshot leg must leave a generation on disk");
+        assert!(r.save_ms > 0.0 && r.load_ms > 0.0);
+        assert!(r.snapshot_overhead_pct >= 0.0);
+    }
+
+    #[test]
+    fn json_shape_holds() {
+        let row = RecoveryRow {
+            workload: "autoenc",
+            steps: 4,
+            cadence: 1,
+            step_ms: 1.0,
+            guarded_step_ms: 1.1,
+            snapshot_overhead_pct: 3.0,
+            snapshot_bytes: 2048,
+            save_ms: 0.2,
+            load_ms: 0.4,
+        };
+        let json = to_json(&[row]);
+        assert!(json.contains("\"experiment\": \"ablation_recovery\""));
+        assert!(json.contains("\"snapshot_bytes\": 2048"));
+        assert!(json.contains("\"guard_overhead_pct\": 10.00"));
+    }
+}

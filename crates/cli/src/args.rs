@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use fathom::{Mode, ModelKind, ModelScale};
+use fathom::{Mode, ModelKind, ModelScale, RetryPolicy};
 
 /// A fully parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +22,20 @@ pub enum Command {
     Dot(RunArgs),
     /// `fathom serve-bench <model> [options]` — batched serving benchmark.
     ServeBench(ServeArgs),
+    /// `fathom train <model> [options]` — resilient training loop with
+    /// snapshots, guardrails, and deterministic resume.
+    Train(TrainArgs),
+    /// `fathom train-soak [--quick] [--seed N] [--steps N]` — the
+    /// crash-soak gate: kill + corrupt + resume every workload and
+    /// verify the resumed run is bitwise identical to a clean one.
+    TrainSoak {
+        /// Soak only `autoenc` (the tier-1 smoke) instead of all eight.
+        quick: bool,
+        /// Seed shared by every leg.
+        seed: u64,
+        /// Total optimizer steps per leg.
+        steps: u64,
+    },
     /// `fathom chaos <model> [--seed N]` — fault-injection smoke probes.
     Chaos {
         /// Which workload to probe.
@@ -106,6 +120,60 @@ impl RunArgs {
             load: None,
             save: None,
             fuse: false,
+        }
+    }
+}
+
+/// Options for the resilient training loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    /// Which workload to train.
+    pub model: ModelKind,
+    /// Total optimizer steps (counting any resumed prefix).
+    pub steps: u64,
+    /// Intra-op threads.
+    pub threads: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Snapshot directory (enables the snapshot cadence).
+    pub dir: Option<String>,
+    /// Resume from the newest loadable snapshot in `--dir` first.
+    pub resume: bool,
+    /// Snapshot every N steps.
+    pub snap_every: u64,
+    /// Snapshot generations kept on disk.
+    pub snap_keep: usize,
+    /// Guardrail: trip when `|loss|` exceeds this.
+    pub max_abs_loss: f32,
+    /// Guardrail: trip when the gradient norm exceeds this.
+    pub max_grad_norm: f32,
+    /// Recovery action between guardrail retries.
+    pub retry: RetryPolicy,
+    /// Guardrail trips tolerated per step.
+    pub max_retries: u32,
+    /// Fault-plan spec (`train@K=crash`, `ckpt-write@0=bitflip:8`, ...).
+    pub fault_plan: Option<String>,
+    /// Write the JSON run report here.
+    pub out: Option<String>,
+}
+
+impl TrainArgs {
+    fn new(model: ModelKind) -> Self {
+        TrainArgs {
+            model,
+            steps: 10,
+            threads: 1,
+            seed: 0xFA7408,
+            dir: None,
+            resume: false,
+            snap_every: 5,
+            snap_keep: 3,
+            max_abs_loss: 1e4,
+            max_grad_norm: 1e6,
+            retry: RetryPolicy::Replay,
+            max_retries: 3,
+            fault_plan: None,
+            out: None,
         }
     }
 }
@@ -218,6 +286,12 @@ USAGE:
                    [--threads N] [--inter-ops N] [--seed N]
                    [--load FILE.ck] [--out FILE.json] [--fault-plan SPEC]
                    [--cluster] [--shards N] [--slo-mix I,S,B]
+    fathom train   <model> [--steps N] [--threads N] [--seed N]
+                   [--dir DIR] [--resume] [--snap-every N] [--snap-keep K]
+                   [--max-loss X] [--max-grad-norm X] [--max-retries N]
+                   [--retry replay|skip-batch|lr-backoff:<f>]
+                   [--fault-plan SPEC] [--out FILE.json]
+    fathom train-soak      [--quick] [--seed N] [--steps N]
     fathom chaos   <model> [--seed N]
     fathom cluster-check   [--seed N]
     fathom gemm-check      [--m N] [--k N] [--n N] [--threads N]
@@ -236,11 +310,25 @@ CLUSTER MODE:
     two shards each, mixed SLO traffic, a hot reload mid-run, and exits
     nonzero unless conservation and zero-drop checks pass.
 
+RESILIENT TRAINING:
+    `fathom train` drives a workload with snapshot cadence (`--dir` +
+    `--snap-every`/`--snap-keep`: crash-consistent resume checkpoints,
+    rotated), divergence guardrails (NaN/Inf or `--max-loss` /
+    `--max-grad-norm` trips roll the step back and retry under
+    `--retry`, at most `--max-retries` times before a typed divergence
+    error), and deterministic resume (`--resume` restores the newest
+    loadable snapshot and continues bitwise-identically).
+    `fathom train-soak` is the self-verifying gate: for each workload it
+    runs a clean leg, a fault leg (mid-run kill, injected NaN loss,
+    corrupted snapshot), and a resumed leg, and exits nonzero unless
+    the resumed run matches the clean run's loss bits exactly.
+
 FAULT PLANS:
-    SPEC is `[seed=N;]site@hit=action;...` — sites: op, ckpt-write,
-    ckpt-read, replica<R>; actions: panic, nan, crash, stall:<ns>,
-    truncate:<keep>, bitflip:<n>. Example: `replica0@3=crash` crashes
-    replica 0's fourth batch dispatch. `fathom chaos` runs seeded
+    SPEC is `[seed=N;]site@hit=action;...` — sites: op, train,
+    ckpt-write, ckpt-read, replica<R>; actions: panic, nan, crash,
+    stall:<ns>, truncate:<keep>, bitflip:<n>. Example: `replica0@3=crash`
+    crashes replica 0's fourth batch dispatch; `train@7=crash` kills a
+    training loop's eighth step. `fathom chaos` runs seeded
     fault-injection probes over one workload's executor, checkpoint,
     and serving layers and exits nonzero if any recovery fails.
 ";
@@ -269,6 +357,40 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::List { json })
         }
         "serve-bench" => parse_serve_bench(&mut it),
+        "train" => parse_train(&mut it),
+        "train-soak" => {
+            let (mut quick, mut seed, mut steps) = (false, 0xFA7408u64, 12u64);
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut raw = |name: &str| -> Result<&String, ParseError> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--quick" => quick = true,
+                    "--seed" => {
+                        seed = raw("--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?
+                    }
+                    "--steps" => {
+                        steps = raw("--steps")?
+                            .parse()
+                            .map_err(|_| ParseError("--steps needs an integer".into()))?
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            if steps < 8 {
+                return Err(ParseError(
+                    "train-soak needs --steps of at least 8 (kill, corrupt, resume)".into(),
+                ));
+            }
+            Ok(Command::TrainSoak { quick, seed, steps })
+        }
         "chaos" => {
             let model_str =
                 it.next().ok_or_else(|| ParseError("'chaos' needs a model name".into()))?;
@@ -468,6 +590,84 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         other => Err(ParseError(format!(
             "unknown command '{other}' (try 'fathom help')"
         ))),
+    }
+}
+
+fn parse_train(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let model_str =
+        it.next().ok_or_else(|| ParseError("'train' needs a model name".into()))?;
+    let model: ModelKind = model_str
+        .parse()
+        .map_err(|e: fathom::ParseModelError| ParseError(e.to_string()))?;
+    let mut a = TrainArgs::new(model);
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let mut value = |name: &str| -> Result<String, ParseError> {
+            i += 1;
+            rest.get(i)
+                .map(|s| s.to_string())
+                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        fn num<T: std::str::FromStr>(name: &str, raw: String) -> Result<T, ParseError> {
+            raw.parse().map_err(|_| ParseError(format!("{name} needs a number")))
+        }
+        match flag {
+            "--steps" => a.steps = num("--steps", value("--steps")?)?,
+            "--threads" => a.threads = num("--threads", value("--threads")?)?,
+            "--seed" => a.seed = num("--seed", value("--seed")?)?,
+            "--dir" => a.dir = Some(value("--dir")?),
+            "--resume" => a.resume = true,
+            "--snap-every" => a.snap_every = num("--snap-every", value("--snap-every")?)?,
+            "--snap-keep" => a.snap_keep = num("--snap-keep", value("--snap-keep")?)?,
+            "--max-loss" => a.max_abs_loss = num("--max-loss", value("--max-loss")?)?,
+            "--max-grad-norm" => {
+                a.max_grad_norm = num("--max-grad-norm", value("--max-grad-norm")?)?
+            }
+            "--retry" => a.retry = parse_retry(&value("--retry")?)?,
+            "--max-retries" => a.max_retries = num("--max-retries", value("--max-retries")?)?,
+            "--fault-plan" => a.fault_plan = Some(value("--fault-plan")?),
+            "--out" => a.out = Some(value("--out")?),
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+        i += 1;
+    }
+    if a.steps == 0 || a.threads == 0 {
+        return Err(ParseError("train --steps and --threads must be positive".into()));
+    }
+    if a.resume && a.dir.is_none() {
+        return Err(ParseError("--resume needs --dir to find snapshots in".into()));
+    }
+    if a.snap_keep == 0 {
+        return Err(ParseError("--snap-keep must be at least 1".into()));
+    }
+    Ok(Command::Train(a))
+}
+
+/// Parses a `--retry` policy: `replay`, `skip-batch`, or
+/// `lr-backoff:<factor>`.
+fn parse_retry(raw: &str) -> Result<RetryPolicy, ParseError> {
+    match raw {
+        "replay" => Ok(RetryPolicy::Replay),
+        "skip-batch" => Ok(RetryPolicy::SkipBatch),
+        other => {
+            if let Some(f) = other.strip_prefix("lr-backoff:") {
+                let factor: f32 = f.parse().map_err(|_| {
+                    ParseError(format!("lr-backoff factor '{f}' is not a number"))
+                })?;
+                if !(factor > 0.0 && factor < 1.0) {
+                    return Err(ParseError(format!(
+                        "lr-backoff factor must be in (0, 1), got {factor}"
+                    )));
+                }
+                Ok(RetryPolicy::LrBackoff { factor })
+            } else {
+                Err(ParseError(format!(
+                    "unknown retry policy '{other}' (replay|skip-batch|lr-backoff:<f>)"
+                )))
+            }
+        }
     }
 }
 
@@ -692,6 +892,62 @@ mod tests {
             Command::ClusterCheck { seed: 7 }
         );
         assert!(parse(&s(&["cluster-check", "--frob"])).is_err());
+    }
+
+    #[test]
+    fn train_defaults_and_flags() {
+        let Command::Train(a) = parse(&s(&["train", "autoenc"])).unwrap() else {
+            panic!("expected Train");
+        };
+        assert_eq!(a.model, ModelKind::Autoenc);
+        assert_eq!(a.steps, 10);
+        assert_eq!(a.retry, RetryPolicy::Replay);
+        assert!(!a.resume);
+
+        let Command::Train(a) = parse(&s(&[
+            "train", "deepq", "--steps", "20", "--seed", "3", "--dir", "ck", "--resume",
+            "--snap-every", "4", "--snap-keep", "2", "--max-loss", "100",
+            "--max-grad-norm", "5000", "--retry", "lr-backoff:0.5", "--max-retries", "2",
+            "--fault-plan", "train@7=crash", "--out", "report.json",
+        ]))
+        .unwrap() else {
+            panic!("expected Train");
+        };
+        assert_eq!(a.model, ModelKind::Deepq);
+        assert_eq!(a.steps, 20);
+        assert_eq!(a.dir.as_deref(), Some("ck"));
+        assert!(a.resume);
+        assert_eq!(a.snap_every, 4);
+        assert_eq!(a.snap_keep, 2);
+        assert_eq!(a.retry, RetryPolicy::LrBackoff { factor: 0.5 });
+        assert_eq!(a.max_retries, 2);
+        assert_eq!(a.fault_plan.as_deref(), Some("train@7=crash"));
+        assert_eq!(a.out.as_deref(), Some("report.json"));
+    }
+
+    #[test]
+    fn train_rejects_degenerate_values() {
+        assert!(parse(&s(&["train"])).is_err());
+        assert!(parse(&s(&["train", "autoenc", "--steps", "0"])).is_err());
+        assert!(parse(&s(&["train", "autoenc", "--resume"])).is_err());
+        assert!(parse(&s(&["train", "autoenc", "--snap-keep", "0"])).is_err());
+        assert!(parse(&s(&["train", "autoenc", "--retry", "pray"])).is_err());
+        assert!(parse(&s(&["train", "autoenc", "--retry", "lr-backoff:2"])).is_err());
+        assert!(parse(&s(&["train", "autoenc", "--frob"])).is_err());
+    }
+
+    #[test]
+    fn train_soak_parses() {
+        assert_eq!(
+            parse(&s(&["train-soak"])).unwrap(),
+            Command::TrainSoak { quick: false, seed: 0xFA7408, steps: 12 }
+        );
+        assert_eq!(
+            parse(&s(&["train-soak", "--quick", "--seed", "5", "--steps", "16"])).unwrap(),
+            Command::TrainSoak { quick: true, seed: 5, steps: 16 }
+        );
+        assert!(parse(&s(&["train-soak", "--steps", "4"])).is_err());
+        assert!(parse(&s(&["train-soak", "--frob"])).is_err());
     }
 
     #[test]

@@ -13,8 +13,11 @@ mod args;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use args::{parse, Command, RunArgs, ServeArgs, USAGE};
-use fathom::{BuildConfig, FusionLevel, Mode, ModelKind, ModelScale, Workload};
+use args::{parse, Command, RunArgs, ServeArgs, TrainArgs, USAGE};
+use fathom::{
+    BuildConfig, FusionLevel, GuardrailPolicy, Mode, ModelKind, ModelScale, RetryPolicy,
+    SnapshotPolicy, TrainOutcome, Trainer, Workload,
+};
 use fathom_dataflow::{checkpoint, export, Device, FaultAction, FaultPlan, FaultSite};
 use fathom_profile::{report, runner, OpProfile};
 use fathom_serve::{
@@ -71,6 +74,8 @@ fn dispatch(command: Command) -> Result<(), FathomError> {
         Command::Trace(a) => cmd_trace(a),
         Command::Dot(a) => cmd_dot(a),
         Command::ServeBench(a) => cmd_serve_bench(a),
+        Command::Train(a) => cmd_train(a),
+        Command::TrainSoak { quick, seed, steps } => cmd_train_soak(quick, seed, steps),
         Command::Chaos { model, seed } => cmd_chaos(model, seed),
         Command::ClusterCheck { seed } => cmd_cluster_check(seed),
         Command::GemmCheck { m, k, n, threads } => cmd_gemm_check(m, k, n, threads),
@@ -828,6 +833,195 @@ fn print_recovery(report: &ServeReport) {
 /// Runs seeded fault-injection probes across the three recovery layers —
 /// executor rollback, checkpoint integrity, serve supervision — and
 /// fails (nonzero exit) if any layer does not recover.
+/// Builds a [`Trainer`] for one workload: training mode, guardrail
+/// armed, optional snapshot cadence and fault plan.
+fn build_trainer(
+    model: ModelKind,
+    seed: u64,
+    threads: usize,
+    guard: GuardrailPolicy,
+    snapshots: Option<(SnapshotPolicy, &str)>,
+    faults: Option<Arc<FaultPlan>>,
+) -> Result<Trainer, FathomError> {
+    let cfg = BuildConfig {
+        mode: Mode::Training,
+        scale: ModelScale::Reference,
+        device: Device::cpu(threads),
+        seed,
+        batch: None,
+        fusion: FusionLevel::Off,
+    };
+    let mut trainer = Trainer::new(model.build(&cfg))?.with_guardrail(guard);
+    if let Some((policy, dir)) = snapshots {
+        trainer = trainer.with_snapshots(policy, dir);
+    }
+    if let Some(plan) = faults {
+        trainer = trainer.with_faults(plan);
+    }
+    Ok(trainer)
+}
+
+fn cmd_train(a: TrainArgs) -> Result<(), FathomError> {
+    let guard = GuardrailPolicy {
+        max_abs_loss: a.max_abs_loss,
+        max_grad_norm: a.max_grad_norm,
+        retry: a.retry,
+        max_retries: a.max_retries,
+    };
+    let faults = match &a.fault_plan {
+        Some(spec) => Some(Arc::new(
+            FaultPlan::parse(spec, a.seed).map_err(FathomError::Message)?,
+        )),
+        None => None,
+    };
+    let snapshots = a
+        .dir
+        .as_deref()
+        .map(|dir| (SnapshotPolicy { every: a.snap_every, keep: a.snap_keep }, dir));
+    let mut trainer = build_trainer(a.model, a.seed, a.threads, guard, snapshots, faults)?;
+    println!(
+        "{} | resilient training | target {} step(s) | seed {:#x} | retry {} (max {})",
+        a.model.name(),
+        a.steps,
+        a.seed,
+        a.retry,
+        a.max_retries
+    );
+    if a.resume {
+        let dir = a.dir.as_deref().expect("parser enforces --dir with --resume");
+        let at = trainer.resume(dir)?;
+        println!("resumed from step {at} in {dir}");
+    }
+    let outcome = trainer.run(a.steps)?;
+    let report = trainer.report();
+    match outcome {
+        TrainOutcome::Completed => println!("completed: {} step(s) done", report.steps),
+        TrainOutcome::Killed { at_step } => println!(
+            "killed by injected fault after {at_step} step(s); continue with --resume"
+        ),
+    }
+    if let Some(loss) = report.final_loss {
+        println!("final loss {loss:.6}");
+    }
+    for t in &report.trips {
+        println!(
+            "guardrail trip at step {} (attempt {}, action {}): {}",
+            t.step, t.attempt, t.action, t.reason
+        );
+    }
+    if report.snapshots_written > 0 {
+        println!(
+            "snapshots: {} written, {:.2} ms total overhead",
+            report.snapshots_written,
+            report.snapshot_nanos as f64 / 1e6
+        );
+    }
+    if let Some(path) = &a.out {
+        std::fs::write(path, report.to_json(&outcome))?;
+        println!("wrote run report to {path}");
+    }
+    Ok(())
+}
+
+/// The crash-soak gate. For each workload, three legs share one seed:
+///
+/// 1. **Clean** — train `steps` steps, record the final loss bits.
+/// 2. **Fault** — fresh model, snapshot cadence on, with an injected
+///    NaN loss (guardrail must trip and replay), a corrupted snapshot
+///    write (resume must fall back past it), and a mid-run kill.
+/// 3. **Resume** — fresh model restored from the newest loadable
+///    snapshot, trained to the same target.
+///
+/// The resumed run must land on *bitwise* the same final loss as the
+/// clean run — that is the whole resilience contract in one assert.
+fn cmd_train_soak(quick: bool, seed: u64, steps: u64) -> Result<(), FathomError> {
+    let workloads: &[ModelKind] = if quick { &[ModelKind::Autoenc] } else { &ModelKind::ALL };
+    println!(
+        "train-soak | {} workload(s) | {steps} step(s)/leg | seed {seed:#x}",
+        workloads.len()
+    );
+    let mut failures = 0u32;
+    let probe = |name: &str, ok: bool, failures: &mut u32| {
+        if ok {
+            println!("PASS  {name}");
+        } else {
+            println!("FAIL  {name}");
+            *failures += 1;
+        }
+    };
+    let guard = GuardrailPolicy { retry: RetryPolicy::Replay, ..GuardrailPolicy::default() };
+    for &kind in workloads {
+        let name = kind.name();
+        let dir = std::env::temp_dir()
+            .join(format!("fathom-soak-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_string_lossy().into_owned();
+
+        // Leg 1: clean reference run.
+        let mut clean = build_trainer(kind, seed, 1, guard, None, None)?;
+        let clean_outcome = clean.run(steps)?;
+        let clean_loss = clean.report().final_loss.map(f32::to_bits);
+        probe(
+            &format!("{name}: clean leg completed"),
+            clean_outcome == TrainOutcome::Completed && clean_loss.is_some(),
+            &mut failures,
+        );
+
+        // Leg 2: same seed under fire. The NaN at hit 2 costs one extra
+        // step attempt (the replay), so the crash at hit `steps - 1`
+        // kills the loop after `steps - 2` committed steps — late enough
+        // that snapshots exist, early enough that resume has work left.
+        let plan = FaultPlan::new(seed)
+            .with(FaultSite::TrainStep, 2, FaultAction::PoisonNan)
+            .with(FaultSite::TrainStep, steps - 1, FaultAction::Crash)
+            .with(FaultSite::CheckpointWrite, 1, FaultAction::BitFlips { flips: 16 });
+        let snaps = SnapshotPolicy { every: 3, keep: 3 };
+        let mut faulty =
+            build_trainer(kind, seed, 1, guard, Some((snaps, &dir_str)), Some(Arc::new(plan)))?;
+        let fault_outcome = faulty.run(steps)?;
+        let killed_at = match fault_outcome {
+            TrainOutcome::Killed { at_step } => Some(at_step),
+            TrainOutcome::Completed => None,
+        };
+        probe(
+            &format!("{name}: fault leg killed mid-run with snapshots on disk"),
+            killed_at.is_some_and(|at| at > 0 && at < steps)
+                && faulty.report().snapshots_written > 0,
+            &mut failures,
+        );
+        probe(
+            &format!("{name}: injected NaN tripped the guardrail and was retried"),
+            !faulty.report().trips.is_empty(),
+            &mut failures,
+        );
+
+        // Leg 3: resume from disk (past the bitflipped generation) and
+        // finish. Bitwise-equal final loss is the resilience contract.
+        let mut resumed = build_trainer(kind, seed, 1, guard, Some((snaps, &dir_str)), None)?;
+        let resumed_at = resumed.resume(&dir_str)?;
+        probe(
+            &format!("{name}: resumed from a snapshot strictly before the kill"),
+            killed_at.is_some_and(|at| resumed_at <= at) && resumed_at > 0,
+            &mut failures,
+        );
+        let resumed_outcome = resumed.run(steps)?;
+        let resumed_loss = resumed.report().final_loss.map(f32::to_bits);
+        probe(
+            &format!("{name}: resumed final loss is bitwise identical to the clean run"),
+            resumed_outcome == TrainOutcome::Completed
+                && resumed_loss.is_some()
+                && resumed_loss == clean_loss,
+            &mut failures,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if failures > 0 {
+        return Err(FathomError::Message(format!("train-soak: {failures} probe(s) failed")));
+    }
+    println!("train-soak: all probes passed");
+    Ok(())
+}
+
 fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
     println!("{} | chaos probes | seed {seed}", model.name());
     let mut failures = 0u32;

@@ -26,10 +26,14 @@
 
 pub mod models;
 mod registry;
+pub mod train;
 mod workload;
 
 pub use registry::{ModelKind, ParseModelError};
+pub use train::{
+    GuardrailPolicy, RetryPolicy, SnapshotPolicy, TrainError, TrainOutcome, TrainReport, Trainer,
+};
 pub use workload::{
     BatchSpec, BuildConfig, FusionLevel, InputPort, Mode, ModelScale, OutputPort, PortDomain,
-    StepStats, Workload, WorkloadMetadata,
+    StepStats, TrainProbes, Workload, WorkloadMetadata,
 };

@@ -114,8 +114,8 @@ impl Workload for Alexnet {
         self.inner.mode()
     }
 
-    fn step(&mut self) -> StepStats {
-        self.inner.step()
+    fn try_step(&mut self) -> Result<StepStats, fathom_dataflow::ExecError> {
+        self.inner.try_step()
     }
 
     fn session(&self) -> &Session {
@@ -128,6 +128,22 @@ impl Workload for Alexnet {
 
     fn batch_spec(&self) -> Option<crate::workload::BatchSpec> {
         self.inner.batch_spec()
+    }
+
+    fn train_probes(&self) -> Option<crate::workload::TrainProbes> {
+        self.inner.train_probes()
+    }
+
+    fn export_pipeline(&self) -> Vec<u8> {
+        self.inner.export_pipeline()
+    }
+
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        self.inner.import_pipeline(blob)
+    }
+
+    fn skip_batch(&mut self) {
+        self.inner.skip_batch()
     }
 }
 

@@ -8,12 +8,13 @@
 //! forward path in both modes.
 
 use fathom_data::mnist::{DigitCorpus, PIXELS};
-use fathom_dataflow::{NodeId, Optimizer, Session};
+use fathom_dataflow::{ExecError, NodeId, Optimizer, Session, TrainHandles};
 use fathom_nn::{dense, loss::bernoulli_nll, vae, Activation, Params};
 
+use crate::models::codec::{Dec, Enc};
 use crate::workload::{
     BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
-    Workload, WorkloadMetadata,
+    TrainProbes, Workload, WorkloadMetadata,
 };
 
 struct Dims {
@@ -53,7 +54,7 @@ pub struct Autoenc {
     images: NodeId,
     loss: NodeId,
     reconstruction: NodeId,
-    train: Option<NodeId>,
+    train: Option<TrainHandles>,
     batch: usize,
 }
 
@@ -81,13 +82,15 @@ impl Autoenc {
         let loss = vae::elbo_loss(&mut g, recon, sample.kl, 1.0);
 
         let train = match cfg.mode {
-            Mode::Training => Some(Optimizer::adam(1e-3).minimize(&mut g, loss, p.trainable())),
+            Mode::Training => {
+                Some(Optimizer::adam(1e-3).minimize_tracked(&mut g, loss, p.trainable()))
+            }
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
         if cfg.fusion.enabled() {
             let mut keep = vec![loss, reconstruction];
-            keep.extend(train);
+            keep.extend(train.iter().flat_map(|h| [h.step, h.grad_norm]));
             session.enable_fusion_with(
                 &keep,
                 fathom_dataflow::optimize::FusionOptions {
@@ -129,25 +132,32 @@ impl Workload for Autoenc {
         self.mode
     }
 
-    fn step(&mut self) -> StepStats {
+    fn try_step(&mut self) -> Result<StepStats, ExecError> {
+        let rng_before = self.corpus.rng_state();
         let (images, _) = self.corpus.batch(self.batch);
-        match self.mode {
+        let result = match self.mode {
             Mode::Training => {
                 let train = self.train.expect("training graph was built");
-                let out = self
-                    .session
-                    .run(&[self.loss, train], &[(self.images, images)])
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: Some(out[0].scalar_value()), metric: None }
+                self.session
+                    .run(&[self.loss, train.grad_norm, train.step], &[(self.images, images)])
+                    .map(|out| StepStats {
+                        loss: Some(out[0].scalar_value()),
+                        metric: None,
+                        grad_norm: Some(out[1].scalar_value()),
+                    })
             }
             Mode::Inference => {
-                let out = self
-                    .session
-                    .run(&[self.loss], &[(self.images, images)])
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: None, metric: Some(out[0].scalar_value()) }
+                self.session.run(&[self.loss], &[(self.images, images)]).map(|out| StepStats {
+                    loss: None,
+                    metric: Some(out[0].scalar_value()),
+                    grad_norm: None,
+                })
             }
+        };
+        if result.is_err() {
+            self.corpus.set_rng_state(rng_before);
         }
+        result
     }
 
     fn session(&self) -> &Session {
@@ -171,6 +181,28 @@ impl Workload for Autoenc {
             output: OutputPort { node: self.reconstruction, batch_axis: 0 },
             capacity: self.batch,
         })
+    }
+
+    fn train_probes(&self) -> Option<TrainProbes> {
+        self.train.map(|h| TrainProbes { loss: self.loss, grad_norm: h.grad_norm })
+    }
+
+    fn export_pipeline(&self) -> Vec<u8> {
+        let mut e = Enc::new(self.meta.name);
+        e.rng(self.corpus.rng_state());
+        e.finish()
+    }
+
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut d = Dec::new(self.meta.name, blob)?;
+        let state = d.rng()?;
+        d.done()?;
+        self.corpus.set_rng_state(state);
+        Ok(())
+    }
+
+    fn skip_batch(&mut self) {
+        let _ = self.corpus.batch(self.batch);
     }
 }
 

@@ -1,13 +1,14 @@
 //! Shared harness for the three ImageNet-style classifier workloads.
 
 use fathom_data::imagenet::ImageCorpus;
-use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
+use fathom_dataflow::{ExecError, Graph, NodeId, Optimizer, Session, TrainHandles};
 use fathom_nn::Params;
 use fathom_tensor::Tensor;
 
+use crate::models::codec::{Dec, Enc};
 use crate::workload::{
-    BatchSpec, BuildConfig, InputPort, Mode, OutputPort, PortDomain, StepStats, Workload,
-    WorkloadMetadata,
+    BatchSpec, BuildConfig, InputPort, Mode, OutputPort, PortDomain, StepStats, TrainProbes,
+    Workload, WorkloadMetadata,
 };
 
 /// An image classifier driven by the synthetic ImageNet stand-in: feeds a
@@ -22,7 +23,7 @@ pub(crate) struct ImageClassifier {
     labels: NodeId,
     logits: NodeId,
     loss: NodeId,
-    train: Option<NodeId>,
+    train: Option<TrainHandles>,
     batch: usize,
 }
 
@@ -52,13 +53,13 @@ impl ImageClassifier {
         );
         let loss = g.softmax_cross_entropy(logits, labels);
         let train = match cfg.mode {
-            Mode::Training => Some(optimizer.minimize(&mut g, loss, p.trainable())),
+            Mode::Training => Some(optimizer.minimize_tracked(&mut g, loss, p.trainable())),
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
         if cfg.fusion.enabled() {
             let mut keep = vec![loss, logits];
-            keep.extend(train);
+            keep.extend(train.iter().flat_map(|h| [h.step, h.grad_norm]));
             session.enable_fusion_with(
                 &keep,
                 fathom_dataflow::optimize::FusionOptions {
@@ -102,25 +103,39 @@ impl Workload for ImageClassifier {
         self.mode
     }
 
-    fn step(&mut self) -> StepStats {
+    fn try_step(&mut self) -> Result<StepStats, ExecError> {
+        // Draw the batch from a probe of the stream, and only advance
+        // the corpus RNG after the run commits: a failed (or tripped)
+        // step must leave the pipeline exactly where it started.
+        let rng_before = self.corpus.rng_state();
         let (images, labels) = self.corpus.batch(self.batch);
-        match self.mode {
+        let result = match self.mode {
             Mode::Training => {
                 let train = self.train.expect("training graph was built");
-                let out = self
-                    .session
-                    .run(&[self.loss, train], &[(self.images, images), (self.labels, labels)])
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: Some(out[0].scalar_value()), metric: None }
+                self.session
+                    .run(
+                        &[self.loss, train.grad_norm, train.step],
+                        &[(self.images, images), (self.labels, labels)],
+                    )
+                    .map(|out| StepStats {
+                        loss: Some(out[0].scalar_value()),
+                        metric: None,
+                        grad_norm: Some(out[1].scalar_value()),
+                    })
             }
-            Mode::Inference => {
-                let out = self
-                    .session
-                    .run(&[self.logits], &[(self.images, images), (self.labels, labels.clone())])
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: None, metric: Some(Self::accuracy(&out[0], &labels)) }
-            }
+            Mode::Inference => self
+                .session
+                .run(&[self.logits], &[(self.images, images), (self.labels, labels.clone())])
+                .map(|out| StepStats {
+                    loss: None,
+                    metric: Some(Self::accuracy(&out[0], &labels)),
+                    grad_norm: None,
+                }),
+        };
+        if result.is_err() {
+            self.corpus.set_rng_state(rng_before);
         }
+        result
     }
 
     fn session(&self) -> &Session {
@@ -140,5 +155,27 @@ impl Workload for ImageClassifier {
             output: OutputPort { node: self.logits, batch_axis: 0 },
             capacity: self.batch,
         })
+    }
+
+    fn train_probes(&self) -> Option<TrainProbes> {
+        self.train.map(|h| TrainProbes { loss: self.loss, grad_norm: h.grad_norm })
+    }
+
+    fn export_pipeline(&self) -> Vec<u8> {
+        let mut e = Enc::new(self.meta.name);
+        e.rng(self.corpus.rng_state());
+        e.finish()
+    }
+
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut d = Dec::new(self.meta.name, blob)?;
+        let state = d.rng()?;
+        d.done()?;
+        self.corpus.set_rng_state(state);
+        Ok(())
+    }
+
+    fn skip_batch(&mut self) {
+        let _ = self.corpus.batch(self.batch);
     }
 }

@@ -11,15 +11,16 @@
 //! `fathom-ale` paddle game with identical observation/action/reward
 //! contracts (see DESIGN.md).
 
-use fathom_ale::{AleEnv, ReplayBuffer, Transition, FRAME_SIDE, STACK};
-use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
+use fathom_ale::{AleEnv, EnvState, GameState, ReplayBuffer, Transition, FRAME_SIDE, STACK};
+use fathom_dataflow::{ExecError, Graph, NodeId, Optimizer, Session, TrainHandles};
 use fathom_nn::{Activation, Init, Params};
 use fathom_tensor::kernels::conv::Conv2dSpec;
 use fathom_tensor::{Rng, Tensor};
 
+use crate::models::codec::{Dec, Enc};
 use crate::workload::{
     BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
-    Workload, WorkloadMetadata,
+    TrainProbes, Workload, WorkloadMetadata,
 };
 
 struct Dims {
@@ -179,7 +180,7 @@ pub struct Deepq {
     loss: NodeId,
     target_next_q: NodeId,
     target_states: NodeId,
-    train: Option<NodeId>,
+    train: Option<TrainHandles>,
     online_vars: Vec<NodeId>,
     target_vars: Vec<NodeId>,
     // Agent state.
@@ -223,14 +224,14 @@ impl Deepq {
 
         let train = match cfg.mode {
             Mode::Training => {
-                Some(Optimizer::rms_prop(1e-3).minimize(&mut g, loss, p.trainable()))
+                Some(Optimizer::rms_prop(1e-3).minimize_tracked(&mut g, loss, p.trainable()))
             }
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
         if cfg.fusion.enabled() {
             let mut keep = vec![act_q, q_values, loss, target_next_q];
-            keep.extend(train);
+            keep.extend(train.iter().flat_map(|h| [h.step, h.grad_norm]));
             session.enable_fusion_with(
                 &keep,
                 fathom_dataflow::optimize::FusionOptions {
@@ -265,15 +266,14 @@ impl Deepq {
     }
 
     /// Epsilon-greedy action for the current observation.
-    fn select_action(&mut self, observation: &Tensor) -> usize {
+    fn select_action(&mut self, observation: &Tensor) -> Result<usize, ExecError> {
         if self.rng.chance(self.epsilon) {
-            self.rng.below(self.env.num_actions())
+            Ok(self.rng.below(self.env.num_actions()))
         } else {
             let q = self
                 .session
-                .run1(self.act_q, &[(self.act_state, observation.clone())])
-                .expect("workload graphs are well-formed");
-            q.argmax_last_axis().data()[0] as usize
+                .run1(self.act_q, &[(self.act_state, observation.clone())])?;
+            Ok(q.argmax_last_axis().data()[0] as usize)
         }
     }
 
@@ -317,12 +317,12 @@ impl Deepq {
 
     /// Plays `frames` environment steps with the current policy, storing
     /// transitions. Returns accumulated reward.
-    fn play(&mut self, frames: usize) -> f32 {
+    fn play(&mut self, frames: usize) -> Result<f32, ExecError> {
         let mut episode_reward = 0.0;
         let mut total = 0.0;
         for _ in 0..frames {
             let state = self.env.observation();
-            let action = self.select_action(&state);
+            let action = self.select_action(&state)?;
             let result = self.env.step(action);
             total += result.reward;
             episode_reward += result.reward;
@@ -338,18 +338,17 @@ impl Deepq {
                 episode_reward = 0.0;
             }
         }
-        total
+        Ok(total)
     }
 
-    /// One gradient update from replay; returns the TD loss.
-    fn learn(&mut self) -> f32 {
+    /// One gradient update from replay; returns `(TD loss, grad norm)`.
+    fn learn(&mut self) -> Result<(f32, f32), ExecError> {
         let batch = self.replay.sample(self.d.batch, &mut self.rng);
         // Bootstrapped targets from the frozen network (computed with the
         // target tower; max over actions on the host).
         let next_q = self
             .session
-            .run1(self.target_next_q, &[(self.target_states, batch.next_states.clone())])
-            .expect("workload graphs are well-formed");
+            .run1(self.target_next_q, &[(self.target_states, batch.next_states.clone())])?;
         let actions = self.env.num_actions();
         let mut targets = Tensor::zeros([self.d.batch]);
         let mut onehot = Tensor::zeros([self.d.batch, actions]);
@@ -363,18 +362,15 @@ impl Deepq {
             onehot.set(&[b, batch.actions.data()[b] as usize], 1.0);
         }
         let train = self.train.expect("training graph was built");
-        let out = self
-            .session
-            .run(
-                &[self.loss, train],
-                &[
-                    (self.batch_states, batch.states),
-                    (self.batch_actions_onehot, onehot),
-                    (self.batch_targets, targets),
-                ],
-            )
-            .expect("workload graphs are well-formed");
-        out[0].scalar_value()
+        let out = self.session.run(
+            &[self.loss, train.grad_norm, train.step],
+            &[
+                (self.batch_states, batch.states),
+                (self.batch_actions_onehot, onehot),
+                (self.batch_targets, targets),
+            ],
+        )?;
+        Ok((out[0].scalar_value(), out[1].scalar_value()))
     }
 }
 
@@ -387,29 +383,56 @@ impl Workload for Deepq {
         self.mode
     }
 
-    fn step(&mut self) -> StepStats {
-        match self.mode {
+    fn try_step(&mut self) -> Result<StepStats, ExecError> {
+        // A failed step rolls the agent back to where it started: action
+        // RNG, exploration schedule, environment, episode log, and the
+        // replay buffer (the mark undoes this step's pushes without
+        // cloning the whole ring — a replayed step must not train on
+        // duplicated experience).
+        let replay_mark = self.replay.mark(4);
+        let rng_before = self.rng.state();
+        let epsilon_before = self.epsilon;
+        let steps_before = self.steps_done;
+        let env_before = self.env.save_state();
+        let rewards_before = self.episode_rewards.len();
+        let result = match self.mode {
             Mode::Training => {
                 // Anneal exploration from 1.0 to 0.1 over the first ~100
                 // steps (scaled-down DQN schedule).
                 self.epsilon = (1.0 - self.steps_done as f32 * 0.009).max(0.1);
-                self.play(4);
-                let loss = self.learn();
-                self.steps_done += 1;
-                if self.steps_done.is_multiple_of(self.d.target_sync) {
-                    self.sync_target();
-                }
-                StepStats { loss: Some(loss), metric: Some(self.recent_reward()) }
+                self.play(4).and_then(|_| self.learn()).map(|(loss, grad_norm)| {
+                    self.steps_done += 1;
+                    if self.steps_done.is_multiple_of(self.d.target_sync) {
+                        self.sync_target();
+                    }
+                    StepStats {
+                        loss: Some(loss),
+                        metric: Some(self.recent_reward()),
+                        grad_norm: Some(grad_norm),
+                    }
+                })
             }
             Mode::Inference => {
                 // Same environment-frame budget as a training step, so
                 // train/inference times compare the way the paper's
                 // Figure 5 does.
                 self.epsilon = 0.05;
-                let reward = self.play(4);
-                StepStats { loss: None, metric: Some(reward) }
+                self.play(4).map(|reward| StepStats {
+                    loss: None,
+                    metric: Some(reward),
+                    grad_norm: None,
+                })
             }
+        };
+        if result.is_err() {
+            self.rng = Rng::from_state(rng_before);
+            self.epsilon = epsilon_before;
+            self.steps_done = steps_before;
+            self.env.load_state(&env_before);
+            self.episode_rewards.truncate(rewards_before);
+            self.replay.rollback(replay_mark);
         }
+        result
     }
 
     fn session(&self) -> &Session {
@@ -437,6 +460,107 @@ impl Workload for Deepq {
             output: OutputPort { node: self.batch_q, batch_axis: 0 },
             capacity: self.d.batch,
         })
+    }
+
+    fn train_probes(&self) -> Option<TrainProbes> {
+        self.train.map(|h| TrainProbes { loss: self.loss, grad_norm: h.grad_norm })
+    }
+
+    fn export_pipeline(&self) -> Vec<u8> {
+        let mut e = Enc::new(self.meta.name);
+        e.rng(self.rng.state());
+        e.f32(self.epsilon);
+        e.u64(self.steps_done);
+        e.f32s(&self.episode_rewards);
+        // Environment: game physics + RNG, frame stack, episode tallies.
+        let env = self.env.save_state();
+        e.f32(env.game.ball_x);
+        e.f32(env.game.ball_y);
+        e.f32(env.game.drift);
+        e.f32(env.game.paddle_x);
+        e.u64(env.game.rng_state);
+        for frame in &env.frames {
+            e.f32s(frame);
+        }
+        e.f32(env.episode_reward);
+        e.u64(env.episodes);
+        // Replay buffer, palette-compressed frame tensors dominating.
+        e.u64(self.replay.capacity() as u64);
+        e.u64(self.replay.cursor() as u64);
+        e.u64(self.replay.len() as u64);
+        for t in self.replay.items() {
+            e.tensor(&t.state);
+            e.u64(t.action as u64);
+            e.f32(t.reward);
+            e.tensor(&t.next_state);
+            e.bool(t.done);
+        }
+        e.finish()
+    }
+
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut d = Dec::new(self.meta.name, blob)?;
+        let rng = d.rng()?;
+        let epsilon = d.f32()?;
+        let steps_done = d.u64()?;
+        let episode_rewards = d.f32s()?;
+        let game = GameState {
+            ball_x: d.f32()?,
+            ball_y: d.f32()?,
+            drift: d.f32()?,
+            paddle_x: d.f32()?,
+            rng_state: d.u64()?,
+        };
+        let frames = [d.f32s()?, d.f32s()?, d.f32s()?, d.f32s()?];
+        for frame in &frames {
+            if frame.len() != FRAME_SIDE * FRAME_SIDE {
+                return Err(format!(
+                    "frame stack entry has {} pixels, expected {}",
+                    frame.len(),
+                    FRAME_SIDE * FRAME_SIDE
+                ));
+            }
+        }
+        let env = EnvState {
+            game,
+            frames,
+            episode_reward: d.f32()?,
+            episodes: d.u64()?,
+        };
+        let capacity = d.u64()? as usize;
+        let cursor = d.u64()? as usize;
+        let len = d.u64()? as usize;
+        if capacity == 0 || capacity > (1 << 24) || len > capacity || cursor >= capacity.max(1) {
+            return Err(format!(
+                "implausible replay geometry: capacity {capacity}, len {len}, cursor {cursor}"
+            ));
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(Transition {
+                state: d.tensor()?,
+                action: d.u64()? as usize,
+                reward: d.f32()?,
+                next_state: d.tensor()?,
+                done: d.bool()?,
+            });
+        }
+        d.done()?;
+        self.rng = Rng::from_state(rng);
+        self.epsilon = epsilon;
+        self.steps_done = steps_done;
+        self.episode_rewards = episode_rewards;
+        self.env.load_state(&env);
+        self.replay = ReplayBuffer::restore(capacity, items, cursor);
+        Ok(())
+    }
+
+    fn skip_batch(&mut self) {
+        // Burn one replay draw so the retried step samples a different
+        // minibatch; the aborted step's transitions are already banked.
+        if !self.replay.is_empty() {
+            let _ = self.replay.sample(self.d.batch, &mut self.rng);
+        }
     }
 }
 

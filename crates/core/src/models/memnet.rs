@@ -10,12 +10,13 @@
 //! Figure 6c shows refusing to parallelize.
 
 use fathom_data::babi::BabiTask;
-use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
+use fathom_dataflow::{ExecError, Graph, NodeId, Optimizer, Session, TrainHandles};
 use fathom_nn::{Init, Params};
 
+use crate::models::codec::{Dec, Enc};
 use crate::workload::{
     BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
-    Workload, WorkloadMetadata,
+    TrainProbes, Workload, WorkloadMetadata,
 };
 
 struct Dims {
@@ -59,7 +60,7 @@ pub struct Memnet {
     answers: NodeId,
     logits: NodeId,
     loss: NodeId,
-    train: Option<NodeId>,
+    train: Option<TrainHandles>,
     batch: usize,
 }
 
@@ -124,13 +125,15 @@ impl Memnet {
         let logits = g.matmul(u, out_w);
         let loss = g.softmax_cross_entropy(logits, answers);
         let train = match cfg.mode {
-            Mode::Training => Some(Optimizer::adam(5e-3).minimize(&mut g, loss, p.trainable())),
+            Mode::Training => {
+                Some(Optimizer::adam(5e-3).minimize_tracked(&mut g, loss, p.trainable()))
+            }
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
         if cfg.fusion.enabled() {
             let mut keep = vec![loss, logits];
-            keep.extend(train);
+            keep.extend(train.iter().flat_map(|h| [h.step, h.grad_norm]));
             session.enable_fusion_with(
                 &keep,
                 fathom_dataflow::optimize::FusionOptions {
@@ -184,44 +187,49 @@ impl Workload for Memnet {
         self.mode
     }
 
-    fn step(&mut self) -> StepStats {
+    fn try_step(&mut self) -> Result<StepStats, ExecError> {
+        let rng_before = self.task.rng_state();
         let (stories, questions, answers) = self.task.batch(self.batch);
-        match self.mode {
+        let result = match self.mode {
             Mode::Training => {
                 let train = self.train.expect("training graph was built");
-                let out = self
-                    .session
+                self.session
                     .run(
-                        &[self.loss, train],
+                        &[self.loss, train.grad_norm, train.step],
                         &[
                             (self.stories, stories),
                             (self.questions, questions),
                             (self.answers, answers),
                         ],
                     )
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: Some(out[0].scalar_value()), metric: None }
+                    .map(|out| StepStats {
+                        loss: Some(out[0].scalar_value()),
+                        metric: None,
+                        grad_norm: Some(out[1].scalar_value()),
+                    })
             }
-            Mode::Inference => {
-                let acc = {
-                    let out = self
-                        .session
-                        .run(
-                            &[self.logits],
-                            &[(self.stories, stories), (self.questions, questions)],
-                        )
-                        .expect("workload graphs are well-formed");
+            Mode::Inference => self
+                .session
+                .run(
+                    &[self.logits],
+                    &[(self.stories, stories), (self.questions, questions)],
+                )
+                .map(|out| {
                     let pred = out[0].argmax_last_axis();
-                    pred.data()
+                    let acc = pred
+                        .data()
                         .iter()
                         .zip(answers.data())
                         .filter(|(a, b)| a == b)
                         .count() as f32
-                        / self.batch as f32
-                };
-                StepStats { loss: None, metric: Some(acc) }
-            }
+                        / self.batch as f32;
+                    StepStats { loss: None, metric: Some(acc), grad_norm: None }
+                }),
+        };
+        if result.is_err() {
+            self.task.set_rng_state(rng_before);
         }
+        result
     }
 
     fn session(&self) -> &Session {
@@ -253,6 +261,28 @@ impl Workload for Memnet {
             output: OutputPort { node: self.logits, batch_axis: 0 },
             capacity: self.batch,
         })
+    }
+
+    fn train_probes(&self) -> Option<TrainProbes> {
+        self.train.map(|h| TrainProbes { loss: self.loss, grad_norm: h.grad_norm })
+    }
+
+    fn export_pipeline(&self) -> Vec<u8> {
+        let mut e = Enc::new(self.meta.name);
+        e.rng(self.task.rng_state());
+        e.finish()
+    }
+
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut d = Dec::new(self.meta.name, blob)?;
+        let state = d.rng()?;
+        d.done()?;
+        self.task.set_rng_state(state);
+        Ok(())
+    }
+
+    fn skip_batch(&mut self) {
+        let _ = self.task.batch(self.batch);
     }
 }
 

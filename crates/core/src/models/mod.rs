@@ -1,5 +1,6 @@
 //! The eight reference workloads.
 
+mod codec;
 mod common;
 
 pub mod alexnet;

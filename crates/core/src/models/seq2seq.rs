@@ -9,13 +9,14 @@
 //! `Sub` traffic, that the paper's Figure 6b highlights.
 
 use fathom_data::wmt::{TranslationBatch, TranslationCorpus};
-use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
+use fathom_dataflow::{ExecError, Graph, NodeId, Optimizer, Session, TrainHandles};
 use fathom_nn::{lstm_stack, Attention, Init, Params};
 use fathom_tensor::Tensor;
 
+use crate::models::codec::{Dec, Enc};
 use crate::workload::{
     BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
-    Workload, WorkloadMetadata,
+    TrainProbes, Workload, WorkloadMetadata,
 };
 
 struct Dims {
@@ -80,7 +81,7 @@ pub struct Seq2Seq {
     logit_steps: Vec<NodeId>,
     serve_logits: Option<NodeId>,
     loss: NodeId,
-    train: Option<NodeId>,
+    train: Option<TrainHandles>,
     vocab: usize,
     batch: usize,
 }
@@ -145,7 +146,9 @@ impl Seq2Seq {
         let loss = g.mul(total, scale);
 
         let train = match cfg.mode {
-            Mode::Training => Some(Optimizer::adam(2e-3).minimize(&mut g, loss, p.trainable())),
+            Mode::Training => {
+                Some(Optimizer::adam(2e-3).minimize_tracked(&mut g, loss, p.trainable()))
+            }
             Mode::Inference => None,
         };
         // A single `[b, tgt_len * vocab]` fetch for the serving layer:
@@ -159,7 +162,7 @@ impl Seq2Seq {
         if cfg.fusion.enabled() {
             let mut keep = vec![loss];
             keep.extend_from_slice(&logit_steps);
-            keep.extend(train);
+            keep.extend(train.iter().flat_map(|h| [h.step, h.grad_norm]));
             keep.extend(serve_logits);
             session.enable_fusion_with(
                 &keep,
@@ -234,26 +237,31 @@ impl Workload for Seq2Seq {
         self.mode
     }
 
-    fn step(&mut self) -> StepStats {
+    fn try_step(&mut self) -> Result<StepStats, ExecError> {
+        let rng_before = self.corpus.rng_state();
         let batch = self.corpus.batch(self.batch);
         let feeds = self.feeds(&batch);
-        match self.mode {
+        let result = match self.mode {
             Mode::Training => {
                 let train = self.train.expect("training graph was built");
-                let out = self
-                    .session
-                    .run(&[self.loss, train], &feeds)
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: Some(out[0].scalar_value()), metric: None }
+                self.session
+                    .run(&[self.loss, train.grad_norm, train.step], &feeds)
+                    .map(|out| StepStats {
+                        loss: Some(out[0].scalar_value()),
+                        metric: None,
+                        grad_norm: Some(out[1].scalar_value()),
+                    })
             }
-            Mode::Inference => {
-                let out = self
-                    .session
-                    .run(&[self.loss], &feeds)
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: None, metric: Some(out[0].scalar_value()) }
-            }
+            Mode::Inference => self.session.run(&[self.loss], &feeds).map(|out| StepStats {
+                loss: None,
+                metric: Some(out[0].scalar_value()),
+                grad_norm: None,
+            }),
+        };
+        if result.is_err() {
+            self.corpus.set_rng_state(rng_before);
         }
+        result
     }
 
     fn session(&self) -> &Session {
@@ -282,6 +290,28 @@ impl Workload for Seq2Seq {
             output: OutputPort { node: serve_logits, batch_axis: 0 },
             capacity: self.batch,
         })
+    }
+
+    fn train_probes(&self) -> Option<TrainProbes> {
+        self.train.map(|h| TrainProbes { loss: self.loss, grad_norm: h.grad_norm })
+    }
+
+    fn export_pipeline(&self) -> Vec<u8> {
+        let mut e = Enc::new(self.meta.name);
+        e.rng(self.corpus.rng_state());
+        e.finish()
+    }
+
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut d = Dec::new(self.meta.name, blob)?;
+        let state = d.rng()?;
+        d.done()?;
+        self.corpus.set_rng_state(state);
+        Ok(())
+    }
+
+    fn skip_batch(&mut self) {
+        let _ = self.corpus.batch(self.batch);
     }
 }
 

@@ -12,13 +12,14 @@
 //! corpus; here the TIMIT stand-in is itself synthesized (see DESIGN.md).
 
 use fathom_data::timit::SpeechCorpus;
-use fathom_dataflow::{Graph, NodeId, Optimizer, Session};
+use fathom_dataflow::{ExecError, Graph, NodeId, Optimizer, Session, TrainHandles};
 use fathom_nn::{bidirectional_rnn, Activation, Init, Params};
 use fathom_tensor::Tensor;
 
+use crate::models::codec::{Dec, Enc};
 use crate::workload::{
     BatchSpec, BuildConfig, InputPort, Mode, ModelScale, OutputPort, PortDomain, StepStats,
-    Workload, WorkloadMetadata,
+    TrainProbes, Workload, WorkloadMetadata,
 };
 
 struct Dims {
@@ -73,7 +74,7 @@ pub struct Speech {
     labels: NodeId,
     loss: NodeId,
     logits: NodeId,
-    train: Option<NodeId>,
+    train: Option<TrainHandles>,
     d: Dims,
 }
 
@@ -130,13 +131,15 @@ impl Speech {
         let loss = g.ctc_loss(logits, labels, 0);
 
         let train = match cfg.mode {
-            Mode::Training => Some(Optimizer::adam(1e-3).minimize(&mut g, loss, p.trainable())),
+            Mode::Training => {
+                Some(Optimizer::adam(1e-3).minimize_tracked(&mut g, loss, p.trainable()))
+            }
             Mode::Inference => None,
         };
         let mut session = Session::with_seed(g, cfg.device.clone(), cfg.seed);
         if cfg.fusion.enabled() {
             let mut keep = vec![loss, logits];
-            keep.extend(train);
+            keep.extend(train.iter().flat_map(|h| [h.step, h.grad_norm]));
             session.enable_fusion_with(
                 &keep,
                 fathom_dataflow::optimize::FusionOptions {
@@ -186,26 +189,33 @@ impl Workload for Speech {
         self.mode
     }
 
-    fn step(&mut self) -> StepStats {
+    fn try_step(&mut self) -> Result<StepStats, ExecError> {
+        let rng_before = self.corpus.rng_state();
         let (frames, labels) = self.batch();
-        match self.mode {
+        let result = match self.mode {
             Mode::Training => {
                 let train = self.train.expect("training graph was built");
-                let out = self
-                    .session
-                    .run(&[self.loss, train], &[(self.frames, frames), (self.labels, labels)])
-                    .expect("workload graphs are well-formed");
-                StepStats { loss: Some(out[0].scalar_value()), metric: None }
+                self.session
+                    .run(
+                        &[self.loss, train.grad_norm, train.step],
+                        &[(self.frames, frames), (self.labels, labels)],
+                    )
+                    .map(|out| StepStats {
+                        loss: Some(out[0].scalar_value()),
+                        metric: None,
+                        grad_norm: Some(out[1].scalar_value()),
+                    })
             }
-            Mode::Inference => {
-                let out = self
-                    .session
-                    .run(&[self.logits], &[(self.frames, frames), (self.labels, labels)])
-                    .expect("workload graphs are well-formed");
+            Mode::Inference => self
+                .session
+                .run(&[self.logits], &[(self.frames, frames), (self.labels, labels)])
                 // Mean greedy-path confidence as the inference metric.
-                StepStats { loss: None, metric: Some(out[0].max()) }
-            }
+                .map(|out| StepStats { loss: None, metric: Some(out[0].max()), grad_norm: None }),
+        };
+        if result.is_err() {
+            self.corpus.set_rng_state(rng_before);
         }
+        result
     }
 
     fn session(&self) -> &Session {
@@ -228,6 +238,28 @@ impl Workload for Speech {
             output: OutputPort { node: self.logits, batch_axis: 1 },
             capacity: self.d.batch,
         })
+    }
+
+    fn train_probes(&self) -> Option<TrainProbes> {
+        self.train.map(|h| TrainProbes { loss: self.loss, grad_norm: h.grad_norm })
+    }
+
+    fn export_pipeline(&self) -> Vec<u8> {
+        let mut e = Enc::new(self.meta.name);
+        e.rng(self.corpus.rng_state());
+        e.finish()
+    }
+
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut d = Dec::new(self.meta.name, blob)?;
+        let state = d.rng()?;
+        d.done()?;
+        self.corpus.set_rng_state(state);
+        Ok(())
+    }
+
+    fn skip_batch(&mut self) {
+        let _ = self.batch();
     }
 }
 

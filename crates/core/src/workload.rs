@@ -5,7 +5,7 @@
 //! inference, or simply inspecting the model's dataflow graph is
 //! straightforward." (paper §VI). [`Workload`] is that interface.
 
-use fathom_dataflow::{Device, NodeId, Session};
+use fathom_dataflow::{Device, ExecError, NodeId, Session};
 
 /// Whether a workload instance executes forward-only or full update steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -74,6 +74,21 @@ pub struct StepStats {
     /// Auxiliary metric (episode reward for `deepq`, mean confidence for
     /// inference runs, …), when meaningful.
     pub metric: Option<f32>,
+    /// Global gradient norm (L2, across every trainable variable), when
+    /// the training graph tracks it. The divergence guardrail watches
+    /// this for explosions.
+    pub grad_norm: Option<f32>,
+}
+
+/// Graph nodes a training loop watches for divergence: the scalar loss
+/// and the global gradient norm (see
+/// `fathom_dataflow::Optimizer::minimize_tracked`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainProbes {
+    /// The scalar training loss.
+    pub loss: NodeId,
+    /// The global gradient L2 norm.
+    pub grad_norm: NodeId,
 }
 
 /// The values a serving client may legally feed into an input port.
@@ -138,8 +153,27 @@ pub trait Workload {
     fn mode(&self) -> Mode;
 
     /// Executes one update step (training) or one batched forward pass
-    /// (inference) on freshly generated data.
-    fn step(&mut self) -> StepStats;
+    /// (inference) on freshly generated data, surfacing session errors
+    /// (e.g. a tripped guardrail) instead of panicking. A failed step is
+    /// a complete no-op on session *and* pipeline state: implementations
+    /// draw their batch, run the session, and only advance pipeline
+    /// cursors after the run commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`Session::run`] returned; notably
+    /// [`ExecError::GuardTripped`] when a guardrail is armed and fires.
+    fn try_step(&mut self) -> Result<StepStats, ExecError>;
+
+    /// Executes one step, panicking on session errors. The convenient
+    /// form for benchmarks and tests that arm no guardrail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Workload::try_step`] errors.
+    fn step(&mut self) -> StepStats {
+        self.try_step().expect("workload step failed")
+    }
 
     /// The underlying session, for tracing and inspection.
     fn session(&self) -> &Session;
@@ -158,6 +192,42 @@ pub trait Workload {
     fn batch_spec(&self) -> Option<BatchSpec> {
         None
     }
+
+    /// The loss and gradient-norm nodes a guardrail should watch, when
+    /// the training graph tracks them.
+    fn train_probes(&self) -> Option<TrainProbes> {
+        None
+    }
+
+    /// Serializes the workload-side data-pipeline state (corpus RNG
+    /// streams, replay buffers, environment state) into an opaque blob
+    /// for [`fathom_dataflow::checkpoint::save_resume`]. Workloads
+    /// without pipeline state return an empty blob.
+    fn export_pipeline(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores pipeline state captured by [`Workload::export_pipeline`].
+    /// After a successful import (paired with the session restore the
+    /// checkpoint performs), subsequent steps are bitwise-identical to
+    /// the run that saved the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the blob does not parse
+    /// or does not fit this workload.
+    fn import_pipeline(&mut self, blob: &[u8]) -> Result<(), String> {
+        if blob.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} carries no pipeline state, got {} bytes", self.name(), blob.len()))
+        }
+    }
+
+    /// Advances the data pipeline past the current batch without running
+    /// the session — the guardrail's "skip batch" retry lever. Workloads
+    /// whose batches are drawn from an RNG stream burn one draw.
+    fn skip_batch(&mut self) {}
 }
 
 /// Construction parameters shared by every workload.

@@ -48,6 +48,17 @@ impl BabiTask {
         BabiTask { sentences, rng: Rng::seeded(seed) }
     }
 
+    /// The stream's RNG state, for checkpointing the pipeline cursor.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a stream captured with [`BabiTask::rng_state`];
+    /// subsequent batches continue exactly where the capture left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = Rng::from_state(state);
+    }
+
     /// Number of sentences per story.
     pub fn sentences(&self) -> usize {
         self.sentences

@@ -39,6 +39,17 @@ impl ImageCorpus {
         self.classes
     }
 
+    /// The stream's RNG state, for checkpointing the pipeline cursor.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a stream captured with [`ImageCorpus::rng_state`];
+    /// subsequent batches continue exactly where the capture left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = Rng::from_state(state);
+    }
+
     /// Renders one image of `class` into NHWC order (single item).
     ///
     /// # Panics

@@ -53,6 +53,17 @@ impl DigitCorpus {
         DigitCorpus { rng: Rng::seeded(seed) }
     }
 
+    /// The stream's RNG state, for checkpointing the pipeline cursor.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a stream captured with [`DigitCorpus::rng_state`];
+    /// subsequent batches continue exactly where the capture left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = Rng::from_state(state);
+    }
+
     /// Renders one image of the given class into a `[PIXELS]` buffer.
     ///
     /// # Panics

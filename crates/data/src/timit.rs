@@ -45,6 +45,17 @@ impl SpeechCorpus {
         SpeechCorpus { phonemes, features, profiles, rng: Rng::seeded(seed) }
     }
 
+    /// The stream's RNG state, for checkpointing the pipeline cursor.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a stream captured with [`SpeechCorpus::rng_state`];
+    /// subsequent batches continue exactly where the capture left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = Rng::from_state(state);
+    }
+
     /// Number of phoneme classes, including the blank at index 0.
     pub fn phonemes(&self) -> usize {
         self.phonemes

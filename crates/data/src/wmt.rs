@@ -58,6 +58,17 @@ impl TranslationCorpus {
         self.max_len
     }
 
+    /// The stream's RNG state, for checkpointing the pipeline cursor.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a stream captured with [`TranslationCorpus::rng_state`];
+    /// subsequent batches continue exactly where the capture left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = Rng::from_state(state);
+    }
+
     /// Draws a Zipf-ish content word: low ids are much more frequent.
     fn word(&mut self) -> usize {
         let content = self.vocab - FIRST_WORD;

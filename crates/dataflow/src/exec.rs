@@ -69,6 +69,9 @@ pub enum ExecError {
     NotAVariable(NodeId),
     /// A label tensor contained an invalid entry.
     BadLabels(String),
+    /// A numeric guardrail tripped after the step executed; the step was
+    /// rolled back (see [`Session::set_guardrail`]).
+    GuardTripped(String),
 }
 
 impl fmt::Display for ExecError {
@@ -79,11 +82,50 @@ impl fmt::Display for ExecError {
             ExecError::UnknownNode(n) => write!(f, "node {n} does not belong to this session's graph"),
             ExecError::NotAVariable(n) => write!(f, "node {n} is not a variable"),
             ExecError::BadLabels(msg) => write!(f, "invalid labels: {msg}"),
+            ExecError::GuardTripped(msg) => {
+                write!(f, "guardrail tripped ({msg}); the step was rolled back")
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// A numeric watchdog inspected after every [`Session::run`], before the
+/// step commits (see [`Session::set_guardrail`]).
+///
+/// Divergence in long training runs shows up as NaN/Inf losses or
+/// exploding gradients; by the time a human notices, hours of compute are
+/// gone. An armed guardrail turns that into a typed, recoverable error:
+/// the offending step is rolled back via the undo journal (variables,
+/// optimizer slots, RNG, and the run counter all rewind), so the caller
+/// can retry, skip the batch, or back off the learning rate.
+#[derive(Debug, Clone, Default)]
+pub struct Guardrail {
+    /// Per-node magnitude limits: trip when any element of the fetched
+    /// value for the node exceeds the bound in absolute value.
+    pub limits: Vec<(NodeId, f32)>,
+    /// Trip when any fetched value contains a non-finite element.
+    pub fetches_finite: bool,
+    /// Trip when any variable mutated this run ends up non-finite.
+    pub updates_finite: bool,
+}
+
+impl Guardrail {
+    /// A guardrail that demands finite fetches and finite variable
+    /// updates, with no magnitude limits.
+    pub fn finite() -> Self {
+        Guardrail { limits: Vec::new(), fetches_finite: true, updates_finite: true }
+    }
+
+    /// Adds a magnitude limit on a fetched node (e.g. the loss or a
+    /// gradient norm).
+    #[must_use]
+    pub fn with_limit(mut self, node: NodeId, limit: f32) -> Self {
+        self.limits.push((node, limit));
+        self
+    }
+}
 
 /// A cached execution plan: topological order, per-node liveness, and the
 /// dependency structure the parallel executor counts down at run time.
@@ -215,6 +257,13 @@ pub struct Session {
     tracing: bool,
     /// Armed fault schedule; probed once per executed op when present.
     fault: Option<Arc<FaultPlan>>,
+    /// Armed numeric watchdog; inspected after every run, pre-commit.
+    guardrail: Option<Guardrail>,
+    /// Runs aborted (and rolled back) by the guardrail.
+    guard_trips: u64,
+    /// One-shot NaN poison: the next run fetching this node has that
+    /// fetch overwritten with NaNs (chaos-soak divergence injection).
+    poison: Option<NodeId>,
     trace: RunTrace,
     plan_cache: HashMap<Vec<NodeId>, Arc<Plan>>,
     /// Per-node static cost estimates, filled lazily on first traced run
@@ -263,6 +312,9 @@ impl Session {
             step: 0,
             tracing: false,
             fault: None,
+            guardrail: None,
+            guard_trips: 0,
+            poison: None,
             trace: RunTrace::new(),
             plan_cache: HashMap::new(),
             cost_cache: Vec::new(),
@@ -299,6 +351,140 @@ impl Session {
     /// machinery real kernel failures do.
     pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
         self.fault = plan;
+    }
+
+    /// Arms (or clears) a numeric [`Guardrail`]. While armed, every
+    /// `run` is inspected after execution but *before* commit; a
+    /// violation rolls the whole step back (variables, optimizer slots,
+    /// RNG stream, and run counter) and returns
+    /// [`ExecError::GuardTripped`], so a diverged step never taints the
+    /// session.
+    pub fn set_guardrail(&mut self, guardrail: Option<Guardrail>) {
+        self.guardrail = guardrail;
+    }
+
+    /// The armed guardrail, if any.
+    pub fn guardrail(&self) -> Option<&Guardrail> {
+        self.guardrail.as_ref()
+    }
+
+    /// Number of runs aborted and rolled back by the guardrail.
+    pub fn guard_trips(&self) -> u64 {
+        self.guard_trips
+    }
+
+    /// Arms a one-shot divergence injection: the next `run` that fetches
+    /// `node` has that fetched value overwritten with NaNs (state the run
+    /// committed is untouched). The poison persists until a run actually
+    /// fetches the node, then clears. Used by the chaos soak to provoke
+    /// guardrail trips on demand.
+    pub fn poison_next_fetch(&mut self, node: NodeId) {
+        self.poison = Some(node);
+    }
+
+    /// First guardrail violation in this run's outputs, if any.
+    fn guard_violation(&self, fetches: &[NodeId], out: &[Tensor]) -> Option<String> {
+        let guard = self.guardrail.as_ref()?;
+        for (&id, value) in fetches.iter().zip(out) {
+            if guard.fetches_finite && value.data().iter().any(|v| !v.is_finite()) {
+                return Some(format!("fetch {id} is non-finite"));
+            }
+            for &(watched, limit) in &guard.limits {
+                if watched == id {
+                    if let Some(&v) = value.data().iter().find(|v| v.abs() > limit) {
+                        return Some(format!("fetch {id} value {v} exceeds limit {limit}"));
+                    }
+                }
+            }
+        }
+        if guard.updates_finite {
+            // The journal names exactly the variables this run mutated;
+            // their post-update values are still staged (pre-commit).
+            for id in self.state.journal_vars.keys() {
+                if let Some(var) = self.state.variables.get(id) {
+                    if var.data().iter().any(|v| !v.is_finite()) {
+                        return Some(format!("variable {id} went non-finite"));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The raw state of the session's random stream, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.state.rng.state()
+    }
+
+    /// Restores a random stream captured with [`Session::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.state.rng = Rng::from_state(state);
+    }
+
+    /// Overwrites the completed-`run` counter (checkpoint restore only —
+    /// traced events and RNG-free reruns key off this value).
+    pub fn set_run_counter(&mut self, step: u64) {
+        self.step = step;
+    }
+
+    /// Every optimizer slot as `(apply node, slot name, value)`, sorted
+    /// by `(node index, name)` so the iteration order — and therefore any
+    /// serialization of it — is deterministic.
+    pub fn optimizer_slots(&self) -> Vec<(NodeId, &'static str, &Tensor)> {
+        let mut slots: Vec<(NodeId, &'static str, &Tensor)> =
+            self.state.slots.iter().map(|(&(id, name), value)| (id, name, value)).collect();
+        slots.sort_by(|a, b| (a.0.index(), a.1).cmp(&(b.0.index(), b.1)));
+        slots
+    }
+
+    /// Drops every optimizer slot (checkpoint restore starts clean, then
+    /// replays the checkpoint's slots one by one).
+    pub fn clear_optimizer_slots(&mut self) {
+        self.state.slots.clear();
+    }
+
+    /// Restores one optimizer slot captured by
+    /// [`Session::optimizer_slots`]. The name must be one the executors
+    /// use (`"momentum"`, `"ms"`, `"mom"`, `"t"`, `"m"`, `"v"`); the keys
+    /// are interned so lookups during execution stay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the node is out of range
+    /// or the slot name is unknown.
+    pub fn restore_optimizer_slot(
+        &mut self,
+        id: NodeId,
+        name: &str,
+        value: Tensor,
+    ) -> Result<(), String> {
+        if id.index() >= self.graph.len() {
+            return Err(format!("slot node {id} does not belong to this graph"));
+        }
+        let interned: &'static str = match name {
+            "momentum" => "momentum",
+            "ms" => "ms",
+            "mom" => "mom",
+            "t" => "t",
+            "m" => "m",
+            "v" => "v",
+            other => return Err(format!("unknown optimizer slot name {other:?}")),
+        };
+        self.state.slots.insert((id, interned), value);
+        Ok(())
+    }
+
+    /// Scales the learning rate of every `Apply*` node by `factor` (the
+    /// guardrail's LR-backoff lever) and drops the cached plans, whose
+    /// fused programs may bake in optimizer hyperparameters. Returns the
+    /// number of nodes rescaled.
+    pub fn scale_learning_rates(&mut self, factor: f32) -> usize {
+        let scaled = self.graph.scale_apply_lrs(factor);
+        if scaled > 0 {
+            self.plan_cache.clear();
+            self.cost_cache.clear();
+        }
+        scaled
     }
 
     /// Stops recording and returns everything captured so far.
@@ -402,6 +588,7 @@ impl Session {
         // by `Apply*` ops lets a failed run (typed error *or* op panic)
         // be undone completely before it surfaces to the caller.
         let rng_snapshot = self.state.rng.clone();
+        let step_snapshot = self.step;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match self.sched.clone() {
                 Some(sched) if !self.device.is_modeled() => {
@@ -411,7 +598,33 @@ impl Session {
             }
         }));
         match outcome {
-            Ok(Ok(out)) => {
+            Ok(Ok(mut out)) => {
+                if let Some(node) = self.poison {
+                    if let Some(pos) = fetches.iter().position(|&f| f == node) {
+                        let shape = out[pos].shape().clone();
+                        out[pos] = Tensor::filled(shape, f32::NAN);
+                        self.poison = None;
+                    }
+                }
+                if let Some(reason) = self.guard_violation(fetches, &out) {
+                    // A tripped step must be a complete no-op, exactly
+                    // like a failed one: rewind state, RNG, and the run
+                    // counter, then surface a typed error.
+                    self.state.rollback(rng_snapshot);
+                    self.step = step_snapshot;
+                    self.guard_trips += 1;
+                    if self.tracing {
+                        self.trace.events.push(TraceEvent {
+                            node: fetches.first().copied().unwrap_or(NodeId(u32::MAX)),
+                            op: "GuardrailTrip",
+                            class: crate::op::OpClass::Optimization,
+                            step: step_snapshot,
+                            nanos: 0.0,
+                            cost: cost::OpCost { flops: 0.0, bytes: 0.0 },
+                        });
+                    }
+                    return Err(ExecError::GuardTripped(reason));
+                }
                 self.state.commit();
                 Ok(out)
             }
@@ -1948,5 +2161,124 @@ mod tests {
         let mut s = Session::new(g, Device::cpu(1));
         let out = s.run1(sh, &[(x, Tensor::zeros([2, 5, 3]))]).unwrap();
         assert_eq!(out.data(), &[2.0, 5.0, 3.0]);
+    }
+
+    /// A tiny SGD step graph: returns (session, loss-ish fetch, apply).
+    fn guarded_sgd() -> (Session, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![1.0, 1.0]));
+        let grad = g.placeholder("grad", Shape::vector(2));
+        let loss = g.sum_all(v);
+        let apply = g.add(OpKind::ApplyGradientDescent { lr: 0.1 }, &[v, grad]);
+        (Session::new(g, Device::cpu(1)), v, loss, apply)
+    }
+
+    #[test]
+    fn guardrail_rolls_back_nonfinite_fetch() {
+        let (mut s, v, loss, apply) = guarded_sgd();
+        let grad = s.graph().iter().find(|(_, n)| n.name.as_deref() == Some("grad")).unwrap().0;
+        s.set_guardrail(Some(Guardrail::finite()));
+        let before = s.variable_value(v).unwrap().clone();
+        let step_before = s.step();
+        let err = s
+            .run(&[loss, apply], &[(grad, Tensor::from(vec![f32::NAN, 0.0]))])
+            .unwrap_err();
+        assert!(matches!(err, ExecError::GuardTripped(_)), "got {err:?}");
+        assert_eq!(s.variable_value(v).unwrap(), &before, "trip must roll variables back");
+        assert_eq!(s.step(), step_before, "trip must rewind the run counter");
+        assert_eq!(s.guard_trips(), 1);
+        // Clean retry succeeds and commits.
+        s.run(&[loss, apply], &[(grad, Tensor::from(vec![0.5, 0.5]))]).unwrap();
+        assert_eq!(s.step(), step_before + 1);
+        assert!((s.variable_value(v).unwrap().data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn guardrail_limit_trips_on_magnitude() {
+        let (mut s, _v, loss, apply) = guarded_sgd();
+        let grad = s.graph().iter().find(|(_, n)| n.name.as_deref() == Some("grad")).unwrap().0;
+        s.set_guardrail(Some(Guardrail::finite().with_limit(loss, 1.0)));
+        // Loss (sum of v) is 2.0 > 1.0: tripped even though everything is
+        // finite.
+        let err = s.run(&[loss, apply], &[(grad, Tensor::from(vec![0.0, 0.0]))]).unwrap_err();
+        assert!(matches!(err, ExecError::GuardTripped(_)));
+        // Raise the limit: passes.
+        s.set_guardrail(Some(Guardrail::finite().with_limit(loss, 10.0)));
+        s.run(&[loss, apply], &[(grad, Tensor::from(vec![0.0, 0.0]))]).unwrap();
+    }
+
+    #[test]
+    fn guardrail_rng_rewinds_on_trip() {
+        let mut g = Graph::new();
+        let sample = g.random_normal(Shape::vector(4));
+        let v = g.variable("v", Tensor::from(vec![1.0]));
+        let grad = g.placeholder("grad", Shape::vector(1));
+        let apply = g.add(OpKind::ApplyGradientDescent { lr: 0.1 }, &[v, grad]);
+        let mut s = Session::new(g, Device::cpu(1));
+        s.set_guardrail(Some(Guardrail::finite()));
+        let rng_before = s.rng_state();
+        let err = s.run(&[sample, apply], &[(grad, Tensor::from(vec![f32::NAN]))]).unwrap_err();
+        assert!(matches!(err, ExecError::GuardTripped(_)));
+        assert_eq!(s.rng_state(), rng_before, "trip must rewind the RNG stream");
+        // Replaying with a clean gradient draws the same sample bits.
+        let out = s.run(&[sample, apply], &[(grad, Tensor::from(vec![0.0]))]).unwrap();
+        s.set_rng_state(rng_before);
+        let replay = s.run(&[sample], &[]).unwrap();
+        assert_eq!(out[0], replay[0]);
+    }
+
+    #[test]
+    fn poison_waits_for_the_poisoned_fetch() {
+        let (mut s, v, loss, apply) = guarded_sgd();
+        let grad = s.graph().iter().find(|(_, n)| n.name.as_deref() == Some("grad")).unwrap().0;
+        s.poison_next_fetch(loss);
+        // A run that does not fetch the poisoned node is unaffected.
+        s.run(&[apply], &[(grad, Tensor::from(vec![0.0, 0.0]))]).unwrap();
+        // The next run fetching it sees NaN; committed state is untouched.
+        let out = s.run(&[loss], &[]).unwrap();
+        assert!(out[0].data().iter().all(|x| x.is_nan()));
+        assert!(s.variable_value(v).unwrap().data().iter().all(|x| x.is_finite()));
+        // One-shot: the poison cleared.
+        let clean = s.run(&[loss], &[]).unwrap();
+        assert!(clean[0].data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn optimizer_slots_round_trip() {
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from(vec![0.0]));
+        let grad = g.constant(Tensor::from(vec![1.0]));
+        let apply = g.add(OpKind::ApplyAdam { lr: 0.1, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }, &[v, grad]);
+        let mut s = Session::new(g, Device::cpu(1));
+        s.run(&[apply], &[]).unwrap();
+        s.run(&[apply], &[]).unwrap();
+        let snapshot: Vec<(NodeId, &'static str, Tensor)> =
+            s.optimizer_slots().into_iter().map(|(id, n, t)| (id, n, t.clone())).collect();
+        assert_eq!(snapshot.len(), 3, "Adam keeps t/m/v slots");
+        let var_snapshot = s.variable_value(v).unwrap().clone();
+        let mut fresh = Session::new(s.graph().clone(), Device::cpu(1));
+        fresh.assign(v, var_snapshot).unwrap();
+        fresh.clear_optimizer_slots();
+        for (id, name, value) in snapshot {
+            fresh.restore_optimizer_slot(id, name, value).unwrap();
+        }
+        s.run(&[apply], &[]).unwrap();
+        fresh.run(&[apply], &[]).unwrap();
+        assert_eq!(
+            s.variable_value(v).unwrap().data(),
+            fresh.variable_value(v).unwrap().data(),
+            "restored slots must continue the trajectory bitwise"
+        );
+        assert!(fresh.restore_optimizer_slot(v, "bogus", Tensor::scalar(0.0)).is_err());
+    }
+
+    #[test]
+    fn scale_learning_rates_shrinks_the_step() {
+        let (mut s, v, _loss, apply) = guarded_sgd();
+        let grad = s.graph().iter().find(|(_, n)| n.name.as_deref() == Some("grad")).unwrap().0;
+        assert_eq!(s.scale_learning_rates(0.5), 1);
+        s.run(&[apply], &[(grad, Tensor::from(vec![1.0, 1.0]))]).unwrap();
+        // lr was 0.1, now 0.05: v goes 1.0 -> 0.95.
+        assert!((s.variable_value(v).unwrap().data()[0] - 0.95).abs() < 1e-6);
     }
 }

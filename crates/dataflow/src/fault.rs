@@ -30,6 +30,10 @@ use fathom_tensor::Rng;
 pub enum FaultSite {
     /// One op execution inside `Session::run` (serial or parallel).
     ExecOp,
+    /// One optimizer step of a training loop (`Trainer` in fathom-core):
+    /// `Crash` simulates the process dying between steps, `PoisonNan`
+    /// injects a non-finite loss to provoke the divergence guardrail.
+    TrainStep,
     /// Checkpoint bytes on their way to storage.
     CheckpointWrite,
     /// Checkpoint bytes on their way back from storage.
@@ -45,6 +49,7 @@ impl fmt::Display for FaultSite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultSite::ExecOp => write!(f, "op"),
+            FaultSite::TrainStep => write!(f, "train"),
             FaultSite::CheckpointWrite => write!(f, "ckpt-write"),
             FaultSite::CheckpointRead => write!(f, "ckpt-read"),
             FaultSite::ServeBatch { replica } => write!(f, "replica{replica}"),
@@ -209,60 +214,96 @@ impl FaultPlan {
     /// [seed=N;]site@hit=action[;site@hit=action...]
     /// ```
     ///
-    /// Sites: `op`, `ckpt-write`, `ckpt-read`, `replica<R>`. Actions:
-    /// `panic`, `nan`, `crash`, `stall:<nanos>`, `truncate:<keep>`,
-    /// `bitflip:<n>`. Example: `seed=7;replica0@2=crash;op@40=nan`.
+    /// Sites: `op`, `train`, `ckpt-write`, `ckpt-read`, `replica<R>`.
+    /// Actions: `panic`, `nan`, `crash`, `stall:<nanos>`,
+    /// `truncate:<keep>`, `bitflip:<n>`. Example:
+    /// `seed=7;replica0@2=crash;op@40=nan`.
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first malformed entry.
+    /// Returns a message describing the first malformed entry: which
+    /// semicolon-separated entry it is, the offending token, and the
+    /// valid alternatives for that position.
     pub fn parse(spec: &str, default_seed: u64) -> Result<FaultPlan, String> {
+        const SITES: &str = "op, train, ckpt-write, ckpt-read, replica<R>";
+        const ACTIONS: &str =
+            "panic, nan, crash, stall:<nanos>, truncate:<keep>, bitflip:<n>";
         let mut seed = default_seed;
         let mut faults = Vec::new();
-        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+        let entries = spec.split(';').map(str::trim).filter(|p| !p.is_empty());
+        for (pos, part) in entries.enumerate() {
+            let nth = pos + 1;
+            let at = |msg: String| format!("fault entry {nth} ('{part}'): {msg}");
             if let Some(s) = part.strip_prefix("seed=") {
-                seed = s.parse().map_err(|_| format!("bad seed '{s}'"))?;
+                seed = s
+                    .parse()
+                    .map_err(|_| at(format!("seed '{s}' is not an unsigned integer")))?;
                 continue;
             }
-            let (site_hit, action) = part
-                .split_once('=')
-                .ok_or_else(|| format!("fault '{part}' is not site@hit=action"))?;
-            let (site_str, hit_str) = site_hit
-                .split_once('@')
-                .ok_or_else(|| format!("fault '{part}' is missing '@hit'"))?;
+            let (site_hit, action) = part.split_once('=').ok_or_else(|| {
+                at(format!("expected site@hit=action (actions: {ACTIONS})"))
+            })?;
+            let (site_str, hit_str) = site_hit.split_once('@').ok_or_else(|| {
+                at(format!("site '{site_hit}' is missing '@<hit>' (sites: {SITES})"))
+            })?;
             let site = match site_str {
                 "op" => FaultSite::ExecOp,
+                "train" => FaultSite::TrainStep,
                 "ckpt-write" => FaultSite::CheckpointWrite,
                 "ckpt-read" => FaultSite::CheckpointRead,
                 other => match other.strip_prefix("replica") {
                     Some(idx) => FaultSite::ServeBatch {
-                        replica: idx.parse().map_err(|_| format!("bad replica index '{idx}'"))?,
+                        replica: idx.parse().map_err(|_| {
+                            at(format!(
+                                "replica index '{idx}' is not an unsigned integer"
+                            ))
+                        })?,
                     },
-                    None => return Err(format!("unknown fault site '{other}'")),
+                    None => {
+                        return Err(at(format!(
+                            "unknown fault site '{other}' (sites: {SITES})"
+                        )));
+                    }
                 },
             };
-            let at_hit: u64 = hit_str.parse().map_err(|_| format!("bad hit index '{hit_str}'"))?;
+            let at_hit: u64 = hit_str.parse().map_err(|_| {
+                at(format!("hit index '{hit_str}' is not an unsigned integer"))
+            })?;
             let action = match action.split_once(':') {
                 None => match action {
                     "panic" => FaultAction::Panic,
                     "nan" => FaultAction::PoisonNan,
                     "crash" => FaultAction::Crash,
-                    other => return Err(format!("unknown fault action '{other}'")),
+                    other => {
+                        return Err(at(format!(
+                            "unknown fault action '{other}' (actions: {ACTIONS})"
+                        )));
+                    }
                 },
                 Some((name, arg)) => {
-                    let n: u64 = arg.parse().map_err(|_| format!("bad argument '{arg}' for '{name}'"))?;
+                    let n: u64 = arg.parse().map_err(|_| {
+                        at(format!(
+                            "argument '{arg}' for '{name}' is not an unsigned integer"
+                        ))
+                    })?;
                     match name {
                         "stall" => FaultAction::Stall { nanos: n },
                         "truncate" => FaultAction::Truncate { keep: n as usize },
                         "bitflip" => FaultAction::BitFlips { flips: n as usize },
-                        other => return Err(format!("unknown fault action '{other}'")),
+                        other => {
+                            return Err(at(format!(
+                                "unknown fault action '{other}:' (actions: {ACTIONS})"
+                            )));
+                        }
                     }
                 }
             };
             faults.push((FaultSpec { site, at_hit, action }, false));
         }
         if faults.is_empty() {
-            return Err("fault plan arms no faults".into());
+            return Err(format!(
+                "fault plan '{spec}' arms no faults (format: [seed=N;]site@hit=action; sites: {SITES}; actions: {ACTIONS})"
+            ));
         }
         Ok(FaultPlan {
             seed,
@@ -339,6 +380,54 @@ mod tests {
         assert!(FaultPlan::parse("op@1=explode", 0).is_err());
         assert!(FaultPlan::parse("replicaX@1=crash", 0).is_err());
         assert!(FaultPlan::parse("op@1=stall:xyz", 0).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_bad_token_and_alternatives() {
+        // Unknown site: the message carries the token, the entry
+        // position, and the full list of valid sites.
+        let err = FaultPlan::parse("op@0=nan; gpu@1=panic", 0).unwrap_err();
+        assert!(err.contains("entry 2"), "got: {err}");
+        assert!(err.contains("'gpu@1=panic'"), "got: {err}");
+        assert!(err.contains("unknown fault site 'gpu'"), "got: {err}");
+        assert!(err.contains("op, train, ckpt-write, ckpt-read, replica<R>"), "got: {err}");
+
+        // Unknown action: ditto, with the action list.
+        let err = FaultPlan::parse("op@1=explode", 0).unwrap_err();
+        assert!(err.contains("entry 1"), "got: {err}");
+        assert!(err.contains("unknown fault action 'explode'"), "got: {err}");
+        assert!(err.contains("stall:<nanos>"), "got: {err}");
+
+        // Structural problems name what is missing.
+        let err = FaultPlan::parse("op@1", 0).unwrap_err();
+        assert!(err.contains("expected site@hit=action"), "got: {err}");
+        let err = FaultPlan::parse("op=panic", 0).unwrap_err();
+        assert!(err.contains("missing '@<hit>'"), "got: {err}");
+
+        // Numeric fields say which token failed to parse.
+        let err = FaultPlan::parse("op@x=panic", 0).unwrap_err();
+        assert!(err.contains("hit index 'x'"), "got: {err}");
+        let err = FaultPlan::parse("seed=abc;op@0=nan", 0).unwrap_err();
+        assert!(err.contains("seed 'abc'"), "got: {err}");
+        let err = FaultPlan::parse("replicaX@1=crash", 0).unwrap_err();
+        assert!(err.contains("replica index 'X'"), "got: {err}");
+        let err = FaultPlan::parse("op@1=stall:xyz", 0).unwrap_err();
+        assert!(err.contains("argument 'xyz' for 'stall'"), "got: {err}");
+
+        // An empty plan explains the expected format.
+        let err = FaultPlan::parse("  ", 0).unwrap_err();
+        assert!(err.contains("arms no faults"), "got: {err}");
+        assert!(err.contains("site@hit=action"), "got: {err}");
+    }
+
+    #[test]
+    fn train_site_parses_and_fires() {
+        let plan = FaultPlan::parse("train@3=crash;train@1=nan", 5).expect("parses");
+        assert_eq!(plan.check(FaultSite::TrainStep), None);
+        assert_eq!(plan.check(FaultSite::TrainStep), Some(FaultAction::PoisonNan));
+        assert_eq!(plan.check(FaultSite::TrainStep), None);
+        assert_eq!(plan.check(FaultSite::TrainStep), Some(FaultAction::Crash));
+        assert_eq!(plan.fired(), vec!["train@1=nan".to_string(), "train@3=crash".to_string()]);
     }
 
     #[test]

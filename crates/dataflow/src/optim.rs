@@ -10,6 +10,18 @@ use crate::grad::gradients;
 use crate::graph::{Graph, NodeId};
 use crate::op::OpKind;
 
+/// Handles returned by [`Optimizer::minimize_tracked`]: the train-step
+/// group plus a scalar node carrying the global gradient L2 norm, so
+/// guardrails, profilers, and benches can fetch one shared numeric-health
+/// signal instead of recomputing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainHandles {
+    /// The `Group` node to fetch as the train step.
+    pub step: NodeId,
+    /// Scalar `sqrt(sum_i ||g_i||^2)` over all variable gradients.
+    pub grad_norm: NodeId,
+}
+
 /// A gradient-descent-family optimizer configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Optimizer {
@@ -110,6 +122,39 @@ impl Optimizer {
     pub fn minimize_all(&self, g: &mut Graph, loss: NodeId) -> NodeId {
         let vars = g.variables();
         self.minimize(g, loss, &vars)
+    }
+
+    /// Like [`Optimizer::minimize`], additionally emitting a scalar node
+    /// with the global gradient L2 norm (built from ordinary graph ops,
+    /// so it shows up in profiles). The norm nodes are pure readers of
+    /// the gradients and never feed the `Apply*` updates, so the training
+    /// trajectory is bitwise-identical to [`Optimizer::minimize`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Optimizer::minimize`].
+    pub fn minimize_tracked(
+        &self,
+        g: &mut Graph,
+        loss: NodeId,
+        variables: &[NodeId],
+    ) -> TrainHandles {
+        let grads = gradients(g, loss, variables);
+        let sq_sums: Vec<NodeId> = grads
+            .iter()
+            .map(|&d| {
+                let sq = g.square(d);
+                g.sum_all(sq)
+            })
+            .collect();
+        let total = if sq_sums.len() == 1 { sq_sums[0] } else { g.add_n(&sq_sums) };
+        let grad_norm = g.sqrt(total);
+        let applies: Vec<NodeId> = variables
+            .iter()
+            .zip(&grads)
+            .map(|(&var, &grad)| g.add(self.apply_kind(), &[var, grad]))
+            .collect();
+        TrainHandles { step: g.add(OpKind::Group, &applies), grad_norm }
     }
 
     /// Like [`Optimizer::minimize`], but rescales all gradients so their
@@ -288,6 +333,51 @@ mod tests {
         let v = g.variable("v", fathom_tensor::Tensor::scalar(0.0));
         let loss = g.mean_all(v);
         Optimizer::sgd(0.1).minimize_clipped(&mut g, loss, &[v], 0.0);
+    }
+
+    #[test]
+    fn tracked_norm_matches_hand_computed_gradient() {
+        use fathom_tensor::Tensor;
+        // loss = mean((v - 1)^2) at v = [3, 1]: grad = [2, 0]/1... per-
+        // element mean gradient is 2(v-1)/n = [2, 0], norm = 2.
+        let mut g = Graph::new();
+        let v = g.variable("v", Tensor::from_vec(vec![3.0, 1.0], [2]));
+        let t = g.constant(Tensor::from_vec(vec![1.0, 1.0], [2]));
+        let d = g.sub(v, t);
+        let sq = g.square(d);
+        let loss = g.mean_all(sq);
+        let h = Optimizer::sgd(0.1).minimize_tracked(&mut g, loss, &[v]);
+        let mut sess = Session::new(g, Device::cpu(1));
+        let out = sess.run(&[h.grad_norm, h.step], &[]).unwrap();
+        assert!((out[0].scalar_value() - 2.0).abs() < 1e-6, "norm {}", out[0].scalar_value());
+    }
+
+    #[test]
+    fn tracked_trajectory_matches_untracked_bitwise() {
+        // The norm chain must be a pure reader: variables after N tracked
+        // steps are bitwise-equal to N plain-minimize steps.
+        let run = |tracked: bool| -> Vec<f32> {
+            let mut rng = Rng::seeded(31);
+            let mut g = Graph::new();
+            let x = g.placeholder("x", Shape::matrix(8, 3));
+            let w = g.variable("w", Tensor::randn([3, 1], 0.0, 1.0, &mut rng));
+            let y = g.matmul(x, w);
+            let loss = g.mean_all(y);
+            let fetches = if tracked {
+                let h = Optimizer::adam(0.01).minimize_tracked(&mut g, loss, &[w]);
+                vec![loss, h.grad_norm, h.step]
+            } else {
+                let t = Optimizer::adam(0.01).minimize(&mut g, loss, &[w]);
+                vec![loss, t]
+            };
+            let mut sess = Session::new(g, Device::cpu(1));
+            for i in 0..5 {
+                let xs = Tensor::randn([8, 3], i as f32, 1.0, &mut Rng::seeded(100 + i as u64));
+                sess.run(&fetches, &[(x, xs)]).unwrap();
+            }
+            sess.variable_value(w).unwrap().data().to_vec()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

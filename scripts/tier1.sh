@@ -32,3 +32,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # off vs full (elementwise groups AND GEMM-epilogue groups), serial and
 # parallel; fails if either pass finds nothing to fuse suite-wide.
 ./target/release/fathom fuse-check --steps 2 --threads 2 --inter-ops 2
+
+# Crash-soak smoke: kill a training run mid-flight, corrupt a snapshot,
+# inject a NaN loss — the guardrail must trip and recover, and resumed
+# training must be bitwise identical to a clean run (nonzero exit
+# otherwise). --quick soaks autoenc; the full suite runs via
+# `fathom train-soak`.
+./target/release/fathom train-soak --quick --seed 7

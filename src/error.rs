@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use fathom::TrainError;
 use fathom_data::idx::IdxError;
 use fathom_dataflow::checkpoint::CheckpointError;
 use fathom_dataflow::{ExecError, GraphError};
@@ -23,6 +24,15 @@ pub enum FathomError {
     /// A checkpoint could not be written, read, or verified
     /// (`fathom-dataflow`).
     Checkpoint(CheckpointError),
+    /// Training diverged past its guardrail retry budget (`fathom`).
+    Diverged {
+        /// Global step that could not complete.
+        step: u64,
+        /// Retries spent before giving up.
+        retries: u32,
+        /// The last guardrail trip's reason.
+        reason: String,
+    },
     /// An IDX dataset file was malformed (`fathom-data`).
     Idx(IdxError),
     /// The serving layer failed (`fathom-serve`).
@@ -39,6 +49,10 @@ impl fmt::Display for FathomError {
             FathomError::Graph(e) => write!(f, "{e}"),
             FathomError::Exec(e) => write!(f, "{e}"),
             FathomError::Checkpoint(e) => write!(f, "{e}"),
+            FathomError::Diverged { step, retries, reason } => write!(
+                f,
+                "training diverged at step {step} after {retries} retries: {reason}"
+            ),
             FathomError::Idx(e) => write!(f, "{e}"),
             FathomError::Serve(e) => write!(f, "{e}"),
             FathomError::Io(e) => write!(f, "{e}"),
@@ -53,6 +67,7 @@ impl std::error::Error for FathomError {
             FathomError::Graph(e) => Some(e),
             FathomError::Exec(e) => Some(e),
             FathomError::Checkpoint(e) => Some(e),
+            FathomError::Diverged { .. } => None,
             FathomError::Idx(e) => Some(e),
             FathomError::Serve(e) => Some(e),
             FathomError::Io(e) => Some(e),
@@ -76,6 +91,20 @@ impl From<ExecError> for FathomError {
 impl From<CheckpointError> for FathomError {
     fn from(e: CheckpointError) -> Self {
         FathomError::Checkpoint(e)
+    }
+}
+
+impl From<TrainError> for FathomError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Diverged { step, retries, reason } => {
+                FathomError::Diverged { step, retries, reason }
+            }
+            TrainError::Exec(e) => FathomError::Exec(e),
+            TrainError::Checkpoint(e) => FathomError::Checkpoint(e),
+            TrainError::Pipeline(msg) => FathomError::Message(msg),
+            TrainError::NotTrainable(msg) => FathomError::Message(msg),
+        }
     }
 }
 
@@ -124,7 +153,11 @@ mod tests {
         fn serve() -> Result<(), FathomError> {
             Err(ServeError::Unservable("x".into()))?
         }
+        fn train() -> Result<(), FathomError> {
+            Err(TrainError::Diverged { step: 3, retries: 2, reason: "loss is NaN".into() })?
+        }
         assert!(matches!(graph().unwrap_err(), FathomError::Graph(_)));
+        assert!(matches!(train().unwrap_err(), FathomError::Diverged { step: 3, .. }));
         assert!(matches!(ckpt().unwrap_err(), FathomError::Checkpoint(_)));
         assert!(matches!(serve().unwrap_err(), FathomError::Serve(_)));
     }

@@ -2,7 +2,7 @@
 //! across real workloads.
 
 use fathom_suite::fathom::{BuildConfig, ModelKind, ModelScale};
-use fathom_suite::fathom_dataflow::checkpoint::CheckpointError;
+use fathom_suite::fathom_dataflow::checkpoint::{CheckpointError, TrainCursor};
 use fathom_suite::fathom_dataflow::{checkpoint, export};
 
 #[test]
@@ -126,6 +126,104 @@ fn fuzzed_corruption_always_yields_a_typed_error_and_never_panics() {
     // The victim took no damage from any of the failed loads.
     checkpoint::load(victim.session_mut(), buf.as_slice())
         .expect("the pristine checkpoint still loads after 48 failed attempts");
+}
+
+#[test]
+fn resume_checkpoints_round_trip_byte_identically() {
+    // The full-fidelity property behind deterministic resume: for a
+    // spread of workloads and seeds, save -> load -> save must emit the
+    // exact same bytes. Any drift (a lossy pipeline codec, an unordered
+    // optimizer-slot walk, an RNG word dropped) shows up here as a
+    // byte-level diff before it ever becomes a subtle training fork.
+    for (kind, seed) in
+        [(ModelKind::Autoenc, 3u64), (ModelKind::Memnet, 9), (ModelKind::Deepq, 21)]
+    {
+        let cfg = BuildConfig::training().with_seed(seed);
+        let mut model = kind.build(&cfg);
+        for _ in 0..3 {
+            model.step();
+        }
+        let cursor = TrainCursor { global_step: 3, epoch: 0, position: 3 };
+        let mut first = Vec::new();
+        checkpoint::save_resume(model.session(), cursor, &model.export_pipeline(), &mut first)
+            .expect("saves");
+
+        let mut restored = kind.build(&cfg);
+        let header =
+            checkpoint::load_resume(restored.session_mut(), first.as_slice()).expect("loads");
+        assert_eq!(header.cursor, cursor, "{}", kind.name());
+        restored.import_pipeline(&header.pipeline).expect("pipeline imports");
+
+        let mut second = Vec::new();
+        checkpoint::save_resume(
+            restored.session(),
+            header.cursor,
+            &restored.export_pipeline(),
+            &mut second,
+        )
+        .expect("saves again");
+        assert_eq!(
+            first,
+            second,
+            "{}: resume save->load->save must be byte-identical",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn resume_truncation_at_every_boundary_is_typed_never_a_panic() {
+    let cfg = BuildConfig::training().with_seed(5);
+    let mut model = ModelKind::Memnet.build(&cfg);
+    model.step();
+    let cursor = TrainCursor { global_step: 1, epoch: 0, position: 1 };
+    let mut buf = Vec::new();
+    checkpoint::save_resume(model.session(), cursor, &model.export_pipeline(), &mut buf)
+        .expect("saves");
+
+    // Every length boundary in the structured head and tail (headers,
+    // flags, digest, the resume section) plus a stride through the bulk
+    // tensor bytes in between: each cut must yield a typed error, never
+    // a panic. The victim session is reused across every failed load to
+    // prove failed loads are side-effect free.
+    let mut victim = ModelKind::Memnet.build(&cfg);
+    let len = buf.len();
+    let mut boundaries: Vec<usize> = (0..len.min(512)).collect();
+    boundaries.extend((len.saturating_sub(512)..len).filter(|&k| k >= 512));
+    boundaries.extend((512..len.saturating_sub(512)).step_by(97));
+    for keep in boundaries {
+        let cut = &buf[..keep];
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            checkpoint::load_resume(victim.session_mut(), cut)
+        }));
+        let result = outcome
+            .unwrap_or_else(|_| panic!("load_resume panicked at boundary {keep}/{len}"));
+        let err = result.expect_err("a truncated resume checkpoint must not load");
+        assert!(
+            matches!(err, CheckpointError::BadHeader(_) | CheckpointError::Corrupt(_)),
+            "boundary {keep}/{len} gave unexpected error {err:?}"
+        );
+    }
+
+    // Sampled bitflips across the resume format get the same guarantee.
+    use fathom_suite::fathom_dataflow::{FaultAction, FaultPlan};
+    for round in 0..24u64 {
+        let mut mangled = buf.clone();
+        FaultPlan::new(0x2E50E + round)
+            .corrupt(&mut mangled, &FaultAction::BitFlips { flips: 1 + (round as usize % 5) });
+        if mangled == buf {
+            continue;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            checkpoint::load_resume(victim.session_mut(), mangled.as_slice())
+        }));
+        let result =
+            outcome.unwrap_or_else(|_| panic!("load_resume panicked on bitflips (round {round})"));
+        assert!(result.is_err(), "round {round}: corrupted resume bytes must not load");
+    }
+
+    checkpoint::load_resume(victim.session_mut(), buf.as_slice())
+        .expect("the pristine resume checkpoint still loads after every failed attempt");
 }
 
 #[test]
