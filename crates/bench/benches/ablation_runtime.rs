@@ -1,0 +1,4 @@
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::runtime::run(&effort));
+}

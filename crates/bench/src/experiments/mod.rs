@@ -14,6 +14,7 @@ pub mod memory;
 pub mod overhead;
 pub mod profiles;
 pub mod recovery;
+pub mod runtime;
 pub mod scheduler;
 pub mod serve;
 pub mod table1;

@@ -75,6 +75,19 @@ pub enum Command {
         /// Seed shared by every compared build.
         seed: u64,
     },
+    /// `fathom runtime-check [--model NAME --steps N --seed N]` —
+    /// unified-runtime agreement check: serial plan walk vs the
+    /// work-stealing executor at worker counts {1, 2, 8} must be
+    /// bitwise-identical, and steady-state steps must allocate nothing
+    /// for planned tensors.
+    RuntimeCheck {
+        /// One workload to check, or every workload when absent.
+        model: Option<ModelKind>,
+        /// Training steps compared per workload.
+        steps: usize,
+        /// Seed shared by every compared build.
+        seed: u64,
+    },
     /// `fathom help` or `-h`/`--help`.
     Help,
 }
@@ -296,6 +309,7 @@ USAGE:
     fathom cluster-check   [--seed N]
     fathom gemm-check      [--m N] [--k N] [--n N] [--threads N]
     fathom fuse-check      [--steps N] [--threads N] [--inter-ops N] [--seed N]
+    fathom runtime-check   [--model NAME] [--steps N] [--seed N]
 
 MODELS:
     seq2seq memnet speech autoenc residual vgg alexnet deepq
@@ -504,6 +518,43 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 ));
             }
             Ok(Command::FuseCheck { steps, threads, inter_ops, seed })
+        }
+        "runtime-check" => {
+            let (mut model, mut steps, mut seed) = (None, 2usize, 0xFA7408u64);
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut raw = |name: &str| -> Result<&String, ParseError> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--model" => {
+                        model = Some(
+                            raw("--model")?
+                                .parse::<ModelKind>()
+                                .map_err(|e: fathom::ParseModelError| ParseError(e.to_string()))?,
+                        )
+                    }
+                    "--steps" => {
+                        steps = raw("--steps")?
+                            .parse()
+                            .map_err(|_| ParseError("--steps needs an integer".into()))?
+                    }
+                    "--seed" => {
+                        seed = raw("--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            if steps == 0 {
+                return Err(ParseError("runtime-check --steps must be positive".into()));
+            }
+            Ok(Command::RuntimeCheck { model, steps, seed })
         }
         "run" | "profile" | "trace" | "dot" => {
             let model_str = it

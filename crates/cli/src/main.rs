@@ -82,6 +82,114 @@ fn dispatch(command: Command) -> Result<(), FathomError> {
         Command::FuseCheck { steps, threads, inter_ops, seed } => {
             cmd_fuse_check(steps, threads, inter_ops, seed)
         }
+        Command::RuntimeCheck { model, steps, seed } => cmd_runtime_check(model, steps, seed),
+    }
+}
+
+/// Gates the unified work-stealing runtime: every checked workload must
+/// train bitwise-identically on the serial plan walk and the parallel
+/// executor at worker counts {1, 2, 8}, and once the static arena plan
+/// has warmed up, steps must serve every planned tensor from the arena
+/// — zero heap allocations in steady state. Exits nonzero on any
+/// violation, so scripts/tier1.sh can use it as a smoke gate.
+fn cmd_runtime_check(
+    model: Option<ModelKind>,
+    steps: usize,
+    seed: u64,
+) -> Result<(), FathomError> {
+    const WORKERS: [usize; 3] = [1, 2, 8];
+    // Kernel temporaries and unlucky interleavings can push a bucket
+    // past its provisioned count a few times before the arena's
+    // miss-driven growth absorbs the parallel high-water mark, so the
+    // warm-up length is not fixed. The gate asserts the steady state
+    // *exists*: within the step budget, the run must reach
+    // `QUIET_STEPS` consecutive steps that allocate nothing.
+    const MAX_PROBE_STEPS: usize = 40;
+    const QUIET_STEPS: u32 = 4;
+
+    println!("runtime-check | {steps} step(s) | worker counts {WORKERS:?} | seed {seed:#x}");
+    let kinds: Vec<ModelKind> = match model {
+        Some(k) => vec![k],
+        None => ModelKind::ALL.to_vec(),
+    };
+    let mut failures = 0u32;
+    for kind in kinds {
+        let make = |device: Device| {
+            kind.build(&BuildConfig {
+                mode: Mode::Training,
+                scale: ModelScale::Reference,
+                device,
+                seed,
+                batch: None,
+                fusion: FusionLevel::Off,
+            })
+        };
+        // Serial reference: the plan-order walk on one thread.
+        let mut base = make(Device::cpu(1));
+        let mut base_losses = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            base_losses.push(base.step().loss.expect("training emits a loss").to_bits());
+        }
+        let mut base_vars = Vec::new();
+        checkpoint::save(base.session(), &mut base_vars)?;
+
+        let mut bits_ok = true;
+        for w in WORKERS {
+            let mut par = make(Device::cpu_inter_op(w, w));
+            for (i, &want) in base_losses.iter().enumerate() {
+                let got = par.step().loss.expect("training emits a loss").to_bits();
+                if got != want {
+                    println!("      {} @ {w} worker(s): loss bits diverge at step {i}", kind.name());
+                    bits_ok = false;
+                }
+            }
+            let mut par_vars = Vec::new();
+            checkpoint::save(par.session(), &mut par_vars)?;
+            if par_vars != base_vars {
+                println!("      {} @ {w} worker(s): trained variables diverge", kind.name());
+                bits_ok = false;
+            }
+        }
+
+        // Steady-state allocation gate on the parallel executor.
+        let mut probe = make(Device::cpu_inter_op(2, 2));
+        let mut quiet = 0u32;
+        let mut last_allocs = 0u64;
+        let mut spent = 0usize;
+        while spent < MAX_PROBE_STEPS && quiet < QUIET_STEPS {
+            probe.step();
+            spent += 1;
+            let now = probe.session().runtime_counters().allocations;
+            quiet = if now == last_allocs { quiet + 1 } else { 0 };
+            last_allocs = now;
+        }
+        let counters = probe.session().runtime_counters();
+        let alloc_ok = quiet >= QUIET_STEPS && counters.arena_bytes > 0;
+        if !alloc_ok {
+            println!(
+                "      {}: no run of {QUIET_STEPS} allocation-free steps within {spent} \
+                 step(s) ({} total allocation(s), arena {} B)",
+                kind.name(),
+                counters.allocations,
+                counters.arena_bytes
+            );
+        }
+
+        let ok = bits_ok && alloc_ok;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{}  {:<8} bitwise vs serial: {bits_ok}  zero steady-state allocs: {alloc_ok}",
+            if ok { "PASS" } else { "FAIL" },
+            kind.name(),
+        );
+    }
+    if failures == 0 {
+        println!("runtime-check: unified runtime matches the serial walk bit for bit");
+        Ok(())
+    } else {
+        Err(FathomError::Message(format!("runtime-check: {failures} workload(s) failed")))
     }
 }
 
@@ -476,6 +584,7 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), FathomError> {
         report.max_queue_depth()
     );
     print_recovery(&report);
+    print_runtime(&report.runtime);
     if let Some(path) = &a.out {
         std::fs::write(path, report.to_json())?;
         println!("wrote report to {path}");
@@ -533,6 +642,13 @@ fn cmd_serve_cluster(a: ServeArgs) -> Result<(), FathomError> {
                 ClusterRep::Faulty(w) => w.recover(),
             }
         }
+
+        fn runtime_counters(&self) -> fathom_dataflow::RuntimeCounters {
+            match self {
+                ClusterRep::Plain(w) => w.runtime_counters(),
+                ClusterRep::Faulty(w) => w.runtime_counters(),
+            }
+        }
     }
 
     impl ClusterRunner for ClusterRep {
@@ -544,6 +660,11 @@ fn cmd_serve_cluster(a: ServeArgs) -> Result<(), FathomError> {
         }
     }
 
+    // One work-stealing runtime for the whole fleet: every model's
+    // replicas share the same worker set, so the process thread budget
+    // is max(threads, inter_ops) regardless of fleet size.
+    let fleet_rt = Arc::new(fathom_tensor::Runtime::new(a.threads.max(a.inter_ops).max(1)));
+
     // Replica indices for `replica<N>` fault specs run fleet-wide, in
     // model -> shard -> replica order.
     let mut fleet: Vec<Vec<Vec<ClusterRep>>> = Vec::with_capacity(a.models.len());
@@ -552,7 +673,7 @@ fn cmd_serve_cluster(a: ServeArgs) -> Result<(), FathomError> {
         let cfg = BuildConfig {
             mode: Mode::Inference,
             scale: a.scale,
-            device: Device::cpu_inter_op(a.threads, a.inter_ops),
+            device: Device::cpu_on_runtime(&fleet_rt, a.threads, a.inter_ops),
             seed: a.seed,
             batch: Some(a.max_batch),
             fusion: FusionLevel::Off,
@@ -696,6 +817,7 @@ fn print_cluster_report(report: &ClusterReport) {
             r.crashes, r.retried, r.dropped, r.quarantines, r.recoveries, r.dead_replicas
         );
     }
+    print_runtime(&report.runtime);
 }
 
 /// Self-verifying cluster smoke: two models behind two shards each,
@@ -830,6 +952,17 @@ fn print_recovery(report: &ServeReport) {
     }
 }
 
+/// One line of unified-runtime counters, printed only when the run
+/// actually exercised the runtime (parallel device, planned arena).
+fn print_runtime(rc: &fathom_dataflow::RuntimeCounters) {
+    if rc.any() {
+        println!(
+            "runtime: allocations {}  arena {} B  steals {}  wide ops {}  co-scheduled ops {}",
+            rc.allocations, rc.arena_bytes, rc.steal_count, rc.wide_ops, rc.coscheduled_ops
+        );
+    }
+}
+
 /// Runs seeded fault-injection probes across the three recovery layers —
 /// executor rollback, checkpoint integrity, serve supervision — and
 /// fails (nonzero exit) if any layer does not recover.
@@ -916,6 +1049,7 @@ fn cmd_train(a: TrainArgs) -> Result<(), FathomError> {
             report.snapshot_nanos as f64 / 1e6
         );
     }
+    print_runtime(&report.runtime);
     if let Some(path) = &a.out {
         std::fs::write(path, report.to_json(&outcome))?;
         println!("wrote run report to {path}");

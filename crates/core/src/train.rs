@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fathom_dataflow::checkpoint::{self, CheckpointError, TrainCursor};
-use fathom_dataflow::{ExecError, FaultAction, FaultPlan, FaultSite, Guardrail};
+use fathom_dataflow::{ExecError, FaultAction, FaultPlan, FaultSite, Guardrail, RuntimeCounters};
 
 use crate::workload::Workload;
 
@@ -147,6 +147,9 @@ pub struct TrainReport {
     pub snapshot_nanos: u128,
     /// Wall nanoseconds spent inside workload steps.
     pub step_nanos: u128,
+    /// Unified-runtime counters for the training session, sampled when
+    /// the run ends.
+    pub runtime: RuntimeCounters,
 }
 
 impl TrainReport {
@@ -181,6 +184,15 @@ impl TrainReport {
         out.push_str("  ],\n");
         out.push_str(&format!("  \"snapshots_written\": {},\n", self.snapshots_written));
         out.push_str(&format!("  \"snapshot_nanos\": {},\n", self.snapshot_nanos));
+        // Emitted only when the unified runtime recorded something, so
+        // serial runs keep byte-identical JSON.
+        if self.runtime.any() {
+            let rc = &self.runtime;
+            out.push_str(&format!(
+                "  \"runtime\": {{\"allocations\": {}, \"arena_bytes\": {}, \"steal_count\": {}, \"wide_ops\": {}, \"coscheduled_ops\": {}}},\n",
+                rc.allocations, rc.arena_bytes, rc.steal_count, rc.wide_ops, rc.coscheduled_ops
+            ));
+        }
         out.push_str(&format!("  \"step_nanos\": {}\n", self.step_nanos));
         out.push_str("}\n");
         out
@@ -516,6 +528,7 @@ impl Trainer {
     pub fn run(&mut self, target_steps: u64) -> Result<TrainOutcome, TrainError> {
         while self.global_step < target_steps {
             if let StepEnd::Killed = self.guarded_step()? {
+                self.report.runtime = self.model.session().runtime_counters();
                 return Ok(TrainOutcome::Killed { at_step: self.global_step });
             }
             self.global_step += 1;
@@ -524,6 +537,7 @@ impl Trainer {
                 self.write_snapshot()?;
             }
         }
+        self.report.runtime = self.model.session().runtime_counters();
         Ok(TrainOutcome::Completed)
     }
 }

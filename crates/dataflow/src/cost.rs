@@ -62,6 +62,20 @@ impl OpCost {
             self.flops / self.bytes
         }
     }
+
+    /// The op's work in abstract "elements" — the larger of its flop
+    /// count and the f32 elements it moves. This is the unit
+    /// [`crate::sched::chosen_width`] compares against the intra-op
+    /// pool's grain when deciding how wide to run the op.
+    pub fn work_elements(&self) -> usize {
+        let elems = (self.bytes / 4.0).max(0.0);
+        let work = self.flops.max(elems);
+        if work >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            work.max(0.0) as usize
+        }
+    }
 }
 
 /// How a convolution (and its gradients) should execute on CPU.

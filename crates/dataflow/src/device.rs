@@ -8,7 +8,9 @@
 //! roofline model — see DESIGN.md's substitution table for why this
 //! preserves the relative behavior Figure 5 depends on.
 
-use fathom_tensor::ExecPool;
+use std::sync::Arc;
+
+use fathom_tensor::{ExecPool, Runtime};
 
 use crate::cost::OpCost;
 use crate::op::{OpClass, OpKind};
@@ -152,11 +154,27 @@ impl Device {
 
     /// CPU device with both parallelism knobs: `intra_threads` workers
     /// per kernel and up to `inter_ops` independent operations in flight.
-    /// The two worker sets are separate, so the total thread budget is
-    /// roughly `inter_ops + intra_threads - 2` beyond the calling thread;
-    /// keep the product near the core count to avoid oversubscription.
+    /// Both knobs draw from **one** work-stealing runtime sized
+    /// `max(intra, inter)` — kernel chunks and whole ready operations
+    /// share the same worker set, so the thread budget is exactly that
+    /// maximum regardless of how the two knobs divide it.
     pub fn cpu_inter_op(intra_threads: usize, inter_ops: usize) -> Self {
-        Device::Cpu { pool: ExecPool::new(intra_threads), inter_ops: inter_ops.max(1) }
+        let intra = intra_threads.max(1);
+        let inter = inter_ops.max(1);
+        let budget = intra.max(inter);
+        if budget <= 1 {
+            return Device::cpu(1);
+        }
+        let rt = Arc::new(Runtime::new(budget));
+        Device::Cpu { pool: ExecPool::on_runtime(&rt, intra), inter_ops: inter }
+    }
+
+    /// CPU device whose kernels and scheduler run on an **existing**
+    /// runtime instead of spawning threads of their own. This is how a
+    /// serving fleet gives every replica full-width kernels without
+    /// multiplying the process's thread count by the replica count.
+    pub fn cpu_on_runtime(rt: &Arc<Runtime>, intra_threads: usize, inter_ops: usize) -> Self {
+        Device::Cpu { pool: ExecPool::on_runtime(rt, intra_threads.max(1)), inter_ops: inter_ops.max(1) }
     }
 
     /// Modeled multi-core CPU with `threads` workers.
@@ -167,7 +185,7 @@ impl Device {
     /// A CPU device with `threads` intra-op workers: real when the host
     /// has that many cores, modeled otherwise.
     pub fn cpu_or_model(threads: usize) -> Self {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cores = Runtime::workers();
         if cores >= threads {
             Device::cpu(threads)
         } else {

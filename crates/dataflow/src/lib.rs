@@ -63,7 +63,8 @@ pub mod sched;
 pub mod trace;
 
 pub use device::{CpuModel, Device, GpuModel};
-pub use exec::{ExecError, Guardrail, Session};
+pub use exec::{ExecError, Guardrail, Session, WidthPolicy};
+pub use trace::RuntimeCounters;
 pub use fault::{FaultAction, FaultPlan, FaultSite, FaultSpec};
 pub use graph::{Graph, GraphError, Node, NodeId};
 pub use op::{OpClass, OpKind};

@@ -15,6 +15,30 @@ use std::collections::HashMap;
 use crate::graph::Graph;
 use crate::trace::TraceEvent;
 
+/// Moldable-task width decision: how many intra-op threads one op should
+/// use when `peers` ops are runnable at the same time on a machine with
+/// `workers` threads, given the op's estimated `work` (in elements, see
+/// [`crate::cost::OpCost::work_elements`]) and the pool's dispatch
+/// `grain`.
+///
+/// The rule composes two caps:
+///
+/// * **work cap** — an op never gets more threads than its work can feed
+///   (one per `grain` elements, matching the pool's own sizing policy),
+/// * **fair share** — when `peers` independent ops are runnable, each is
+///   molded down to `ceil(workers / peers)` so they co-schedule instead
+///   of queueing behind one wide op.
+///
+/// The result is always in `1..=workers` and is monotone non-decreasing
+/// in `workers` (more machine never shrinks an op's width) — properties
+/// pinned by the `sched_properties` proptests.
+pub fn chosen_width(work: usize, peers: usize, workers: usize, grain: usize) -> usize {
+    let workers = workers.max(1);
+    let by_work = (work / grain.max(1)).max(1);
+    let share = workers.div_ceil(peers.max(1));
+    by_work.min(share).max(1)
+}
+
 /// Modeled wall-clock nanoseconds for executing one traced step on
 /// `workers` inter-op workers.
 ///
@@ -177,5 +201,37 @@ mod tests {
     fn zero_workers_panics() {
         let (g, events) = traced_diamond();
         modeled_makespan(&g, &events, 0);
+    }
+
+    /// Pins the moldable-width decisions for the five `BENCH_gemm`
+    /// geometries: every bench GEMM is big enough to saturate the work
+    /// cap, so its width is exactly the fair share of the machine.
+    #[test]
+    fn width_decisions_for_the_bench_gemm_geometries() {
+        use crate::cost::OpCost;
+        use fathom_tensor::DEFAULT_GRAIN;
+        // (m, k, n) for the five BENCH_gemm geometries; the transpose
+        // variants share the first geometry's work.
+        const GEOMETRIES: [(usize, usize, usize); 5] = [
+            (512, 512, 512),
+            (512, 512, 512),
+            (512, 512, 512),
+            (64, 1024, 1024),
+            (32, 512, 512),
+        ];
+        for &(m, k, n) in &GEOMETRIES {
+            let cost = OpCost {
+                flops: (2 * m * k * n) as f64,
+                bytes: (4 * (m * k + k * n + m * n)) as f64,
+            };
+            let work = cost.work_elements();
+            assert_eq!(chosen_width(work, 1, 8, DEFAULT_GRAIN), 8, "{m}x{k}x{n} alone runs wide");
+            assert_eq!(chosen_width(work, 2, 8, DEFAULT_GRAIN), 4);
+            assert_eq!(chosen_width(work, 4, 8, DEFAULT_GRAIN), 2);
+            assert_eq!(chosen_width(work, 8, 8, DEFAULT_GRAIN), 1);
+        }
+        // A tiny op is molded to one thread even with the machine to
+        // itself: its work cannot feed a second worker.
+        assert_eq!(chosen_width(64, 1, 8, DEFAULT_GRAIN), 1);
     }
 }

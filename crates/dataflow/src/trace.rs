@@ -53,6 +53,62 @@ impl TraceEvent {
     }
 }
 
+/// Unified-runtime health counters, sampled per committed `run`.
+///
+/// All fields are cumulative over the sampled window except
+/// `arena_bytes`, which is the current footprint of the static arena
+/// plan. A steady-state step of a planned graph reports `allocations ==
+/// 0`: every planned tensor is served from the prewarmed arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RuntimeCounters {
+    /// Heap allocations for *planned* tensor sizes — arena misses. Zero
+    /// once the arena plan has warmed up.
+    pub allocations: u64,
+    /// Bytes the arena plan pins for the session's planned tensors.
+    pub arena_bytes: u64,
+    /// Tasks stolen across worker deques in the shared work-stealing
+    /// pool.
+    pub steal_count: u64,
+    /// Ops the cost model ran at the full intra-op width.
+    pub wide_ops: u64,
+    /// Ops the cost model molded narrower so independent peers could
+    /// co-schedule.
+    pub coscheduled_ops: u64,
+}
+
+impl RuntimeCounters {
+    /// Whether any counter is nonzero — reports emit the block only
+    /// then, so runs that never exercise the unified runtime keep
+    /// byte-identical output.
+    pub fn any(&self) -> bool {
+        *self != RuntimeCounters::default()
+    }
+
+    /// The change since `base` — run-scoped deltas from cumulative
+    /// session counters. `arena_bytes` is a level, not a rate, so it is
+    /// passed through. Saturating: a session rebuild (crash recovery)
+    /// resets the counters, which must not underflow.
+    pub fn delta_since(&self, base: &RuntimeCounters) -> RuntimeCounters {
+        RuntimeCounters {
+            allocations: self.allocations.saturating_sub(base.allocations),
+            arena_bytes: self.arena_bytes,
+            steal_count: self.steal_count.saturating_sub(base.steal_count),
+            wide_ops: self.wide_ops.saturating_sub(base.wide_ops),
+            coscheduled_ops: self.coscheduled_ops.saturating_sub(base.coscheduled_ops),
+        }
+    }
+
+    /// Accumulates another sample (`arena_bytes` takes the maximum, the
+    /// rest add).
+    pub fn merge(&mut self, other: &RuntimeCounters) {
+        self.allocations += other.allocations;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.steal_count += other.steal_count;
+        self.wide_ops += other.wide_ops;
+        self.coscheduled_ops += other.coscheduled_ops;
+    }
+}
+
 /// All events captured across one or more traced steps, plus the
 /// end-to-end wall time of those steps (used to quantify inter-op
 /// overhead, paper §V-A).
@@ -68,6 +124,8 @@ pub struct RunTrace {
     /// tensors across the traced steps (the executor frees values after
     /// their last consumer).
     pub peak_live_bytes: u64,
+    /// Unified-runtime counters accumulated over the traced steps.
+    pub runtime: RuntimeCounters,
 }
 
 impl RunTrace {
@@ -100,6 +158,7 @@ impl RunTrace {
         self.total_nanos += other.total_nanos;
         self.steps += other.steps;
         self.peak_live_bytes = self.peak_live_bytes.max(other.peak_live_bytes);
+        self.runtime.merge(&other.runtime);
     }
 }
 
@@ -162,5 +221,31 @@ mod tests {
         assert_eq!(a.total_nanos, 37.0);
         assert_eq!(a.steps, 2);
         assert_eq!(a.op_nanos(), 30.0);
+    }
+
+    #[test]
+    fn runtime_counters_merge_adds_and_peaks() {
+        let mut a = RuntimeCounters {
+            allocations: 3,
+            arena_bytes: 100,
+            steal_count: 5,
+            wide_ops: 2,
+            coscheduled_ops: 1,
+        };
+        let b = RuntimeCounters {
+            allocations: 1,
+            arena_bytes: 40,
+            steal_count: 2,
+            wide_ops: 1,
+            coscheduled_ops: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.allocations, 4);
+        assert_eq!(a.arena_bytes, 100, "arena footprint is a peak, not a sum");
+        assert_eq!(a.steal_count, 7);
+        assert_eq!(a.wide_ops, 3);
+        assert_eq!(a.coscheduled_ops, 5);
+        assert!(a.any());
+        assert!(!RuntimeCounters::default().any());
     }
 }

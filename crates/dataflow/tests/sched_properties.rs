@@ -1,0 +1,72 @@
+//! Property tests for the moldable-task width rule.
+//!
+//! The unified runtime relies on three contracts of
+//! [`fathom_dataflow::sched::chosen_width`]: a width never exceeds the
+//! available workers, it is monotone non-decreasing in the worker count
+//! (a bigger machine never shrinks an op), and it is monotone
+//! non-increasing in the number of co-runnable peers (more competition
+//! never widens an op).
+
+use fathom_dataflow::sched::chosen_width;
+use proptest::prelude::*;
+
+proptest! {
+    /// The chosen width is always a usable thread count: at least 1,
+    /// and never more than the machine has.
+    #[test]
+    fn width_is_within_the_machine(
+        work in 0usize..1_000_000_000,
+        peers in 0usize..64,
+        workers in 0usize..256,
+        grain in 0usize..100_000,
+    ) {
+        let w = chosen_width(work, peers, workers, grain);
+        prop_assert!(w >= 1);
+        prop_assert!(w <= workers.max(1));
+    }
+
+    /// Growing the machine never shrinks an op's width.
+    #[test]
+    fn width_is_monotone_in_workers(
+        work in 0usize..1_000_000_000,
+        peers in 1usize..64,
+        grain in 1usize..100_000,
+    ) {
+        let mut prev = 0usize;
+        for workers in 1..64 {
+            let w = chosen_width(work, peers, workers, grain);
+            prop_assert!(w >= prev, "width shrank from {prev} to {w} at {workers} workers");
+            prev = w;
+        }
+    }
+
+    /// More co-runnable peers never widens an op (the fair share only
+    /// tightens), and an op alone gets at least as much as any
+    /// contended op.
+    #[test]
+    fn width_is_antitone_in_peers(
+        work in 0usize..1_000_000_000,
+        workers in 1usize..64,
+        grain in 1usize..100_000,
+    ) {
+        let mut prev = usize::MAX;
+        for peers in 1..32 {
+            let w = chosen_width(work, peers, workers, grain);
+            prop_assert!(w <= prev, "width grew from {prev} to {w} at {peers} peers");
+            prev = w;
+        }
+    }
+
+    /// The work cap holds: an op never gets more threads than one per
+    /// grain of work.
+    #[test]
+    fn width_respects_the_work_cap(
+        work in 0usize..1_000_000_000,
+        peers in 1usize..64,
+        workers in 1usize..256,
+        grain in 1usize..100_000,
+    ) {
+        let w = chosen_width(work, peers, workers, grain);
+        prop_assert!(w <= (work / grain).max(1));
+    }
+}

@@ -100,9 +100,8 @@ mod tests {
                 mk("MatMul", OpClass::MatrixOps, 500.0, 50.0),
                 mk("Add", OpClass::ElementwiseArithmetic, 10.0, 40.0),
             ],
-            total_nanos: 0.0,
             steps: 2,
-            peak_live_bytes: 0,
+            ..RunTrace::default()
         }
     }
 

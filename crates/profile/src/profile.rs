@@ -170,7 +170,7 @@ mod tests {
             ],
             total_nanos: 102.0,
             steps: 2,
-            peak_live_bytes: 0,
+            ..RunTrace::default()
         }
     }
 

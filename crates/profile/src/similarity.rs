@@ -165,7 +165,7 @@ mod tests {
                 cost: OpCost::default(),
             })
             .collect();
-        OpProfile::from_trace(name, &RunTrace { events, total_nanos: 0.0, steps: 1, peak_live_bytes: 0 })
+        OpProfile::from_trace(name, &RunTrace { events, steps: 1, ..RunTrace::default() })
     }
 
     #[test]

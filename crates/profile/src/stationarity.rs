@@ -120,9 +120,8 @@ mod tests {
                     cost: OpCost::default(),
                 })
                 .collect(),
-            total_nanos: 0.0,
             steps: 3,
-            peak_live_bytes: 0,
+            ..RunTrace::default()
         }
     }
 

@@ -65,6 +65,10 @@ impl<R: BatchRunner> BatchRunner for FaultyRunner<R> {
     fn recover(&mut self) -> Result<(), ServeError> {
         self.inner.recover()
     }
+
+    fn runtime_counters(&self) -> fathom_dataflow::RuntimeCounters {
+        self.inner.runtime_counters()
+    }
 }
 
 impl<R: ClusterRunner> ClusterRunner for FaultyRunner<R> {

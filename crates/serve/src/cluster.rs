@@ -41,6 +41,8 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use fathom_tensor::{Rng, Tensor};
 
+use fathom_dataflow::RuntimeCounters;
+
 use crate::engine::{failure_verdict, FailureVerdict, RecoveryPolicy};
 use crate::metrics::{LatencyHistogram, RecoveryCounters, ShedBreakdown};
 use crate::router::Router;
@@ -262,6 +264,8 @@ pub struct ClusterReport {
     pub makespan_nanos: u64,
     /// Supervisor counters across the whole fleet.
     pub recovery: RecoveryCounters,
+    /// Unified-runtime counters folded across every replica session.
+    pub runtime: RuntimeCounters,
 }
 
 impl ClusterReport {
@@ -404,6 +408,14 @@ impl ClusterReport {
                 ",\n  \"recovery\": {{\"crashes\": {}, \"retried\": {}, \"dropped\": {}, \
                  \"quarantines\": {}, \"recoveries\": {}, \"dead_replicas\": {}}}",
                 r.crashes, r.retried, r.dropped, r.quarantines, r.recoveries, r.dead_replicas
+            ));
+        }
+        if self.runtime.any() {
+            let rc = &self.runtime;
+            s.push_str(&format!(
+                ",\n  \"runtime\": {{\"allocations\": {}, \"arena_bytes\": {}, \"steal_count\": {}, \
+                 \"wide_ops\": {}, \"coscheduled_ops\": {}}}",
+                rc.allocations, rc.arena_bytes, rc.steal_count, rc.wide_ops, rc.coscheduled_ops
             ));
         }
         s.push_str("\n}\n");
@@ -602,7 +614,20 @@ pub fn serve_cluster(
         per_class: Default::default(),
         makespan_nanos: 0,
         recovery: RecoveryCounters::default(),
+        runtime: RuntimeCounters::default(),
     };
+
+    // Session counters are cumulative; the report carries this run's
+    // delta, folded across the fleet after the event loop drains.
+    let runtime_base: Vec<Vec<Vec<RuntimeCounters>>> = models
+        .iter()
+        .map(|spec| {
+            spec.shards
+                .iter()
+                .map(|shard| shard.iter().map(|r| r.runtime_counters()).collect())
+                .collect()
+        })
+        .collect();
 
     let mut now = 0u64;
     let mut next_id = 0u64;
@@ -1028,6 +1053,14 @@ pub fn serve_cluster(
             report.per_class[class.idx()].merge(&report.models[m].per_class[class.idx()]);
         }
     }
+    for (spec, base_model) in models.iter().zip(&runtime_base) {
+        for (shard, base_shard) in spec.shards.iter().zip(base_model) {
+            for (runner, base) in shard.iter().zip(base_shard) {
+                report.runtime.merge(&runner.runtime_counters().delta_since(base));
+            }
+        }
+    }
+
     Ok(report)
 }
 

@@ -19,6 +19,7 @@
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use fathom_dataflow::RuntimeCounters;
 use fathom_tensor::{Rng, Tensor};
 
 use crate::metrics::{BatchRecord, RecoveryCounters, ServeReport};
@@ -220,6 +221,10 @@ pub fn serve(
 
     let mut rng = Rng::seeded(cfg.seed);
     let mut report = ServeReport::new(workload, max_batch, runners.len());
+    // Session counters are cumulative, so the report carries the delta
+    // over this run, folded across replicas at the end.
+    let runtime_base: Vec<RuntimeCounters> =
+        runners.iter().map(|r| r.runtime_counters()).collect();
 
     // Scheduled arrival times (min-heap). Open loop precomputes the whole
     // Poisson trace; closed loop seeds `clients` arrivals at t=0 and adds
@@ -458,6 +463,10 @@ pub fn serve(
                 ))
             }
         }
+    }
+
+    for (runner, base) in runners.iter().zip(&runtime_base) {
+        report.runtime.merge(&runner.runtime_counters().delta_since(base));
     }
 
     Ok(report)

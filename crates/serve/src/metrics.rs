@@ -6,7 +6,7 @@
 //! [`ServeReport`] can be dropped next to the other `BENCH_*.json`
 //! artifacts and diffed across runs.
 
-use fathom_dataflow::OpClass;
+use fathom_dataflow::{OpClass, RuntimeCounters};
 use serde::Serialize;
 
 /// An exact-quantile latency recorder. Samples are kept raw (a serving
@@ -194,6 +194,8 @@ pub struct ServeReport {
     pub batches: Vec<BatchRecord>,
     /// Supervisor counters: crashes, retries, quarantines, recoveries.
     pub recovery: RecoveryCounters,
+    /// Unified-runtime counters folded across all replica sessions.
+    pub runtime: RuntimeCounters,
 }
 
 impl ServeReport {
@@ -213,6 +215,7 @@ impl ServeReport {
             queue_depths: Vec::new(),
             batches: Vec::new(),
             recovery: RecoveryCounters::default(),
+            runtime: RuntimeCounters::default(),
         }
     }
 
@@ -298,6 +301,15 @@ impl ServeReport {
             s.push_str(&format!(
                 "  \"recovery\": {{\"crashes\": {}, \"retried\": {}, \"dropped\": {}, \"quarantines\": {}, \"recoveries\": {}, \"dead_replicas\": {}}},\n",
                 r.crashes, r.retried, r.dropped, r.quarantines, r.recoveries, r.dead_replicas
+            ));
+        }
+        // Emitted only when the unified runtime recorded something, so
+        // serial or modeled-device runs keep byte-identical JSON.
+        if self.runtime.any() {
+            let rc = &self.runtime;
+            s.push_str(&format!(
+                "  \"runtime\": {{\"allocations\": {}, \"arena_bytes\": {}, \"steal_count\": {}, \"wide_ops\": {}, \"coscheduled_ops\": {}}},\n",
+                rc.allocations, rc.arena_bytes, rc.steal_count, rc.wide_ops, rc.coscheduled_ops
             ));
         }
         let class_totals = self.class_nanos();

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use fathom::{BatchSpec, BuildConfig, Mode, ModelKind, PortDomain, Workload};
 use fathom_dataflow::checkpoint::{self, CheckpointError};
-use fathom_dataflow::{batch, ExecError, OpClass};
+use fathom_dataflow::{batch, ExecError, OpClass, RuntimeCounters};
 use fathom_tensor::{Rng, Shape, Tensor};
 
 /// A failure while serving.
@@ -104,6 +104,14 @@ pub trait BatchRunner {
     /// [`run_batch`]: BatchRunner::run_batch
     fn recover(&mut self) -> Result<(), ServeError> {
         Ok(())
+    }
+
+    /// Cumulative unified-runtime counters for this runner's session
+    /// (arena misses, steals, width decisions). The default is all-zero
+    /// for runners not backed by a real session, which keeps the
+    /// counters out of their reports.
+    fn runtime_counters(&self) -> RuntimeCounters {
+        RuntimeCounters::default()
     }
 }
 
@@ -266,6 +274,10 @@ impl BatchRunner for SessionWorker {
         self.spec = spec;
         checkpoint::load(self.model.session_mut(), self.baseline.as_slice())?;
         Ok(())
+    }
+
+    fn runtime_counters(&self) -> RuntimeCounters {
+        self.model.session().runtime_counters()
     }
 }
 

@@ -23,11 +23,13 @@ pub mod kernels;
 mod pool;
 pub mod recycle;
 mod rng;
+pub mod runtime;
 mod shape;
 mod tensor;
 
 pub use pool::{ExecPool, PoolScope, DEFAULT_GRAIN};
 pub use recycle::{BufferPool, RecycleStats};
+pub use runtime::{Latch, Runtime};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -3,8 +3,11 @@
 //! TensorFlow exposes "hooks to specify the available thread pool for the
 //! underlying Eigen library"; the paper's Figure 6 uses those hooks to
 //! sweep intra-op parallelism from 1 to 8 threads. [`ExecPool`] is this
-//! suite's equivalent: a persistent worker pool shared by every kernel,
-//! whose dispatch splits an output buffer into disjoint contiguous chunks.
+//! suite's equivalent: a *width-limited view* over the shared
+//! work-stealing [`Runtime`], whose dispatch splits an output buffer into
+//! disjoint contiguous chunks. Several views of different widths can sit
+//! on one runtime — that is how the executor runs one op wide while
+//! co-scheduling others on the same worker set.
 //!
 //! Work below a per-worker grain runs serially on the calling thread,
 //! modeling the thread-dispatch avoidance of production linear algebra
@@ -12,65 +15,35 @@
 //! operations flat in the Figure 6 reproduction ("the trip count is too
 //! low for thread-level parallelism, so the underlying library avoids
 //! it").
+//!
+//! Chunk boundaries depend only on the dispatch width and the work
+//! estimate — never on timing or on which thread runs a chunk — so for a
+//! given width the bytes produced are identical to a serial loop.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Sender};
-use crossbeam::sync::WaitGroup;
+use crate::runtime::{Job, Latch, Runtime};
 
 /// Minimum useful work (in touched elements) per participating worker.
 pub const DEFAULT_GRAIN: usize = 16 * 1024;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// The shared, persistent worker threads behind a pool.
+/// A configurable intra-op execution pool: a dispatch-width view over a
+/// shared [`Runtime`].
 ///
-/// Workers are detached: they hold only the channel receiver and the
-/// poison flag, and exit when the last pool clone drops the sender.
-#[derive(Debug)]
-struct PoolCore {
-    sender: Sender<Job>,
-    poisoned: Arc<AtomicBool>,
-}
-
-impl PoolCore {
-    fn new(extra_workers: usize) -> Arc<Self> {
-        let (sender, receiver) = unbounded::<Job>();
-        let poisoned = Arc::new(AtomicBool::new(false));
-        for i in 0..extra_workers {
-            let rx = receiver.clone();
-            let flag = Arc::clone(&poisoned);
-            std::thread::Builder::new()
-                .name(format!("fathom-pool-{i}"))
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
-                            flag.store(true, Ordering::SeqCst);
-                        }
-                    }
-                })
-                .expect("can spawn pool worker");
-        }
-        Arc::new(PoolCore { sender, poisoned })
-    }
-}
-
-/// A configurable intra-op execution pool with persistent workers.
-///
-/// Cloning is cheap and shares the same workers. A pool created with
-/// `threads == 1` performs no cross-thread dispatch at all.
+/// Cloning is cheap and shares the same runtime. A pool created with
+/// `threads == 1` and no backing runtime performs no cross-thread
+/// dispatch at all.
 ///
 /// # Poisoning
 ///
-/// Workers execute every job under `catch_unwind`; a panicking job sets a
-/// shared *poisoned* flag instead of killing the worker thread. The next
-/// barrier point — the end of [`ExecPool::for_spans`] or
-/// [`ExecPool::scoped`] — swaps the flag back to `false` and re-raises the
-/// panic on the calling thread, so the pool itself stays usable afterwards.
-/// Because the flag is shared by every clone of the pool, a concurrent
+/// The runtime executes every task under `catch_unwind`; a panicking task
+/// sets a shared *poisoned* flag instead of killing a worker thread. The
+/// next barrier point — the end of [`ExecPool::for_spans`] or
+/// [`ExecPool::scoped`] — swaps the flag back off and re-raises the panic
+/// on the calling thread, so the pool itself stays usable afterwards.
+/// Because the flag is shared by every view of the runtime, a concurrent
 /// dispatch on another thread may observe (and report) a panic raised by a
-/// job it did not submit; panics are treated as fatal programming errors,
+/// task it did not submit; panics are treated as fatal programming errors,
 /// not recoverable conditions, so this imprecision is acceptable.
 ///
 /// # Examples
@@ -87,22 +60,46 @@ impl PoolCore {
 pub struct ExecPool {
     threads: usize,
     grain: usize,
-    core: Option<Arc<PoolCore>>,
+    rt: Option<Arc<Runtime>>,
 }
 
 impl ExecPool {
     /// Creates a pool that may use up to `threads` threads per dispatch
     /// (the calling thread participates; `threads - 1` workers are
-    /// spawned). `threads <= 1` means fully serial execution.
+    /// spawned on a private runtime). `threads <= 1` means fully serial
+    /// execution.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let core = if threads > 1 { Some(PoolCore::new(threads - 1)) } else { None };
-        ExecPool { threads, grain: DEFAULT_GRAIN, core }
+        let rt = (threads > 1).then(|| Arc::new(Runtime::new(threads)));
+        ExecPool { threads, grain: DEFAULT_GRAIN, rt }
     }
 
     /// A serial pool.
     pub fn serial() -> Self {
         ExecPool::new(1)
+    }
+
+    /// A width-`width` view over an existing runtime: dispatches split
+    /// work across at most `width` chunks, but those chunks run on (and
+    /// are stolen by) the shared worker set. `width` is clamped to the
+    /// runtime's thread count so chunking never outpaces the machine.
+    pub fn on_runtime(rt: &Arc<Runtime>, width: usize) -> Self {
+        let threads = width.clamp(1, rt.threads());
+        ExecPool { threads, grain: DEFAULT_GRAIN, rt: Some(Arc::clone(rt)) }
+    }
+
+    /// A view of this pool with a different dispatch width (clamped to
+    /// the backing runtime's thread count). Cheap: shares the runtime.
+    pub fn with_width(&self, width: usize) -> Self {
+        match &self.rt {
+            Some(rt) => ExecPool { threads: width.clamp(1, rt.threads()), grain: self.grain, rt: Some(Arc::clone(rt)) },
+            None => ExecPool { threads: 1, grain: self.grain, rt: None },
+        }
+    }
+
+    /// The backing runtime, when this pool dispatches at all.
+    pub fn runtime(&self) -> Option<&Arc<Runtime>> {
+        self.rt.as_ref()
     }
 
     /// Overrides the per-worker grain (in elements of total work).
@@ -116,23 +113,12 @@ impl ExecPool {
         self.threads
     }
 
-    /// Number of persistent worker threads owned by this pool (always
-    /// `threads() - 1`, and 0 for a serial pool). Exposed so schedulers
-    /// layering on top of the pool can size their dispatch without
-    /// oversubscribing the machine.
-    pub fn extra_workers(&self) -> usize {
-        self.threads - 1
-    }
-
     /// Runs `f` with a [`PoolScope`] that can launch individual tasks onto
-    /// this pool's persistent workers *without* a per-task barrier: tasks
-    /// started with [`PoolScope::spawn`] run concurrently with the caller
-    /// and with each other, and `scoped` only waits for all of them once
-    /// `f` returns. This is the building block for *inter-op* scheduling,
-    /// where long-lived worker loops must coexist with the chunked
-    /// [`ExecPool::for_spans`] dispatches issued by kernels.
+    /// the shared runtime *without* a per-task barrier: tasks started with
+    /// [`PoolScope::spawn`] run concurrently with the caller and with each
+    /// other, and `scoped` only waits for all of them once `f` returns.
     ///
-    /// On a serial pool (no workers), spawned tasks run inline on the
+    /// On a pool with no backing runtime, spawned tasks run inline on the
     /// calling thread at `spawn` time.
     ///
     /// # Panics
@@ -155,32 +141,40 @@ impl ExecPool {
         // path it also re-raises job panics; during unwinding it only
         // clears the poison flag and lets the original panic propagate.
         struct Barrier<'p> {
-            wg: Option<WaitGroup>,
-            core: Option<&'p PoolCore>,
+            latch: Latch,
+            rt: Option<&'p Runtime>,
         }
         impl Drop for Barrier<'_> {
             fn drop(&mut self) {
-                if let Some(wg) = self.wg.take() {
-                    wg.wait();
-                }
-                if let Some(core) = self.core {
-                    if core.poisoned.swap(false, Ordering::SeqCst) && !std::thread::panicking() {
-                        panic!("a pool task panicked inside ExecPool::scoped");
+                if let Some(rt) = self.rt {
+                    if std::thread::panicking() {
+                        // Do not execute arbitrary queued tasks during
+                        // unwinding (a second panic would abort); the
+                        // runtime's workers drain the remainder.
+                        while self.latch.is_open() {
+                            std::thread::park_timeout(std::time::Duration::from_micros(50));
+                        }
+                        rt.take_poison();
+                    } else {
+                        rt.wait(&self.latch);
+                        if rt.take_poison() {
+                            panic!("a pool task panicked inside ExecPool::scoped");
+                        }
                     }
                 }
             }
         }
-        let barrier = Barrier { wg: Some(WaitGroup::new()), core: self.core.as_deref() };
-        let out = {
-            let scope = PoolScope {
-                core: self.core.as_deref(),
-                wg: barrier.wg.as_ref().expect("barrier is armed"),
-                _env: std::marker::PhantomData,
-            };
-            f(&scope)
+        // The barrier must drop *in place* (scope end), never by-value
+        // (`drop(barrier)` would move it): spawned jobs hold the latch's
+        // raw address, so the latch cannot change stack slots while any
+        // job is in flight.
+        let barrier = Barrier { latch: Latch::new(0), rt: self.rt.as_deref() };
+        let scope = PoolScope {
+            rt: self.rt.as_deref(),
+            latch: &barrier.latch,
+            _env: std::marker::PhantomData,
         };
-        drop(barrier);
-        out
+        f(&scope)
     }
 
     /// Splits `out` into consecutive spans of `span` elements and invokes
@@ -210,11 +204,10 @@ impl ExecPool {
             }
             return;
         }
-        let core = self.core.as_ref().expect("workers > 1 implies a live core");
+        let rt = self.rt.as_ref().expect("workers > 1 implies a live runtime");
         let spans_per_worker = spans.div_ceil(workers);
         let chunk_len = spans_per_worker * span;
-        let wg = WaitGroup::new();
-        let sender = &core.sender;
+        let latch = Latch::new(0);
 
         {
             let mut chunks = out.chunks_mut(chunk_len).enumerate();
@@ -222,12 +215,13 @@ impl ExecPool {
             // rest, so a 2-way dispatch costs one wake-up.
             let first = chunks.next();
             for (w, chunk) in chunks {
-                let wg = wg.clone();
-                let flag = Arc::clone(&core.poisoned);
+                latch.add(1);
                 let task = RawTask {
                     data: chunk.as_mut_ptr(),
                     len: chunk.len(),
                     f: &f as *const F as *const (),
+                    latch: &latch as *const Latch,
+                    rt: Arc::as_ptr(rt),
                 };
                 let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     // Capture the task as a whole (edition-2021 disjoint
@@ -235,9 +229,9 @@ impl ExecPool {
                     // fields individually, which are not Send).
                     let task = task;
                     // SAFETY: `task` points at a disjoint sub-slice of
-                    // `out` and at `f`, both of which outlive the wait
-                    // below; the WaitGroup guarantees completion before
-                    // `for_spans` returns.
+                    // `out`, at `f`, at `latch`, and at the runtime, all
+                    // of which outlive the wait below; the latch
+                    // guarantees completion before `for_spans` returns.
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
                         let chunk = std::slice::from_raw_parts_mut(task.data, task.len);
                         let f = &*(task.f as *const F);
@@ -246,17 +240,19 @@ impl ExecPool {
                             f(base + i, sub);
                         }
                     }));
-                    // Record failure *before* releasing the WaitGroup so
-                    // the caller observes the flag after `wait`.
-                    if result.is_err() {
-                        flag.store(true, Ordering::SeqCst);
+                    // Record failure *before* releasing the latch so the
+                    // caller observes the flag after its wait.
+                    unsafe {
+                        if result.is_err() {
+                            (*task.rt).poison();
+                        }
+                        (*task.latch).done();
                     }
-                    drop(wg);
                 });
                 // SAFETY: extend the job's borrow of stack data to
-                // 'static; the WaitGroup wait below outlives its use.
+                // 'static; the latch wait below outlives its use.
                 let job: Job = unsafe { std::mem::transmute(job) };
-                sender.send(job).expect("pool workers are alive");
+                rt.spawn_raw(job);
             }
             if let Some((_, chunk)) = first {
                 for (i, sub) in chunk.chunks_mut(span).enumerate() {
@@ -264,8 +260,8 @@ impl ExecPool {
                 }
             }
         }
-        wg.wait();
-        if core.poisoned.swap(false, Ordering::SeqCst) {
+        rt.wait(&latch);
+        if rt.take_poison() {
             panic!("a pool worker panicked while executing a kernel");
         }
     }
@@ -325,7 +321,7 @@ impl ExecPool {
 
     /// Parallel map-reduce over the index range `0..n`: `map` is invoked
     /// on disjoint subranges and the partial results are combined with
-    /// `reduce`. Returns `identity` when `n == 0`.
+    /// `reduce`, in subrange order. Returns `identity` when `n == 0`.
     ///
     /// Used by coarse-grained kernels (e.g. CTC's per-utterance
     /// forward-backward) where per-item work is large.
@@ -343,23 +339,32 @@ impl ExecPool {
             return reduce(identity, map(0..n));
         }
         let per = n.div_ceil(workers);
-        let mut parts = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            let mut start = 0;
-            while start < n {
-                let end = (start + per).min(n);
+        let chunks = n.div_ceil(per);
+        let mut parts: Vec<Option<T>> = Vec::with_capacity(chunks);
+        parts.resize_with(chunks, || None);
+        {
+            let parts_ref = &SliceCells::new(&mut parts);
+            self.scoped(|scope| {
                 let map = &map;
-                handles.push(scope.spawn(move || map(start..end)));
-                start = end;
-            }
-            for h in handles {
-                parts.push(h.join().expect("pool worker panicked"));
-            }
-        });
+                let mut start = per;
+                let mut w = 1;
+                while start < n {
+                    let end = (start + per).min(n);
+                    scope.spawn(move || {
+                        // SAFETY: each task writes exactly one distinct
+                        // slot; the scope barrier orders all writes
+                        // before the reads below.
+                        unsafe { parts_ref.set(w, Some(map(start..end))) };
+                    });
+                    start = end;
+                    w += 1;
+                }
+                unsafe { parts_ref.set(0, Some(map(0..per.min(n)))) };
+            });
+        }
         let mut acc = identity;
         for p in parts {
-            acc = reduce(acc, p);
+            acc = reduce(acc, p.expect("every chunk produced a part"));
         }
         acc
     }
@@ -382,14 +387,32 @@ impl ExecPool {
     }
 }
 
+/// Disjoint-slot shared writes for `map_reduce` partials.
+struct SliceCells<T> {
+    ptr: *mut T,
+}
+unsafe impl<T: Send> Sync for SliceCells<T> {}
+unsafe impl<T: Send> Send for SliceCells<T> {}
+impl<T> SliceCells<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SliceCells { ptr: slice.as_mut_ptr() }
+    }
+    /// # Safety
+    /// Each index must be written by exactly one thread, and all writes
+    /// must be ordered before any read (the scope barrier does both).
+    unsafe fn set(&self, i: usize, value: T) {
+        unsafe { *self.ptr.add(i) = value };
+    }
+}
+
 /// Handle for launching barrier-free tasks inside [`ExecPool::scoped`].
 ///
 /// Tasks may borrow from the environment of the `scoped` call (`'env`);
 /// the scope's closing barrier guarantees they finish before those
 /// borrows expire.
 pub struct PoolScope<'a, 'env> {
-    core: Option<&'a PoolCore>,
-    wg: &'a WaitGroup,
+    rt: Option<&'a Runtime>,
+    latch: &'a Latch,
     _env: std::marker::PhantomData<&'env mut &'env ()>,
 }
 
@@ -400,32 +423,37 @@ impl std::fmt::Debug for PoolScope<'_, '_> {
 }
 
 impl<'env> PoolScope<'_, 'env> {
-    /// Starts `job` on one of the pool's persistent workers and returns
-    /// immediately; the enclosing [`ExecPool::scoped`] call waits for it.
-    /// On a serial pool the job runs inline before `spawn` returns.
+    /// Starts `job` on the shared runtime and returns immediately; the
+    /// enclosing [`ExecPool::scoped`] call waits for it. On a pool with
+    /// no runtime the job runs inline before `spawn` returns.
     pub fn spawn<F>(&self, job: F)
     where
         F: FnOnce() + Send + 'env,
     {
-        let Some(core) = self.core else {
+        let Some(rt) = self.rt else {
             job();
             return;
         };
-        let wg = self.wg.clone();
-        let flag = Arc::clone(&core.poisoned);
+        self.latch.add(1);
+        let latch = self.latch as *const Latch as usize;
+        let rt_ptr = rt as *const Runtime as usize;
         let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
-                flag.store(true, Ordering::SeqCst);
+            let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+            // SAFETY: the latch and runtime live until the scope barrier
+            // closes, which cannot happen before this `done`. The poison
+            // store happens first so the waiter observes it after `wait`.
+            unsafe {
+                if failed {
+                    (*(rt_ptr as *const Runtime)).poison();
+                }
+                (*(latch as *const Latch)).done();
             }
-            // Release the scope barrier only after the poison flag is
-            // visible, so the caller observes failures after `scoped`.
-            drop(wg);
         });
         // SAFETY: extend the job's environment borrows to 'static; the
-        // WaitGroup barrier at the end of `scoped` keeps `'env` alive
-        // until every spawned job has run to completion.
+        // latch barrier at the end of `scoped` keeps `'env` alive until
+        // every spawned job has run to completion.
         let wrapped: Job = unsafe { std::mem::transmute(wrapped) };
-        core.sender.send(wrapped).expect("pool workers are alive");
+        rt.spawn_raw(wrapped);
     }
 }
 
@@ -434,10 +462,12 @@ struct RawTask {
     data: *mut f32,
     len: usize,
     f: *const (),
+    latch: *const Latch,
+    rt: *const Runtime,
 }
 
 // SAFETY: the pointers reference disjoint data that outlives the dispatch
-// (enforced by the WaitGroup barrier in `for_spans`).
+// (enforced by the latch barrier in `for_spans`).
 unsafe impl Send for RawTask {}
 
 impl Default for ExecPool {
@@ -555,6 +585,21 @@ mod tests {
     }
 
     #[test]
+    fn map_reduce_order_is_deterministic() {
+        // Parts must combine in subrange order regardless of which
+        // worker finishes first.
+        let pool = ExecPool::new(4).with_grain(1);
+        let joined = pool.map_reduce(
+            8,
+            1,
+            String::new(),
+            |r| r.map(|i| i.to_string()).collect::<String>(),
+            |a, b| a + &b,
+        );
+        assert_eq!(joined, "01234567");
+    }
+
+    #[test]
     fn pool_clamps_zero_threads() {
         assert_eq!(ExecPool::new(0).threads(), 1);
     }
@@ -571,8 +616,31 @@ mod tests {
     }
 
     #[test]
+    fn width_views_share_one_runtime() {
+        let pool = ExecPool::new(4).with_grain(1);
+        let narrow = pool.with_width(2);
+        assert_eq!(narrow.threads(), 2);
+        assert!(Arc::ptr_eq(pool.runtime().unwrap(), narrow.runtime().unwrap()));
+        // Width above the runtime's thread count clamps.
+        assert_eq!(pool.with_width(64).threads(), 4);
+        // A narrow view still computes correctly.
+        let mut out = vec![0.0f32; 512];
+        narrow.for_spans(&mut out, 1, 0, |i, s| s[0] = i as f32);
+        assert_eq!(out[511], 511.0);
+    }
+
+    #[test]
+    fn serial_view_of_a_runtime_does_not_dispatch() {
+        let pool = ExecPool::new(4).with_grain(1);
+        let serial = pool.with_width(1);
+        let order = std::sync::Mutex::new(Vec::new());
+        serial.for_spans(&mut vec![0.0f32; 64], 1, 0, |i, _| order.lock().unwrap().push(i));
+        assert_eq!(order.into_inner().unwrap(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn repeated_dispatches_are_stable() {
-        // Exercise the channel/waitgroup plumbing under churn.
+        // Exercise the queue/latch plumbing under churn.
         let pool = ExecPool::new(8).with_grain(1);
         for round in 0..200 {
             let mut out = vec![0.0f32; 256];
@@ -608,18 +676,11 @@ mod tests {
     }
 
     #[test]
-    fn extra_workers_counts_spawned_threads() {
-        assert_eq!(ExecPool::serial().extra_workers(), 0);
-        assert_eq!(ExecPool::new(1).extra_workers(), 0);
-        assert_eq!(ExecPool::new(4).extra_workers(), 3);
-    }
-
-    #[test]
     fn scoped_jobs_borrow_the_stack() {
         let pool = ExecPool::new(4);
         let counter = std::sync::atomic::AtomicUsize::new(0);
         pool.scoped(|scope| {
-            for _ in 0..pool.extra_workers() {
+            for _ in 0..3 {
                 scope.spawn(|| {
                     counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 });

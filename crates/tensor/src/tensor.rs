@@ -22,10 +22,26 @@ use crate::shape::Shape;
 /// assert_eq!(t.at(&[1, 0]), 3.0);
 /// assert_eq!(t.shape().num_elements(), 4);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { shape: self.shape.clone(), data: crate::recycle::alloc_copy(&self.data) }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Moved-out shells (`into_vec`) leave an empty buffer behind;
+        // recycling those would pollute the pool's zero-length bucket.
+        if !self.data.is_empty() {
+            crate::recycle::drop_back(std::mem::take(&mut self.data));
+        }
+    }
 }
 
 impl Tensor {
@@ -67,9 +83,12 @@ impl Tensor {
         Tensor { shape, data: crate::recycle::alloc_filled(n, value) }
     }
 
-    /// A rank-0 tensor holding a single value.
+    /// A rank-0 tensor holding a single value. Draws its buffer from the
+    /// thread's installed pool: scalars (losses, counters, step flags)
+    /// are produced every step, so under an arena plan even they must
+    /// not touch the allocator.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor { shape: Shape::scalar(), data: crate::recycle::alloc_filled(1, value) }
     }
 
     /// A tensor with elements drawn from `N(mean, std^2)` using the given
@@ -77,9 +96,9 @@ impl Tensor {
     pub fn randn(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut Rng) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            data.push(rng.normal() * std + mean);
+        let mut data = crate::recycle::take_buffer(n);
+        for slot in data.iter_mut() {
+            *slot = rng.normal() * std + mean;
         }
         Tensor { shape, data }
     }
@@ -88,9 +107,9 @@ impl Tensor {
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            data.push(rng.uniform() * (hi - lo) + lo);
+        let mut data = crate::recycle::take_buffer(n);
+        for slot in data.iter_mut() {
+            *slot = rng.uniform() * (hi - lo) + lo;
         }
         Tensor { shape, data }
     }
@@ -120,9 +139,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its buffer. The buffer is *not*
+    /// recycled — ownership passes to the caller.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-dimensional index.

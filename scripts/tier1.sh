@@ -1,41 +1,60 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a PR must keep green.
 #   build (release) -> unit+integration tests -> lint (warnings are errors)
+#   -> serving / chaos / gemm / cluster / fusion / runtime / soak smokes
+#
+# Each stage runs under `stage <name> <cmd...>`: on failure the gate
+# stops immediately and prints the failing stage's name on stderr, so CI
+# logs point at the broken layer without scrollback archaeology.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --workspace --release
-cargo test -q
-cargo clippy --workspace --all-targets -- -D warnings
+stage() {
+  local name="$1"
+  shift
+  if ! "$@"; then
+    echo "tier1: stage '${name}' failed" >&2
+    exit 1
+  fi
+}
+
+stage build cargo build --workspace --release
+stage test cargo test -q
+stage clippy cargo clippy --workspace --all-targets -- -D warnings
 
 # Serving smoke: the batcher, admission control, and report must survive a
 # real open-loop run end to end.
-./target/release/fathom serve-bench alexnet --rps 50 --duration 1 --seed 7
+stage serve-bench ./target/release/fathom serve-bench alexnet --rps 50 --duration 1 --seed 7
 
 # Chaos smoke: injected op panic, checkpoint corruption, and a replica
 # crash must all be recovered from (nonzero exit if any probe fails).
-./target/release/fathom chaos autoenc --seed 7
+stage chaos ./target/release/fathom chaos autoenc --seed 7
 
 # GEMM smoke: the packed engine must agree with the naive kernel on all
 # four transpose layouts, be bitwise-deterministic serial vs parallel,
 # and apply a fused bias+relu epilogue bitwise-identically to the
 # unfused matmul-then-elementwise chain.
-./target/release/fathom gemm-check --m 256 --k 512 --n 192 --threads 8
+stage gemm-check ./target/release/fathom gemm-check --m 256 --k 512 --n 192 --threads 8
 
 # Cluster smoke: 2 models x 2 shards under a mixed SLO arrival stream
 # with a rolling hot reload mid-run — conservation, zero drops, every
 # shard serving, and post-reload replica checkpoints byte-equal to the
 # reloaded artifact (nonzero exit if any probe fails).
-./target/release/fathom cluster-check --seed 7
+stage cluster-check ./target/release/fathom cluster-check --seed 7
 
 # Fusion smoke: every workload must step bitwise-identically with fusion
 # off vs full (elementwise groups AND GEMM-epilogue groups), serial and
 # parallel; fails if either pass finds nothing to fuse suite-wide.
-./target/release/fathom fuse-check --steps 2 --threads 2 --inter-ops 2
+stage fuse-check ./target/release/fathom fuse-check --steps 2 --threads 2 --inter-ops 2
+
+# Runtime smoke: the unified work-stealing pool must match the serial
+# walk bit for bit at 1/2/8 workers, and the arena plan must reach a
+# zero-allocation steady state (nonzero exit if either probe fails).
+stage runtime-check ./target/release/fathom runtime-check --model autoenc --steps 2
 
 # Crash-soak smoke: kill a training run mid-flight, corrupt a snapshot,
 # inject a NaN loss — the guardrail must trip and recover, and resumed
 # training must be bitwise identical to a clean run (nonzero exit
 # otherwise). --quick soaks autoenc; the full suite runs via
 # `fathom train-soak`.
-./target/release/fathom train-soak --quick --seed 7
+stage train-soak ./target/release/fathom train-soak --quick --seed 7
