@@ -1,0 +1,5 @@
+//! `cargo bench -p fathom-bench --bench ablation_precision`
+fn main() {
+    let effort = fathom_bench::Effort::from_env();
+    print!("{}", fathom_bench::experiments::precision::run(&effort));
+}

@@ -12,6 +12,7 @@ pub mod fusion;
 pub mod gemm;
 pub mod memory;
 pub mod overhead;
+pub mod precision;
 pub mod profiles;
 pub mod recovery;
 pub mod runtime;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use fathom::{Mode, ModelKind, ModelScale, RetryPolicy};
+use fathom::{Mode, ModelKind, ModelScale, Precision, RetryPolicy};
 
 /// A fully parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +88,22 @@ pub enum Command {
         /// Seed shared by every compared build.
         seed: u64,
     },
+    /// `fathom precision-check [--steps N --threads N --seed N
+    /// --tolerance X]` — mixed-precision agreement gate: every workload's
+    /// bf16 inference must track the f32 reference within the relative
+    /// tolerance, the bf16 engine must be serial/parallel bitwise
+    /// deterministic, and the int8 calibrate→quantize path must hold its
+    /// accuracy metric on every quantizable workload.
+    PrecisionCheck {
+        /// Inference steps compared per workload.
+        steps: usize,
+        /// Intra-op threads for the parallel determinism leg.
+        threads: usize,
+        /// Seed shared by every compared build.
+        seed: u64,
+        /// Largest relative output deviation tolerated for bf16/int8.
+        tolerance: f32,
+    },
     /// `fathom help` or `-h`/`--help`.
     Help,
 }
@@ -117,6 +133,8 @@ pub struct RunArgs {
     pub save: Option<String>,
     /// Run the elementwise fusion pass on the built graph.
     pub fuse: bool,
+    /// GEMM compute width (f32 default; bf16 packs panels half-width).
+    pub precision: Precision,
 }
 
 impl RunArgs {
@@ -133,6 +151,7 @@ impl RunArgs {
             load: None,
             save: None,
             fuse: false,
+            precision: Precision::F32,
         }
     }
 }
@@ -289,6 +308,7 @@ USAGE:
     fathom run     <model> [--mode training|inference] [--scale reference|full]
                            [--steps N] [--threads N] [--inter-ops N] [--seed N]
                            [--load FILE] [--save FILE] [--fuse]
+                           [--precision f32|bf16]
     fathom profile <model> [same options as run]
     fathom trace   <model> --out FILE.json [same options]
     fathom dot     <model> --out FILE.dot  [same options]
@@ -310,6 +330,7 @@ USAGE:
     fathom gemm-check      [--m N] [--k N] [--n N] [--threads N]
     fathom fuse-check      [--steps N] [--threads N] [--inter-ops N] [--seed N]
     fathom runtime-check   [--model NAME] [--steps N] [--seed N]
+    fathom precision-check [--steps N] [--threads N] [--seed N] [--tolerance X]
 
 MODELS:
     seq2seq memnet speech autoenc residual vgg alexnet deepq
@@ -336,6 +357,15 @@ RESILIENT TRAINING:
     runs a clean leg, a fault leg (mid-run kill, injected NaN loss,
     corrupted snapshot), and a resumed leg, and exits nonzero unless
     the resumed run matches the clean run's loss bits exactly.
+
+MIXED PRECISION:
+    `--precision bf16` runs eligible GEMMs with bf16-packed panels and
+    f32 accumulation — faster and bitwise-deterministic across worker
+    counts, but not bitwise-equal to f32. `fathom precision-check` is
+    the self-verifying gate: per workload it compares bf16 inference to
+    the f32 reference (within `--tolerance`), checks bf16 determinism
+    serial vs parallel, and pushes every quantizable workload through
+    the int8 calibrate→quantize serving path; exits nonzero on any miss.
 
 FAULT PLANS:
     SPEC is `[seed=N;]site@hit=action;...` — sites: op, train,
@@ -556,6 +586,52 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::RuntimeCheck { model, steps, seed })
         }
+        "precision-check" => {
+            let (mut steps, mut threads, mut seed, mut tolerance) =
+                (2usize, 4usize, 0xFA7408u64, 0.05f32);
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut raw = |name: &str| -> Result<&String, ParseError> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--steps" => {
+                        steps = raw("--steps")?
+                            .parse()
+                            .map_err(|_| ParseError("--steps needs an integer".into()))?
+                    }
+                    "--threads" => {
+                        threads = raw("--threads")?
+                            .parse()
+                            .map_err(|_| ParseError("--threads needs an integer".into()))?
+                    }
+                    "--seed" => {
+                        seed = raw("--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?
+                    }
+                    "--tolerance" => {
+                        tolerance = raw("--tolerance")?
+                            .parse()
+                            .map_err(|_| ParseError("--tolerance needs a number".into()))?
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+                i += 1;
+            }
+            if steps == 0 || threads == 0 {
+                return Err(ParseError(
+                    "precision-check --steps and --threads must be positive".into(),
+                ));
+            }
+            if tolerance <= 0.0 || tolerance.is_nan() {
+                return Err(ParseError("precision-check --tolerance must be positive".into()));
+            }
+            Ok(Command::PrecisionCheck { steps, threads, seed, tolerance })
+        }
         "run" | "profile" | "trace" | "dot" => {
             let model_str = it
                 .next()
@@ -624,6 +700,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--load" => run.load = Some(value("--load")?),
                     "--save" => run.save = Some(value("--save")?),
                     "--fuse" => run.fuse = true,
+                    "--precision" => run.precision = parse_precision(&value("--precision")?)?,
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
                 i += 1;
@@ -694,6 +771,15 @@ fn parse_train(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ParseEr
         return Err(ParseError("--snap-keep must be at least 1".into()));
     }
     Ok(Command::Train(a))
+}
+
+/// Parses a `--precision` value: `f32` or `bf16`.
+fn parse_precision(raw: &str) -> Result<Precision, ParseError> {
+    match raw {
+        "f32" => Ok(Precision::F32),
+        "bf16" => Ok(Precision::Bf16),
+        other => Err(ParseError(format!("unknown precision '{other}' (f32|bf16)"))),
+    }
 }
 
 /// Parses a `--retry` policy: `replay`, `skip-batch`, or
@@ -1047,6 +1133,41 @@ mod tests {
         assert!(parse(&s(&["fuse-check", "--steps", "0"])).is_err());
         assert!(parse(&s(&["fuse-check", "--frob"])).is_err());
         assert!(parse(&s(&["fuse-check", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn precision_check_defaults_and_flags() {
+        assert_eq!(
+            parse(&s(&["precision-check"])).unwrap(),
+            Command::PrecisionCheck { steps: 2, threads: 4, seed: 0xFA7408, tolerance: 0.05 }
+        );
+        assert_eq!(
+            parse(&s(&[
+                "precision-check", "--steps", "3", "--threads", "2", "--seed", "9",
+                "--tolerance", "0.1",
+            ]))
+            .unwrap(),
+            Command::PrecisionCheck { steps: 3, threads: 2, seed: 9, tolerance: 0.1 }
+        );
+        assert!(parse(&s(&["precision-check", "--steps", "0"])).is_err());
+        assert!(parse(&s(&["precision-check", "--tolerance", "0"])).is_err());
+        assert!(parse(&s(&["precision-check", "--tolerance", "-1"])).is_err());
+        assert!(parse(&s(&["precision-check", "--frob"])).is_err());
+    }
+
+    #[test]
+    fn run_parses_precision_flag() {
+        let Command::Run(args) = parse(&s(&["run", "vgg"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.precision, Precision::F32);
+        let Command::Run(args) = parse(&s(&["run", "vgg", "--precision", "bf16"])).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(args.precision, Precision::Bf16);
+        assert!(parse(&s(&["run", "vgg", "--precision", "fp8"])).is_err());
+        assert!(parse(&s(&["run", "vgg", "--precision"])).is_err());
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use args::{parse, Command, RunArgs, ServeArgs, TrainArgs, USAGE};
 use fathom::{
-    BuildConfig, FusionLevel, GuardrailPolicy, Mode, ModelKind, ModelScale, RetryPolicy,
-    SnapshotPolicy, TrainOutcome, Trainer, Workload,
+    BuildConfig, FusionLevel, GuardrailPolicy, Mode, ModelKind, ModelScale, Precision,
+    RetryPolicy, SnapshotPolicy, TrainOutcome, Trainer, Workload,
 };
 use fathom_dataflow::{checkpoint, export, Device, FaultAction, FaultPlan, FaultSite};
 use fathom_profile::{report, runner, OpProfile};
@@ -83,6 +83,9 @@ fn dispatch(command: Command) -> Result<(), FathomError> {
             cmd_fuse_check(steps, threads, inter_ops, seed)
         }
         Command::RuntimeCheck { model, steps, seed } => cmd_runtime_check(model, steps, seed),
+        Command::PrecisionCheck { steps, threads, seed, tolerance } => {
+            cmd_precision_check(steps, threads, seed, tolerance)
+        }
     }
 }
 
@@ -122,6 +125,7 @@ fn cmd_runtime_check(
                 seed,
                 batch: None,
                 fusion: FusionLevel::Off,
+                precision: Precision::F32,
             })
         };
         // Serial reference: the plan-order walk on one thread.
@@ -193,6 +197,121 @@ fn cmd_runtime_check(
     }
 }
 
+/// Gates the mixed-precision compute paths across every workload:
+/// bf16 inference metrics must stay within `tolerance` of the f32
+/// reference and be bitwise identical serial vs parallel, and the
+/// int8 path (calibrate on the first `steps` batches, quantize, serve
+/// the next `steps`) must also land within `tolerance`. Exits nonzero
+/// on any violation, so scripts/tier1.sh can use it as a smoke gate.
+fn cmd_precision_check(
+    steps: usize,
+    threads: usize,
+    seed: u64,
+    tolerance: f32,
+) -> Result<(), FathomError> {
+    println!(
+        "precision-check | {steps} calibration + {steps} serving step(s) | parallel leg \
+         {threads} worker(s) | seed {seed:#x} | tolerance {tolerance}"
+    );
+    // Deviation of a mean metric from its reference, relative for
+    // metrics above 1 and absolute below — classification accuracies
+    // and confidences live in [0, 1], where a ratio would explode near
+    // zero.
+    let deviation = |got: f32, want: f32| (got - want).abs() / want.abs().max(1.0);
+    let mean = |xs: &[f32]| xs.iter().sum::<f32>() / xs.len().max(1) as f32;
+
+    let mut failures = 0u32;
+    for kind in ModelKind::ALL {
+        let make = |precision: Precision, device: Device| {
+            kind.build(&BuildConfig {
+                mode: Mode::Inference,
+                scale: ModelScale::Reference,
+                device,
+                seed,
+                batch: None,
+                fusion: FusionLevel::Off,
+                precision,
+            })
+        };
+
+        // f32 reference over 2x steps: the first half aligns with the
+        // quantized model's calibration batches, the tail with its
+        // post-quantization serving batches.
+        let mut reference = make(Precision::F32, Device::cpu(1));
+        let mut ref_metrics = Vec::with_capacity(2 * steps);
+        for _ in 0..2 * steps {
+            ref_metrics
+                .push(reference.step().metric.expect("inference reports a metric"));
+        }
+
+        // Leg 1: bf16 storage / f32 accumulate stays within tolerance.
+        let mut bf16 = make(Precision::Bf16, Device::cpu(1));
+        let mut bf16_metrics = Vec::with_capacity(2 * steps);
+        for _ in 0..2 * steps {
+            bf16_metrics.push(bf16.step().metric.expect("inference reports a metric"));
+        }
+        let bf16_dev = deviation(mean(&bf16_metrics), mean(&ref_metrics));
+        let bf16_ok = bf16_dev <= tolerance;
+
+        // Leg 2: bf16 is bitwise deterministic, serial vs parallel.
+        let mut par = make(Precision::Bf16, Device::cpu_inter_op(threads, threads));
+        let mut det_ok = true;
+        for (i, &want) in bf16_metrics.iter().enumerate() {
+            let got = par.step().metric.expect("inference reports a metric");
+            if got.to_bits() != want.to_bits() {
+                println!(
+                    "      {} bf16 @ {threads} worker(s): metric bits diverge at step {i}",
+                    kind.name()
+                );
+                det_ok = false;
+            }
+        }
+
+        // Leg 3: per-channel int8. Calibration runs the same batch
+        // stream as the reference's first half (unquantized, so metrics
+        // match f32), then the quantized tail is judged against the
+        // reference tail.
+        let mut quant = make(Precision::F32, Device::cpu(threads));
+        quant.session_mut().begin_calibration();
+        for _ in 0..steps {
+            quant.step();
+        }
+        quant.session_mut().finish_calibration();
+        let (int8_ok, int8_dev) = match quant.session_mut().quantize_from_calibration() {
+            Ok(_gemms) => {
+                let mut int8_metrics = Vec::with_capacity(steps);
+                for _ in 0..steps {
+                    int8_metrics
+                        .push(quant.step().metric.expect("inference reports a metric"));
+                }
+                let dev = deviation(mean(&int8_metrics), mean(&ref_metrics[steps..]));
+                (dev <= tolerance, dev)
+            }
+            Err(e) => {
+                println!("      {}: int8 quantization failed: {e}", kind.name());
+                (false, f32::NAN)
+            }
+        };
+
+        let ok = bf16_ok && det_ok && int8_ok;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{}  {:<8} bf16 dev {bf16_dev:.4} ({bf16_ok})  bf16 bitwise serial vs \
+             parallel: {det_ok}  int8 dev {int8_dev:.4} ({int8_ok})",
+            if ok { "PASS" } else { "FAIL" },
+            kind.name(),
+        );
+    }
+    if failures == 0 {
+        println!("precision-check: bf16 and int8 paths hold accuracy on all workloads");
+        Ok(())
+    } else {
+        Err(FathomError::Message(format!("precision-check: {failures} workload(s) failed")))
+    }
+}
+
 /// Checks the fusion passes across every workload: training losses,
 /// trained variables, and inference metrics must be bitwise identical
 /// with fusion (GEMM epilogues included) on and off, serial and parallel
@@ -223,6 +342,7 @@ fn cmd_fuse_check(
                 seed,
                 batch: None,
                 fusion,
+                precision: Precision::F32,
             })
         };
         // Training legs: unfused serial is the reference; fused serial and
@@ -418,6 +538,7 @@ fn build(a: &RunArgs) -> Box<dyn Workload> {
         seed: a.seed,
         batch: None,
         fusion: if a.fuse { FusionLevel::Full } else { FusionLevel::Off },
+        precision: a.precision,
     };
     a.model.build(&cfg)
 }
@@ -493,6 +614,7 @@ fn cmd_serve_bench(a: ServeArgs) -> Result<(), FathomError> {
         seed: a.seed,
         batch: Some(a.max_batch),
         fusion: FusionLevel::Off,
+        precision: Precision::F32,
     };
     let mut workers = Vec::with_capacity(a.replicas);
     for _ in 0..a.replicas {
@@ -677,6 +799,7 @@ fn cmd_serve_cluster(a: ServeArgs) -> Result<(), FathomError> {
             seed: a.seed,
             batch: Some(a.max_batch),
             fusion: FusionLevel::Off,
+            precision: Precision::F32,
         };
         let mut shards = Vec::with_capacity(a.shards);
         for _ in 0..a.shards {
@@ -706,6 +829,7 @@ fn cmd_serve_cluster(a: ServeArgs) -> Result<(), FathomError> {
                 seed: a.seed,
                 batch: Some(a.max_batch),
                 fusion: FusionLevel::Off,
+                precision: Precision::F32,
             },
         )?;
         let shapes = probe.item_shapes();
@@ -846,6 +970,7 @@ fn cmd_cluster_check(seed: u64) -> Result<(), FathomError> {
         seed: seed ^ 1,
         batch: None,
         fusion: FusionLevel::Off,
+        precision: Precision::F32,
     });
     for _ in 0..2 {
         trained.step();
@@ -865,6 +990,7 @@ fn cmd_cluster_check(seed: u64) -> Result<(), FathomError> {
                 seed,
                 batch: Some(MAX_BATCH),
                 fusion: FusionLevel::Off,
+                precision: Precision::F32,
             },
         )?)
     };
@@ -983,6 +1109,7 @@ fn build_trainer(
         seed,
         batch: None,
         fusion: FusionLevel::Off,
+        precision: Precision::F32,
     };
     let mut trainer = Trainer::new(model.build(&cfg))?.with_guardrail(guard);
     if let Some((policy, dir)) = snapshots {
@@ -1178,6 +1305,7 @@ fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
             seed,
             batch: None,
             fusion: FusionLevel::Off,
+            precision: Precision::F32,
         };
         let mut m = model.build(&cfg);
         let mut before = Vec::new();
@@ -1244,6 +1372,7 @@ fn cmd_chaos(model: ModelKind, seed: u64) -> Result<(), FathomError> {
             seed,
             batch: Some(2),
             fusion: FusionLevel::Off,
+            precision: Precision::F32,
         };
         let plan = Arc::new(
             FaultPlan::new(seed).with(FaultSite::ServeBatch { replica: 0 }, 0, FaultAction::Crash),

@@ -29,6 +29,7 @@ mod registry;
 pub mod train;
 mod workload;
 
+pub use fathom_dataflow::Precision;
 pub use registry::{ModelKind, ParseModelError};
 pub use train::{
     GuardrailPolicy, RetryPolicy, SnapshotPolicy, TrainError, TrainOutcome, TrainReport, Trainer,

@@ -68,9 +68,12 @@ impl ModelKind {
         }
     }
 
-    /// Builds the workload.
+    /// Builds the workload. The session inherits the config's compute
+    /// [`precision`](BuildConfig::precision) — applied here, at the one
+    /// choke point every workload construction passes through, so no
+    /// model builder needs to know precision exists.
     pub fn build(&self, cfg: &BuildConfig) -> Box<dyn Workload> {
-        match self {
+        let mut model: Box<dyn Workload> = match self {
             ModelKind::Seq2Seq => Box::new(seq2seq::Seq2Seq::build(cfg)),
             ModelKind::Memnet => Box::new(memnet::Memnet::build(cfg)),
             ModelKind::Speech => Box::new(speech::Speech::build(cfg)),
@@ -79,7 +82,9 @@ impl ModelKind {
             ModelKind::Vgg => Box::new(vgg::Vgg::build(cfg)),
             ModelKind::Alexnet => Box::new(alexnet::Alexnet::build(cfg)),
             ModelKind::Deepq => Box::new(deepq::Deepq::build(cfg)),
-        }
+        };
+        model.session_mut().set_precision(cfg.precision);
+        model
     }
 }
 

@@ -168,9 +168,15 @@ impl TrainReport {
             Some(s) => out.push_str(&format!("  \"resumed_from\": {s},\n")),
             None => out.push_str("  \"resumed_from\": null,\n"),
         }
+        // Non-finite floats degrade to null: JSON has no NaN/Infinity
+        // tokens, and a diverged run's report must still parse.
         match self.final_loss {
             Some(l) if l.is_finite() => out.push_str(&format!("  \"final_loss\": {l},\n")),
             _ => out.push_str("  \"final_loss\": null,\n"),
+        }
+        match self.final_grad_norm {
+            Some(g) if g.is_finite() => out.push_str(&format!("  \"final_grad_norm\": {g},\n")),
+            _ => out.push_str("  \"final_grad_norm\": null,\n"),
         }
         out.push_str(&format!("  \"guardrail_trips\": {},\n", self.trips.len()));
         out.push_str("  \"trips\": [\n");
@@ -681,6 +687,24 @@ mod tests {
         assert!(json.contains("\"outcome\": \"completed\""));
         assert!(json.contains("\"steps\": 2"));
         assert!(json.contains("\"guardrail_trips\": 0"));
+        assert!(json.contains("\"final_grad_norm\""));
+    }
+
+    #[test]
+    fn non_finite_report_floats_become_null_tokens() {
+        let report = TrainReport {
+            workload: "autoenc",
+            steps: 3,
+            final_loss: Some(f32::NAN),
+            final_grad_norm: Some(f32::INFINITY),
+            ..TrainReport::default()
+        };
+        let json = report.to_json(&TrainOutcome::Completed);
+        assert!(json.contains("\"final_loss\": null"));
+        assert!(json.contains("\"final_grad_norm\": null"));
+        for token in ["NaN", "inf"] {
+            assert!(!json.contains(token), "bare {token} leaked into JSON: {json}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! inference, or simply inspecting the model's dataflow graph is
 //! straightforward." (paper §VI). [`Workload`] is that interface.
 
-use fathom_dataflow::{Device, ExecError, NodeId, Session};
+use fathom_dataflow::{Device, ExecError, NodeId, Precision, Session};
 
 /// Whether a workload instance executes forward-only or full update steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -251,6 +251,12 @@ pub struct BuildConfig {
     /// built. Bitwise-neutral at every level: fused and unfused sessions
     /// produce identical losses, metrics, and variable trajectories.
     pub fusion: FusionLevel,
+    /// GEMM compute width (DESIGN.md §18): [`Precision::F32`] runs the
+    /// full-precision engine; [`Precision::Bf16`] packs eligible GEMM
+    /// panels as bf16 and accumulates in f32. Unlike `fusion` this is
+    /// *not* bitwise-neutral — it trades mantissa bits for bandwidth —
+    /// so the default stays `F32`.
+    pub precision: Precision,
 }
 
 /// How aggressively a workload's session fuses its graph.
@@ -287,6 +293,7 @@ impl BuildConfig {
             seed: 0xFA7408,
             batch: None,
             fusion: FusionLevel::Off,
+            precision: Precision::F32,
         }
     }
 
@@ -328,6 +335,12 @@ impl BuildConfig {
     /// Selects an exact fusion level.
     pub fn with_fusion_level(mut self, level: FusionLevel) -> Self {
         self.fusion = level;
+        self
+    }
+
+    /// Selects the GEMM compute width.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 

@@ -14,6 +14,18 @@
 //! last snapshot and produces bitwise-identical losses from there on.
 //! Version 2 files (variables only) still load.
 //!
+//! A second optional section behind [`FLAG_CALIB`] carries the session's
+//! int8 **calibration ranges** (DESIGN.md §18): per-GEMM, per-channel
+//! activation max-abs values recorded by a calibration pass. A serving
+//! worker that restores such a checkpoint can rebuild its quantization
+//! plan without re-running calibration. Files written by sessions that
+//! never calibrated are byte-identical to the pre-§18 format.
+//!
+//! Flag bits this build does not understand are a *forward*-compatibility
+//! problem, not corruption, and surface as the typed
+//! [`CheckpointError::UnsupportedVersion`] — callers can tell "newer
+//! writer" apart from "damaged bytes" ([`CheckpointError::Corrupt`]).
+//!
 //! Durability: [`save_to_path`] is crash-consistent. It writes to a
 //! temporary file in the same directory, fsyncs it, re-reads and
 //! verifies the bytes, then atomically renames over the destination and
@@ -26,7 +38,7 @@ use std::path::Path;
 
 use fathom_tensor::{Shape, Tensor};
 
-use crate::exec::Session;
+use crate::exec::{CalibrationRanges, Session};
 use crate::op::OpKind;
 
 const MAGIC: &[u8; 8] = b"FATHOMCK";
@@ -36,6 +48,11 @@ const VERSION: u32 = 3;
 const FLAG_VARS: u32 = 1;
 /// A resume section follows the variables.
 const FLAG_RESUME: u32 = 2;
+/// An int8 calibration-ranges section follows the resume section (or the
+/// variables, when no resume section is present).
+const FLAG_CALIB: u32 = 4;
+/// Every flag bit this build knows how to read.
+const KNOWN_FLAGS: u32 = FLAG_VARS | FLAG_RESUME | FLAG_CALIB;
 
 /// Caps on self-described sizes. A corrupt length field must fail with a
 /// typed error before it can drive a pathological allocation.
@@ -57,13 +74,19 @@ const CHUNK_ELEMS: usize = 16 * 1024;
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The stream is not a Fathom checkpoint or has a newer version.
+    /// The stream is not a Fathom checkpoint (bad magic, malformed or
+    /// truncated records, implausible self-described sizes).
     BadHeader(String),
     /// The payload parsed but its checksum does not match: the bytes
     /// were altered after the checkpoint was written.
     Corrupt(String),
     /// The checkpoint does not match the session's variables.
     Mismatch(String),
+    /// The file is a well-formed Fathom checkpoint from a *newer* writer:
+    /// either a version this build does not read or a section flag bit it
+    /// does not understand. Distinct from [`CheckpointError::Corrupt`] so
+    /// callers can suggest upgrading instead of discarding the snapshot.
+    UnsupportedVersion(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -73,6 +96,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadHeader(msg) => write!(f, "invalid checkpoint: {msg}"),
             CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
             CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            CheckpointError::UnsupportedVersion(msg) => {
+                write!(f, "unsupported checkpoint version: {msg}")
+            }
         }
     }
 }
@@ -282,9 +308,13 @@ fn save_with(
 ) -> Result<(), CheckpointError> {
     let mut w = HashingWriter::new(w);
     let vars = session.graph().variables();
+    // Sessions that never calibrated write the exact pre-§18 byte layout.
+    let calib = session.calibration_ranges().filter(|c| !c.is_empty());
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
-    let flags = FLAG_VARS | if resume.is_some() { FLAG_RESUME } else { 0 };
+    let flags = FLAG_VARS
+        | if resume.is_some() { FLAG_RESUME } else { 0 }
+        | if calib.is_some() { FLAG_CALIB } else { 0 };
     write_u32(&mut w, flags)?;
     write_u64(&mut w, vars.len() as u64)?;
     for id in vars {
@@ -311,6 +341,18 @@ fn save_with(
         write_u64(&mut w, pipeline.len() as u64)?;
         w.write_all(pipeline)?;
     }
+    if let Some(ranges) = calib {
+        // BTreeMap iteration is ordered by node index, so identical
+        // calibration state always serializes to identical bytes.
+        write_u64(&mut w, ranges.len() as u64)?;
+        for (node, chans) in ranges {
+            write_u64(&mut w, u64::from(*node))?;
+            write_u64(&mut w, chans.len() as u64)?;
+            for &v in chans {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+    }
     let digest = w.hash.digest();
     w.inner.write_all(&digest.to_le_bytes())?;
     w.inner.flush()?;
@@ -321,6 +363,7 @@ fn save_with(
 struct Payload {
     vars: HashMap<String, Tensor>,
     resume: Option<RawResume>,
+    calib: Option<CalibrationRanges>,
 }
 
 /// The parsed resume section, before it is applied to a session.
@@ -425,6 +468,47 @@ fn read_resume_section(r: &mut impl Read) -> Result<RawResume, CheckpointError> 
     Ok(RawResume { rng, run_counter, cursor, slots, pipeline })
 }
 
+/// Reads the [`FLAG_CALIB`] section: `count`, then per GEMM a node
+/// index, a channel count, and that many f32 max-abs values.
+fn read_calib_section(r: &mut impl Read) -> Result<CalibrationRanges, CheckpointError> {
+    let count = read_u64(r).map_err(eof_is_truncation)?;
+    if count > MAX_VARIABLES {
+        return Err(CheckpointError::BadHeader(format!(
+            "implausible calibration entry count {count} (cap {MAX_VARIABLES})"
+        )));
+    }
+    let mut ranges = CalibrationRanges::new();
+    for _ in 0..count {
+        let node = read_u64(r).map_err(eof_is_truncation)?;
+        if node > u64::from(u32::MAX) {
+            return Err(CheckpointError::BadHeader(format!(
+                "calibration node index {node} out of range"
+            )));
+        }
+        let len = read_u64(r).map_err(eof_is_truncation)?;
+        if len > MAX_ELEMENTS {
+            return Err(CheckpointError::BadHeader(format!(
+                "implausible calibration channel count {len} (cap {MAX_ELEMENTS})"
+            )));
+        }
+        // Chunked like tensor data: a corrupt length hits EOF, not OOM.
+        let mut chans = Vec::with_capacity((len as usize).min(CHUNK_ELEMS));
+        let mut byte_buf = vec![0u8; CHUNK_ELEMS * 4];
+        let mut remaining = len as usize;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK_ELEMS);
+            let chunk = &mut byte_buf[..n * 4];
+            r.read_exact(chunk).map_err(eof_is_truncation)?;
+            for c in chunk.chunks_exact(4) {
+                chans.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            }
+            remaining -= n;
+        }
+        ranges.insert(node as u32, chans);
+    }
+    Ok(ranges)
+}
+
 /// Parses header and sections from `r`, enforcing the size caps, then
 /// validates the trailing checksum. Everything before the checksum is
 /// hashed; the checksum itself is read from the raw inner stream.
@@ -441,15 +525,25 @@ fn read_payload(r: impl Read) -> Result<Payload, CheckpointError> {
         2 => FLAG_VARS,
         3 => {
             let flags = read_u32(&mut r).map_err(eof_is_truncation)?;
+            // Unknown bits are checked first: a newer writer may both add
+            // sections and drop FLAG_VARS, and "upgrade your reader" is
+            // the actionable diagnosis there, not "malformed file".
+            if flags & !KNOWN_FLAGS != 0 {
+                return Err(CheckpointError::UnsupportedVersion(format!(
+                    "unknown section flags {:#x} (this build reads {:#x})",
+                    flags & !KNOWN_FLAGS,
+                    KNOWN_FLAGS
+                )));
+            }
             if flags & FLAG_VARS == 0 {
                 return Err(CheckpointError::BadHeader("missing variables section".into()));
             }
-            if flags & !(FLAG_VARS | FLAG_RESUME) != 0 {
-                return Err(CheckpointError::BadHeader(format!(
-                    "unknown section flags {flags:#x}"
-                )));
-            }
             flags
+        }
+        v if v > VERSION => {
+            return Err(CheckpointError::UnsupportedVersion(format!(
+                "version {v} is newer than this build (reads 2..={VERSION})"
+            )));
         }
         v => {
             return Err(CheckpointError::BadHeader(format!(
@@ -473,6 +567,11 @@ fn read_payload(r: impl Read) -> Result<Payload, CheckpointError> {
     } else {
         None
     };
+    let calib = if flags & FLAG_CALIB != 0 {
+        Some(read_calib_section(&mut r)?)
+    } else {
+        None
+    };
     let expected = r.digest();
     let mut tail = [0u8; 8];
     r.inner.read_exact(&mut tail).map_err(eof_is_truncation)?;
@@ -482,7 +581,7 @@ fn read_payload(r: impl Read) -> Result<Payload, CheckpointError> {
             "checksum mismatch: stored {stored:#018x}, computed {expected:#018x}"
         )));
     }
-    Ok(Payload { vars, resume })
+    Ok(Payload { vars, resume, calib })
 }
 
 /// Structurally validates checkpoint bytes — header, records, size caps,
@@ -511,7 +610,11 @@ pub fn verify(r: impl Read) -> Result<usize, CheckpointError> {
 /// session, or an I/O error for genuine transport failures.
 pub fn load(session: &mut Session, r: impl Read) -> Result<(), CheckpointError> {
     let payload = read_payload(r)?;
-    restore_variables(session, payload.vars)
+    restore_variables(session, payload.vars)?;
+    if let Some(ranges) = payload.calib {
+        session.set_calibration_ranges(ranges);
+    }
+    Ok(())
 }
 
 /// Restores a resume checkpoint written by [`save_resume`]: variables,
@@ -546,6 +649,9 @@ pub fn load_resume(session: &mut Session, r: impl Read) -> Result<ResumeHeader, 
         session
             .restore_optimizer_slot(crate::graph::NodeId(node as u32), &name, value)
             .map_err(CheckpointError::Mismatch)?;
+    }
+    if let Some(ranges) = payload.calib {
+        session.set_calibration_ranges(ranges);
     }
     Ok(ResumeHeader { cursor: resume.cursor, pipeline: resume.pipeline })
 }
@@ -833,14 +939,91 @@ mod tests {
     }
 
     #[test]
-    fn future_versions_are_rejected() {
+    fn future_versions_are_rejected_as_unsupported() {
         let (_, trained, _, _) = trained_session();
         let mut buf = Vec::new();
         save(&trained, &mut buf).expect("saves");
         buf[8..12].copy_from_slice(&99u32.to_le_bytes());
         let err = verify(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::UnsupportedVersion(_)), "got {err}");
+        assert!(err.to_string().contains("newer than this build"), "got {err}");
+        // Versions *older* than anything we ever shipped are malformed,
+        // not "from the future".
+        buf[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = verify(buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::BadHeader(_)), "got {err}");
-        assert!(err.to_string().contains("unsupported version"), "got {err}");
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_unsupported_not_corrupt() {
+        let (_, trained, _, _) = trained_session();
+        let mut buf = Vec::new();
+        save(&trained, &mut buf).expect("saves");
+        // The flags word sits at offset 12 (magic + version). Set a bit
+        // this build has never heard of.
+        for alien in [8u32, 16, 0x8000_0000] {
+            let mut bytes = buf.clone();
+            let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) | alien;
+            bytes[12..16].copy_from_slice(&flags.to_le_bytes());
+            let err = verify(bytes.as_slice()).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::UnsupportedVersion(_)),
+                "flag {alien:#x}: got {err}"
+            );
+            assert!(err.to_string().contains("unknown section flags"), "got {err}");
+        }
+    }
+
+    #[test]
+    fn calibration_ranges_ride_along_and_absence_is_byte_identical() {
+        let (g, trained, _, _) = trained_session();
+        let mut plain = Vec::new();
+        save(&trained, &mut plain).expect("saves");
+
+        // Attach calibration ranges: the flags word grows FLAG_CALIB and
+        // a section appears, but the plain file above is untouched.
+        let mut calibrated = Session::new(g.clone(), Device::cpu(1));
+        load(&mut calibrated, plain.as_slice()).expect("loads");
+        let mut ranges = crate::exec::CalibrationRanges::new();
+        ranges.insert(4, vec![0.5, 2.0]);
+        ranges.insert(9, vec![1.25]);
+        calibrated.set_calibration_ranges(ranges.clone());
+        let mut with_calib = Vec::new();
+        save(&calibrated, &mut with_calib).expect("saves");
+        assert_ne!(plain, with_calib);
+        assert_eq!(
+            u32::from_le_bytes(plain[12..16].try_into().unwrap()) | FLAG_CALIB,
+            u32::from_le_bytes(with_calib[12..16].try_into().unwrap()),
+        );
+
+        // Restoring brings the ranges back; a second save is the
+        // identity (the section is canonical).
+        let mut fresh = Session::new(g, Device::cpu(1));
+        assert!(fresh.calibration_ranges().is_none());
+        load(&mut fresh, with_calib.as_slice()).expect("loads");
+        assert_eq!(fresh.calibration_ranges(), Some(&ranges));
+        let mut again = Vec::new();
+        save(&fresh, &mut again).expect("saves again");
+        assert_eq!(with_calib, again, "calibrated checkpoints must be byte-stable");
+    }
+
+    #[test]
+    fn calibration_section_rides_with_resume_too() {
+        let (g, mut trained, _, _) = trained_session();
+        let mut ranges = crate::exec::CalibrationRanges::new();
+        ranges.insert(2, vec![3.0, 0.25, 1.5]);
+        trained.set_calibration_ranges(ranges.clone());
+        let cursor = TrainCursor { global_step: 20, epoch: 2, position: 6 };
+        let mut buf = Vec::new();
+        save_resume(&trained, cursor, &[1, 2, 3], &mut buf).expect("saves");
+
+        let mut fresh = Session::new(g, Device::cpu(1));
+        let header = load_resume(&mut fresh, buf.as_slice()).expect("resumes");
+        assert_eq!(header.cursor, cursor);
+        assert_eq!(fresh.calibration_ranges(), Some(&ranges));
+        let mut again = Vec::new();
+        save_resume(&fresh, cursor, &[1, 2, 3], &mut again).expect("saves again");
+        assert_eq!(buf, again, "resume + calib checkpoints must be byte-stable");
     }
 
     #[test]

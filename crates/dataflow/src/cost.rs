@@ -7,7 +7,7 @@
 use fathom_tensor::kernels::conv::Conv2dSpec;
 use fathom_tensor::kernels::epilogue::EpilogueInstr;
 use fathom_tensor::kernels::fused::{FusedInstr, FusedOp};
-use fathom_tensor::Shape;
+use fathom_tensor::{Precision, Shape};
 
 use crate::graph::Node;
 use crate::op::{GemmOp, OpKind};
@@ -90,6 +90,12 @@ pub enum ConvLowering {
 }
 
 /// Picks the convolution lowering from flop/byte estimates of the
+/// geometry, at full precision. See [`conv2d_lowering_with`].
+pub fn conv2d_lowering(input: &Shape, filter: &Shape, spec: Conv2dSpec) -> ConvLowering {
+    conv2d_lowering_with(input, filter, spec, Precision::F32)
+}
+
+/// Picks the convolution lowering from flop/byte estimates of the
 /// geometry.
 ///
 /// im2col duplicates the input up to `kh*kw` times, so it only pays when
@@ -97,11 +103,31 @@ pub enum ConvLowering {
 /// amortize the copy — and when there is enough total work for packed
 /// GEMM to beat the direct kernel's simpler loops.
 ///
+/// Intensity and total work alone over-predict im2col on small-`k`
+/// geometries: the PR-4 ablation's `32x32 3x3 c16->16` case clears both
+/// bars (intensity 3.6, 4.7 MFLOP) yet loses to the direct kernel,
+/// because its weight panel (`kdim × oc` ≈ 9 KB) is too small for the
+/// packed engine's panel reuse to beat direct loops that never build a
+/// patch matrix at all. The third condition below captures that: im2col
+/// needs either a large filter window (`kh*kw ≥ 25`, where the direct
+/// kernel's per-output work explodes — the deepq 8×8 geometry) or a
+/// weight panel big enough to amortize packing (≥ 32 KB, the same
+/// `k*n ≥ 8192`-elements-at-f32 floor as
+/// [`fathom_tensor::kernels::gemm::use_packed`]). The panel bound is in
+/// *bytes* at the packed element width, so bf16 halves it and marginal
+/// panels drop back to Direct — under bf16 the GEMM's bandwidth win
+/// shrinks while the (always-f32) patch-copy cost does not.
+///
 /// Every term is **per sample**: the batch extent is deliberately
 /// excluded so a batch-1 serving graph and a batch-B graph over the same
 /// geometry pick the same lowering (serving's bitwise batch-independence
 /// contract).
-pub fn conv2d_lowering(input: &Shape, filter: &Shape, spec: Conv2dSpec) -> ConvLowering {
+pub fn conv2d_lowering_with(
+    input: &Shape,
+    filter: &Shape,
+    spec: Conv2dSpec,
+    precision: Precision,
+) -> ConvLowering {
     assert_eq!(input.rank(), 4, "conv2d input must be NHWC, got {input}");
     assert_eq!(filter.rank(), 4, "conv2d filter must be [kh,kw,ic,oc], got {filter}");
     let (kh, kw, ic, oc) = (filter.dim(0), filter.dim(1), filter.dim(2), filter.dim(3));
@@ -112,7 +138,8 @@ pub fn conv2d_lowering(input: &Shape, filter: &Shape, spec: Conv2dSpec) -> ConvL
     let out_px = (oh * ow) as f64;
     // Work and traffic for one sample's lowered GEMM: patch matrix
     // written once and read once, plus filter, input, and output moved
-    // once each.
+    // once each. The patch matrix is always materialized at f32; only
+    // the packed GEMM panels narrow under bf16.
     let gemm_flops = 2.0 * out_px * kdim * oc as f64;
     let bytes = 4.0
         * (2.0 * out_px * kdim
@@ -120,11 +147,32 @@ pub fn conv2d_lowering(input: &Shape, filter: &Shape, spec: Conv2dSpec) -> ConvL
             + (h * w * ic) as f64
             + out_px * oc as f64);
     let intensity = OpCost { flops: gemm_flops, bytes }.intensity();
-    if intensity >= 2.0 && gemm_flops >= 100_000.0 {
+    let elem_bytes = match precision {
+        Precision::F32 => 4.0,
+        Precision::Bf16 => 2.0,
+    };
+    let panel_bytes = elem_bytes * kdim * oc as f64;
+    let big_window = kh * kw >= 25;
+    if intensity >= 2.0 && gemm_flops >= 100_000.0 && (big_window || panel_bytes >= 32768.0) {
         ConvLowering::Im2colGemm
     } else {
         ConvLowering::Direct
     }
+}
+
+/// Whether a `[m,k]x[k,n]` product should take the bf16 packed path when
+/// the session opts into [`Precision::Bf16`].
+///
+/// bf16's entire win is halved panel bandwidth at the pack step, so it
+/// only pays on products the packed engine takes anyway
+/// ([`fathom_tensor::kernels::gemm::use_packed`]) and whose contraction
+/// is deep enough that panel streaming — not the one-pass pack
+/// conversion — dominates (`k ≥ 64`, one microkernel pass per output
+/// tile reading at least 64 panel rows). Like `use_packed`, the answer
+/// deliberately ignores `m`: `m` is the batch-scaled extent and the
+/// choice must not break serving's bitwise batch-independence contract.
+pub fn bf16_gemm_eligible(k: usize, n: usize) -> bool {
+    fathom_tensor::kernels::gemm::use_packed(k, n) && k >= 64
 }
 
 /// Whether a MatMul/Conv2D node with these input shapes is a profitable
@@ -329,6 +377,57 @@ mod tests {
             ),
             ConvLowering::Direct
         );
+    }
+
+    #[test]
+    fn refit_rejects_the_small_panel_ablation_loser() {
+        // The `32x32 3x3 c16->16` geometry cleared the old intensity/
+        // flop bars but lost to the direct kernel in the PR-4 ablation
+        // (3/4): its 9 KB weight panel cannot amortize im2col's patch
+        // copy. The panel-bytes condition pins it to Direct.
+        assert_eq!(
+            conv2d_lowering(
+                &Shape::new(vec![2, 32, 32, 16]),
+                &Shape::new(vec![3, 3, 16, 16]),
+                Conv2dSpec::same(3),
+            ),
+            ConvLowering::Direct
+        );
+    }
+
+    #[test]
+    fn lowering_panel_bound_narrows_under_bf16() {
+        // 36 KB f32 weight panel: above the 32 KB bound at f32, below it
+        // at bf16 (18 KB) — the GEMM's bandwidth win halves while the
+        // f32 patch copy does not, so the marginal geometry drops back
+        // to Direct.
+        let input = Shape::new(vec![1, 16, 16, 32]);
+        let filter = Shape::new(vec![3, 3, 32, 32]);
+        let spec = Conv2dSpec::same(3);
+        assert_eq!(
+            conv2d_lowering_with(&input, &filter, spec, Precision::F32),
+            ConvLowering::Im2colGemm
+        );
+        assert_eq!(
+            conv2d_lowering_with(&input, &filter, spec, Precision::Bf16),
+            ConvLowering::Direct
+        );
+        // A deep geometry stays Im2colGemm at either width.
+        let deep_in = Shape::new(vec![1, 8, 8, 64]);
+        let deep_f = Shape::new(vec![3, 3, 64, 64]);
+        assert_eq!(
+            conv2d_lowering_with(&deep_in, &deep_f, spec, Precision::Bf16),
+            ConvLowering::Im2colGemm
+        );
+    }
+
+    #[test]
+    fn bf16_eligibility_requires_packed_and_deep_k() {
+        assert!(bf16_gemm_eligible(512, 512));
+        assert!(bf16_gemm_eligible(64, 128));
+        assert!(!bf16_gemm_eligible(32, 512), "shallow k: pack pass dominates");
+        assert!(!bf16_gemm_eligible(512, 8), "n below NR never packs");
+        assert!(!bf16_gemm_eligible(4, 512));
     }
 
     #[test]

@@ -48,11 +48,12 @@ use fathom_tensor::kernels::gemm as kgemm;
 use fathom_tensor::kernels::im2col as kim2col;
 use fathom_tensor::kernels::matmul as kmm;
 use fathom_tensor::kernels::pool2d as kpool;
+use fathom_tensor::kernels::quant::QuantizedGemm;
 use fathom_tensor::kernels::reduce as kred;
 use fathom_tensor::kernels::softmax as ksm;
 use fathom_tensor::kernels::transform as ktf;
 use fathom_tensor::{
-    BufferPool, ExecPool, Latch, RecycleStats, Rng, Runtime, Tensor, DEFAULT_GRAIN,
+    BufferPool, ExecPool, Latch, Precision, RecycleStats, Rng, Runtime, Tensor, DEFAULT_GRAIN,
 };
 
 use crate::cost;
@@ -176,6 +177,33 @@ struct Plan {
     wide_ops: u64,
     /// Ops molded narrower so independent peers co-schedule.
     cosched_ops: u64,
+}
+
+/// Per-node activation ranges recorded by a calibration pass: graph node
+/// index → per-k-channel max-abs of the GEMM's activation operand,
+/// max-merged over every calibrated batch. A `BTreeMap` so iteration —
+/// and therefore the checkpoint serialization of the ranges — is
+/// deterministic.
+pub type CalibrationRanges = std::collections::BTreeMap<u32, Vec<f32>>;
+
+/// An inference-only int8 execution plan: one quantized GEMM per
+/// eligible MatMul node, built by
+/// [`Session::quantize_from_calibration`] from the graph's weights and
+/// the calibrated activation ranges. Dispatch consults it before the
+/// precision knob: a planned node runs `i8×i8→i32` with f32 dequant in
+/// the writeback, everything else takes the session's usual path.
+#[derive(Debug, Clone, Default)]
+pub struct QuantPlan {
+    /// Graph node index → quantized weights and scales.
+    pub per_node: HashMap<u32, QuantizedGemm>,
+}
+
+/// Immutable per-run compute context threaded to every op dispatch: the
+/// session's precision knob plus the quantized-inference plan, if any.
+#[derive(Clone, Copy)]
+struct ExecCtx<'a> {
+    precision: Precision,
+    quant: Option<&'a QuantPlan>,
 }
 
 /// How the planner assigns intra-op widths when the device co-schedules
@@ -306,6 +334,16 @@ pub struct Session {
     cost_cache: Vec<Option<cost::OpCost>>,
     /// Width-assignment policy for co-scheduling devices.
     width_policy: WidthPolicy,
+    /// GEMM operand-panel precision for eligible ops (DESIGN.md §18).
+    precision: Precision,
+    /// Armed int8 inference plan; consulted before the precision knob.
+    quant: Option<Arc<QuantPlan>>,
+    /// Activation ranges accumulated by calibration runs (and restored
+    /// from checkpoints), keyed by graph node index.
+    calib: Option<CalibrationRanges>,
+    /// While set, runs record activation ranges and force the serial
+    /// executor (recording needs exclusive session state per op).
+    calibrating: bool,
     /// Cumulative unified-runtime counters over committed runs.
     counters: RuntimeCounters,
     /// Recycler miss count at the last counter sample (delta base).
@@ -353,6 +391,10 @@ impl Session {
             plan_cache: HashMap::new(),
             cost_cache: Vec::new(),
             width_policy: WidthPolicy::default(),
+            precision: Precision::default(),
+            quant: None,
+            calib: None,
+            calibrating: false,
             counters: RuntimeCounters::default(),
             last_misses: 0,
             last_steals,
@@ -394,6 +436,173 @@ impl Session {
     /// runs.
     pub fn runtime_counters(&self) -> RuntimeCounters {
         self.counters
+    }
+
+    /// Selects the GEMM operand-panel precision. Under
+    /// [`Precision::Bf16`], MatMul-family ops whose geometry the cost
+    /// model deems flop/byte-bound ([`cost::bf16_gemm_eligible`]) pack
+    /// their panels as bf16 and accumulate in f32; everything else is
+    /// untouched. Cached plans are dropped because convolution lowering
+    /// decisions are precision-sensitive.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if self.precision != precision {
+            self.precision = precision;
+            self.plan_cache.clear();
+        }
+    }
+
+    /// The session's GEMM panel precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Starts a calibration pass: until [`Session::finish_calibration`],
+    /// every run records per-k-channel max-abs ranges of each eligible
+    /// MatMul's activation operand (merged with any ranges already held,
+    /// including checkpoint-restored ones). Calibration runs execute on
+    /// the serial executor regardless of the device's inter-op width —
+    /// recording mutates session state per op.
+    pub fn begin_calibration(&mut self) {
+        self.calibrating = true;
+        if self.calib.is_none() {
+            self.calib = Some(CalibrationRanges::new());
+        }
+    }
+
+    /// Stops recording activation ranges and returns how many GEMM nodes
+    /// have ranges (from this pass or restored earlier).
+    pub fn finish_calibration(&mut self) -> usize {
+        self.calibrating = false;
+        self.calib.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// The recorded (or restored) calibration ranges, if any.
+    pub fn calibration_ranges(&self) -> Option<&CalibrationRanges> {
+        self.calib.as_ref()
+    }
+
+    /// Installs calibration ranges captured elsewhere (checkpoint
+    /// restore). Replaces any ranges currently held.
+    pub fn set_calibration_ranges(&mut self, ranges: CalibrationRanges) {
+        self.calib = Some(ranges);
+    }
+
+    /// Builds and arms the int8 inference plan from the graph's weights
+    /// and the calibrated activation ranges: per-output-channel
+    /// symmetric weight scales, one per-tensor activation scale (the max
+    /// over the recorded channel ranges — a per-channel activation scale
+    /// cannot be factored out of the i32 accumulation). Only MatMuls
+    /// whose weight operand is a `Variable` or `Constant` quantize; a
+    /// computed weight (attention-style) has no static tensor to
+    /// quantize and keeps its float path. Returns the number of GEMMs
+    /// quantized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when no calibration ranges are held or no
+    /// recorded node could be quantized.
+    pub fn quantize_from_calibration(&mut self) -> Result<usize, String> {
+        let ranges = self.calib.as_ref().ok_or("no calibration ranges recorded")?;
+        let mut per_node = HashMap::new();
+        for (&node_index, channel_max) in ranges {
+            let id = NodeId(node_index);
+            if id.index() >= self.graph.len() {
+                continue;
+            }
+            let node = self.graph.node(id);
+            let (transpose_b, weight_id) = match &node.kind {
+                OpKind::MatMul { transpose_a: false, transpose_b } => {
+                    (*transpose_b, node.inputs[1])
+                }
+                OpKind::GemmFused {
+                    gemm: GemmOp::MatMul { transpose_a: false, transpose_b },
+                    ..
+                } => (*transpose_b, node.inputs[1]),
+                _ => continue,
+            };
+            let weight = match &self.graph.node(weight_id).kind {
+                // Quantize the *current* value, not the initializer.
+                OpKind::Variable { .. } => match self.state.variables.get(&weight_id) {
+                    Some(w) => w,
+                    None => continue,
+                },
+                OpKind::Constant(w) => w,
+                _ => continue,
+            };
+            if weight.shape().rank() != 2 {
+                continue;
+            }
+            let (k, n) = if transpose_b {
+                (weight.shape().dim(1), weight.shape().dim(0))
+            } else {
+                (weight.shape().dim(0), weight.shape().dim(1))
+            };
+            if channel_max.len() != k {
+                continue;
+            }
+            let act_max = channel_max.iter().fold(0.0f32, |acc, &v| acc.max(v));
+            per_node.insert(
+                node_index,
+                QuantizedGemm::from_weights(weight.data(), k, n, transpose_b, act_max),
+            );
+        }
+        if per_node.is_empty() {
+            return Err("calibration ranges matched no quantizable GEMM".to_string());
+        }
+        let count = per_node.len();
+        self.quant = Some(Arc::new(QuantPlan { per_node }));
+        Ok(count)
+    }
+
+    /// Drops the armed int8 plan; subsequent runs take the float paths.
+    pub fn clear_quantization(&mut self) {
+        self.quant = None;
+    }
+
+    /// Drops held calibration ranges along with any armed int8 plan —
+    /// used before restoring a checkpoint so a stream without a
+    /// calibration section yields an unquantized session rather than
+    /// one quantized from stale ranges.
+    pub fn clear_calibration(&mut self) {
+        self.calib = None;
+        self.quant = None;
+    }
+
+    /// The armed int8 inference plan, if any.
+    pub fn quant_plan(&self) -> Option<&QuantPlan> {
+        self.quant.as_deref()
+    }
+
+    /// Records the activation operand of an eligible GEMM node during a
+    /// calibration run: per-k-channel max-abs, merged into the held
+    /// ranges.
+    fn record_calibration(&mut self, id: NodeId, values: &[Option<Tensor>]) {
+        let node = self.graph.node(id);
+        let act_id = match &node.kind {
+            OpKind::MatMul { transpose_a: false, .. }
+            | OpKind::GemmFused { gemm: GemmOp::MatMul { transpose_a: false, .. }, .. } => {
+                node.inputs[0]
+            }
+            _ => return,
+        };
+        let Some(a) = values[act_id.index()].as_ref() else { return };
+        if a.shape().rank() != 2 {
+            return;
+        }
+        let k = a.shape().dim(1);
+        if k == 0 {
+            return;
+        }
+        let ranges = self.calib.get_or_insert_with(CalibrationRanges::new);
+        let entry = ranges.entry(id.index() as u32).or_insert_with(|| vec![0.0; k]);
+        if entry.len() != k {
+            return;
+        }
+        for row in a.data().chunks_exact(k) {
+            for (m, &v) in entry.iter_mut().zip(row) {
+                *m = m.max(v.abs());
+            }
+        }
     }
 
     /// Starts recording a [`TraceEvent`] per executed op.
@@ -653,7 +862,8 @@ impl Session {
         let _arena = BufferPool::install(&recycler);
         let parallel = self.device.inter_ops() > 1
             && !self.device.is_modeled()
-            && self.pool.runtime().is_some();
+            && self.pool.runtime().is_some()
+            && !self.calibrating;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if parallel {
                 self.run_parallel(fetches, &feed_map, &plan, started)
@@ -834,6 +1044,8 @@ impl Session {
             pool: &self.pool,
             feed_map,
             fault: self.fault.clone(),
+            precision: self.precision,
+            quant: self.quant.as_deref(),
             recycler: Arc::clone(&self.recycler),
             tracing,
             slots: SlotTable::new(self.graph.len()),
@@ -1113,6 +1325,10 @@ impl Session {
         pool: &ExecPool,
     ) -> Result<Tensor, ExecError> {
         let started = Instant::now();
+        if self.calibrating {
+            self.record_calibration(id, values);
+        }
+        let ctx = ExecCtx { precision: self.precision, quant: self.quant.as_deref() };
         let value = dispatch_op(
             &self.graph,
             pool,
@@ -1120,6 +1336,7 @@ impl Session {
             feeds,
             |n| values[n.index()].as_ref().expect("input executed before use"),
             Some(&mut self.state),
+            ctx,
         )?;
         if self.tracing {
             if self.cost_cache.is_empty() {
@@ -1320,6 +1537,10 @@ struct TaskFrame<'a> {
     pool: &'a ExecPool,
     feed_map: &'a HashMap<NodeId, &'a Tensor>,
     fault: Option<Arc<FaultPlan>>,
+    /// The session's precision knob, forwarded to every dispatch.
+    precision: Precision,
+    /// The session's armed int8 plan, forwarded to every dispatch.
+    quant: Option<&'a QuantPlan>,
     /// The session arena, installed on whichever worker runs each task
     /// so eager releases recycle no matter where an op lands.
     recycler: Arc<BufferPool>,
@@ -1381,9 +1602,10 @@ impl TaskFrame<'_> {
         // SAFETY (the `slots.get`): every input slot was published by its
         // producer before the dependency count that spawned this op
         // reached zero, and stays alive until this op completes.
+        let ctx = ExecCtx { precision: self.precision, quant: self.quant };
         match dispatch_op(self.graph, &width_pool, id, self.feed_map, |n| unsafe {
             self.slots.get(n.index())
-        }, None)
+        }, None, ctx)
         {
             Ok(mut value) => {
                 if let Some(action) = self.fault.as_ref().and_then(|f| f.check(FaultSite::ExecOp)) {
@@ -1409,9 +1631,10 @@ impl TaskFrame<'_> {
         let t0 = Instant::now();
         let width_pool = self.pool.with_width(self.plan.widths[pos]);
         // SAFETY: as in `run_pure`.
+        let ctx = ExecCtx { precision: self.precision, quant: self.quant };
         match dispatch_op(self.graph, &width_pool, id, self.feed_map, |n| unsafe {
             self.slots.get(n.index())
-        }, Some(st))
+        }, Some(st), ctx)
         {
             Ok(mut value) => {
                 if let Some(action) = self.fault.as_ref().and_then(|f| f.check(FaultSite::ExecOp)) {
@@ -1616,10 +1839,24 @@ fn variable_target(graph: &Graph, state: &SessionState, apply: NodeId) -> Result
     }
 }
 
+/// Whether a MatMul's runtime operand shapes qualify for the bf16
+/// packed path under [`Precision::Bf16`] (see
+/// [`cost::bf16_gemm_eligible`]).
+fn bf16_matmul_eligible(a: &Tensor, b: &Tensor, transpose_a: bool, transpose_b: bool) -> bool {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return false;
+    }
+    let k = if transpose_a { a.shape().dim(0) } else { a.shape().dim(1) };
+    let n = if transpose_b { b.shape().dim(0) } else { b.shape().dim(1) };
+    cost::bf16_gemm_eligible(k, n)
+}
+
 /// Computes one node's value. `resolve` maps an input id to its computed
 /// tensor; `state` must be `Some` for ops where [`OpKind::needs_serial`]
 /// is true (the schedulers guarantee those run with exclusive access to
-/// the session state, on one thread, in plan order).
+/// the session state, on one thread, in plan order). `ctx` carries the
+/// session's precision knob and int8 plan; MatMul-family dispatch
+/// consults the plan first, then the knob, then takes the f32 path.
 #[allow(clippy::too_many_lines)]
 fn dispatch_op<'v, F>(
     graph: &Graph,
@@ -1628,6 +1865,7 @@ fn dispatch_op<'v, F>(
     feeds: &HashMap<NodeId, &Tensor>,
     resolve: F,
     mut state: Option<&mut SessionState>,
+    ctx: ExecCtx<'_>,
 ) -> Result<Tensor, ExecError>
 where
     F: Fn(NodeId) -> &'v Tensor,
@@ -1648,15 +1886,30 @@ where
         OpKind::Identity | OpKind::StopGradient => input(0).clone(),
 
         OpKind::MatMul { transpose_a, transpose_b } => {
-            kmm::matmul(input(0), input(1), *transpose_a, *transpose_b, pool)
+            let (a, b) = (input(0), input(1));
+            let quantized = (!*transpose_a)
+                .then(|| ctx.quant.and_then(|q| q.per_node.get(&(id.index() as u32))))
+                .flatten();
+            if let Some(qg) = quantized {
+                qg.matmul(a, pool)
+            } else if ctx.precision == Precision::Bf16
+                && bf16_matmul_eligible(a, b, *transpose_a, *transpose_b)
+            {
+                kgemm::matmul_packed_bf16(a, b, *transpose_a, *transpose_b, pool)
+            } else {
+                kmm::matmul(a, b, *transpose_a, *transpose_b, pool)
+            }
         }
 
         // Convolutions pick their lowering from the cost model's
         // flop/byte estimate of the (batch-independent) geometry: big
         // GEMM-shaped geometries go through im2col + the packed engine,
-        // small or thin ones stay on the direct loops.
+        // small or thin ones stay on the direct loops. The decision is
+        // precision-aware — bf16 halves the packed-panel bytes, so
+        // marginal geometries lower differently (the GEMM itself still
+        // runs f32; only the *choice* shifts).
         OpKind::Conv2D(spec) => {
-            match cost::conv2d_lowering(input(0).shape(), input(1).shape(), *spec) {
+            match cost::conv2d_lowering_with(input(0).shape(), input(1).shape(), *spec, ctx.precision) {
                 cost::ConvLowering::Im2colGemm => {
                     kim2col::conv2d_im2col(input(0), input(1), *spec, pool)
                 }
@@ -1664,7 +1917,7 @@ where
             }
         }
         OpKind::Conv2DBackpropInput { spec, input_shape } => {
-            match cost::conv2d_lowering(input_shape, input(0).shape(), *spec) {
+            match cost::conv2d_lowering_with(input_shape, input(0).shape(), *spec, ctx.precision) {
                 cost::ConvLowering::Im2colGemm => {
                     kconv::conv2d_backprop_input_im2col(input_shape, input(0), input(1), *spec, pool)
                 }
@@ -1674,7 +1927,7 @@ where
             }
         }
         OpKind::Conv2DBackpropFilter { spec, filter_shape } => {
-            match cost::conv2d_lowering(input(0).shape(), filter_shape, *spec) {
+            match cost::conv2d_lowering_with(input(0).shape(), filter_shape, *spec, ctx.precision) {
                 cost::ConvLowering::Im2colGemm => {
                     kconv::conv2d_backprop_filter_im2col(input(0), filter_shape, input(1), *spec, pool)
                 }
@@ -1735,19 +1988,46 @@ where
         OpKind::GemmFused { gemm, epilogue } => {
             let operand_tensors: Vec<&Tensor> = (2..inputs.len()).map(input).collect();
             match gemm {
-                GemmOp::MatMul { transpose_a, transpose_b } => kgemm::matmul_fused(
-                    input(0),
-                    input(1),
-                    *transpose_a,
-                    *transpose_b,
-                    epilogue,
-                    &operand_tensors,
-                    pool,
-                ),
+                GemmOp::MatMul { transpose_a, transpose_b } => {
+                    let (a, b) = (input(0), input(1));
+                    let quantized = (!*transpose_a)
+                        .then(|| ctx.quant.and_then(|q| q.per_node.get(&(id.index() as u32))))
+                        .flatten();
+                    if let Some(qg) = quantized {
+                        // f32 dequant lands in the writeback; the fused
+                        // epilogue then applies to the dequantized
+                        // output, exactly as on the float paths.
+                        let operands: Vec<&[f32]> =
+                            operand_tensors.iter().map(|t| t.data()).collect();
+                        qg.matmul_fused(a, Some(epilogue), &operands, pool)
+                    } else if ctx.precision == Precision::Bf16
+                        && bf16_matmul_eligible(a, b, *transpose_a, *transpose_b)
+                    {
+                        kgemm::matmul_fused_bf16(
+                            a,
+                            b,
+                            *transpose_a,
+                            *transpose_b,
+                            epilogue,
+                            &operand_tensors,
+                            pool,
+                        )
+                    } else {
+                        kgemm::matmul_fused(
+                            a,
+                            b,
+                            *transpose_a,
+                            *transpose_b,
+                            epilogue,
+                            &operand_tensors,
+                            pool,
+                        )
+                    }
+                }
                 GemmOp::Conv2D(spec) => {
                     let operands: Vec<&[f32]> =
                         operand_tensors.iter().map(|t| t.data()).collect();
-                    match cost::conv2d_lowering(input(0).shape(), input(1).shape(), *spec) {
+                    match cost::conv2d_lowering_with(input(0).shape(), input(1).shape(), *spec, ctx.precision) {
                         cost::ConvLowering::Im2colGemm => kim2col::conv2d_im2col_fused(
                             input(0),
                             input(1),
@@ -2654,5 +2934,123 @@ mod tests {
         s.run(&[apply], &[(grad, Tensor::from(vec![1.0, 1.0]))]).unwrap();
         // lr was 0.1, now 0.05: v goes 1.0 -> 0.95.
         assert!((s.variable_value(v).unwrap().data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    /// Graph with one bf16-eligible GEMM: x:[4,128] @ w:[128,64]
+    /// (k = 128 ≥ 64, n = 64 ≥ 16, k·n = 8192 — clears
+    /// [`cost::bf16_gemm_eligible`]).
+    fn gemm_session(device: Device) -> (Session, NodeId, Tensor, Tensor) {
+        let mut rng = Rng::seeded(0x18);
+        let xv = Tensor::randn([4, 128], 0.0, 1.0, &mut rng);
+        let wv = Tensor::randn([128, 64], 0.0, 0.5, &mut rng);
+        let mut g = Graph::new();
+        let x = g.placeholder("x", Shape::matrix(4, 128));
+        let w = g.variable("w", wv.clone());
+        let y = g.matmul(x, w);
+        (Session::new(g, device), y, xv, wv)
+    }
+
+    #[test]
+    fn bf16_precision_switches_the_gemm_kernel() {
+        let (mut s, y, xv, wv) = gemm_session(Device::cpu(2));
+        let x = s.graph().iter().find(|(_, n)| n.name.as_deref() == Some("x")).unwrap().0;
+        let f32_out = s.run1(y, &[(x, xv.clone())]).unwrap();
+
+        assert_eq!(s.precision(), Precision::F32);
+        s.set_precision(Precision::Bf16);
+        assert_eq!(s.precision(), Precision::Bf16);
+        let bf16_out = s.run1(y, &[(x, xv.clone())]).unwrap();
+
+        // The bf16 session output is bitwise the packed bf16 kernel's.
+        let expect = kgemm::matmul_packed_bf16(&xv, &wv, false, false, &ExecPool::new(2));
+        assert_eq!(bf16_out.data(), expect.data(), "session must use the bf16 engine");
+        // And it genuinely lost mantissa bits relative to f32.
+        assert!(bf16_out.max_abs_diff(&f32_out) > 0.0, "bf16 path was a no-op");
+
+        // Switching back restores the f32 result bitwise.
+        s.set_precision(Precision::F32);
+        assert_eq!(s.run1(y, &[(x, xv)]).unwrap().data(), f32_out.data());
+    }
+
+    #[test]
+    fn bf16_session_is_bitwise_identical_serial_vs_parallel() {
+        let (mut serial, y, xv, _) = gemm_session(Device::cpu(1));
+        let (mut par, yp, _, _) = gemm_session(Device::cpu_inter_op(2, 4));
+        let x = serial.graph().iter().find(|(_, n)| n.name.as_deref() == Some("x")).unwrap().0;
+        let xq = par.graph().iter().find(|(_, n)| n.name.as_deref() == Some("x")).unwrap().0;
+        serial.set_precision(Precision::Bf16);
+        par.set_precision(Precision::Bf16);
+        let a = serial.run1(y, &[(x, xv.clone())]).unwrap();
+        let b = par.run1(yp, &[(xq, xv)]).unwrap();
+        assert_eq!(a.data(), b.data(), "bf16 must stay executor-independent");
+    }
+
+    #[test]
+    fn calibrate_quantize_run_pipeline() {
+        let (mut s, y, xv, wv) = gemm_session(Device::cpu(2));
+        let x = s.graph().iter().find(|(_, n)| n.name.as_deref() == Some("x")).unwrap().0;
+        let f32_out = s.run1(y, &[(x, xv.clone())]).unwrap();
+
+        // Quantizing without calibration is a typed error, not a panic.
+        assert!(s.quantize_from_calibration().is_err());
+
+        // Calibrate over two batches; ranges merge via per-channel max.
+        let mut rng = Rng::seeded(0x19);
+        let batch2 = Tensor::randn([4, 128], 0.0, 2.0, &mut rng);
+        s.begin_calibration();
+        s.run1(y, &[(x, xv.clone())]).unwrap();
+        s.run1(y, &[(x, batch2.clone())]).unwrap();
+        assert_eq!(s.finish_calibration(), 1, "one GEMM input observed");
+
+        let ranges = s.calibration_ranges().expect("ranges recorded").clone();
+        let (_, chans) = ranges.iter().next().unwrap();
+        assert_eq!(chans.len(), 128, "one range per k-channel");
+        for (c, &chan) in chans.iter().enumerate() {
+            let expect = (0..4)
+                .map(|r| xv.data()[r * 128 + c].abs().max(batch2.data()[r * 128 + c].abs()))
+                .fold(0.0f32, f32::max);
+            assert!((chan - expect).abs() < 1e-6, "channel {c} range is the running max");
+        }
+
+        assert_eq!(s.quantize_from_calibration(), Ok(1));
+        let q_out = s.run1(y, &[(x, xv.clone())]).unwrap();
+
+        // The session output is bitwise the standalone quantized kernel's.
+        let act_max = chans.iter().fold(0.0f32, |m, &v| m.max(v));
+        let qg = QuantizedGemm::from_weights(wv.data(), 128, 64, false, act_max);
+        let expect = qg.matmul(&xv, &ExecPool::new(2));
+        assert_eq!(q_out.data(), expect.data(), "session must use the int8 engine");
+        // int8 tracks f32 within the quantization grid error bound.
+        let w_max = wv.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let tol = 128.0 * act_max * w_max / 127.0;
+        assert!(q_out.max_abs_diff(&f32_out) <= tol, "int8 drifted past the grid bound");
+        assert!(q_out.max_abs_diff(&f32_out) > 0.0, "int8 path was a no-op");
+
+        // Dropping the plan restores the f32 result bitwise.
+        s.clear_quantization();
+        assert!(s.quant_plan().is_none());
+        assert_eq!(s.run1(y, &[(x, xv)]).unwrap().data(), f32_out.data());
+    }
+
+    #[test]
+    fn calibration_ranges_round_trip_through_setter() {
+        let (mut s, y, xv, _) = gemm_session(Device::cpu(1));
+        let x = s.graph().iter().find(|(_, n)| n.name.as_deref() == Some("x")).unwrap().0;
+        s.begin_calibration();
+        s.run1(y, &[(x, xv.clone())]).unwrap();
+        s.finish_calibration();
+        let saved = s.calibration_ranges().expect("recorded").clone();
+
+        // A fresh session (as after checkpoint restore) accepts the saved
+        // ranges and produces the same quantization plan.
+        s.quantize_from_calibration().unwrap();
+        let direct = s.run1(y, &[(x, xv.clone())]).unwrap();
+
+        let (mut fresh, yf, _, _) = gemm_session(Device::cpu(1));
+        let xf = fresh.graph().iter().find(|(_, n)| n.name.as_deref() == Some("x")).unwrap().0;
+        fresh.set_calibration_ranges(saved.clone());
+        assert_eq!(fresh.calibration_ranges(), Some(&saved));
+        fresh.quantize_from_calibration().unwrap();
+        assert_eq!(fresh.run1(yf, &[(xf, xv)]).unwrap().data(), direct.data());
     }
 }

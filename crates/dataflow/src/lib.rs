@@ -63,9 +63,10 @@ pub mod sched;
 pub mod trace;
 
 pub use device::{CpuModel, Device, GpuModel};
-pub use exec::{ExecError, Guardrail, Session, WidthPolicy};
+pub use exec::{CalibrationRanges, ExecError, Guardrail, QuantPlan, Session, WidthPolicy};
+pub use fathom_tensor::Precision;
 pub use trace::RuntimeCounters;
 pub use fault::{FaultAction, FaultPlan, FaultSite, FaultSpec};
 pub use graph::{Graph, GraphError, Node, NodeId};
-pub use op::{OpClass, OpKind};
+pub use op::{GemmOp, OpClass, OpKind};
 pub use optim::{Optimizer, TrainHandles};

@@ -1,4 +1,5 @@
-//! Property tests for the moldable-task width rule.
+//! Property tests for the moldable-task width rule, plus a pinned
+//! fixture for the convolution-lowering heuristic.
 //!
 //! The unified runtime relies on three contracts of
 //! [`fathom_dataflow::sched::chosen_width`]: a width never exceeds the
@@ -7,8 +8,51 @@
 //! non-increasing in the number of co-runnable peers (more competition
 //! never widens an op).
 
+use fathom_dataflow::cost::{conv2d_lowering_with, ConvLowering};
 use fathom_dataflow::sched::chosen_width;
+use fathom_dataflow::Precision;
+use fathom_tensor::kernels::conv::Conv2dSpec;
+use fathom_tensor::Shape;
 use proptest::prelude::*;
+
+/// Pins the scheduler's lowering decision for every geometry the conv
+/// ablation (`ablation_conv_lowering`) measures, at both compute widths.
+/// The threshold was re-fit against packed-panel byte counts when bf16
+/// landed (DESIGN.md §18): a change to `cost::conv2d_lowering_with` that
+/// silently flips one of these rows shows up here, next to the measured
+/// direct-vs-im2col timings that justify each pin.
+#[test]
+fn conv_lowering_decisions_are_pinned_for_the_ablation_geometries() {
+    // (h, k, ic, oc, decision at f32, decision at bf16)
+    let expected = [
+        // Small 9 KB weight panel: loses to direct loops in the ablation
+        // despite clearing the intensity bar (the PR-4 3/4 miss).
+        (32usize, 3usize, 16usize, 16usize, ConvLowering::Direct, ConvLowering::Direct),
+        // Marginal 36 KB panel: pays at f32; bf16 halves the GEMM's
+        // bandwidth win while the f32 patch copy stays, so it drops out.
+        (16, 3, 32, 32, ConvLowering::Im2colGemm, ConvLowering::Direct),
+        // Fat 8x8 window: patch duplication is the point — the GEMM
+        // amortizes it at either width.
+        (20, 8, 4, 16, ConvLowering::Im2colGemm, ConvLowering::Im2colGemm),
+        // Deep channels both sides: GEMM-shaped at either width.
+        (8, 3, 64, 64, ConvLowering::Im2colGemm, ConvLowering::Im2colGemm),
+    ];
+    for (h, k, ic, oc, at_f32, at_bf16) in expected {
+        let input = Shape::new(vec![2, h, h, ic]);
+        let filter = Shape::new(vec![k, k, ic, oc]);
+        let spec = Conv2dSpec::same(k);
+        assert_eq!(
+            conv2d_lowering_with(&input, &filter, spec, Precision::F32),
+            at_f32,
+            "f32 lowering drifted for {h}x{h} {k}x{k} c{ic}->{oc}"
+        );
+        assert_eq!(
+            conv2d_lowering_with(&input, &filter, spec, Precision::Bf16),
+            at_bf16,
+            "bf16 lowering drifted for {h}x{h} {k}x{k} c{ic}->{oc}"
+        );
+    }
+}
 
 proptest! {
     /// The chosen width is always a usable thread count: at least 1,

@@ -44,7 +44,7 @@ use fathom_tensor::{Rng, Tensor};
 use fathom_dataflow::RuntimeCounters;
 
 use crate::engine::{failure_verdict, FailureVerdict, RecoveryPolicy};
-use crate::metrics::{LatencyHistogram, RecoveryCounters, ShedBreakdown};
+use crate::metrics::{json_f64, LatencyHistogram, RecoveryCounters, ShedBreakdown};
 use crate::router::Router;
 use crate::slo::{SloClass, SloMix, SloPolicy};
 use crate::worker::{BatchRunner, Request, ServeError, SessionWorker};
@@ -343,13 +343,13 @@ impl ClusterReport {
                         row.push_str(&format!("\"shed_reasons\": {}, ", c.shed_reasons.to_json()));
                     }
                     row.push_str(&format!(
-                        "\"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \
-                         \"mean\": {:.3}, \"max\": {:.3}}}}}",
-                        ms(c.latency.quantile(0.50)),
-                        ms(c.latency.quantile(0.95)),
-                        ms(c.latency.quantile(0.99)),
-                        ms(c.latency.mean()),
-                        ms(c.latency.max()),
+                        "\"latency_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \
+                         \"mean\": {}, \"max\": {}}}}}",
+                        json_f64(ms(c.latency.quantile(0.50)), 3),
+                        json_f64(ms(c.latency.quantile(0.95)), 3),
+                        json_f64(ms(c.latency.quantile(0.99)), 3),
+                        json_f64(ms(c.latency.mean()), 3),
+                        json_f64(ms(c.latency.max()), 3),
                     ));
                     row
                 })
@@ -375,8 +375,8 @@ impl ClusterReport {
         s.push_str(&format!("  \"timed_out\": {},\n", self.timed_out()));
         s.push_str(&format!("  \"spilled\": {},\n", self.spilled()));
         s.push_str(&format!("  \"reloads\": {},\n", self.reloads()));
-        s.push_str(&format!("  \"makespan_ms\": {:.3},\n", self.makespan_nanos as f64 / 1e6));
-        s.push_str(&format!("  \"throughput_rps\": {:.3},\n", self.throughput_rps()));
+        s.push_str(&format!("  \"makespan_ms\": {},\n", json_f64(self.makespan_nanos as f64 / 1e6, 3)));
+        s.push_str(&format!("  \"throughput_rps\": {},\n", json_f64(self.throughput_rps(), 3)));
         s.push_str(&format!("  \"classes\": {},\n", class_json(&self.per_class, "  ")));
         let models: Vec<String> = self
             .models
@@ -385,7 +385,7 @@ impl ClusterReport {
                 format!(
                     "    {{\"model\": \"{}\", \"shards\": {}, \"replicas\": {}, \"issued\": {}, \
                      \"completed\": {}, \"shed\": {}, \"timed_out\": {}, \"spilled\": {}, \
-                     \"reloads\": {}, \"batches\": {}, \"mean_batch\": {:.2},\n      \"classes\": {}}}",
+                     \"reloads\": {}, \"batches\": {}, \"mean_batch\": {},\n      \"classes\": {}}}",
                     m.model,
                     m.shards,
                     m.replicas,
@@ -396,7 +396,7 @@ impl ClusterReport {
                     m.spilled,
                     m.reloads,
                     m.batches,
-                    m.mean_batch(),
+                    json_f64(m.mean_batch(), 2),
                     class_json(&m.per_class, "      "),
                 )
             })

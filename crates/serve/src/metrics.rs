@@ -9,6 +9,21 @@
 use fathom_dataflow::{OpClass, RuntimeCounters};
 use serde::Serialize;
 
+/// Formats a float with `prec` decimals for the hand-rolled JSON
+/// writers, degrading non-finite values to `null`. JSON has no
+/// NaN/Infinity tokens — `format!("{:.3}", f64::NAN)` would emit a
+/// bare `NaN` and corrupt the whole artifact — and a single poisoned
+/// sample should cost one field, not the file. Finite values format
+/// exactly as the inline `{:.prec$}` they replace, so well-formed
+/// reports stay byte-identical.
+pub(crate) fn json_f64(value: f64, prec: usize) -> String {
+    if value.is_finite() {
+        format!("{value:.prec$}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// An exact-quantile latency recorder. Samples are kept raw (a serving
 /// run records at most a few thousand requests), so percentiles are
 /// computed from the sorted data rather than from bucket midpoints.
@@ -274,15 +289,15 @@ impl ServeReport {
             s.push_str(&format!("  \"shed_reasons\": {},\n", self.shed_reasons.to_json()));
         }
         s.push_str(&format!("  \"timed_out\": {},\n", self.timed_out));
-        s.push_str(&format!("  \"makespan_ms\": {:.3},\n", self.makespan_nanos as f64 / 1e6));
-        s.push_str(&format!("  \"throughput_rps\": {:.3},\n", self.throughput_rps()));
+        s.push_str(&format!("  \"makespan_ms\": {},\n", json_f64(self.makespan_nanos as f64 / 1e6, 3)));
+        s.push_str(&format!("  \"throughput_rps\": {},\n", json_f64(self.throughput_rps(), 3)));
         s.push_str(&format!(
-            "  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"max\": {:.3}}},\n",
-            ms(self.latency.quantile(0.50)),
-            ms(self.latency.quantile(0.95)),
-            ms(self.latency.quantile(0.99)),
-            ms(self.latency.mean()),
-            ms(self.latency.max()),
+            "  \"latency_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}},\n",
+            json_f64(ms(self.latency.quantile(0.50)), 3),
+            json_f64(ms(self.latency.quantile(0.95)), 3),
+            json_f64(ms(self.latency.quantile(0.99)), 3),
+            json_f64(ms(self.latency.mean()), 3),
+            json_f64(ms(self.latency.max()), 3),
         ));
         s.push_str(&format!(
             "  \"queue_depth\": {{\"max\": {}, \"samples\": {}}},\n",
@@ -290,9 +305,9 @@ impl ServeReport {
             self.queue_depths.len()
         ));
         s.push_str(&format!(
-            "  \"batches\": {{\"count\": {}, \"mean_size\": {:.3}}},\n",
+            "  \"batches\": {{\"count\": {}, \"mean_size\": {}}},\n",
             self.batches.len(),
-            self.mean_batch_size()
+            json_f64(self.mean_batch_size(), 3)
         ));
         // Emitted only when the supervisor actually did something, so
         // fault-free runs produce byte-identical JSON to earlier builds.
@@ -316,7 +331,7 @@ impl ServeReport {
         let classes: Vec<String> = OpClass::ALL
             .iter()
             .zip(class_totals)
-            .map(|(c, nanos)| format!("\"{}\": {:.0}", c.letter(), nanos))
+            .map(|(c, nanos)| format!("\"{}\": {}", c.letter(), json_f64(nanos, 0)))
             .collect();
         s.push_str(&format!("  \"class_nanos\": {{{}}}\n", classes.join(", ")));
         s.push_str("}\n");
@@ -462,6 +477,35 @@ mod tests {
         assert_eq!(r.batches_of_size(4), 1);
         assert_eq!(r.class_nanos()[0], 200.0);
         assert!((r.throughput_rps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_samples_degrade_to_null_not_bare_tokens() {
+        let mut r = ServeReport::new("speech", 4, 1);
+        r.issued = 2;
+        r.completed = 2;
+        r.latency.record(f64::NAN);
+        r.latency.record(f64::INFINITY);
+        let mut poisoned = [0.0; 7];
+        poisoned[3] = f64::NEG_INFINITY;
+        r.batches.push(BatchRecord { size: 1, service_nanos: 10.0, class_nanos: poisoned });
+        let json = r.to_json();
+        assert!(json.contains("null"), "poisoned fields should emit null: {json}");
+        for token in ["NaN", "inf", "Infinity"] {
+            assert!(!json.contains(token), "bare {token} leaked into JSON: {json}");
+        }
+        // Integer-derived fields are untouched by the degradation.
+        assert!(json.contains("\"issued\": 2"));
+    }
+
+    #[test]
+    fn finite_floats_format_exactly_as_before_the_null_guard() {
+        assert_eq!(json_f64(1.0, 3), "1.000");
+        assert_eq!(json_f64(0.12349, 3), "0.123");
+        assert_eq!(json_f64(250.0, 0), "250");
+        assert_eq!(json_f64(f64::NAN, 3), "null");
+        assert_eq!(json_f64(f64::INFINITY, 0), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY, 2), "null");
     }
 
     #[test]

@@ -462,6 +462,521 @@ fn axpy(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
     }
 }
 
+// ---------------------------------------------------------------------
+// bf16 storage / f32 accumulate path (DESIGN.md §18).
+//
+// The pack step is the natural conversion point: every operand element
+// already takes exactly one pass through a pack closure, so converting
+// there costs one rounding per element, halves the panel bytes the
+// microkernel streams, and lets the panels carry the k-pair-interleaved
+// layout the AVX-512 BF16 dot-product instruction consumes — on hosts
+// with `vdpbf16ps` each instruction retires two multiply-accumulates
+// per f32 lane, which is where the speedup over the f32 engine comes
+// from. Accumulation stays f32 everywhere. The bf16 functions mirror
+// their f32 counterparts line for line rather than abstracting over a
+// panel element type: a generic panel would need either a trait
+// dispatch in the innermost loop or a macro over the whole engine, and
+// both obscure the unsafe partition arguments the comments below lean
+// on. The duplication is deliberate and bounded to this file.
+// ---------------------------------------------------------------------
+
+use crate::kernels::quant::{bf16_to_f32, f32_to_bf16};
+
+/// Raw bf16 panel pointer shared across pack tasks; same disjoint-strip
+/// partition argument as [`SharedOut`].
+struct SharedOutU16(*mut u16);
+unsafe impl Sync for SharedOutU16 {}
+
+impl SharedOutU16 {
+    fn ptr(&self) -> *mut u16 {
+        self.0
+    }
+}
+
+/// Takes a zeroed pooled scratch buffer able to hold `len_u16` bf16
+/// values, returning it with the f32 backing it reinterprets. The
+/// backing stays a `Vec<f32>` so the buffer recycles through the same
+/// [`crate::BufferPool`] as the f32 panels; `f32`'s 4-byte alignment
+/// satisfies `u16`'s.
+fn take_u16_buffer(len_u16: usize) -> Vec<f32> {
+    recycle::take_buffer(len_u16.div_ceil(2))
+}
+
+/// `C = op(A) * op(B)` with both operands packed as bf16 and all
+/// accumulation in f32. Same contract as [`matmul_packed`] except each
+/// operand element is rounded once to bf16 at pack time.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the contraction dimensions
+/// disagree.
+pub fn matmul_packed_bf16(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_a: bool,
+    transpose_b: bool,
+    pool: &ExecPool,
+) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, ka) = if transpose_a {
+        (a.shape().dim(1), a.shape().dim(0))
+    } else {
+        (a.shape().dim(0), a.shape().dim(1))
+    };
+    let (kb, n) = if transpose_b {
+        (b.shape().dim(1), b.shape().dim(0))
+    } else {
+        (b.shape().dim(0), b.shape().dim(1))
+    };
+    assert_eq!(
+        ka, kb,
+        "matmul contraction mismatch: op(a) is [{m}, {ka}], op(b) is [{kb}, {n}]"
+    );
+    let mut c = recycle::take_buffer(m * n);
+    gemm_into_fused_bf16(&mut c, m, n, ka, a.data(), transpose_a, b.data(), transpose_b, None, &[], pool);
+    Tensor::from_vec(c, [m, n])
+}
+
+/// [`matmul_fused`] on the bf16 packed path: operands are rounded to
+/// bf16 at pack time, accumulation and the fused epilogue stay f32.
+/// Falls back to the full-precision fused route when the geometry does
+/// not warrant packing (see [`use_packed`]) — below that threshold the
+/// pack pass the bf16 win rides on does not run at all.
+///
+/// # Panics
+///
+/// Panics on non-rank-2 inputs, contraction mismatch, an invalid
+/// epilogue, or mis-sized operands.
+pub fn matmul_fused_bf16(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_a: bool,
+    transpose_b: bool,
+    epilogue: &Epilogue,
+    operands: &[&Tensor],
+    pool: &ExecPool,
+) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, ka) = if transpose_a {
+        (a.shape().dim(1), a.shape().dim(0))
+    } else {
+        (a.shape().dim(0), a.shape().dim(1))
+    };
+    let (kb, n) = if transpose_b {
+        (b.shape().dim(1), b.shape().dim(0))
+    } else {
+        (b.shape().dim(0), b.shape().dim(1))
+    };
+    assert_eq!(
+        ka, kb,
+        "matmul contraction mismatch: op(a) is [{m}, {ka}], op(b) is [{kb}, {n}]"
+    );
+    if !use_packed(ka, n) {
+        return matmul_fused(a, b, transpose_a, transpose_b, epilogue, operands, pool);
+    }
+    let ops: Vec<&[f32]> = operands.iter().map(|t| t.data()).collect();
+    let mut c = recycle::take_buffer(m * n);
+    gemm_into_fused_bf16(
+        &mut c,
+        m,
+        n,
+        ka,
+        a.data(),
+        transpose_a,
+        b.data(),
+        transpose_b,
+        Some(epilogue),
+        &ops,
+        pool,
+    );
+    Tensor::from_vec(c, [m, n])
+}
+
+/// [`gemm_into_fused`] with bf16 panel storage. Identical tile grid,
+/// identical ascending-p reduction order, f32 accumulators throughout —
+/// so parallel output is bitwise identical to serial by the same
+/// argument as the f32 engine (the module-level determinism contract
+/// does not mention element width anywhere). Within a micro tile the k
+/// sum associates in adjacent pairs (see [`micro_kernel_bf16`]), which
+/// changes last-bit rounding relative to the f32 engine but not the
+/// worker-count invariance.
+///
+/// # Panics
+///
+/// Panics on length mismatches, an invalid epilogue, or mis-sized
+/// operands.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into_fused_bf16(
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    transpose_a: bool,
+    b: &[f32],
+    transpose_b: bool,
+    epilogue: Option<&Epilogue>,
+    operands: &[&[f32]],
+    pool: &ExecPool,
+) {
+    assert_eq!(c.len(), m * n, "gemm output length mismatch");
+    assert_eq!(a.len(), m * k, "gemm lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs length mismatch");
+    if let Some(ep) = epilogue {
+        ep.check_operands(m, n, operands);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        if let Some(ep) = epilogue {
+            ep.apply_flat(c, m, n, operands, pool);
+        }
+        return;
+    }
+
+    let m_strips = m.div_ceil(MR);
+    let n_strips = n.div_ceil(NR);
+    let k_blocks = k.div_ceil(KC);
+    let m_pad = m_strips * MR;
+    let n_pad = n_strips * NR;
+
+    // Pack both operands as bf16 in k-pair-interleaved strips: each
+    // strip stores, for every pair of adjacent k rows, the pair's two
+    // values adjacent per lane — `[A[2p,i], A[2p+1,i]]` in the a strip,
+    // `[B[2p,j], B[2p+1,j]]` in the b strip. That is exactly the operand
+    // order of the AVX-512 BF16 dot-product instruction (`vdpbf16ps`)
+    // the micro kernel issues when the host has it; the scalar fallback
+    // walks the same layout. Edge rows/columns and the phantom k row of
+    // an odd-length block pack as zero bits, and a zero *pair* (both
+    // operands padded) contributes an exact +0.0 per lane.
+    let k_even = k + (k & 1);
+    let mut apack = take_u16_buffer(k_even * m_pad);
+    let mut bpack = take_u16_buffer(k_even * n_pad);
+    let a_out = SharedOutU16(apack.as_mut_ptr().cast::<u16>());
+    pool.for_indices(k_blocks * m_strips, KC * MR, |idx| {
+        let (p, s) = (idx / m_strips, idx % m_strips);
+        let kstart = p * KC;
+        let kc = KC.min(k - kstart);
+        let kc_even = kc + (kc & 1);
+        // SAFETY: strip (p, s) owns exactly this MR*kc_even region; the
+        // (p, s) -> offset map is injective across tasks (every block
+        // before p is a full even KC, so kstart * m_pad is the block
+        // base), and the backing allocation holds k_even * m_pad slots.
+        let strip = unsafe {
+            std::slice::from_raw_parts_mut(
+                a_out.ptr().add(kstart * m_pad + s * MR * kc_even),
+                MR * kc_even,
+            )
+        };
+        for (pp, pair_row) in strip.chunks_exact_mut(2 * MR).enumerate() {
+            for (r, slot_pair) in pair_row.chunks_exact_mut(2).enumerate() {
+                let i = s * MR + r;
+                for (h, slot) in slot_pair.iter_mut().enumerate() {
+                    let krow = kstart + 2 * pp + h;
+                    *slot = if i >= m || krow >= kstart + kc {
+                        0
+                    } else if transpose_a {
+                        f32_to_bf16(a[krow * m + i])
+                    } else {
+                        f32_to_bf16(a[i * k + krow])
+                    };
+                }
+            }
+        }
+    });
+    let b_out = SharedOutU16(bpack.as_mut_ptr().cast::<u16>());
+    pool.for_indices(k_blocks * n_strips, KC * NR, |idx| {
+        let (p, t) = (idx / n_strips, idx % n_strips);
+        let kstart = p * KC;
+        let kc = KC.min(k - kstart);
+        let kc_even = kc + (kc & 1);
+        // SAFETY: strip (p, t) owns exactly this NR*kc_even region.
+        let strip = unsafe {
+            std::slice::from_raw_parts_mut(
+                b_out.ptr().add(kstart * n_pad + t * NR * kc_even),
+                NR * kc_even,
+            )
+        };
+        // B dominates pack cost (k*n elements against A's m*k, reused
+        // only m/MR times), so the interior non-transposed strip — the
+        // only shape the hot geometries hit — gets the hardware convert.
+        #[cfg(target_arch = "x86_64")]
+        if !transpose_b && t * NR + NR <= n && std::arch::is_x86_feature_detected!("avx512bf16") {
+            // SAFETY: the feature test gates the call; columns
+            // [t*NR, t*NR + NR) are fully in range per the test above.
+            unsafe { pack_b_strip_pairs_hw(strip, b, n, kstart, kc, t * NR) };
+            return;
+        }
+        for (pp, pair_row) in strip.chunks_exact_mut(2 * NR).enumerate() {
+            for (col, slot_pair) in pair_row.chunks_exact_mut(2).enumerate() {
+                let j = t * NR + col;
+                for (h, slot) in slot_pair.iter_mut().enumerate() {
+                    let krow = kstart + 2 * pp + h;
+                    *slot = if j >= n || krow >= kstart + kc {
+                        0
+                    } else if transpose_b {
+                        f32_to_bf16(b[j * k + krow])
+                    } else {
+                        f32_to_bf16(b[krow * n + j])
+                    };
+                }
+            }
+        }
+    });
+
+    let mc_blocks = m.div_ceil(MC);
+    let nc_blocks = n.div_ceil(NC);
+    let c_out = SharedOut(c.as_mut_ptr());
+    // SAFETY: the pack tasks above have completed (for_indices joins),
+    // so these are plain shared reads of the fully initialized panels.
+    let ap: &[u16] =
+        unsafe { std::slice::from_raw_parts(apack.as_ptr().cast::<u16>(), k_even * m_pad) };
+    let bp: &[u16] =
+        unsafe { std::slice::from_raw_parts(bpack.as_ptr().cast::<u16>(), k_even * n_pad) };
+    pool.for_indices(mc_blocks * nc_blocks, 2 * MC * NC * k, |idx| {
+        let (ic, jc) = (idx / nc_blocks, idx % nc_blocks);
+        let i_hi = (ic * MC + MC).min(m);
+        let j_hi = (jc * NC + NC).min(n);
+        let (s_lo, s_hi) = (ic * MC / MR, i_hi.div_ceil(MR));
+        let (t_lo, t_hi) = (jc * NC / NR, j_hi.div_ceil(NR));
+        if let Some(ep) = epilogue {
+            let mut block = [0.0f32; MC * NC];
+            for p in 0..k_blocks {
+                let kstart = p * KC;
+                let kc_even = KC.min(k - kstart).next_multiple_of(2);
+                for s in s_lo..s_hi {
+                    let apanel = &ap[kstart * m_pad + s * MR * kc_even..][..MR * kc_even];
+                    for t in t_lo..t_hi {
+                        let bpanel = &bp[kstart * n_pad + t * NR * kc_even..][..NR * kc_even];
+                        let acc = micro_kernel_bf16(apanel, bpanel, kc_even / 2);
+                        let (r0, c0) = ((s - s_lo) * MR, (t - t_lo) * NR);
+                        for (r, acc_row) in acc.iter().enumerate() {
+                            let brow = &mut block[(r0 + r) * NC + c0..][..NR];
+                            for (bv, &av) in brow.iter_mut().zip(acc_row) {
+                                *bv += av;
+                            }
+                        }
+                    }
+                }
+            }
+            let rows = i_hi - ic * MC;
+            let cols = j_hi - jc * NC;
+            ep.apply_block(&mut block, ic * MC, jc * NC, rows, cols, NC, n, operands);
+            for r_local in 0..rows {
+                // SAFETY: rows [ic*MC, i_hi) × cols [jc*NC, j_hi) lie
+                // inside this task's rectangle; rectangles partition C.
+                let c_row = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        c_out.ptr().add((ic * MC + r_local) * n + jc * NC),
+                        cols,
+                    )
+                };
+                c_row.copy_from_slice(&block[r_local * NC..][..cols]);
+            }
+        } else {
+            for p in 0..k_blocks {
+                let kstart = p * KC;
+                let kc_even = KC.min(k - kstart).next_multiple_of(2);
+                for s in s_lo..s_hi {
+                    let apanel = &ap[kstart * m_pad + s * MR * kc_even..][..MR * kc_even];
+                    let rows = MR.min(i_hi - s * MR);
+                    for t in t_lo..t_hi {
+                        let bpanel = &bp[kstart * n_pad + t * NR * kc_even..][..NR * kc_even];
+                        let acc = micro_kernel_bf16(apanel, bpanel, kc_even / 2);
+                        let cols = NR.min(j_hi - t * NR);
+                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                            // SAFETY: rows [s*MR, i_hi) × cols
+                            // [t*NR, j_hi) lie inside this task's
+                            // rectangle; rectangles partition C.
+                            let c_row = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    c_out.ptr().add((s * MR + r) * n + t * NR),
+                                    cols,
+                                )
+                            };
+                            if p == 0 {
+                                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                                    *cv = av;
+                                }
+                            } else {
+                                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                                    *cv += av;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    recycle::give_buffer(apack);
+    recycle::give_buffer(bpack);
+}
+
+/// Packs one full-width, non-transposed B strip into the k-pair
+/// interleaved layout with the AVX-512 BF16 convert: two k rows convert
+/// (`vcvtne2ps2bf16`) and interleave (`vpermw`) in four instructions
+/// per pair, against ~10 scalar integer ops per *element* for the
+/// portable round-to-nearest-even — without this the conversion of a
+/// large B outweighs the microkernel's win at small m. The hardware
+/// convert rounds to nearest even like [`f32_to_bf16`] but flushes f32
+/// denormals (|x| < 2^-126) to zero where the scalar path keeps their
+/// bf16 denormal bits — a sub-1e-38 discrepancy below anything the
+/// bf16 rounding the pack performs can represent distinctly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512bf16")]
+unsafe fn pack_b_strip_pairs_hw(
+    strip: &mut [u16],
+    b: &[f32],
+    n: usize,
+    kstart: usize,
+    kc: usize,
+    j0: usize,
+) {
+    use std::arch::x86_64::{
+        __m512i, _mm512_cvtne2ps_pbh, _mm512_loadu_ps, _mm512_loadu_si512,
+        _mm512_permutexvar_epi16, _mm512_setzero_ps, _mm512_storeu_si512,
+    };
+    const { assert!(NR == 16, "the convert/interleave schedule is shaped for 16 lanes") };
+    // Word j of cvtne2's result is column j of row k0 for j < 16 and
+    // column j-16 of row k1 above; this permutation interleaves them
+    // into the pair layout [B[k0,j], B[k1,j], ...].
+    const INTERLEAVE: [u16; 32] = [
+        0, 16, 1, 17, 2, 18, 3, 19, 4, 20, 5, 21, 6, 22, 7, 23, 8, 24, 9, 25, 10, 26, 11, 27, 12,
+        28, 13, 29, 14, 30, 15, 31,
+    ];
+    debug_assert!(j0 + NR <= n && strip.len().is_multiple_of(2 * NR));
+    // SAFETY (all blocks below): row k0 < kstart + kc <= k, and the
+    // caller guarantees j0 + NR <= n, so every 16-float load sits inside
+    // `b`; the store target is strip-local; loads/stores are unaligned-
+    // tolerant.
+    unsafe {
+        let idx = _mm512_loadu_si512(INTERLEAVE.as_ptr() as *const __m512i);
+        for pp in 0..strip.len() / (2 * NR) {
+            let k0 = kstart + 2 * pp;
+            let row0 = _mm512_loadu_ps(b.as_ptr().add(k0 * n + j0));
+            // An odd block tail pads its phantom second row with zeros.
+            let row1 = if 2 * pp + 1 < kc {
+                _mm512_loadu_ps(b.as_ptr().add((k0 + 1) * n + j0))
+            } else {
+                _mm512_setzero_ps()
+            };
+            let pair: __m512i = std::mem::transmute(_mm512_cvtne2ps_pbh(row1, row0));
+            let interleaved = _mm512_permutexvar_epi16(idx, pair);
+            _mm512_storeu_si512(strip.as_mut_ptr().add(pp * 2 * NR) as *mut __m512i, interleaved);
+        }
+    }
+}
+
+/// [`micro_kernel`] over k-pair-interleaved bf16 panels. On hosts with
+/// AVX-512 BF16 each accumulator row takes one `vdpbf16ps` per k pair —
+/// two bf16 multiply-accumulates per f32 lane per instruction, double
+/// the MAC density of the f32 kernel's separate mul/add stream, which
+/// (on top of the halved panel bytes) is where the bf16 engine's
+/// speedup comes from. The scalar fallback computes the same pair sums
+/// (`acc += a0*b0 + a1*b1`) in plain f32 over the same layout.
+///
+/// Either way the reduction order is a pure function of the panel
+/// layout, so a given host produces bitwise-identical results at every
+/// worker count. Unlike the f32 kernel, the k sum is associated in
+/// adjacent pairs, and the hardware and fallback paths may differ from
+/// each other in final-bit rounding — the determinism contract is per
+/// host, not cross-host.
+#[inline]
+fn micro_kernel_bf16(apanel: &[u16], bpanel: &[u16], kc_pairs: usize) -> [[f32; NR]; MR] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512bf16") {
+        // SAFETY: the feature test above gates the call; avx512bf16
+        // implies the avx512f registers the kernel uses.
+        return unsafe { micro_kernel_bf16_vdp(apanel, bpanel, kc_pairs) };
+    }
+    micro_kernel_bf16_scalar(apanel, bpanel, kc_pairs)
+}
+
+/// Hardware path: broadcast each a pair, stream the b pair row, and let
+/// `vdpbf16ps` widen, multiply, and pair-sum into the f32 accumulators.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bf16")]
+unsafe fn micro_kernel_bf16_vdp(apanel: &[u16], bpanel: &[u16], kc_pairs: usize) -> [[f32; NR]; MR] {
+    use std::arch::x86_64::{
+        __m512bh, __m512i, _mm512_dpbf16_ps, _mm512_loadu_si512, _mm512_set1_epi32,
+        _mm512_setzero_ps, _mm512_storeu_ps,
+    };
+    const { assert!(MR == 8 && NR == 16, "vdpbf16ps kernel is shaped for 8 zmm accumulators") };
+    debug_assert!(apanel.len() >= kc_pairs * 2 * MR && bpanel.len() >= kc_pairs * 2 * NR);
+    let mut acc = [_mm512_setzero_ps(); MR];
+    let ap = apanel.as_ptr();
+    let bp = bpanel.as_ptr();
+    for pp in 0..kc_pairs {
+        // SAFETY: pair pp spans [pp*2*NR, pp*2*NR + 2*NR) of bpanel and
+        // [pp*2*MR, pp*2*MR + 2*MR) of apanel, both in bounds per the
+        // debug_assert above; loads are unaligned-tolerant.
+        unsafe {
+            let b: __m512bh =
+                std::mem::transmute(_mm512_loadu_si512(bp.add(pp * 2 * NR) as *const __m512i));
+            let arow = ap.add(pp * 2 * MR).cast::<i32>();
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let a: __m512bh = std::mem::transmute(_mm512_set1_epi32(arow.add(r).read_unaligned()));
+                *acc_row = _mm512_dpbf16_ps(*acc_row, a, b);
+            }
+        }
+    }
+    let mut out = [[0.0f32; NR]; MR];
+    for (row, acc_row) in out.iter_mut().zip(acc) {
+        // SAFETY: each row holds exactly NR = 16 f32 slots.
+        unsafe { _mm512_storeu_ps(row.as_mut_ptr(), acc_row) };
+    }
+    out
+}
+
+/// Portable path over the same pair-interleaved panels: widen both k
+/// rows of the pair, then accumulate `a0*b0 + a1*b1` per lane.
+fn micro_kernel_bf16_scalar(apanel: &[u16], bpanel: &[u16], kc_pairs: usize) -> [[f32; NR]; MR] {
+    const { assert!(MR == 8, "micro_kernel_bf16_scalar unrolls exactly MR accumulator rows") };
+    let mut r0 = [0.0f32; NR];
+    let mut r1 = [0.0f32; NR];
+    let mut r2 = [0.0f32; NR];
+    let mut r3 = [0.0f32; NR];
+    let mut r4 = [0.0f32; NR];
+    let mut r5 = [0.0f32; NR];
+    let mut r6 = [0.0f32; NR];
+    let mut r7 = [0.0f32; NR];
+    for pp in 0..kc_pairs {
+        let ah: &[u16; 2 * MR] = apanel[pp * 2 * MR..][..2 * MR].try_into().unwrap();
+        let bh: &[u16; 2 * NR] = bpanel[pp * 2 * NR..][..2 * NR].try_into().unwrap();
+        let mut b0 = [0.0f32; NR];
+        let mut b1 = [0.0f32; NR];
+        for j in 0..NR {
+            b0[j] = bf16_to_f32(bh[2 * j]);
+            b1[j] = bf16_to_f32(bh[2 * j + 1]);
+        }
+        axpy2(&mut r0, bf16_to_f32(ah[0]), &b0, bf16_to_f32(ah[1]), &b1);
+        axpy2(&mut r1, bf16_to_f32(ah[2]), &b0, bf16_to_f32(ah[3]), &b1);
+        axpy2(&mut r2, bf16_to_f32(ah[4]), &b0, bf16_to_f32(ah[5]), &b1);
+        axpy2(&mut r3, bf16_to_f32(ah[6]), &b0, bf16_to_f32(ah[7]), &b1);
+        axpy2(&mut r4, bf16_to_f32(ah[8]), &b0, bf16_to_f32(ah[9]), &b1);
+        axpy2(&mut r5, bf16_to_f32(ah[10]), &b0, bf16_to_f32(ah[11]), &b1);
+        axpy2(&mut r6, bf16_to_f32(ah[12]), &b0, bf16_to_f32(ah[13]), &b1);
+        axpy2(&mut r7, bf16_to_f32(ah[14]), &b0, bf16_to_f32(ah[15]), &b1);
+    }
+    [r0, r1, r2, r3, r4, r5, r6, r7]
+}
+
+/// `acc += a0 * b0 + a1 * b1` over one register-width row — the scalar
+/// image of one `vdpbf16ps` (modulo that instruction's internal
+/// rounding); lanes stay independent, so this vectorizes without
+/// reordering any per-lane sum.
+#[inline(always)]
+fn axpy2(acc: &mut [f32; NR], a0: f32, b0: &[f32; NR], a1: f32, b1: &[f32; NR]) {
+    for ((slot, &v0), &v1) in acc.iter_mut().zip(b0).zip(b1) {
+        *slot += a0 * v0 + a1 * v1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,5 +1099,80 @@ mod tests {
         let c = matmul_fused(&a, &b, false, false, &ep, &[&bias], &ExecPool::serial());
         // relu(0 + bias): [1, 0] per row.
         assert_eq!(c.data(), &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    use crate::kernels::quant::{bf16_to_f32, f32_to_bf16};
+
+    /// Rounds every element to the bf16 grid, staying f32. The bf16
+    /// engine's exact-arithmetic reference is `matmul_naive` over these.
+    fn to_bf16_grid(t: &Tensor) -> Tensor {
+        let data = t.data().iter().map(|&v| bf16_to_f32(f32_to_bf16(v))).collect();
+        Tensor::from_vec(data, t.shape().dims())
+    }
+
+    #[test]
+    fn bf16_matches_naive_on_bf16_rounded_operands() {
+        let mut rng = Rng::seeded(47);
+        for &(m, k, n) in &[(1, 37, 17), (13, 300, 31), (67, 129, 19), (8, 256, 16)] {
+            for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+                let a = Tensor::randn(if ta { [k, m] } else { [m, k] }, 0.0, 1.0, &mut rng);
+                let b = Tensor::randn(if tb { [n, k] } else { [k, n] }, 0.0, 1.0, &mut rng);
+                let packed = matmul_packed_bf16(&a, &b, ta, tb, &ExecPool::new(4).with_grain(1));
+                // The only precision loss is the one rounding per
+                // operand element at pack time: against the naive
+                // product of pre-rounded operands only f32 accumulation
+                // order differs, the same budget as the f32 engine test.
+                let naive = matmul_naive(&to_bf16_grid(&a), &to_bf16_grid(&b), ta, tb);
+                close(&packed, &naive, 1e-3, &format!("bf16 m={m} k={k} n={n} ta={ta} tb={tb}"));
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_parallel_is_bitwise_identical_to_serial() {
+        let mut rng = Rng::seeded(53);
+        let a = Tensor::randn([129, 517], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([517, 143], 0.0, 1.0, &mut rng);
+        let serial = matmul_packed_bf16(&a, &b, false, false, &ExecPool::serial());
+        for threads in [2, 4, 8] {
+            let par =
+                matmul_packed_bf16(&a, &b, false, false, &ExecPool::new(threads).with_grain(1));
+            assert_eq!(serial.data(), par.data(), "bf16 {threads} workers diverged");
+        }
+    }
+
+    #[test]
+    fn bf16_fused_epilogue_matches_unfused_then_flat() {
+        let mut rng = Rng::seeded(59);
+        // First geometry is above the packed threshold, last is below it
+        // (exercising the full-precision fallback).
+        for &(m, k, n) in &[(13, 300, 31), (1, 64, 160), (5, 10, 7)] {
+            let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+            let bias = Tensor::randn([n], 0.0, 1.0, &mut rng);
+            let ep = bias_relu_epilogue();
+            let pool = ExecPool::new(4).with_grain(1);
+            let fused = matmul_fused_bf16(&a, &b, false, false, &ep, &[&bias], &pool);
+            let mut unfused = if use_packed(k, n) {
+                matmul_packed_bf16(&a, &b, false, false, &pool)
+            } else {
+                crate::kernels::matmul::matmul(&a, &b, false, false, &pool)
+            };
+            ep.apply_flat(unfused.data_mut(), m, n, &[bias.data()], &pool);
+            assert_eq!(fused.data(), unfused.data(), "bf16 m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn bf16_zero_k_product_is_zero() {
+        let c = matmul_packed_bf16(
+            &Tensor::ones([3, 0]),
+            &Tensor::ones([0, 4]),
+            false,
+            false,
+            &ExecPool::serial(),
+        );
+        assert_eq!(c.shape().dims(), &[3, 4]);
+        assert!(c.data().iter().all(|&v| v == 0.0));
     }
 }

@@ -11,6 +11,7 @@ pub mod fused;
 pub mod gemm;
 pub mod matmul;
 pub mod pool2d;
+pub mod quant;
 pub mod reduce;
 pub mod softmax;
 pub mod transform;

@@ -27,6 +27,7 @@ pub mod runtime;
 mod shape;
 mod tensor;
 
+pub use kernels::quant::Precision;
 pub use pool::{ExecPool, PoolScope, DEFAULT_GRAIN};
 pub use recycle::{BufferPool, RecycleStats};
 pub use runtime::{Latch, Runtime};

@@ -12,9 +12,11 @@ cd "$(dirname "$0")/.."
 stage() {
   local name="$1"
   shift
-  if ! "$@"; then
-    echo "tier1: stage '${name}' failed" >&2
-    exit 1
+  local rc=0
+  "$@" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "tier1: stage '${name}' failed (exit ${rc})" >&2
+    exit "$rc"
   fi
 }
 
@@ -51,6 +53,12 @@ stage fuse-check ./target/release/fathom fuse-check --steps 2 --threads 2 --inte
 # walk bit for bit at 1/2/8 workers, and the arena plan must reach a
 # zero-allocation steady state (nonzero exit if either probe fails).
 stage runtime-check ./target/release/fathom runtime-check --model autoenc --steps 2
+
+# Precision smoke: bf16 inference must hold the metric tolerance against
+# the f32 reference and stay bitwise identical serial vs parallel, and
+# the per-channel int8 calibrate -> quantize -> serve path must hold the
+# same gate, on every workload (nonzero exit if any leg fails).
+stage precision-check ./target/release/fathom precision-check --steps 2 --threads 4
 
 # Crash-soak smoke: kill a training run mid-flight, corrupt a snapshot,
 # inject a NaN loss — the guardrail must trip and recover, and resumed

@@ -113,8 +113,16 @@ fn fuzzed_corruption_always_yields_a_typed_error_and_never_panics() {
             panic!("load panicked on corrupted bytes (round {round}, {action:?})")
         });
         let err = result.expect_err("corrupted bytes must not load");
+        // A flip landing in the version or flags word reads as a file
+        // from a newer writer (UnsupportedVersion); anywhere else it is
+        // a format or checksum failure.
         assert!(
-            matches!(err, CheckpointError::BadHeader(_) | CheckpointError::Corrupt(_)),
+            matches!(
+                err,
+                CheckpointError::BadHeader(_)
+                    | CheckpointError::Corrupt(_)
+                    | CheckpointError::UnsupportedVersion(_)
+            ),
             "round {round} ({action:?}) gave unexpected error {err:?}"
         );
         assert!(
@@ -126,6 +134,57 @@ fn fuzzed_corruption_always_yields_a_typed_error_and_never_panics() {
     // The victim took no damage from any of the failed loads.
     checkpoint::load(victim.session_mut(), buf.as_slice())
         .expect("the pristine checkpoint still loads after 48 failed attempts");
+}
+
+#[test]
+fn fuzzed_flag_words_are_typed_unsupported_or_rejected_and_never_panic() {
+    // Exhaustively sweep the low flag byte plus a sample of high words:
+    // every flags value must either load (bits we understand, and then
+    // only if the sections really follow) or fail with a typed error —
+    // unknown bits specifically as UnsupportedVersion, so callers can
+    // tell "written by a newer build" apart from damage.
+    let cfg = BuildConfig::training().with_seed(13);
+    let mut model = ModelKind::Autoenc.build(&cfg);
+    model.step();
+    let mut buf = Vec::new();
+    checkpoint::save(model.session(), &mut buf).expect("saves");
+    let original = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+
+    let mut victim = ModelKind::Autoenc.build(&cfg);
+    let mut flag_words: Vec<u32> = (0..=0xFFu32).collect();
+    flag_words.extend([0x100, 0x8000, 0x0001_0000, 0x00FF_0000, 0x8000_0001, u32::MAX]);
+    for flags in flag_words {
+        let mut mangled = buf.clone();
+        mangled[12..16].copy_from_slice(&flags.to_le_bytes());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            checkpoint::load(victim.session_mut(), mangled.as_slice())
+        }));
+        let result = outcome
+            .unwrap_or_else(|_| panic!("load panicked on flags word {flags:#010x}"));
+        if flags == original {
+            result.expect("the original flags word still loads");
+            continue;
+        }
+        let err = result.expect_err("an altered flags word must not checksum");
+        // Bits beyond VARS|RESUME|CALIB (0b111) announce sections this
+        // build cannot parse: typed as UnsupportedVersion before any
+        // payload is read. Known-bit combinations fail later — missing
+        // variables section, unparsable phantom sections, or checksum.
+        if flags & !0b111 != 0 {
+            assert!(
+                matches!(err, CheckpointError::UnsupportedVersion(_)),
+                "flags {flags:#010x} gave {err:?}"
+            );
+        } else {
+            assert!(
+                matches!(err, CheckpointError::BadHeader(_) | CheckpointError::Corrupt(_)),
+                "flags {flags:#010x} gave {err:?}"
+            );
+        }
+    }
+
+    checkpoint::load(victim.session_mut(), buf.as_slice())
+        .expect("the pristine checkpoint still loads after the flag sweep");
 }
 
 #[test]
@@ -200,7 +259,12 @@ fn resume_truncation_at_every_boundary_is_typed_never_a_panic() {
             .unwrap_or_else(|_| panic!("load_resume panicked at boundary {keep}/{len}"));
         let err = result.expect_err("a truncated resume checkpoint must not load");
         assert!(
-            matches!(err, CheckpointError::BadHeader(_) | CheckpointError::Corrupt(_)),
+            matches!(
+                err,
+                CheckpointError::BadHeader(_)
+                    | CheckpointError::Corrupt(_)
+                    | CheckpointError::UnsupportedVersion(_)
+            ),
             "boundary {keep}/{len} gave unexpected error {err:?}"
         );
     }

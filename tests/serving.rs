@@ -438,3 +438,80 @@ fn cluster_hot_reload_with_real_workers_drops_nothing() {
         assert_eq!(after, ck, "replica variables must match the reloaded checkpoint");
     }
 }
+
+#[test]
+fn cluster_routes_quantized_replicas_and_hot_swaps_a_fleet_to_int8() {
+    use fathom_suite::fathom_serve::{
+        serve_cluster, ClusterConfig, ModelSpec, ReloadPlan, SloPolicy,
+    };
+
+    // Calibrate one worker and checkpoint it: the stream carries the
+    // per-channel activation ranges, so it describes an int8 deployment
+    // any replica can restore.
+    let build = BuildConfig::inference().with_seed(SEED).with_batch(BATCH);
+    let mut donor = SessionWorker::new(ModelKind::Memnet, &build).expect("servable");
+    let mut calib_rng = Rng::seeded(0xCA11B);
+    donor.quantize(2, &mut calib_rng).expect("memnet quantizes");
+    let mut int8_ck = Vec::new();
+    checkpoint::save(donor.workload_mut().session(), &mut int8_ck).expect("saves");
+    drop(donor);
+
+    // Fleet A serves int8 from the start (both shards warm-started from
+    // the calibrated checkpoint). Fleet B starts f32 and is hot-swapped
+    // to the int8 deployment mid-run.
+    let mut q0 = SessionWorker::new(ModelKind::Memnet, &build).expect("servable");
+    let mut q1 = SessionWorker::new(ModelKind::Memnet, &build).expect("servable");
+    q0.warm_start(int8_ck.as_slice()).expect("warm starts");
+    q1.warm_start(int8_ck.as_slice()).expect("warm starts");
+    assert!(q0.is_quantized() && q1.is_quantized());
+    let mut f0 = SessionWorker::new(ModelKind::Memnet, &build).expect("servable");
+    assert!(!f0.is_quantized());
+
+    let shapes = q0.item_shapes();
+    let domains = q0.domains();
+    let (shapes2, domains2) = (shapes.clone(), domains.clone());
+    let mut models = vec![
+        ModelSpec {
+            name: "memnet-int8".into(),
+            shards: vec![vec![&mut q0], vec![&mut q1]],
+            rps: 200.0,
+            synth: Box::new(move |rng, _id| synth_inputs(&shapes, &domains, rng)),
+        },
+        ModelSpec {
+            name: "memnet".into(),
+            shards: vec![vec![&mut f0]],
+            rps: 100.0,
+            synth: Box::new(move |rng, _id| synth_inputs(&shapes2, &domains2, rng)),
+        },
+    ];
+    let cfg = ClusterConfig {
+        duration_nanos: 300_000_000,
+        // No deadlines and an effectively unbounded queue: real service
+        // times make the virtual backlog uncontrolled, and this test is
+        // about routing and the swap, not admission.
+        slo: SloPolicy { deadline_nanos: [None, None, None] },
+        queue_cap: 100_000,
+        seed: SEED,
+        reloads: vec![ReloadPlan {
+            model: "memnet".into(),
+            at_nanos: 100_000_000,
+            checkpoint: int8_ck,
+        }],
+        ..ClusterConfig::new(BATCH)
+    };
+    let report = serve_cluster(&mut models, &cfg).expect("serves");
+    drop(models);
+
+    assert!(report.conserved());
+    assert_eq!(report.shed() + report.timed_out(), 0, "nothing dropped: {}", report.to_json());
+    assert_eq!(report.completed(), report.issued());
+    for m in &report.models {
+        assert!(m.completed() > 0, "model {} served nothing", m.model);
+    }
+    assert_eq!(report.reloads(), 1, "the f32 replica swaps once");
+
+    // The quantized fleet stayed quantized, and the hot swap really
+    // moved the f32 fleet onto the int8 plan.
+    assert!(q0.is_quantized() && q1.is_quantized(), "int8 shards must stay quantized");
+    assert!(f0.is_quantized(), "the reload must re-quantize from the persisted ranges");
+}
